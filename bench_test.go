@@ -1,0 +1,406 @@
+// Benchmarks regenerating the paper's evaluation (§6) as testing.B
+// targets — one per figure — plus micro-benchmarks of every substrate the
+// protocol's costs decompose into (Merkle updates, CoSi rounds, block
+// encoding, signed transport).
+//
+// The figure benchmarks report the paper's series as custom metrics
+// (tps, ms/txn, mht_ms) so `go test -bench` output can be compared against
+// the figures directly; cmd/fidesbench prints the same sweeps as tables.
+package fides
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cosi"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/merkle"
+	"repro/internal/schnorr"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/txn"
+)
+
+// benchRequests keeps figure benchmarks affordable under `go test -bench`;
+// cmd/fidesbench runs the paper-scale 1000-request sweeps.
+const benchRequests = 120
+
+func reportPoint(b *testing.B, m *bench.Metrics) {
+	b.ReportMetric(m.ThroughputTPS, "tps")
+	b.ReportMetric(m.LatencyMS, "ms/txn")
+	if m.MHTUpdateMS > 0 {
+		b.ReportMetric(m.MHTUpdateMS, "mht_ms")
+	}
+}
+
+func runPoint(b *testing.B, cfg bench.RunConfig) {
+	b.Helper()
+	cfg.Requests = benchRequests
+	cfg.NetworkLatency = 100 * time.Microsecond
+	b.ResetTimer()
+	var last *bench.Metrics
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		m, err := bench.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	reportPoint(b, last)
+}
+
+// BenchmarkFig12 regenerates Figure 12: 2PC vs TFCommit, one transaction
+// per block, varying the server count.
+func BenchmarkFig12(b *testing.B) {
+	for _, servers := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("2pc/servers=%d", servers), func(b *testing.B) {
+			runPoint(b, bench.RunConfig{Servers: servers, Batch: 1, ItemsPerShard: 10000, Protocol: core.ProtocolTwoPC})
+		})
+		b.Run(fmt.Sprintf("tfcommit/servers=%d", servers), func(b *testing.B) {
+			runPoint(b, bench.RunConfig{Servers: servers, Batch: 1, ItemsPerShard: 10000, Protocol: core.ProtocolTFCommit})
+		})
+	}
+}
+
+// BenchmarkFig13 regenerates Figure 13: transactions per block from 2 to
+// 120 at 5 servers.
+func BenchmarkFig13(b *testing.B) {
+	for _, batch := range []int{2, 40, 80, 120} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			runPoint(b, bench.RunConfig{Servers: 5, Batch: batch, ItemsPerShard: 10000})
+		})
+	}
+}
+
+// BenchmarkFig14 regenerates Figure 14: server count from 3 to 9 at 100
+// transactions per block, including the MHT update time series.
+func BenchmarkFig14(b *testing.B) {
+	for _, servers := range []int{3, 5, 7, 9} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			runPoint(b, bench.RunConfig{Servers: servers, Batch: 100, ItemsPerShard: 10000})
+		})
+	}
+}
+
+// BenchmarkFig15 regenerates Figure 15: items per shard from 1000 to 10000
+// at 5 servers and 100 transactions per block.
+func BenchmarkFig15(b *testing.B) {
+	for _, items := range []int{1000, 4000, 7000, 10000} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			runPoint(b, bench.RunConfig{Servers: 5, Batch: 100, ItemsPerShard: items})
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks (ablations; DESIGN.md §3) ---
+
+// BenchmarkMerkleIncrementalUpdate measures the O(log n) leaf update that
+// dominates Figure 14's MHT series, across the shard sizes of Figure 15.
+func BenchmarkMerkleIncrementalUpdate(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			contents := make([][]byte, n)
+			for i := range contents {
+				contents[i] = []byte(fmt.Sprintf("item-%06d", i))
+			}
+			tree := merkle.NewFromContents(contents)
+			leaf := merkle.LeafHash([]byte("updated"))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Update(i%n, leaf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMerkleFullRebuild is the ablation against incremental updates:
+// rebuilding the tree from scratch per block, as a naive implementation
+// would.
+func BenchmarkMerkleFullRebuild(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			contents := make([][]byte, n)
+			for i := range contents {
+				contents[i] = []byte(fmt.Sprintf("item-%06d", i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				merkle.NewFromContents(contents)
+			}
+		})
+	}
+}
+
+// BenchmarkOverlayRoot measures the cohort-side Vote-phase work: computing
+// the in-memory root for a 100-txn block's worth of accesses and reverting.
+func BenchmarkOverlayRoot(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("items=%d", n), func(b *testing.B) {
+			ids := make([]txn.ItemID, n)
+			for i := range ids {
+				ids[i] = txn.ItemID(fmt.Sprintf("k%06d", i))
+			}
+			shard := store.NewShard(ids, nil, store.Config{})
+			accesses := make([]store.Access, 100)
+			for i := range accesses {
+				accesses[i] = store.Access{
+					ReadIDs: []txn.ItemID{ids[(i*97)%n]},
+					Writes: []txn.WriteEntry{
+						{ID: ids[(i*193+1)%n], NewVal: []byte("v")},
+					},
+					TS: txn.Timestamp{Time: uint64(i + 1), ClientID: 1},
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := shard.OverlayRoot(accesses); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoSiRound measures one full collective-signing round (commit,
+// aggregate, challenge, respond, finalize, verify) for the server counts of
+// Figure 12.
+func BenchmarkCoSiRound(b *testing.B) {
+	record := []byte("block signing bytes")
+	for _, n := range []int{3, 5, 7, 9} {
+		b.Run(fmt.Sprintf("signers=%d", n), func(b *testing.B) {
+			privs := make([]*schnorr.PrivateKey, n)
+			pubs := make([]schnorr.PublicKey, n)
+			for i := range privs {
+				priv, err := schnorr.GenerateKey(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				privs[i] = priv
+				pubs[i] = priv.Public
+			}
+			aggPub, err := cosi.AggregatePublicKeys(pubs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				commitments := make([]cosi.Commitment, n)
+				secrets := make([]cosi.Secret, n)
+				for j := 0; j < n; j++ {
+					commitments[j], secrets[j], err = cosi.Commit(nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				aggV, err := cosi.AggregateCommitments(commitments)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ch := cosi.Challenge(aggV, aggPub, record)
+				responses := make([]*big.Int, n)
+				for j := 0; j < n; j++ {
+					responses[j], err = cosi.Respond(privs[j], &secrets[j], ch)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				aggR, err := cosi.AggregateResponses(responses)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !cosi.Verify(aggPub, record, cosi.Finalize(ch, aggR)) {
+					b.Fatal("invalid signature")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoSiVerify measures verification alone — the cost a client or
+// auditor pays per block, which CoSi keeps equal to one Schnorr signature
+// regardless of the signer count (paper §2.2).
+func BenchmarkCoSiVerify(b *testing.B) {
+	record := []byte("block signing bytes")
+	for _, n := range []int{3, 9} {
+		b.Run(fmt.Sprintf("signers=%d", n), func(b *testing.B) {
+			privs := make([]*schnorr.PrivateKey, n)
+			pubs := make([]schnorr.PublicKey, n)
+			commitments := make([]cosi.Commitment, n)
+			secrets := make([]cosi.Secret, n)
+			for i := range privs {
+				priv, _ := schnorr.GenerateKey(nil)
+				privs[i] = priv
+				pubs[i] = priv.Public
+				commitments[i], secrets[i], _ = cosi.Commit(nil)
+			}
+			aggPub, _ := cosi.AggregatePublicKeys(pubs)
+			aggV, _ := cosi.AggregateCommitments(commitments)
+			ch := cosi.Challenge(aggV, aggPub, record)
+			responses := make([]*big.Int, n)
+			for i := range privs {
+				responses[i], _ = cosi.Respond(privs[i], &secrets[i], ch)
+			}
+			aggR, _ := cosi.AggregateResponses(responses)
+			sig := cosi.Finalize(ch, aggR)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !cosi.Verify(aggPub, record, sig) {
+					b.Fatal("invalid")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBlockEncode measures the canonical encoding of a 100-transaction
+// block — the bytes every challenge, signature and hash pointer covers.
+func BenchmarkBlockEncode(b *testing.B) {
+	block := &ledger.Block{Height: 42, PrevHash: make([]byte, 32)}
+	for i := 0; i < 100; i++ {
+		rec := ledger.TxnRecord{
+			TxnID: fmt.Sprintf("c0001-t%d", i),
+			TS:    txn.Timestamp{Time: uint64(i + 1), ClientID: 1},
+		}
+		for j := 0; j < 3; j++ {
+			rec.Reads = append(rec.Reads, txn.ReadEntry{
+				ID: txn.ItemID(fmt.Sprintf("k%06d", i*5+j)), Value: []byte("0123456789abcdef"),
+			})
+		}
+		for j := 0; j < 2; j++ {
+			rec.Writes = append(rec.Writes, txn.WriteEntry{
+				ID: txn.ItemID(fmt.Sprintf("k%06d", i*5+3+j)), NewVal: []byte("0123456789abcdef"),
+			})
+		}
+		block.Txns = append(block.Txns, rec)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = block.SigningBytes()
+	}
+}
+
+// BenchmarkBlockHash measures the chaining hash over a 100-txn block.
+func BenchmarkBlockHash(b *testing.B) {
+	block := &ledger.Block{Height: 7, PrevHash: make([]byte, 32)}
+	for i := 0; i < 100; i++ {
+		block.Txns = append(block.Txns, ledger.TxnRecord{
+			TxnID: fmt.Sprintf("t%d", i), TS: txn.Timestamp{Time: uint64(i + 1), ClientID: 1},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = block.Hash()
+	}
+}
+
+// BenchmarkEnvelopeSealOpen measures the per-message authentication cost
+// every Fides message pays (paper §3.1).
+func BenchmarkEnvelopeSealOpen(b *testing.B) {
+	reg := identity.NewRegistry()
+	ident, err := identity.New("s00", identity.RoleServer, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg.Register(ident.Public())
+	payload := make([]byte, 512)
+	if _, err := rand.Read(payload); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("seal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = identity.Seal(ident, payload)
+		}
+	})
+	env := identity.Seal(ident, payload)
+	b.Run("open", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Open(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLocalTransportCall measures one signed request/response over the
+// in-process network with no simulated latency — the framing floor under
+// every protocol phase.
+func BenchmarkLocalTransportCall(b *testing.B) {
+	net := transport.NewLocalNetwork(0)
+	reg := identity.NewRegistry()
+	identA, _ := identity.New("a", identity.RoleClient, nil)
+	identB, _ := identity.New("b", identity.RoleServer, nil)
+	reg.Register(identA.Public())
+	reg.Register(identB.Public())
+	net.Endpoint(identB, reg, transport.HandlerFunc(
+		func(_ context.Context, _ identity.NodeID, msg transport.Message) (transport.Message, error) {
+			return msg, nil
+		}))
+	a := net.Endpoint(identA, reg, nil)
+	msg, _ := transport.NewMessage("echo", "payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Call(context.Background(), "b", msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAuditReplay measures the auditor's log replay cost as the log
+// grows — the offline audit of §3.3 over committed history.
+func BenchmarkAuditReplay(b *testing.B) {
+	for _, blocks := range []int{10, 50} {
+		b.Run(fmt.Sprintf("blocks=%d", blocks), func(b *testing.B) {
+			cluster, err := core.NewCluster(core.Config{
+				NumServers: 3, ItemsPerShard: 256, BatchSize: 4,
+				BatchWait: 500 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			ctx := context.Background()
+			cl, err := cluster.NewClient()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for cluster.ServerAt(0).Log().Len() < blocks {
+				s := cl.Begin()
+				item := core.ItemName(cluster.ServerAt(0).Log().Len()%3, cluster.ServerAt(0).Log().Len()%11)
+				if _, err := s.Read(ctx, item); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Write(ctx, item, []byte("v")); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			auditor, err := cluster.NewAuditor()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				report, err := auditor.Run(ctx, AuditOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.Clean() {
+					b.Fatalf("dirty audit: %v", report.Findings)
+				}
+			}
+		})
+	}
+}

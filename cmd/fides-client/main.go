@@ -1,0 +1,155 @@
+// Command fides-client drives a multi-process Fides deployment: it runs
+// read-modify-write transactions against the TCP servers started with
+// cmd/fides-server and optionally finishes with a full audit.
+//
+//	fides-client -deployment deployment.json -txns 20 -audit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/client"
+	"repro/internal/deploy"
+	"repro/internal/identity"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		deploymentPath = flag.String("deployment", "deployment.json", "deployment descriptor")
+		txns           = flag.Int("txns", 10, "transactions to commit")
+		opsPerTxn      = flag.Int("ops", 5, "operations per transaction")
+		runAudit       = flag.Bool("audit", false, "run a full audit afterwards")
+		seed           = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*deploymentPath, *txns, *opsPerTxn, *runAudit, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "fides-client: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, txns, opsPerTxn int, runAudit bool, seed int64) error {
+	d, err := deploy.Load(path)
+	if err != nil {
+		return err
+	}
+	if len(d.Clients) < 2 {
+		return fmt.Errorf("deployment needs at least 2 client identities (workload + auditor)")
+	}
+	reg, err := d.Registry()
+	if err != nil {
+		return err
+	}
+	dir := d.Directory()
+
+	newNode := func(kf identity.KeyFile) (*identity.Identity, *transport.TCPNode, error) {
+		ident, err := identity.Import(kf)
+		if err != nil {
+			return nil, nil, err
+		}
+		node, err := transport.NewTCPNode(ident, reg, "127.0.0.1:0", nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, s := range d.Servers {
+			node.SetAddress(s.Keys.ID, s.Addr)
+		}
+		return ident, node, nil
+	}
+
+	ident, node, err := newNode(d.Clients[0])
+	if err != nil {
+		return err
+	}
+	defer func() { _ = node.Close() }()
+
+	cl, err := client.New(client.Config{
+		Identity:    ident,
+		Registry:    reg,
+		Transport:   node,
+		Directory:   dir,
+		Coordinator: d.CoordinatorID(),
+		ClientID:    1,
+	})
+	if err != nil {
+		return err
+	}
+
+	gen, err := workload.New(workload.Config{Items: dir.Items(), OpsPerTxn: opsPerTxn, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	committed := 0
+	start := time.Now()
+	for committed < txns {
+		plan := gen.Next()
+		s := cl.Begin()
+		for _, op := range plan.Ops {
+			switch op.Kind {
+			case workload.OpRead:
+				if _, err := s.Read(ctx, op.Item); err != nil {
+					return err
+				}
+			case workload.OpWrite:
+				if err := s.Write(ctx, op.Item, op.Value); err != nil {
+					return err
+				}
+			}
+		}
+		res, err := s.Commit(ctx)
+		if err != nil {
+			return err
+		}
+		if res.Committed {
+			committed++
+			fmt.Printf("txn %s committed at %s in block %d\n", s.ID(), res.TS, res.Block.Height)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d transactions committed in %v (%.0f tps)\n",
+		committed, elapsed.Round(time.Millisecond), float64(committed)/elapsed.Seconds())
+
+	if !runAudit {
+		return nil
+	}
+	auditIdent, auditNode, err := newNode(d.Clients[1])
+	if err != nil {
+		return err
+	}
+	defer func() { _ = auditNode.Close() }()
+	auditor, err := audit.New(audit.Config{
+		Identity:    auditIdent,
+		Registry:    reg,
+		Transport:   auditNode,
+		Servers:     d.ServerIDs(),
+		Directory:   dir,
+		Coordinator: d.CoordinatorID(),
+	})
+	if err != nil {
+		return err
+	}
+	report, err := auditor.Run(ctx, audit.Options{
+		CheckDatastore: true,
+		Exhaustive:     d.MultiVersion,
+		MultiVersion:   d.MultiVersion,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("audit: clean=%v over %d blocks (authoritative log from %s)\n",
+		report.Clean(), len(report.Authoritative), report.AuthoritativeFrom)
+	for _, f := range report.Findings {
+		fmt.Printf("  %s\n", f)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Command fides-server runs one Fides database server as its own process,
+// speaking the signed TCP wire protocol. Server 0 of the deployment is the
+// designated coordinator (paper §4.1) and additionally runs the TFCommit
+// termination service.
+//
+//	fides-server -deployment deployment.json -index 0
+//
+// See cmd/fides-keygen for generating a deployment and cmd/fides-client
+// for driving it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/tfcommit"
+	"repro/internal/transport"
+	"repro/internal/txn"
+)
+
+func main() {
+	var (
+		deploymentPath = flag.String("deployment", "deployment.json", "deployment descriptor")
+		index          = flag.Int("index", 0, "this server's index in the deployment")
+	)
+	flag.Parse()
+	if err := run(*deploymentPath, *index); err != nil {
+		fmt.Fprintf(os.Stderr, "fides-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, index int) error {
+	d, err := deploy.Load(path)
+	if err != nil {
+		return err
+	}
+	if index < 0 || index >= len(d.Servers) {
+		return fmt.Errorf("index %d out of range (%d servers)", index, len(d.Servers))
+	}
+	spec := d.Servers[index]
+	ident, err := identity.Import(spec.Keys)
+	if err != nil {
+		return err
+	}
+	reg, err := d.Registry()
+	if err != nil {
+		return err
+	}
+	dir := d.Directory()
+
+	items := make([]txn.ItemID, d.ItemsPerShard)
+	for j := 0; j < d.ItemsPerShard; j++ {
+		items[j] = core.ItemName(index, j)
+	}
+	shard := store.NewShard(items, func(txn.ItemID) []byte { return []byte("0") },
+		store.Config{MultiVersion: d.MultiVersion})
+
+	srv, err := server.New(server.Config{
+		Identity:  ident,
+		Registry:  reg,
+		Directory: dir,
+		Shard:     shard,
+	})
+	if err != nil {
+		return err
+	}
+
+	node, err := transport.NewTCPNode(ident, reg, spec.Addr, srv)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = node.Close() }()
+	for _, s := range d.Servers {
+		node.SetAddress(s.Keys.ID, s.Addr)
+	}
+
+	if index == 0 {
+		coord, err := tfcommit.New(tfcommit.Config{
+			Identity:  ident,
+			Registry:  reg,
+			Transport: node,
+			Servers:   d.ServerIDs(),
+			Local:     srv,
+		})
+		if err != nil {
+			return err
+		}
+		batcher := core.NewBatcher(coreCommitter{coord}, reg, d.BatchSize, 5*time.Millisecond)
+		defer batcher.Close()
+		srv.SetTerminator(batcher)
+		fmt.Printf("server %s (coordinator) listening on %s\n", ident.ID, node.Addr())
+	} else {
+		fmt.Printf("server %s listening on %s\n", ident.ID, node.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("server %s shutting down (%d blocks logged)\n", ident.ID, srv.Log().Len())
+	return nil
+}
+
+// coreCommitter adapts the TFCommit coordinator to the batcher interface.
+type coreCommitter struct{ c *tfcommit.Coordinator }
+
+func (a coreCommitter) CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*ledger.Block, bool, []int, error) {
+	res, err := a.c.CommitBlock(ctx, txns, envs)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return res.Block, res.Committed, res.FailedTxns, nil
+}

@@ -1,0 +1,76 @@
+// Command fidesbench regenerates the paper's evaluation (§6): one table
+// per figure, printed with the same series the paper plots.
+//
+//	fidesbench -exp fig12      # 2PC vs TFCommit, servers 3..7, 1 txn/block
+//	fidesbench -exp fig13      # txns per block 2..120, 5 servers
+//	fidesbench -exp fig14      # servers 3..9, 100 txn/block, MHT time
+//	fidesbench -exp fig15      # items per shard 1k..10k
+//	fidesbench -exp all        # everything
+//
+// The paper runs 1000 client requests per data point, averaged over 3
+// runs; -requests and -runs scale that down for quick passes. -latency
+// sets the simulated one-way network latency standing in for the paper's
+// intra-datacenter EC2 network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig12, fig13, fig14, fig15, or all")
+		requests = flag.Int("requests", 1000, "client transactions per data point (paper: 1000)")
+		runs     = flag.Int("runs", 3, "runs averaged per data point (paper: 3)")
+		latency  = flag.Duration("latency", 250*time.Microsecond, "simulated one-way network latency")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Requests:       *requests,
+		Runs:           *runs,
+		NetworkLatency: *latency,
+		Seed:           *seed,
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig12":
+			_, err := bench.Fig12(os.Stdout, opts)
+			return err
+		case "fig13":
+			_, err := bench.Fig13(os.Stdout, opts)
+			return err
+		case "fig14":
+			_, err := bench.Fig14(os.Stdout, opts)
+			return err
+		case "fig15":
+			_, err := bench.Fig15(os.Stdout, opts)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = []string{"fig12", "fig13", "fig14", "fig15"}
+	} else {
+		names = []string{*exp}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "fidesbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

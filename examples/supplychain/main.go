@@ -1,0 +1,158 @@
+// Command supplychain models the paper's motivating blockchain use case
+// (§1, [23]): a supply chain whose stages are operated by mutually
+// distrusting administrative domains — a grower, a shipper, and a
+// retailer — each hosting one shard of the shared database on its own
+// (untrusted) infrastructure.
+//
+// Lots move through the chain via distributed transactions that update the
+// custody record on one domain's shard and the stage ledger on another's.
+// No domain trusts any other, yet TFCommit gives every participant a
+// collectively signed, hash-chained record of every hand-off, and any
+// domain (or an external regulator) can audit the full history at any
+// time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	fides "repro"
+)
+
+const (
+	growerShard   = 0
+	shipperShard  = 1
+	retailerShard = 2
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	cluster, err := fides.NewCluster(fides.Config{
+		NumServers:    3,
+		ItemsPerShard: 200,
+		BatchSize:     2,
+		MultiVersion:  true,
+		InitialValue:  func(fides.ItemID) []byte { return []byte("-") },
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// Each domain runs its own client against its own (and its partners')
+	// shards.
+	grower, err := cluster.NewClient()
+	if err != nil {
+		return err
+	}
+	shipper, err := cluster.NewClient()
+	if err != nil {
+		return err
+	}
+	retailer, err := cluster.NewClient()
+	if err != nil {
+		return err
+	}
+
+	// A lot is tracked by three records, one per domain:
+	//   grower shard:   harvest record
+	//   shipper shard:  custody record
+	//   retailer shard: shelf record
+	lot := func(i int) (harvest, custody, shelf fides.ItemID) {
+		return fides.ItemName(growerShard, i), fides.ItemName(shipperShard, i), fides.ItemName(retailerShard, i)
+	}
+
+	move := func(cl *fides.Client, stage string, reads []fides.ItemID, writes map[fides.ItemID]string) error {
+		for attempt := 0; attempt < 5; attempt++ {
+			s := cl.Begin()
+			for _, id := range reads {
+				if _, err := s.Read(ctx, id); err != nil {
+					return err
+				}
+			}
+			for id, v := range writes {
+				if err := s.Write(ctx, id, []byte(v)); err != nil {
+					return err
+				}
+			}
+			res, err := s.Commit(ctx)
+			if err != nil {
+				return err
+			}
+			if res.Committed {
+				fmt.Printf("%-22s block=%d ts=%s co-signed ✓\n", stage, res.Block.Height, res.TS)
+				return nil
+			}
+		}
+		return fmt.Errorf("stage %q could not commit", stage)
+	}
+
+	for i := 1; i <= 3; i++ {
+		harvest, custody, shelf := lot(i)
+		lotID := fmt.Sprintf("lot-%03d", i)
+
+		// Grower registers the harvest.
+		if err := move(grower, lotID+" harvested", nil,
+			map[fides.ItemID]string{harvest: "harvested:" + lotID}); err != nil {
+			return err
+		}
+		// Shipper takes custody: reads the harvest record (cross-domain
+		// read) and writes its own custody record.
+		if err := move(shipper, lotID+" in transit",
+			[]fides.ItemID{harvest},
+			map[fides.ItemID]string{custody: "in-transit:" + lotID}); err != nil {
+			return err
+		}
+		// Retailer receives: reads custody, stocks the shelf, and closes
+		// out the custody record — one atomic cross-domain transaction.
+		if err := move(retailer, lotID+" on shelf",
+			[]fides.ItemID{custody},
+			map[fides.ItemID]string{
+				shelf:   "on-shelf:" + lotID,
+				custody: "delivered:" + lotID,
+			}); err != nil {
+			return err
+		}
+	}
+
+	// Dispute resolution: the shipper claims lot-002 was delivered; the
+	// retailer disputes it. Instead of trusting either party, a regulator
+	// audits the collectively signed history.
+	_, custody2, _ := lot(2)
+	regulatorView := ""
+	report, err := cluster.Audit(ctx, fides.AuditOptions{
+		CheckDatastore: true, Exhaustive: true, MultiVersion: true,
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range report.Authoritative {
+		for _, tr := range b.Txns {
+			for _, w := range tr.Writes {
+				if w.ID == custody2 {
+					regulatorView = string(w.NewVal)
+				}
+			}
+		}
+	}
+	fmt.Printf("\nregulator audit: clean=%v over %d blocks; custody(%s) = %q\n",
+		report.Clean(), len(report.Authoritative), custody2, regulatorView)
+	if !report.Clean() {
+		for _, f := range report.Findings {
+			fmt.Printf("  %s\n", f)
+		}
+		return fmt.Errorf("audit found anomalies in an honest run")
+	}
+
+	// The signed log itself settles the dispute: its blocks cannot be
+	// forged, reordered, or truncated without detection (Lemmas 6–7).
+	fmt.Println("dispute settled from the tamper-proof log, no trusted third party involved ✓")
+	return nil
+}

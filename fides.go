@@ -1,0 +1,158 @@
+// Package fides is a from-scratch Go implementation of Fides, the
+// auditable data management system for untrusted infrastructure of
+//
+//	Maiyya, Cho, Agrawal, El Abbadi.
+//	"Fides: Managing Data on Untrusted Infrastructure." ICDCS 2020.
+//
+// Fides stores sharded data on mutually untrusted database servers and
+// terminates distributed transactions with TFCommit, a trust-free atomic
+// commitment protocol that fuses Two-Phase Commit with CoSi collective
+// signing. Every commit decision is bound into a hash-chained,
+// collectively signed, globally replicated log; an external auditor can
+// later verify the full ACID behavior of every server (v-ACID) and
+// irrefutably identify misbehaving servers — without Byzantine
+// replication, tolerating up to n−1 faulty servers.
+//
+// This package is the public facade over the implementation packages in
+// internal/: it exposes cluster assembly, clients, the auditor, fault
+// injection, and the experiment harness used to regenerate the paper's
+// evaluation. The quickest start:
+//
+//	cluster, err := fides.NewCluster(fides.Config{NumServers: 5})
+//	defer cluster.Close()
+//	client, err := cluster.NewClient()
+//	s := client.Begin()
+//	v, err := s.Read(ctx, fides.ItemName(0, 7))
+//	err = s.Write(ctx, fides.ItemName(1, 3), []byte("42"))
+//	res, err := s.Commit(ctx) // res.Block is collectively signed
+//	report, err := cluster.Audit(ctx, fides.AuditOptions{CheckDatastore: true})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure.
+package fides
+
+import (
+	"repro/internal/audit"
+	"repro/internal/bench"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/server"
+	"repro/internal/tfcommit"
+	"repro/internal/txn"
+)
+
+// Core deployment types.
+type (
+	// Cluster is a running Fides deployment: n untrusted servers, a
+	// designated coordinator, and the shared key registry.
+	Cluster = core.Cluster
+	// Config describes a cluster (servers, shard sizes, batch size,
+	// protocol, simulated network latency, fault injection).
+	Config = core.Config
+	// Protocol selects the commitment protocol.
+	Protocol = core.Protocol
+	// Directory maps items to the servers storing them.
+	Directory = core.Directory
+)
+
+// Client-side types.
+type (
+	// Client executes transactions (paper §4.1, Figure 5).
+	Client = client.Client
+	// Session is one in-flight transaction.
+	Session = client.Session
+	// CommitResult is a termination outcome with its signed block.
+	CommitResult = client.CommitResult
+)
+
+// Audit types (paper §3.3, §4.5, Theorem 1).
+type (
+	// Auditor verifies a deployment from its logs, VOs and datastores.
+	Auditor = audit.Auditor
+	// Report is the outcome of an audit run.
+	Report = audit.Report
+	// Finding is one detected anomaly with the implicated server(s).
+	Finding = audit.Finding
+	// FindingType classifies findings.
+	FindingType = audit.FindingType
+	// AuditOptions tunes an audit run.
+	AuditOptions = audit.Options
+)
+
+// Fault-injection types (paper §3.2, §5).
+type (
+	// ServerFaults configures one server's malicious behavior.
+	ServerFaults = server.Faults
+	// CoordinatorFaults configures coordinator misbehavior.
+	CoordinatorFaults = tfcommit.Faults
+	// TamperSpec describes a post-hoc log mutation.
+	TamperSpec = server.TamperSpec
+)
+
+// Data model types.
+type (
+	// NodeID names a server or client.
+	NodeID = identity.NodeID
+	// ItemID names a data item.
+	ItemID = txn.ItemID
+	// Timestamp is a Lamport-style commit timestamp.
+	Timestamp = txn.Timestamp
+	// Transaction is a terminated unit of work.
+	Transaction = txn.Transaction
+	// Block is one entry of the tamper-proof log (paper Table 1).
+	Block = ledger.Block
+)
+
+// Benchmark harness types (paper §6).
+type (
+	// BenchConfig describes one experimental data point.
+	BenchConfig = bench.RunConfig
+	// BenchMetrics is the outcome of one experimental run.
+	BenchMetrics = bench.Metrics
+	// BenchOptions scales a figure sweep.
+	BenchOptions = bench.Options
+)
+
+// Protocols.
+const (
+	// ProtocolTFCommit is the paper's trust-free commitment protocol.
+	ProtocolTFCommit = core.ProtocolTFCommit
+	// ProtocolTwoPC is the trusted 2PC baseline of §6.1.
+	ProtocolTwoPC = core.ProtocolTwoPC
+)
+
+// Finding types an audit can report.
+const (
+	FindingTamperedLog         = audit.FindingTamperedLog
+	FindingReorderedLog        = audit.FindingReorderedLog
+	FindingIncompleteLog       = audit.FindingIncompleteLog
+	FindingForkedLog           = audit.FindingForkedLog
+	FindingIncorrectRead       = audit.FindingIncorrectRead
+	FindingStaleTimestamp      = audit.FindingStaleTimestamp
+	FindingSerializability     = audit.FindingSerializability
+	FindingDatastoreCorruption = audit.FindingDatastoreCorruption
+	FindingUnauditable         = audit.FindingUnauditable
+)
+
+// NewCluster builds and starts a Fides deployment.
+func NewCluster(cfg Config) (*Cluster, error) {
+	return core.NewCluster(cfg)
+}
+
+// ItemName returns the canonical id of item i in shard s, matching the
+// naming NewCluster uses to populate shards.
+func ItemName(shard, i int) ItemID {
+	return core.ItemName(shard, i)
+}
+
+// ServerName returns the canonical id of the i-th server of a cluster.
+func ServerName(i int) NodeID {
+	return core.ServerName(i)
+}
+
+// RunBench executes one benchmark data point (workload of paper §6).
+func RunBench(cfg BenchConfig) (*BenchMetrics, error) {
+	return bench.Run(cfg)
+}

@@ -1,0 +1,168 @@
+package fides_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	fides "repro"
+)
+
+// TestPublicAPIEndToEnd exercises the library exactly as the README's
+// quickstart does: cluster up, transact, verify, audit — through the public
+// facade only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cluster, err := fides.NewCluster(fides.Config{
+		NumServers:    4,
+		ItemsPerShard: 64,
+		BatchSize:     2,
+		BatchWait:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := client.Begin()
+	x := fides.ItemName(0, 1)
+	y := fides.ItemName(2, 3)
+	if _, err := s.Read(ctx, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, x, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, y, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.Block == nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if err := client.VerifyBlock(res.Block); err != nil {
+		t.Fatalf("client-side block verification: %v", err)
+	}
+
+	report, err := cluster.Audit(ctx, fides.AuditOptions{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("findings: %v", report.Findings)
+	}
+}
+
+// TestPublicAPIFaultInjection verifies the exported fault-injection surface
+// drives the same detection pipeline as the internals.
+func TestPublicAPIFaultInjection(t *testing.T) {
+	cluster, err := fides.NewCluster(fides.Config{
+		NumServers:    3,
+		ItemsPerShard: 16,
+		BatchSize:     1,
+		BatchWait:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := fides.ItemName(1, 2)
+	commit := func(val string) {
+		t.Helper()
+		for attempt := 0; attempt < 5; attempt++ {
+			s := client.Begin()
+			if _, err := s.Read(ctx, target); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Write(ctx, target, []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Commit(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed {
+				return
+			}
+		}
+		t.Fatal("could not commit")
+	}
+	commit("honest")
+	cluster.Server(fides.ServerName(1)).SetFaults(fides.ServerFaults{StaleReads: true})
+	commit("poisoned")
+
+	report, err := cluster.Audit(ctx, fides.AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.ByType(fides.FindingIncorrectRead)) == 0 {
+		t.Fatalf("findings: %v", report.Findings)
+	}
+	if !report.Implicates(fides.ServerName(1)) {
+		t.Fatal("s01 not implicated")
+	}
+}
+
+// TestPublicAPITwoPCBaseline exercises the exported 2PC protocol switch.
+func TestPublicAPITwoPCBaseline(t *testing.T) {
+	cluster, err := fides.NewCluster(fides.Config{
+		NumServers:    3,
+		ItemsPerShard: 16,
+		BatchSize:     1,
+		BatchWait:     time.Millisecond,
+		Protocol:      fides.ProtocolTwoPC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := client.Begin()
+	if err := s.Write(ctx, fides.ItemName(0, 0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Commit(ctx)
+	if err != nil || !res.Committed {
+		t.Fatalf("2pc commit: %v %+v", err, res)
+	}
+	item, err := cluster.ServerAt(0).Shard().Get(fides.ItemName(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(item.Value, []byte("x")) {
+		t.Fatalf("value = %q", item.Value)
+	}
+}
+
+// TestPublicAPIBench exercises the exported benchmark entry point.
+func TestPublicAPIBench(t *testing.T) {
+	m, err := fides.RunBench(fides.BenchConfig{
+		Servers: 3, ItemsPerShard: 64, Batch: 4, Requests: 12,
+		NetworkLatency: 20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Committed != 12 || m.ThroughputTPS <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}

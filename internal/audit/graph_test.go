@@ -1,0 +1,106 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/txn"
+)
+
+func graphBlock(height uint64, recs ...ledger.TxnRecord) *ledger.Block {
+	return &ledger.Block{Height: height, Decision: ledger.DecisionCommit, Txns: recs}
+}
+
+func readRec(id string, at uint64, items ...txn.ItemID) ledger.TxnRecord {
+	rec := ledger.TxnRecord{TxnID: id, TS: ts(at)}
+	for _, it := range items {
+		rec.Reads = append(rec.Reads, txn.ReadEntry{ID: it})
+	}
+	return rec
+}
+
+func writeRec(id string, at uint64, items ...txn.ItemID) ledger.TxnRecord {
+	rec := ledger.TxnRecord{TxnID: id, TS: ts(at)}
+	for _, it := range items {
+		rec.Writes = append(rec.Writes, txn.WriteEntry{ID: it, NewVal: []byte("v")})
+	}
+	return rec
+}
+
+func TestGraphNoEdgesForReadRead(t *testing.T) {
+	g := buildSerializationGraph([]*ledger.Block{
+		graphBlock(0, readRec("t1", 1, "x")),
+		graphBlock(1, readRec("t2", 2, "x")),
+	})
+	if len(g.edges) != 0 {
+		t.Fatalf("read-read produced %d edges", len(g.edges))
+	}
+}
+
+func TestGraphEdgesFollowTimestampOrder(t *testing.T) {
+	g := buildSerializationGraph([]*ledger.Block{
+		graphBlock(0, writeRec("t1", 5, "x")),
+		graphBlock(1, writeRec("t2", 3, "x")), // committed later, smaller ts
+	})
+	if len(g.edges) != 1 {
+		t.Fatalf("edges = %d, want 1", len(g.edges))
+	}
+	e := g.edges[0]
+	// Edge direction: smaller ts (t2) → larger ts (t1).
+	if g.nodes[e.from].id != "t2" || g.nodes[e.to].id != "t1" {
+		t.Errorf("edge %s→%s, want t2→t1", g.nodes[e.from].id, g.nodes[e.to].id)
+	}
+}
+
+func TestGraphDetectsDuplicateTimestamps(t *testing.T) {
+	g := buildSerializationGraph([]*ledger.Block{
+		graphBlock(0, writeRec("t1", 5, "x")),
+		graphBlock(1, writeRec("t2", 5, "x")),
+	})
+	if len(g.duplicateTS) != 1 {
+		t.Fatalf("duplicateTS = %d, want 1", len(g.duplicateTS))
+	}
+}
+
+func TestCheckSerializationGraphFlagsBackEdge(t *testing.T) {
+	a := testAuditor()
+	report := &Report{Authoritative: []*ledger.Block{
+		graphBlock(0, writeRec("t1", 5, "x")),
+		graphBlock(1, writeRec("t2", 3, "x")),
+	}}
+	a.checkSerializationGraph(report)
+	found := report.ByType(FindingSerializability)
+	if len(found) == 0 {
+		t.Fatal("back edge not flagged")
+	}
+	if found[0].Item != "x" {
+		t.Errorf("finding item = %s", found[0].Item)
+	}
+}
+
+func TestCheckSerializationGraphCleanOrder(t *testing.T) {
+	a := testAuditor()
+	report := &Report{Authoritative: []*ledger.Block{
+		graphBlock(0, writeRec("t1", 1, "x"), readRec("t1b", 2, "y")),
+		graphBlock(1, readRec("t2", 3, "x")),
+		graphBlock(2, writeRec("t3", 4, "x", "y")),
+	}}
+	a.checkSerializationGraph(report)
+	if len(report.Findings) != 0 {
+		t.Fatalf("clean order flagged: %v", report.Findings)
+	}
+}
+
+func TestGraphMixedConflicts(t *testing.T) {
+	// WR and RW conflicts both create edges.
+	g := buildSerializationGraph([]*ledger.Block{
+		graphBlock(0, readRec("r", 2, "x")),
+		graphBlock(1, writeRec("w", 4, "x")),
+	})
+	if len(g.edges) != 1 {
+		t.Fatalf("edges = %d, want 1 (read→write)", len(g.edges))
+	}
+	if g.nodes[g.edges[0].from].id != "r" {
+		t.Errorf("edge should start at the earlier-ts reader")
+	}
+}

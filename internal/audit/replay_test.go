@@ -1,0 +1,232 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+type mapDir map[txn.ItemID]identity.NodeID
+
+func (d mapDir) Owner(id txn.ItemID) (identity.NodeID, bool) {
+	o, ok := d[id]
+	return o, ok
+}
+
+// testAuditor builds an auditor wired only for offline (replay) checks.
+func testAuditor() *Auditor {
+	return &Auditor{
+		dir: mapDir{
+			"x": "s0", "y": "s0",
+			"u": "s1", "v": "s1",
+		},
+		coord:   "s0",
+		servers: []identity.NodeID{"s0", "s1"},
+	}
+}
+
+func ts(t uint64) txn.Timestamp { return txn.Timestamp{Time: t, ClientID: 1} }
+
+// chainBlocks links the given blocks with hash pointers and heights.
+func chainBlocks(blocks ...*ledger.Block) []*ledger.Block {
+	var prev []byte
+	for i, b := range blocks {
+		b.Height = uint64(i)
+		b.PrevHash = prev
+		if b.Decision == 0 {
+			b.Decision = ledger.DecisionCommit
+		}
+		prev = b.Hash()
+	}
+	return blocks
+}
+
+func writeBlock(id string, at uint64, item txn.ItemID, oldVal, newVal string, oldTS txn.Timestamp) *ledger.Block {
+	return &ledger.Block{
+		Txns: []ledger.TxnRecord{{
+			TxnID: id, TS: ts(at),
+			Writes: []txn.WriteEntry{{
+				ID: item, NewVal: []byte(newVal), OldVal: []byte(oldVal),
+				Blind: true, RTS: oldTS, WTS: oldTS,
+			}},
+		}},
+	}
+}
+
+func readBlock(id string, at uint64, item txn.ItemID, seen string, rts, wts txn.Timestamp) *ledger.Block {
+	return &ledger.Block{
+		Txns: []ledger.TxnRecord{{
+			TxnID: id, TS: ts(at),
+			Reads: []txn.ReadEntry{{ID: item, Value: []byte(seen), RTS: rts, WTS: wts}},
+		}},
+	}
+}
+
+func TestReplayCleanHistory(t *testing.T) {
+	a := testAuditor()
+	report := &Report{Authoritative: chainBlocks(
+		writeBlock("t1", 10, "x", "0", "one", txn.Timestamp{}),
+		readBlock("t2", 20, "x", "one", txn.Timestamp{}, ts(10)),
+		writeBlock("t3", 30, "x", "one", "three", ts(10)),
+	)}
+	// t3's observed pre-write wts must be ts(10).
+	report.Authoritative[2].Txns[0].Writes[0].WTS = ts(10)
+	a.replayLog(report)
+	if len(report.Findings) != 0 {
+		t.Fatalf("clean history produced findings: %v", report.Findings)
+	}
+}
+
+func TestReplayDetectsIncorrectRead(t *testing.T) {
+	a := testAuditor()
+	report := &Report{Authoritative: chainBlocks(
+		writeBlock("t1", 10, "x", "0", "fresh", txn.Timestamp{}),
+		readBlock("t2", 20, "x", "stale", txn.Timestamp{}, ts(10)),
+	)}
+	a.replayLog(report)
+	found := report.ByType(FindingIncorrectRead)
+	if len(found) != 1 {
+		t.Fatalf("findings = %v", report.Findings)
+	}
+	f := found[0]
+	if f.Item != "x" || f.TxnID != "t2" || f.Height != 1 {
+		t.Errorf("finding misattributed: %+v", f)
+	}
+	if len(f.Servers) != 1 || f.Servers[0] != "s0" {
+		t.Errorf("finding implicates %v, want [s0] (owner of x)", f.Servers)
+	}
+}
+
+func TestReplayDetectsStaleTimestamp(t *testing.T) {
+	a := testAuditor()
+	report := &Report{Authoritative: chainBlocks(
+		writeBlock("t1", 10, "x", "0", "one", txn.Timestamp{}),
+		// Correct value but a wts that lies about the writer.
+		readBlock("t2", 20, "x", "one", txn.Timestamp{}, ts(4)),
+	)}
+	a.replayLog(report)
+	if len(report.ByType(FindingStaleTimestamp)) == 0 {
+		t.Fatalf("findings = %v", report.Findings)
+	}
+}
+
+func TestReplayDetectsTimestampOrderViolation(t *testing.T) {
+	a := testAuditor()
+	report := &Report{Authoritative: chainBlocks(
+		writeBlock("t1", 50, "x", "0", "one", txn.Timestamp{}),
+		// Committed later but with a smaller timestamp.
+		writeBlock("t2", 20, "y", "0", "two", txn.Timestamp{}),
+	)}
+	a.replayLog(report)
+	if len(report.ByType(FindingSerializability)) == 0 {
+		t.Fatalf("findings = %v", report.Findings)
+	}
+}
+
+func TestReplayDetectsRWConflict(t *testing.T) {
+	a := testAuditor()
+	blocks := chainBlocks(
+		writeBlock("t1", 50, "x", "0", "one", txn.Timestamp{}),
+		readBlock("t2", 60, "x", "one", txn.Timestamp{}, ts(50)),
+	)
+	// Tamper the second txn's timestamp below the writer's: an RW conflict
+	// (read of a future write) plus a commit-order violation.
+	blocks[1].Txns[0].TS = ts(40)
+	report := &Report{Authoritative: blocks}
+	a.replayLog(report)
+	if len(report.ByType(FindingSerializability)) == 0 {
+		t.Fatalf("findings = %v", report.Findings)
+	}
+}
+
+func TestReplayDetectsIntraBlockConflict(t *testing.T) {
+	a := testAuditor()
+	b := &ledger.Block{
+		Txns: []ledger.TxnRecord{
+			{TxnID: "t1", TS: ts(10), Writes: []txn.WriteEntry{{ID: "x", NewVal: []byte("a"), Blind: true}}},
+			{TxnID: "t2", TS: ts(11), Writes: []txn.WriteEntry{{ID: "x", NewVal: []byte("b"), Blind: true}}},
+		},
+	}
+	report := &Report{Authoritative: chainBlocks(b)}
+	a.replayLog(report)
+	if len(report.ByType(FindingSerializability)) == 0 {
+		t.Fatalf("findings = %v", report.Findings)
+	}
+}
+
+func TestReplayFlagsLoggedAbort(t *testing.T) {
+	a := testAuditor()
+	b := writeBlock("t1", 10, "x", "0", "one", txn.Timestamp{})
+	b.Decision = ledger.DecisionAbort
+	report := &Report{Authoritative: chainBlocks(b)}
+	// chainBlocks only defaults unset decisions; force abort again.
+	report.Authoritative[0].Decision = ledger.DecisionAbort
+	a.replayLog(report)
+	if len(report.ByType(FindingTamperedLog)) == 0 {
+		t.Fatalf("logged abort block not flagged: %v", report.Findings)
+	}
+}
+
+func TestReplayDerivesDatastoreTargets(t *testing.T) {
+	a := testAuditor()
+	b := writeBlock("t1", 10, "x", "0", "one", txn.Timestamp{})
+	b.Roots = map[identity.NodeID][]byte{"s0": []byte("root-s0")}
+	report := &Report{Authoritative: chainBlocks(b)}
+	targets := a.replayLog(report)
+	if len(targets) != 1 {
+		t.Fatalf("targets = %d, want 1", len(targets))
+	}
+	tg := targets[0]
+	if tg.server != "s0" || tg.item != "x" || tg.height != 0 {
+		t.Errorf("target = %+v", tg)
+	}
+	// The expected leaf is derived purely from the log: value "one",
+	// rts unchanged (blind write), wts = commit ts.
+	want := store.LeafContent("x", []byte("one"), txn.Timestamp{}, ts(10))
+	if string(tg.leaf) != string(want) {
+		t.Errorf("leaf = %x, want %x", tg.leaf, want)
+	}
+}
+
+func TestLatestTargetPerServer(t *testing.T) {
+	targets := []dsTarget{
+		{server: "s0", height: 1},
+		{server: "s0", height: 5},
+		{server: "s1", height: 2},
+	}
+	latest := latestTargetPerServer(targets)
+	if len(latest) != 2 {
+		t.Fatalf("latest = %d entries", len(latest))
+	}
+	for _, tg := range latest {
+		if tg.server == "s0" && tg.height != 5 {
+			t.Errorf("s0 latest height = %d, want 5", tg.height)
+		}
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := &Report{Findings: []Finding{
+		{Type: FindingIncorrectRead, Height: 7, Servers: []identity.NodeID{"s1"}},
+		{Type: FindingTamperedLog, Height: 2, Servers: []identity.NodeID{"s0"}},
+		{Type: FindingUnauditable, Height: -1, Servers: []identity.NodeID{"s2"}},
+	}}
+	if r.Clean() {
+		t.Error("report with findings is clean")
+	}
+	if fv := r.FirstViolation(); fv == nil || fv.Height != 2 {
+		t.Errorf("first violation = %+v, want height 2", fv)
+	}
+	if !r.Implicates("s1") || r.Implicates("s9") {
+		t.Error("Implicates wrong")
+	}
+	if len(r.ByType(FindingTamperedLog)) != 1 {
+		t.Error("ByType wrong")
+	}
+	if (&Report{}).FirstViolation() != nil {
+		t.Error("empty report has a first violation")
+	}
+}

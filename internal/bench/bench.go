@@ -1,0 +1,277 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (§6): the Transactional-YCSB-like workload driver, the
+// parameter sweeps behind Figures 12–15, and the table printer that emits
+// the same series the paper plots.
+//
+// The absolute numbers differ from the paper's (Go vs Python, simulated
+// intra-DC latency vs EC2), but each figure's shape — who wins, by what
+// factor, and how the curves move with each parameter — is the
+// reproduction target; EXPERIMENTS.md records paper-vs-measured for every
+// figure.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// RunConfig describes one experimental data point.
+type RunConfig struct {
+	// Servers is the number of database servers / shards.
+	Servers int
+	// ItemsPerShard is the shard size (paper default 10000).
+	ItemsPerShard int
+	// Batch is the number of transactions per block.
+	Batch int
+	// Requests is the number of client transactions to commit (paper: 1000
+	// per run).
+	Requests int
+	// Clients is the number of concurrent client drivers (default scales
+	// with Batch so blocks fill).
+	Clients int
+	// OpsPerTxn is the operations per transaction (paper: 5).
+	OpsPerTxn int
+	// Protocol selects TFCommit (default) or 2PC.
+	Protocol core.Protocol
+	// NetworkLatency is the simulated one-way latency (default 250µs).
+	NetworkLatency time.Duration
+	// Seed makes the workload deterministic.
+	Seed int64
+}
+
+func (c *RunConfig) applyDefaults() {
+	if c.Servers <= 0 {
+		c.Servers = 5
+	}
+	if c.ItemsPerShard <= 0 {
+		c.ItemsPerShard = 10000
+	}
+	if c.Batch <= 0 {
+		c.Batch = 100
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.OpsPerTxn <= 0 {
+		c.OpsPerTxn = 5
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2 * c.Batch
+		if c.Clients < 16 {
+			c.Clients = 16
+		}
+		if c.Clients > c.Requests {
+			c.Clients = c.Requests
+		}
+	}
+	if c.Protocol == 0 {
+		c.Protocol = core.ProtocolTFCommit
+	}
+	if c.NetworkLatency == 0 {
+		c.NetworkLatency = 250 * time.Microsecond
+	}
+}
+
+// Metrics is the outcome of one experimental run.
+type Metrics struct {
+	Config RunConfig
+
+	// Committed, Aborted and Rejected count transaction outcomes; Aborted
+	// and Rejected attempts were retried until Committed reached
+	// Config.Requests.
+	Committed int
+	Aborted   int
+	Rejected  int
+
+	// Elapsed is the wall time of the measured phase.
+	Elapsed time.Duration
+	// ThroughputTPS is Committed / Elapsed — the paper's "transactions
+	// committed per second".
+	ThroughputTPS float64
+	// LatencyMS is the amortized per-transaction commit latency
+	// (Elapsed / Committed), the series the paper's latency curves track
+	// (see DESIGN.md §3).
+	LatencyMS float64
+	// EndToEndMS is the mean observed end_transaction→decision time.
+	EndToEndMS float64
+	// MHTUpdateMS is the mean per-block Merkle-tree update time across
+	// servers (Figure 14's third series).
+	MHTUpdateMS float64
+	// Blocks is the number of blocks committed.
+	Blocks int
+}
+
+// Run executes one experimental data point: it builds a cluster, drives
+// Requests transactions through concurrent clients, and aggregates the
+// metrics.
+func Run(cfg RunConfig) (*Metrics, error) {
+	cfg.applyDefaults()
+	cluster, err := core.NewCluster(core.Config{
+		NumServers:     cfg.Servers,
+		ItemsPerShard:  cfg.ItemsPerShard,
+		BatchSize:      cfg.Batch,
+		BatchWait:      2 * time.Millisecond,
+		NetworkLatency: cfg.NetworkLatency,
+		Protocol:       cfg.Protocol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	return drive(cluster, cfg)
+}
+
+// drive runs the workload phase against an existing cluster.
+func drive(cluster *core.Cluster, cfg RunConfig) (*Metrics, error) {
+	ctx := context.Background()
+	items := cluster.Directory().Items()
+	sharedTS := txn.NewSharedClock(1)
+
+	type result struct {
+		committed int
+		aborted   int
+		rejected  int
+		latencies []time.Duration
+		err       error
+	}
+
+	perClient := make([]int, cfg.Clients)
+	for i := 0; i < cfg.Requests; i++ {
+		perClient[i%cfg.Clients]++
+	}
+
+	start := time.Now()
+	results := make(chan result, cfg.Clients)
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		quota := perClient[ci]
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci, quota int) {
+			defer wg.Done()
+			res := result{}
+			defer func() { results <- res }()
+
+			cl, err := cluster.NewClientWithTS(sharedTS)
+			if err != nil {
+				res.err = err
+				return
+			}
+			gen, err := workload.New(workload.Config{
+				Items:     items,
+				OpsPerTxn: cfg.OpsPerTxn,
+				Seed:      cfg.Seed + int64(ci)*7919,
+			})
+			if err != nil {
+				res.err = err
+				return
+			}
+			for n := 0; n < quota; n++ {
+				plan := gen.Next()
+				lat, aborted, rejected, err := runPlan(ctx, cl, plan)
+				if err != nil {
+					res.err = err
+					return
+				}
+				res.committed++
+				res.aborted += aborted
+				res.rejected += rejected
+				res.latencies = append(res.latencies, lat)
+			}
+		}(ci, quota)
+	}
+	wg.Wait()
+	close(results)
+
+	m := &Metrics{Config: cfg}
+	var latSum time.Duration
+	var latN int
+	for r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("bench: workload driver: %w", r.err)
+		}
+		m.Committed += r.committed
+		m.Aborted += r.aborted
+		m.Rejected += r.rejected
+		for _, l := range r.latencies {
+			latSum += l
+			latN++
+		}
+	}
+	m.Elapsed = time.Since(start)
+	if m.Committed > 0 {
+		m.ThroughputTPS = float64(m.Committed) / m.Elapsed.Seconds()
+		m.LatencyMS = m.Elapsed.Seconds() * 1000 / float64(m.Committed)
+	}
+	if latN > 0 {
+		m.EndToEndMS = (latSum / time.Duration(latN)).Seconds() * 1000
+	}
+
+	// Aggregate Merkle-update cost and block count across servers.
+	var mhtTotal time.Duration
+	var mhtBlocks int
+	for _, id := range cluster.Servers() {
+		st := cluster.Server(id).Stats()
+		mhtTotal += st.MHTTime
+		mhtBlocks += st.MHTBlocks
+	}
+	if mhtBlocks > 0 {
+		m.MHTUpdateMS = (mhtTotal / time.Duration(mhtBlocks)).Seconds() * 1000
+	}
+	m.Blocks = cluster.ServerAt(0).Log().Len()
+	return m, nil
+}
+
+// runPlan executes one transaction plan with retries. A rejection (stale
+// commit timestamp) leaves the session's read/write sets valid, so the
+// client re-commits the same session with its fast-forwarded clock; an
+// abort (OCC conflict) requires fresh reads, so the plan is re-executed.
+func runPlan(ctx context.Context, cl *client.Client, plan *workload.Plan) (latency time.Duration, aborted, rejected int, err error) {
+	const (
+		maxExecutions = 50  // full re-executions after aborts
+		maxRecommits  = 500 // cheap same-session retries after rejections
+	)
+	for execution := 0; execution < maxExecutions; execution++ {
+		s := cl.Begin()
+		for _, op := range plan.Ops {
+			switch op.Kind {
+			case workload.OpRead:
+				if _, err := s.Read(ctx, op.Item); err != nil {
+					return 0, aborted, rejected, err
+				}
+			case workload.OpWrite:
+				if err := s.Write(ctx, op.Item, op.Value); err != nil {
+					return 0, aborted, rejected, err
+				}
+			}
+		}
+		for recommit := 0; recommit < maxRecommits; recommit++ {
+			start := time.Now()
+			res, err := s.Commit(ctx)
+			if err != nil {
+				return 0, aborted, rejected, err
+			}
+			lat := time.Since(start)
+			switch {
+			case res.Committed:
+				return lat, aborted, rejected, nil
+			case res.Rejected:
+				rejected++
+				continue // same session, fresh timestamp
+			default:
+				aborted++
+			}
+			break // aborted: re-execute with fresh reads
+		}
+	}
+	return 0, aborted, rejected, fmt.Errorf("bench: plan failed to commit after %d executions", maxExecutions)
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// quickOpts keeps experiment smoke tests fast.
+func quickOpts() Options {
+	return Options{Requests: 40, Runs: 1, NetworkLatency: 20 * time.Microsecond, Seed: 1}
+}
+
+func TestRunTFCommitPoint(t *testing.T) {
+	m, err := Run(RunConfig{
+		Servers: 3, ItemsPerShard: 64, Batch: 8, Requests: 40,
+		NetworkLatency: 20 * time.Microsecond, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Committed != 40 {
+		t.Fatalf("committed = %d, want 40", m.Committed)
+	}
+	if m.ThroughputTPS <= 0 || m.LatencyMS <= 0 {
+		t.Fatalf("non-positive metrics: %+v", m)
+	}
+	if m.Blocks == 0 {
+		t.Fatal("no blocks committed")
+	}
+	if m.MHTUpdateMS < 0 {
+		t.Fatal("negative MHT time")
+	}
+}
+
+func TestRunTwoPCPoint(t *testing.T) {
+	m, err := Run(RunConfig{
+		Servers: 3, ItemsPerShard: 64, Batch: 1, Requests: 20,
+		Protocol: core.ProtocolTwoPC, NetworkLatency: 20 * time.Microsecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Committed != 20 {
+		t.Fatalf("committed = %d, want 20", m.Committed)
+	}
+	// 2PC performs no Merkle work during voting.
+	if m.MHTUpdateMS != 0 {
+		t.Fatalf("2PC should report no MHT time, got %v", m.MHTUpdateMS)
+	}
+}
+
+func TestBatchingImprovesThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparative run")
+	}
+	small, err := Run(RunConfig{
+		Servers: 3, ItemsPerShard: 256, Batch: 1, Requests: 60,
+		NetworkLatency: 100 * time.Microsecond, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(RunConfig{
+		Servers: 3, ItemsPerShard: 256, Batch: 30, Requests: 60,
+		NetworkLatency: 100 * time.Microsecond, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's central batching claim (Figure 13): larger blocks lift
+	// throughput. Allow generous slack for CI noise.
+	if large.ThroughputTPS < small.ThroughputTPS {
+		t.Errorf("batch 30 tput %.0f < batch 1 tput %.0f", large.ThroughputTPS, small.ThroughputTPS)
+	}
+	if large.Blocks >= small.Blocks {
+		t.Errorf("batching produced %d blocks, unbatched %d", large.Blocks, small.Blocks)
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	var sb strings.Builder
+	rows, err := Fig12(&sb, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (servers 3..7)", len(rows))
+	}
+	for _, r := range rows {
+		if r.TFC.Committed == 0 || r.TwoPC.Committed == 0 {
+			t.Fatalf("empty run in row %+v", r)
+		}
+		// The trust-free protocol must not be cheaper than the trusted one.
+		if r.LatRatio < 1.0 {
+			t.Errorf("servers=%d: TFCommit latency ratio %.2f < 1", r.Servers, r.LatRatio)
+		}
+	}
+	if !strings.Contains(sb.String(), "Figure 12") {
+		t.Error("printer emitted no header")
+	}
+}
+
+func TestFig13Fig14Fig15Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	opts := quickOpts()
+	for name, fn := range map[string]func(io.Writer, Options) ([]*Metrics, error){
+		"fig13": Fig13, "fig14": Fig14, "fig15": Fig15,
+	} {
+		var sb strings.Builder
+		ms, err := fn(&sb, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ms) == 0 {
+			t.Fatalf("%s: no data points", name)
+		}
+		for _, m := range ms {
+			if m.Committed == 0 || m.ThroughputTPS <= 0 {
+				t.Fatalf("%s: empty data point %+v", name, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options scale an experiment suite.
+type Options struct {
+	// Requests per data point (paper: 1000).
+	Requests int
+	// Runs averages each data point over this many runs (paper: 3).
+	Runs int
+	// NetworkLatency is the simulated one-way latency.
+	NetworkLatency time.Duration
+	// Seed makes the workloads deterministic.
+	Seed int64
+}
+
+func (o *Options) applyDefaults() {
+	if o.Requests <= 0 {
+		o.Requests = 1000
+	}
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.NetworkLatency == 0 {
+		o.NetworkLatency = 250 * time.Microsecond
+	}
+}
+
+// averaged runs a config Runs times and averages the metrics, matching the
+// paper's "each data point is an average of 3 runs".
+func averaged(cfg RunConfig, runs int) (*Metrics, error) {
+	var acc Metrics
+	for i := 0; i < runs; i++ {
+		cfg.Seed += int64(i+1) * 104729
+		m, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		acc.Config = m.Config
+		acc.Committed += m.Committed
+		acc.Aborted += m.Aborted
+		acc.Rejected += m.Rejected
+		acc.Elapsed += m.Elapsed
+		acc.ThroughputTPS += m.ThroughputTPS
+		acc.LatencyMS += m.LatencyMS
+		acc.EndToEndMS += m.EndToEndMS
+		acc.MHTUpdateMS += m.MHTUpdateMS
+		acc.Blocks += m.Blocks
+	}
+	f := float64(runs)
+	acc.ThroughputTPS /= f
+	acc.LatencyMS /= f
+	acc.EndToEndMS /= f
+	acc.MHTUpdateMS /= f
+	return &acc, nil
+}
+
+// Fig12Row is one data point of Figure 12 (2PC vs TFCommit).
+type Fig12Row struct {
+	Servers                int
+	TwoPC, TFC             *Metrics
+	LatRatio, ThroughRatio float64
+}
+
+// Fig12 reproduces Figure 12: 2PC vs TFCommit with one transaction per
+// block, varying the number of servers from 3 to 7 (paper §6.1). The paper
+// reports TFCommit ≈1.8× slower and 2PC ≈2.1× higher throughput.
+func Fig12(w io.Writer, opts Options) ([]Fig12Row, error) {
+	opts.applyDefaults()
+	fmt.Fprintf(w, "Figure 12 — 2PC vs TFCommit (1 txn/block, 10000 items/shard, %d txns, avg of %d runs)\n",
+		opts.Requests, opts.Runs)
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s %10s %10s\n",
+		"servers", "2pc_tps", "2pc_lat_ms", "tfc_tps", "tfc_lat_ms", "lat_ratio", "tps_ratio")
+
+	var rows []Fig12Row
+	for servers := 3; servers <= 7; servers++ {
+		base := RunConfig{
+			Servers: servers, Batch: 1, Requests: opts.Requests,
+			NetworkLatency: opts.NetworkLatency, Seed: opts.Seed,
+		}
+		cfg2pc := base
+		cfg2pc.Protocol = core.ProtocolTwoPC
+		m2pc, err := averaged(cfg2pc, opts.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 2pc servers=%d: %w", servers, err)
+		}
+		cfgTFC := base
+		cfgTFC.Protocol = core.ProtocolTFCommit
+		mTFC, err := averaged(cfgTFC, opts.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 tfc servers=%d: %w", servers, err)
+		}
+		row := Fig12Row{
+			Servers: servers, TwoPC: m2pc, TFC: mTFC,
+			LatRatio:     mTFC.LatencyMS / m2pc.LatencyMS,
+			ThroughRatio: m2pc.ThroughputTPS / mTFC.ThroughputTPS,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-8d %12.0f %12.3f %12.0f %12.3f %10.2f %10.2f\n",
+			servers, m2pc.ThroughputTPS, m2pc.LatencyMS,
+			mTFC.ThroughputTPS, mTFC.LatencyMS, row.LatRatio, row.ThroughRatio)
+	}
+	return rows, nil
+}
+
+// Fig13 reproduces Figure 13: throughput and latency of TFCommit with 5
+// servers while the number of transactions per block grows from 2 to 120
+// (paper §6.2: latency −2.6×, throughput +2.5× at ≥80).
+func Fig13(w io.Writer, opts Options) ([]*Metrics, error) {
+	opts.applyDefaults()
+	fmt.Fprintf(w, "Figure 13 — transactions per block (5 servers, 10000 items/shard, %d txns, avg of %d runs)\n",
+		opts.Requests, opts.Runs)
+	fmt.Fprintf(w, "%-10s %12s %12s %10s\n", "txns/blk", "tput_tps", "lat_ms", "blocks")
+
+	var out []*Metrics
+	for _, batch := range []int{2, 20, 40, 60, 80, 100, 120} {
+		m, err := averaged(RunConfig{
+			Servers: 5, Batch: batch, Requests: opts.Requests,
+			NetworkLatency: opts.NetworkLatency, Seed: opts.Seed,
+		}, opts.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 batch=%d: %w", batch, err)
+		}
+		out = append(out, m)
+		fmt.Fprintf(w, "%-10d %12.0f %12.3f %10d\n", batch, m.ThroughputTPS, m.LatencyMS, m.Blocks/opts.Runs)
+	}
+	return out, nil
+}
+
+// Fig14 reproduces Figure 14: TFCommit scalability with the number of
+// servers (3 to 9) at 100 transactions per block, including the
+// Merkle-tree update time per block (paper §6.3: +47% throughput, −33%
+// latency from 3 to 9 servers; MHT update time falls as the ~500
+// operations per block spread across more shards).
+func Fig14(w io.Writer, opts Options) ([]*Metrics, error) {
+	opts.applyDefaults()
+	fmt.Fprintf(w, "Figure 14 — number of servers (100 txn/block, 10000 items/shard, %d txns, avg of %d runs)\n",
+		opts.Requests, opts.Runs)
+	fmt.Fprintf(w, "%-8s %12s %12s %14s\n", "servers", "tput_tps", "lat_ms", "mht_upd_ms")
+
+	var out []*Metrics
+	for servers := 3; servers <= 9; servers++ {
+		m, err := averaged(RunConfig{
+			Servers: servers, Batch: 100, Requests: opts.Requests,
+			NetworkLatency: opts.NetworkLatency, Seed: opts.Seed,
+		}, opts.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 servers=%d: %w", servers, err)
+		}
+		out = append(out, m)
+		fmt.Fprintf(w, "%-8d %12.0f %12.3f %14.3f\n", servers, m.ThroughputTPS, m.LatencyMS, m.MHTUpdateMS)
+	}
+	return out, nil
+}
+
+// Fig15 reproduces Figure 15: TFCommit performance with 5 servers and 100
+// transactions per block while the shard size grows from 1000 to 10000
+// items (paper §6.4: +15% latency, −14% throughput, driven by the log₂(n)
+// Merkle path length).
+func Fig15(w io.Writer, opts Options) ([]*Metrics, error) {
+	opts.applyDefaults()
+	fmt.Fprintf(w, "Figure 15 — items per shard (5 servers, 100 txn/block, %d txns, avg of %d runs)\n",
+		opts.Requests, opts.Runs)
+	fmt.Fprintf(w, "%-10s %12s %12s %14s\n", "items", "tput_tps", "lat_ms", "mht_upd_ms")
+
+	var out []*Metrics
+	for items := 1000; items <= 10000; items += 1000 {
+		m, err := averaged(RunConfig{
+			Servers: 5, Batch: 100, ItemsPerShard: items, Requests: opts.Requests,
+			NetworkLatency: opts.NetworkLatency, Seed: opts.Seed,
+		}, opts.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("fig15 items=%d: %w", items, err)
+		}
+		out = append(out, m)
+		fmt.Fprintf(w, "%-10d %12.0f %12.3f %14.3f\n", items, m.ThroughputTPS, m.LatencyMS, m.MHTUpdateMS)
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/identity"
+	"repro/internal/server"
+)
+
+// TestAuditAttributionMatrix checks both directions of the paper's
+// detection guarantee for every offline-detectable fault class: (i) the
+// faulty server is implicated, and (ii) no honest server is falsely
+// accused — "a benign server can always defend itself against falsified
+// accusations" (§1). The designated coordinator may additionally be
+// implicated for faults that corrupt block production.
+func TestAuditAttributionMatrix(t *testing.T) {
+	cases := []struct {
+		name       string
+		faulty     int // index of the faulty server (never 0, the coordinator)
+		faults     server.Faults
+		opts       audit.Options
+		multiVer   bool
+		allowCoord bool // the coordinator may legitimately appear in findings
+	}{
+		{
+			name:   "stale-reads",
+			faulty: 1,
+			faults: server.Faults{StaleReads: true},
+		},
+		{
+			name:     "skip-apply",
+			faulty:   2,
+			faults:   server.Faults{SkipApply: true},
+			opts:     audit.Options{CheckDatastore: true, Exhaustive: true, MultiVersion: true},
+			multiVer: true,
+		},
+		{
+			name:   "corrupt-apply",
+			faulty: 3,
+			faults: server.Faults{CorruptApplyValue: []byte("junk")},
+			opts:   audit.Options{CheckDatastore: true},
+		},
+		{
+			name:   "fake-root-collusion",
+			faulty: 1,
+			faults: server.Faults{FakeRootInVote: true},
+			opts:   audit.Options{CheckDatastore: true},
+		},
+		{
+			name:   "tamper-served-log",
+			faulty: 2,
+			faults: server.Faults{TamperBlock: &server.TamperSpec{
+				Height: 1, Item: ItemName(1, 1), NewVal: []byte("forged"),
+			}},
+			allowCoord: true, // tampered co-sign findings also suspect block production
+		},
+		{
+			name:   "reorder-log",
+			faulty: 3,
+			faults: server.Faults{ReorderLog: true},
+		},
+		{
+			name:   "drop-tail",
+			faulty: 1,
+			faults: server.Faults{DropTailBlocks: 2},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := faultCluster(t, Config{MultiVersion: tc.multiVer})
+			ctx := context.Background()
+			cl, err := c.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Honest warm-up traffic across every shard, then enable the
+			// fault, then more traffic so the fault has something to bite.
+			for shard := 0; shard < 4; shard++ {
+				commitRW(t, ctx, cl, ItemName(shard, 1), "warm", true)
+			}
+			c.ServerAt(tc.faulty).SetFaults(tc.faults)
+			for shard := 0; shard < 4; shard++ {
+				commitRW(t, ctx, cl, ItemName(shard, 1), "attacked", true)
+			}
+
+			report, err := c.Audit(ctx, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Clean() {
+				t.Fatalf("fault %s escaped the audit", tc.name)
+			}
+			faultyID := ServerName(tc.faulty)
+			if !report.Implicates(faultyID) {
+				t.Fatalf("faulty server %s not implicated: %v", faultyID, report.Findings)
+			}
+			// No honest server is accused.
+			allowed := map[identity.NodeID]bool{faultyID: true}
+			if tc.allowCoord {
+				allowed[c.Coordinator()] = true
+			}
+			for _, f := range report.Findings {
+				for _, s := range f.Servers {
+					if !allowed[s] {
+						t.Errorf("honest server %s falsely accused by %s", s, f)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/server"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// BlockCommitter terminates a batch of transactions in one protocol round;
+// implemented by adapters over tfcommit.Coordinator and twopc.Coordinator.
+// On an aborted block, failed itemizes the batch indices that cohorts
+// vetoed (empty when unknown).
+type BlockCommitter interface {
+	CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (block *ledger.Block, committed bool, failed []int, err error)
+}
+
+// Batcher is the coordinator's termination service: it queues client
+// end_transaction requests, packs them into blocks of non-conflicting
+// transactions (paper §4.6: "the coordinator collects and inserts a set of
+// non-conflicting client generated transactions and orders them within a
+// single block"), runs the commit protocol sequentially block after block,
+// and distributes the signed decisions back to the waiting clients.
+type Batcher struct {
+	committer BlockCommitter
+	reg       *identity.Registry
+	batchSize int
+	maxWait   time.Duration
+
+	queue chan *pendingTxn
+
+	mu        sync.Mutex
+	lastMax   txn.Timestamp
+	closed    bool
+	closeOnce sync.Once
+	stopped   chan struct{}
+	wg        sync.WaitGroup
+}
+
+type pendingTxn struct {
+	t    *txn.Transaction
+	env  identity.Envelope
+	resp chan termResult
+}
+
+type termResult struct {
+	resp *wire.EndTxnResp
+	err  error
+}
+
+// ErrBatcherClosed is returned for requests submitted after Close.
+var ErrBatcherClosed = errors.New("core: termination service closed")
+
+// NewBatcher creates a termination service producing blocks of up to
+// batchSize transactions, waiting at most maxWait after the first queued
+// transaction before sealing a partial block.
+func NewBatcher(committer BlockCommitter, reg *identity.Registry, batchSize int, maxWait time.Duration) *Batcher {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	b := &Batcher{
+		committer: committer,
+		reg:       reg,
+		batchSize: batchSize,
+		maxWait:   maxWait,
+		queue:     make(chan *pendingTxn, 16*batchSize+64),
+		stopped:   make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+var _ server.Terminator = (*Batcher)(nil)
+
+// Terminate implements server.Terminator: verify the client's signed
+// request, enqueue it, and wait for its block's decision.
+func (b *Batcher) Terminate(ctx context.Context, env identity.Envelope) (*wire.EndTxnResp, error) {
+	t, err := server.DecodeTxnEnvelope(b.reg, env)
+	if err != nil {
+		return nil, err
+	}
+	// "The servers ignore any end transaction request with a timestamp
+	// lower than the latest committed timestamp" (§4.3.1). Rejecting here —
+	// with a clock hint — spares the whole batch from a doomed block.
+	b.mu.Lock()
+	lastMax := b.lastMax
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return nil, ErrBatcherClosed
+	}
+	if !lastMax.Less(t.TS) {
+		return &wire.EndTxnResp{Rejected: true, LatestTS: lastMax}, nil
+	}
+
+	p := &pendingTxn{t: t, env: env, resp: make(chan termResult, 1)}
+	select {
+	case b.queue <- p:
+	case <-b.stopped:
+		return nil, ErrBatcherClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-p.resp:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops the batching loop and fails queued requests.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		close(b.stopped)
+	})
+	b.wg.Wait()
+}
+
+// run is the sequential block-production loop.
+func (b *Batcher) run() {
+	defer b.wg.Done()
+	var deferred []*pendingTxn
+	for {
+		batch, rest, ok := b.gather(deferred)
+		if !ok {
+			for _, p := range append(rest, batch...) {
+				p.resp <- termResult{err: ErrBatcherClosed}
+			}
+			return
+		}
+		deferred = rest
+		if len(batch) == 0 {
+			continue
+		}
+		b.commitBatch(batch)
+	}
+}
+
+// gather assembles the next block's worth of mutually non-conflicting
+// transactions: deferred transactions from earlier rounds first, then fresh
+// arrivals until the block is full or maxWait has elapsed since the first
+// arrival. Conflicting or stale-timestamp transactions are pushed to the
+// next round / rejected respectively.
+func (b *Batcher) gather(deferred []*pendingTxn) (batch, rest []*pendingTxn, ok bool) {
+	b.mu.Lock()
+	lastMax := b.lastMax
+	b.mu.Unlock()
+
+	admit := func(p *pendingTxn, batch []*pendingTxn) ([]*pendingTxn, bool) {
+		if !lastMax.Less(p.t.TS) {
+			p.resp <- termResult{resp: &wire.EndTxnResp{Rejected: true, LatestTS: lastMax}}
+			return batch, true
+		}
+		for _, q := range batch {
+			if p.t.Conflicts(q.t) {
+				return batch, false
+			}
+		}
+		return append(batch, p), true
+	}
+
+	for i, p := range deferred {
+		if len(batch) >= b.batchSize {
+			// Re-queue what we cannot fit this round.
+			return batch, append(rest, deferred[i:]...), true
+		}
+		var admitted bool
+		if batch, admitted = admit(p, batch); !admitted {
+			rest = append(rest, p)
+		}
+	}
+
+	if len(batch) == 0 {
+		// Block for the first transaction.
+		select {
+		case p := <-b.queue:
+			var admitted bool
+			if batch, admitted = admit(p, batch); !admitted {
+				rest = append(rest, p)
+			}
+		case <-b.stopped:
+			return batch, rest, false
+		}
+	}
+
+	timer := time.NewTimer(b.maxWait)
+	defer timer.Stop()
+	for len(batch) < b.batchSize {
+		select {
+		case p := <-b.queue:
+			var admitted bool
+			if batch, admitted = admit(p, batch); !admitted {
+				rest = append(rest, p)
+			}
+		case <-timer.C:
+			return batch, rest, true
+		case <-b.stopped:
+			return batch, rest, false
+		}
+	}
+	return batch, rest, true
+}
+
+// commitBatch runs the commit protocol for one block and distributes the
+// outcome to every waiting client. When cohorts veto individual
+// transactions (stale reads discovered at validation), the vetoed ones are
+// answered with the signed abort block and the block is retried with them
+// pruned, so one stale transaction does not doom its batchmates — this is
+// what sustains the ~100-transaction blocks of the paper's evaluation
+// (§4.6, §6.2).
+func (b *Batcher) commitBatch(batch []*pendingTxn) {
+	remaining := batch
+	const maxPrunes = 4
+	for round := 0; ; round++ {
+		txns := make([]*txn.Transaction, len(remaining))
+		envs := make([]identity.Envelope, len(remaining))
+		for i, p := range remaining {
+			txns[i] = p.t
+			envs[i] = p.env
+		}
+		block, committed, failed, err := b.committer.CommitBlock(context.Background(), txns, envs)
+		if err != nil {
+			for _, p := range remaining {
+				p.resp <- termResult{err: fmt.Errorf("core: block commit failed: %w", err)}
+			}
+			return
+		}
+		if committed {
+			b.mu.Lock()
+			b.lastMax = b.lastMax.Max(block.MaxTS())
+			b.mu.Unlock()
+			for _, p := range remaining {
+				p.resp <- termResult{resp: &wire.EndTxnResp{Committed: true, Block: block}}
+			}
+			return
+		}
+		if len(failed) == 0 || len(failed) >= len(remaining) || round >= maxPrunes {
+			for _, p := range remaining {
+				p.resp <- termResult{resp: &wire.EndTxnResp{Committed: false, Block: block}}
+			}
+			return
+		}
+		failedSet := make(map[int]struct{}, len(failed))
+		for _, idx := range failed {
+			failedSet[idx] = struct{}{}
+		}
+		next := remaining[:0]
+		for i, p := range remaining {
+			if _, bad := failedSet[i]; bad {
+				p.resp <- termResult{resp: &wire.EndTxnResp{Committed: false, Block: block}}
+				continue
+			}
+			next = append(next, p)
+		}
+		remaining = next
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/txn"
+)
+
+// scriptedCommitter records the batches it is asked to commit and returns
+// canned outcomes.
+type scriptedCommitter struct {
+	mu      sync.Mutex
+	batches [][]*txn.Transaction
+	fail    error
+	abort   bool
+	height  uint64
+}
+
+func (c *scriptedCommitter) CommitBlock(_ context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*ledger.Block, bool, []int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fail != nil {
+		return nil, false, nil, c.fail
+	}
+	c.batches = append(c.batches, txns)
+	b := &ledger.Block{Height: c.height, Decision: ledger.DecisionCommit}
+	for _, t := range txns {
+		b.Txns = append(b.Txns, ledger.RecordFromTransaction(t))
+	}
+	if c.abort {
+		b.Decision = ledger.DecisionAbort
+		return b, false, nil, nil
+	}
+	c.height++
+	return b, true, nil, nil
+}
+
+func (c *scriptedCommitter) batchSizes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.batches))
+	for i, b := range c.batches {
+		out[i] = len(b)
+	}
+	return out
+}
+
+// batcherEnv wires a Batcher to a scripted committer and a signing client.
+func batcherEnv(t *testing.T, batchSize int) (*Batcher, *scriptedCommitter, func(id string, ts uint64, items ...txn.ItemID) identity.Envelope) {
+	t.Helper()
+	reg := identity.NewRegistry()
+	cl, err := identity.New("c1", identity.RoleClient, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Register(cl.Public())
+	committer := &scriptedCommitter{}
+	b := NewBatcher(committer, reg, batchSize, time.Millisecond)
+	t.Cleanup(b.Close)
+
+	sign := func(id string, ts uint64, items ...txn.ItemID) identity.Envelope {
+		tr := &txn.Transaction{ID: id, TS: txn.Timestamp{Time: ts, ClientID: 1}}
+		for _, it := range items {
+			tr.Writes = append(tr.Writes, txn.WriteEntry{ID: it, NewVal: []byte("v"), Blind: true})
+		}
+		payload, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return identity.Seal(cl, payload)
+	}
+	return b, committer, sign
+}
+
+func TestBatcherCommitsSingle(t *testing.T) {
+	b, committer, sign := batcherEnv(t, 4)
+	resp, err := b.Terminate(context.Background(), sign("t1", 10, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Committed || resp.Block == nil {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := committer.batchSizes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("batches = %v", got)
+	}
+}
+
+func TestBatcherPacksConcurrentRequests(t *testing.T) {
+	b, committer, sign := batcherEnv(t, 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			env := sign(fmt.Sprintf("t%d", i), uint64(10+i), txn.ItemID(fmt.Sprintf("item%d", i)))
+			resp, err := b.Terminate(context.Background(), env)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !resp.Committed {
+				errs <- fmt.Errorf("t%d not committed", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All eight should land in few blocks (usually one; the timer may split
+	// them under scheduler noise, but never into eight singletons).
+	if got := committer.batchSizes(); len(got) >= 8 {
+		t.Errorf("no batching happened: %v", got)
+	}
+}
+
+func TestBatcherDefersConflictingTxns(t *testing.T) {
+	b, committer, sign := batcherEnv(t, 8)
+	var wg sync.WaitGroup
+	committed := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// All four write the same item: they must never share a block.
+			// Rejected attempts (stale timestamp after another writer won)
+			// retry with a fresh timestamp, like a real client.
+			ts := uint64(10 + i)
+			for attempt := 0; attempt < 50; attempt++ {
+				resp, err := b.Terminate(context.Background(), sign(fmt.Sprintf("t%d-%d", i, attempt), ts, "hot"))
+				if err != nil {
+					t.Errorf("t%d: %v", i, err)
+					return
+				}
+				if resp.Committed {
+					committed <- struct{}{}
+					return
+				}
+				if resp.Rejected {
+					ts = resp.LatestTS.Time + uint64(i) + 1
+				}
+			}
+			t.Errorf("t%d starved", i)
+		}(i)
+	}
+	wg.Wait()
+	close(committed)
+	if got := len(committed); got != 4 {
+		t.Fatalf("committed = %d, want 4", got)
+	}
+	for _, size := range committer.batchSizes() {
+		if size != 1 {
+			t.Fatalf("conflicting txns batched together: %v", committer.batchSizes())
+		}
+	}
+}
+
+func TestBatcherRejectsStaleTimestamps(t *testing.T) {
+	b, _, sign := batcherEnv(t, 1)
+	ctx := context.Background()
+	if _, err := b.Terminate(ctx, sign("t1", 100, "x")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := b.Terminate(ctx, sign("t2", 50, "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Rejected {
+		t.Fatalf("stale ts accepted: %+v", resp)
+	}
+	if resp.LatestTS != (txn.Timestamp{Time: 100, ClientID: 1}) {
+		t.Fatalf("hint = %v", resp.LatestTS)
+	}
+	// A fresh timestamp goes through.
+	resp, err = b.Terminate(ctx, sign("t3", 101, "y"))
+	if err != nil || !resp.Committed {
+		t.Fatalf("fresh ts: %v %+v", err, resp)
+	}
+}
+
+func TestBatcherPropagatesCommitterError(t *testing.T) {
+	b, committer, sign := batcherEnv(t, 1)
+	committer.fail = errors.New("cohort refused")
+	_, err := b.Terminate(context.Background(), sign("t1", 10, "x"))
+	if err == nil || !errors.Is(err, committer.fail) && err.Error() == "" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBatcherReportsAbort(t *testing.T) {
+	b, committer, sign := batcherEnv(t, 1)
+	committer.abort = true
+	resp, err := b.Terminate(context.Background(), sign("t1", 10, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Committed || resp.Block == nil {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Block.Decision != ledger.DecisionAbort {
+		t.Fatalf("decision = %v", resp.Block.Decision)
+	}
+}
+
+func TestBatcherRejectsAfterClose(t *testing.T) {
+	b, _, sign := batcherEnv(t, 1)
+	b.Close()
+	if _, err := b.Terminate(context.Background(), sign("t1", 10, "x")); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBatcherRejectsInvalidEnvelope(t *testing.T) {
+	b, _, _ := batcherEnv(t, 1)
+	bad := identity.Envelope{From: "nobody", Payload: []byte("{}"), Sig: []byte("x")}
+	if _, err := b.Terminate(context.Background(), bad); err == nil {
+		t.Fatal("invalid envelope accepted")
+	}
+}

@@ -1,0 +1,444 @@
+// Package core assembles the Fides system of paper §4: a set of untrusted
+// database servers (one shard each), a designated coordinator server
+// running TFCommit (or the 2PC baseline), the shared public-key registry,
+// the item directory, client factories, and the external auditor — wired
+// over an in-process network with simulated latency (the reproduction's
+// stand-in for the paper's single-datacenter EC2 testbed) or over TCP.
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/client"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/tfcommit"
+	"repro/internal/transport"
+	"repro/internal/twopc"
+	"repro/internal/txn"
+)
+
+// Protocol selects the atomic commitment protocol a cluster runs.
+type Protocol int
+
+// Supported commit protocols.
+const (
+	// ProtocolTFCommit is the paper's trust-free commitment protocol.
+	ProtocolTFCommit Protocol = iota + 1
+	// ProtocolTwoPC is the trusted Two-Phase Commit baseline of §6.1.
+	ProtocolTwoPC
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolTFCommit:
+		return "tfcommit"
+	case ProtocolTwoPC:
+		return "2pc"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Config describes a cluster. Zero fields take the defaults documented on
+// each field.
+type Config struct {
+	// NumServers is the number of database servers / shards (default 5,
+	// matching most of §6).
+	NumServers int
+	// ItemsPerShard is the number of data items per server (default 10000,
+	// §6: "each database server stores a single shard consisting of 10000
+	// data items").
+	ItemsPerShard int
+	// MultiVersion enables multi-versioned shards (paper §4.2.1).
+	MultiVersion bool
+	// NetworkLatency is the simulated one-way message latency (default
+	// 250µs ≈ intra-datacenter; 0 disables the simulation).
+	NetworkLatency time.Duration
+	// BatchSize is the number of transactions per block (default 100, §6).
+	BatchSize int
+	// BatchWait bounds how long the coordinator waits to fill a block.
+	BatchWait time.Duration
+	// Protocol selects TFCommit (default) or the 2PC baseline.
+	Protocol Protocol
+	// InitialValue supplies each item's starting value (default "0").
+	InitialValue func(txn.ItemID) []byte
+	// TCP runs the cluster over real loopback TCP sockets instead of the
+	// in-process network. NetworkLatency is ignored in TCP mode (the real
+	// stack supplies the latency).
+	TCP bool
+	// ServerFaults configures per-server misbehavior, keyed by server index
+	// (0-based, in server-id order).
+	ServerFaults map[int]server.Faults
+	// CoordinatorFaults configures coordinator misbehavior (TFCommit only).
+	CoordinatorFaults tfcommit.Faults
+}
+
+func (c *Config) applyDefaults() {
+	if c.NumServers <= 0 {
+		c.NumServers = 5
+	}
+	if c.ItemsPerShard <= 0 {
+		c.ItemsPerShard = 10000
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.Protocol == 0 {
+		c.Protocol = ProtocolTFCommit
+	}
+	if c.InitialValue == nil {
+		c.InitialValue = func(txn.ItemID) []byte { return []byte("0") }
+	}
+}
+
+// ServerName returns the canonical id of the i-th server.
+func ServerName(i int) identity.NodeID {
+	return identity.NodeID(fmt.Sprintf("s%02d", i))
+}
+
+// Cluster is a running Fides deployment.
+type Cluster struct {
+	cfg       Config
+	net       *transport.LocalNetwork
+	reg       *identity.Registry
+	dir       *Directory
+	serverIDs []identity.NodeID
+	servers   map[identity.NodeID]*server.Server
+	coordID   identity.NodeID
+	batcher   *Batcher
+	tfc       *tfcommit.Coordinator
+
+	// TCP mode state.
+	tcpAddrs map[identity.NodeID]string
+	tcpNodes map[identity.NodeID]*transport.TCPNode
+
+	mu        sync.Mutex
+	closers   []io.Closer
+	clientSeq atomic.Uint32
+	closed    atomic.Bool
+}
+
+// newEndpoint attaches a node to the cluster's network (local or TCP).
+func (c *Cluster) newEndpoint(ident *identity.Identity, handler transport.Handler) (transport.Transport, error) {
+	if !c.cfg.TCP {
+		return c.net.Endpoint(ident, c.reg, handler), nil
+	}
+	node, err := transport.NewTCPNode(ident, c.reg, "127.0.0.1:0", handler)
+	if err != nil {
+		return nil, fmt.Errorf("core: tcp endpoint %s: %w", ident.ID, err)
+	}
+	c.mu.Lock()
+	for id, addr := range c.tcpAddrs {
+		node.SetAddress(id, addr)
+	}
+	if handler != nil { // servers are dialable; clients are not
+		c.tcpAddrs[ident.ID] = node.Addr()
+		c.tcpNodes[ident.ID] = node
+	}
+	c.closers = append(c.closers, node)
+	c.mu.Unlock()
+	return node, nil
+}
+
+// wireTCP teaches every server node the addresses of all its peers; called
+// once all server endpoints exist.
+func (c *Cluster) wireTCP() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, node := range c.tcpNodes {
+		for id, addr := range c.tcpAddrs {
+			node.SetAddress(id, addr)
+		}
+	}
+}
+
+// NewCluster builds and starts a cluster per cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg.applyDefaults()
+
+	c := &Cluster{
+		cfg:      cfg,
+		net:      transport.NewLocalNetwork(cfg.NetworkLatency),
+		reg:      identity.NewRegistry(),
+		servers:  make(map[identity.NodeID]*server.Server, cfg.NumServers),
+		tcpAddrs: make(map[identity.NodeID]string),
+		tcpNodes: make(map[identity.NodeID]*transport.TCPNode),
+	}
+
+	// Identities and shard layout.
+	idents := make([]*identity.Identity, cfg.NumServers)
+	shards := make(map[identity.NodeID][]txn.ItemID, cfg.NumServers)
+	for i := 0; i < cfg.NumServers; i++ {
+		id := ServerName(i)
+		ident, err := identity.New(id, identity.RoleServer, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		idents[i] = ident
+		c.reg.Register(ident.Public())
+		c.serverIDs = append(c.serverIDs, id)
+
+		items := make([]txn.ItemID, cfg.ItemsPerShard)
+		for j := 0; j < cfg.ItemsPerShard; j++ {
+			items[j] = ItemName(i, j)
+		}
+		shards[id] = items
+	}
+	c.dir = NewDirectory(shards)
+
+	// Servers and their endpoints.
+	endpoints := make(map[identity.NodeID]transport.Transport, cfg.NumServers)
+	for i := 0; i < cfg.NumServers; i++ {
+		id := c.serverIDs[i]
+		shard := newShardFor(c.dir, id, cfg)
+		srv, err := server.New(server.Config{
+			Identity:  idents[i],
+			Registry:  c.reg,
+			Directory: c.dir,
+			Shard:     shard,
+			Faults:    cfg.ServerFaults[i],
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: server %s: %w", id, err)
+		}
+		c.servers[id] = srv
+		ep, err := c.newEndpoint(idents[i], srv)
+		if err != nil {
+			return nil, err
+		}
+		endpoints[id] = ep
+	}
+	if cfg.TCP {
+		c.wireTCP()
+	}
+
+	// The designated coordinator (paper §4.1: "one designated server acts
+	// as the transaction coordinator responsible for terminating all
+	// transactions") is the first server.
+	c.coordID = c.serverIDs[0]
+	coordSrv := c.servers[c.coordID]
+
+	var committer BlockCommitter
+	switch cfg.Protocol {
+	case ProtocolTFCommit:
+		tfc, err := tfcommit.New(tfcommit.Config{
+			Identity:  idents[0],
+			Registry:  c.reg,
+			Transport: endpoints[c.coordID],
+			Servers:   c.serverIDs,
+			Local:     coordSrv,
+			Faults:    cfg.CoordinatorFaults,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		c.tfc = tfc
+		committer = tfcAdapter{tfc}
+	case ProtocolTwoPC:
+		tpc, err := twopc.New(twopc.Config{
+			Identity:  idents[0],
+			Transport: endpoints[c.coordID],
+			Servers:   c.serverIDs,
+			Local:     coordSrv,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		committer = tpcAdapter{tpc}
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
+	}
+
+	c.batcher = NewBatcher(committer, c.reg, cfg.BatchSize, cfg.BatchWait)
+	coordSrv.SetTerminator(c.batcher)
+	return c, nil
+}
+
+func newShardFor(dir *Directory, id identity.NodeID, cfg Config) *store.Shard {
+	return store.NewShard(dir.ShardItems(id), cfg.InitialValue, store.Config{MultiVersion: cfg.MultiVersion})
+}
+
+// tfcAdapter adapts tfcommit.Coordinator to BlockCommitter.
+type tfcAdapter struct{ c *tfcommit.Coordinator }
+
+func (a tfcAdapter) CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*ledger.Block, bool, []int, error) {
+	res, err := a.c.CommitBlock(ctx, txns, envs)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return res.Block, res.Committed, res.FailedTxns, nil
+}
+
+// tpcAdapter adapts twopc.Coordinator to BlockCommitter.
+type tpcAdapter struct{ c *twopc.Coordinator }
+
+func (a tpcAdapter) CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*ledger.Block, bool, []int, error) {
+	res, err := a.c.CommitBlock(ctx, txns, envs)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return res.Block, res.Committed, nil, nil
+}
+
+// Registry returns the cluster's shared public-key registry.
+func (c *Cluster) Registry() *identity.Registry { return c.reg }
+
+// Directory returns the item→server directory.
+func (c *Cluster) Directory() *Directory { return c.dir }
+
+// Servers returns the server ids in canonical order.
+func (c *Cluster) Servers() []identity.NodeID {
+	return append([]identity.NodeID(nil), c.serverIDs...)
+}
+
+// Server returns the server with the given id (nil if unknown).
+func (c *Cluster) Server(id identity.NodeID) *server.Server { return c.servers[id] }
+
+// ServerAt returns the i-th server.
+func (c *Cluster) ServerAt(i int) *server.Server { return c.servers[c.serverIDs[i]] }
+
+// Coordinator returns the designated coordinator's id.
+func (c *Cluster) Coordinator() identity.NodeID { return c.coordID }
+
+// SetCoordinatorFaults swaps the coordinator's fault configuration
+// (TFCommit clusters only).
+func (c *Cluster) SetCoordinatorFaults(f tfcommit.Faults) error {
+	if c.tfc == nil {
+		return errors.New("core: cluster does not run TFCommit")
+	}
+	c.tfc.SetFaults(f)
+	return nil
+}
+
+// CommitBlockDirect runs one commit round over pre-built transactions and
+// their client-signed envelopes, bypassing the batching service. It exists
+// for tests and demonstrations that need precisely crafted histories (e.g.
+// the failure scenarios of paper §5); normal clients terminate through
+// Session.Commit.
+func (c *Cluster) CommitBlockDirect(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*ledger.Block, bool, error) {
+	if c.tfc == nil {
+		return nil, false, errors.New("core: direct commits require a TFCommit cluster")
+	}
+	block, committed, _, err := tfcAdapter{c.tfc}.CommitBlock(ctx, txns, envs)
+	return block, committed, err
+}
+
+// SignTxn signs a transaction exactly as a client library would, producing
+// the envelope CommitBlockDirect expects.
+func SignTxn(ident *identity.Identity, t *txn.Transaction) (identity.Envelope, error) {
+	payload, err := json.Marshal(t)
+	if err != nil {
+		return identity.Envelope{}, fmt.Errorf("core: marshal txn: %w", err)
+	}
+	return identity.Seal(ident, payload), nil
+}
+
+// NewClientIdentity registers and returns a fresh client identity, for
+// callers that drive the wire protocol directly.
+func (c *Cluster) NewClientIdentity() (*identity.Identity, error) {
+	seq := c.clientSeq.Add(1)
+	id := identity.NodeID(fmt.Sprintf("c%04d", seq))
+	ident, err := identity.New(id, identity.RoleClient, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: client identity: %w", err)
+	}
+	c.reg.Register(ident.Public())
+	return ident, nil
+}
+
+// NewClient creates and registers a fresh client attached to the cluster's
+// network.
+func (c *Cluster) NewClient() (*client.Client, error) {
+	return c.NewClientWithTS(nil)
+}
+
+// NewClientWithTS creates a client drawing commit timestamps from the given
+// shared source (nil for a private per-client clock). Benchmark drivers
+// share one source across all clients, mirroring the paper's single
+// timestamp-generating mechanism (§4.1).
+func (c *Cluster) NewClientWithTS(ts txn.TSSource) (*client.Client, error) {
+	seq := c.clientSeq.Add(1)
+	id := identity.NodeID(fmt.Sprintf("c%04d", seq))
+	ident, err := identity.New(id, identity.RoleClient, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: client identity: %w", err)
+	}
+	c.reg.Register(ident.Public())
+	ep, err := c.newEndpoint(ident, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.New(client.Config{
+		Identity:    ident,
+		Registry:    c.reg,
+		Transport:   ep,
+		Directory:   c.dir,
+		Coordinator: c.coordID,
+		ClientID:    seq,
+		TSSource:    ts,
+		// 2PC is the trusted baseline: its blocks carry no co-sign.
+		TrustedMode: c.cfg.Protocol == ProtocolTwoPC,
+	})
+}
+
+// NewAuditor creates and registers an external auditor for the cluster.
+func (c *Cluster) NewAuditor() (*audit.Auditor, error) {
+	seq := c.clientSeq.Add(1)
+	id := identity.NodeID(fmt.Sprintf("auditor%02d", seq))
+	ident, err := identity.New(id, identity.RoleClient, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: auditor identity: %w", err)
+	}
+	c.reg.Register(ident.Public())
+	ep, err := c.newEndpoint(ident, nil)
+	if err != nil {
+		return nil, err
+	}
+	return audit.New(audit.Config{
+		Identity:    ident,
+		Registry:    c.reg,
+		Transport:   ep,
+		Servers:     c.serverIDs,
+		Directory:   c.dir,
+		Coordinator: c.coordID,
+	})
+}
+
+// Audit runs a full audit with the given options.
+func (c *Cluster) Audit(ctx context.Context, opts audit.Options) (*audit.Report, error) {
+	a, err := c.NewAuditor()
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(ctx, opts)
+}
+
+// Close shuts the cluster down: the termination service stops first, then
+// any TCP endpoints are closed and drained.
+func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.batcher.Close()
+	c.mu.Lock()
+	closers := c.closers
+	c.closers = nil
+	c.mu.Unlock()
+	for _, cl := range closers {
+		_ = cl.Close()
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestCommitBlocksOnCrashedCohort verifies the paper's blocking property
+// (§4.3.1): "TFCommit, similar to 2PC, can be blocking if either the
+// coordinator or any cohort fails". A crashed cohort makes the round fail
+// rather than letting the survivors decide without it.
+func TestCommitBlocksOnCrashedCohort(t *testing.T) {
+	c := testCluster(t, Config{NumServers: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy commit first.
+	s := cl.Begin()
+	if err := s.Write(ctx, ItemName(1, 0), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Commit(ctx)
+	if err != nil || !res.Committed {
+		t.Fatalf("healthy commit: %v %+v", err, res)
+	}
+
+	// Crash s03 (remove it from the network) and try again: every
+	// termination requires all servers, so the commit must fail.
+	c.net.Remove(ServerName(3))
+	s2 := cl.Begin()
+	if err := s2.Write(ctx, ItemName(1, 1), []byte("stuck")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Commit(ctx); err == nil {
+		t.Fatal("commit succeeded despite a crashed cohort")
+	}
+
+	// No server logged a second block: atomicity preserved under the
+	// failure.
+	for _, id := range c.Servers() {
+		if id == ServerName(3) {
+			continue
+		}
+		if got := c.Server(id).Log().Len(); got != 1 {
+			t.Errorf("server %s log length = %d, want 1", id, got)
+		}
+	}
+}
+
+// TestHandleRejectsUnknownMessage exercises the server's dispatch guard.
+func TestHandleRejectsUnknownMessage(t *testing.T) {
+	c := testCluster(t, Config{})
+	srv := c.ServerAt(1)
+	msg := transport.Message{Type: "no-such-type", Body: []byte("{}")}
+	if _, err := srv.Handle(context.Background(), "c0001", msg); err == nil {
+		t.Fatal("unknown message type accepted")
+	}
+	bad := transport.Message{Type: "read", Body: []byte("{not-json")}
+	if _, err := srv.Handle(context.Background(), "c0001", bad); err == nil {
+		t.Fatal("garbage body accepted")
+	}
+}

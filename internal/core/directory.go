@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/identity"
+	"repro/internal/txn"
+)
+
+// Directory is the lookup service mapping data items to the servers storing
+// them (paper §4.1: clients resolve partitions through "a run-time library
+// that provides a lookup and directory service"). It is immutable after
+// construction and therefore safe for concurrent use.
+type Directory struct {
+	owners  map[txn.ItemID]identity.NodeID
+	byShard map[identity.NodeID][]txn.ItemID
+	items   []txn.ItemID
+}
+
+// NewDirectory builds a directory from per-server item lists.
+func NewDirectory(shards map[identity.NodeID][]txn.ItemID) *Directory {
+	d := &Directory{
+		owners:  make(map[txn.ItemID]identity.NodeID),
+		byShard: make(map[identity.NodeID][]txn.ItemID, len(shards)),
+	}
+	servers := make([]identity.NodeID, 0, len(shards))
+	for id := range shards {
+		servers = append(servers, id)
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	for _, srv := range servers {
+		ids := append([]txn.ItemID(nil), shards[srv]...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		d.byShard[srv] = ids
+		for _, id := range ids {
+			d.owners[id] = srv
+		}
+		d.items = append(d.items, ids...)
+	}
+	return d
+}
+
+// Owner returns the server storing the item.
+func (d *Directory) Owner(id txn.ItemID) (identity.NodeID, bool) {
+	owner, ok := d.owners[id]
+	return owner, ok
+}
+
+// Items returns all item ids across all shards, grouped by shard in server
+// order. The returned slice is shared; callers must not mutate it.
+func (d *Directory) Items() []txn.ItemID {
+	return d.items
+}
+
+// ShardItems returns the items stored by one server.
+func (d *Directory) ShardItems(srv identity.NodeID) []txn.ItemID {
+	return d.byShard[srv]
+}
+
+// NumItems returns the total item count.
+func (d *Directory) NumItems() int { return len(d.items) }
+
+// ItemName builds the canonical item id for shard index s and item index i,
+// matching the naming NewCluster uses when it populates shards.
+func ItemName(s, i int) txn.ItemID {
+	return txn.ItemID(fmt.Sprintf("k%02d_%05d", s, i))
+}

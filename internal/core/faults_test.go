@@ -1,0 +1,489 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/client"
+	"repro/internal/identity"
+	"repro/internal/server"
+	"repro/internal/tfcommit"
+	"repro/internal/txn"
+)
+
+// faultCluster builds a 4-server cluster for fault-injection tests.
+func faultCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	cfg.NumServers = 4
+	cfg.ItemsPerShard = 32
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 1
+	}
+	cfg.BatchWait = 500 * time.Microsecond
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// commitRW commits a read-modify-write of item via a fresh session and
+// requires the outcome.
+func commitRW(t *testing.T, ctx context.Context, cl *client.Client, item txn.ItemID, val string, wantCommit bool) *client.CommitResult {
+	t.Helper()
+	for attempt := 0; attempt < 5; attempt++ {
+		s := cl.Begin()
+		if _, err := s.Read(ctx, item); err != nil {
+			t.Fatalf("read %s: %v", item, err)
+		}
+		if err := s.Write(ctx, item, []byte(val)); err != nil {
+			t.Fatalf("write %s: %v", item, err)
+		}
+		res, err := s.Commit(ctx)
+		if err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		if res.Rejected {
+			continue
+		}
+		if res.Committed != wantCommit {
+			t.Fatalf("commit of %s: committed=%v, want %v", item, res.Committed, wantCommit)
+		}
+		return res
+	}
+	t.Fatalf("commit of %s kept being rejected", item)
+	return nil
+}
+
+// Scenario 1 (paper §5): a server returns stale values with up-to-date
+// timestamps; the audit's Lemma 1 replay detects the incorrect read and
+// names the server.
+func TestAuditDetectsStaleReads(t *testing.T) {
+	c := faultCluster(t, Config{})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ItemName(1, 3) // owned by s01
+
+	// Establish a committed value so the faulty server has a "previous"
+	// value to serve.
+	commitRW(t, ctx, cl, victim, "honest-1", true)
+
+	// s01 turns malicious: it serves stale reads from now on.
+	c.ServerAt(1).SetFaults(server.Faults{StaleReads: true})
+
+	// The next reader observes the stale value; its commit succeeds because
+	// the timestamps are up to date, poisoning the log.
+	commitRW(t, ctx, cl, victim, "poisoned-2", true)
+
+	report, err := c.Audit(ctx, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := report.ByType(audit.FindingIncorrectRead)
+	if len(bad) == 0 {
+		t.Fatalf("no incorrect-read finding; findings: %v", report.Findings)
+	}
+	if !report.Implicates(ServerName(1)) {
+		t.Errorf("report does not implicate s01: %v", report.Findings)
+	}
+	if bad[0].Item != victim {
+		t.Errorf("finding names item %s, want %s", bad[0].Item, victim)
+	}
+	if fv := report.FirstViolation(); fv == nil || fv.Height != 1 {
+		t.Errorf("first violation should be at height 1, got %+v", fv)
+	}
+}
+
+// Scenario 3 (paper §5): a server corrupts its datastore (or silently drops
+// updates); the VO/MHT audit (Lemma 2) detects the precise version.
+func TestAuditDetectsSkippedApply(t *testing.T) {
+	c := faultCluster(t, Config{MultiVersion: true})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ItemName(2, 5) // owned by s02
+
+	c.ServerAt(2).SetFaults(server.Faults{SkipApply: true})
+	commitRW(t, ctx, cl, victim, "never-applied", true)
+
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true, Exhaustive: true, MultiVersion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := report.ByType(audit.FindingDatastoreCorruption)
+	if len(bad) == 0 {
+		t.Fatalf("no datastore-corruption finding; findings: %v", report.Findings)
+	}
+	if got := bad[0].Servers; len(got) != 1 || got[0] != ServerName(2) {
+		t.Errorf("finding implicates %v, want [s02]", got)
+	}
+}
+
+func TestAuditDetectsCorruptedApply(t *testing.T) {
+	c := faultCluster(t, Config{})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ItemName(3, 7) // owned by s03
+
+	c.ServerAt(3).SetFaults(server.Faults{CorruptApplyValue: []byte("garbage")})
+	commitRW(t, ctx, cl, victim, "intended", true)
+
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.ByType(audit.FindingDatastoreCorruption)) == 0 {
+		t.Fatalf("no datastore-corruption finding; findings: %v", report.Findings)
+	}
+	if !report.Implicates(ServerName(3)) {
+		t.Errorf("report does not implicate s03")
+	}
+}
+
+// Lemma 4: a server sending wrong CoSi values is identified precisely by
+// partial-signature exclusion; the coordinator reports it and the round
+// fails rather than producing an invalid signature.
+func TestCoordinatorIdentifiesBadCommitment(t *testing.T) {
+	for _, fault := range []server.Faults{{BadCommitment: true}, {BadResponse: true}} {
+		c := faultCluster(t, Config{})
+		ctx := context.Background()
+		cl, err := c.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ServerAt(2).SetFaults(fault)
+
+		s := cl.Begin()
+		if err := s.Write(ctx, ItemName(0, 1), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Commit(ctx)
+		if err == nil {
+			t.Fatalf("commit should fail with faults %+v", fault)
+		}
+		if !strings.Contains(err.Error(), "faulty signers: s02") {
+			t.Errorf("error should identify s02, got: %v", err)
+		}
+		c.Close()
+	}
+}
+
+// Scenario 2 (paper §5): a malicious coordinator inserts a fake Merkle root
+// for a benign cohort; the cohort detects it in the SchResponse phase and
+// refuses to co-sign.
+func TestCohortRejectsFakeRoot(t *testing.T) {
+	c := faultCluster(t, Config{CoordinatorFaults: tfcommit.Faults{FakeRootFor: ServerName(1)}})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := cl.Begin()
+	if err := s.Write(ctx, ItemName(1, 1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Commit(ctx)
+	if err == nil {
+		t.Fatal("commit should fail: benign cohort must refuse the fake root")
+	}
+	if !strings.Contains(err.Error(), "s01") || !strings.Contains(err.Error(), "different root") {
+		t.Errorf("error should show s01 refusing over its root, got: %v", err)
+	}
+}
+
+// Colluding variant of Scenario 2: the cohort itself votes with a fake
+// root. The commit succeeds, but the datastore audit then fails for that
+// server — "in case server Sb colludes with the coordinator ... the
+// datastore verification will fail for server Sb".
+func TestAuditDetectsFakeRootCollusion(t *testing.T) {
+	c := faultCluster(t, Config{})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ServerAt(1).SetFaults(server.Faults{FakeRootInVote: true})
+	commitRW(t, ctx, cl, ItemName(1, 2), "v", true)
+
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := report.ByType(audit.FindingDatastoreCorruption)
+	if len(bad) == 0 {
+		t.Fatalf("no datastore-corruption finding; findings: %v", report.Findings)
+	}
+	if got := bad[0].Servers; len(got) != 1 || got[0] != ServerName(1) {
+		t.Errorf("finding implicates %v, want [s01]", got)
+	}
+}
+
+// Lemma 5 case 1: the coordinator equivocates at the Challenge phase. A
+// correct cohort recomputes ch = h(X_sch ‖ b) over the block it received
+// and exposes the mismatch immediately.
+func TestCohortsExposeChallengeEquivocation(t *testing.T) {
+	c := faultCluster(t, Config{CoordinatorFaults: tfcommit.Faults{EquivocateChallenge: true}})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cl.Begin()
+	if err := s.Write(ctx, ItemName(0, 2), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Commit(ctx)
+	if err == nil {
+		t.Fatal("commit should fail: correct cohorts must expose the equivocation")
+	}
+	if !strings.Contains(err.Error(), "challenge") {
+		t.Errorf("error should reference the challenge check, got: %v", err)
+	}
+}
+
+// Lemma 5 at Decision time with collusion: half the cohorts skip co-sign
+// verification and append the coordinator's mutated block. The audit finds
+// the invalid signature in their logs and the fork against the
+// authoritative log.
+func TestAuditDetectsDecisionEquivocation(t *testing.T) {
+	c := faultCluster(t, Config{})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean block first so every log has an intact prefix.
+	commitRW(t, ctx, cl, ItemName(0, 1), "clean", true)
+
+	// The mutated branch goes to the second half of the remote cohorts
+	// (s02, s03 for remotes [s01 s02 s03]); they collude by skipping
+	// verification.
+	c.ServerAt(2).SetFaults(server.Faults{SkipCoSigCheck: true})
+	c.ServerAt(3).SetFaults(server.Faults{SkipCoSigCheck: true})
+	if err := c.SetCoordinatorFaults(tfcommit.Faults{EquivocateDecision: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	res := commitRW(t, ctx, cl, ItemName(0, 2), "forked", true)
+	if res.Block.Height != 1 {
+		t.Fatalf("expected fork at height 1, got %d", res.Block.Height)
+	}
+
+	report, err := c.Audit(ctx, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := report.ByType(audit.FindingTamperedLog)
+	if len(tampered) == 0 {
+		t.Fatalf("no tampered-log finding for the equivocation branch; findings: %v", report.Findings)
+	}
+	if !report.Implicates(ServerName(2)) || !report.Implicates(ServerName(3)) {
+		t.Errorf("colluders s02/s03 not implicated: %v", report.Findings)
+	}
+	// The coordinator produced the incorrect block; it must be implicated
+	// too.
+	if !report.Implicates(c.Coordinator()) {
+		t.Errorf("coordinator not implicated: %v", report.Findings)
+	}
+	if fv := report.FirstViolation(); fv == nil || fv.Height != 1 {
+		t.Errorf("first violation should be at height 1, got %+v", fv)
+	}
+}
+
+// Lemma 6: post-hoc tampering with a stored block breaks the collective
+// signature.
+func TestAuditDetectsTamperedBlock(t *testing.T) {
+	c := faultCluster(t, Config{})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ItemName(1, 4)
+	commitRW(t, ctx, cl, victim, "true-value", true)
+	commitRW(t, ctx, cl, ItemName(0, 4), "other", true)
+
+	// s01 rewrites history when serving its log.
+	c.ServerAt(1).SetFaults(server.Faults{
+		TamperBlock: &server.TamperSpec{Height: 0, Item: victim, NewVal: []byte("forged")},
+	})
+
+	report, err := c.Audit(ctx, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := report.ByType(audit.FindingTamperedLog)
+	if len(tampered) == 0 {
+		t.Fatalf("no tampered-log finding; findings: %v", report.Findings)
+	}
+	if tampered[0].Height != 0 {
+		t.Errorf("tamper detected at height %d, want 0", tampered[0].Height)
+	}
+	if !report.Implicates(ServerName(1)) {
+		t.Errorf("s01 not implicated")
+	}
+	// The authoritative log must come from an honest server and carry the
+	// true value.
+	if report.AuthoritativeFrom == ServerName(1) {
+		t.Errorf("authoritative log taken from the tamperer")
+	}
+}
+
+// Lemma 6: reordering blocks breaks the hash chain.
+func TestAuditDetectsReorderedLog(t *testing.T) {
+	c := faultCluster(t, Config{})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitRW(t, ctx, cl, ItemName(0, 1), "a", true)
+	commitRW(t, ctx, cl, ItemName(1, 1), "b", true)
+	commitRW(t, ctx, cl, ItemName(2, 1), "c", true)
+
+	c.ServerAt(2).SetFaults(server.Faults{ReorderLog: true})
+
+	report, err := c.Audit(ctx, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reordered := report.ByType(audit.FindingReorderedLog)
+	if len(reordered) == 0 {
+		t.Fatalf("no reordered-log finding; findings: %v", report.Findings)
+	}
+	if got := reordered[0].Servers; len(got) != 1 || got[0] != ServerName(2) {
+		t.Errorf("finding implicates %v, want [s02]", got)
+	}
+}
+
+// Lemma 7: omitting the tail of the log is detected by comparison with the
+// longest valid log.
+func TestAuditDetectsDroppedTail(t *testing.T) {
+	c := faultCluster(t, Config{})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		commitRW(t, ctx, cl, ItemName(i%4, 1), "v", true)
+	}
+
+	c.ServerAt(3).SetFaults(server.Faults{DropTailBlocks: 2})
+
+	report, err := c.Audit(ctx, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incomplete := report.ByType(audit.FindingIncompleteLog)
+	if len(incomplete) == 0 {
+		t.Fatalf("no incomplete-log finding; findings: %v", report.Findings)
+	}
+	f := incomplete[0]
+	if len(f.Servers) != 1 || f.Servers[0] != ServerName(3) {
+		t.Errorf("finding implicates %v, want [s03]", f.Servers)
+	}
+	if f.Height != 2 {
+		t.Errorf("missing tail starts at height %d, want 2", f.Height)
+	}
+	if len(report.Authoritative) != 4 {
+		t.Errorf("authoritative log has %d blocks, want 4", len(report.Authoritative))
+	}
+}
+
+// Lemma 3: a history committed out of timestamp order (made possible by
+// servers that skip the stale-timestamp rule and OCC validation) is flagged
+// by the serializability checks.
+func TestAuditDetectsSerializabilityViolation(t *testing.T) {
+	c := faultCluster(t, Config{})
+	ctx := context.Background()
+
+	// All servers misbehave: they accept stale timestamps and vote commit
+	// unconditionally.
+	for i := 0; i < 4; i++ {
+		c.ServerAt(i).SetFaults(server.Faults{AcceptStaleTS: true, VoteCommitAlways: true})
+	}
+
+	ident, err := c.NewClientIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := ItemName(0, 9)
+
+	// T1 commits at ts 100 writing the item.
+	t1 := &txn.Transaction{
+		ID: "t-high", TS: txn.Timestamp{Time: 100, ClientID: 1},
+		Writes: []txn.WriteEntry{{ID: item, NewVal: []byte("high"), Blind: true}},
+	}
+	env1, err := SignTxn(ident, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.CommitBlockDirect(ctx, []*txn.Transaction{t1}, []identity.Envelope{env1}); err != nil || !ok {
+		t.Fatalf("t1: %v ok=%v", err, ok)
+	}
+
+	// T2 then commits at ts 50 — behind T1 — re-writing the same item: a
+	// WW conflict against the timestamp order.
+	t2 := &txn.Transaction{
+		ID: "t-low", TS: txn.Timestamp{Time: 50, ClientID: 2},
+		Writes: []txn.WriteEntry{{ID: item, NewVal: []byte("low"), Blind: true,
+			WTS: txn.Timestamp{Time: 100, ClientID: 1}}},
+	}
+	env2, err := SignTxn(ident, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.CommitBlockDirect(ctx, []*txn.Transaction{t2}, []identity.Envelope{env2}); err != nil || !ok {
+		t.Fatalf("t2: %v ok=%v", err, ok)
+	}
+
+	report, err := c.Audit(ctx, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol := report.ByType(audit.FindingSerializability)
+	if len(viol) == 0 {
+		t.Fatalf("no serializability finding; findings: %v", report.Findings)
+	}
+	if !report.Implicates(ServerName(0)) {
+		t.Errorf("owner s00 not implicated: %v", report.Findings)
+	}
+}
+
+// A correct cluster under both fault-free audit options yields no findings
+// even after block batches, multi-shard traffic, and aborts.
+func TestAuditCleanAfterMixedTraffic(t *testing.T) {
+	c := faultCluster(t, Config{BatchSize: 4, MultiVersion: true})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		commitRW(t, ctx, cl, ItemName(i%4, i%13), "v", true)
+	}
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true, Exhaustive: true, MultiVersion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		for _, f := range report.Findings {
+			t.Errorf("finding: %s", f)
+		}
+	}
+}

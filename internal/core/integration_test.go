@@ -1,0 +1,386 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/txn"
+)
+
+// testCluster builds a small fast cluster for integration tests.
+func testCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.NumServers == 0 {
+		cfg.NumServers = 3
+	}
+	if cfg.ItemsPerShard == 0 {
+		cfg.ItemsPerShard = 64
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 1
+	}
+	cfg.BatchWait = 500 * time.Microsecond
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterCommitSingleTransaction(t *testing.T) {
+	c := testCluster(t, Config{})
+	ctx := context.Background()
+
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	s := cl.Begin()
+	x := ItemName(0, 1)
+	y := ItemName(1, 2)
+	if _, err := s.Read(ctx, x); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := s.Write(ctx, x, []byte("100")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := s.Write(ctx, y, []byte("200")); err != nil {
+		t.Fatalf("blind write: %v", err)
+	}
+	res, err := s.Commit(ctx)
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if !res.Committed {
+		t.Fatalf("transaction aborted: %+v", res)
+	}
+	if res.Block == nil || res.Block.Height != 0 {
+		t.Fatalf("unexpected block: %+v", res.Block)
+	}
+
+	// Every server must hold the block.
+	for _, id := range c.Servers() {
+		if got := c.Server(id).Log().Len(); got != 1 {
+			t.Errorf("server %s log length = %d, want 1", id, got)
+		}
+	}
+
+	// The datastore must reflect the writes.
+	item, err := c.ServerAt(0).Shard().Get(x)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !bytes.Equal(item.Value, []byte("100")) {
+		t.Errorf("item %s = %q, want 100", x, item.Value)
+	}
+	if item.WTS != res.TS {
+		t.Errorf("item wts = %v, want %v", item.WTS, res.TS)
+	}
+
+	// A second transaction reads what the first wrote.
+	s2 := cl.Begin()
+	v, err := s2.Read(ctx, y)
+	if err != nil {
+		t.Fatalf("read y: %v", err)
+	}
+	if !bytes.Equal(v, []byte("200")) {
+		t.Errorf("read y = %q, want 200", v)
+	}
+	res2, err := s2.Commit(ctx)
+	if err != nil {
+		t.Fatalf("commit 2: %v", err)
+	}
+	if !res2.Committed {
+		t.Fatalf("read-only txn aborted")
+	}
+}
+
+func TestClusterCleanAudit(t *testing.T) {
+	c := testCluster(t, Config{MultiVersion: true, BatchSize: 4})
+	ctx := context.Background()
+
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s := cl.Begin()
+		a := ItemName(i%3, i%5)
+		b := ItemName((i+1)%3, (i+3)%7)
+		if _, err := s.Read(ctx, a); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if err := s.Write(ctx, a, []byte{byte('a' + i)}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if _, err := s.Read(ctx, b); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		res, err := s.Commit(ctx)
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		if !res.Committed {
+			t.Fatalf("txn %d aborted", i)
+		}
+	}
+
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true, Exhaustive: true, MultiVersion: true})
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if !report.Clean() {
+		for _, f := range report.Findings {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if len(report.Authoritative) == 0 {
+		t.Fatal("no authoritative log")
+	}
+}
+
+func TestClusterOCCAbortOnConflict(t *testing.T) {
+	c := testCluster(t, Config{})
+	ctx := context.Background()
+
+	cl1, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ItemName(0, 0)
+
+	// Session 1 reads x, then session 2 commits a write to x, then session
+	// 1 tries to commit a write based on its stale read.
+	s1 := cl1.Begin()
+	if _, err := s1.Read(ctx, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Write(ctx, x, []byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := cl2.Begin()
+	if _, err := s2.Read(ctx, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Write(ctx, x, []byte("s2")); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Committed {
+		t.Fatal("s2 should commit")
+	}
+
+	res1, err := s1.Commit(ctx)
+	if err != nil {
+		t.Fatalf("s1 commit: %v", err)
+	}
+	if res1.Committed {
+		t.Fatal("s1 must abort: its read is stale")
+	}
+	if !res1.Rejected && res1.Block == nil {
+		t.Fatal("aborted txn should carry a signed block or a rejection")
+	}
+
+	// The abort must not have been logged.
+	if got := c.ServerAt(0).Log().Len(); got != 1 {
+		t.Fatalf("log length = %d, want 1 (aborts are not logged)", got)
+	}
+
+	// The datastore keeps s2's value.
+	item, err := c.ServerAt(0).Shard().Get(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(item.Value, []byte("s2")) {
+		t.Fatalf("x = %q, want s2", item.Value)
+	}
+}
+
+func TestClusterTwoPC(t *testing.T) {
+	c := testCluster(t, Config{Protocol: ProtocolTwoPC})
+	ctx := context.Background()
+
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cl.Begin()
+	x := ItemName(0, 3)
+	if _, err := s.Read(ctx, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, x, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Commit(ctx)
+	if err != nil {
+		t.Fatalf("2pc commit: %v", err)
+	}
+	if !res.Committed {
+		t.Fatalf("2pc txn aborted: %+v", res)
+	}
+	for _, id := range c.Servers() {
+		if got := c.Server(id).Log().Len(); got != 1 {
+			t.Errorf("server %s log length = %d, want 1", id, got)
+		}
+	}
+	item, err := c.ServerAt(0).Shard().Get(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(item.Value, []byte("v")) {
+		t.Errorf("x = %q, want v", item.Value)
+	}
+}
+
+func TestClusterStaleTimestampRejected(t *testing.T) {
+	c := testCluster(t, Config{})
+	ctx := context.Background()
+
+	clA, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clB, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Client A commits several txns, advancing the global timestamp.
+	for i := 0; i < 3; i++ {
+		s := clA.Begin()
+		if err := s.Write(ctx, ItemName(0, i), []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if res, err := s.Commit(ctx); err != nil || !res.Committed {
+			t.Fatalf("setup commit %d: %v %+v", i, err, res)
+		}
+	}
+
+	// Client B's clock is fresh; its first commit attempt carries a stale
+	// timestamp and must be rejected with a clock hint, after which a retry
+	// succeeds.
+	s := clB.Begin()
+	if err := s.Write(ctx, ItemName(1, 0), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejected {
+		t.Fatalf("expected rejection for stale timestamp, got %+v", res)
+	}
+
+	s2 := clB.Begin()
+	if err := s2.Write(ctx, ItemName(1, 0), []byte("b2")); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Committed {
+		t.Fatalf("retry after clock fast-forward should commit, got %+v", res2)
+	}
+}
+
+func TestClusterBatchedCommit(t *testing.T) {
+	c := testCluster(t, Config{BatchSize: 8, NumServers: 4, ItemsPerShard: 128})
+	ctx := context.Background()
+
+	const n = 32
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			cl, err := c.NewClient()
+			if err != nil {
+				results <- err
+				return
+			}
+			for attempt := 0; attempt < 10; attempt++ {
+				s := cl.Begin()
+				item := ItemName(i%4, i*3%128)
+				if _, err := s.Read(ctx, item); err != nil {
+					results <- err
+					return
+				}
+				if err := s.Write(ctx, item, []byte{byte(i)}); err != nil {
+					results <- err
+					return
+				}
+				res, err := s.Commit(ctx)
+				if err != nil {
+					results <- err
+					return
+				}
+				if res.Committed {
+					results <- nil
+					return
+				}
+			}
+			results <- context.DeadlineExceeded
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("worker failed: %v", err)
+		}
+	}
+
+	// All servers converge on the same log.
+	ref := c.ServerAt(0).Log()
+	for _, id := range c.Servers() {
+		l := c.Server(id).Log()
+		if l.Len() != ref.Len() {
+			t.Errorf("server %s log length %d != %d", id, l.Len(), ref.Len())
+		}
+		if !bytes.Equal(l.TipHash(), ref.TipHash()) {
+			t.Errorf("server %s tip hash diverges", id)
+		}
+	}
+
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		for _, f := range report.Findings {
+			t.Errorf("finding: %s", f)
+		}
+	}
+}
+
+func TestDirectoryOwners(t *testing.T) {
+	c := testCluster(t, Config{NumServers: 3, ItemsPerShard: 10})
+	for sIdx := 0; sIdx < 3; sIdx++ {
+		for i := 0; i < 10; i++ {
+			id := ItemName(sIdx, i)
+			owner, ok := c.Directory().Owner(id)
+			if !ok {
+				t.Fatalf("no owner for %s", id)
+			}
+			if owner != ServerName(sIdx) {
+				t.Errorf("owner of %s = %s, want %s", id, owner, ServerName(sIdx))
+			}
+		}
+	}
+	if _, ok := c.Directory().Owner(txn.ItemID("nope")); ok {
+		t.Error("unknown item should have no owner")
+	}
+	if got := c.Directory().NumItems(); got != 30 {
+		t.Errorf("NumItems = %d, want 30", got)
+	}
+}

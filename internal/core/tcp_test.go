@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+)
+
+// TestClusterOverTCP runs the full stack — execution, TFCommit, logging,
+// audit — over real loopback TCP sockets.
+func TestClusterOverTCP(t *testing.T) {
+	c, err := NewCluster(Config{
+		NumServers:    3,
+		ItemsPerShard: 32,
+		BatchSize:     2,
+		BatchWait:     time.Millisecond,
+		TCP:           true,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		s := cl.Begin()
+		item := ItemName(i%3, i%7)
+		if _, err := s.Read(ctx, item); err != nil {
+			t.Fatalf("read over tcp: %v", err)
+		}
+		if err := s.Write(ctx, item, []byte{byte('a' + i)}); err != nil {
+			t.Fatalf("write over tcp: %v", err)
+		}
+		res, err := s.Commit(ctx)
+		if err != nil {
+			t.Fatalf("commit over tcp: %v", err)
+		}
+		if !res.Committed {
+			t.Fatalf("txn %d aborted", i)
+		}
+	}
+
+	// Logs replicated identically across TCP nodes.
+	ref := c.ServerAt(0).Log()
+	for _, id := range c.Servers() {
+		l := c.Server(id).Log()
+		if l.Len() != ref.Len() || !bytes.Equal(l.TipHash(), ref.TipHash()) {
+			t.Errorf("server %s log diverges", id)
+		}
+	}
+
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		for _, f := range report.Findings {
+			t.Errorf("finding: %s", f)
+		}
+	}
+}

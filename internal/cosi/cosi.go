@@ -1,0 +1,175 @@
+// Package cosi implements Collective Signing (CoSi, paper §2.2, [40]): a
+// two-round protocol in which a leader produces a record that a group of
+// witnesses validates and collectively signs, yielding a single Schnorr
+// signature whose size and verification cost equal a single signer's.
+//
+// The four phases map onto TFCommit's phases (paper §4.3.1, Figure 7):
+//
+//	Announcement — the leader sends the record to be signed (GetVote).
+//	Commitment   — each witness picks a random secret v_i and returns the
+//	               Schnorr commitment V_i = v_i·G (Vote).
+//	Challenge    — the leader aggregates X = ΣV_i and broadcasts the
+//	               challenge c = H(X ‖ R) for record R (Challenge).
+//	Response     — each witness validates R and returns r_i = v_i + c·x_i;
+//	               the leader aggregates R_s = Σr_i (Response).
+//
+// The collective signature is (c, R_s) and verifies against the aggregate
+// public key ΣX_i exactly like a single Schnorr signature. If any
+// participant lied in any phase the signature is invalid, and the leader can
+// identify the precise culprit by checking each partial response
+// r_i·G == V_i + c·X_i (paper Lemma 4).
+//
+// Fides uses the flat leader↔witness star topology of Figure 1, not the
+// tree aggregation of the original CoSi deployment.
+package cosi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/schnorr"
+)
+
+// Commitment is a witness's Schnorr commitment V = v·G from the Commitment
+// phase.
+type Commitment struct {
+	V schnorr.Point
+}
+
+// Secret is the witness-side state matching a Commitment: the random nonce
+// v. It must be used for exactly one response and then discarded.
+type Secret struct {
+	v *big.Int
+}
+
+// Commit generates the (Commitment, Secret) pair for one round. rnd may be
+// nil to use crypto/rand.
+func Commit(rnd io.Reader) (Commitment, Secret, error) {
+	v, err := schnorr.RandomScalar(rnd)
+	if err != nil {
+		return Commitment{}, Secret{}, fmt.Errorf("cosi: commit: %w", err)
+	}
+	return Commitment{V: schnorr.BaseMult(v)}, Secret{v: v}, nil
+}
+
+// AggregateCommitments sums the witnesses' commitments into the aggregate
+// X_sch = ΣV_i of the Challenge phase. It rejects commitments that are not
+// valid group elements (a malicious witness cannot smuggle in a bad point).
+func AggregateCommitments(commitments []Commitment) (schnorr.Point, error) {
+	agg := schnorr.Infinity()
+	for i, c := range commitments {
+		if !c.V.OnCurve() {
+			return schnorr.Point{}, fmt.Errorf("cosi: commitment %d is not a valid group element", i)
+		}
+		agg = agg.Add(c.V)
+	}
+	return agg, nil
+}
+
+// AggregatePublicKeys sums the participants' public keys. The collective
+// signature verifies against this aggregate exactly like a single-signer
+// Schnorr signature.
+func AggregatePublicKeys(pubs []schnorr.PublicKey) (schnorr.PublicKey, error) {
+	agg := schnorr.Infinity()
+	for i, p := range pubs {
+		if !p.OnCurve() || p.IsInfinity() {
+			return schnorr.PublicKey{}, fmt.Errorf("cosi: public key %d is not a valid group element", i)
+		}
+		agg = agg.Add(p.Point)
+	}
+	return schnorr.PublicKey{Point: agg}, nil
+}
+
+// Challenge computes the Schnorr challenge ch = hash(X_sch ‖ R) binding the
+// aggregate commitment, the aggregate public key and the record (paper §2.2;
+// in TFCommit the record is the canonical encoding of the block, §4.3.1
+// phase 3).
+func Challenge(aggCommitment schnorr.Point, aggPub schnorr.PublicKey, record []byte) *big.Int {
+	return schnorr.Challenge(aggCommitment, aggPub.Point, record)
+}
+
+// Respond computes a witness's response r_i = v_i + c·x_i mod N. The secret
+// is consumed: a second call with the same secret returns an error, because
+// nonce reuse across different challenges leaks the private key.
+func Respond(priv *schnorr.PrivateKey, secret *Secret, challenge *big.Int) (*big.Int, error) {
+	if secret == nil || secret.v == nil {
+		return nil, errors.New("cosi: respond: secret already consumed or unset")
+	}
+	r := schnorr.Respond(priv, secret.v, challenge)
+	secret.v = nil
+	return r, nil
+}
+
+// AggregateResponses sums the witnesses' responses into R_sch = Σr_i.
+func AggregateResponses(responses []*big.Int) (*big.Int, error) {
+	sum := new(big.Int)
+	for i, r := range responses {
+		if r == nil {
+			return nil, fmt.Errorf("cosi: response %d is nil", i)
+		}
+		sum.Add(sum, r)
+	}
+	return sum.Mod(sum, schnorr.N()), nil
+}
+
+// Signature is a collective signature ⟨ch, R_sch⟩ (paper §4.3.1 phase 5).
+// Its size and verification cost are those of a single Schnorr signature.
+type Signature = schnorr.Signature
+
+// Finalize assembles the collective signature from the challenge and the
+// aggregate response.
+func Finalize(challenge, aggResponse *big.Int) Signature {
+	return Signature{C: new(big.Int).Set(challenge), S: new(big.Int).Set(aggResponse)}
+}
+
+// Verify checks a collective signature over record against the aggregate
+// public key of all participants. Anyone holding the participants' public
+// keys can run this; the cost equals verifying one Schnorr signature
+// (paper §2.2).
+func Verify(aggPub schnorr.PublicKey, record []byte, sig Signature) bool {
+	return schnorr.Verify(aggPub, record, sig)
+}
+
+// VerifyParticipants aggregates the given public keys and verifies sig
+// against the aggregate — a convenience for auditors that hold the
+// individual server keys.
+func VerifyParticipants(pubs []schnorr.PublicKey, record []byte, sig Signature) bool {
+	agg, err := AggregatePublicKeys(pubs)
+	if err != nil {
+		return false
+	}
+	return Verify(agg, record, sig)
+}
+
+// VerifyPartial checks one participant's response against their commitment
+// and public key: r_i·G == V_i + c·X_i. The leader runs this per witness
+// when the aggregate signature fails, to identify the precise server that
+// sent incorrect cryptographic values (paper Lemma 4).
+func VerifyPartial(pub schnorr.PublicKey, commitment Commitment, challenge, response *big.Int) bool {
+	if response == nil || challenge == nil || !pub.OnCurve() || !commitment.V.OnCurve() {
+		return false
+	}
+	left := schnorr.BaseMult(response)
+	right := commitment.V.Add(pub.Point.ScalarMult(challenge))
+	return left.Equal(right)
+}
+
+// IdentifyFaulty returns the indices of participants whose partial responses
+// fail VerifyPartial — the rigorous per-server check the coordinator is
+// incentivised to perform when the collective signature is invalid
+// (paper Lemma 4). The three slices must be parallel.
+func IdentifyFaulty(pubs []schnorr.PublicKey, commitments []Commitment, challenge *big.Int, responses []*big.Int) ([]int, error) {
+	if len(pubs) != len(commitments) || len(pubs) != len(responses) {
+		return nil, fmt.Errorf("cosi: identify: mismatched lengths (%d pubs, %d commitments, %d responses)",
+			len(pubs), len(commitments), len(responses))
+	}
+	var faulty []int
+	for i := range pubs {
+		if !VerifyPartial(pubs[i], commitments[i], challenge, responses[i]) {
+			faulty = append(faulty, i)
+		}
+	}
+	return faulty, nil
+}

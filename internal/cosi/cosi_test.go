@@ -1,0 +1,213 @@
+package cosi
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/schnorr"
+)
+
+// runRound executes a full CoSi round for n participants over record and
+// returns everything an inspector needs.
+func runRound(t *testing.T, n int, record []byte) (pubs []schnorr.PublicKey, commitments []Commitment, challenge *big.Int, responses []*big.Int, sig Signature) {
+	t.Helper()
+	privs := make([]*schnorr.PrivateKey, n)
+	pubs = make([]schnorr.PublicKey, n)
+	commitments = make([]Commitment, n)
+	secrets := make([]Secret, n)
+	for i := 0; i < n; i++ {
+		priv, err := schnorr.GenerateKey(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		privs[i] = priv
+		pubs[i] = priv.Public
+		c, s, err := Commit(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commitments[i] = c
+		secrets[i] = s
+	}
+	aggV, err := AggregateCommitments(commitments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggPub, err := AggregatePublicKeys(pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenge = Challenge(aggV, aggPub, record)
+	responses = make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		r, err := Respond(privs[i], &secrets[i], challenge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		responses[i] = r
+	}
+	aggR, err := AggregateResponses(responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig = Finalize(challenge, aggR)
+	return pubs, commitments, challenge, responses, sig
+}
+
+func TestCollectiveSignRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 9} {
+		record := []byte("block-bytes")
+		pubs, _, _, _, sig := runRound(t, n, record)
+		if !VerifyParticipants(pubs, record, sig) {
+			t.Errorf("n=%d: valid collective signature rejected", n)
+		}
+		if VerifyParticipants(pubs, []byte("different"), sig) {
+			t.Errorf("n=%d: signature verified for wrong record", n)
+		}
+	}
+}
+
+func TestVerifyRejectsSubsetOfSigners(t *testing.T) {
+	record := []byte("rec")
+	pubs, _, _, _, sig := runRound(t, 4, record)
+	if VerifyParticipants(pubs[:3], record, sig) {
+		t.Error("signature verified with a signer missing")
+	}
+	extra, _ := schnorr.GenerateKey(nil)
+	if VerifyParticipants(append(append([]schnorr.PublicKey{}, pubs...), extra.Public), record, sig) {
+		t.Error("signature verified with an extra signer")
+	}
+}
+
+func TestPartialVerification(t *testing.T) {
+	record := []byte("rec")
+	pubs, commitments, challenge, responses, _ := runRound(t, 5, record)
+	for i := range pubs {
+		if !VerifyPartial(pubs[i], commitments[i], challenge, responses[i]) {
+			t.Errorf("honest partial %d rejected", i)
+		}
+	}
+	faulty, err := IdentifyFaulty(pubs, commitments, challenge, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulty) != 0 {
+		t.Errorf("honest round identified faulty %v", faulty)
+	}
+}
+
+func TestIdentifyFaultyResponse(t *testing.T) {
+	record := []byte("rec")
+	pubs, commitments, challenge, responses, _ := runRound(t, 5, record)
+	// Participant 2 corrupts its response.
+	responses[2] = new(big.Int).Add(responses[2], big.NewInt(1))
+	aggR, err := AggregateResponses(responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := Finalize(challenge, aggR)
+	if VerifyParticipants(pubs, record, sig) {
+		t.Fatal("corrupted aggregate verified")
+	}
+	faulty, err := IdentifyFaulty(pubs, commitments, challenge, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulty) != 1 || faulty[0] != 2 {
+		t.Errorf("identified %v, want [2]", faulty)
+	}
+}
+
+func TestIdentifyFaultyCommitment(t *testing.T) {
+	record := []byte("rec")
+	n := 4
+	privs := make([]*schnorr.PrivateKey, n)
+	pubs := make([]schnorr.PublicKey, n)
+	commitments := make([]Commitment, n)
+	secrets := make([]Secret, n)
+	for i := 0; i < n; i++ {
+		priv, _ := schnorr.GenerateKey(nil)
+		privs[i] = priv
+		pubs[i] = priv.Public
+		c, s, err := Commit(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commitments[i] = c
+		secrets[i] = s
+	}
+	// Participant 1 publishes a commitment unrelated to its secret.
+	k, _ := schnorr.RandomScalar(nil)
+	commitments[1] = Commitment{V: schnorr.BaseMult(k)}
+
+	aggV, _ := AggregateCommitments(commitments)
+	aggPub, _ := AggregatePublicKeys(pubs)
+	challenge := Challenge(aggV, aggPub, record)
+	responses := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		r, err := Respond(privs[i], &secrets[i], challenge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		responses[i] = r
+	}
+	aggR, _ := AggregateResponses(responses)
+	if Verify(aggPub, record, Finalize(challenge, aggR)) {
+		t.Fatal("aggregate with fake commitment verified")
+	}
+	faulty, err := IdentifyFaulty(pubs, commitments, challenge, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulty) != 1 || faulty[0] != 1 {
+		t.Errorf("identified %v, want [1]", faulty)
+	}
+}
+
+func TestSecretSingleUse(t *testing.T) {
+	priv, _ := schnorr.GenerateKey(nil)
+	_, secret, err := Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := big.NewInt(12345)
+	if _, err := Respond(priv, &secret, ch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Respond(priv, &secret, ch); err == nil {
+		t.Fatal("nonce reuse permitted")
+	}
+}
+
+func TestAggregateRejectsInvalidInputs(t *testing.T) {
+	if _, err := AggregateCommitments([]Commitment{{V: schnorr.Point{X: big.NewInt(1), Y: big.NewInt(1)}}}); err == nil {
+		t.Error("off-curve commitment accepted")
+	}
+	if _, err := AggregatePublicKeys([]schnorr.PublicKey{{Point: schnorr.Infinity()}}); err == nil {
+		t.Error("identity public key accepted")
+	}
+	if _, err := AggregateResponses([]*big.Int{nil}); err == nil {
+		t.Error("nil response accepted")
+	}
+	if _, err := IdentifyFaulty(nil, []Commitment{{}}, big.NewInt(1), nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestChallengeBindsAllInputs(t *testing.T) {
+	priv, _ := schnorr.GenerateKey(nil)
+	c1, _, _ := Commit(nil)
+	c2, _, _ := Commit(nil)
+	rec := []byte("r1")
+	base := Challenge(c1.V, priv.Public, rec)
+	if Challenge(c2.V, priv.Public, rec).Cmp(base) == 0 {
+		t.Error("challenge ignores commitment")
+	}
+	other, _ := schnorr.GenerateKey(nil)
+	if Challenge(c1.V, other.Public, rec).Cmp(base) == 0 {
+		t.Error("challenge ignores aggregate key")
+	}
+	if Challenge(c1.V, priv.Public, []byte("r2")).Cmp(base) == 0 {
+		t.Error("challenge ignores record")
+	}
+}

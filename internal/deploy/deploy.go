@@ -1,0 +1,143 @@
+// Package deploy defines the multi-process deployment descriptor shared by
+// cmd/fides-keygen, cmd/fides-server and cmd/fides-client: the server set
+// with listen addresses and key material, the client identities, and the
+// shard layout.
+//
+// The descriptor carries every node's private keys in one file as a
+// demonstration convenience; see identity.KeyFile for the caveat.
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/txn"
+)
+
+// ServerSpec is one server's deployment entry.
+type ServerSpec struct {
+	Keys identity.KeyFile `json:"keys"`
+	Addr string           `json:"addr"`
+}
+
+// Deployment is the full descriptor.
+type Deployment struct {
+	ItemsPerShard int                `json:"items_per_shard"`
+	MultiVersion  bool               `json:"multi_version"`
+	BatchSize     int                `json:"batch_size"`
+	Servers       []ServerSpec       `json:"servers"`
+	Clients       []identity.KeyFile `json:"clients"`
+}
+
+// Generate creates a fresh deployment of n servers listening on
+// consecutive loopback ports starting at basePort, plus nClients client
+// identities (client 0 is the workload client, client 1 the auditor).
+func Generate(n, basePort, itemsPerShard, batchSize, nClients int, multiVersion bool) (*Deployment, error) {
+	d := &Deployment{
+		ItemsPerShard: itemsPerShard,
+		MultiVersion:  multiVersion,
+		BatchSize:     batchSize,
+	}
+	for i := 0; i < n; i++ {
+		ident, err := identity.New(core.ServerName(i), identity.RoleServer, nil)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: %w", err)
+		}
+		d.Servers = append(d.Servers, ServerSpec{
+			Keys: ident.Export(),
+			Addr: fmt.Sprintf("127.0.0.1:%d", basePort+i),
+		})
+	}
+	for i := 0; i < nClients; i++ {
+		ident, err := identity.New(identity.NodeID(fmt.Sprintf("c%04d", i+1)), identity.RoleClient, nil)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: %w", err)
+		}
+		d.Clients = append(d.Clients, ident.Export())
+	}
+	return d, nil
+}
+
+// Load reads a deployment descriptor from disk.
+func Load(path string) (*Deployment, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	var d Deployment
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("deploy: parse %s: %w", path, err)
+	}
+	if len(d.Servers) == 0 {
+		return nil, fmt.Errorf("deploy: %s lists no servers", path)
+	}
+	if d.ItemsPerShard <= 0 {
+		d.ItemsPerShard = 1000
+	}
+	if d.BatchSize <= 0 {
+		d.BatchSize = 16
+	}
+	return &d, nil
+}
+
+// Save writes the descriptor to disk (0600: it contains private keys).
+func (d *Deployment) Save(path string) error {
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
+	return nil
+}
+
+// Registry builds the shared public-key registry from the descriptor.
+func (d *Deployment) Registry() (*identity.Registry, error) {
+	reg := identity.NewRegistry()
+	for _, s := range d.Servers {
+		ident, err := identity.Import(s.Keys)
+		if err != nil {
+			return nil, err
+		}
+		reg.Register(ident.Public())
+	}
+	for _, c := range d.Clients {
+		ident, err := identity.Import(c)
+		if err != nil {
+			return nil, err
+		}
+		reg.Register(ident.Public())
+	}
+	return reg, nil
+}
+
+// Directory builds the item directory implied by the shard layout.
+func (d *Deployment) Directory() *core.Directory {
+	shards := make(map[identity.NodeID][]txn.ItemID, len(d.Servers))
+	for i, s := range d.Servers {
+		items := make([]txn.ItemID, d.ItemsPerShard)
+		for j := 0; j < d.ItemsPerShard; j++ {
+			items[j] = core.ItemName(i, j)
+		}
+		shards[s.Keys.ID] = items
+	}
+	return core.NewDirectory(shards)
+}
+
+// ServerIDs returns the server ids in descriptor order.
+func (d *Deployment) ServerIDs() []identity.NodeID {
+	ids := make([]identity.NodeID, len(d.Servers))
+	for i, s := range d.Servers {
+		ids[i] = s.Keys.ID
+	}
+	return ids
+}
+
+// CoordinatorID returns the designated coordinator (the first server).
+func (d *Deployment) CoordinatorID() identity.NodeID {
+	return d.Servers[0].Keys.ID
+}

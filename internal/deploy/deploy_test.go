@@ -1,0 +1,107 @@
+package deploy
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+)
+
+func TestGenerateSaveLoadRoundTrip(t *testing.T) {
+	d, err := Generate(3, 9100, 128, 8, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Servers) != 3 || len(d.Clients) != 2 {
+		t.Fatalf("servers=%d clients=%d", len(d.Servers), len(d.Clients))
+	}
+	path := filepath.Join(t.TempDir(), "deployment.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ItemsPerShard != 128 || loaded.BatchSize != 8 || !loaded.MultiVersion {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	if loaded.CoordinatorID() != core.ServerName(0) {
+		t.Fatalf("coordinator = %s", loaded.CoordinatorID())
+	}
+	if got := loaded.ServerIDs(); len(got) != 3 || got[1] != core.ServerName(1) {
+		t.Fatalf("server ids = %v", got)
+	}
+}
+
+func TestRegistryAndDirectoryFromDeployment(t *testing.T) {
+	d, err := Generate(2, 9200, 16, 4, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := d.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 3 { // 2 servers + 1 client
+		t.Fatalf("registry len = %d", reg.Len())
+	}
+	if _, err := reg.SchnorrKey(core.ServerName(1)); err != nil {
+		t.Fatalf("server schnorr key: %v", err)
+	}
+	dir := d.Directory()
+	if dir.NumItems() != 32 {
+		t.Fatalf("items = %d", dir.NumItems())
+	}
+	owner, ok := dir.Owner(core.ItemName(1, 5))
+	if !ok || owner != core.ServerName(1) {
+		t.Fatalf("owner = %v %v", owner, ok)
+	}
+}
+
+func TestKeyFileRoundTrip(t *testing.T) {
+	ident, err := identity.New("s00", identity.RoleServer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := identity.Import(ident.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored identity must produce verifiable envelopes and share the
+	// schnorr public key.
+	reg := identity.NewRegistry()
+	reg.Register(ident.Public())
+	env := identity.Seal(restored, []byte("payload"))
+	if _, err := reg.Open(env); err != nil {
+		t.Fatalf("restored identity signature rejected: %v", err)
+	}
+	if !restored.Schnorr.Public.Equal(ident.Schnorr.Public.Point) {
+		t.Fatal("schnorr public key mismatch after round trip")
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	if _, err := identity.Import(identity.KeyFile{}); err == nil {
+		t.Error("empty key file accepted")
+	}
+	ident, _ := identity.New("c0", identity.RoleClient, nil)
+	kf := ident.Export()
+	kf.Ed25519Seed = kf.Ed25519Seed[:5]
+	if _, err := identity.Import(kf); err == nil {
+		t.Error("truncated seed accepted")
+	}
+	srv, _ := identity.New("s0", identity.RoleServer, nil)
+	kf2 := srv.Export()
+	kf2.SchnorrD = nil
+	if _, err := identity.Import(kf2); err == nil {
+		t.Error("server key file without schnorr scalar accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

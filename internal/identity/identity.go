@@ -1,0 +1,218 @@
+// Package identity provides the node identities and message authentication
+// of paper §3.1: servers and clients are uniquely identifiable by their
+// public keys, are aware of all other servers, and every message exchanged
+// (client↔server or server↔server) is digitally signed by the sender and
+// verified by the receiver.
+//
+// Each node holds an Ed25519 key pair for message signing; servers
+// additionally hold a Schnorr (P-256) key pair used by CoSi during
+// TFCommit. A Registry maps node ids to public keys and is distributed to
+// every participant out of band (the paper's "aware of all the other
+// servers in the system").
+package identity
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/schnorr"
+)
+
+// NodeID names a server or client. IDs are unique within a deployment.
+type NodeID string
+
+// Role distinguishes servers (which participate in commitment and hold
+// Schnorr keys) from clients.
+type Role int
+
+// Roles of nodes in a Fides deployment.
+const (
+	RoleServer Role = iota + 1
+	RoleClient
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleServer:
+		return "server"
+	case RoleClient:
+		return "client"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Identity is a node's private identity: its id, role, Ed25519 signing key,
+// and (for servers) the Schnorr key used in collective signing.
+type Identity struct {
+	ID      NodeID
+	Role    Role
+	SignKey ed25519.PrivateKey
+	// Schnorr is nil for clients.
+	Schnorr *schnorr.PrivateKey
+}
+
+// New generates a fresh identity. rnd may be nil to use crypto/rand.
+func New(id NodeID, role Role, rnd io.Reader) (*Identity, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	_, priv, err := ed25519.GenerateKey(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("identity %s: generate ed25519 key: %w", id, err)
+	}
+	ident := &Identity{ID: id, Role: role, SignKey: priv}
+	if role == RoleServer {
+		sk, err := schnorr.GenerateKey(rnd)
+		if err != nil {
+			return nil, fmt.Errorf("identity %s: generate schnorr key: %w", id, err)
+		}
+		ident.Schnorr = sk
+	}
+	return ident, nil
+}
+
+// Public returns the node's public record for registry distribution.
+func (i *Identity) Public() Public {
+	p := Public{
+		ID:      i.ID,
+		Role:    i.Role,
+		SignPub: i.SignKey.Public().(ed25519.PublicKey),
+	}
+	if i.Schnorr != nil {
+		p.SchnorrPub = i.Schnorr.Public
+		p.hasSchnorr = true
+	}
+	return p
+}
+
+// Public is the publicly known part of an identity.
+type Public struct {
+	ID         NodeID
+	Role       Role
+	SignPub    ed25519.PublicKey
+	SchnorrPub schnorr.PublicKey
+	hasSchnorr bool
+}
+
+// HasSchnorr reports whether the node published a Schnorr key (servers do).
+func (p Public) HasSchnorr() bool { return p.hasSchnorr }
+
+// Registry is the shared directory of public keys. It is safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	nodes map[NodeID]Public
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{nodes: make(map[NodeID]Public)}
+}
+
+// Register adds or replaces a node's public record.
+func (r *Registry) Register(p Public) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nodes[p.ID] = p
+}
+
+// Lookup returns the public record for id.
+func (r *Registry) Lookup(id NodeID) (Public, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.nodes[id]
+	return p, ok
+}
+
+// SchnorrKey returns the Schnorr public key of a server.
+func (r *Registry) SchnorrKey(id NodeID) (schnorr.PublicKey, error) {
+	p, ok := r.Lookup(id)
+	if !ok {
+		return schnorr.PublicKey{}, fmt.Errorf("identity: unknown node %q", id)
+	}
+	if !p.hasSchnorr {
+		return schnorr.PublicKey{}, fmt.Errorf("identity: node %q has no schnorr key", id)
+	}
+	return p.SchnorrPub, nil
+}
+
+// SchnorrKeys returns the Schnorr public keys of the given servers, in
+// order. Auditors and clients use this to verify collective signatures.
+func (r *Registry) SchnorrKeys(ids []NodeID) ([]schnorr.PublicKey, error) {
+	keys := make([]schnorr.PublicKey, 0, len(ids))
+	for _, id := range ids {
+		k, err := r.SchnorrKey(id)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+// Servers returns the ids of all registered servers in lexical order.
+func (r *Registry) Servers() []NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]NodeID, 0, len(r.nodes))
+	for id, p := range r.nodes {
+		if p.Role == RoleServer {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len returns the number of registered nodes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Envelope is a digitally signed message wrapper (paper §3.1): the payload,
+// the sender, and the sender's Ed25519 signature over the payload. Servers
+// store the signed client requests they act on, so a client can neither
+// forge a blame nor deny a request it sent (paper §3.2).
+type Envelope struct {
+	From    NodeID `json:"from"`
+	Payload []byte `json:"payload"`
+	Sig     []byte `json:"sig"`
+}
+
+// Errors returned by Open.
+var (
+	ErrUnknownSender = errors.New("identity: unknown sender")
+	ErrBadSignature  = errors.New("identity: invalid envelope signature")
+)
+
+// Seal signs payload with the node's Ed25519 key and wraps it in an
+// Envelope. The payload is not copied.
+func Seal(ident *Identity, payload []byte) Envelope {
+	return Envelope{
+		From:    ident.ID,
+		Payload: payload,
+		Sig:     ed25519.Sign(ident.SignKey, payload),
+	}
+}
+
+// Open verifies the envelope signature against the registry and returns the
+// payload. It fails for unknown senders or invalid signatures; the receiver
+// drops such messages (paper §3.1).
+func (r *Registry) Open(env Envelope) ([]byte, error) {
+	pub, ok := r.Lookup(env.From)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSender, env.From)
+	}
+	if !ed25519.Verify(pub.SignPub, env.Payload, env.Sig) {
+		return nil, fmt.Errorf("%w: from %q", ErrBadSignature, env.From)
+	}
+	return env.Payload, nil
+}

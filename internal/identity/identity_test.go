@@ -1,0 +1,137 @@
+package identity
+
+import (
+	"testing"
+)
+
+func TestNewServerIdentity(t *testing.T) {
+	ident, err := New("s1", RoleServer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ident.Schnorr == nil {
+		t.Fatal("server identity lacks schnorr key")
+	}
+	pub := ident.Public()
+	if !pub.HasSchnorr() {
+		t.Fatal("server public record lacks schnorr key")
+	}
+	if pub.ID != "s1" || pub.Role != RoleServer {
+		t.Fatalf("public record wrong: %+v", pub)
+	}
+}
+
+func TestNewClientIdentity(t *testing.T) {
+	ident, err := New("c1", RoleClient, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ident.Schnorr != nil {
+		t.Fatal("client identity should not hold a schnorr key")
+	}
+	if ident.Public().HasSchnorr() {
+		t.Fatal("client public record claims a schnorr key")
+	}
+}
+
+func TestRegistryLookupAndServers(t *testing.T) {
+	reg := NewRegistry()
+	for _, id := range []NodeID{"s2", "s1"} {
+		ident, err := New(id, RoleServer, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Register(ident.Public())
+	}
+	cl, _ := New("c1", RoleClient, nil)
+	reg.Register(cl.Public())
+
+	if reg.Len() != 3 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+	if _, ok := reg.Lookup("s1"); !ok {
+		t.Fatal("s1 missing")
+	}
+	if _, ok := reg.Lookup("nope"); ok {
+		t.Fatal("phantom node found")
+	}
+	servers := reg.Servers()
+	if len(servers) != 2 || servers[0] != "s1" || servers[1] != "s2" {
+		t.Fatalf("Servers = %v", servers)
+	}
+}
+
+func TestSchnorrKeys(t *testing.T) {
+	reg := NewRegistry()
+	s1, _ := New("s1", RoleServer, nil)
+	c1, _ := New("c1", RoleClient, nil)
+	reg.Register(s1.Public())
+	reg.Register(c1.Public())
+
+	keys, err := reg.SchnorrKeys([]NodeID{"s1"})
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("SchnorrKeys: %v", err)
+	}
+	if _, err := reg.SchnorrKeys([]NodeID{"c1"}); err == nil {
+		t.Fatal("client schnorr key lookup should fail")
+	}
+	if _, err := reg.SchnorrKeys([]NodeID{"ghost"}); err == nil {
+		t.Fatal("unknown node lookup should fail")
+	}
+	if _, err := reg.SchnorrKey("s1"); err != nil {
+		t.Fatalf("single key lookup: %v", err)
+	}
+}
+
+func TestSealOpen(t *testing.T) {
+	reg := NewRegistry()
+	alice, _ := New("alice", RoleClient, nil)
+	reg.Register(alice.Public())
+
+	payload := []byte("hello world")
+	env := Seal(alice, payload)
+	got, err := reg.Open(env)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	reg := NewRegistry()
+	alice, _ := New("alice", RoleClient, nil)
+	mallory, _ := New("mallory", RoleClient, nil)
+	reg.Register(alice.Public())
+	reg.Register(mallory.Public())
+
+	env := Seal(alice, []byte("pay alice $10"))
+
+	tampered := env
+	tampered.Payload = []byte("pay mallory $10")
+	if _, err := reg.Open(tampered); err == nil {
+		t.Error("tampered payload accepted")
+	}
+
+	impersonated := env
+	impersonated.From = "mallory"
+	if _, err := reg.Open(impersonated); err == nil {
+		t.Error("sender impersonation accepted")
+	}
+
+	unknown := Seal(alice, []byte("x"))
+	unknown.From = "ghost"
+	if _, err := reg.Open(unknown); err == nil {
+		t.Error("unknown sender accepted")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleServer.String() != "server" || RoleClient.String() != "client" {
+		t.Error("role strings wrong")
+	}
+	if Role(99).String() == "" {
+		t.Error("unknown role string empty")
+	}
+}

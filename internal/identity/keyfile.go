@@ -1,0 +1,66 @@
+package identity
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/schnorr"
+)
+
+// KeyFile is the JSON-serializable form of an Identity, used by the
+// multi-process deployment tools (cmd/fides-keygen, cmd/fides-server).
+//
+// A KeyFile contains private key material. The bundled tools ship one file
+// holding every node's keys purely as a demonstration convenience; a real
+// deployment distributes each server's KeyFile to that server only and
+// publishes just the public halves.
+type KeyFile struct {
+	ID   NodeID `json:"id"`
+	Role Role   `json:"role"`
+	// Ed25519Seed is the 32-byte Ed25519 private seed.
+	Ed25519Seed []byte `json:"ed25519_seed"`
+	// SchnorrD is the big-endian Schnorr secret scalar (servers only).
+	SchnorrD []byte `json:"schnorr_d,omitempty"`
+}
+
+// Export serializes the identity's key material.
+func (i *Identity) Export() KeyFile {
+	kf := KeyFile{
+		ID:          i.ID,
+		Role:        i.Role,
+		Ed25519Seed: append([]byte(nil), i.SignKey.Seed()...),
+	}
+	if i.Schnorr != nil {
+		kf.SchnorrD = i.Schnorr.D.Bytes()
+	}
+	return kf
+}
+
+// Import reconstructs an Identity from its serialized key material.
+func Import(kf KeyFile) (*Identity, error) {
+	if kf.ID == "" {
+		return nil, errors.New("identity: key file has empty id")
+	}
+	if len(kf.Ed25519Seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("identity %s: ed25519 seed must be %d bytes, got %d",
+			kf.ID, ed25519.SeedSize, len(kf.Ed25519Seed))
+	}
+	ident := &Identity{
+		ID:      kf.ID,
+		Role:    kf.Role,
+		SignKey: ed25519.NewKeyFromSeed(kf.Ed25519Seed),
+	}
+	if kf.Role == RoleServer {
+		if len(kf.SchnorrD) == 0 {
+			return nil, fmt.Errorf("identity %s: server key file lacks schnorr scalar", kf.ID)
+		}
+		d := new(big.Int).SetBytes(kf.SchnorrD)
+		if d.Sign() <= 0 || d.Cmp(schnorr.N()) >= 0 {
+			return nil, fmt.Errorf("identity %s: schnorr scalar out of range", kf.ID)
+		}
+		ident.Schnorr = &schnorr.PrivateKey{D: d, Public: schnorr.PublicKey{Point: schnorr.BaseMult(d)}}
+	}
+	return ident, nil
+}

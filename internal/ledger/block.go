@@ -1,0 +1,338 @@
+// Package ledger implements the tamper-proof, globally replicated
+// transaction log of Fides (paper §3.1, §4.4): a linked list of transaction
+// blocks chained by cryptographic hash pointers, each block carrying the
+// fields of Table 1 — transaction id(s) and read/write sets, the Merkle
+// roots of the shards involved, the commit/abort decision, the hash of the
+// previous block, and the collective signature of all participants.
+//
+// Blocks are hashed and collectively signed over a canonical, deterministic
+// binary encoding (encode.go), so every server derives the identical byte
+// string for the same logical block regardless of process or platform.
+package ledger
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cosi"
+	"repro/internal/identity"
+	"repro/internal/schnorr"
+	"repro/internal/txn"
+)
+
+// Decision is a block's termination decision (Table 1). A block with many
+// transactions (paper §4.6) commits or aborts as a unit: a commit requires
+// the MHT roots of all involved servers; an abort leaves at least one root
+// missing (paper §4.3.2).
+type Decision uint8
+
+// Block decisions.
+const (
+	DecisionCommit Decision = iota + 1
+	DecisionAbort
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DecisionCommit:
+		return "commit"
+	case DecisionAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("decision(%d)", uint8(d))
+	}
+}
+
+// TxnRecord is one transaction's entry inside a block: its id, commit
+// timestamp, and read/write sets (Table 1 rows TxnId, R_set, W_set).
+type TxnRecord struct {
+	TxnID  string           `json:"txn_id"`
+	TS     txn.Timestamp    `json:"ts"`
+	Reads  []txn.ReadEntry  `json:"reads"`
+	Writes []txn.WriteEntry `json:"writes"`
+}
+
+// RecordFromTransaction copies a client transaction into its block record.
+func RecordFromTransaction(t *txn.Transaction) TxnRecord {
+	return TxnRecord{TxnID: t.ID, TS: t.TS, Reads: t.Reads, Writes: t.Writes}
+}
+
+// CanonicalBytes returns the record's deterministic encoding, used by
+// cohorts to check that a block's transaction entries exactly match the
+// client-signed requests the coordinator encapsulated (paper §4.3.1
+// phase 2).
+func (t TxnRecord) CanonicalBytes() []byte {
+	var e encoder
+	encodeTxnRecord(&e, &t)
+	return e.buf
+}
+
+// StrippedBytes returns the canonical encoding of the block with the fields
+// the coordinator fills in later phases (roots, decision, co-sign) cleared.
+// Cohorts compare these bytes across TFCommit phases to detect a
+// coordinator that mutates the transaction contents mid-protocol.
+func (b *Block) StrippedBytes() []byte {
+	c := b.Clone()
+	c.Roots = nil
+	c.Decision = 0
+	c.CoSigC, c.CoSigS = nil, nil
+	return c.SigningBytes()
+}
+
+// Block is one entry of the tamper-proof log, mirroring Table 1 of the
+// paper. The simplifying single-transaction exposition of §4 corresponds to
+// len(Txns) == 1; the evaluation (§6) stores up to ~100 transactions per
+// block, which Txns supports directly.
+type Block struct {
+	// Height is the block's position in the log (block 0 is the genesis).
+	Height uint64 `json:"height"`
+	// Txns are the transactions terminated by this block, ordered by the
+	// coordinator at the start of TFCommit (paper §4.6).
+	Txns []TxnRecord `json:"txns"`
+	// Roots holds the Merkle Hash Tree root of every shard involved in the
+	// block's transactions (Table 1 row Σroots), keyed by server. For an
+	// aborted block at least one root is missing.
+	Roots map[identity.NodeID][]byte `json:"roots"`
+	// Decision is the collective commit/abort decision.
+	Decision Decision `json:"decision"`
+	// PrevHash is the hash of the previous block (Table 1 row h), forming
+	// the chain of blocks linked by their hashes.
+	PrevHash []byte `json:"prev_hash"`
+	// Signers lists the servers that participated in the collective
+	// signature, in the canonical order used for key aggregation.
+	Signers []identity.NodeID `json:"signers"`
+	// CoSigC and CoSigS are the collective signature ⟨ch, R_sch⟩ over the
+	// block's signing bytes (Table 1 row co-sign).
+	CoSigC []byte `json:"cosig_c"`
+	// CoSigS is the aggregate Schnorr response of the collective signature.
+	CoSigS []byte `json:"cosig_s"`
+}
+
+// CoSig returns the block's collective signature.
+func (b *Block) CoSig() cosi.Signature {
+	if len(b.CoSigC) == 0 || len(b.CoSigS) == 0 {
+		return cosi.Signature{}
+	}
+	return schnorr.SignatureFromBytes(b.CoSigC, b.CoSigS)
+}
+
+// SetCoSig stores the collective signature on the block.
+func (b *Block) SetCoSig(sig cosi.Signature) {
+	b.CoSigC, b.CoSigS = sig.Bytes()
+}
+
+// SigningBytes returns the canonical encoding of the block contents that
+// the collective signature covers: everything except the signature itself.
+// The challenge ch = h(X_sch ‖ b_i) of TFCommit phase 3 is computed over
+// exactly these bytes.
+func (b *Block) SigningBytes() []byte {
+	var e encoder
+	e.uint64(b.Height)
+	e.uvarint(uint64(len(b.Txns)))
+	for i := range b.Txns {
+		encodeTxnRecord(&e, &b.Txns[i])
+	}
+	// Roots in deterministic (sorted) key order.
+	ids := make([]identity.NodeID, 0, len(b.Roots))
+	for id := range b.Roots {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		e.str(string(id))
+		e.bytes(b.Roots[id])
+	}
+	e.byte(byte(b.Decision))
+	e.bytes(b.PrevHash)
+	e.uvarint(uint64(len(b.Signers)))
+	for _, id := range b.Signers {
+		e.str(string(id))
+	}
+	return e.buf
+}
+
+// Hash returns the block's chaining hash: SHA-256 over the signing bytes
+// followed by the collective signature, so tampering with either the
+// contents or the signature of block i breaks block i+1's PrevHash.
+func (b *Block) Hash() []byte {
+	h := sha256.New()
+	h.Write([]byte("fides/block/v1"))
+	h.Write(b.SigningBytes())
+	h.Write(b.CoSigC)
+	h.Write(b.CoSigS)
+	return h.Sum(nil)
+}
+
+// Clone returns a deep copy of the block. Servers hand out clones so a
+// caller cannot mutate the stored log through aliasing.
+func (b *Block) Clone() *Block {
+	nb := &Block{
+		Height:   b.Height,
+		Decision: b.Decision,
+		PrevHash: append([]byte(nil), b.PrevHash...),
+		Signers:  append([]identity.NodeID(nil), b.Signers...),
+		CoSigC:   append([]byte(nil), b.CoSigC...),
+		CoSigS:   append([]byte(nil), b.CoSigS...),
+	}
+	nb.Txns = make([]TxnRecord, len(b.Txns))
+	for i, t := range b.Txns {
+		nt := TxnRecord{TxnID: t.TxnID, TS: t.TS}
+		nt.Reads = make([]txn.ReadEntry, len(t.Reads))
+		for j, r := range t.Reads {
+			r.Value = append([]byte(nil), r.Value...)
+			nt.Reads[j] = r
+		}
+		nt.Writes = make([]txn.WriteEntry, len(t.Writes))
+		for j, w := range t.Writes {
+			w.NewVal = append([]byte(nil), w.NewVal...)
+			w.OldVal = append([]byte(nil), w.OldVal...)
+			nt.Writes[j] = w
+		}
+		nb.Txns[i] = nt
+	}
+	if b.Roots != nil {
+		nb.Roots = make(map[identity.NodeID][]byte, len(b.Roots))
+		for id, r := range b.Roots {
+			nb.Roots[id] = append([]byte(nil), r...)
+		}
+	}
+	return nb
+}
+
+// MaxTS returns the largest commit timestamp among the block's transactions.
+func (b *Block) MaxTS() txn.Timestamp {
+	var max txn.Timestamp
+	for i := range b.Txns {
+		max = max.Max(b.Txns[i].TS)
+	}
+	return max
+}
+
+func encodeTxnRecord(e *encoder, t *TxnRecord) {
+	e.str(t.TxnID)
+	e.timestamp(t.TS)
+	e.uvarint(uint64(len(t.Reads)))
+	for _, r := range t.Reads {
+		e.str(string(r.ID))
+		e.bytes(r.Value)
+		e.timestamp(r.RTS)
+		e.timestamp(r.WTS)
+	}
+	e.uvarint(uint64(len(t.Writes)))
+	for _, w := range t.Writes {
+		e.str(string(w.ID))
+		e.bytes(w.NewVal)
+		e.bytes(w.OldVal)
+		if w.Blind {
+			e.byte(1)
+		} else {
+			e.byte(0)
+		}
+		e.timestamp(w.RTS)
+		e.timestamp(w.WTS)
+	}
+}
+
+// Log is a server's local copy of the globally replicated tamper-proof log:
+// an append-only sequence of committed blocks. It is safe for concurrent
+// use.
+type Log struct {
+	mu     sync.RWMutex
+	blocks []*Block
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Errors returned by log operations.
+var (
+	ErrBadHeight   = errors.New("ledger: block height does not extend the log")
+	ErrBadPrevHash = errors.New("ledger: block prev-hash does not match log tip")
+	ErrNoBlock     = errors.New("ledger: no block at requested height")
+)
+
+// Append adds a block to the tail of the log after checking that it extends
+// the chain: its height must be Len() and its PrevHash must equal the hash
+// of the current tip (or be empty for the genesis block).
+func (l *Log) Append(b *Block) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b.Height != uint64(len(l.blocks)) {
+		return fmt.Errorf("%w: got height %d, want %d", ErrBadHeight, b.Height, len(l.blocks))
+	}
+	if len(l.blocks) == 0 {
+		if len(b.PrevHash) != 0 {
+			return fmt.Errorf("%w: genesis block must have empty prev-hash", ErrBadPrevHash)
+		}
+	} else {
+		tip := l.blocks[len(l.blocks)-1]
+		if !bytes.Equal(b.PrevHash, tip.Hash()) {
+			return fmt.Errorf("%w at height %d", ErrBadPrevHash, b.Height)
+		}
+	}
+	l.blocks = append(l.blocks, b)
+	return nil
+}
+
+// Len returns the number of blocks in the log.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.blocks)
+}
+
+// Get returns the block at the given height.
+func (l *Log) Get(height uint64) (*Block, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if height >= uint64(len(l.blocks)) {
+		return nil, fmt.Errorf("%w: height %d, log length %d", ErrNoBlock, height, len(l.blocks))
+	}
+	return l.blocks[height], nil
+}
+
+// Tip returns the last block, or nil for an empty log.
+func (l *Log) Tip() *Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.blocks) == 0 {
+		return nil
+	}
+	return l.blocks[len(l.blocks)-1]
+}
+
+// TipHash returns the hash of the last block, or nil for an empty log.
+func (l *Log) TipHash() []byte {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.blocks) == 0 {
+		return nil
+	}
+	return l.blocks[len(l.blocks)-1].Hash()
+}
+
+// Blocks returns a snapshot slice of the log's blocks (the blocks
+// themselves are shared; callers must not mutate them — use Clone).
+func (l *Log) Blocks() []*Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]*Block(nil), l.blocks...)
+}
+
+// CloneBlocks returns deep copies of all blocks — the form a server ships
+// to an auditor, so post-hoc tampering by the server is captured and local
+// mutation by the auditor is impossible.
+func (l *Log) CloneBlocks() []*Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]*Block, len(l.blocks))
+	for i, b := range l.blocks {
+		out[i] = b.Clone()
+	}
+	return out
+}

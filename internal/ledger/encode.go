@@ -1,0 +1,52 @@
+package ledger
+
+import (
+	"encoding/binary"
+
+	"repro/internal/txn"
+)
+
+// encoder builds the canonical deterministic byte encoding blocks are hashed
+// and collectively signed over. The encoding is length-prefixed throughout
+// (uvarint lengths, big-endian fixed-width integers) so that no two distinct
+// logical blocks share an encoding and every server derives the identical
+// byte string for the same block — a prerequisite for the challenge
+// ch = h(X_sch ‖ b_i) of TFCommit to be well defined across servers.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) byte(b byte) {
+	e.buf = append(e.buf, b)
+}
+
+func (e *encoder) uint64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) uint32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) timestamp(ts txn.Timestamp) {
+	e.uint64(ts.Time)
+	e.uint32(ts.ClientID)
+}

@@ -1,0 +1,71 @@
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/cosi"
+	"repro/internal/identity"
+)
+
+// Verification errors. Each wraps enough position information for an
+// auditor to report the precise first block at which a log is invalid
+// (paper Lemmas 6 and 7).
+var (
+	ErrChainHeight   = errors.New("ledger: non-contiguous block heights")
+	ErrChainPrevHash = errors.New("ledger: broken hash pointer")
+	ErrChainCoSig    = errors.New("ledger: invalid collective signature")
+	ErrChainSigners  = errors.New("ledger: unresolvable signer set")
+)
+
+// VerifyChain checks a sequence of blocks as shipped by one server: heights
+// must be contiguous from 0, every PrevHash must equal the previous block's
+// hash, and every block must carry a valid collective signature from its
+// declared signer set. It returns the height of the first invalid block and
+// a describing error, or (-1, nil) if the chain is fully valid.
+//
+// This is the auditor's first step (paper §3.3, Lemma 6): "the signature is
+// tied specifically to one block and if the contents of the block are
+// manipulated, the signature verification will fail"; and because each entry
+// carries the hash of the previous block, reordering breaks the chain.
+func VerifyChain(blocks []*Block, keys *identity.Registry) (int, error) {
+	var prevHash []byte
+	for i, b := range blocks {
+		if b.Height != uint64(i) {
+			return i, fmt.Errorf("%w: block %d declares height %d", ErrChainHeight, i, b.Height)
+		}
+		if i == 0 {
+			if len(b.PrevHash) != 0 {
+				return i, fmt.Errorf("%w: genesis block has non-empty prev-hash", ErrChainPrevHash)
+			}
+		} else if !bytes.Equal(b.PrevHash, prevHash) {
+			return i, fmt.Errorf("%w: block %d prev-hash does not match block %d", ErrChainPrevHash, i, i-1)
+		}
+		if err := VerifyBlockSig(b, keys); err != nil {
+			return i, err
+		}
+		prevHash = b.Hash()
+	}
+	return -1, nil
+}
+
+// VerifyBlockSig checks the collective signature of a single block against
+// the aggregate Schnorr public key of its declared signers.
+func VerifyBlockSig(b *Block, keys *identity.Registry) error {
+	if len(b.Signers) == 0 {
+		return fmt.Errorf("%w: block %d has no signers", ErrChainSigners, b.Height)
+	}
+	pubs, err := keys.SchnorrKeys(b.Signers)
+	if err != nil {
+		return fmt.Errorf("%w: block %d: %v", ErrChainSigners, b.Height, err)
+	}
+	sig := b.CoSig()
+	if sig.IsZero() {
+		return fmt.Errorf("%w: block %d has no co-sign", ErrChainCoSig, b.Height)
+	}
+	if !cosi.VerifyParticipants(pubs, b.SigningBytes(), sig) {
+		return fmt.Errorf("%w: block %d", ErrChainCoSig, b.Height)
+	}
+	return nil
+}

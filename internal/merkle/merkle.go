@@ -1,0 +1,204 @@
+// Package merkle implements the Merkle hash tree (MHT) of paper §2.3 and the
+// data-authentication machinery of §4.2.2: building a binary hash tree over
+// the items of a shard, O(log n) incremental single-leaf updates (the
+// dominant cost TFCommit measures in Figure 14), and Verification Objects
+// (VO) — the sibling hashes along the path from a leaf to the root — which
+// let an auditor recompute the expected root from a single item's content.
+//
+// Hashes are SHA-256. Leaf and interior hashes are domain-separated so a
+// leaf can never be confused with an interior node (second-preimage
+// hardening). Trees with a non-power-of-two number of leaves are padded with
+// a fixed empty hash.
+package merkle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the size in bytes of every node hash in the tree.
+const HashSize = sha256.Size
+
+var (
+	leafPrefix     = []byte{0x00}
+	interiorPrefix = []byte{0x01}
+
+	// emptyLeaf is the hash used to pad the leaf level up to a power of two.
+	emptyLeaf = sha256.Sum256([]byte{0x02})
+)
+
+// ErrIndexRange is returned when a leaf index is outside the tree.
+var ErrIndexRange = errors.New("merkle: leaf index out of range")
+
+// LeafHash computes the domain-separated hash of a leaf's content.
+func LeafHash(content []byte) []byte {
+	h := sha256.New()
+	h.Write(leafPrefix)
+	h.Write(content)
+	return h.Sum(nil)
+}
+
+// interiorHash computes the domain-separated hash of two child hashes,
+// h(left | right) in the paper's notation.
+func interiorHash(left, right []byte) []byte {
+	h := sha256.New()
+	h.Write(interiorPrefix)
+	h.Write(left)
+	h.Write(right)
+	return h.Sum(nil)
+}
+
+// Tree is a mutable Merkle hash tree with a fixed number of leaves. The tree
+// is stored as a flat array in the classic heap layout: nodes[1] is the
+// root, nodes[2i] and nodes[2i+1] are the children of nodes[i], and the
+// leaves occupy nodes[cap .. cap+n).
+//
+// Tree is not safe for concurrent use; callers synchronize externally (the
+// shard holding the tree serializes access, matching the sequential block
+// production of the paper).
+type Tree struct {
+	n     int      // number of real leaves
+	cap   int      // leaf capacity, power of two, >= n
+	nodes [][]byte // 1-based heap array of size 2*cap
+}
+
+// New builds a tree over the given leaf hashes (as produced by LeafHash).
+// The leaf hashes are copied; the caller may reuse the slices.
+func New(leafHashes [][]byte) *Tree {
+	n := len(leafHashes)
+	capacity := 1
+	for capacity < n {
+		capacity *= 2
+	}
+	if n == 0 {
+		capacity = 1
+	}
+	t := &Tree{n: n, cap: capacity, nodes: make([][]byte, 2*capacity)}
+	for i := 0; i < capacity; i++ {
+		if i < n {
+			t.nodes[capacity+i] = append([]byte(nil), leafHashes[i]...)
+		} else {
+			t.nodes[capacity+i] = emptyLeaf[:]
+		}
+	}
+	for i := capacity - 1; i >= 1; i-- {
+		t.nodes[i] = interiorHash(t.nodes[2*i], t.nodes[2*i+1])
+	}
+	return t
+}
+
+// NewFromContents builds a tree hashing each content slice with LeafHash.
+func NewFromContents(contents [][]byte) *Tree {
+	hashes := make([][]byte, len(contents))
+	for i, c := range contents {
+		hashes[i] = LeafHash(c)
+	}
+	return New(hashes)
+}
+
+// Len returns the number of (real) leaves in the tree.
+func (t *Tree) Len() int { return t.n }
+
+// Root returns a copy of the current root hash.
+func (t *Tree) Root() []byte {
+	return append([]byte(nil), t.nodes[1]...)
+}
+
+// Leaf returns a copy of the hash currently stored at leaf index i.
+func (t *Tree) Leaf(i int) ([]byte, error) {
+	if i < 0 || i >= t.n {
+		return nil, fmt.Errorf("%w: %d (n=%d)", ErrIndexRange, i, t.n)
+	}
+	return append([]byte(nil), t.nodes[t.cap+i]...), nil
+}
+
+// Update replaces the hash at leaf index i and recomputes the O(log n)
+// ancestor hashes up to the root. It returns the previous leaf hash so the
+// caller can revert the update (used for the in-memory overlay roots cohorts
+// compute during the Vote phase, paper §4.3.1).
+func (t *Tree) Update(i int, newLeafHash []byte) (old []byte, err error) {
+	if i < 0 || i >= t.n {
+		return nil, fmt.Errorf("%w: %d (n=%d)", ErrIndexRange, i, t.n)
+	}
+	pos := t.cap + i
+	old = t.nodes[pos]
+	t.nodes[pos] = append([]byte(nil), newLeafHash...)
+	for pos /= 2; pos >= 1; pos /= 2 {
+		t.nodes[pos] = interiorHash(t.nodes[2*pos], t.nodes[2*pos+1])
+	}
+	return old, nil
+}
+
+// Proof is a Verification Object (VO, paper §2.3): the sibling hashes along
+// the path from leaf Index to the root, ordered leaf-level first. Given the
+// leaf's content, VerifyProof recomputes the root.
+type Proof struct {
+	// Index is the leaf position the proof authenticates.
+	Index int `json:"index"`
+	// Siblings holds one sibling hash per tree level, leaf level first.
+	Siblings [][]byte `json:"siblings"`
+}
+
+// Proof generates the Verification Object for leaf index i.
+func (t *Tree) Proof(i int) (Proof, error) {
+	if i < 0 || i >= t.n {
+		return Proof{}, fmt.Errorf("%w: %d (n=%d)", ErrIndexRange, i, t.n)
+	}
+	p := Proof{Index: i, Siblings: make([][]byte, 0, log2(t.cap))}
+	for pos := t.cap + i; pos > 1; pos /= 2 {
+		p.Siblings = append(p.Siblings, append([]byte(nil), t.nodes[pos^1]...))
+	}
+	return p, nil
+}
+
+// VerifyProof checks that leafHash at p.Index, combined with the sibling
+// hashes in p, reproduces root. This is the auditor-side computation of
+// §2.3/§4.2.2: hash the item's content (from the log block), fold in the VO
+// sent by the server, and compare against the root stored in the block.
+func VerifyProof(root, leafHash []byte, p Proof) bool {
+	if p.Index < 0 {
+		return false
+	}
+	h := append([]byte(nil), leafHash...)
+	idx := p.Index
+	for _, sib := range p.Siblings {
+		if idx%2 == 0 {
+			h = interiorHash(h, sib)
+		} else {
+			h = interiorHash(sib, h)
+		}
+		idx /= 2
+	}
+	if idx != 0 {
+		return false // proof too short for the claimed index
+	}
+	return bytes.Equal(h, root)
+}
+
+// RootFromProof folds leafHash through the proof and returns the computed
+// root without comparing it, letting the auditor report both the expected
+// and the computed root in a finding.
+func RootFromProof(leafHash []byte, p Proof) []byte {
+	h := append([]byte(nil), leafHash...)
+	idx := p.Index
+	for _, sib := range p.Siblings {
+		if idx%2 == 0 {
+			h = interiorHash(h, sib)
+		} else {
+			h = interiorHash(sib, h)
+		}
+		idx /= 2
+	}
+	return h
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n /= 2
+		k++
+	}
+	return k
+}

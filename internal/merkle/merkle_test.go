@@ -1,0 +1,226 @@
+package merkle
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func contents(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("item-%04d", i))
+	}
+	return out
+}
+
+func TestTreeSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1000} {
+		tree := NewFromContents(contents(n))
+		if tree.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tree.Len())
+		}
+		if len(tree.Root()) != HashSize {
+			t.Fatalf("n=%d: root size %d", n, len(tree.Root()))
+		}
+	}
+}
+
+func TestRootDependsOnEveryLeaf(t *testing.T) {
+	base := NewFromContents(contents(10)).Root()
+	for i := 0; i < 10; i++ {
+		c := contents(10)
+		c[i] = []byte("mutated")
+		if bytes.Equal(NewFromContents(c).Root(), base) {
+			t.Errorf("mutating leaf %d did not change root", i)
+		}
+	}
+}
+
+func TestRootDependsOnOrder(t *testing.T) {
+	c := contents(4)
+	r1 := NewFromContents(c).Root()
+	c[0], c[1] = c[1], c[0]
+	r2 := NewFromContents(c).Root()
+	if bytes.Equal(r1, r2) {
+		t.Error("leaf order does not affect root")
+	}
+}
+
+func TestLeafDomainSeparation(t *testing.T) {
+	// A leaf must never collide with an interior node even for crafted
+	// content: hashing interior bytes as leaf content yields different
+	// digests because of the prefixes.
+	left := LeafHash([]byte("a"))
+	right := LeafHash([]byte("b"))
+	interior := interiorHash(left, right)
+	crafted := append(append([]byte{}, left...), right...)
+	if bytes.Equal(LeafHash(crafted), interior) {
+		t.Error("leaf/interior domain separation broken")
+	}
+}
+
+func TestUpdateMatchesRebuild(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 13, 64, 100} {
+		c := contents(n)
+		tree := NewFromContents(c)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for step := 0; step < 50; step++ {
+			i := rng.Intn(n)
+			c[i] = []byte(fmt.Sprintf("upd-%d-%d", step, i))
+			if _, err := tree.Update(i, LeafHash(c[i])); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(tree.Root(), NewFromContents(c).Root()) {
+				t.Fatalf("n=%d step=%d: incremental root diverges from rebuild", n, step)
+			}
+		}
+	}
+}
+
+func TestUpdateRevert(t *testing.T) {
+	c := contents(16)
+	tree := NewFromContents(c)
+	before := tree.Root()
+	old, err := tree.Update(5, LeafHash([]byte("temp")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(tree.Root(), before) {
+		t.Fatal("update did not change root")
+	}
+	if _, err := tree.Update(5, old); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tree.Root(), before) {
+		t.Fatal("revert did not restore root")
+	}
+}
+
+func TestUpdateOutOfRange(t *testing.T) {
+	tree := NewFromContents(contents(4))
+	if _, err := tree.Update(4, LeafHash([]byte("x"))); err == nil {
+		t.Error("update past end accepted")
+	}
+	if _, err := tree.Update(-1, LeafHash([]byte("x"))); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := tree.Proof(99); err == nil {
+		t.Error("proof past end accepted")
+	}
+	if _, err := tree.Leaf(99); err == nil {
+		t.Error("leaf past end accepted")
+	}
+}
+
+func TestProofVerifies(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 33, 100} {
+		c := contents(n)
+		tree := NewFromContents(c)
+		root := tree.Root()
+		for i := 0; i < n; i++ {
+			p, err := tree.Proof(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !VerifyProof(root, LeafHash(c[i]), p) {
+				t.Errorf("n=%d: proof for leaf %d does not verify", n, i)
+			}
+			if got := RootFromProof(LeafHash(c[i]), p); !bytes.Equal(got, root) {
+				t.Errorf("n=%d: RootFromProof mismatch for leaf %d", n, i)
+			}
+		}
+	}
+}
+
+func TestProofRejectsWrongContent(t *testing.T) {
+	c := contents(16)
+	tree := NewFromContents(c)
+	root := tree.Root()
+	p, err := tree.Proof(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyProof(root, LeafHash([]byte("forged")), p) {
+		t.Error("forged leaf content verified")
+	}
+	// Wrong index: same content, different position.
+	p2, err := tree.Proof(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyProof(root, LeafHash(c[3]), p2) {
+		t.Error("proof for another index verified")
+	}
+	// Tampered sibling.
+	p.Siblings[0][0] ^= 0xff
+	if VerifyProof(root, LeafHash(c[3]), p) {
+		t.Error("tampered sibling verified")
+	}
+}
+
+func TestProofRejectsTruncation(t *testing.T) {
+	c := contents(16)
+	tree := NewFromContents(c)
+	root := tree.Root()
+	p, err := tree.Proof(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Siblings = p.Siblings[:len(p.Siblings)-1]
+	if VerifyProof(root, LeafHash(c[3]), p) {
+		t.Error("truncated proof verified")
+	}
+	if VerifyProof(root, LeafHash(c[3]), Proof{Index: -1}) {
+		t.Error("negative index verified")
+	}
+}
+
+func TestProofSizeLogarithmic(t *testing.T) {
+	// Paper §2.3: VO size is log2(n).
+	tree := NewFromContents(contents(1024))
+	p, err := tree.Proof(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Siblings) != 10 {
+		t.Errorf("proof for n=1024 has %d siblings, want 10", len(p.Siblings))
+	}
+}
+
+// Property: any proof from any tree verifies against that tree's root, and
+// stops verifying after any single-byte corruption of the leaf content.
+func TestProofQuick(t *testing.T) {
+	type input struct {
+		N, I int
+		Mut  byte
+	}
+	f := func(in input) bool {
+		n := in.N%60 + 1
+		i := in.I % n
+		if i < 0 {
+			i = -i
+		}
+		c := contents(n)
+		tree := NewFromContents(c)
+		p, err := tree.Proof(i)
+		if err != nil {
+			return false
+		}
+		if !VerifyProof(tree.Root(), LeafHash(c[i]), p) {
+			return false
+		}
+		forged := append([]byte(nil), c[i]...)
+		forged[0] ^= in.Mut | 1
+		return !VerifyProof(tree.Root(), LeafHash(forged), p)
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(input{N: r.Intn(1000), I: r.Intn(1000), Mut: byte(r.Intn(256))})
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

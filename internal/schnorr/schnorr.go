@@ -1,0 +1,279 @@
+// Package schnorr implements Schnorr signatures (paper §2.1–2.2, [38]) over
+// the NIST P-256 elliptic-curve group, using only the standard library. It
+// provides the group arithmetic, key generation, and single-signer
+// sign/verify that the collective-signing protocol (package cosi) is built
+// from.
+//
+// A signature is the pair (c, s) where, for secret key x, public key X = xG,
+// random nonce v and commitment V = vG:
+//
+//	c = H(V ‖ X ‖ m)   (the challenge)
+//	s = v + c·x mod N  (the response)
+//
+// Verification recomputes V' = sG − cX and accepts iff H(V' ‖ X ‖ m) = c.
+// This is the textbook Schnorr scheme; CoSi aggregates the V and s values of
+// many signers so the collective signature keeps this exact form and
+// verification cost (paper §2.2).
+//
+// This implementation targets protocol reproduction, not side-channel
+// resistance: scalar arithmetic uses math/big and is not constant-time.
+package schnorr
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// curve is the group all keys and signatures live in.
+var curve = elliptic.P256()
+
+// N returns the (prime) order of the group.
+func N() *big.Int { return new(big.Int).Set(curve.Params().N) }
+
+// Point is an elliptic-curve point in affine coordinates. The identity
+// (point at infinity) is represented as (0, 0), matching crypto/elliptic.
+type Point struct {
+	X, Y *big.Int
+}
+
+// Infinity returns the identity element of the group.
+func Infinity() Point {
+	return Point{X: new(big.Int), Y: new(big.Int)}
+}
+
+// IsInfinity reports whether p is the identity element.
+func (p Point) IsInfinity() bool {
+	return p.X == nil || p.Y == nil || (p.X.Sign() == 0 && p.Y.Sign() == 0)
+}
+
+// OnCurve reports whether p is a valid group element (on the curve or the
+// identity). Receivers validate every point that arrives from the network.
+func (p Point) OnCurve() bool {
+	if p.X == nil || p.Y == nil {
+		return false
+	}
+	if p.IsInfinity() {
+		return true
+	}
+	return curve.IsOnCurve(p.X, p.Y)
+}
+
+// Equal reports whether p and q are the same point.
+func (p Point) Equal(q Point) bool {
+	if p.IsInfinity() || q.IsInfinity() {
+		return p.IsInfinity() && q.IsInfinity()
+	}
+	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point {
+	if p.IsInfinity() {
+		return q.clone()
+	}
+	if q.IsInfinity() {
+		return p.clone()
+	}
+	x, y := curve.Add(p.X, p.Y, q.X, q.Y)
+	return Point{X: x, Y: y}
+}
+
+// Neg returns −p.
+func (p Point) Neg() Point {
+	if p.IsInfinity() {
+		return Infinity()
+	}
+	negY := new(big.Int).Sub(curve.Params().P, p.Y)
+	negY.Mod(negY, curve.Params().P)
+	return Point{X: new(big.Int).Set(p.X), Y: negY}
+}
+
+// ScalarMult returns k·p for scalar k.
+func (p Point) ScalarMult(k *big.Int) Point {
+	if p.IsInfinity() || k.Sign() == 0 {
+		return Infinity()
+	}
+	kk := new(big.Int).Mod(k, curve.Params().N)
+	if kk.Sign() == 0 {
+		return Infinity()
+	}
+	x, y := curve.ScalarMult(p.X, p.Y, kk.Bytes())
+	return Point{X: x, Y: y}
+}
+
+// BaseMult returns k·G for the group generator G.
+func BaseMult(k *big.Int) Point {
+	kk := new(big.Int).Mod(k, curve.Params().N)
+	if kk.Sign() == 0 {
+		return Infinity()
+	}
+	x, y := curve.ScalarBaseMult(kk.Bytes())
+	return Point{X: x, Y: y}
+}
+
+func (p Point) clone() Point {
+	if p.IsInfinity() {
+		return Infinity()
+	}
+	return Point{X: new(big.Int).Set(p.X), Y: new(big.Int).Set(p.Y)}
+}
+
+// Marshal encodes the point in uncompressed SEC1 form (the identity encodes
+// as a single zero byte).
+func (p Point) Marshal() []byte {
+	if p.IsInfinity() {
+		return []byte{0}
+	}
+	return elliptic.Marshal(curve, p.X, p.Y)
+}
+
+// UnmarshalPoint decodes a point produced by Marshal, validating that it is
+// on the curve.
+func UnmarshalPoint(data []byte) (Point, error) {
+	if len(data) == 1 && data[0] == 0 {
+		return Infinity(), nil
+	}
+	x, y := elliptic.Unmarshal(curve, data)
+	if x == nil {
+		return Point{}, errors.New("schnorr: invalid point encoding")
+	}
+	return Point{X: x, Y: y}, nil
+}
+
+// PublicKey is a Schnorr verification key X = xG.
+type PublicKey struct {
+	Point
+}
+
+// PrivateKey is a Schnorr signing key.
+type PrivateKey struct {
+	// D is the secret scalar x.
+	D *big.Int
+	// Public is the corresponding verification key X = xG.
+	Public PublicKey
+}
+
+// GenerateKey creates a fresh key pair reading randomness from rnd
+// (crypto/rand.Reader if nil).
+func GenerateKey(rnd io.Reader) (*PrivateKey, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	d, err := RandomScalar(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("schnorr: generate key: %w", err)
+	}
+	return &PrivateKey{D: d, Public: PublicKey{BaseMult(d)}}, nil
+}
+
+// RandomScalar returns a uniformly random non-zero scalar in [1, N).
+func RandomScalar(rnd io.Reader) (*big.Int, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	for {
+		k, err := rand.Int(rnd, curve.Params().N)
+		if err != nil {
+			return nil, err
+		}
+		if k.Sign() != 0 {
+			return k, nil
+		}
+	}
+}
+
+// HashToScalar hashes the concatenation of the given byte slices into a
+// scalar mod N with a fixed domain-separation prefix. It implements the
+// paper's ch = hash(X ‖ R) challenge computation (§2.2).
+func HashToScalar(parts ...[]byte) *big.Int {
+	h := sha256.New()
+	h.Write([]byte("fides/schnorr/v1"))
+	for _, p := range parts {
+		var lenBuf [8]byte
+		putUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	digest := h.Sum(nil)
+	s := new(big.Int).SetBytes(digest)
+	return s.Mod(s, curve.Params().N)
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Signature is a Schnorr signature (c, s): the challenge and the response.
+type Signature struct {
+	C *big.Int
+	S *big.Int
+}
+
+// Challenge computes c = H(V ‖ X ‖ m) binding a commitment, an (aggregate)
+// public key, and a message.
+func Challenge(commitment Point, pub Point, msg []byte) *big.Int {
+	return HashToScalar(commitment.Marshal(), pub.Marshal(), msg)
+}
+
+// Respond computes the response s = v + c·x mod N for secret nonce v,
+// challenge c and secret key x.
+func Respond(priv *PrivateKey, nonce, challenge *big.Int) *big.Int {
+	s := new(big.Int).Mul(challenge, priv.D)
+	s.Add(s, nonce)
+	return s.Mod(s, curve.Params().N)
+}
+
+// Sign produces a single-signer Schnorr signature over msg.
+func Sign(rnd io.Reader, priv *PrivateKey, msg []byte) (Signature, error) {
+	v, err := RandomScalar(rnd)
+	if err != nil {
+		return Signature{}, fmt.Errorf("schnorr: sign: %w", err)
+	}
+	commitment := BaseMult(v)
+	c := Challenge(commitment, priv.Public.Point, msg)
+	s := Respond(priv, v, c)
+	return Signature{C: c, S: s}, nil
+}
+
+// Verify checks a signature produced by Sign (or an aggregated CoSi
+// signature against the aggregate public key): it recomputes
+// V' = sG − cX and accepts iff H(V' ‖ X ‖ m) = c.
+func Verify(pub PublicKey, msg []byte, sig Signature) bool {
+	if sig.C == nil || sig.S == nil || !pub.OnCurve() || pub.IsInfinity() {
+		return false
+	}
+	n := curve.Params().N
+	if sig.S.Sign() < 0 || sig.S.Cmp(n) >= 0 || sig.C.Sign() < 0 || sig.C.Cmp(n) >= 0 {
+		return false
+	}
+	sG := BaseMult(sig.S)
+	cX := pub.Point.ScalarMult(sig.C)
+	vPrime := sG.Add(cX.Neg())
+	c := Challenge(vPrime, pub.Point, msg)
+	return c.Cmp(sig.C) == 0
+}
+
+// SignatureFromBytes reconstructs a Signature from the (c, s) byte encoding
+// produced by Signature.Bytes.
+func SignatureFromBytes(c, s []byte) Signature {
+	return Signature{C: new(big.Int).SetBytes(c), S: new(big.Int).SetBytes(s)}
+}
+
+// Bytes returns the big-endian byte encodings of (c, s).
+func (s Signature) Bytes() (cb, sb []byte) {
+	if s.C == nil || s.S == nil {
+		return nil, nil
+	}
+	return s.C.Bytes(), s.S.Bytes()
+}
+
+// IsZero reports whether the signature is unset.
+func (s Signature) IsZero() bool { return s.C == nil || s.S == nil }

@@ -1,0 +1,181 @@
+package schnorr
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	priv, err := GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the quick brown fox")
+	sig, err := Sign(nil, priv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(priv.Public, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	priv, _ := GenerateKey(nil)
+	sig, _ := Sign(nil, priv, []byte("msg-a"))
+	if Verify(priv.Public, []byte("msg-b"), sig) {
+		t.Error("signature verified for a different message")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	priv1, _ := GenerateKey(nil)
+	priv2, _ := GenerateKey(nil)
+	msg := []byte("msg")
+	sig, _ := Sign(nil, priv1, msg)
+	if Verify(priv2.Public, msg, sig) {
+		t.Error("signature verified under a different key")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	priv, _ := GenerateKey(nil)
+	msg := []byte("msg")
+	sig, _ := Sign(nil, priv, msg)
+
+	badC := Signature{C: new(big.Int).Add(sig.C, big.NewInt(1)), S: sig.S}
+	if Verify(priv.Public, msg, badC) {
+		t.Error("tampered challenge verified")
+	}
+	badS := Signature{C: sig.C, S: new(big.Int).Add(sig.S, big.NewInt(1))}
+	if Verify(priv.Public, msg, badS) {
+		t.Error("tampered response verified")
+	}
+	if Verify(priv.Public, msg, Signature{}) {
+		t.Error("empty signature verified")
+	}
+	huge := new(big.Int).Lsh(big.NewInt(1), 512)
+	if Verify(priv.Public, msg, Signature{C: sig.C, S: huge}) {
+		t.Error("out-of-range scalar accepted")
+	}
+}
+
+func TestSignatureBytesRoundTrip(t *testing.T) {
+	priv, _ := GenerateKey(nil)
+	msg := []byte("round trip")
+	sig, _ := Sign(nil, priv, msg)
+	cb, sb := sig.Bytes()
+	restored := SignatureFromBytes(cb, sb)
+	if !Verify(priv.Public, msg, restored) {
+		t.Error("round-tripped signature rejected")
+	}
+	var zero Signature
+	if !zero.IsZero() {
+		t.Error("zero signature not IsZero")
+	}
+	if cb, sb := zero.Bytes(); cb != nil || sb != nil {
+		t.Error("zero signature bytes not nil")
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	inf := Infinity()
+	if !inf.IsInfinity() || !inf.OnCurve() {
+		t.Fatal("infinity misclassified")
+	}
+	k1 := big.NewInt(3)
+	k2 := big.NewInt(5)
+	p1 := BaseMult(k1)
+	p2 := BaseMult(k2)
+	// 3G + 5G == 8G.
+	sum := p1.Add(p2)
+	if !sum.Equal(BaseMult(big.NewInt(8))) {
+		t.Error("3G + 5G != 8G")
+	}
+	// P + 0 == P, 0 + P == P.
+	if !p1.Add(inf).Equal(p1) || !inf.Add(p1).Equal(p1) {
+		t.Error("identity addition broken")
+	}
+	// P + (−P) == 0.
+	if !p1.Add(p1.Neg()).IsInfinity() {
+		t.Error("P + (−P) != 0")
+	}
+	// k·(mG) == (km)·G.
+	if !p1.ScalarMult(k2).Equal(BaseMult(big.NewInt(15))) {
+		t.Error("scalar mult mismatch")
+	}
+	// 0·P == infinity.
+	if !p1.ScalarMult(new(big.Int)).IsInfinity() {
+		t.Error("0·P != infinity")
+	}
+}
+
+func TestPointMarshalRoundTrip(t *testing.T) {
+	p := BaseMult(big.NewInt(42))
+	q, err := UnmarshalPoint(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Error("marshal round trip mismatch")
+	}
+	inf, err := UnmarshalPoint(Infinity().Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inf.IsInfinity() {
+		t.Error("infinity round trip mismatch")
+	}
+	if _, err := UnmarshalPoint([]byte{4, 1, 2, 3}); err == nil {
+		t.Error("garbage point accepted")
+	}
+	// A point not on the curve must be rejected.
+	bad := append([]byte(nil), p.Marshal()...)
+	bad[len(bad)-1] ^= 1
+	if _, err := UnmarshalPoint(bad); err == nil {
+		t.Error("off-curve point accepted")
+	}
+}
+
+func TestHashToScalarInjectivityOfFraming(t *testing.T) {
+	// ("ab", "c") and ("a", "bc") must hash differently thanks to length
+	// prefixes.
+	h1 := HashToScalar([]byte("ab"), []byte("c"))
+	h2 := HashToScalar([]byte("a"), []byte("bc"))
+	if h1.Cmp(h2) == 0 {
+		t.Error("length framing broken")
+	}
+	h3 := HashToScalar([]byte("ab"), []byte("c"))
+	if h1.Cmp(h3) != 0 {
+		t.Error("hash not deterministic")
+	}
+	if h1.Cmp(N()) >= 0 || h1.Sign() < 0 {
+		t.Error("hash out of scalar range")
+	}
+}
+
+func TestRandomScalarRange(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		k, err := RandomScalar(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Sign() <= 0 || k.Cmp(N()) >= 0 {
+			t.Fatalf("scalar out of range: %v", k)
+		}
+	}
+}
+
+func TestRespondChallengeRelation(t *testing.T) {
+	// s = v + c·x implies sG == V + cX.
+	priv, _ := GenerateKey(nil)
+	v, _ := RandomScalar(nil)
+	commitment := BaseMult(v)
+	c := Challenge(commitment, priv.Public.Point, []byte("record"))
+	s := Respond(priv, v, c)
+	left := BaseMult(s)
+	right := commitment.Add(priv.Public.Point.ScalarMult(c))
+	if !left.Equal(right) {
+		t.Error("response does not satisfy the Schnorr relation")
+	}
+}

@@ -1,0 +1,443 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/cosi"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/schnorr"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// cohortState is the per-block state a cohort carries across the TFCommit
+// phases (or across a 2PC prepare/decide pair). Blocks are produced
+// sequentially (paper §4.3.1), so at most one is in flight.
+type cohortState struct {
+	height   uint64
+	stripped []byte // canonical partial-block bytes fixed at GetVote/Prepare
+
+	vote     ledger.Decision
+	involved bool
+	root     []byte
+	accesses []store.Access
+
+	// CoSi state (TFCommit only).
+	secret          cosi.Secret
+	challengedBytes []byte // signing bytes of the block approved at Challenge
+	responded       bool
+}
+
+// Errors surfaced by the commitment layer. A correct cohort answers a
+// malformed or inconsistent protocol message with an error instead of a
+// response; without the cohort's response the coordinator cannot assemble a
+// valid collective signature (paper §4.3.2).
+var (
+	ErrOutOfSequence  = errors.New("server: block does not extend this server's log")
+	ErrNoInflight     = errors.New("server: no block in flight at this height")
+	ErrBlockMutated   = errors.New("server: block transactions differ from the announced block")
+	ErrRootMismatch   = errors.New("server: block carries a different root than this server sent")
+	ErrMissingRoots   = errors.New("server: commit decision with missing involved-server roots")
+	ErrAbortWithRoots = errors.New("server: abort decision but all involved roots present")
+	ErrBadChallenge   = errors.New("server: challenge does not match hash(aggregate commitment ‖ block)")
+	ErrVoteOverridden = errors.New("server: commit decision overrides this server's abort vote")
+	ErrBadCoSig       = errors.New("server: decision block carries an invalid collective signature")
+)
+
+// GetVote implements TFCommit phase 2 ⟨Vote, SchCommitment⟩ (paper §4.3.1):
+// verify the get_vote message and the encapsulated client requests, decide
+// commit/abort locally via OCC timestamp validation, compute the in-memory
+// Merkle root if involved and committing, and produce the Schnorr
+// commitment for CoSi.
+func (s *Server) GetVote(ctx context.Context, from identity.NodeID, req *wire.GetVoteReq) (*wire.VoteResp, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	vote, involved, accesses, txnAborts, err := s.validateBlockLocked(req.Block, req.ClientReqs)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &cohortState{
+		height:   req.Block.Height,
+		stripped: req.Block.StrippedBytes(),
+		vote:     vote,
+		involved: involved,
+		accesses: accesses,
+	}
+
+	if involved && vote == ledger.DecisionCommit {
+		start := time.Now()
+		root, err := s.shard.OverlayRoot(accesses)
+		if err != nil {
+			return nil, fmt.Errorf("server %s: overlay root: %w", s.ident.ID, err)
+		}
+		s.stats.MHTTime += time.Since(start)
+		s.stats.MHTBlocks++
+		if s.faults.FakeRootInVote {
+			root = randomBytes(32)
+		}
+		st.root = root
+	}
+
+	commitment, secret, err := cosi.Commit(nil)
+	if err != nil {
+		return nil, fmt.Errorf("server %s: %w", s.ident.ID, err)
+	}
+	st.secret = secret
+	if s.faults.BadCommitment {
+		// Publish a commitment unrelated to the retained secret nonce; the
+		// final aggregate signature cannot verify, and partial-signature
+		// checks pin the blame on this server (Lemma 4).
+		k, err := schnorr.RandomScalar(nil)
+		if err != nil {
+			return nil, err
+		}
+		commitment = cosi.Commitment{V: schnorr.BaseMult(k)}
+	}
+
+	s.inflight = st
+	return &wire.VoteResp{
+		Vote:       st.vote,
+		Involved:   st.involved,
+		Root:       st.root,
+		Commitment: commitment.V.Marshal(),
+		TxnAborts:  txnAborts,
+	}, nil
+}
+
+// Challenge implements TFCommit phase 4 ⟨null, SchResponse⟩ (paper §4.3.1):
+// validate the now-filled block (decision/roots consistency, own root
+// unchanged, challenge correctly computed) and answer with the Schnorr
+// response.
+func (s *Server) Challenge(ctx context.Context, from identity.NodeID, req *wire.ChallengeReq) (*wire.ChallengeResp, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	st := s.inflight
+	if st == nil || req.Block == nil || req.Block.Height != st.height {
+		return nil, ErrNoInflight
+	}
+	b := req.Block
+
+	if !s.faults.SkipChallengeChecks {
+		if err := s.checkChallengeLocked(st, req); err != nil {
+			return nil, err
+		}
+	}
+
+	ch := new(big.Int).SetBytes(req.Challenge)
+	resp, err := cosi.Respond(s.ident.Schnorr, &st.secret, ch)
+	if err != nil {
+		return nil, fmt.Errorf("server %s: %w", s.ident.ID, err)
+	}
+	if s.faults.BadResponse {
+		resp.Add(resp, big.NewInt(1))
+		resp.Mod(resp, schnorr.N())
+	}
+	st.challengedBytes = b.SigningBytes()
+	st.responded = true
+	return &wire.ChallengeResp{Response: resp.Bytes()}, nil
+}
+
+// checkChallengeLocked performs the phase-4 validations of §4.3.1:
+//   - the block's transactions are the ones announced at GetVote;
+//   - a commit decision carries the roots of all involved servers and this
+//     server's root equals the one it sent (Scenario 2 detection);
+//   - an abort decision has at least one involved root missing;
+//   - the challenge equals hash(aggregate commitment ‖ block), which is how
+//     a correct cohort exposes an equivocating coordinator (Lemma 5 case 1).
+func (s *Server) checkChallengeLocked(st *cohortState, req *wire.ChallengeReq) error {
+	b := req.Block
+	if !bytes.Equal(b.StrippedBytes(), st.stripped) {
+		return fmt.Errorf("%w (height %d)", ErrBlockMutated, b.Height)
+	}
+	involvedSet := s.involvedServers(b)
+	switch b.Decision {
+	case ledger.DecisionCommit:
+		if st.involved && st.vote != ledger.DecisionCommit {
+			return fmt.Errorf("%w (height %d)", ErrVoteOverridden, b.Height)
+		}
+		for id := range involvedSet {
+			if _, ok := b.Roots[id]; !ok {
+				return fmt.Errorf("%w: no root for %s (height %d)", ErrMissingRoots, id, b.Height)
+			}
+		}
+		if st.involved && !bytes.Equal(b.Roots[s.ident.ID], st.root) {
+			return fmt.Errorf("%w (height %d)", ErrRootMismatch, b.Height)
+		}
+	case ledger.DecisionAbort:
+		missing := false
+		for id := range involvedSet {
+			if _, ok := b.Roots[id]; !ok {
+				missing = true
+				break
+			}
+		}
+		if !missing && len(involvedSet) > 0 {
+			return fmt.Errorf("%w (height %d)", ErrAbortWithRoots, b.Height)
+		}
+	default:
+		return fmt.Errorf("server %s: block %d has no decision", s.ident.ID, b.Height)
+	}
+
+	aggV, err := schnorr.UnmarshalPoint(req.AggCommitment)
+	if err != nil {
+		return fmt.Errorf("server %s: aggregate commitment: %w", s.ident.ID, err)
+	}
+	pubs, err := s.reg.SchnorrKeys(b.Signers)
+	if err != nil {
+		return fmt.Errorf("server %s: %w", s.ident.ID, err)
+	}
+	aggPub, err := cosi.AggregatePublicKeys(pubs)
+	if err != nil {
+		return fmt.Errorf("server %s: %w", s.ident.ID, err)
+	}
+	expected := cosi.Challenge(aggV, aggPub, b.SigningBytes())
+	if expected.Cmp(new(big.Int).SetBytes(req.Challenge)) != 0 {
+		return fmt.Errorf("%w (height %d)", ErrBadChallenge, b.Height)
+	}
+	return nil
+}
+
+// Decide implements TFCommit phase 5 ⟨Decision, null⟩: verify the collective
+// signature on the finalized block and, on commit, append the block to the
+// tamper-proof log and update the datastore from the buffered writes
+// (paper §4.1 steps 6–7).
+func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.DecisionReq) (*wire.DecisionResp, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	st := s.inflight
+	if st == nil || req.Block == nil || req.Block.Height != st.height {
+		return nil, ErrNoInflight
+	}
+	b := req.Block
+
+	if !s.faults.SkipCoSigCheck {
+		if st.challengedBytes != nil && !bytes.Equal(b.SigningBytes(), st.challengedBytes) {
+			return nil, fmt.Errorf("%w (height %d)", ErrBlockMutated, b.Height)
+		}
+		if err := ledger.VerifyBlockSig(b, s.reg); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCoSig, err)
+		}
+	}
+
+	if b.Decision == ledger.DecisionCommit {
+		if err := s.applyCommitLocked(st, b); err != nil {
+			return nil, err
+		}
+	} else {
+		// Aborted blocks are not logged (paper §4.1 step 6), but the
+		// execution-layer buffers of their transactions are released.
+		for i := range b.Txns {
+			delete(s.buffers, b.Txns[i].TxnID)
+		}
+	}
+	s.inflight = nil
+	return &wire.DecisionResp{OK: true}, nil
+}
+
+// applyCommitLocked installs a committed block: datastore update (possibly
+// perverted by datastore faults), log append, last-committed watermark, and
+// execution-buffer cleanup.
+func (s *Server) applyCommitLocked(st *cohortState, b *ledger.Block) error {
+	if st.involved {
+		accesses := st.accesses
+		// Remember the values being overwritten so the StaleReads fault can
+		// serve them later (Scenario 1).
+		for _, a := range accesses {
+			for _, w := range a.Writes {
+				if cur, err := s.shard.Get(w.ID); err == nil {
+					s.prevValues[w.ID] = cur.Value
+				}
+			}
+		}
+		switch {
+		case s.faults.SkipApply:
+			// Drop the writes entirely: the datastore silently diverges from
+			// the authenticated state (Scenario 3).
+			stripped := make([]store.Access, len(accesses))
+			for i, a := range accesses {
+				stripped[i] = store.Access{ReadIDs: a.ReadIDs, TS: a.TS}
+			}
+			accesses = stripped
+		case s.faults.CorruptApplyValue != nil:
+			corrupted := make([]store.Access, len(accesses))
+			for i, a := range accesses {
+				ws := make([]txn.WriteEntry, len(a.Writes))
+				for j, w := range a.Writes {
+					w.NewVal = append([]byte(nil), s.faults.CorruptApplyValue...)
+					ws[j] = w
+				}
+				corrupted[i] = store.Access{ReadIDs: a.ReadIDs, Writes: ws, TS: a.TS}
+			}
+			accesses = corrupted
+		}
+		if err := s.shard.Apply(accesses); err != nil {
+			return fmt.Errorf("server %s: apply block %d: %w", s.ident.ID, b.Height, err)
+		}
+	}
+	if err := s.log.Append(b.Clone()); err != nil {
+		return fmt.Errorf("server %s: append block %d: %w", s.ident.ID, b.Height, err)
+	}
+	s.lastCommitted = s.lastCommitted.Max(b.MaxTS())
+	for i := range b.Txns {
+		delete(s.buffers, b.Txns[i].TxnID)
+	}
+	return nil
+}
+
+// validateBlockLocked verifies a proposed block against this server's log
+// position and the encapsulated signed client requests, then runs the OCC
+// timestamp validation of §4.3.1 for the items this shard stores. It
+// returns the server's local vote, whether the server's shard is involved,
+// and the datastore accesses to apply should the block commit.
+func (s *Server) validateBlockLocked(b *ledger.Block, reqs []identity.Envelope) (ledger.Decision, bool, []store.Access, []int, error) {
+	if b == nil || len(b.Txns) == 0 {
+		return 0, false, nil, nil, errors.New("server: nil or empty block")
+	}
+	if b.Height != uint64(s.log.Len()) {
+		return 0, false, nil, nil, fmt.Errorf("%w: block height %d, log length %d", ErrOutOfSequence, b.Height, s.log.Len())
+	}
+	if !bytes.Equal(b.PrevHash, s.log.TipHash()) {
+		return 0, false, nil, nil, fmt.Errorf("%w: prev-hash mismatch at height %d", ErrOutOfSequence, b.Height)
+	}
+	if len(reqs) != len(b.Txns) {
+		return 0, false, nil, nil, fmt.Errorf("server: %d client requests for %d transactions", len(reqs), len(b.Txns))
+	}
+	for i, env := range reqs {
+		t, err := DecodeTxnEnvelope(s.reg, env)
+		if err != nil {
+			return 0, false, nil, nil, err
+		}
+		if !bytes.Equal(ledger.RecordFromTransaction(t).CanonicalBytes(), b.Txns[i].CanonicalBytes()) {
+			return 0, false, nil, nil, fmt.Errorf("server: block txn %d does not match the client-signed request", i)
+		}
+	}
+
+	vote := ledger.DecisionCommit
+	if s.faults.AlwaysAbortVote {
+		vote = ledger.DecisionAbort
+	}
+	// The coordinator must pack only non-conflicting transactions into a
+	// block (paper §4.6); a block that violates this would commit
+	// unserializable effects, so a correct cohort votes abort.
+	blockReads := make(map[txn.ItemID]struct{})
+	blockWrites := make(map[txn.ItemID]struct{})
+	conflictFree := true
+	for i := range b.Txns {
+		rec := &b.Txns[i]
+		for _, r := range rec.Reads {
+			if _, ok := blockWrites[r.ID]; ok {
+				conflictFree = false
+			}
+		}
+		for _, w := range rec.Writes {
+			if _, ok := blockWrites[w.ID]; ok {
+				conflictFree = false
+			}
+			if _, ok := blockReads[w.ID]; ok {
+				conflictFree = false
+			}
+		}
+		for _, r := range rec.Reads {
+			blockReads[r.ID] = struct{}{}
+		}
+		for _, w := range rec.Writes {
+			blockWrites[w.ID] = struct{}{}
+		}
+	}
+	if !conflictFree && !s.faults.VoteCommitAlways {
+		vote = ledger.DecisionAbort
+	}
+
+	involved := false
+	var accesses []store.Access
+	var txnAborts []int
+	for i := range b.Txns {
+		rec := &b.Txns[i]
+		a := store.Access{TS: rec.TS}
+		txnOK := true
+		if !s.lastCommitted.Less(rec.TS) && !s.faults.AcceptStaleTS {
+			// "The servers ignore any end transaction request with a
+			// timestamp lower than the latest committed timestamp" (§4.3.1).
+			txnOK = false
+		}
+		for _, r := range rec.Reads {
+			if !s.shard.Has(r.ID) {
+				continue
+			}
+			a.ReadIDs = append(a.ReadIDs, r.ID)
+			cur, err := s.shard.Get(r.ID)
+			if err != nil {
+				return 0, false, nil, nil, err
+			}
+			if cur.WTS != r.WTS {
+				// The item was updated after this transaction read it:
+				// timestamp-ordered OCC aborts (§4.3.1).
+				txnOK = false
+			}
+		}
+		for _, w := range rec.Writes {
+			if !s.shard.Has(w.ID) {
+				continue
+			}
+			a.Writes = append(a.Writes, w)
+			cur, err := s.shard.Get(w.ID)
+			if err != nil {
+				return 0, false, nil, nil, err
+			}
+			if cur.WTS != w.WTS {
+				txnOK = false
+			}
+		}
+		if len(a.ReadIDs) > 0 || len(a.Writes) > 0 {
+			involved = true
+			accesses = append(accesses, a)
+		}
+		if !txnOK && !s.faults.VoteCommitAlways {
+			vote = ledger.DecisionAbort
+			txnAborts = append(txnAborts, i)
+		}
+	}
+	return vote, involved, accesses, txnAborts, nil
+}
+
+// involvedServers returns the set of servers owning any item accessed by
+// the block's transactions.
+func (s *Server) involvedServers(b *ledger.Block) map[identity.NodeID]struct{} {
+	set := make(map[identity.NodeID]struct{})
+	for i := range b.Txns {
+		rec := &b.Txns[i]
+		for _, r := range rec.Reads {
+			if owner, ok := s.dir.Owner(r.ID); ok {
+				set[owner] = struct{}{}
+			}
+		}
+		for _, w := range rec.Writes {
+			if owner, ok := s.dir.Owner(w.ID); ok {
+				set[owner] = struct{}{}
+			}
+		}
+	}
+	return set
+}
+
+func randomBytes(n int) []byte {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; a zero slice only
+		// weakens a *fault injection*, so degrade instead of panicking.
+		return b
+	}
+	return b
+}

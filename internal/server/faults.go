@@ -1,0 +1,103 @@
+package server
+
+import (
+	"repro/internal/txn"
+)
+
+// Faults configures malicious behavior for one server. The zero value is a
+// correct server. Each field corresponds to a failure class of paper §3.2
+// and §5; the auditor (package audit) must detect every one of them and
+// attribute it to this server (or, for collusion flags, to the server whose
+// misbehavior the collusion conceals).
+type Faults struct {
+	// --- Execution layer (§4.2.2) ---
+
+	// StaleReads makes the execution layer return the previous value of an
+	// item (with up-to-date timestamps) on reads — Scenario 1, detected by
+	// the auditor's read-value chain check (Lemma 1).
+	StaleReads bool
+
+	// --- Commitment layer (§4.3.2) ---
+
+	// VoteCommitAlways skips the OCC timestamp validation and votes commit
+	// unconditionally, letting non-serializable transactions into the log —
+	// detected by the serializability audit (Lemma 3).
+	VoteCommitAlways bool
+
+	// AlwaysAbortVote votes abort unconditionally. This is "tolerable"
+	// behavior per the paper (a server can always force an abort), included
+	// to exercise the abort path.
+	AlwaysAbortVote bool
+
+	// AcceptStaleTS skips the "ignore end_transaction requests with a
+	// timestamp lower than the latest committed timestamp" rule (§4.3.1),
+	// enabling timestamp-order violations.
+	AcceptStaleTS bool
+
+	// BadCommitment sends a Schnorr commitment unrelated to the secret
+	// nonce, invalidating the collective signature — identified per
+	// participant via partial-signature checks (Lemma 4).
+	BadCommitment bool
+
+	// BadResponse sends a corrupted Schnorr response — identified via
+	// partial-signature checks (Lemma 4).
+	BadResponse bool
+
+	// FakeRootInVote makes an involved cohort report a Merkle root that does
+	// not correspond to its shard state (the colluding variant of
+	// Scenario 2) — detected later by the datastore audit (Lemma 2).
+	FakeRootInVote bool
+
+	// SkipChallengeChecks makes the cohort skip all validation in the
+	// SchResponse phase (root presence/ownership, decision consistency,
+	// challenge recomputation) — the "colluding group" of Lemma 5 that does
+	// not expose a coordinator's equivocation.
+	SkipChallengeChecks bool
+
+	// SkipCoSigCheck makes the cohort append a decision block without
+	// verifying its collective signature — required for an equivocating
+	// coordinator's invalid branch to reach a log at all.
+	SkipCoSigCheck bool
+
+	// --- Datastore layer (§4.2.2, Scenario 3) ---
+
+	// SkipApply silently drops the datastore update of committed writes, so
+	// the stored data diverges from the authenticated roots — detected by
+	// the VO/MHT audit (Lemma 2).
+	SkipApply bool
+
+	// CorruptApplyValue, when non-nil, is written instead of every committed
+	// new value — also detected by Lemma 2.
+	CorruptApplyValue []byte
+
+	// --- Log layer (§4.4) ---
+
+	// TamperBlock mutates one block when serving the log to an auditor —
+	// detected by co-sign verification (Lemma 6).
+	TamperBlock *TamperSpec
+
+	// ReorderLog swaps the last two blocks when serving the log — detected
+	// by hash-pointer verification (Lemma 6).
+	ReorderLog bool
+
+	// DropTailBlocks omits the last k blocks when serving the log — detected
+	// by cross-server comparison with the longest valid log (Lemma 7).
+	DropTailBlocks int
+}
+
+// TamperSpec describes a post-hoc block mutation applied when the log is
+// served: the write entry for Item in the block at Height gets NewVal.
+type TamperSpec struct {
+	Height uint64
+	Item   txn.ItemID
+	NewVal []byte
+}
+
+// IsByzantine reports whether any fault is enabled.
+func (f Faults) IsByzantine() bool {
+	return f.StaleReads || f.VoteCommitAlways || f.AlwaysAbortVote ||
+		f.AcceptStaleTS || f.BadCommitment || f.BadResponse ||
+		f.FakeRootInVote || f.SkipChallengeChecks || f.SkipCoSigCheck ||
+		f.SkipApply || f.CorruptApplyValue != nil || f.TamperBlock != nil ||
+		f.ReorderLog || f.DropTailBlocks != 0
+}

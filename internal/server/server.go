@@ -1,0 +1,295 @@
+// Package server implements a Fides database server: the four-component
+// node of paper Figure 3 — a transaction execution layer, a commitment
+// layer (TFCommit cohort, plus the 2PC baseline), a datastore, and the
+// tamper-proof log.
+//
+// The server also hosts the fault-injection surface of the reproduction:
+// every malicious behavior the paper's auditor must detect (§3.2, §5) can
+// be switched on per server through the Faults configuration, while the
+// default zero value is a correct server.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// Directory resolves which server stores a data item. Every node knows the
+// full partitioning (paper §3.1: clients and servers "are aware of all the
+// other servers in the system").
+type Directory interface {
+	// Owner returns the server storing id.
+	Owner(id txn.ItemID) (identity.NodeID, bool)
+}
+
+// Terminator handles a client's end_transaction request. The coordinator
+// server wires this to its batching commit service; cohort servers leave it
+// nil and reject termination requests.
+type Terminator interface {
+	Terminate(ctx context.Context, env identity.Envelope) (*wire.EndTxnResp, error)
+}
+
+// Config assembles a server.
+type Config struct {
+	Identity  *identity.Identity
+	Registry  *identity.Registry
+	Directory Directory
+	Shard     *store.Shard
+	Faults    Faults
+}
+
+// Server is one Fides database server.
+type Server struct {
+	ident *identity.Identity
+	reg   *identity.Registry
+	dir   Directory
+	shard *store.Shard
+	log   *ledger.Log
+
+	faults Faults
+
+	mu            sync.Mutex
+	buffers       map[string]map[txn.ItemID][]byte // txnID → buffered writes (execution layer)
+	lastCommitted txn.Timestamp
+	inflight      *cohortState // at most one TFCommit/2PC block in flight (sequential blocks)
+	prevValues    map[txn.ItemID][]byte
+	terminator    Terminator
+	stats         Stats
+}
+
+// Stats aggregates the server-side costs the paper's evaluation reports;
+// Figure 14 plots the Merkle-tree update time per block alongside latency
+// and throughput.
+type Stats struct {
+	// MHTTime is the cumulative wall time spent computing in-memory Merkle
+	// roots during Vote phases (overlay updates + reverts).
+	MHTTime time.Duration
+	// MHTBlocks counts the blocks those computations served.
+	MHTBlocks int
+}
+
+// Stats returns a snapshot of the server's accumulated statistics.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// New builds a server from its configuration.
+func New(cfg Config) (*Server, error) {
+	if cfg.Identity == nil || cfg.Identity.Role != identity.RoleServer {
+		return nil, errors.New("server: config requires a server identity")
+	}
+	if cfg.Identity.Schnorr == nil {
+		return nil, errors.New("server: identity lacks a schnorr key")
+	}
+	if cfg.Registry == nil || cfg.Shard == nil || cfg.Directory == nil {
+		return nil, errors.New("server: config requires registry, shard and directory")
+	}
+	return &Server{
+		ident:      cfg.Identity,
+		reg:        cfg.Registry,
+		dir:        cfg.Directory,
+		shard:      cfg.Shard,
+		log:        ledger.NewLog(),
+		faults:     cfg.Faults,
+		buffers:    make(map[string]map[txn.ItemID][]byte),
+		prevValues: make(map[txn.ItemID][]byte),
+	}, nil
+}
+
+// ID returns the server's node id.
+func (s *Server) ID() identity.NodeID { return s.ident.ID }
+
+// Shard exposes the server's datastore (read-only use by tests/benches).
+func (s *Server) Shard() *store.Shard { return s.shard }
+
+// Log exposes the server's tamper-proof log.
+func (s *Server) Log() *ledger.Log { return s.log }
+
+// SetTerminator installs the termination service (the coordinator's commit
+// batcher) that serves client end_transaction requests.
+func (s *Server) SetTerminator(t Terminator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.terminator = t
+}
+
+// SetFaults replaces the server's fault configuration (tests flip faults on
+// and off mid-run).
+func (s *Server) SetFaults(f Faults) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = f
+}
+
+// Faults returns the current fault configuration.
+func (s *Server) Faults() Faults {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
+// LastCommitted returns the largest commit timestamp the server has applied.
+func (s *Server) LastCommitted() txn.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastCommitted
+}
+
+var _ transport.Handler = (*Server)(nil)
+
+// Handle dispatches an authenticated transport message to the appropriate
+// layer.
+func (s *Server) Handle(ctx context.Context, from identity.NodeID, msg transport.Message) (transport.Message, error) {
+	switch msg.Type {
+	case wire.MsgBeginTxn:
+		return dispatch(msg, func(req *wire.BeginTxnReq) (*wire.BeginTxnResp, error) {
+			return s.handleBegin(req)
+		})
+	case wire.MsgRead:
+		return dispatch(msg, func(req *wire.ReadReq) (*wire.ReadResp, error) {
+			return s.handleRead(req)
+		})
+	case wire.MsgWrite:
+		return dispatch(msg, func(req *wire.WriteReq) (*wire.WriteResp, error) {
+			return s.handleWrite(req)
+		})
+	case wire.MsgEndTxn:
+		return dispatch(msg, func(req *wire.EndTxnReq) (*wire.EndTxnResp, error) {
+			return s.handleEndTxn(ctx, req)
+		})
+	case wire.MsgGetVote:
+		return dispatch(msg, func(req *wire.GetVoteReq) (*wire.VoteResp, error) {
+			return s.GetVote(ctx, from, req)
+		})
+	case wire.MsgChallenge:
+		return dispatch(msg, func(req *wire.ChallengeReq) (*wire.ChallengeResp, error) {
+			return s.Challenge(ctx, from, req)
+		})
+	case wire.MsgDecision:
+		return dispatch(msg, func(req *wire.DecisionReq) (*wire.DecisionResp, error) {
+			return s.Decide(ctx, from, req)
+		})
+	case wire.MsgPrepare:
+		return dispatch(msg, func(req *wire.PrepareReq) (*wire.PrepareResp, error) {
+			return s.Prepare(ctx, from, req)
+		})
+	case wire.Msg2PCDecision:
+		return dispatch(msg, func(req *wire.TwoPCDecisionReq) (*wire.TwoPCDecisionResp, error) {
+			return s.Decide2PC(ctx, from, req)
+		})
+	case wire.MsgFetchLog:
+		return dispatch(msg, func(req *wire.FetchLogReq) (*wire.FetchLogResp, error) {
+			return s.handleFetchLog(req)
+		})
+	case wire.MsgFetchProof:
+		return dispatch(msg, func(req *wire.FetchProofReq) (*wire.FetchProofResp, error) {
+			return s.handleFetchProof(req)
+		})
+	default:
+		return transport.Message{}, fmt.Errorf("server %s: unknown message type %q", s.ident.ID, msg.Type)
+	}
+}
+
+// dispatch decodes the request, invokes fn, and encodes the response.
+func dispatch[Req any, Resp any](msg transport.Message, fn func(*Req) (*Resp, error)) (transport.Message, error) {
+	var req Req
+	if err := msg.Decode(&req); err != nil {
+		return transport.Message{}, err
+	}
+	resp, err := fn(&req)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return transport.NewMessage(msg.Type, resp)
+}
+
+// --- Execution layer (paper §4.2.1) ---
+
+func (s *Server) handleBegin(req *wire.BeginTxnReq) (*wire.BeginTxnResp, error) {
+	if req.TxnID == "" {
+		return nil, errors.New("server: begin: empty txn id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.buffers[req.TxnID]; !exists {
+		s.buffers[req.TxnID] = make(map[txn.ItemID][]byte)
+	}
+	return &wire.BeginTxnResp{OK: true}, nil
+}
+
+func (s *Server) handleRead(req *wire.ReadReq) (*wire.ReadResp, error) {
+	item, err := s.shard.Get(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	resp := &wire.ReadResp{Value: item.Value, RTS: item.RTS, WTS: item.WTS}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.faults.StaleReads {
+		// Scenario 1 (paper §5): return an incorrect (previous) value while
+		// keeping the up-to-date timestamps, so the lie is only catchable by
+		// the auditor's read-value chain check (Lemma 1).
+		if prev, ok := s.prevValues[req.ID]; ok {
+			resp.Value = append([]byte(nil), prev...)
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleWrite(req *wire.WriteReq) (*wire.WriteResp, error) {
+	item, err := s.shard.Get(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := s.buffers[req.TxnID]
+	if !ok {
+		buf = make(map[txn.ItemID][]byte)
+		s.buffers[req.TxnID] = buf
+	}
+	buf[req.ID] = append([]byte(nil), req.Value...)
+	return &wire.WriteResp{OldVal: item.Value, RTS: item.RTS, WTS: item.WTS}, nil
+}
+
+func (s *Server) handleEndTxn(ctx context.Context, req *wire.EndTxnReq) (*wire.EndTxnResp, error) {
+	s.mu.Lock()
+	t := s.terminator
+	s.mu.Unlock()
+	if t == nil {
+		return nil, fmt.Errorf("server %s: not the designated coordinator", s.ident.ID)
+	}
+	return t.Terminate(ctx, req.TxnEnvelope)
+}
+
+// DecodeTxnEnvelope verifies a client-signed transaction envelope against
+// the registry and returns the transaction. Both the coordinator (on
+// end_transaction) and every cohort (on get_vote, paper §4.3.1 phase 2)
+// perform this check.
+func DecodeTxnEnvelope(reg *identity.Registry, env identity.Envelope) (*txn.Transaction, error) {
+	payload, err := reg.Open(env)
+	if err != nil {
+		return nil, fmt.Errorf("server: client request: %w", err)
+	}
+	var t txn.Transaction
+	if err := json.Unmarshal(payload, &t); err != nil {
+		return nil, fmt.Errorf("server: client request: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("server: client request: %w", err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,328 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/merkle"
+	"repro/internal/txn"
+)
+
+func ids(n int) []txn.ItemID {
+	out := make([]txn.ItemID, n)
+	for i := range out {
+		out[i] = txn.ItemID(fmt.Sprintf("item-%03d", i))
+	}
+	return out
+}
+
+func initVal(id txn.ItemID) []byte { return []byte("init") }
+
+func ts(t uint64) txn.Timestamp { return txn.Timestamp{Time: t, ClientID: 1} }
+
+func TestShardBasics(t *testing.T) {
+	s := NewShard(ids(8), initVal, Config{})
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has("item-003") || s.Has("ghost") {
+		t.Fatal("Has wrong")
+	}
+	it, err := s.Get("item-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(it.Value, []byte("init")) || !it.RTS.IsZero() || !it.WTS.IsZero() {
+		t.Fatalf("initial item wrong: %+v", it)
+	}
+	if _, err := s.Get("ghost"); err == nil {
+		t.Fatal("ghost item found")
+	}
+	// Duplicate ids are deduplicated.
+	s2 := NewShard([]txn.ItemID{"a", "a", "b"}, nil, Config{})
+	if s2.Len() != 2 {
+		t.Fatalf("dedup failed: %d", s2.Len())
+	}
+	if s.MultiVersion() {
+		t.Fatal("default shard should be single-versioned")
+	}
+}
+
+func TestApplyUpdatesValuesAndTimestamps(t *testing.T) {
+	s := NewShard(ids(8), initVal, Config{})
+	err := s.Apply([]Access{{
+		ReadIDs: []txn.ItemID{"item-001"},
+		Writes:  []txn.WriteEntry{{ID: "item-002", NewVal: []byte("v2")}},
+		TS:      ts(10),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s.Get("item-001")
+	if r.RTS != ts(10) || !r.WTS.IsZero() {
+		t.Errorf("read item timestamps wrong: %+v", r)
+	}
+	w, _ := s.Get("item-002")
+	if !bytes.Equal(w.Value, []byte("v2")) || w.WTS != ts(10) || !w.RTS.IsZero() {
+		t.Errorf("written item wrong: %+v", w)
+	}
+	// Unknown items error.
+	if err := s.Apply([]Access{{ReadIDs: []txn.ItemID{"ghost"}, TS: ts(11)}}); err == nil {
+		t.Error("apply of unknown read accepted")
+	}
+	if err := s.Apply([]Access{{Writes: []txn.WriteEntry{{ID: "ghost"}}, TS: ts(11)}}); err == nil {
+		t.Error("apply of unknown write accepted")
+	}
+}
+
+func TestRootChangesOnApply(t *testing.T) {
+	s := NewShard(ids(8), initVal, Config{})
+	r0 := s.Root()
+	if err := s.Apply([]Access{{Writes: []txn.WriteEntry{{ID: "item-000", NewVal: []byte("x")}}, TS: ts(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s.Root(), r0) {
+		t.Fatal("root unchanged after write")
+	}
+	// Reads change the root too (rts is part of the leaf).
+	r1 := s.Root()
+	if err := s.Apply([]Access{{ReadIDs: []txn.ItemID{"item-001"}, TS: ts(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s.Root(), r1) {
+		t.Fatal("root unchanged after read timestamp bump")
+	}
+}
+
+func TestOverlayRootMatchesApply(t *testing.T) {
+	mk := func() []Access {
+		return []Access{
+			{ReadIDs: []txn.ItemID{"item-001", "item-004"},
+				Writes: []txn.WriteEntry{{ID: "item-002", NewVal: []byte("a")}}, TS: ts(5)},
+			{Writes: []txn.WriteEntry{{ID: "item-007", NewVal: []byte("b")}}, TS: ts(6)},
+		}
+	}
+	s1 := NewShard(ids(8), initVal, Config{})
+	s2 := NewShard(ids(8), initVal, Config{})
+
+	before := s1.Root()
+	overlay, err := s1.OverlayRoot(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The overlay must not mutate the shard.
+	if !bytes.Equal(s1.Root(), before) {
+		t.Fatal("overlay mutated the shard")
+	}
+	if err := s2.Apply(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(overlay, s2.Root()) {
+		t.Fatal("overlay root differs from applied root")
+	}
+	// And applying to s1 afterwards reaches the same root.
+	if err := s1.Apply(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Root(), overlay) {
+		t.Fatal("apply after overlay differs")
+	}
+}
+
+// Property: for random access batches, OverlayRoot always equals the root
+// after Apply on a twin shard, and never disturbs the original.
+func TestOverlayRootQuick(t *testing.T) {
+	type batchSpec struct {
+		Seed int64
+	}
+	f := func(spec batchSpec) bool {
+		rng := rand.New(rand.NewSource(spec.Seed))
+		n := 16
+		all := ids(n)
+		var accesses []Access
+		tsv := uint64(1)
+		for b := 0; b < rng.Intn(4)+1; b++ {
+			a := Access{TS: ts(tsv)}
+			tsv++
+			for i := 0; i < rng.Intn(4); i++ {
+				a.ReadIDs = append(a.ReadIDs, all[rng.Intn(n)])
+			}
+			for i := 0; i < rng.Intn(4); i++ {
+				a.Writes = append(a.Writes, txn.WriteEntry{
+					ID:     all[rng.Intn(n)],
+					NewVal: []byte(fmt.Sprintf("v%d", rng.Int())),
+				})
+			}
+			accesses = append(accesses, a)
+		}
+		s1 := NewShard(all, initVal, Config{})
+		s2 := NewShard(all, initVal, Config{})
+		before := s1.Root()
+		overlay, err := s1.OverlayRoot(accesses)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(s1.Root(), before) {
+			return false
+		}
+		if err := s2.Apply(accesses); err != nil {
+			return false
+		}
+		return bytes.Equal(overlay, s2.Root())
+	}
+	cfg := &quick.Config{MaxCount: 100, Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(batchSpec{Seed: r.Int63()})
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProofAuthenticatesCurrentState(t *testing.T) {
+	s := NewShard(ids(8), initVal, Config{})
+	if err := s.Apply([]Access{{Writes: []txn.WriteEntry{{ID: "item-003", NewVal: []byte("900")}}, TS: ts(100)}}); err != nil {
+		t.Fatal(err)
+	}
+	leaf, proof, err := s.Proof("item-003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := LeafContent("item-003", []byte("900"), txn.Timestamp{}, ts(100))
+	if !bytes.Equal(leaf, expected) {
+		t.Fatalf("leaf content %x, want %x", leaf, expected)
+	}
+	if !merkle.VerifyProof(s.Root(), merkle.LeafHash(leaf), proof) {
+		t.Fatal("proof does not verify against root")
+	}
+	if _, _, err := s.Proof("ghost"); err == nil {
+		t.Fatal("proof for ghost item")
+	}
+}
+
+func TestMultiVersioning(t *testing.T) {
+	s := NewShard(ids(4), initVal, Config{MultiVersion: true})
+	if !s.MultiVersion() {
+		t.Fatal("not multi-versioned")
+	}
+	// Three versions of item-000: init, ts10, ts20.
+	for _, v := range []struct {
+		t   uint64
+		val string
+	}{{10, "ten"}, {20, "twenty"}} {
+		if err := s.Apply([]Access{{Writes: []txn.WriteEntry{{ID: "item-000", NewVal: []byte(v.val)}}, TS: ts(v.t)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		at   uint64
+		want string
+	}{{5, "init"}, {10, "ten"}, {15, "ten"}, {20, "twenty"}, {99, "twenty"}}
+	for _, c := range cases {
+		v, err := s.VersionAt("item-000", ts(c.at))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(v.Value, []byte(c.want)) {
+			t.Errorf("version at %d = %q, want %q", c.at, v.Value, c.want)
+		}
+	}
+	if _, err := s.VersionAt("ghost", ts(1)); err == nil {
+		t.Error("version of ghost item")
+	}
+}
+
+func TestProofAtHistoricalVersion(t *testing.T) {
+	s := NewShard(ids(4), initVal, Config{MultiVersion: true})
+	if err := s.Apply([]Access{{Writes: []txn.WriteEntry{{ID: "item-001", NewVal: []byte("v1")}}, TS: ts(10)}}); err != nil {
+		t.Fatal(err)
+	}
+	root10, err := s.RootAt(ts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A later write must not disturb the historical audit.
+	if err := s.Apply([]Access{{Writes: []txn.WriteEntry{{ID: "item-001", NewVal: []byte("v2")}}, TS: ts(20)}}); err != nil {
+		t.Fatal(err)
+	}
+	leaf, proof, err := s.ProofAt("item-001", ts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(leaf, LeafContent("item-001", []byte("v1"), txn.Timestamp{}, ts(10))) {
+		t.Fatalf("historical leaf wrong: %x", leaf)
+	}
+	if !merkle.VerifyProof(root10, merkle.LeafHash(leaf), proof) {
+		t.Fatal("historical proof does not verify")
+	}
+	// RootAt(10) differs from the current root.
+	if bytes.Equal(root10, s.Root()) {
+		t.Fatal("historical root equals current root despite later write")
+	}
+}
+
+func TestVersionedOpsRejectSingleVersionShard(t *testing.T) {
+	s := NewShard(ids(4), initVal, Config{})
+	if _, err := s.RootAt(ts(1)); err == nil {
+		t.Error("RootAt on single-versioned shard accepted")
+	}
+	if _, _, err := s.ProofAt("item-000", ts(1)); err == nil {
+		t.Error("ProofAt on single-versioned shard accepted")
+	}
+	if _, err := s.VersionAt("item-000", ts(1)); err == nil {
+		t.Error("VersionAt on single-versioned shard accepted")
+	}
+}
+
+func TestCorruptDivergesFromLoggedRoot(t *testing.T) {
+	s := NewShard(ids(4), initVal, Config{})
+	if err := s.Apply([]Access{{Writes: []txn.WriteEntry{{ID: "item-002", NewVal: []byte("good")}}, TS: ts(5)}}); err != nil {
+		t.Fatal(err)
+	}
+	honest := s.Root()
+	if err := s.Corrupt("item-002", []byte("evil")); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s.Root(), honest) {
+		t.Fatal("corruption did not change served root")
+	}
+	it, _ := s.Get("item-002")
+	if !bytes.Equal(it.Value, []byte("evil")) {
+		t.Fatal("corrupt value not stored")
+	}
+	if err := s.Corrupt("ghost", nil); err == nil {
+		t.Fatal("corrupting ghost item accepted")
+	}
+}
+
+func TestLeafContentInjective(t *testing.T) {
+	// Distinct (id, value) pairs with ambiguous concatenations must encode
+	// differently.
+	a := LeafContent("ab", []byte("c"), ts(1), ts(2))
+	b := LeafContent("a", []byte("bc"), ts(1), ts(2))
+	if bytes.Equal(a, b) {
+		t.Fatal("leaf content framing ambiguous")
+	}
+	c := LeafContent("ab", []byte("c"), ts(1), ts(3))
+	if bytes.Equal(a, c) {
+		t.Fatal("leaf content ignores wts")
+	}
+	d := LeafContent("ab", []byte("c"), ts(9), ts(2))
+	if bytes.Equal(a, d) {
+		t.Fatal("leaf content ignores rts")
+	}
+}
+
+func TestIDsSortedAndStable(t *testing.T) {
+	s := NewShard([]txn.ItemID{"c", "a", "b"}, nil, Config{})
+	got := s.IDs()
+	want := []txn.ItemID{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}

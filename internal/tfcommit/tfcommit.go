@@ -1,0 +1,497 @@
+// Package tfcommit implements the coordinator side of TFCommit (paper
+// §4.3), the paper's primary contribution: a trust-free atomic commitment
+// protocol that merges Two-Phase Commit with Collective Signing (CoSi) so
+// that every termination decision is bound to a block of the tamper-proof
+// log by a collective signature of all servers.
+//
+// TFCommit is a 3-round protocol with 5 phases (Figure 7), each labelled by
+// its ⟨2PC phase, CoSi phase⟩ mapping:
+//
+//  1. ⟨GetVote,  SchAnnouncement⟩  coordinator → cohorts: partial block
+//  2. ⟨Vote,     SchCommitment⟩    cohorts → coordinator: vote, root, V_i
+//  3. ⟨null,     SchChallenge⟩     coordinator → cohorts: ch, ΣV_i, block
+//  4. ⟨null,     SchResponse⟩      cohorts → coordinator: r_i
+//  5. ⟨Decision, null⟩             coordinator → cohorts: co-signed block
+//
+// The coordinator is itself an untrusted database server with extra duties
+// only during termination (paper §4.1); its own cohort participates through
+// the Local participant rather than the network.
+//
+// Like 2PC, TFCommit blocks if the coordinator or a cohort fails; the
+// non-blocking 3PC-style extension is future work in the paper and is
+// likewise out of scope here.
+package tfcommit
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"repro/internal/cosi"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/schnorr"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// Participant is the coordinator's interface to its own local server: the
+// coordinator votes, responds and applies like any cohort, without a
+// network hop. *server.Server satisfies it.
+type Participant interface {
+	GetVote(ctx context.Context, from identity.NodeID, req *wire.GetVoteReq) (*wire.VoteResp, error)
+	Challenge(ctx context.Context, from identity.NodeID, req *wire.ChallengeReq) (*wire.ChallengeResp, error)
+	Decide(ctx context.Context, from identity.NodeID, req *wire.DecisionReq) (*wire.DecisionResp, error)
+	Log() *ledger.Log
+}
+
+// Faults configures coordinator misbehavior (paper §4.3.2, §5 Scenario 2,
+// Lemma 5). The zero value is a correct coordinator.
+type Faults struct {
+	// EquivocateChallenge implements Lemma 5 case 1: the coordinator
+	// computes one challenge (over the commit block) but delivers an abort
+	// variant of the block to half the cohorts. A correct cohort recomputes
+	// the challenge against the block it received and immediately exposes
+	// the mismatch.
+	EquivocateChallenge bool
+	// EquivocateDecision sends the finalized block to half the cohorts and
+	// a content-mutated variant (carrying the same, now-mismatched co-sign)
+	// to the other half — the Figure 8 attack surfacing at the Decision
+	// phase. Cohorts that verify the co-sign reject the invalid branch;
+	// colluding cohorts that skip the check append a block whose signature
+	// an auditor later finds invalid (Lemma 5).
+	EquivocateDecision bool
+	// FakeRootFor replaces the named cohort's Merkle root with garbage
+	// before the challenge phase (Scenario 2). The benign cohort detects
+	// the substitution in SchResponse and refuses to co-sign.
+	FakeRootFor identity.NodeID
+}
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Identity is the coordinator server's identity.
+	Identity *identity.Identity
+	// Registry resolves all node public keys.
+	Registry *identity.Registry
+	// Transport reaches the remote cohorts.
+	Transport transport.Transport
+	// Servers is the full server set (including the coordinator); all of
+	// them participate in every termination so the log is identically
+	// ordered everywhere (paper §4.3.1).
+	Servers []identity.NodeID
+	// Local is the coordinator's own server.
+	Local Participant
+	// Faults injects coordinator misbehavior.
+	Faults Faults
+}
+
+// Coordinator terminates transactions by running TFCommit rounds.
+type Coordinator struct {
+	ident   *identity.Identity
+	reg     *identity.Registry
+	tr      transport.Transport
+	servers []identity.NodeID
+	local   Participant
+	faults  Faults
+}
+
+// New creates a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Identity == nil || cfg.Registry == nil || cfg.Local == nil {
+		return nil, errors.New("tfcommit: config requires identity, registry and local participant")
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("tfcommit: config requires at least one server")
+	}
+	servers := append([]identity.NodeID(nil), cfg.Servers...)
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	return &Coordinator{
+		ident:   cfg.Identity,
+		reg:     cfg.Registry,
+		tr:      cfg.Transport,
+		servers: servers,
+		local:   cfg.Local,
+		faults:  cfg.Faults,
+	}, nil
+}
+
+// SetFaults replaces the coordinator's fault configuration.
+func (c *Coordinator) SetFaults(f Faults) { c.faults = f }
+
+// Result is the outcome of one TFCommit round.
+type Result struct {
+	// Block is the finalized, collectively signed block.
+	Block *ledger.Block
+	// Committed reports whether the block's decision was commit.
+	Committed bool
+	// FailedTxns, on an aborted block, indexes the transactions that some
+	// involved cohort itemized as failing validation. The caller can retry
+	// the block with those transactions pruned (§4.6's non-conflicting
+	// batching in practice); an empty list on an abort means a cohort
+	// refused the batch wholesale.
+	FailedTxns []int
+}
+
+// RefusalError reports cohorts that refused to participate in a phase —
+// how a correct server exposes a malicious coordinator mid-protocol
+// (paper §4.3.2). TFCommit, like 2PC, then blocks.
+type RefusalError struct {
+	Phase   string
+	Refused map[identity.NodeID]error
+}
+
+func (e *RefusalError) Error() string {
+	ids := make([]string, 0, len(e.Refused))
+	for id, err := range e.Refused {
+		ids = append(ids, fmt.Sprintf("%s (%v)", id, err))
+	}
+	sort.Strings(ids)
+	return fmt.Sprintf("tfcommit: %s phase refused by: %s", e.Phase, strings.Join(ids, "; "))
+}
+
+// FaultySignersError reports the precise servers whose cryptographic
+// contributions invalidate the collective signature, identified by
+// partial-signature exclusion (paper Lemma 4).
+type FaultySignersError struct {
+	Faulty []identity.NodeID
+}
+
+func (e *FaultySignersError) Error() string {
+	ids := make([]string, len(e.Faulty))
+	for i, id := range e.Faulty {
+		ids[i] = string(id)
+	}
+	return "tfcommit: invalid collective signature; faulty signers: " + strings.Join(ids, ", ")
+}
+
+// CommitBlock runs one full TFCommit round terminating the given batch of
+// transactions (paper §4.6 allows multiple transactions per block; the
+// evaluation uses ~100). envs carries the client-signed end_transaction
+// requests, one per transaction, which the coordinator encapsulates in the
+// GetVote announcement.
+func (c *Coordinator) CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*Result, error) {
+	if len(txns) == 0 {
+		return nil, errors.New("tfcommit: empty batch")
+	}
+	if len(envs) != len(txns) {
+		return nil, fmt.Errorf("tfcommit: %d envelopes for %d transactions", len(envs), len(txns))
+	}
+
+	// Phase 1 ⟨GetVote, SchAnnouncement⟩: assemble the partially filled
+	// block b_i = [ts, Rset-Wset, h_{i-1}] and announce it.
+	log := c.local.Log()
+	block := &ledger.Block{
+		Height:   uint64(log.Len()),
+		Txns:     make([]ledger.TxnRecord, len(txns)),
+		PrevHash: log.TipHash(),
+		Signers:  append([]identity.NodeID(nil), c.servers...),
+	}
+	for i, t := range txns {
+		block.Txns[i] = ledger.RecordFromTransaction(t)
+	}
+	voteReq := &wire.GetVoteReq{Block: block, ClientReqs: envs}
+
+	// Phase 2 ⟨Vote, SchCommitment⟩: collect votes, roots and commitments.
+	votes, refused := c.broadcastVotes(ctx, voteReq)
+	if len(refused) > 0 {
+		return nil, &RefusalError{Phase: "vote", Refused: refused}
+	}
+
+	// Phase 3 ⟨null, SchChallenge⟩: form the decision, aggregate roots and
+	// commitments, compute ch = h(X_sch ‖ b_i).
+	decision := ledger.DecisionCommit
+	roots := make(map[identity.NodeID][]byte)
+	commitments := make([]cosi.Commitment, len(c.servers))
+	failedSet := make(map[int]struct{})
+	for i, id := range c.servers {
+		v := votes[id]
+		point, err := schnorr.UnmarshalPoint(v.Commitment)
+		if err != nil {
+			return nil, fmt.Errorf("tfcommit: commitment from %s: %w", id, err)
+		}
+		commitments[i] = cosi.Commitment{V: point}
+		if v.Involved {
+			if v.Vote != ledger.DecisionCommit {
+				decision = ledger.DecisionAbort
+				for _, idx := range v.TxnAborts {
+					if idx >= 0 && idx < len(txns) {
+						failedSet[idx] = struct{}{}
+					}
+				}
+				continue
+			}
+			roots[id] = v.Root
+		}
+	}
+	block.Decision = decision
+	block.Roots = roots
+	if c.faults.FakeRootFor != "" {
+		block.Roots[c.faults.FakeRootFor] = randomBytes(32)
+	}
+
+	aggV, err := cosi.AggregateCommitments(commitments)
+	if err != nil {
+		return nil, fmt.Errorf("tfcommit: %w", err)
+	}
+	pubs, err := c.reg.SchnorrKeys(c.servers)
+	if err != nil {
+		return nil, fmt.Errorf("tfcommit: %w", err)
+	}
+	aggPub, err := cosi.AggregatePublicKeys(pubs)
+	if err != nil {
+		return nil, fmt.Errorf("tfcommit: %w", err)
+	}
+	challenge := cosi.Challenge(aggV, aggPub, block.SigningBytes())
+	chReq := &wire.ChallengeReq{
+		Challenge:     challenge.Bytes(),
+		AggCommitment: aggV.Marshal(),
+		Block:         block,
+	}
+
+	// Phase 4 ⟨null, SchResponse⟩: collect and aggregate responses.
+	responses, refused := c.broadcastChallenge(ctx, chReq)
+	if len(refused) > 0 {
+		return nil, &RefusalError{Phase: "challenge", Refused: refused}
+	}
+	ordered := make([]*big.Int, len(c.servers))
+	for i, id := range c.servers {
+		ordered[i] = new(big.Int).SetBytes(responses[id].Response)
+	}
+	aggR, err := cosi.AggregateResponses(ordered)
+	if err != nil {
+		return nil, fmt.Errorf("tfcommit: %w", err)
+	}
+	sig := cosi.Finalize(challenge, aggR)
+
+	// The coordinator is incentivised to check the signature before
+	// publishing: if it is invalid, identify the faulty signer(s) by
+	// partial-signature exclusion (Lemma 4).
+	if !cosi.Verify(aggPub, block.SigningBytes(), sig) {
+		faultyIdx, idErr := cosi.IdentifyFaulty(pubs, commitments, challenge, ordered)
+		if idErr != nil {
+			return nil, fmt.Errorf("tfcommit: invalid co-sign and identification failed: %w", idErr)
+		}
+		faulty := make([]identity.NodeID, len(faultyIdx))
+		for i, idx := range faultyIdx {
+			faulty[i] = c.servers[idx]
+		}
+		return nil, &FaultySignersError{Faulty: faulty}
+	}
+	block.SetCoSig(sig)
+
+	// Phase 5 ⟨Decision, null⟩: publish the finalized block; cohorts verify
+	// the co-sign, then append to the log and update their datastores.
+	if refused := c.broadcastDecision(ctx, block); len(refused) > 0 {
+		return nil, &RefusalError{Phase: "decision", Refused: refused}
+	}
+	res := &Result{Block: block, Committed: decision == ledger.DecisionCommit}
+	if !res.Committed {
+		res.FailedTxns = make([]int, 0, len(failedSet))
+		for idx := range failedSet {
+			res.FailedTxns = append(res.FailedTxns, idx)
+		}
+		sort.Ints(res.FailedTxns)
+	}
+	return res, nil
+}
+
+// broadcastVotes runs phase 1→2 against every server (self locally).
+func (c *Coordinator) broadcastVotes(ctx context.Context, req *wire.GetVoteReq) (map[identity.NodeID]*wire.VoteResp, map[identity.NodeID]error) {
+	out := make(map[identity.NodeID]*wire.VoteResp, len(c.servers))
+	refused := make(map[identity.NodeID]error)
+
+	remote := c.remoteServers()
+	msg, err := transport.NewMessage(wire.MsgGetVote, req)
+	if err != nil {
+		refused[c.ident.ID] = err
+		return out, refused
+	}
+	resps, errs := transport.CallAll(ctx, c.tr, remote, msg)
+	for id, e := range errs {
+		refused[id] = e
+	}
+	for id, resp := range resps {
+		var v wire.VoteResp
+		if err := resp.Decode(&v); err != nil {
+			refused[id] = err
+			continue
+		}
+		out[id] = &v
+	}
+
+	if self, err := c.local.GetVote(ctx, c.ident.ID, req); err != nil {
+		refused[c.ident.ID] = err
+	} else {
+		out[c.ident.ID] = self
+	}
+	if len(refused) == 0 {
+		refused = nil
+	}
+	return out, refused
+}
+
+// broadcastChallenge runs phase 3→4. With the EquivocateChallenge fault the
+// coordinator delivers an abort variant of the block to the second half of
+// the cohorts while keeping the challenge computed over the true block —
+// Lemma 5 case 1.
+func (c *Coordinator) broadcastChallenge(ctx context.Context, req *wire.ChallengeReq) (map[identity.NodeID]*wire.ChallengeResp, map[identity.NodeID]error) {
+	out := make(map[identity.NodeID]*wire.ChallengeResp, len(c.servers))
+	refused := make(map[identity.NodeID]error)
+
+	remote := c.remoteServers()
+	if !c.faults.EquivocateChallenge {
+		msg, err := transport.NewMessage(wire.MsgChallenge, req)
+		if err != nil {
+			refused[c.ident.ID] = err
+			return out, refused
+		}
+		resps, errs := transport.CallAll(ctx, c.tr, remote, msg)
+		for id, e := range errs {
+			refused[id] = e
+		}
+		for id, resp := range resps {
+			var cr wire.ChallengeResp
+			if err := resp.Decode(&cr); err != nil {
+				refused[id] = err
+				continue
+			}
+			out[id] = &cr
+		}
+	} else {
+		altReq := &wire.ChallengeReq{
+			Challenge:     req.Challenge,
+			AggCommitment: req.AggCommitment,
+			Block:         abortVariant(req.Block),
+		}
+		for i, id := range remote {
+			r := req
+			if i >= len(remote)/2 {
+				r = altReq
+			}
+			msg, err := transport.NewMessage(wire.MsgChallenge, r)
+			if err != nil {
+				refused[id] = err
+				continue
+			}
+			resp, err := c.tr.Call(ctx, id, msg)
+			if err != nil {
+				refused[id] = err
+				continue
+			}
+			var cr wire.ChallengeResp
+			if err := resp.Decode(&cr); err != nil {
+				refused[id] = err
+				continue
+			}
+			out[id] = &cr
+		}
+	}
+
+	if self, err := c.local.Challenge(ctx, c.ident.ID, req); err != nil {
+		refused[c.ident.ID] = err
+	} else {
+		out[c.ident.ID] = self
+	}
+	if len(refused) == 0 {
+		refused = nil
+	}
+	return out, refused
+}
+
+// broadcastDecision runs phase 5. With the EquivocateDecision fault, half
+// the cohorts receive an abort variant carrying the (mismatched) co-sign —
+// the Figure 8 attack.
+func (c *Coordinator) broadcastDecision(ctx context.Context, block *ledger.Block) map[identity.NodeID]error {
+	refused := make(map[identity.NodeID]error)
+
+	remote := c.remoteServers()
+	if !c.faults.EquivocateDecision {
+		msg, err := transport.NewMessage(wire.MsgDecision, &wire.DecisionReq{Block: block})
+		if err != nil {
+			refused[c.ident.ID] = err
+			return refused
+		}
+		_, errs := transport.CallAll(ctx, c.tr, remote, msg)
+		for id, e := range errs {
+			refused[id] = e
+		}
+	} else {
+		alt := mutatedVariant(block)
+		for i, id := range remote {
+			b := block
+			if i >= len(remote)/2 {
+				b = alt
+			}
+			msg, err := transport.NewMessage(wire.MsgDecision, &wire.DecisionReq{Block: b})
+			if err != nil {
+				refused[id] = err
+				continue
+			}
+			if _, err := c.tr.Call(ctx, id, msg); err != nil {
+				refused[id] = err
+			}
+		}
+	}
+
+	if _, err := c.local.Decide(ctx, c.ident.ID, &wire.DecisionReq{Block: block}); err != nil {
+		refused[c.ident.ID] = err
+	}
+	if len(refused) == 0 {
+		return nil
+	}
+	return refused
+}
+
+func (c *Coordinator) remoteServers() []identity.NodeID {
+	remote := make([]identity.NodeID, 0, len(c.servers)-1)
+	for _, id := range c.servers {
+		if id != c.ident.ID {
+			remote = append(remote, id)
+		}
+	}
+	return remote
+}
+
+// abortVariant clones a block and flips it to an abort with one root
+// removed, producing the "different block" a malicious coordinator shows to
+// one group in the Lemma 5 case-1 equivocation attack (Figure 8: commit
+// block b_c to group G_c, abort block b_a to group G_a).
+func abortVariant(b *ledger.Block) *ledger.Block {
+	alt := b.Clone()
+	alt.Decision = ledger.DecisionAbort
+	for id := range alt.Roots {
+		delete(alt.Roots, id)
+		break
+	}
+	alt.CoSigC, alt.CoSigS = nil, nil
+	return alt
+}
+
+// mutatedVariant clones a finalized block, corrupts the first written value
+// it finds, and keeps the original co-sign — the "incorrect block" an
+// equivocating coordinator publishes to one group at Decision time. The
+// retained signature cannot verify against the mutated contents, which is
+// exactly what the auditor detects in a colluder's log (Lemma 5).
+func mutatedVariant(b *ledger.Block) *ledger.Block {
+	alt := b.Clone()
+	for i := range alt.Txns {
+		if len(alt.Txns[i].Writes) > 0 {
+			alt.Txns[i].Writes[0].NewVal = append(alt.Txns[i].Writes[0].NewVal, []byte("-equivocated")...)
+			break
+		}
+	}
+	return alt
+}
+
+func randomBytes(n int) []byte {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		return b
+	}
+	return b
+}

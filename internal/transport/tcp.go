@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/identity"
+)
+
+// zeroTime clears a connection deadline.
+var zeroTime time.Time
+
+// maxFrameSize bounds a single wire frame; larger frames are rejected
+// rather than buffered (defensive against a malicious peer streaming
+// garbage lengths).
+const maxFrameSize = 64 << 20 // 64 MiB
+
+// TCPNode is a Transport over real TCP sockets: every request and response
+// is a length-prefixed JSON identity.Envelope. One connection is opened per
+// (caller, callee) pair per in-flight call, drawn from a small free pool,
+// so concurrent broadcasts do not head-of-line block each other.
+type TCPNode struct {
+	ident   *identity.Identity
+	reg     *identity.Registry
+	handler Handler
+	ln      net.Listener
+
+	mu       sync.Mutex
+	seq      uint64
+	addrs    map[identity.NodeID]string
+	pools    map[identity.NodeID][]*tcpConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewTCPNode starts listening on listenAddr ("host:port"; port 0 picks a
+// free port) and serves incoming calls through handler (nil for pure
+// clients). Use Addr to learn the bound address and SetAddress to teach the
+// node where its peers listen.
+func NewTCPNode(ident *identity.Identity, reg *identity.Registry, listenAddr string, handler Handler) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	n := &TCPNode{
+		ident:    ident,
+		reg:      reg,
+		handler:  handler,
+		ln:       ln,
+		addrs:    make(map[identity.NodeID]string),
+		pools:    make(map[identity.NodeID][]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// Self returns the local node id.
+func (n *TCPNode) Self() identity.NodeID { return n.ident.ID }
+
+// SetAddress records the listen address of a peer.
+func (n *TCPNode) SetAddress(id identity.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs[id] = addr
+}
+
+// Call implements Transport.
+func (n *TCPNode) Call(ctx context.Context, to identity.NodeID, msg Message) (Message, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	addr, ok := n.addrs[to]
+	n.seq++
+	seq := n.seq
+	n.mu.Unlock()
+	if !ok {
+		return Message{}, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+
+	env, err := sealFrame(n.ident, to, seq, msg)
+	if err != nil {
+		return Message{}, err
+	}
+
+	conn, err := n.acquireConn(ctx, to, addr)
+	if err != nil {
+		return Message{}, err
+	}
+	ok = false
+	defer func() {
+		if ok {
+			n.releaseConn(to, conn)
+		} else {
+			_ = conn.c.Close()
+		}
+	}()
+
+	if deadline, has := ctx.Deadline(); has {
+		_ = conn.c.SetDeadline(deadline)
+	} else {
+		_ = conn.c.SetDeadline(zeroTime)
+	}
+	if err := writeFrame(conn.bw, env); err != nil {
+		return Message{}, fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	respEnv, err := readFrame(conn.br)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: receive from %s: %w", to, err)
+	}
+	from, out, err := openFrame(n.reg, n.ident.ID, respEnv)
+	if err != nil {
+		return Message{}, err
+	}
+	if from != to {
+		return Message{}, fmt.Errorf("transport: response impersonation: asked %q, answered %q", to, from)
+	}
+	ok = true
+	if out.Type == "error" {
+		var emsg string
+		_ = json.Unmarshal(out.Body, &emsg)
+		return Message{}, &RemoteError{Node: to, Msg: emsg}
+	}
+	return out, nil
+}
+
+func (n *TCPNode) acquireConn(ctx context.Context, to identity.NodeID, addr string) (*tcpConn, error) {
+	n.mu.Lock()
+	pool := n.pools[to]
+	if len(pool) > 0 {
+		conn := pool[len(pool)-1]
+		n.pools[to] = pool[:len(pool)-1]
+		n.mu.Unlock()
+		return conn, nil
+	}
+	n.mu.Unlock()
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	return &tcpConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}, nil
+}
+
+func (n *TCPNode) releaseConn(to identity.NodeID, conn *tcpConn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || len(n.pools[to]) >= 8 {
+		_ = conn.c.Close()
+		return
+	}
+	n.pools[to] = append(n.pools[to], conn)
+}
+
+// Close stops the listener, closes pooled connections, and waits for all
+// serving goroutines to drain.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	pools := n.pools
+	n.pools = map[identity.NodeID][]*tcpConn{}
+	accepted := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		accepted = append(accepted, c)
+	}
+	n.mu.Unlock()
+
+	err := n.ln.Close()
+	for _, pool := range pools {
+		for _, conn := range pool {
+			_ = conn.c.Close()
+		}
+	}
+	// Force-close accepted connections so serving goroutines unblock even
+	// while peers keep their (now useless) pooled connections open.
+	for _, c := range accepted {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		n.accepted[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(c)
+	}
+}
+
+func (n *TCPNode) serveConn(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = c.Close()
+		n.mu.Lock()
+		delete(n.accepted, c)
+		n.mu.Unlock()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		env, err := readFrame(br)
+		if err != nil {
+			return // peer closed or garbage framing
+		}
+		from, msg, err := openFrame(n.reg, n.ident.ID, env)
+		var resp Message
+		if err != nil {
+			resp = Message{Type: "error", Body: mustJSON(err.Error())}
+		} else if n.handler == nil {
+			resp = Message{Type: "error", Body: mustJSON("node has no handler")}
+		} else {
+			out, handleErr := n.handler.Handle(context.Background(), from, msg)
+			if handleErr != nil {
+				resp = Message{Type: "error", Body: mustJSON(handleErr.Error())}
+			} else {
+				resp = out
+			}
+		}
+		n.mu.Lock()
+		n.seq++
+		seq := n.seq
+		n.mu.Unlock()
+		respEnv, err := sealFrame(n.ident, from, seq, resp)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(bw, respEnv); err != nil {
+			return
+		}
+	}
+}
+
+func writeFrame(bw *bufio.Writer, env identity.Envelope) error {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(raw)))
+	if _, err := bw.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(raw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func readFrame(br *bufio.Reader) (identity.Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return identity.Envelope{}, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size == 0 || size > maxFrameSize {
+		return identity.Envelope{}, errors.New("transport: invalid frame size")
+	}
+	raw := make([]byte, size)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return identity.Envelope{}, err
+	}
+	var env identity.Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return identity.Envelope{}, err
+	}
+	return env, nil
+}

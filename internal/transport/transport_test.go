@@ -1,0 +1,314 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/identity"
+)
+
+// echoHandler answers every message with its own body, tagging the sender.
+type echoHandler struct {
+	mu    sync.Mutex
+	calls []identity.NodeID
+}
+
+func (h *echoHandler) Handle(_ context.Context, from identity.NodeID, msg Message) (Message, error) {
+	h.mu.Lock()
+	h.calls = append(h.calls, from)
+	h.mu.Unlock()
+	var body string
+	if err := msg.Decode(&body); err != nil {
+		return Message{}, err
+	}
+	return NewMessage("echo", fmt.Sprintf("%s:%s", from, body))
+}
+
+type failHandler struct{}
+
+func (failHandler) Handle(context.Context, identity.NodeID, Message) (Message, error) {
+	return Message{}, errors.New("boom")
+}
+
+func setupLocal(t *testing.T, latency time.Duration) (*LocalNetwork, *identity.Registry, map[identity.NodeID]*identity.Identity) {
+	t.Helper()
+	net := NewLocalNetwork(latency)
+	reg := identity.NewRegistry()
+	idents := make(map[identity.NodeID]*identity.Identity)
+	for _, id := range []identity.NodeID{"a", "b", "c"} {
+		ident, err := identity.New(id, identity.RoleServer, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Register(ident.Public())
+		idents[id] = ident
+	}
+	return net, reg, idents
+}
+
+func TestLocalCallRoundTrip(t *testing.T) {
+	net, reg, idents := setupLocal(t, 0)
+	h := &echoHandler{}
+	net.Endpoint(idents["b"], reg, h)
+	a := net.Endpoint(idents["a"], reg, nil)
+
+	msg, err := NewMessage("echo", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.Call(context.Background(), "b", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body string
+	if err := resp.Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body != "a:hello" {
+		t.Fatalf("body = %q", body)
+	}
+	if a.Self() != "a" {
+		t.Fatalf("Self = %s", a.Self())
+	}
+}
+
+func TestLocalCallUnknownPeer(t *testing.T) {
+	net, reg, idents := setupLocal(t, 0)
+	a := net.Endpoint(idents["a"], reg, nil)
+	msg, _ := NewMessage("echo", "x")
+	if _, err := a.Call(context.Background(), "ghost", msg); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestLocalCallRemoteError(t *testing.T) {
+	net, reg, idents := setupLocal(t, 0)
+	net.Endpoint(idents["b"], reg, failHandler{})
+	a := net.Endpoint(idents["a"], reg, nil)
+	msg, _ := NewMessage("echo", "x")
+	_, err := a.Call(context.Background(), "b", msg)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Node != "b" || re.Msg != "boom" {
+		t.Fatalf("remote error = %+v", re)
+	}
+}
+
+func TestLocalCallRejectsUnregisteredSender(t *testing.T) {
+	net, reg, idents := setupLocal(t, 0)
+	net.Endpoint(idents["b"], reg, &echoHandler{})
+
+	// "mallory" is attached to the network but never registered, so the
+	// receiver cannot verify her signature.
+	mallory, err := identity.New("mallory", identity.RoleClient, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := net.Endpoint(mallory, reg, nil)
+	msg, _ := NewMessage("echo", "hi")
+	if _, err := m.Call(context.Background(), "b", msg); err == nil {
+		t.Fatal("unregistered sender accepted")
+	}
+}
+
+func TestLocalLatencySimulation(t *testing.T) {
+	net, reg, idents := setupLocal(t, 5*time.Millisecond)
+	net.Endpoint(idents["b"], reg, &echoHandler{})
+	a := net.Endpoint(idents["a"], reg, nil)
+	msg, _ := NewMessage("echo", "x")
+
+	start := time.Now()
+	if _, err := a.Call(context.Background(), "b", msg); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("call took %v, want >= 10ms (two one-way delays)", elapsed)
+	}
+
+	// Context cancellation interrupts the delay.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, "b", msg); err == nil {
+		t.Fatal("cancelled call succeeded")
+	}
+}
+
+func TestLocalClosedEndpoint(t *testing.T) {
+	net, reg, idents := setupLocal(t, 0)
+	net.Endpoint(idents["b"], reg, &echoHandler{})
+	a := net.Endpoint(idents["a"], reg, nil)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := NewMessage("echo", "x")
+	if _, err := a.Call(context.Background(), "b", msg); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestLocalRemoveSimulatesCrash(t *testing.T) {
+	net, reg, idents := setupLocal(t, 0)
+	net.Endpoint(idents["b"], reg, &echoHandler{})
+	a := net.Endpoint(idents["a"], reg, nil)
+	net.Remove("b")
+	msg, _ := NewMessage("echo", "x")
+	if _, err := a.Call(context.Background(), "b", msg); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer after removal", err)
+	}
+}
+
+func TestCallAll(t *testing.T) {
+	net, reg, idents := setupLocal(t, 0)
+	net.Endpoint(idents["b"], reg, &echoHandler{})
+	net.Endpoint(idents["c"], reg, failHandler{})
+	a := net.Endpoint(idents["a"], reg, nil)
+
+	msg, _ := NewMessage("echo", "x")
+	resps, errs := CallAll(context.Background(), a, []identity.NodeID{"b", "c", "ghost"}, msg)
+	if len(resps) != 1 {
+		t.Fatalf("resps = %d, want 1", len(resps))
+	}
+	if _, ok := resps["b"]; !ok {
+		t.Fatal("b missing from responses")
+	}
+	if len(errs) != 2 {
+		t.Fatalf("errs = %v, want 2 entries", errs)
+	}
+	if _, ok := errs["c"]; !ok {
+		t.Fatal("c missing from errors")
+	}
+	if _, ok := errs["ghost"]; !ok {
+		t.Fatal("ghost missing from errors")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	reg := identity.NewRegistry()
+	identA, _ := identity.New("a", identity.RoleClient, nil)
+	identB, _ := identity.New("b", identity.RoleServer, nil)
+	reg.Register(identA.Public())
+	reg.Register(identB.Public())
+
+	b, err := NewTCPNode(identB, reg, "127.0.0.1:0", &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	a, err := NewTCPNode(identA, reg, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	a.SetAddress("b", b.Addr())
+
+	msg, _ := NewMessage("echo", "over-tcp")
+	resp, err := a.Call(context.Background(), "b", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body string
+	if err := resp.Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body != "a:over-tcp" {
+		t.Fatalf("body = %q", body)
+	}
+
+	// Sequential reuse exercises the connection pool.
+	for i := 0; i < 10; i++ {
+		if _, err := a.Call(context.Background(), "b", msg); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	reg := identity.NewRegistry()
+	identA, _ := identity.New("a", identity.RoleClient, nil)
+	identB, _ := identity.New("b", identity.RoleServer, nil)
+	reg.Register(identA.Public())
+	reg.Register(identB.Public())
+
+	b, err := NewTCPNode(identB, reg, "127.0.0.1:0", &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	a, err := NewTCPNode(identA, reg, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	a.SetAddress("b", b.Addr())
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg, _ := NewMessage("echo", fmt.Sprintf("m%d", i))
+			if _, err := a.Call(context.Background(), "b", msg); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPRemoteErrorAndUnknownPeer(t *testing.T) {
+	reg := identity.NewRegistry()
+	identA, _ := identity.New("a", identity.RoleClient, nil)
+	identB, _ := identity.New("b", identity.RoleServer, nil)
+	reg.Register(identA.Public())
+	reg.Register(identB.Public())
+
+	b, err := NewTCPNode(identB, reg, "127.0.0.1:0", failHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	a, err := NewTCPNode(identA, reg, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	a.SetAddress("b", b.Addr())
+
+	msg, _ := NewMessage("echo", "x")
+	var re *RemoteError
+	if _, err := a.Call(context.Background(), "b", msg); !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if _, err := a.Call(context.Background(), "ghost", msg); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call(context.Background(), "b", msg); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed after Close", err)
+	}
+}
+
+func TestMessageDecodeError(t *testing.T) {
+	msg := Message{Type: "x", Body: []byte("{not json")}
+	var out string
+	if err := msg.Decode(&out); err == nil {
+		t.Fatal("garbage body decoded")
+	}
+	if _, err := NewMessage("x", func() {}); err == nil {
+		t.Fatal("unmarshalable body accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Package twopc implements the coordinator side of classic Two-Phase
+// Commit (Gray [17]; paper §4.3.1), the trusted baseline TFCommit is
+// measured against in Figure 12.
+//
+// The implementation deliberately mirrors TFCommit's structure — the same
+// block formation, the same sequential block production, the same signed
+// transport — but omits everything trust-free: no Merkle roots, no Schnorr
+// commitments, no collective signature, and one fewer round. The measured
+// gap between the two protocols is therefore exactly the paper's "overhead
+// incurred by TFCommit to operate in an untrusted setting" (§6.1).
+package twopc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// Participant is the coordinator's interface to its own local server.
+// *server.Server satisfies it.
+type Participant interface {
+	Prepare(ctx context.Context, from identity.NodeID, req *wire.PrepareReq) (*wire.PrepareResp, error)
+	Decide2PC(ctx context.Context, from identity.NodeID, req *wire.TwoPCDecisionReq) (*wire.TwoPCDecisionResp, error)
+	Log() *ledger.Log
+}
+
+// Config assembles a Coordinator.
+type Config struct {
+	Identity  *identity.Identity
+	Transport transport.Transport
+	Servers   []identity.NodeID
+	Local     Participant
+}
+
+// Coordinator terminates transactions with plain 2PC.
+type Coordinator struct {
+	ident   *identity.Identity
+	tr      transport.Transport
+	servers []identity.NodeID
+	local   Participant
+}
+
+// New creates a 2PC coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Identity == nil || cfg.Local == nil {
+		return nil, errors.New("twopc: config requires identity and local participant")
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("twopc: config requires at least one server")
+	}
+	servers := append([]identity.NodeID(nil), cfg.Servers...)
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	return &Coordinator{ident: cfg.Identity, tr: cfg.Transport, servers: servers, local: cfg.Local}, nil
+}
+
+// Result is the outcome of one 2PC round.
+type Result struct {
+	Block     *ledger.Block
+	Committed bool
+}
+
+// RefusalError reports cohorts that failed a phase.
+type RefusalError struct {
+	Phase   string
+	Refused map[identity.NodeID]error
+}
+
+func (e *RefusalError) Error() string {
+	ids := make([]string, 0, len(e.Refused))
+	for id, err := range e.Refused {
+		ids = append(ids, fmt.Sprintf("%s (%v)", id, err))
+	}
+	sort.Strings(ids)
+	return fmt.Sprintf("twopc: %s phase refused by: %s", e.Phase, strings.Join(ids, "; "))
+}
+
+// CommitBlock runs one 2PC round over a batch of transactions: collect
+// votes from all cohorts, decide commit only if every involved cohort voted
+// commit, then broadcast the decision.
+func (c *Coordinator) CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*Result, error) {
+	if len(txns) == 0 {
+		return nil, errors.New("twopc: empty batch")
+	}
+	if len(envs) != len(txns) {
+		return nil, fmt.Errorf("twopc: %d envelopes for %d transactions", len(envs), len(txns))
+	}
+
+	log := c.local.Log()
+	block := &ledger.Block{
+		Height:   uint64(log.Len()),
+		Txns:     make([]ledger.TxnRecord, len(txns)),
+		PrevHash: log.TipHash(),
+	}
+	for i, t := range txns {
+		block.Txns[i] = ledger.RecordFromTransaction(t)
+	}
+
+	// Round 1: prepare / vote.
+	req := &wire.PrepareReq{Block: block, ClientReqs: envs}
+	votes := make(map[identity.NodeID]*wire.PrepareResp, len(c.servers))
+	refused := make(map[identity.NodeID]error)
+
+	msg, err := transport.NewMessage(wire.MsgPrepare, req)
+	if err != nil {
+		return nil, err
+	}
+	remote := c.remoteServers()
+	resps, errs := transport.CallAll(ctx, c.tr, remote, msg)
+	for id, e := range errs {
+		refused[id] = e
+	}
+	for id, resp := range resps {
+		var v wire.PrepareResp
+		if err := resp.Decode(&v); err != nil {
+			refused[id] = err
+			continue
+		}
+		votes[id] = &v
+	}
+	if self, err := c.local.Prepare(ctx, c.ident.ID, req); err != nil {
+		refused[c.ident.ID] = err
+	} else {
+		votes[c.ident.ID] = self
+	}
+	if len(refused) > 0 {
+		return nil, &RefusalError{Phase: "prepare", Refused: refused}
+	}
+
+	decision := ledger.DecisionCommit
+	for _, v := range votes {
+		if v.Vote != ledger.DecisionCommit {
+			decision = ledger.DecisionAbort
+			break
+		}
+	}
+	block.Decision = decision
+
+	// Round 2: decision / ack.
+	decMsg, err := transport.NewMessage(wire.Msg2PCDecision, &wire.TwoPCDecisionReq{Block: block})
+	if err != nil {
+		return nil, err
+	}
+	_, errs = transport.CallAll(ctx, c.tr, remote, decMsg)
+	for id, e := range errs {
+		refused[id] = e
+	}
+	if _, err := c.local.Decide2PC(ctx, c.ident.ID, &wire.TwoPCDecisionReq{Block: block}); err != nil {
+		refused[c.ident.ID] = err
+	}
+	if len(refused) > 0 {
+		return nil, &RefusalError{Phase: "decision", Refused: refused}
+	}
+	return &Result{Block: block, Committed: decision == ledger.DecisionCommit}, nil
+}
+
+func (c *Coordinator) remoteServers() []identity.NodeID {
+	remote := make([]identity.NodeID, 0, len(c.servers)-1)
+	for _, id := range c.servers {
+		if id != c.ident.ID {
+			remote = append(remote, id)
+		}
+	}
+	return remote
+}

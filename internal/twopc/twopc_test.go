@@ -1,0 +1,198 @@
+package twopc_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/twopc"
+	"repro/internal/txn"
+)
+
+type mapDirectory map[txn.ItemID]identity.NodeID
+
+func (d mapDirectory) Owner(id txn.ItemID) (identity.NodeID, bool) {
+	o, ok := d[id]
+	return o, ok
+}
+
+func item(s, i int) txn.ItemID { return txn.ItemID(fmt.Sprintf("s%d/i%d", s, i)) }
+
+type stack struct {
+	reg     *identity.Registry
+	servers []*server.Server
+	coord   *twopc.Coordinator
+	client  *identity.Identity
+}
+
+func newStack(t *testing.T, n int) *stack {
+	t.Helper()
+	st := &stack{reg: identity.NewRegistry()}
+	net := transport.NewLocalNetwork(0)
+	dir := mapDirectory{}
+	var ids []identity.NodeID
+	for s := 0; s < n; s++ {
+		id := identity.NodeID(fmt.Sprintf("srv%d", s))
+		ids = append(ids, id)
+		for i := 0; i < 4; i++ {
+			dir[item(s, i)] = id
+		}
+	}
+	var idents []*identity.Identity
+	var endpoints []transport.Transport
+	for s := 0; s < n; s++ {
+		ident, err := identity.New(ids[s], identity.RoleServer, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.reg.Register(ident.Public())
+		idents = append(idents, ident)
+		items := make([]txn.ItemID, 4)
+		for i := range items {
+			items[i] = item(s, i)
+		}
+		shard := store.NewShard(items, func(txn.ItemID) []byte { return []byte("0") }, store.Config{})
+		srv, err := server.New(server.Config{Identity: ident, Registry: st.reg, Directory: dir, Shard: shard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.servers = append(st.servers, srv)
+		endpoints = append(endpoints, net.Endpoint(ident, st.reg, srv))
+	}
+	coord, err := twopc.New(twopc.Config{
+		Identity: idents[0], Transport: endpoints[0], Servers: ids, Local: st.servers[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.coord = coord
+	cl, err := identity.New("client", identity.RoleClient, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.reg.Register(cl.Public())
+	st.client = cl
+	return st
+}
+
+func (st *stack) freshTxn(t *testing.T, id string, at uint64, s, i int) (*txn.Transaction, identity.Envelope) {
+	t.Helper()
+	it, err := st.servers[s].Shard().Get(item(s, i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &txn.Transaction{
+		ID: id, TS: txn.Timestamp{Time: at, ClientID: 4},
+		Writes: []txn.WriteEntry{{
+			ID: it.ID, NewVal: []byte("v-" + id), OldVal: it.Value,
+			Blind: true, RTS: it.RTS, WTS: it.WTS,
+		}},
+	}
+	payload, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, identity.Seal(st.client, payload)
+}
+
+func TestTwoPCCommit(t *testing.T) {
+	st := newStack(t, 3)
+	ctx := context.Background()
+	tr, env := st.freshTxn(t, "t1", 5, 2, 0)
+	res, err := st.coord.CommitBlock(ctx, []*txn.Transaction{tr}, []identity.Envelope{env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.Block.Decision != ledger.DecisionCommit {
+		t.Fatalf("result = %+v", res)
+	}
+	// 2PC blocks are unsigned (trusted baseline).
+	if !res.Block.CoSig().IsZero() {
+		t.Fatal("2PC block carries a co-sign")
+	}
+	for s, srv := range st.servers {
+		if srv.Log().Len() != 1 {
+			t.Errorf("server %d log length %d", s, srv.Log().Len())
+		}
+	}
+	got, err := st.servers[2].Shard().Get(item(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Value, []byte("v-t1")) {
+		t.Errorf("value = %q", got.Value)
+	}
+
+	// Sequential second block extends the chain.
+	t2, e2 := st.freshTxn(t, "t2", 6, 0, 1)
+	res2, err := st.coord.CommitBlock(ctx, []*txn.Transaction{t2}, []identity.Envelope{e2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Block.Height != 1 || !bytes.Equal(res2.Block.PrevHash, res.Block.Hash()) {
+		t.Fatal("second block does not chain")
+	}
+}
+
+func TestTwoPCAbortOnConflict(t *testing.T) {
+	st := newStack(t, 2)
+	ctx := context.Background()
+	tr, env := st.freshTxn(t, "t1", 5, 1, 0)
+	if err := st.servers[1].Shard().Apply([]store.Access{{
+		Writes: []txn.WriteEntry{{ID: item(1, 0), NewVal: []byte("race")}},
+		TS:     txn.Timestamp{Time: 2, ClientID: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.coord.CommitBlock(ctx, []*txn.Transaction{tr}, []identity.Envelope{env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("conflicting txn committed")
+	}
+	for s, srv := range st.servers {
+		if srv.Log().Len() != 0 {
+			t.Errorf("server %d logged an aborted block", s)
+		}
+	}
+}
+
+func TestTwoPCRefusalSurfacesErrors(t *testing.T) {
+	st := newStack(t, 2)
+	ctx := context.Background()
+	tr, env := st.freshTxn(t, "t1", 5, 0, 0)
+	// Corrupt the envelope: every cohort refuses at prepare.
+	env.Sig = []byte("garbage")
+	_, err := st.coord.CommitBlock(ctx, []*txn.Transaction{tr}, []identity.Envelope{env})
+	var re *twopc.RefusalError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RefusalError", err)
+	}
+	if re.Phase != "prepare" {
+		t.Errorf("phase = %s", re.Phase)
+	}
+}
+
+func TestTwoPCValidation(t *testing.T) {
+	st := newStack(t, 2)
+	ctx := context.Background()
+	if _, err := st.coord.CommitBlock(ctx, nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	tr, _ := st.freshTxn(t, "t1", 5, 0, 0)
+	if _, err := st.coord.CommitBlock(ctx, []*txn.Transaction{tr}, nil); err == nil {
+		t.Error("missing envelopes accepted")
+	}
+	if _, err := twopc.New(twopc.Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}

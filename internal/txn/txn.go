@@ -1,0 +1,279 @@
+// Package txn defines the transaction model of Fides: Lamport-style commit
+// timestamps, read/write set entries exactly as stored in log blocks
+// (Table 1 of the paper), and the client-side transaction record.
+//
+// Every data item carries a read timestamp (rts) and a write timestamp (wts),
+// the timestamps of the last committed transaction that read and wrote the
+// item respectively (paper §3.1). Transactions are identified and totally
+// ordered by their client-assigned commit timestamp ⟨client_id : client_time⟩
+// (paper §4.1).
+package txn
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// ItemID uniquely identifies a data item within the database (paper §3.1).
+type ItemID string
+
+// Timestamp is a Lamport-style commit timestamp ⟨client_id : client_time⟩.
+// Timestamps are totally ordered: first by Time, with ClientID breaking ties.
+// The zero Timestamp orders before every timestamp assigned by a client and
+// denotes "never accessed".
+type Timestamp struct {
+	// Time is the client-local logical clock value.
+	Time uint64
+	// ClientID identifies the client that assigned the timestamp; it breaks
+	// ties between equal Time values so that the order is total.
+	ClientID uint32
+}
+
+// Less reports whether t orders strictly before o.
+func (t Timestamp) Less(o Timestamp) bool {
+	if t.Time != o.Time {
+		return t.Time < o.Time
+	}
+	return t.ClientID < o.ClientID
+}
+
+// Compare returns -1, 0, or +1 depending on whether t orders before, equal
+// to, or after o.
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.Less(o):
+		return -1
+	case o.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether t is the zero timestamp ("never accessed").
+func (t Timestamp) IsZero() bool { return t.Time == 0 && t.ClientID == 0 }
+
+// String renders the timestamp in the paper's "ts-<time>.<client>" style.
+func (t Timestamp) String() string {
+	return "ts-" + strconv.FormatUint(t.Time, 10) + "." + strconv.FormatUint(uint64(t.ClientID), 10)
+}
+
+// Max returns the later of t and o.
+func (t Timestamp) Max(o Timestamp) Timestamp {
+	if t.Less(o) {
+		return o
+	}
+	return t
+}
+
+// ReadEntry is one element of a transaction's read set: the item id, the
+// value observed, and the rts/wts of the item at the time of access
+// (Table 1: R_set is a list of ⟨id : value, rts, wts⟩).
+type ReadEntry struct {
+	ID    ItemID    `json:"id"`
+	Value []byte    `json:"value"`
+	RTS   Timestamp `json:"rts"`
+	WTS   Timestamp `json:"wts"`
+}
+
+// WriteEntry is one element of a transaction's write set: the item id, the
+// new value written, the old value (populated only for blind writes, i.e.
+// writes of items the transaction did not read), and the rts/wts of the item
+// at the time of access (Table 1: W_set is a list of
+// ⟨id : new_val, old_val, rts, wts⟩).
+type WriteEntry struct {
+	ID     ItemID    `json:"id"`
+	NewVal []byte    `json:"new_val"`
+	OldVal []byte    `json:"old_val,omitempty"`
+	Blind  bool      `json:"blind,omitempty"`
+	RTS    Timestamp `json:"rts"`
+	WTS    Timestamp `json:"wts"`
+}
+
+// Transaction is the unit of work a client submits for termination: the
+// client-assigned commit timestamp plus the read and write sets gathered
+// during execution (paper §4.1 step 4, end_transaction(Tid, ts, Rset-Wset)).
+type Transaction struct {
+	// ID is a globally unique transaction identifier assigned by the client.
+	ID string `json:"id"`
+	// TS is the client-assigned commit timestamp.
+	TS Timestamp `json:"ts"`
+	// Reads is the transaction's read set.
+	Reads []ReadEntry `json:"reads"`
+	// Writes is the transaction's write set.
+	Writes []WriteEntry `json:"writes"`
+}
+
+// Items returns the ids of all data items the transaction accessed, reads
+// first, writes after, without deduplication across the two sets.
+func (t *Transaction) Items() []ItemID {
+	ids := make([]ItemID, 0, len(t.Reads)+len(t.Writes))
+	for _, r := range t.Reads {
+		ids = append(ids, r.ID)
+	}
+	for _, w := range t.Writes {
+		ids = append(ids, w.ID)
+	}
+	return ids
+}
+
+// ItemSet returns the set of distinct data items the transaction accessed.
+func (t *Transaction) ItemSet() map[ItemID]struct{} {
+	set := make(map[ItemID]struct{}, len(t.Reads)+len(t.Writes))
+	for _, r := range t.Reads {
+		set[r.ID] = struct{}{}
+	}
+	for _, w := range t.Writes {
+		set[w.ID] = struct{}{}
+	}
+	return set
+}
+
+// ReadsItem reports whether the transaction's read set contains id.
+func (t *Transaction) ReadsItem(id ItemID) bool {
+	for _, r := range t.Reads {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// WritesItem reports whether the transaction's write set contains id.
+func (t *Transaction) WritesItem(id ItemID) bool {
+	for _, w := range t.Writes {
+		if w.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Conflicts reports whether t and o access any common data item with at
+// least one of the two accesses being a write. Two read-only accesses of the
+// same item do not conflict. Batch formation (paper §4.6, §6) uses this to
+// pack only non-conflicting transactions into a block.
+func (t *Transaction) Conflicts(o *Transaction) bool {
+	tw := make(map[ItemID]struct{}, len(t.Writes))
+	for _, w := range t.Writes {
+		tw[w.ID] = struct{}{}
+	}
+	for _, w := range o.Writes {
+		if _, ok := tw[w.ID]; ok {
+			return true
+		}
+	}
+	for _, r := range o.Reads {
+		if _, ok := tw[r.ID]; ok {
+			return true
+		}
+	}
+	ow := make(map[ItemID]struct{}, len(o.Writes))
+	for _, w := range o.Writes {
+		ow[w.ID] = struct{}{}
+	}
+	for _, r := range t.Reads {
+		if _, ok := ow[r.ID]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate performs basic structural sanity checks on the transaction:
+// non-empty id, non-zero timestamp, no duplicate ids within either set.
+func (t *Transaction) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("txn: empty transaction id")
+	}
+	if t.TS.IsZero() {
+		return fmt.Errorf("txn %s: zero commit timestamp", t.ID)
+	}
+	seen := make(map[ItemID]struct{}, len(t.Reads))
+	for _, r := range t.Reads {
+		if _, dup := seen[r.ID]; dup {
+			return fmt.Errorf("txn %s: duplicate read of item %s", t.ID, r.ID)
+		}
+		seen[r.ID] = struct{}{}
+	}
+	seen = make(map[ItemID]struct{}, len(t.Writes))
+	for _, w := range t.Writes {
+		if _, dup := seen[w.ID]; dup {
+			return fmt.Errorf("txn %s: duplicate write of item %s", t.ID, w.ID)
+		}
+		seen[w.ID] = struct{}{}
+	}
+	return nil
+}
+
+// Clock generates monotonically increasing timestamps for a single client.
+// It is not safe for concurrent use; each client session owns its own Clock.
+type Clock struct {
+	clientID uint32
+	time     uint64
+}
+
+// NewClock returns a Clock for the given client id starting at time 0.
+func NewClock(clientID uint32) *Clock {
+	return &Clock{clientID: clientID}
+}
+
+// Next returns the next timestamp, strictly greater than all previously
+// returned ones.
+func (c *Clock) Next() Timestamp {
+	c.time++
+	return Timestamp{Time: c.time, ClientID: c.clientID}
+}
+
+// Observe advances the clock past ts so that subsequently generated
+// timestamps order after ts (Lamport clock merge rule).
+func (c *Clock) Observe(ts Timestamp) {
+	if c.time < ts.Time {
+		c.time = ts.Time
+	}
+}
+
+// ClientID returns the id of the client owning this clock.
+func (c *Clock) ClientID() uint32 { return c.clientID }
+
+// TSSource issues commit timestamps. Each client normally owns a private
+// Clock, but several clients may share one source — the paper requires
+// only that "all clients use the same timestamp generating mechanism"
+// (§4.1), and a shared source guarantees that every newly drawn timestamp
+// exceeds every previously committed one, eliminating stale-timestamp
+// retries under high client concurrency.
+type TSSource interface {
+	// Next returns a timestamp strictly greater than all previously
+	// returned ones.
+	Next() Timestamp
+	// Observe advances the source past ts.
+	Observe(ts Timestamp)
+}
+
+var _ TSSource = (*Clock)(nil)
+
+// SharedClock is a thread-safe TSSource for use by many clients at once.
+type SharedClock struct {
+	mu    sync.Mutex
+	clock Clock
+}
+
+// NewSharedClock returns a SharedClock stamping the given client id.
+func NewSharedClock(clientID uint32) *SharedClock {
+	return &SharedClock{clock: Clock{clientID: clientID}}
+}
+
+// Next returns the next timestamp.
+func (s *SharedClock) Next() Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock.Next()
+}
+
+// Observe advances the clock past ts.
+func (s *SharedClock) Observe(ts Timestamp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock.Observe(ts)
+}

@@ -1,0 +1,214 @@
+package txn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		less bool
+	}{
+		{Timestamp{}, Timestamp{}, false},
+		{Timestamp{}, Timestamp{Time: 1}, true},
+		{Timestamp{Time: 1}, Timestamp{}, false},
+		{Timestamp{Time: 1, ClientID: 1}, Timestamp{Time: 1, ClientID: 2}, true},
+		{Timestamp{Time: 2, ClientID: 1}, Timestamp{Time: 1, ClientID: 9}, false},
+		{Timestamp{Time: 1, ClientID: 9}, Timestamp{Time: 2, ClientID: 1}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestTimestampCompareConsistentWithLess(t *testing.T) {
+	f := func(at, bt uint64, ac, bc uint32) bool {
+		a := Timestamp{Time: at, ClientID: ac}
+		b := Timestamp{Time: bt, ClientID: bc}
+		switch a.Compare(b) {
+		case -1:
+			return a.Less(b) && !b.Less(a)
+		case 1:
+			return b.Less(a) && !a.Less(b)
+		default:
+			return a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampTotalOrder(t *testing.T) {
+	// Antisymmetry and transitivity over random triples.
+	f := func(x, y, z Timestamp) bool {
+		if x.Less(y) && y.Less(x) {
+			return false
+		}
+		if x.Less(y) && y.Less(z) && !x.Less(z) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{Values: func(vals []reflect.Value, r *rand.Rand) {
+		for i := range vals {
+			vals[i] = reflect.ValueOf(Timestamp{Time: uint64(r.Intn(5)), ClientID: uint32(r.Intn(5))})
+		}
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampMaxAndZero(t *testing.T) {
+	a := Timestamp{Time: 3, ClientID: 1}
+	b := Timestamp{Time: 3, ClientID: 2}
+	if got := a.Max(b); got != b {
+		t.Errorf("Max = %v, want %v", got, b)
+	}
+	if got := b.Max(a); got != b {
+		t.Errorf("Max = %v, want %v", got, b)
+	}
+	if !(Timestamp{}).IsZero() {
+		t.Error("zero timestamp should be zero")
+	}
+	if a.IsZero() {
+		t.Error("non-zero timestamp misreported as zero")
+	}
+	if (Timestamp{}).String() != "ts-0.0" {
+		t.Errorf("String = %q", (Timestamp{}).String())
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c := NewClock(7)
+	prev := Timestamp{}
+	for i := 0; i < 100; i++ {
+		ts := c.Next()
+		if !prev.Less(ts) {
+			t.Fatalf("clock went backwards: %v then %v", prev, ts)
+		}
+		if ts.ClientID != 7 {
+			t.Fatalf("clock emitted wrong client id %d", ts.ClientID)
+		}
+		prev = ts
+	}
+}
+
+func TestClockObserve(t *testing.T) {
+	c := NewClock(1)
+	c.Observe(Timestamp{Time: 500, ClientID: 9})
+	ts := c.Next()
+	if ts.Time != 501 {
+		t.Errorf("after observing t=500, Next().Time = %d, want 501", ts.Time)
+	}
+	// Observing the past must not rewind.
+	c.Observe(Timestamp{Time: 3})
+	if got := c.Next(); got.Time != 502 {
+		t.Errorf("clock rewound to %v", got)
+	}
+	if c.ClientID() != 1 {
+		t.Errorf("ClientID = %d", c.ClientID())
+	}
+}
+
+func mkTxn(id string, ts uint64, reads, writes []ItemID) *Transaction {
+	t := &Transaction{ID: id, TS: Timestamp{Time: ts, ClientID: 1}}
+	for _, r := range reads {
+		t.Reads = append(t.Reads, ReadEntry{ID: r})
+	}
+	for _, w := range writes {
+		t.Writes = append(t.Writes, WriteEntry{ID: w})
+	}
+	return t
+}
+
+func TestConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *Transaction
+		want bool
+	}{
+		{"disjoint", mkTxn("a", 1, []ItemID{"x"}, []ItemID{"y"}), mkTxn("b", 2, []ItemID{"u"}, []ItemID{"v"}), false},
+		{"read-read", mkTxn("a", 1, []ItemID{"x"}, nil), mkTxn("b", 2, []ItemID{"x"}, nil), false},
+		{"write-write", mkTxn("a", 1, nil, []ItemID{"x"}), mkTxn("b", 2, nil, []ItemID{"x"}), true},
+		{"read-write", mkTxn("a", 1, []ItemID{"x"}, nil), mkTxn("b", 2, nil, []ItemID{"x"}), true},
+		{"write-read", mkTxn("a", 1, nil, []ItemID{"x"}), mkTxn("b", 2, []ItemID{"x"}, nil), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Conflicts(c.b); got != c.want {
+			t.Errorf("%s: Conflicts = %v, want %v", c.name, got, c.want)
+		}
+		if got := c.b.Conflicts(c.a); got != c.want {
+			t.Errorf("%s (sym): Conflicts = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestConflictsSymmetricProperty(t *testing.T) {
+	items := []ItemID{"a", "b", "c", "d"}
+	gen := func(r *rand.Rand) *Transaction {
+		tr := &Transaction{ID: "t", TS: Timestamp{Time: 1}}
+		for _, it := range items {
+			switch r.Intn(3) {
+			case 1:
+				tr.Reads = append(tr.Reads, ReadEntry{ID: it})
+			case 2:
+				tr.Writes = append(tr.Writes, WriteEntry{ID: it})
+			}
+		}
+		return tr
+	}
+	f := func(a, b *Transaction) bool { return a.Conflicts(b) == b.Conflicts(a) }
+	cfg := &quick.Config{Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(gen(r))
+		vals[1] = reflect.ValueOf(gen(r))
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemsAndSets(t *testing.T) {
+	tr := mkTxn("t", 1, []ItemID{"x", "y"}, []ItemID{"y", "z"})
+	if got := tr.Items(); len(got) != 4 {
+		t.Errorf("Items length = %d, want 4", len(got))
+	}
+	set := tr.ItemSet()
+	if len(set) != 3 {
+		t.Errorf("ItemSet size = %d, want 3", len(set))
+	}
+	if !tr.ReadsItem("x") || tr.ReadsItem("z") {
+		t.Error("ReadsItem wrong")
+	}
+	if !tr.WritesItem("z") || tr.WritesItem("x") {
+		t.Error("WritesItem wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := mkTxn("t", 1, []ItemID{"x"}, []ItemID{"y"})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid txn rejected: %v", err)
+	}
+	if err := mkTxn("", 1, nil, nil).Validate(); err == nil {
+		t.Error("empty id accepted")
+	}
+	noTS := &Transaction{ID: "t"}
+	if err := noTS.Validate(); err == nil {
+		t.Error("zero timestamp accepted")
+	}
+	dupRead := mkTxn("t", 1, []ItemID{"x", "x"}, nil)
+	if err := dupRead.Validate(); err == nil {
+		t.Error("duplicate read accepted")
+	}
+	dupWrite := mkTxn("t", 1, nil, []ItemID{"x", "x"})
+	if err := dupWrite.Validate(); err == nil {
+		t.Error("duplicate write accepted")
+	}
+}

@@ -1,0 +1,210 @@
+// Package wire defines the RPC message vocabulary of Fides: the
+// client↔server execution messages (paper §4.1–4.2, Figure 6), the five
+// TFCommit phases (paper §4.3.1, Figure 7), the Two-Phase-Commit baseline
+// (paper §6.1), and the audit RPCs (paper §3.3).
+//
+// Every message travels inside a signed transport frame; the structs here
+// are the JSON bodies.
+package wire
+
+import (
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/merkle"
+	"repro/internal/txn"
+)
+
+// Message type identifiers.
+const (
+	// Execution layer (client → server).
+	MsgBeginTxn = "begin_txn"
+	MsgRead     = "read"
+	MsgWrite    = "write"
+
+	// Termination (client → coordinator).
+	MsgEndTxn = "end_txn"
+
+	// TFCommit phases (coordinator ↔ cohorts). Each name carries the
+	// ⟨2PC phase, CoSi phase⟩ mapping of Figure 7.
+	MsgGetVote   = "tfc_get_vote"  // ⟨GetVote, SchAnnouncement⟩
+	MsgChallenge = "tfc_challenge" // ⟨null, SchChallenge⟩
+	MsgDecision  = "tfc_decision"  // ⟨Decision, null⟩
+
+	// Two-Phase Commit baseline.
+	MsgPrepare     = "2pc_prepare"
+	Msg2PCDecision = "2pc_decision"
+
+	// Audit.
+	MsgFetchLog   = "audit_fetch_log"
+	MsgFetchProof = "audit_fetch_proof"
+)
+
+// BeginTxnReq opens a transaction at a server storing items the transaction
+// will access (paper §4.1 step 1).
+type BeginTxnReq struct {
+	TxnID string `json:"txn_id"`
+}
+
+// BeginTxnResp acknowledges a begin request.
+type BeginTxnResp struct {
+	OK bool `json:"ok"`
+}
+
+// ReadReq asks the execution layer for a data item's current value
+// (paper §4.1 step 2).
+type ReadReq struct {
+	TxnID string     `json:"txn_id"`
+	ID    txn.ItemID `json:"id"`
+}
+
+// ReadResp carries the value and the item's current read/write timestamps
+// (paper §4.2.1: "the servers respond with the data values along with the
+// associated rts and wts timestamps").
+type ReadResp struct {
+	Value []byte        `json:"value"`
+	RTS   txn.Timestamp `json:"rts"`
+	WTS   txn.Timestamp `json:"wts"`
+}
+
+// WriteReq buffers a write at the execution layer (paper §4.2.1).
+type WriteReq struct {
+	TxnID string     `json:"txn_id"`
+	ID    txn.ItemID `json:"id"`
+	Value []byte     `json:"value"`
+}
+
+// WriteResp acknowledges a buffered write. To support blind writes the
+// acknowledgement includes the old value and timestamps of the item
+// (paper §4.2.1).
+type WriteResp struct {
+	OldVal []byte        `json:"old_val"`
+	RTS    txn.Timestamp `json:"rts"`
+	WTS    txn.Timestamp `json:"wts"`
+}
+
+// EndTxnReq is the client's signed termination request
+// µ = ⟨end_transaction(Tid, ts, Rset-Wset)⟩_σA (paper §4.3.1). TxnEnvelope
+// contains the client-signed JSON encoding of the txn.Transaction; the
+// coordinator verifies and then encapsulates it in the GetVote message so
+// every cohort can check the client authorized exactly this transaction.
+type EndTxnReq struct {
+	TxnEnvelope identity.Envelope `json:"txn_envelope"`
+}
+
+// EndTxnResp returns the termination outcome together with the finalized,
+// collectively signed block, which the client verifies before accepting the
+// decision — "even an aborted transaction must be signed by all the
+// servers" (paper §4.3.1 phase 5).
+//
+// A request whose commit timestamp is not above the latest committed
+// timestamp is ignored rather than run through the protocol (§4.3.1); the
+// coordinator reports that with Rejected=true and no block, and LatestTS
+// lets the client fast-forward its Lamport clock before retrying.
+type EndTxnResp struct {
+	Committed bool          `json:"committed"`
+	Block     *ledger.Block `json:"block,omitempty"`
+	Rejected  bool          `json:"rejected,omitempty"`
+	LatestTS  txn.Timestamp `json:"latest_ts,omitempty"`
+}
+
+// GetVoteReq is TFCommit phase 1 ⟨GetVote, SchAnnouncement⟩: the partially
+// filled block b_i = [ts_i, Rset-Wset, h_{i-1}] plus the encapsulated
+// signed client requests, one per transaction in the block.
+type GetVoteReq struct {
+	Block      *ledger.Block       `json:"block"`
+	ClientReqs []identity.Envelope `json:"client_reqs"`
+}
+
+// VoteResp is TFCommit phase 2 ⟨Vote, SchCommitment⟩: the cohort's local
+// commit/abort decision, its in-memory Merkle root assuming the block
+// commits (only if involved and voting commit), and its Schnorr commitment
+// x_sch for CoSi.
+//
+// TxnAborts itemizes which transactions of the block failed this cohort's
+// validation. The block's fate stays atomic (any itemized abort aborts the
+// whole block, per §4.3), but the coordinator uses the itemization to
+// retry the block with the vetoed transactions pruned — how the evaluation
+// sustains ~100-transaction blocks (§4.6, §6.2) without one stale
+// transaction dooming its 99 batchmates.
+type VoteResp struct {
+	Vote       ledger.Decision `json:"vote"`
+	Involved   bool            `json:"involved"`
+	Root       []byte          `json:"root,omitempty"`
+	Commitment []byte          `json:"commitment"`
+	TxnAborts  []int           `json:"txn_aborts,omitempty"`
+}
+
+// ChallengeReq is TFCommit phase 3 ⟨null, SchChallenge⟩: the Schnorr
+// challenge ch = h(X_sch ‖ b_i), the aggregate commitment X_sch, and the
+// now fully filled block (roots + decision).
+type ChallengeReq struct {
+	Challenge     []byte        `json:"challenge"`
+	AggCommitment []byte        `json:"agg_commitment"`
+	Block         *ledger.Block `json:"block"`
+}
+
+// ChallengeResp is TFCommit phase 4 ⟨null, SchResponse⟩: the cohort's
+// Schnorr response r_i, sent only after the cohort validated the block, its
+// own root within it, and the challenge computation.
+type ChallengeResp struct {
+	Response []byte `json:"response"`
+}
+
+// DecisionReq is TFCommit phase 5 ⟨Decision, null⟩: the finalized block
+// carrying the collective signature ⟨ch, R_sch⟩.
+type DecisionReq struct {
+	Block *ledger.Block `json:"block"`
+}
+
+// DecisionResp acknowledges the decision.
+type DecisionResp struct {
+	OK bool `json:"ok"`
+}
+
+// PrepareReq is 2PC round 1: the coordinator ships the candidate block and
+// collects votes.
+type PrepareReq struct {
+	Block      *ledger.Block       `json:"block"`
+	ClientReqs []identity.Envelope `json:"client_reqs"`
+}
+
+// PrepareResp is a 2PC cohort vote.
+type PrepareResp struct {
+	Vote ledger.Decision `json:"vote"`
+}
+
+// TwoPCDecisionReq is 2PC round 2: the coordinator's decision.
+type TwoPCDecisionReq struct {
+	Block *ledger.Block `json:"block"`
+}
+
+// TwoPCDecisionResp acknowledges a 2PC decision.
+type TwoPCDecisionResp struct {
+	OK bool `json:"ok"`
+}
+
+// FetchLogReq asks a server for its full tamper-proof log (paper §3.3: "the
+// auditor gathers the tamper-proof logs from all the servers").
+type FetchLogReq struct{}
+
+// FetchLogResp carries the server's log.
+type FetchLogResp struct {
+	Blocks []*ledger.Block `json:"blocks"`
+}
+
+// FetchProofReq asks a server for the Verification Object of one item,
+// either against the current state (single-versioned audit) or at a given
+// version (multi-versioned audit, paper §4.2.2).
+type FetchProofReq struct {
+	ID txn.ItemID `json:"id"`
+	// AtVersion selects a historical version; TS is the version timestamp.
+	AtVersion bool          `json:"at_version,omitempty"`
+	TS        txn.Timestamp `json:"ts,omitempty"`
+}
+
+// FetchProofResp carries the leaf content the server claims for the item
+// and the VO authenticating it.
+type FetchProofResp struct {
+	LeafContent []byte       `json:"leaf_content"`
+	Proof       merkle.Proof `json:"proof"`
+}

@@ -1,0 +1,156 @@
+// Package workload generates the Transactional-YCSB-like benchmark of
+// paper §6: multi-record transactions of a fixed number of operations
+// (5 in the paper), each operation targeting a data item "picked at random
+// from a pool of all the data partitions combined", with a configurable
+// read/write mix and either uniform or Zipfian item popularity.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/txn"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+)
+
+// Op is one operation of a transaction plan.
+type Op struct {
+	Kind OpKind
+	Item txn.ItemID
+	// Value is the payload for writes.
+	Value []byte
+}
+
+// Plan is a generated transaction: an ordered list of operations over
+// distinct items.
+type Plan struct {
+	Ops []Op
+}
+
+// Items returns the distinct items the plan touches.
+func (p *Plan) Items() []txn.ItemID {
+	out := make([]txn.ItemID, len(p.Ops))
+	for i, op := range p.Ops {
+		out[i] = op.Item
+	}
+	return out
+}
+
+// Distribution selects how items are drawn from the pool.
+type Distribution int
+
+// Supported item distributions.
+const (
+	// Uniform draws every item with equal probability (the paper's
+	// "picked at random").
+	Uniform Distribution = iota + 1
+	// Zipfian draws items with a Zipf(1.01) popularity skew, the standard
+	// YCSB hot-spot distribution.
+	Zipfian
+)
+
+// Config tunes a Generator.
+type Config struct {
+	// Items is the combined pool of all data partitions.
+	Items []txn.ItemID
+	// OpsPerTxn is the number of operations per transaction (default 5,
+	// §6: "each transaction consisted of 5 operations on different data
+	// items").
+	OpsPerTxn int
+	// WriteRatio is the fraction of operations that are writes (default
+	// 0.5, a YCSB update-heavy mix).
+	WriteRatio float64
+	// Distribution selects Uniform (default) or Zipfian item choice.
+	Distribution Distribution
+	// ValueSize is the size of written values in bytes (default 16).
+	ValueSize int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generator produces transaction plans. It is not safe for concurrent use;
+// create one per driving goroutine (with distinct seeds).
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  uint64
+}
+
+// New creates a Generator.
+func New(cfg Config) (*Generator, error) {
+	if len(cfg.Items) == 0 {
+		return nil, fmt.Errorf("workload: empty item pool")
+	}
+	if cfg.OpsPerTxn <= 0 {
+		cfg.OpsPerTxn = 5
+	}
+	if cfg.OpsPerTxn > len(cfg.Items) {
+		return nil, fmt.Errorf("workload: %d ops per txn exceeds pool of %d items", cfg.OpsPerTxn, len(cfg.Items))
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return nil, fmt.Errorf("workload: write ratio %v out of [0,1]", cfg.WriteRatio)
+	}
+	if cfg.WriteRatio == 0 {
+		cfg.WriteRatio = 0.5
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 16
+	}
+	if cfg.Distribution == 0 {
+		cfg.Distribution = Uniform
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Distribution == Zipfian {
+		g.zipf = rand.NewZipf(g.rng, 1.01, 1, uint64(len(cfg.Items)-1))
+	}
+	return g, nil
+}
+
+// Next generates the next transaction plan: OpsPerTxn operations on
+// distinct items.
+func (g *Generator) Next() *Plan {
+	g.seq++
+	chosen := make(map[int]struct{}, g.cfg.OpsPerTxn)
+	ops := make([]Op, 0, g.cfg.OpsPerTxn)
+	for len(ops) < g.cfg.OpsPerTxn {
+		idx := g.pick()
+		if _, dup := chosen[idx]; dup {
+			continue
+		}
+		chosen[idx] = struct{}{}
+		op := Op{Item: g.cfg.Items[idx]}
+		if g.rng.Float64() < g.cfg.WriteRatio {
+			op.Kind = OpWrite
+			op.Value = g.value()
+		} else {
+			op.Kind = OpRead
+		}
+		ops = append(ops, op)
+	}
+	return &Plan{Ops: ops}
+}
+
+func (g *Generator) pick() int {
+	if g.zipf != nil {
+		return int(g.zipf.Uint64())
+	}
+	return g.rng.Intn(len(g.cfg.Items))
+}
+
+func (g *Generator) value() []byte {
+	v := make([]byte, g.cfg.ValueSize)
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	for i := range v {
+		v[i] = alphabet[g.rng.Intn(len(alphabet))]
+	}
+	return v
+}

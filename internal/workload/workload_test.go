@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/txn"
+)
+
+func pool(n int) []txn.ItemID {
+	out := make([]txn.ItemID, n)
+	for i := range out {
+		out[i] = txn.ItemID(fmt.Sprintf("k%05d", i))
+	}
+	return out
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	g, err := New(Config{Items: pool(100), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Next()
+	if len(p.Ops) != 5 {
+		t.Fatalf("ops = %d, want paper default 5", len(p.Ops))
+	}
+}
+
+func TestGeneratorDistinctItems(t *testing.T) {
+	g, err := New(Config{Items: pool(10), OpsPerTxn: 5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p := g.Next()
+		seen := make(map[txn.ItemID]struct{})
+		for _, op := range p.Ops {
+			if _, dup := seen[op.Item]; dup {
+				t.Fatalf("txn %d repeats item %s", i, op.Item)
+			}
+			seen[op.Item] = struct{}{}
+			if op.Kind == OpWrite && len(op.Value) == 0 {
+				t.Fatalf("write without value")
+			}
+			if op.Kind == OpRead && op.Value != nil {
+				t.Fatalf("read with value")
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministicBySeed(t *testing.T) {
+	mk := func() []Op {
+		g, err := New(Config{Items: pool(50), OpsPerTxn: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops []Op
+		for i := 0; i < 20; i++ {
+			ops = append(ops, g.Next().Ops...)
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Item != b[i].Item || string(a[i].Value) != string(b[i].Value) {
+			t.Fatalf("op %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGeneratorWriteRatio(t *testing.T) {
+	g, err := New(Config{Items: pool(1000), OpsPerTxn: 5, WriteRatio: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, total := 0, 0
+	for i := 0; i < 500; i++ {
+		for _, op := range g.Next().Ops {
+			total++
+			if op.Kind == OpWrite {
+				writes++
+			}
+		}
+	}
+	ratio := float64(writes) / float64(total)
+	if ratio < 0.25 || ratio > 0.35 {
+		t.Fatalf("write ratio = %.3f, want ~0.3", ratio)
+	}
+}
+
+func TestGeneratorZipfianSkew(t *testing.T) {
+	g, err := New(Config{Items: pool(1000), OpsPerTxn: 1, Distribution: Zipfian, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[txn.ItemID]int)
+	for i := 0; i < 5000; i++ {
+		counts[g.Next().Ops[0].Item]++
+	}
+	// The hottest item must be disproportionately popular versus uniform
+	// expectation (5 hits per item on average).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50 {
+		t.Fatalf("zipfian max frequency %d, want skewed (>50)", max)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := New(Config{Items: pool(3), OpsPerTxn: 5}); err == nil {
+		t.Error("ops > pool accepted")
+	}
+	if _, err := New(Config{Items: pool(10), WriteRatio: 1.5}); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+}
+
+func TestPlanItems(t *testing.T) {
+	g, err := New(Config{Items: pool(20), OpsPerTxn: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Next()
+	items := p.Items()
+	if len(items) != 3 {
+		t.Fatalf("Items = %d", len(items))
+	}
+}
