@@ -1,0 +1,46 @@
+# Development workflow for the Fides reproduction.
+#
+# The profile target reproduces the workflow that found the serialization
+# bottleneck this repo's binary codec removed: run a figure benchmark
+# under the CPU profiler, then inspect the top hot functions.
+
+GO ?= go
+BENCH ?= BenchmarkFig13
+PROFILE_DIR ?= .profiles
+
+.PHONY: all build vet test test-short bench bench-fig12 fuzz profile clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Figure benchmarks (see bench_test.go; cmd/fidesbench runs the
+# paper-scale sweeps as tables).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkFig1[2-5]' -benchtime 3x .
+
+bench-fig12:
+	$(GO) test -run xxx -bench 'BenchmarkFig12' -benchtime 3x .
+
+# Wire-codec robustness: decode must never panic on arbitrary bytes.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire
+
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run xxx -bench '$(BENCH)' -benchtime 3x -cpuprofile $(PROFILE_DIR)/cpu.prof -memprofile $(PROFILE_DIR)/mem.prof .
+	$(GO) tool pprof -top -nodecount=25 $(PROFILE_DIR)/cpu.prof
+
+clean:
+	rm -rf $(PROFILE_DIR)
+	$(GO) clean -testcache

@@ -1,0 +1,221 @@
+// Package binenc provides the primitive append-style encoders and the
+// bounds-checked reader shared by every binary wire encoding in Fides: the
+// canonical ledger block encoding, the transaction payload clients sign,
+// the identity.Envelope framing, and the RPC message codec of
+// internal/wire.
+//
+// The conventions match the canonical block encoding that predates this
+// package (internal/ledger/encode.go): uvarint length prefixes for
+// variable-length data, big-endian fixed-width integers, and no padding.
+// Encoders append to a caller-supplied buffer so hot paths can reuse
+// sync.Pool-backed buffers and build composite messages without
+// intermediate copies.
+package binenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Append-style primitive encoders.
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendUint64 appends v as 8 big-endian bytes.
+func AppendUint64(buf []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(buf, v)
+}
+
+// AppendUint32 appends v as 4 big-endian bytes.
+func AppendUint32(buf []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(buf, v)
+}
+
+// AppendByte appends a single byte.
+func AppendByte(buf []byte, b byte) []byte {
+	return append(buf, b)
+}
+
+// AppendBool appends 1 for true, 0 for false.
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendBytes appends a uvarint length prefix followed by b.
+func AppendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// AppendString appends a uvarint length prefix followed by s.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// Errors returned by Reader.
+var (
+	ErrShortBuffer = errors.New("binenc: short buffer")
+	ErrBadVarint   = errors.New("binenc: invalid uvarint")
+	ErrTrailing    = errors.New("binenc: trailing bytes after message")
+)
+
+// Reader decodes a byte stream produced by the Append functions. It is
+// sticky-error: after the first failure every subsequent read returns a
+// zero value and Err reports the failure, so decoders can run straight
+// through their field lists and check once at the end.
+//
+// Length prefixes are validated against the remaining input before any
+// allocation, so a hostile length cannot force a huge allocation; decode
+// of arbitrary bytes fails cleanly rather than panicking.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader returns a Reader over data. The reader does not copy data, but
+// every Bytes/String read copies out of it, so the decoded values never
+// alias the input buffer (inputs are frequently pool-recycled).
+func NewReader(data []byte) Reader {
+	return Reader{buf: data}
+}
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.buf) }
+
+// Done returns the first decoding error, or ErrTrailing if input remains.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf))
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail(ErrBadVarint)
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Uint64 reads 8 big-endian bytes.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+// Uint32 reads 4 big-endian bytes.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 4 {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+// Bool reads a single byte and reports whether it is non-zero.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// take validates a length prefix against the remaining input and consumes
+// n bytes. It returns nil on failure or for n == 0.
+func (r *Reader) take() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail(fmt.Errorf("%w: need %d bytes, have %d", ErrShortBuffer, n, len(r.buf)))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+// Bytes reads a length-prefixed byte string into a fresh slice. A zero
+// length decodes as nil.
+func (r *Reader) Bytes() []byte {
+	raw := r.take()
+	if raw == nil {
+		return nil
+	}
+	return append([]byte(nil), raw...)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	return string(r.take())
+}
+
+// Count reads a uvarint element count and validates it against the
+// remaining input assuming each element occupies at least minElemSize
+// bytes, so a hostile count cannot force a huge slice allocation before
+// the decode fails naturally.
+func (r *Reader) Count(minElemSize int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(math.MaxInt32) || (minElemSize > 0 && n > uint64(len(r.buf)/minElemSize)) {
+		r.fail(fmt.Errorf("%w: implausible element count %d for %d remaining bytes", ErrShortBuffer, n, len(r.buf)))
+		return 0
+	}
+	return int(n)
+}

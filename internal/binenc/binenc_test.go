@@ -1,0 +1,128 @@
+package binenc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendUvarint(buf, 0)
+	buf = AppendUvarint(buf, 1<<40)
+	buf = AppendUint64(buf, 0xdeadbeefcafef00d)
+	buf = AppendUint32(buf, 0x01020304)
+	buf = AppendByte(buf, 7)
+	buf = AppendBool(buf, true)
+	buf = AppendBool(buf, false)
+	buf = AppendBytes(buf, []byte("payload"))
+	buf = AppendBytes(buf, nil)
+	buf = AppendString(buf, "node-7")
+	buf = AppendString(buf, "")
+
+	r := NewReader(buf)
+	if v := r.Uvarint(); v != 0 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := r.Uvarint(); v != 1<<40 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := r.Uint64(); v != 0xdeadbeefcafef00d {
+		t.Fatalf("uint64 = %x", v)
+	}
+	if v := r.Uint32(); v != 0x01020304 {
+		t.Fatalf("uint32 = %x", v)
+	}
+	if v := r.Byte(); v != 7 {
+		t.Fatalf("byte = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip")
+	}
+	if v := r.Bytes(); !bytes.Equal(v, []byte("payload")) {
+		t.Fatalf("bytes = %q", v)
+	}
+	if v := r.Bytes(); v != nil {
+		t.Fatalf("empty bytes decoded as %v, want nil", v)
+	}
+	if v := r.String(); v != "node-7" {
+		t.Fatalf("string = %q", v)
+	}
+	if v := r.String(); v != "" {
+		t.Fatalf("empty string = %q", v)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderDecodedValuesDoNotAliasInput(t *testing.T) {
+	buf := AppendBytes(nil, []byte("abc"))
+	r := NewReader(buf)
+	got := r.Bytes()
+	buf[1] = 'z' // clobber the input in place
+	if !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("decoded bytes alias input: %q", got)
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		read func(r *Reader)
+	}{
+		{"uint64", func(r *Reader) { r.Uint64() }},
+		{"uint32", func(r *Reader) { r.Uint32() }},
+		{"byte", func(r *Reader) { r.Byte() }},
+		{"bytes", func(r *Reader) { r.Bytes() }},
+	} {
+		r := NewReader(nil)
+		tc.read(&r)
+		if r.Err() == nil {
+			t.Errorf("%s on empty input: no error", tc.name)
+		}
+	}
+}
+
+func TestReaderHostileLengthPrefix(t *testing.T) {
+	// A length prefix far beyond the remaining input must fail before any
+	// allocation, not attempt a huge make.
+	buf := AppendUvarint(nil, 1<<40)
+	r := NewReader(buf)
+	if v := r.Bytes(); v != nil {
+		t.Fatalf("hostile length decoded as %d bytes", len(v))
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", r.Err())
+	}
+}
+
+func TestReaderHostileCount(t *testing.T) {
+	buf := AppendUvarint(nil, 1<<40)
+	r := NewReader(buf)
+	if n := r.Count(8); n != 0 {
+		t.Fatalf("hostile count accepted: %d", n)
+	}
+	if r.Err() == nil {
+		t.Fatal("hostile count produced no error")
+	}
+}
+
+func TestReaderTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	r.Byte()
+	if err := r.Done(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(nil)
+	r.Uint64() // fails
+	first := r.Err()
+	r.Uvarint()
+	r.Bytes()
+	if r.Err() != first {
+		t.Fatalf("error not sticky: %v then %v", first, r.Err())
+	}
+}

@@ -9,7 +9,6 @@ package client
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -276,11 +275,10 @@ func (s *Session) Commit(ctx context.Context) (*CommitResult, error) {
 	s.done = true
 
 	t := &txn.Transaction{ID: s.id, TS: s.client.nextTS(), Reads: s.reads, Writes: s.writes}
-	payload, err := json.Marshal(t)
-	if err != nil {
-		return nil, fmt.Errorf("client: marshal txn: %w", err)
-	}
-	env := identity.Seal(s.client.ident, payload)
+	// The client signs the canonical binary encoding of the transaction;
+	// servers store this envelope in the block, so the auditor can later
+	// re-verify exactly what the client authorized (paper §3.2).
+	env := identity.Seal(s.client.ident, t.AppendBinary(nil))
 	msg, err := transport.NewMessage(wire.MsgEndTxn, &wire.EndTxnReq{TxnEnvelope: env})
 	if err != nil {
 		return nil, err

@@ -8,7 +8,6 @@ package core
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -333,18 +332,25 @@ func (c *Cluster) CommitBlockDirect(ctx context.Context, txns []*txn.Transaction
 	if c.tfc == nil {
 		return nil, false, errors.New("core: direct commits require a TFCommit cluster")
 	}
+	// The batching service verifies every client envelope on Terminate
+	// before it reaches the commit protocol; the coordinator's local
+	// cohort relies on that check having happened (it skips the redundant
+	// signature verification on the from==self path). Direct commits
+	// bypass Terminate, so perform the same verification here.
+	for i, env := range envs {
+		if _, err := server.DecodeTxnEnvelope(c.reg, env); err != nil {
+			return nil, false, fmt.Errorf("core: direct commit envelope %d: %w", i, err)
+		}
+	}
 	block, committed, _, err := tfcAdapter{c.tfc}.CommitBlock(ctx, txns, envs)
 	return block, committed, err
 }
 
-// SignTxn signs a transaction exactly as a client library would, producing
-// the envelope CommitBlockDirect expects.
+// SignTxn signs a transaction exactly as a client library would — over the
+// canonical binary encoding — producing the envelope CommitBlockDirect
+// expects.
 func SignTxn(ident *identity.Identity, t *txn.Transaction) (identity.Envelope, error) {
-	payload, err := json.Marshal(t)
-	if err != nil {
-		return identity.Envelope{}, fmt.Errorf("core: marshal txn: %w", err)
-	}
-	return identity.Seal(ident, payload), nil
+	return identity.Seal(ident, t.AppendBinary(nil)), nil
 }
 
 // NewClientIdentity registers and returns a fresh client identity, for

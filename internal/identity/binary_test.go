@@ -1,0 +1,65 @@
+package identity
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestEnvelopeBinaryRoundTrip(t *testing.T) {
+	envs := []Envelope{
+		{},
+		{From: "c01", Payload: []byte("payload"), Sig: bytes.Repeat([]byte{7}, 64)},
+		{From: "s00", Payload: bytes.Repeat([]byte("x"), 4<<10)},
+	}
+	for _, in := range envs {
+		data := in.AppendBinary(nil)
+		var out Envelope
+		if err := out.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+		}
+	}
+}
+
+func TestEnvelopeBinarySealOpen(t *testing.T) {
+	// A sealed envelope must survive the binary codec and still open: the
+	// signature covers the payload bytes, which the codec carries verbatim
+	// (no re-serialization, no base64).
+	reg := NewRegistry()
+	ident, err := New("s00", RoleServer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Register(ident.Public())
+	env := Seal(ident, []byte("the signed bytes"))
+	data := env.AppendBinary(nil)
+	var out Envelope
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := reg.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, []byte("the signed bytes")) {
+		t.Fatalf("payload = %q", payload)
+	}
+}
+
+func TestEnvelopeBinaryRejectsGarbage(t *testing.T) {
+	env := Envelope{From: "a", Payload: []byte("p"), Sig: []byte("s")}
+	valid := env.AppendBinary(nil)
+	for i := 0; i < len(valid); i++ {
+		var out Envelope
+		if err := out.UnmarshalBinary(valid[:i]); err == nil {
+			t.Fatalf("accepted truncation at %d bytes", i)
+		}
+	}
+	var out Envelope
+	if err := out.UnmarshalBinary([]byte{42}); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+}

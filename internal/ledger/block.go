@@ -15,7 +15,6 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/cosi"
@@ -66,9 +65,7 @@ func RecordFromTransaction(t *txn.Transaction) TxnRecord {
 // client-signed requests the coordinator encapsulated (paper §4.3.1
 // phase 2).
 func (t TxnRecord) CanonicalBytes() []byte {
-	var e encoder
-	encodeTxnRecord(&e, &t)
-	return e.buf
+	return appendTxnRecord(nil, &t)
 }
 
 // StrippedBytes returns the canonical encoding of the block with the fields
@@ -76,11 +73,7 @@ func (t TxnRecord) CanonicalBytes() []byte {
 // Cohorts compare these bytes across TFCommit phases to detect a
 // coordinator that mutates the transaction contents mid-protocol.
 func (b *Block) StrippedBytes() []byte {
-	c := b.Clone()
-	c.Roots = nil
-	c.Decision = 0
-	c.CoSigC, c.CoSigS = nil, nil
-	return c.SigningBytes()
+	return b.appendSigning(nil, nil, 0)
 }
 
 // Block is one entry of the tamper-proof log, mirroring Table 1 of the
@@ -130,30 +123,7 @@ func (b *Block) SetCoSig(sig cosi.Signature) {
 // The challenge ch = h(X_sch ‖ b_i) of TFCommit phase 3 is computed over
 // exactly these bytes.
 func (b *Block) SigningBytes() []byte {
-	var e encoder
-	e.uint64(b.Height)
-	e.uvarint(uint64(len(b.Txns)))
-	for i := range b.Txns {
-		encodeTxnRecord(&e, &b.Txns[i])
-	}
-	// Roots in deterministic (sorted) key order.
-	ids := make([]identity.NodeID, 0, len(b.Roots))
-	for id := range b.Roots {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	e.uvarint(uint64(len(ids)))
-	for _, id := range ids {
-		e.str(string(id))
-		e.bytes(b.Roots[id])
-	}
-	e.byte(byte(b.Decision))
-	e.bytes(b.PrevHash)
-	e.uvarint(uint64(len(b.Signers)))
-	for _, id := range b.Signers {
-		e.str(string(id))
-	}
-	return e.buf
+	return b.appendSigning(nil, b.Roots, b.Decision)
 }
 
 // Hash returns the block's chaining hash: SHA-256 over the signing bytes
@@ -211,31 +181,6 @@ func (b *Block) MaxTS() txn.Timestamp {
 		max = max.Max(b.Txns[i].TS)
 	}
 	return max
-}
-
-func encodeTxnRecord(e *encoder, t *TxnRecord) {
-	e.str(t.TxnID)
-	e.timestamp(t.TS)
-	e.uvarint(uint64(len(t.Reads)))
-	for _, r := range t.Reads {
-		e.str(string(r.ID))
-		e.bytes(r.Value)
-		e.timestamp(r.RTS)
-		e.timestamp(r.WTS)
-	}
-	e.uvarint(uint64(len(t.Writes)))
-	for _, w := range t.Writes {
-		e.str(string(w.ID))
-		e.bytes(w.NewVal)
-		e.bytes(w.OldVal)
-		if w.Blind {
-			e.byte(1)
-		} else {
-			e.byte(0)
-		}
-		e.timestamp(w.RTS)
-		e.timestamp(w.WTS)
-	}
 }
 
 // Log is a server's local copy of the globally replicated tamper-proof log:

@@ -1,52 +1,158 @@
 package ledger
 
 import (
-	"encoding/binary"
+	"fmt"
+	"sort"
 
+	"repro/internal/binenc"
+	"repro/internal/identity"
 	"repro/internal/txn"
 )
 
-// encoder builds the canonical deterministic byte encoding blocks are hashed
-// and collectively signed over. The encoding is length-prefixed throughout
-// (uvarint lengths, big-endian fixed-width integers) so that no two distinct
-// logical blocks share an encoding and every server derives the identical
-// byte string for the same block — a prerequisite for the challenge
-// ch = h(X_sch ‖ b_i) of TFCommit to be well defined across servers.
-type encoder struct {
-	buf []byte
+// This file holds the canonical deterministic byte encoding blocks are
+// hashed and collectively signed over, plus the full binary marshal and
+// unmarshal used by the wire codec. The encoding is length-prefixed
+// throughout (uvarint lengths, big-endian fixed-width integers) so that no
+// two distinct logical blocks share an encoding and every server derives
+// the identical byte string for the same block — a prerequisite for the
+// challenge ch = h(X_sch ‖ b_i) of TFCommit to be well defined across
+// servers.
+//
+// The signing encoding (appendSigning) covers everything except the
+// collective signature; the wire encoding (AppendBinary) is the signing
+// encoding plus a version byte and the co-sign, so a decoded block's
+// SigningBytes are byte-identical to the sender's.
+
+// blockBinaryVersion versions the block wire encoding (not the signing
+// encoding, which is frozen by the hash chain).
+const blockBinaryVersion = 1
+
+func appendTxnRecord(buf []byte, t *TxnRecord) []byte {
+	buf = binenc.AppendString(buf, t.TxnID)
+	buf = t.TS.AppendBinary(buf)
+	buf = binenc.AppendUvarint(buf, uint64(len(t.Reads)))
+	for i := range t.Reads {
+		buf = t.Reads[i].AppendBinary(buf)
+	}
+	buf = binenc.AppendUvarint(buf, uint64(len(t.Writes)))
+	for i := range t.Writes {
+		buf = t.Writes[i].AppendBinary(buf)
+	}
+	return buf
 }
 
-func (e *encoder) byte(b byte) {
-	e.buf = append(e.buf, b)
+// txnRecordMinEnc is the minimum encoded size of a TxnRecord: id length +
+// timestamp + two element counts.
+const txnRecordMinEnc = 1 + txn.TimestampEncSize + 1 + 1
+
+func decodeTxnRecord(r *binenc.Reader, t *TxnRecord) {
+	t.TxnID = r.String()
+	t.TS = txn.DecodeTimestamp(r)
+	t.Reads = nil
+	if n := r.Count(txn.ReadEntryMinEnc); n > 0 {
+		t.Reads = make([]txn.ReadEntry, n)
+		for i := range t.Reads {
+			txn.DecodeReadEntry(r, &t.Reads[i])
+		}
+	}
+	t.Writes = nil
+	if n := r.Count(txn.WriteEntryMinEnc); n > 0 {
+		t.Writes = make([]txn.WriteEntry, n)
+		for i := range t.Writes {
+			txn.DecodeWriteEntry(r, &t.Writes[i])
+		}
+	}
 }
 
-func (e *encoder) uint64(v uint64) {
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], v)
-	e.buf = append(e.buf, b[:]...)
+// appendSigning appends the canonical signing encoding of the block with
+// the given roots and decision substituted — the stripped form cohorts
+// compare across phases is simply the same encoding with those fields
+// cleared, which avoids the deep Clone the old StrippedBytes paid per
+// phase per block.
+func (b *Block) appendSigning(buf []byte, roots map[identity.NodeID][]byte, decision Decision) []byte {
+	buf = binenc.AppendUint64(buf, b.Height)
+	buf = binenc.AppendUvarint(buf, uint64(len(b.Txns)))
+	for i := range b.Txns {
+		buf = appendTxnRecord(buf, &b.Txns[i])
+	}
+	// Roots in deterministic (sorted) key order.
+	ids := make([]identity.NodeID, 0, len(roots))
+	for id := range roots {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binenc.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binenc.AppendString(buf, string(id))
+		buf = binenc.AppendBytes(buf, roots[id])
+	}
+	buf = binenc.AppendByte(buf, byte(decision))
+	buf = binenc.AppendBytes(buf, b.PrevHash)
+	buf = binenc.AppendUvarint(buf, uint64(len(b.Signers)))
+	for _, id := range b.Signers {
+		buf = binenc.AppendString(buf, string(id))
+	}
+	return buf
 }
 
-func (e *encoder) uint32(v uint32) {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], v)
-	e.buf = append(e.buf, b[:]...)
+// AppendBinary appends the block's full wire encoding: a version byte, the
+// signing encoding, and the collective signature.
+func (b *Block) AppendBinary(buf []byte) []byte {
+	buf = binenc.AppendByte(buf, blockBinaryVersion)
+	buf = b.appendSigning(buf, b.Roots, b.Decision)
+	buf = binenc.AppendBytes(buf, b.CoSigC)
+	return binenc.AppendBytes(buf, b.CoSigS)
 }
 
-func (e *encoder) uvarint(v uint64) {
-	e.buf = binary.AppendUvarint(e.buf, v)
+// MarshalBinary returns the block's full wire encoding.
+func (b *Block) MarshalBinary() ([]byte, error) {
+	return b.AppendBinary(nil), nil
 }
 
-func (e *encoder) bytes(b []byte) {
-	e.uvarint(uint64(len(b)))
-	e.buf = append(e.buf, b...)
+// DecodeBlock reads an embedded block from r (the self-delimiting form
+// wire messages use). The decoded block aliases nothing.
+func DecodeBlock(r *binenc.Reader, b *Block) error {
+	if v := r.Byte(); v != blockBinaryVersion && r.Err() == nil {
+		return fmt.Errorf("ledger: unsupported block version %d", v)
+	}
+	b.Height = r.Uint64()
+	b.Txns = nil
+	if n := r.Count(txnRecordMinEnc); n > 0 {
+		b.Txns = make([]TxnRecord, n)
+		for i := range b.Txns {
+			decodeTxnRecord(r, &b.Txns[i])
+		}
+	}
+	b.Roots = nil
+	if n := r.Count(2); n > 0 {
+		b.Roots = make(map[identity.NodeID][]byte, n)
+		for i := 0; i < n; i++ {
+			id := identity.NodeID(r.String())
+			b.Roots[id] = r.Bytes()
+		}
+	}
+	b.Decision = Decision(r.Byte())
+	b.PrevHash = r.Bytes()
+	b.Signers = nil
+	if n := r.Count(1); n > 0 {
+		b.Signers = make([]identity.NodeID, n)
+		for i := range b.Signers {
+			b.Signers[i] = identity.NodeID(r.String())
+		}
+	}
+	b.CoSigC = r.Bytes()
+	b.CoSigS = r.Bytes()
+	return r.Err()
 }
 
-func (e *encoder) str(s string) {
-	e.uvarint(uint64(len(s)))
-	e.buf = append(e.buf, s...)
-}
-
-func (e *encoder) timestamp(ts txn.Timestamp) {
-	e.uint64(ts.Time)
-	e.uint32(ts.ClientID)
+// UnmarshalBinary decodes a block from its full wire encoding.
+func (b *Block) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := DecodeBlock(&r, b); err != nil {
+		return fmt.Errorf("ledger: decode block: %w", err)
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("ledger: decode block: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,98 @@
+package ledger
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/identity"
+	"repro/internal/txn"
+)
+
+func marshalTestBlock() *Block {
+	return &Block{
+		Height: 9,
+		Txns: []TxnRecord{
+			{
+				TxnID: "c1-t1",
+				TS:    txn.Timestamp{Time: 11, ClientID: 1},
+				Reads: []txn.ReadEntry{
+					{ID: "a", Value: []byte("va"), RTS: txn.Timestamp{Time: 1, ClientID: 1}, WTS: txn.Timestamp{Time: 2, ClientID: 1}},
+				},
+				Writes: []txn.WriteEntry{
+					{ID: "b", NewVal: bytes.Repeat([]byte("w"), 2048), OldVal: []byte("o"), Blind: true},
+				},
+			},
+		},
+		Roots: map[identity.NodeID][]byte{
+			"s01": bytes.Repeat([]byte{1}, 32),
+			"s00": bytes.Repeat([]byte{2}, 32),
+		},
+		Decision: DecisionCommit,
+		PrevHash: bytes.Repeat([]byte{3}, 32),
+		Signers:  []identity.NodeID{"s00", "s01"},
+		CoSigC:   []byte{4, 4},
+		CoSigS:   []byte{5, 5},
+	}
+}
+
+func TestBlockBinaryRoundTrip(t *testing.T) {
+	for _, in := range []*Block{
+		{}, // zero block
+		{Height: 1, Txns: []TxnRecord{{TxnID: "t", TS: txn.Timestamp{Time: 1, ClientID: 1}}}},
+		marshalTestBlock(),
+	} {
+		data := in.AppendBinary(nil)
+		var out Block
+		if err := out.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, &out) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, &out)
+		}
+	}
+}
+
+func TestBlockBinaryPreservesCanonicalBytes(t *testing.T) {
+	in := marshalTestBlock()
+	var out Block
+	if err := out.UnmarshalBinary(in.AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in.SigningBytes(), out.SigningBytes()) {
+		t.Fatal("signing bytes differ after decode")
+	}
+	if !bytes.Equal(in.StrippedBytes(), out.StrippedBytes()) {
+		t.Fatal("stripped bytes differ after decode")
+	}
+	if !bytes.Equal(in.Hash(), out.Hash()) {
+		t.Fatal("hash differs after decode")
+	}
+}
+
+func TestStrippedBytesEqualsClearedSigningBytes(t *testing.T) {
+	// StrippedBytes avoids the deep clone of the original implementation;
+	// it must still equal the signing bytes of a cleared clone.
+	b := marshalTestBlock()
+	c := b.Clone()
+	c.Roots = nil
+	c.Decision = 0
+	c.CoSigC, c.CoSigS = nil, nil
+	if !bytes.Equal(b.StrippedBytes(), c.SigningBytes()) {
+		t.Fatal("stripped bytes diverge from cleared clone's signing bytes")
+	}
+}
+
+func TestBlockBinaryRejectsGarbage(t *testing.T) {
+	valid := marshalTestBlock().AppendBinary(nil)
+	for i := 0; i < len(valid); i += 3 {
+		var out Block
+		if err := out.UnmarshalBinary(valid[:i]); err == nil {
+			t.Fatalf("accepted truncation at %d bytes", i)
+		}
+	}
+	var out Block
+	if err := out.UnmarshalBinary(append(append([]byte(nil), valid...), 1)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}

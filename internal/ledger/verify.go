@@ -32,6 +32,11 @@ var (
 func VerifyChain(blocks []*Block, keys *identity.Registry) (int, error) {
 	var prevHash []byte
 	for i, b := range blocks {
+		// A nil entry can only come from a malformed or malicious log
+		// transfer; fail the chain rather than dereference it.
+		if b == nil {
+			return i, fmt.Errorf("%w: block %d is missing", ErrChainHeight, i)
+		}
 		if b.Height != uint64(i) {
 			return i, fmt.Errorf("%w: block %d declares height %d", ErrChainHeight, i, b.Height)
 		}
@@ -53,6 +58,14 @@ func VerifyChain(blocks []*Block, keys *identity.Registry) (int, error) {
 // VerifyBlockSig checks the collective signature of a single block against
 // the aggregate Schnorr public key of its declared signers.
 func VerifyBlockSig(b *Block, keys *identity.Registry) error {
+	return VerifyBlockSigBytes(b, b.SigningBytes(), keys)
+}
+
+// VerifyBlockSigBytes is VerifyBlockSig for callers that already hold the
+// block's canonical signing bytes — commitment-layer handlers compute them
+// once per phase and reuse them for the equality check and the signature
+// verification instead of re-encoding the block.
+func VerifyBlockSigBytes(b *Block, signingBytes []byte, keys *identity.Registry) error {
 	if len(b.Signers) == 0 {
 		return fmt.Errorf("%w: block %d has no signers", ErrChainSigners, b.Height)
 	}
@@ -64,7 +77,7 @@ func VerifyBlockSig(b *Block, keys *identity.Registry) error {
 	if sig.IsZero() {
 		return fmt.Errorf("%w: block %d has no co-sign", ErrChainCoSig, b.Height)
 	}
-	if !cosi.VerifyParticipants(pubs, b.SigningBytes(), sig) {
+	if !cosi.VerifyParticipants(pubs, signingBytes, sig) {
 		return fmt.Errorf("%w: block %d", ErrChainCoSig, b.Height)
 	}
 	return nil

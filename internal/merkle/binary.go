@@ -1,0 +1,50 @@
+package merkle
+
+import (
+	"fmt"
+
+	"repro/internal/binenc"
+)
+
+// Binary encoding of a Verification Object, used by the audit RPC codec:
+// index | nSiblings | sibling bytes... (lengths uvarint-prefixed).
+
+// AppendBinary appends the proof's binary encoding.
+func (p *Proof) AppendBinary(buf []byte) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(p.Index))
+	buf = binenc.AppendUvarint(buf, uint64(len(p.Siblings)))
+	for _, s := range p.Siblings {
+		buf = binenc.AppendBytes(buf, s)
+	}
+	return buf
+}
+
+// DecodeProof reads an embedded proof from r.
+func DecodeProof(r *binenc.Reader, p *Proof) error {
+	p.Index = int(r.Uvarint())
+	p.Siblings = nil
+	if n := r.Count(1); n > 0 {
+		p.Siblings = make([][]byte, n)
+		for i := range p.Siblings {
+			p.Siblings[i] = r.Bytes()
+		}
+	}
+	return r.Err()
+}
+
+// MarshalBinary returns the proof's binary encoding.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	return p.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary decodes a proof from its binary encoding.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := DecodeProof(&r, p); err != nil {
+		return fmt.Errorf("merkle: decode proof: %w", err)
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("merkle: decode proof: %w", err)
+	}
+	return nil
+}

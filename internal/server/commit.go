@@ -61,7 +61,7 @@ func (s *Server) GetVote(ctx context.Context, from identity.NodeID, req *wire.Ge
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	vote, involved, accesses, txnAborts, err := s.validateBlockLocked(req.Block, req.ClientReqs)
+	vote, involved, accesses, txnAborts, err := s.validateBlockLocked(req.Block, req.ClientReqs, from == s.ident.ID)
 	if err != nil {
 		return nil, err
 	}
@@ -128,8 +128,12 @@ func (s *Server) Challenge(ctx context.Context, from identity.NodeID, req *wire.
 	}
 	b := req.Block
 
+	// The canonical signing bytes are computed once per phase and shared
+	// between the challenge validation and the cross-phase consistency
+	// record.
+	signingBytes := b.SigningBytes()
 	if !s.faults.SkipChallengeChecks {
-		if err := s.checkChallengeLocked(st, req); err != nil {
+		if err := s.checkChallengeLocked(st, req, signingBytes); err != nil {
 			return nil, err
 		}
 	}
@@ -143,7 +147,7 @@ func (s *Server) Challenge(ctx context.Context, from identity.NodeID, req *wire.
 		resp.Add(resp, big.NewInt(1))
 		resp.Mod(resp, schnorr.N())
 	}
-	st.challengedBytes = b.SigningBytes()
+	st.challengedBytes = signingBytes
 	st.responded = true
 	return &wire.ChallengeResp{Response: resp.Bytes()}, nil
 }
@@ -155,7 +159,7 @@ func (s *Server) Challenge(ctx context.Context, from identity.NodeID, req *wire.
 //   - an abort decision has at least one involved root missing;
 //   - the challenge equals hash(aggregate commitment ‖ block), which is how
 //     a correct cohort exposes an equivocating coordinator (Lemma 5 case 1).
-func (s *Server) checkChallengeLocked(st *cohortState, req *wire.ChallengeReq) error {
+func (s *Server) checkChallengeLocked(st *cohortState, req *wire.ChallengeReq, signingBytes []byte) error {
 	b := req.Block
 	if !bytes.Equal(b.StrippedBytes(), st.stripped) {
 		return fmt.Errorf("%w (height %d)", ErrBlockMutated, b.Height)
@@ -201,7 +205,7 @@ func (s *Server) checkChallengeLocked(st *cohortState, req *wire.ChallengeReq) e
 	if err != nil {
 		return fmt.Errorf("server %s: %w", s.ident.ID, err)
 	}
-	expected := cosi.Challenge(aggV, aggPub, b.SigningBytes())
+	expected := cosi.Challenge(aggV, aggPub, signingBytes)
 	if expected.Cmp(new(big.Int).SetBytes(req.Challenge)) != 0 {
 		return fmt.Errorf("%w (height %d)", ErrBadChallenge, b.Height)
 	}
@@ -223,10 +227,11 @@ func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.Dec
 	b := req.Block
 
 	if !s.faults.SkipCoSigCheck {
-		if st.challengedBytes != nil && !bytes.Equal(b.SigningBytes(), st.challengedBytes) {
+		signingBytes := b.SigningBytes()
+		if st.challengedBytes != nil && !bytes.Equal(signingBytes, st.challengedBytes) {
 			return nil, fmt.Errorf("%w (height %d)", ErrBlockMutated, b.Height)
 		}
-		if err := ledger.VerifyBlockSig(b, s.reg); err != nil {
+		if err := ledger.VerifyBlockSigBytes(b, signingBytes, s.reg); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadCoSig, err)
 		}
 	}
@@ -301,7 +306,14 @@ func (s *Server) applyCommitLocked(st *cohortState, b *ledger.Block) error {
 // timestamp validation of §4.3.1 for the items this shard stores. It
 // returns the server's local vote, whether the server's shard is involved,
 // and the datastore accesses to apply should the block commit.
-func (s *Server) validateBlockLocked(b *ledger.Block, reqs []identity.Envelope) (ledger.Decision, bool, []store.Access, []int, error) {
+//
+// trustedLocal is true only when the request came from this very server
+// acting as coordinator (from == own id, unforgeable through the
+// authenticated transport): the coordinator verified every client
+// envelope's signature on end_transaction, so its own cohort skips the
+// redundant per-transaction Ed25519 verification and only re-parses and
+// cross-checks the contents.
+func (s *Server) validateBlockLocked(b *ledger.Block, reqs []identity.Envelope, trustedLocal bool) (ledger.Decision, bool, []store.Access, []int, error) {
 	if b == nil || len(b.Txns) == 0 {
 		return 0, false, nil, nil, errors.New("server: nil or empty block")
 	}
@@ -315,7 +327,13 @@ func (s *Server) validateBlockLocked(b *ledger.Block, reqs []identity.Envelope) 
 		return 0, false, nil, nil, fmt.Errorf("server: %d client requests for %d transactions", len(reqs), len(b.Txns))
 	}
 	for i, env := range reqs {
-		t, err := DecodeTxnEnvelope(s.reg, env)
+		var t *txn.Transaction
+		var err error
+		if trustedLocal {
+			t, err = DecodeTxnEnvelopeTrusted(env)
+		} else {
+			t, err = DecodeTxnEnvelope(s.reg, env)
+		}
 		if err != nil {
 			return 0, false, nil, nil, err
 		}

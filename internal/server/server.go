@@ -284,8 +284,29 @@ func DecodeTxnEnvelope(reg *identity.Registry, env identity.Envelope) (*txn.Tran
 	if err != nil {
 		return nil, fmt.Errorf("server: client request: %w", err)
 	}
+	return decodeTxnPayload(payload)
+}
+
+// DecodeTxnEnvelopeTrusted parses a transaction envelope without verifying
+// its signature. It exists solely for the coordinator's local participant
+// path: the coordinator already verified the very same envelope on
+// end_transaction (Terminate), so its own cohort need not pay a second
+// Ed25519 verification per transaction. Remote cohorts always use
+// DecodeTxnEnvelope.
+func DecodeTxnEnvelopeTrusted(env identity.Envelope) (*txn.Transaction, error) {
+	return decodeTxnPayload(env.Payload)
+}
+
+// decodeTxnPayload parses a signed transaction payload: the canonical
+// binary encoding by default, with the legacy JSON form (first byte '{')
+// still accepted for compatibility.
+func decodeTxnPayload(payload []byte) (*txn.Transaction, error) {
 	var t txn.Transaction
-	if err := json.Unmarshal(payload, &t); err != nil {
+	if len(payload) > 0 && payload[0] == '{' {
+		if err := json.Unmarshal(payload, &t); err != nil {
+			return nil, fmt.Errorf("server: client request: %w", err)
+		}
+	} else if err := t.UnmarshalBinary(payload); err != nil {
 		return nil, fmt.Errorf("server: client request: %w", err)
 	}
 	if err := t.Validate(); err != nil {

@@ -19,7 +19,7 @@ func (s *Server) Prepare(ctx context.Context, from identity.NodeID, req *wire.Pr
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	vote, involved, accesses, _, err := s.validateBlockLocked(req.Block, req.ClientReqs)
+	vote, involved, accesses, _, err := s.validateBlockLocked(req.Block, req.ClientReqs, from == s.ident.ID)
 	if err != nil {
 		return nil, err
 	}

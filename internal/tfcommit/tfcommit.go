@@ -246,7 +246,8 @@ func (c *Coordinator) CommitBlock(ctx context.Context, txns []*txn.Transaction, 
 	if err != nil {
 		return nil, fmt.Errorf("tfcommit: %w", err)
 	}
-	challenge := cosi.Challenge(aggV, aggPub, block.SigningBytes())
+	signingBytes := block.SigningBytes()
+	challenge := cosi.Challenge(aggV, aggPub, signingBytes)
 	chReq := &wire.ChallengeReq{
 		Challenge:     challenge.Bytes(),
 		AggCommitment: aggV.Marshal(),
@@ -271,7 +272,7 @@ func (c *Coordinator) CommitBlock(ctx context.Context, txns []*txn.Transaction, 
 	// The coordinator is incentivised to check the signature before
 	// publishing: if it is invalid, identify the faulty signer(s) by
 	// partial-signature exclusion (Lemma 4).
-	if !cosi.Verify(aggPub, block.SigningBytes(), sig) {
+	if !cosi.Verify(aggPub, signingBytes, sig) {
 		faultyIdx, idErr := cosi.IdentifyFaulty(pubs, commitments, challenge, ordered)
 		if idErr != nil {
 			return nil, fmt.Errorf("tfcommit: invalid co-sign and identification failed: %w", idErr)

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/binenc"
 	"repro/internal/identity"
 )
 
@@ -24,9 +24,13 @@ var zeroTime time.Time
 const maxFrameSize = 64 << 20 // 64 MiB
 
 // TCPNode is a Transport over real TCP sockets: every request and response
-// is a length-prefixed JSON identity.Envelope. One connection is opened per
-// (caller, callee) pair per in-flight call, drawn from a small free pool,
-// so concurrent broadcasts do not head-of-line block each other.
+// is a length-prefixed blob whose first byte selects the authentication
+// form — a session-MAC frame (default; the session is agreed per
+// connection by a signed handshake) or a binary signed identity.Envelope
+// (FrameAuthEnvelope mode). One connection is opened per (caller, callee)
+// pair per in-flight call, drawn from a small free pool, so concurrent
+// broadcasts do not head-of-line block each other and handshakes amortize
+// across pooled reuse.
 type TCPNode struct {
 	ident   *identity.Identity
 	reg     *identity.Registry
@@ -48,6 +52,68 @@ type tcpConn struct {
 	c  net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+	// scratch is the reusable raw-frame read buffer. Decoded values are
+	// copied out of it before the connection returns to the pool, so it is
+	// safe to reuse across calls on the same connection.
+	scratch []byte
+	// sess is the connection's authenticated session (session mode only),
+	// bound to the peer that completed the handshake.
+	sess *session
+	// lastRespSeq is the highest response sequence number seen on this
+	// connection; responses must arrive strictly increasing. This is
+	// per-connection replay discrimination only: in session mode the MAC
+	// key is also per connection, so cross-connection replay is impossible
+	// outright, while in FrameAuthEnvelope mode a signed frame could still
+	// be replayed on a fresh connection (as in the original per-message
+	// signature implementation, which had no freshness binding either).
+	lastRespSeq uint64
+}
+
+// Blob kind bytes. Kind 1 is identity's binary envelope version byte, so
+// signed envelopes decode directly; the MAC and handshake kinds are
+// transport-local.
+const (
+	blobKindMACFrame  = 2
+	blobKindHandshake = 3
+)
+
+// appendMACFrame appends a session-authenticated frame blob:
+// kind(1) | from | mac | payload.
+func appendMACFrame(buf []byte, from identity.NodeID, mac, payload []byte) []byte {
+	buf = binenc.AppendByte(buf, blobKindMACFrame)
+	buf = binenc.AppendString(buf, string(from))
+	buf = binenc.AppendBytes(buf, mac)
+	return binenc.AppendBytes(buf, payload)
+}
+
+// parseMACFrame decodes a session-authenticated frame blob. The returned
+// payload aliases raw.
+func parseMACFrame(raw []byte) (from identity.NodeID, mac, payload []byte, err error) {
+	r := binenc.NewReader(raw)
+	if kind := r.Byte(); kind != blobKindMACFrame && r.Err() == nil {
+		return "", nil, nil, fmt.Errorf("transport: blob kind %d, want MAC frame", kind)
+	}
+	from = identity.NodeID(r.String())
+	mac = r.Bytes()
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return "", nil, nil, fmt.Errorf("transport: parse MAC frame: %w", err)
+	}
+	if n != r.Len() {
+		return "", nil, nil, fmt.Errorf("transport: MAC frame payload length %d, have %d", n, r.Len())
+	}
+	payload = raw[len(raw)-n:]
+	return from, mac, payload, nil
+}
+
+// parseEnvelopeBlob decodes a signed-envelope blob. The decoded envelope
+// copies out of raw.
+func parseEnvelopeBlob(raw []byte) (identity.Envelope, error) {
+	var env identity.Envelope
+	if err := env.UnmarshalBinary(raw); err != nil {
+		return identity.Envelope{}, err
+	}
+	return env, nil
 }
 
 // NewTCPNode starts listening on listenAddr ("host:port"; port 0 picks a
@@ -94,16 +160,9 @@ func (n *TCPNode) Call(ctx context.Context, to identity.NodeID, msg Message) (Me
 		return Message{}, ErrClosed
 	}
 	addr, ok := n.addrs[to]
-	n.seq++
-	seq := n.seq
 	n.mu.Unlock()
 	if !ok {
 		return Message{}, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
-	}
-
-	env, err := sealFrame(n.ident, to, seq, msg)
-	if err != nil {
-		return Message{}, err
 	}
 
 	conn, err := n.acquireConn(ctx, to, addr)
@@ -124,27 +183,140 @@ func (n *TCPNode) Call(ctx context.Context, to identity.NodeID, msg Message) (Me
 	} else {
 		_ = conn.c.SetDeadline(zeroTime)
 	}
-	if err := writeFrame(conn.bw, env); err != nil {
+
+	mode := DefaultFrameAuth()
+	if mode == FrameAuthSession && conn.sess == nil {
+		if err := n.handshakeConn(conn, to); err != nil {
+			return Message{}, fmt.Errorf("transport: handshake with %s: %w", to, err)
+		}
+	}
+
+	// The sequence number is drawn only after the connection is exclusively
+	// held: the receiver enforces strictly increasing seqs per connection,
+	// and assigning earlier would let two concurrent Calls deliver
+	// out-of-order seqs on one pooled connection.
+	n.mu.Lock()
+	n.seq++
+	seq := n.seq
+	n.mu.Unlock()
+
+	// The request frame (and its authenticated blob) is encoded into
+	// pooled buffers that are fully flushed to the socket before the call
+	// returns, so they are recycled on exit.
+	frameBuf := getBuf()
+	defer putBuf(frameBuf)
+	frameBuf.b = appendFrame(frameBuf.b[:0], to, seq, msg)
+
+	if conn.sess != nil && mode == FrameAuthSession {
+		blob := getBuf()
+		blob.b = appendMACFrame(blob.b[:0], n.ident.ID, conn.sess.mac(frameBuf.b), frameBuf.b)
+		err = writeBlob(conn.bw, blob.b)
+		putBuf(blob)
+	} else {
+		env := identity.Seal(n.ident, frameBuf.b)
+		blob := getBuf()
+		blob.b = env.AppendBinary(blob.b[:0])
+		err = writeBlob(conn.bw, blob.b)
+		putBuf(blob)
+	}
+	if err != nil {
 		return Message{}, fmt.Errorf("transport: send to %s: %w", to, err)
 	}
-	respEnv, err := readFrame(conn.br)
+
+	raw, err := readBlob(conn.br, &conn.scratch)
 	if err != nil {
 		return Message{}, fmt.Errorf("transport: receive from %s: %w", to, err)
 	}
-	from, out, err := openFrame(n.reg, n.ident.ID, respEnv)
-	if err != nil {
-		return Message{}, err
+	var from identity.NodeID
+	var respSeq uint64
+	var out Message
+	if raw[0] == blobKindMACFrame {
+		if conn.sess == nil {
+			return Message{}, fmt.Errorf("%w: unsolicited MAC frame from %s", ErrNoSession, to)
+		}
+		mfrom, mac, payload, err := parseMACFrame(raw)
+		if err != nil {
+			return Message{}, err
+		}
+		if !conn.sess.verify(payload, mac) {
+			return Message{}, fmt.Errorf("%w: from %q", ErrBadMAC, to)
+		}
+		respTo, rseq, respMsg, err := parseFrame(payload)
+		if err != nil {
+			return Message{}, err
+		}
+		if respTo != n.ident.ID {
+			return Message{}, fmt.Errorf("transport: frame addressed to %q delivered to %q", respTo, n.ident.ID)
+		}
+		// The body aliases the connection's scratch buffer; copy before the
+		// connection returns to the pool.
+		respMsg.Body = append([]byte(nil), respMsg.Body...)
+		from, respSeq, out = mfrom, rseq, respMsg
+	} else {
+		respEnv, err := parseEnvelopeBlob(raw)
+		if err != nil {
+			return Message{}, err
+		}
+		if from, respSeq, out, err = openFrame(n.reg, n.ident.ID, respEnv); err != nil {
+			return Message{}, err
+		}
 	}
 	if from != to {
 		return Message{}, fmt.Errorf("transport: response impersonation: asked %q, answered %q", to, from)
 	}
+	// Per-connection replay discrimination: a response replayed from
+	// earlier traffic on this connection carries a stale sequence number.
+	if respSeq <= conn.lastRespSeq {
+		return Message{}, fmt.Errorf("transport: replayed response from %s (seq %d ≤ %d)", to, respSeq, conn.lastRespSeq)
+	}
+	conn.lastRespSeq = respSeq
 	ok = true
-	if out.Type == "error" {
-		var emsg string
-		_ = json.Unmarshal(out.Body, &emsg)
-		return Message{}, &RemoteError{Node: to, Msg: emsg}
+	if out.Type == msgTypeError {
+		return Message{}, decodeErrorReply(to, out.Body)
 	}
 	return out, nil
+}
+
+// handshakeConn runs the initiator half of the signed session handshake on
+// a fresh connection.
+func (n *TCPNode) handshakeConn(conn *tcpConn, to identity.NodeID) error {
+	h, offer, err := beginHandshake(n.ident, to)
+	if err != nil {
+		return err
+	}
+	blob := getBuf()
+	blob.b = append(blob.b[:0], blobKindHandshake)
+	blob.b = offer.AppendBinary(blob.b)
+	err = writeBlob(conn.bw, blob.b)
+	putBuf(blob)
+	if err != nil {
+		return err
+	}
+	raw, err := readBlob(conn.br, &conn.scratch)
+	if err != nil {
+		return err
+	}
+	if raw[0] != blobKindHandshake {
+		// A responder that rejects the handshake answers with a signed
+		// error reply; surface its diagnostic instead of a bare kind
+		// mismatch.
+		if env, perr := parseEnvelopeBlob(raw); perr == nil {
+			if _, _, out, oerr := openFrame(n.reg, n.ident.ID, env); oerr == nil && out.Type == msgTypeError {
+				return decodeErrorReply(to, out.Body)
+			}
+		}
+		return fmt.Errorf("transport: expected handshake reply, got blob kind %d", raw[0])
+	}
+	var reply identity.Envelope
+	if err := reply.UnmarshalBinary(raw[1:]); err != nil {
+		return err
+	}
+	sess, err := h.finish(n.reg, reply)
+	if err != nil {
+		return err
+	}
+	conn.sess = sess
+	return nil
 }
 
 func (n *TCPNode) acquireConn(ctx context.Context, to identity.NodeID, addr string) (*tcpConn, error) {
@@ -237,71 +409,177 @@ func (n *TCPNode) serveConn(c net.Conn) {
 	}()
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
+	var scratch []byte
+	// sess and peer are this connection's authenticated session, set by a
+	// handshake blob; MAC frames are only accepted from that peer. lastSeq
+	// enforces strictly increasing request sequence numbers per connection
+	// (see tcpConn.lastRespSeq for the exact replay guarantees per auth
+	// mode).
+	var sess *session
+	var peer identity.NodeID
+	var lastSeq uint64
 	for {
-		env, err := readFrame(br)
+		raw, err := readBlob(br, &scratch)
 		if err != nil {
 			return // peer closed or garbage framing
 		}
-		from, msg, err := openFrame(n.reg, n.ident.ID, env)
-		var resp Message
-		if err != nil {
-			resp = Message{Type: "error", Body: mustJSON(err.Error())}
-		} else if n.handler == nil {
-			resp = Message{Type: "error", Body: mustJSON("node has no handler")}
-		} else {
-			out, handleErr := n.handler.Handle(context.Background(), from, msg)
-			if handleErr != nil {
-				resp = Message{Type: "error", Body: mustJSON(handleErr.Error())}
-			} else {
-				resp = out
+		switch raw[0] {
+		case blobKindHandshake:
+			var offer identity.Envelope
+			if err := offer.UnmarshalBinary(raw[1:]); err != nil {
+				return
 			}
-		}
-		n.mu.Lock()
-		n.seq++
-		seq := n.seq
-		n.mu.Unlock()
-		respEnv, err := sealFrame(n.ident, from, seq, resp)
-		if err != nil {
-			return
-		}
-		if err := writeFrame(bw, respEnv); err != nil {
-			return
+			reply, s, err := n.acceptHello(offer)
+			if err != nil {
+				// Answer with a signed error so the initiator learns why
+				// (e.g. it is not in the registry), then drop the conn.
+				n.writeErrorReply(bw, offer.From, err)
+				return
+			}
+			sess, peer = s, offer.From
+			blob := getBuf()
+			blob.b = append(blob.b[:0], blobKindHandshake)
+			blob.b = reply.AppendBinary(blob.b)
+			err = writeBlob(bw, blob.b)
+			putBuf(blob)
+			if err != nil {
+				return
+			}
+		case blobKindMACFrame:
+			if sess == nil {
+				return // MAC frame before handshake
+			}
+			mfrom, mac, payload, err := parseMACFrame(raw)
+			if err != nil || mfrom != peer || !sess.verify(payload, mac) {
+				return // unauthenticated traffic: drop the connection
+			}
+			reqTo, rseq, msg, perr := parseFrame(payload)
+			var resp Message
+			switch {
+			case perr != nil:
+				resp = Message{Type: msgTypeError, Body: mustJSON(perr.Error())}
+			case reqTo != n.ident.ID:
+				resp = Message{Type: msgTypeError, Body: mustJSON(fmt.Sprintf("frame addressed to %q delivered to %q", reqTo, n.ident.ID))}
+			case rseq <= lastSeq:
+				return // replayed request on this connection: drop it
+			default:
+				lastSeq = rseq
+				resp = n.handle(peer, msg)
+			}
+			if err := n.writeResponse(bw, sess, peer, resp); err != nil {
+				return
+			}
+		default: // individually signed envelope (FrameAuthEnvelope peers)
+			env, err := parseEnvelopeBlob(raw)
+			if err != nil {
+				return
+			}
+			from, rseq, msg, err := openFrame(n.reg, n.ident.ID, env)
+			var resp Message
+			switch {
+			case err != nil:
+				resp = Message{Type: msgTypeError, Body: mustJSON(err.Error())}
+			case rseq <= lastSeq:
+				return // replayed request on this connection: drop it
+			default:
+				lastSeq = rseq
+				resp = n.handle(from, msg)
+			}
+			if err := n.writeResponse(bw, nil, from, resp); err != nil {
+				return
+			}
 		}
 	}
 }
 
-func writeFrame(bw *bufio.Writer, env identity.Envelope) error {
-	raw, err := json.Marshal(env)
-	if err != nil {
-		return err
+// writeResponse frames, authenticates (session MAC when sess is non-nil,
+// Ed25519 envelope otherwise) and writes one response. All pooled buffers
+// are flushed to the socket before returning, so they are immediately
+// recyclable.
+func (n *TCPNode) writeResponse(bw *bufio.Writer, sess *session, to identity.NodeID, resp Message) error {
+	n.mu.Lock()
+	n.seq++
+	seq := n.seq
+	n.mu.Unlock()
+	frameBuf := getBuf()
+	frameBuf.b = appendFrame(frameBuf.b[:0], to, seq, resp)
+	blob := getBuf()
+	if sess != nil {
+		blob.b = appendMACFrame(blob.b[:0], n.ident.ID, sess.mac(frameBuf.b), frameBuf.b)
+	} else {
+		respEnv := identity.Seal(n.ident, frameBuf.b)
+		blob.b = respEnv.AppendBinary(blob.b[:0])
+	}
+	err := writeBlob(bw, blob.b)
+	putBuf(blob)
+	putBuf(frameBuf)
+	return err
+}
+
+// handle invokes the node's handler, converting failures to error replies.
+func (n *TCPNode) handle(from identity.NodeID, msg Message) Message {
+	if n.handler == nil {
+		return Message{Type: msgTypeError, Body: mustJSON("node has no handler")}
+	}
+	out, handleErr := n.handler.Handle(context.Background(), from, msg)
+	if handleErr != nil {
+		return Message{Type: msgTypeError, Body: mustJSON(handleErr.Error())}
+	}
+	return out
+}
+
+// writeErrorReply sends a signed error-typed response (used for handshake
+// failures, where no session exists to MAC under).
+func (n *TCPNode) writeErrorReply(bw *bufio.Writer, to identity.NodeID, cause error) {
+	_ = n.writeResponse(bw, nil, to, Message{Type: msgTypeError, Body: mustJSON(cause.Error())})
+}
+
+// acceptHello is the responder half of the session handshake.
+func (n *TCPNode) acceptHello(offer identity.Envelope) (identity.Envelope, *session, error) {
+	return respondHandshake(n.ident, n.reg, offer)
+}
+
+// writeBlob writes one length-prefixed blob and flushes.
+func writeBlob(bw *bufio.Writer, b []byte) error {
+	if len(b) > maxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(b))
 	}
 	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(raw)))
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
 	if _, err := bw.Write(lenBuf[:]); err != nil {
 		return err
 	}
-	if _, err := bw.Write(raw); err != nil {
+	if _, err := bw.Write(b); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-func readFrame(br *bufio.Reader) (identity.Envelope, error) {
+// readBlob reads one length-prefixed blob into *scratch (grown as needed
+// and reused across calls) and returns the raw bytes, which alias
+// *scratch: callers must copy anything that outlives the next read.
+func readBlob(br *bufio.Reader, scratch *[]byte) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-		return identity.Envelope{}, err
+		return nil, err
 	}
 	size := binary.BigEndian.Uint32(lenBuf[:])
 	if size == 0 || size > maxFrameSize {
-		return identity.Envelope{}, errors.New("transport: invalid frame size")
+		return nil, errors.New("transport: invalid frame size")
 	}
-	raw := make([]byte, size)
+	raw := *scratch
+	if cap(raw) < int(size) {
+		raw = make([]byte, size)
+		// Retain only reasonably sized buffers across reads so one huge
+		// frame (a multi-MB log transfer) does not pin its capacity for
+		// the connection's whole pooled lifetime.
+		if size <= maxPooledBuf {
+			*scratch = raw
+		}
+	}
+	raw = raw[:size]
 	if _, err := io.ReadFull(br, raw); err != nil {
-		return identity.Envelope{}, err
+		return nil, err
 	}
-	var env identity.Envelope
-	if err := json.Unmarshal(raw, &env); err != nil {
-		return identity.Envelope{}, err
-	}
-	return env, nil
+	return raw, nil
 }

@@ -1,0 +1,134 @@
+package txn
+
+import (
+	"fmt"
+
+	"repro/internal/binenc"
+)
+
+// Binary encoding of the transaction model. The client signs exactly these
+// bytes in its end_transaction envelope (paper §4.3.1), replacing the JSON
+// payload of earlier revisions: the encoding is canonical (no map ordering,
+// no optional whitespace), several times smaller, and decodes without
+// reflection on the per-cohort hot path.
+//
+// Layout (all lengths uvarint, integers big-endian, see internal/binenc):
+//
+//	Transaction: ver(1) | id | ts | nReads | ReadEntry... | nWrites | WriteEntry...
+//	ReadEntry:   id | value | rts | wts
+//	WriteEntry:  id | new_val | old_val | blind(1) | rts | wts
+//	Timestamp:   time(8) | client_id(4)
+const txnBinaryVersion = 1
+
+// Minimum encoded sizes. Decoders use these to bound hostile element
+// counts before allocating (binenc.Reader.Count); the ledger block codec
+// shares them for its embedded read/write entries.
+const (
+	// TimestampEncSize is the fixed encoding size of a Timestamp.
+	TimestampEncSize = 8 + 4
+	// ReadEntryMinEnc: id length + value length + rts + wts.
+	ReadEntryMinEnc = 1 + 1 + 2*TimestampEncSize
+	// WriteEntryMinEnc: id length + new_val length + old_val length +
+	// blind + rts + wts.
+	WriteEntryMinEnc = 1 + 1 + 1 + 1 + 2*TimestampEncSize
+)
+
+// AppendBinary appends the timestamp's fixed 12-byte encoding.
+func (t Timestamp) AppendBinary(buf []byte) []byte {
+	buf = binenc.AppendUint64(buf, t.Time)
+	return binenc.AppendUint32(buf, t.ClientID)
+}
+
+// DecodeTimestamp reads a timestamp's fixed 12-byte encoding from r.
+func DecodeTimestamp(r *binenc.Reader) Timestamp {
+	return Timestamp{Time: r.Uint64(), ClientID: r.Uint32()}
+}
+
+// AppendBinary appends the read entry's encoding.
+func (e *ReadEntry) AppendBinary(buf []byte) []byte {
+	buf = binenc.AppendString(buf, string(e.ID))
+	buf = binenc.AppendBytes(buf, e.Value)
+	buf = e.RTS.AppendBinary(buf)
+	return e.WTS.AppendBinary(buf)
+}
+
+// DecodeReadEntry reads a read entry from r (embeddable form, used by the
+// ledger block codec as well as Transaction.UnmarshalBinary).
+func DecodeReadEntry(r *binenc.Reader, e *ReadEntry) {
+	e.ID = ItemID(r.String())
+	e.Value = r.Bytes()
+	e.RTS = DecodeTimestamp(r)
+	e.WTS = DecodeTimestamp(r)
+}
+
+// AppendBinary appends the write entry's encoding.
+func (e *WriteEntry) AppendBinary(buf []byte) []byte {
+	buf = binenc.AppendString(buf, string(e.ID))
+	buf = binenc.AppendBytes(buf, e.NewVal)
+	buf = binenc.AppendBytes(buf, e.OldVal)
+	buf = binenc.AppendBool(buf, e.Blind)
+	buf = e.RTS.AppendBinary(buf)
+	return e.WTS.AppendBinary(buf)
+}
+
+// DecodeWriteEntry reads a write entry from r (embeddable form).
+func DecodeWriteEntry(r *binenc.Reader, e *WriteEntry) {
+	e.ID = ItemID(r.String())
+	e.NewVal = r.Bytes()
+	e.OldVal = r.Bytes()
+	e.Blind = r.Bool()
+	e.RTS = DecodeTimestamp(r)
+	e.WTS = DecodeTimestamp(r)
+}
+
+// AppendBinary appends the transaction's versioned canonical encoding —
+// the payload format of the client-signed end_transaction envelope.
+func (t *Transaction) AppendBinary(buf []byte) []byte {
+	buf = binenc.AppendByte(buf, txnBinaryVersion)
+	buf = binenc.AppendString(buf, t.ID)
+	buf = t.TS.AppendBinary(buf)
+	buf = binenc.AppendUvarint(buf, uint64(len(t.Reads)))
+	for i := range t.Reads {
+		buf = t.Reads[i].AppendBinary(buf)
+	}
+	buf = binenc.AppendUvarint(buf, uint64(len(t.Writes)))
+	for i := range t.Writes {
+		buf = t.Writes[i].AppendBinary(buf)
+	}
+	return buf
+}
+
+// MarshalBinary returns the transaction's canonical encoding.
+func (t *Transaction) MarshalBinary() ([]byte, error) {
+	return t.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary decodes a transaction from its canonical encoding. The
+// decoded transaction never aliases data, so the input buffer may be
+// recycled afterwards.
+func (t *Transaction) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if v := r.Byte(); v != txnBinaryVersion && r.Err() == nil {
+		return fmt.Errorf("txn: unsupported binary version %d", v)
+	}
+	t.ID = r.String()
+	t.TS = DecodeTimestamp(&r)
+	t.Reads = nil
+	if n := r.Count(ReadEntryMinEnc); n > 0 {
+		t.Reads = make([]ReadEntry, n)
+		for i := range t.Reads {
+			DecodeReadEntry(&r, &t.Reads[i])
+		}
+	}
+	t.Writes = nil
+	if n := r.Count(WriteEntryMinEnc); n > 0 {
+		t.Writes = make([]WriteEntry, n)
+		for i := range t.Writes {
+			DecodeWriteEntry(&r, &t.Writes[i])
+		}
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("txn: decode transaction: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package txn
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestTransactionBinaryRoundTrip(t *testing.T) {
+	big := bytes.Repeat([]byte("v"), 4<<10)
+	txns := []*Transaction{
+		{ID: "c1-t1", TS: Timestamp{Time: 7, ClientID: 2}},
+		{
+			ID: "c1-t2", TS: Timestamp{Time: 8, ClientID: 2},
+			Reads: []ReadEntry{
+				{ID: "a", Value: []byte("x"), RTS: Timestamp{Time: 1, ClientID: 1}, WTS: Timestamp{Time: 2, ClientID: 2}},
+				{ID: "b", Value: big},
+			},
+			Writes: []WriteEntry{
+				{ID: "a", NewVal: []byte("y"), RTS: Timestamp{Time: 1, ClientID: 1}},
+				{ID: "c", NewVal: big, OldVal: []byte("o"), Blind: true, WTS: Timestamp{Time: 3, ClientID: 3}},
+			},
+		},
+	}
+	for _, in := range txns {
+		data := in.AppendBinary(nil)
+		var out Transaction
+		if err := out.UnmarshalBinary(data); err != nil {
+			t.Fatalf("%s: %v", in.ID, err)
+		}
+		if !reflect.DeepEqual(in, &out) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, &out)
+		}
+	}
+}
+
+func TestTransactionBinaryRejectsGarbage(t *testing.T) {
+	valid := (&Transaction{ID: "t", TS: Timestamp{Time: 1, ClientID: 1}}).AppendBinary(nil)
+	for i := 0; i < len(valid); i++ {
+		var out Transaction
+		if err := out.UnmarshalBinary(valid[:i]); err == nil {
+			t.Fatalf("accepted truncation at %d bytes", i)
+		}
+	}
+	var out Transaction
+	if err := out.UnmarshalBinary(append(append([]byte(nil), valid...), 9)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+	if err := out.UnmarshalBinary([]byte{99}); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+}

@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/merkle"
+	"repro/internal/txn"
+)
+
+// sampleBlock builds a fully populated block: several transactions with
+// reads, writes and blind writes, roots, a decision, chain hash and
+// co-sign material.
+func sampleBlock(t *testing.T) *ledger.Block {
+	t.Helper()
+	big := bytes.Repeat([]byte("0123456789abcdef"), 256) // 4 KiB value
+	b := &ledger.Block{
+		Height: 42,
+		Txns: []ledger.TxnRecord{
+			{
+				TxnID: "c01-t7",
+				TS:    txn.Timestamp{Time: 99, ClientID: 3},
+				Reads: []txn.ReadEntry{
+					{ID: "s00-i0004", Value: []byte("v1"), RTS: txn.Timestamp{Time: 5, ClientID: 1}, WTS: txn.Timestamp{Time: 6, ClientID: 2}},
+					{ID: "s01-i0000", Value: big},
+				},
+				Writes: []txn.WriteEntry{
+					{ID: "s00-i0004", NewVal: []byte("v2"), RTS: txn.Timestamp{Time: 5, ClientID: 1}, WTS: txn.Timestamp{Time: 6, ClientID: 2}},
+					{ID: "s02-i0009", NewVal: big, OldVal: []byte("old"), Blind: true, WTS: txn.Timestamp{Time: 1, ClientID: 9}},
+				},
+			},
+			{TxnID: "c02-t1", TS: txn.Timestamp{Time: 100, ClientID: 4}},
+		},
+		Roots: map[identity.NodeID][]byte{
+			"s00": bytes.Repeat([]byte{0xaa}, 32),
+			"s01": bytes.Repeat([]byte{0xbb}, 32),
+		},
+		Decision: ledger.DecisionCommit,
+		PrevHash: bytes.Repeat([]byte{0x11}, 32),
+		Signers:  []identity.NodeID{"s00", "s01", "s02"},
+		CoSigC:   bytes.Repeat([]byte{0x22}, 32),
+		CoSigS:   bytes.Repeat([]byte{0x33}, 32),
+	}
+	return b
+}
+
+func sampleEnvelope() identity.Envelope {
+	return identity.Envelope{
+		From:    "c01",
+		Payload: []byte("signed transaction bytes"),
+		Sig:     bytes.Repeat([]byte{0x44}, 64),
+	}
+}
+
+// roundTrip encodes msg, decodes into a zero value of the same type, and
+// compares.
+func roundTrip(t *testing.T, msg binaryMessage) {
+	t.Helper()
+	data := msg.AppendBinary(nil)
+	out := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(binaryMessage)
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatalf("%T: decode: %v", msg, err)
+	}
+	if !reflect.DeepEqual(msg, out) {
+		t.Fatalf("%T round trip mismatch:\n in: %#v\nout: %#v", msg, msg, out)
+	}
+	// The self-describing header must route the same bytes to the same
+	// concrete type.
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatalf("%T: Decode: %v", msg, err)
+	}
+	if !reflect.DeepEqual(msg, decoded) {
+		t.Fatalf("%T: Decode produced %#v", msg, decoded)
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	big := bytes.Repeat([]byte("x"), 8<<10)
+	block := sampleBlock(t)
+	env := sampleEnvelope()
+	msgs := []binaryMessage{
+		&BeginTxnReq{TxnID: "c01-t1"},
+		&BeginTxnResp{OK: true},
+		&ReadReq{TxnID: "c01-t1", ID: "s00-i0001"},
+		&ReadResp{Value: big, RTS: txn.Timestamp{Time: 1, ClientID: 2}, WTS: txn.Timestamp{Time: 3, ClientID: 4}},
+		&WriteReq{TxnID: "c01-t1", ID: "s00-i0001", Value: []byte("v")},
+		&WriteResp{OldVal: []byte("old"), RTS: txn.Timestamp{Time: 1, ClientID: 2}},
+		&EndTxnReq{TxnEnvelope: env},
+		&EndTxnResp{Committed: true, Block: block},
+		&EndTxnResp{Rejected: true, LatestTS: txn.Timestamp{Time: 9, ClientID: 1}},
+		&GetVoteReq{Block: block, ClientReqs: []identity.Envelope{env, env}},
+		&GetVoteReq{Block: block, ClientReqs: []identity.Envelope{{}}}, // degenerate empty envelope
+
+		&VoteResp{Vote: ledger.DecisionCommit, Involved: true, Root: bytes.Repeat([]byte{1}, 32), Commitment: bytes.Repeat([]byte{2}, 65), TxnAborts: []int{0, 3}},
+		&ChallengeReq{Challenge: []byte{9, 9}, AggCommitment: []byte{8}, Block: block},
+		&ChallengeResp{Response: []byte{7, 7, 7}},
+		&DecisionReq{Block: block},
+		&DecisionResp{OK: true},
+		&PrepareReq{Block: block, ClientReqs: []identity.Envelope{env}},
+		&PrepareResp{Vote: ledger.DecisionAbort},
+		&TwoPCDecisionReq{Block: block},
+		&TwoPCDecisionResp{OK: true},
+		&FetchLogReq{},
+		&FetchLogResp{Blocks: []*ledger.Block{block, block}},
+		&FetchProofReq{ID: "s00-i0001", AtVersion: true, TS: txn.Timestamp{Time: 4, ClientID: 2}},
+		&FetchProofResp{LeafContent: []byte("leaf"), Proof: merkle.Proof{Index: 3, Siblings: [][]byte{bytes.Repeat([]byte{5}, 32), bytes.Repeat([]byte{6}, 32)}}},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m)
+	}
+}
+
+func TestRoundTripZeroValues(t *testing.T) {
+	msgs := []binaryMessage{
+		&BeginTxnReq{}, &BeginTxnResp{}, &ReadReq{}, &ReadResp{},
+		&WriteReq{}, &WriteResp{}, &EndTxnReq{}, &EndTxnResp{},
+		&GetVoteReq{}, &VoteResp{}, &ChallengeReq{}, &ChallengeResp{},
+		&DecisionReq{}, &DecisionResp{}, &PrepareReq{}, &PrepareResp{},
+		&TwoPCDecisionReq{}, &TwoPCDecisionResp{}, &FetchLogReq{},
+		&FetchLogResp{}, &FetchProofReq{}, &FetchProofResp{},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m)
+	}
+}
+
+func TestEmptyByteSliceDecodesAsNil(t *testing.T) {
+	// The codec does not distinguish empty from nil byte slices: a
+	// zero-length field always decodes as nil (canonical form).
+	in := &ReadResp{Value: []byte{}}
+	data := in.AppendBinary(nil)
+	var out ReadResp
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != nil {
+		t.Fatalf("empty slice decoded as %#v, want nil", out.Value)
+	}
+}
+
+func TestDecodeRejectsHeaderMismatch(t *testing.T) {
+	data := (&BeginTxnReq{TxnID: "t"}).AppendBinary(nil)
+
+	var wrong ReadReq
+	if err := wrong.UnmarshalBinary(data); err == nil {
+		t.Fatal("decoded into the wrong message type")
+	}
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 99 // unsupported version
+	var req BeginTxnReq
+	if err := req.UnmarshalBinary(bad); err == nil {
+		t.Fatal("accepted unsupported codec version")
+	}
+
+	if _, err := Decode([]byte{BinaryVersion, 200}); err == nil {
+		t.Fatal("accepted unknown message id")
+	}
+	if _, err := Decode([]byte{BinaryVersion}); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+}
+
+func TestFetchLogRespRejectsNilBlocks(t *testing.T) {
+	// A byzantine server must not be able to smuggle a nil block into the
+	// auditor's chain verification.
+	data := (&FetchLogResp{Blocks: []*ledger.Block{nil}}).AppendBinary(nil)
+	var out FetchLogResp
+	if err := out.UnmarshalBinary(data); err == nil {
+		t.Fatal("accepted a log transfer containing a nil block")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	block := sampleBlock(t)
+	data := (&GetVoteReq{Block: block, ClientReqs: []identity.Envelope{sampleEnvelope()}}).AppendBinary(nil)
+	// Every strict prefix must fail cleanly, never panic.
+	for i := 2; i < len(data); i += 7 {
+		var out GetVoteReq
+		if err := out.UnmarshalBinary(data[:i]); err == nil {
+			t.Fatalf("accepted truncation at %d/%d bytes", i, len(data))
+		}
+	}
+	// Trailing garbage is rejected too.
+	var out GetVoteReq
+	if err := out.UnmarshalBinary(append(append([]byte(nil), data...), 0x01)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}
+
+func TestDecodedBlockSigningBytesMatchSender(t *testing.T) {
+	// The property TFCommit depends on: a decoded block re-encodes to the
+	// identical canonical signing bytes, so challenges computed by the
+	// coordinator verify at every cohort.
+	block := sampleBlock(t)
+	data := (&DecisionReq{Block: block}).AppendBinary(nil)
+	var out DecisionReq
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(block.SigningBytes(), out.Block.SigningBytes()) {
+		t.Fatal("signing bytes changed across encode/decode")
+	}
+	if !bytes.Equal(block.StrippedBytes(), out.Block.StrippedBytes()) {
+		t.Fatal("stripped bytes changed across encode/decode")
+	}
+	if !bytes.Equal(block.Hash(), out.Block.Hash()) {
+		t.Fatal("block hash changed across encode/decode")
+	}
+}
+
+func FuzzWireDecode(f *testing.F) {
+	block := &ledger.Block{Height: 1, Txns: []ledger.TxnRecord{{TxnID: "t", TS: txn.Timestamp{Time: 1, ClientID: 1}}}}
+	f.Add((&BeginTxnReq{TxnID: "c-t1"}).AppendBinary(nil))
+	f.Add((&GetVoteReq{Block: block, ClientReqs: []identity.Envelope{{From: "c", Payload: []byte("p"), Sig: []byte("s")}}}).AppendBinary(nil))
+	f.Add((&EndTxnResp{Committed: true, Block: block}).AppendBinary(nil))
+	f.Add((&VoteResp{Vote: ledger.DecisionAbort, TxnAborts: []int{1}}).AppendBinary(nil))
+	f.Add((&FetchLogResp{Blocks: []*ledger.Block{block}}).AppendBinary(nil))
+	f.Add((&FetchProofResp{LeafContent: []byte("l"), Proof: merkle.Proof{Index: 1, Siblings: [][]byte{{1}}}}).AppendBinary(nil))
+	f.Add([]byte{})
+	f.Add([]byte{BinaryVersion})
+	f.Add([]byte{BinaryVersion, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode must never panic and never allocate absurdly; on success
+		// the result must re-encode and decode to the same value.
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := msg.(binaryMessage).AppendBinary(nil)
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		reAgain := again.(binaryMessage).AppendBinary(nil)
+		if !bytes.Equal(re, reAgain) {
+			t.Fatalf("re-encoding not stable:\n first: %x\nsecond: %x", re, reAgain)
+		}
+	})
+}
