@@ -8,7 +8,7 @@ GO ?= go
 BENCH ?= BenchmarkFig13
 PROFILE_DIR ?= .profiles
 
-.PHONY: all build vet test test-short bench bench-fig12 fuzz profile clean
+.PHONY: all build vet test test-short test-race bench bench-fig12 bench-wal fuzz profile clean
 
 all: vet build test
 
@@ -24,6 +24,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-detect the fast packages (mirrors the CI race job; the bench
+# harness runs full workloads and is too slow under the race detector).
+test-race:
+	$(GO) test -race $$($(GO) list ./internal/... | grep -v /bench)
+
 # Figure benchmarks (see bench_test.go; cmd/fidesbench runs the
 # paper-scale sweeps as tables).
 bench:
@@ -31,6 +36,10 @@ bench:
 
 bench-fig12:
 	$(GO) test -run xxx -bench 'BenchmarkFig12' -benchtime 3x .
+
+# WAL append cost per ~100-txn block across fsync disciplines.
+bench-wal:
+	$(GO) test -run xxx -bench 'BenchmarkWALAppend' -benchtime 500x ./internal/durable
 
 # Wire-codec robustness: decode must never panic on arbitrary bytes.
 fuzz:

@@ -36,6 +36,9 @@ func main() {
 		clients      = flag.Int("clients", 2, "client identities to generate")
 		multiVersion = flag.Bool("multi-version", false, "retain historical versions")
 		out          = flag.String("out", "deployment.json", "output path")
+		dataDir      = flag.String("data-dir", "", "deployment-wide data directory for WAL+snapshot durability (empty = in-memory servers)")
+		fsync        = flag.String("fsync", "", "WAL flush discipline: always|group|off")
+		snapEvery    = flag.Int("snapshot-every", 0, "snapshot each shard every N blocks (0 = no snapshots)")
 	)
 	flag.Parse()
 
@@ -44,6 +47,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fides-keygen: %v\n", err)
 		os.Exit(1)
 	}
+	d.DataDir = *dataDir
+	d.Fsync = *fsync
+	d.SnapshotEvery = *snapEvery
 	if err := d.Save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "fides-keygen: %v\n", err)
 		os.Exit(1)

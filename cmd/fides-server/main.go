@@ -5,6 +5,15 @@
 //
 //	fides-server -deployment deployment.json -index 0
 //
+// With -data-dir (or a data_dir in the descriptor) the server persists its
+// tamper-proof log in a write-ahead log plus periodic shard snapshots, and
+// starts by verified crash recovery: the on-disk chain is re-verified
+// (hash pointers, collective signatures, Merkle roots) because the disk is
+// part of the untrusted infrastructure. A tampered log is refused; a torn
+// tail from a crash is truncated.
+//
+//	fides-server -deployment deployment.json -index 0 -data-dir ./data -fsync group
+//
 // See cmd/fides-keygen for generating a deployment and cmd/fides-client
 // for driving it.
 package main
@@ -15,11 +24,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/durable"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/server"
@@ -33,15 +44,18 @@ func main() {
 	var (
 		deploymentPath = flag.String("deployment", "deployment.json", "deployment descriptor")
 		index          = flag.Int("index", 0, "this server's index in the deployment")
+		dataDir        = flag.String("data-dir", "", "persist WAL+snapshots under this directory (overrides the descriptor; empty = descriptor's data_dir, or in-memory)")
+		fsync          = flag.String("fsync", "", "WAL flush discipline: always|group|off (overrides the descriptor)")
+		snapEvery      = flag.Int("snapshot-every", 0, "snapshot the shard every N blocks (overrides the descriptor; 0 = descriptor's value)")
 	)
 	flag.Parse()
-	if err := run(*deploymentPath, *index); err != nil {
+	if err := run(*deploymentPath, *index, *dataDir, *fsync, *snapEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "fides-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, index int) error {
+func run(path string, index int, dataDir, fsync string, snapEvery int) error {
 	d, err := deploy.Load(path)
 	if err != nil {
 		return err
@@ -60,19 +74,75 @@ func run(path string, index int) error {
 	}
 	dir := d.Directory()
 
+	if dataDir == "" {
+		dataDir = d.DataDir
+	}
+	if fsync == "" {
+		fsync = d.Fsync
+	}
+	if snapEvery == 0 {
+		snapEvery = d.SnapshotEvery
+	}
+
 	items := make([]txn.ItemID, d.ItemsPerShard)
 	for j := 0; j < d.ItemsPerShard; j++ {
 		items[j] = core.ItemName(index, j)
 	}
-	shard := store.NewShard(items, func(txn.ItemID) []byte { return []byte("0") },
-		store.Config{MultiVersion: d.MultiVersion})
+	initial := func(txn.ItemID) []byte { return []byte("0") }
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Identity:  ident,
 		Registry:  reg,
 		Directory: dir,
-		Shard:     shard,
-	})
+	}
+	if dataDir == "" {
+		scfg.Shard = store.NewShard(items, initial, store.Config{MultiVersion: d.MultiVersion})
+	} else {
+		mode, err := durable.ParseFsyncMode(fsync)
+		if err != nil {
+			return err
+		}
+		dstore, err := durable.Open(durable.Options{
+			Dir:           filepath.Join(dataDir, string(ident.ID)),
+			Fsync:         mode,
+			SnapshotEvery: snapEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = dstore.Close() }()
+		rec, err := dstore.Recover(durable.RecoveryConfig{
+			Registry:     reg,
+			Self:         ident.ID,
+			ShardIDs:     items,
+			InitialValue: initial,
+			MultiVersion: d.MultiVersion,
+		})
+		if err != nil {
+			return fmt.Errorf("recovery: %w", err)
+		}
+		log, err := ledger.NewLogFromBlocks(rec.Blocks)
+		if err != nil {
+			return fmt.Errorf("recovered log: %w", err)
+		}
+		log.SetPersister(dstore)
+		scfg.Shard = rec.Shard
+		scfg.Log = log
+		scfg.Snapshot = dstore
+		fmt.Printf("server %s recovered %d blocks (fsync=%s", ident.ID, len(rec.Blocks), mode)
+		if rec.SnapshotUsed {
+			fmt.Printf(", snapshot at height %d", rec.SnapshotHeight)
+		}
+		if rec.Scan.TornTail {
+			fmt.Printf(", truncated %d torn bytes", rec.Scan.TornBytes)
+		}
+		fmt.Println(")")
+		for _, w := range rec.Warnings {
+			fmt.Printf("server %s recovery warning: %s\n", ident.ID, w)
+		}
+	}
+
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -98,6 +168,7 @@ func run(path string, index int) error {
 			return err
 		}
 		batcher := core.NewBatcher(coreCommitter{coord}, reg, d.BatchSize, 5*time.Millisecond)
+		batcher.Observe(srv.LastCommitted())
 		defer batcher.Close()
 		srv.SetTerminator(batcher)
 		fmt.Printf("server %s (coordinator) listening on %s\n", ident.ID, node.Addr())

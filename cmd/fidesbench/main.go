@@ -5,12 +5,17 @@
 //	fidesbench -exp fig13      # txns per block 2..120, 5 servers
 //	fidesbench -exp fig14      # servers 3..9, 100 txn/block, MHT time
 //	fidesbench -exp fig15      # items per shard 1k..10k
+//	fidesbench -exp durability # fsync=off|group|always TFCommit cost
 //	fidesbench -exp all        # everything
 //
 // The paper runs 1000 client requests per data point, averaged over 3
 // runs; -requests and -runs scale that down for quick passes. -latency
 // sets the simulated one-way network latency standing in for the paper's
 // intra-datacenter EC2 network.
+//
+// -json writes every measured data point to a machine-readable report
+// (e.g. BENCH_PR2.json) so the performance trajectory is tracked across
+// PRs.
 package main
 
 import (
@@ -24,11 +29,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig12, fig13, fig14, fig15, or all")
+		exp      = flag.String("exp", "all", "experiment: fig12, fig13, fig14, fig15, durability, or all")
 		requests = flag.Int("requests", 1000, "client transactions per data point (paper: 1000)")
 		runs     = flag.Int("runs", 3, "runs averaged per data point (paper: 3)")
 		latency  = flag.Duration("latency", 250*time.Microsecond, "simulated one-way network latency")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		jsonOut  = flag.String("json", "", "also write all data points to this JSON report file")
 	)
 	flag.Parse()
 
@@ -39,19 +45,38 @@ func main() {
 		Seed:           *seed,
 	}
 
+	var rows []bench.Row
 	run := func(name string) error {
 		switch name {
 		case "fig12":
-			_, err := bench.Fig12(os.Stdout, opts)
+			out, err := bench.Fig12(os.Stdout, opts)
+			for _, r := range out {
+				rows = append(rows, bench.RowFromMetrics("fig12", r.TwoPC), bench.RowFromMetrics("fig12", r.TFC))
+			}
 			return err
 		case "fig13":
-			_, err := bench.Fig13(os.Stdout, opts)
+			out, err := bench.Fig13(os.Stdout, opts)
+			for _, m := range out {
+				rows = append(rows, bench.RowFromMetrics("fig13", m))
+			}
 			return err
 		case "fig14":
-			_, err := bench.Fig14(os.Stdout, opts)
+			out, err := bench.Fig14(os.Stdout, opts)
+			for _, m := range out {
+				rows = append(rows, bench.RowFromMetrics("fig14", m))
+			}
 			return err
 		case "fig15":
-			_, err := bench.Fig15(os.Stdout, opts)
+			out, err := bench.Fig15(os.Stdout, opts)
+			for _, m := range out {
+				rows = append(rows, bench.RowFromMetrics("fig15", m))
+			}
+			return err
+		case "durability":
+			out, err := bench.Durability(os.Stdout, opts)
+			for _, m := range out {
+				rows = append(rows, bench.RowFromMetrics("durability", m))
+			}
 			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
@@ -60,7 +85,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"fig12", "fig13", "fig14", "fig15"}
+		names = []string{"fig12", "fig13", "fig14", "fig15", "durability"}
 	} else {
 		names = []string{*exp}
 	}
@@ -72,5 +97,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fidesbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *jsonOut != "" {
+		if err := bench.WriteReport(*jsonOut, opts, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "fidesbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d data points to %s\n", len(rows), *jsonOut)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/server"
@@ -49,12 +50,22 @@ type (
 	// designated coordinator, and the shared key registry.
 	Cluster = core.Cluster
 	// Config describes a cluster (servers, shard sizes, batch size,
-	// protocol, simulated network latency, fault injection).
+	// protocol, simulated network latency, durability, fault injection).
 	Config = core.Config
 	// Protocol selects the commitment protocol.
 	Protocol = core.Protocol
 	// Directory maps items to the servers storing them.
 	Directory = core.Directory
+	// FsyncMode selects the WAL flush discipline of a durable cluster
+	// (Config.DataDir): FsyncAlways, FsyncGroup (default), or FsyncOff.
+	FsyncMode = durable.FsyncMode
+)
+
+// WAL fsync disciplines for durable clusters.
+const (
+	FsyncAlways = durable.FsyncAlways
+	FsyncGroup  = durable.FsyncGroup
+	FsyncOff    = durable.FsyncOff
 )
 
 // Client-side types.

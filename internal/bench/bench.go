@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/txn"
 	"repro/internal/workload"
 )
@@ -44,6 +45,11 @@ type RunConfig struct {
 	NetworkLatency time.Duration
 	// Seed makes the workload deterministic.
 	Seed int64
+	// DataDir enables durability for the run (WAL + recovery, see
+	// internal/durable); empty keeps servers in memory.
+	DataDir string
+	// Fsync selects the WAL flush discipline when DataDir is set.
+	Fsync durable.FsyncMode
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -79,13 +85,19 @@ func (c *RunConfig) applyDefaults() {
 	}
 }
 
-// Metrics is the outcome of one experimental run.
+// Metrics is the outcome of one experimental run (or the aggregate of
+// several: rate fields are averaged, counters are summed over Runs).
 type Metrics struct {
 	Config RunConfig
 
+	// Runs is how many runs this Metrics aggregates (1 for a single Run).
+	// Counter fields (Committed, Aborted, Rejected, Blocks) are sums over
+	// all Runs; divide by Runs for per-run figures.
+	Runs int
+
 	// Committed, Aborted and Rejected count transaction outcomes; Aborted
 	// and Rejected attempts were retried until Committed reached
-	// Config.Requests.
+	// Config.Requests (per run).
 	Committed int
 	Aborted   int
 	Rejected  int
@@ -120,6 +132,8 @@ func Run(cfg RunConfig) (*Metrics, error) {
 		BatchWait:      2 * time.Millisecond,
 		NetworkLatency: cfg.NetworkLatency,
 		Protocol:       cfg.Protocol,
+		DataDir:        cfg.DataDir,
+		Fsync:          cfg.Fsync,
 	})
 	if err != nil {
 		return nil, err
@@ -192,7 +206,7 @@ func drive(cluster *core.Cluster, cfg RunConfig) (*Metrics, error) {
 	wg.Wait()
 	close(results)
 
-	m := &Metrics{Config: cfg}
+	m := &Metrics{Config: cfg, Runs: 1}
 	var latSum time.Duration
 	var latN int
 	for r := range results {

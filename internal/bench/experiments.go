@@ -3,9 +3,11 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 )
 
 // Options scale an experiment suite.
@@ -35,10 +37,29 @@ func (o *Options) applyDefaults() {
 // averaged runs a config Runs times and averages the metrics, matching the
 // paper's "each data point is an average of 3 runs".
 func averaged(cfg RunConfig, runs int) (*Metrics, error) {
-	var acc Metrics
+	return averagedWith(cfg, runs, nil)
+}
+
+// averagedWith is averaged with a per-run hook that may adjust the run's
+// config (e.g. point it at a fresh data directory) and return a cleanup.
+// Rate fields are averaged over the runs; counters are summed, with
+// Metrics.Runs recording the divisor.
+func averagedWith(cfg RunConfig, runs int, perRun func(*RunConfig) (cleanup func(), err error)) (*Metrics, error) {
+	acc := Metrics{Runs: runs}
 	for i := 0; i < runs; i++ {
 		cfg.Seed += int64(i+1) * 104729
-		m, err := Run(cfg)
+		run := cfg
+		var cleanup func()
+		if perRun != nil {
+			var err error
+			if cleanup, err = perRun(&run); err != nil {
+				return nil, err
+			}
+		}
+		m, err := Run(run)
+		if cleanup != nil {
+			cleanup()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -155,6 +176,55 @@ func Fig14(w io.Writer, opts Options) ([]*Metrics, error) {
 		}
 		out = append(out, m)
 		fmt.Fprintf(w, "%-8d %12.0f %12.3f %14.3f\n", servers, m.ThroughputTPS, m.LatencyMS, m.MHTUpdateMS)
+	}
+	return out, nil
+}
+
+// Durability measures what the write-ahead log costs the TFCommit hot
+// path: the same workload as Figure 13's 100-txn/block point, run with
+// servers in memory and then with the WAL under each fsync discipline.
+// Every run starts on a fresh data directory so recovery replay does not
+// pollute the measurement.
+func Durability(w io.Writer, opts Options) ([]*Metrics, error) {
+	opts.applyDefaults()
+	fmt.Fprintf(w, "Durability — WAL cost on TFCommit (5 servers, 100 txn/block, %d txns, avg of %d runs)\n",
+		opts.Requests, opts.Runs)
+	fmt.Fprintf(w, "%-10s %12s %12s %10s\n", "wal", "tput_tps", "lat_ms", "blocks")
+
+	modes := []struct {
+		name    string
+		durable bool
+		mode    durable.FsyncMode
+	}{
+		{"memory", false, 0},
+		{"off", true, durable.FsyncOff},
+		{"group", true, durable.FsyncGroup},
+		{"always", true, durable.FsyncAlways},
+	}
+	var out []*Metrics
+	for _, m := range modes {
+		cfg := RunConfig{
+			Servers: 5, Batch: 100, Requests: opts.Requests,
+			NetworkLatency: opts.NetworkLatency, Seed: opts.Seed,
+			Fsync: m.mode,
+		}
+		var perRun func(*RunConfig) (func(), error)
+		if m.durable {
+			perRun = func(run *RunConfig) (func(), error) {
+				tmp, err := os.MkdirTemp("", "fidesbench-wal-*")
+				if err != nil {
+					return nil, fmt.Errorf("durability: %w", err)
+				}
+				run.DataDir = tmp
+				return func() { _ = os.RemoveAll(tmp) }, nil
+			}
+		}
+		acc, err := averagedWith(cfg, opts.Runs, perRun)
+		if err != nil {
+			return nil, fmt.Errorf("durability wal=%s: %w", m.name, err)
+		}
+		out = append(out, acc)
+		fmt.Fprintf(w, "%-10s %12.0f %12.3f %10d\n", m.name, acc.ThroughputTPS, acc.LatencyMS, acc.Blocks/opts.Runs)
 	}
 	return out, nil
 }

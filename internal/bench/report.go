@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Row is one machine-readable data point of a benchmark report: the
+// configuration knobs that identify the point plus the measured series.
+// cmd/fidesbench emits these as BENCH_PR*.json so the performance
+// trajectory can be tracked PR over PR. Every field is per-run (rates are
+// averaged, counters divided by Runs), so rows are comparable regardless
+// of how many runs produced them.
+type Row struct {
+	Experiment    string  `json:"experiment"`
+	Protocol      string  `json:"protocol"`
+	Servers       int     `json:"servers"`
+	Batch         int     `json:"batch"`
+	ItemsPerShard int     `json:"items_per_shard"`
+	Requests      int     `json:"requests"`
+	Runs          int     `json:"runs"`
+	LatencyUS     int64   `json:"net_latency_us"`
+	Fsync         string  `json:"fsync,omitempty"`
+	TPS           float64 `json:"tps"`
+	LatMS         float64 `json:"lat_ms"`
+	EndToEndMS    float64 `json:"end_to_end_ms"`
+	MHTUpdateMS   float64 `json:"mht_update_ms"`
+	Blocks        float64 `json:"blocks_per_run"`
+	Aborted       float64 `json:"aborted_per_run"`
+	Rejected      float64 `json:"rejected_per_run"`
+}
+
+// RowFromMetrics flattens an (optionally multi-run) Metrics into a
+// per-run report row.
+func RowFromMetrics(experiment string, m *Metrics) Row {
+	runs := m.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	f := float64(runs)
+	r := Row{
+		Experiment:    experiment,
+		Protocol:      m.Config.Protocol.String(),
+		Servers:       m.Config.Servers,
+		Batch:         m.Config.Batch,
+		ItemsPerShard: m.Config.ItemsPerShard,
+		Requests:      m.Config.Requests,
+		Runs:          runs,
+		LatencyUS:     m.Config.NetworkLatency.Microseconds(),
+		TPS:           m.ThroughputTPS,
+		LatMS:         m.LatencyMS,
+		EndToEndMS:    m.EndToEndMS,
+		MHTUpdateMS:   m.MHTUpdateMS,
+		Blocks:        float64(m.Blocks) / f,
+		Aborted:       float64(m.Aborted) / f,
+		Rejected:      float64(m.Rejected) / f,
+	}
+	if m.Config.DataDir != "" {
+		r.Fsync = m.Config.Fsync.String()
+	}
+	return r
+}
+
+// Report is the file-level envelope of a machine-readable benchmark run.
+type Report struct {
+	Schema      string    `json:"schema"`
+	GeneratedAt time.Time `json:"generated_at"`
+	Options     Options   `json:"options"`
+	Rows        []Row     `json:"rows"`
+}
+
+// WriteReport writes the rows as an indented JSON report file.
+func WriteReport(path string, opts Options, rows []Row) error {
+	rep := Report{
+		Schema:      "fidesbench/v1",
+		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		Options:     opts,
+		Rows:        rows,
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: report: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("bench: report: %w", err)
+	}
+	return nil
+}

@@ -120,6 +120,15 @@ func (b *Batcher) Terminate(ctx context.Context, env identity.Envelope) (*wire.E
 	}
 }
 
+// Observe advances the service's last-committed watermark. Recovery seeds
+// it so a restarted coordinator keeps enforcing §4.3.1's stale-timestamp
+// rejection from where the recovered log left off.
+func (b *Batcher) Observe(ts txn.Timestamp) {
+	b.mu.Lock()
+	b.lastMax = b.lastMax.Max(ts)
+	b.mu.Unlock()
+}
+
 // Close stops the batching loop and fails queued requests.
 func (b *Batcher) Close() {
 	b.closeOnce.Do(func() {

@@ -102,15 +102,28 @@ func TestBatcherPacksConcurrentRequests(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			env := sign(fmt.Sprintf("t%d", i), uint64(10+i), txn.ItemID(fmt.Sprintf("item%d", i)))
-			resp, err := b.Terminate(context.Background(), env)
-			if err != nil {
-				errs <- err
-				return
+			// Under scheduler noise (notably -race) the eight requests can
+			// split across blocks, and a lower timestamp arriving after a
+			// higher one committed is *rejected* per §4.3.1 — retry with a
+			// fast-forwarded timestamp exactly as a real client does.
+			ts := uint64(10 + i)
+			for attempt := 0; attempt < 50; attempt++ {
+				env := sign(fmt.Sprintf("t%d", i), ts, txn.ItemID(fmt.Sprintf("item%d", i)))
+				resp, err := b.Terminate(context.Background(), env)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Committed {
+					return
+				}
+				if !resp.Rejected {
+					errs <- fmt.Errorf("t%d aborted", i)
+					return
+				}
+				ts = resp.LatestTS.Time + 1 + uint64(i)
 			}
-			if !resp.Committed {
-				errs <- fmt.Errorf("t%d not committed", i)
-			}
+			errs <- fmt.Errorf("t%d still rejected after retries", i)
 		}(i)
 	}
 	wg.Wait()

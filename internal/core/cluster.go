@@ -11,12 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/client"
+	"repro/internal/durable"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/server"
@@ -76,6 +78,18 @@ type Config struct {
 	// in-process network. NetworkLatency is ignored in TCP mode (the real
 	// stack supplies the latency).
 	TCP bool
+	// DataDir enables durability: every server keeps a write-ahead log of
+	// its tamper-proof log (and periodic shard snapshots) under
+	// DataDir/<server-id>/, and a cluster built on a non-empty DataDir
+	// starts by verified crash recovery. Server identities are persisted in
+	// the directory so recovered co-signs stay verifiable. Empty (default)
+	// keeps everything in memory.
+	DataDir string
+	// Fsync selects the WAL flush discipline (default group commit).
+	Fsync durable.FsyncMode
+	// SnapshotEvery writes a shard snapshot every N committed blocks
+	// (0 disables snapshots; ignored without DataDir).
+	SnapshotEvery int
 	// ServerFaults configures per-server misbehavior, keyed by server index
 	// (0-based, in server-id order).
 	ServerFaults map[int]server.Faults
@@ -120,6 +134,7 @@ type Cluster struct {
 	coordID   identity.NodeID
 	batcher   *Batcher
 	tfc       *tfcommit.Coordinator
+	recovered map[identity.NodeID]*durable.Recovered
 
 	// TCP mode state.
 	tcpAddrs map[identity.NodeID]string
@@ -170,25 +185,53 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	cfg.applyDefaults()
 
 	c := &Cluster{
-		cfg:      cfg,
-		net:      transport.NewLocalNetwork(cfg.NetworkLatency),
-		reg:      identity.NewRegistry(),
-		servers:  make(map[identity.NodeID]*server.Server, cfg.NumServers),
-		tcpAddrs: make(map[identity.NodeID]string),
-		tcpNodes: make(map[identity.NodeID]*transport.TCPNode),
+		cfg:       cfg,
+		net:       transport.NewLocalNetwork(cfg.NetworkLatency),
+		reg:       identity.NewRegistry(),
+		servers:   make(map[identity.NodeID]*server.Server, cfg.NumServers),
+		recovered: make(map[identity.NodeID]*durable.Recovered),
+		tcpAddrs:  make(map[identity.NodeID]string),
+		tcpNodes:  make(map[identity.NodeID]*transport.TCPNode),
 	}
+	// On any construction failure, release whatever was already opened
+	// (durable stores, TCP sockets).
+	built := false
+	defer func() {
+		if !built {
+			c.mu.Lock()
+			closers := c.closers
+			c.closers = nil
+			c.mu.Unlock()
+			for _, cl := range closers {
+				_ = cl.Close()
+			}
+		}
+	}()
 
-	// Identities and shard layout.
-	idents := make([]*identity.Identity, cfg.NumServers)
+	// Identities and shard layout. With a data directory the server keys
+	// are persistent — a restarted cluster must be the same signer set or
+	// none of the recovered collective signatures would verify.
+	var idents []*identity.Identity
+	if cfg.DataDir != "" {
+		var err error
+		idents, err = loadOrCreateServerIdents(cfg.DataDir, cfg.NumServers)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		idents = make([]*identity.Identity, cfg.NumServers)
+		for i := 0; i < cfg.NumServers; i++ {
+			ident, err := identity.New(ServerName(i), identity.RoleServer, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			idents[i] = ident
+		}
+	}
 	shards := make(map[identity.NodeID][]txn.ItemID, cfg.NumServers)
 	for i := 0; i < cfg.NumServers; i++ {
 		id := ServerName(i)
-		ident, err := identity.New(id, identity.RoleServer, nil)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		idents[i] = ident
-		c.reg.Register(ident.Public())
+		c.reg.Register(idents[i].Public())
 		c.serverIDs = append(c.serverIDs, id)
 
 		items := make([]txn.ItemID, cfg.ItemsPerShard)
@@ -199,18 +242,52 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.dir = NewDirectory(shards)
 
-	// Servers and their endpoints.
+	// Servers and their endpoints. With a data directory each server opens
+	// its durable store and starts from verified crash recovery.
 	endpoints := make(map[identity.NodeID]transport.Transport, cfg.NumServers)
 	for i := 0; i < cfg.NumServers; i++ {
 		id := c.serverIDs[i]
-		shard := newShardFor(c.dir, id, cfg)
-		srv, err := server.New(server.Config{
+		scfg := server.Config{
 			Identity:  idents[i],
 			Registry:  c.reg,
 			Directory: c.dir,
-			Shard:     shard,
 			Faults:    cfg.ServerFaults[i],
-		})
+		}
+		if cfg.DataDir == "" {
+			scfg.Shard = newShardFor(c.dir, id, cfg)
+		} else {
+			dstore, err := durable.Open(durable.Options{
+				Dir:           filepath.Join(cfg.DataDir, string(id)),
+				Fsync:         cfg.Fsync,
+				SnapshotEvery: cfg.SnapshotEvery,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: server %s: %w", id, err)
+			}
+			c.mu.Lock()
+			c.closers = append(c.closers, dstore)
+			c.mu.Unlock()
+			rec, err := dstore.Recover(durable.RecoveryConfig{
+				Registry:     c.reg,
+				Self:         id,
+				ShardIDs:     c.dir.ShardItems(id),
+				InitialValue: cfg.InitialValue,
+				MultiVersion: cfg.MultiVersion,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: server %s: recovery: %w", id, err)
+			}
+			log, err := ledger.NewLogFromBlocks(rec.Blocks)
+			if err != nil {
+				return nil, fmt.Errorf("core: server %s: recovered log: %w", id, err)
+			}
+			log.SetPersister(dstore)
+			scfg.Shard = rec.Shard
+			scfg.Log = log
+			scfg.Snapshot = dstore
+			c.recovered[id] = rec
+		}
+		srv, err := server.New(scfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: server %s: %w", id, err)
 		}
@@ -263,8 +340,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	c.batcher = NewBatcher(committer, c.reg, cfg.BatchSize, cfg.BatchWait)
+	// A recovered coordinator keeps rejecting timestamps at or below the
+	// recovered watermark instead of letting doomed blocks reach cohorts.
+	c.batcher.Observe(coordSrv.LastCommitted())
 	coordSrv.SetTerminator(c.batcher)
+	built = true
 	return c, nil
+}
+
+// Recovery returns what crash recovery found for a server (nil when the
+// cluster is not durable or the id is unknown).
+func (c *Cluster) Recovery(id identity.NodeID) *durable.Recovered {
+	return c.recovered[id]
 }
 
 func newShardFor(dir *Directory, id identity.NodeID, cfg Config) *store.Shard {

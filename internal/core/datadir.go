@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/identity"
+)
+
+// serverKeysFile is where a durable cluster persists its server identities.
+// Keys must survive restarts: the recovered log's collective signatures
+// verify only against the keys that produced them, so a restarted cluster
+// must come back as the *same* servers (paper §3.1's public-key
+// infrastructure is long-lived; fresh keys per boot would make every stored
+// co-sign unverifiable and recovery impossible).
+const serverKeysFile = "server-keys.json"
+
+// loadOrCreateServerIdents returns the n persistent server identities of a
+// data directory, generating and saving them on first boot.
+func loadOrCreateServerIdents(dataDir string, n int) ([]*identity.Identity, error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: data dir: %w", err)
+	}
+	path := filepath.Join(dataDir, serverKeysFile)
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var files []identity.KeyFile
+		if err := json.Unmarshal(raw, &files); err != nil {
+			return nil, fmt.Errorf("core: parse %s: %w", path, err)
+		}
+		if len(files) != n {
+			return nil, fmt.Errorf("core: %s holds %d server identities, cluster wants %d", path, len(files), n)
+		}
+		idents := make([]*identity.Identity, n)
+		for i, kf := range files {
+			if kf.ID != ServerName(i) {
+				return nil, fmt.Errorf("core: %s entry %d is %q, want %q", path, i, kf.ID, ServerName(i))
+			}
+			ident, err := identity.Import(kf)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: %w", path, err)
+			}
+			idents[i] = ident
+		}
+		return idents, nil
+	case os.IsNotExist(err):
+		idents := make([]*identity.Identity, n)
+		files := make([]identity.KeyFile, n)
+		for i := 0; i < n; i++ {
+			ident, err := identity.New(ServerName(i), identity.RoleServer, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			idents[i] = ident
+			files[i] = ident.Export()
+		}
+		raw, err := json.MarshalIndent(files, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := os.WriteFile(path, raw, 0o600); err != nil {
+			return nil, fmt.Errorf("core: save %s: %w", path, err)
+		}
+		return idents, nil
+	default:
+		return nil, fmt.Errorf("core: read %s: %w", path, err)
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/durable"
+	"repro/internal/identity"
+	"repro/internal/txn"
+)
+
+// durableConfig is the shared configuration of the recovery tests: small
+// shards, durability on, a snapshot cadence low enough to exercise the
+// snapshot fast path.
+func durableConfig(dataDir string) Config {
+	return Config{
+		NumServers:    3,
+		ItemsPerShard: 32,
+		BatchSize:     2,
+		BatchWait:     500 * time.Microsecond,
+		DataDir:       dataDir,
+		SnapshotEvery: 2,
+	}
+}
+
+// commitSome drives n committed transactions through fresh clients,
+// spreading writes across all shards, and returns the values written.
+func commitSome(t *testing.T, c *Cluster, n, from int) map[txn.ItemID][]byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	written := make(map[txn.ItemID][]byte)
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := from; i < from+n; i++ {
+		item := ItemName(i%3, i%8)
+		val := []byte(fmt.Sprintf("val-%d", i))
+		// Retry through rejections (stale timestamps after recovery) and
+		// OCC aborts, like a real client driver.
+		for attempt := 0; ; attempt++ {
+			if attempt > 200 {
+				t.Fatalf("txn %d failed to commit after %d attempts", i, attempt)
+			}
+			s := cl.Begin()
+			if _, err := s.Read(ctx, item); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if err := s.Write(ctx, item, val); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			res, err := s.Commit(ctx)
+			if err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			if res.Committed {
+				break
+			}
+		}
+		written[item] = val
+	}
+	return written
+}
+
+// TestKillAndRecoverCluster is the acceptance scenario: a durable cluster
+// is killed mid-workload, restarted on the same data directory, and must
+// come back with the full shard state and block log, a recovered Merkle
+// root matching the last committed block, and a clean post-recovery audit.
+func TestKillAndRecoverCluster(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := durableConfig(dataDir)
+
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	written := commitSome(t, c, 8, 0)
+
+	// Kill while a background client is still hammering the coordinator:
+	// in-flight terminations die with the process, committed blocks must
+	// not.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		cl, err := c.NewClient()
+		if err != nil {
+			return
+		}
+		for i := 100; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := cl.Begin()
+			if err := s.Write(ctx, ItemName(i%3, 8+i%8), []byte("inflight")); err != nil {
+				return
+			}
+			if _, err := s.Commit(ctx); err != nil {
+				return // batcher closed mid-flight: expected at kill time
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Close()
+	close(stop)
+	wg.Wait()
+
+	heights := make(map[int]int)
+	roots := make(map[int][]byte)
+	for i := 0; i < cfg.NumServers; i++ {
+		heights[i] = c.ServerAt(i).Log().Len()
+		roots[i] = c.ServerAt(i).Shard().Root()
+	}
+	if heights[0] == 0 {
+		t.Fatal("no blocks committed before the kill")
+	}
+
+	// Restart on the same data directory.
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer c2.Close()
+
+	for i := 0; i < cfg.NumServers; i++ {
+		srv := c2.ServerAt(i)
+		if got := srv.Log().Len(); got != heights[i] {
+			t.Errorf("server %d recovered %d blocks, want %d", i, got, heights[i])
+		}
+		if !bytes.Equal(srv.Shard().Root(), roots[i]) {
+			t.Errorf("server %d recovered shard root differs from pre-kill root", i)
+		}
+		// The recovered root must match the last co-signed root in the log.
+		var want []byte
+		for _, b := range srv.Log().Blocks() {
+			if r, ok := b.Roots[srv.ID()]; ok {
+				want = r
+			}
+		}
+		if want != nil && !bytes.Equal(srv.Shard().Root(), want) {
+			t.Errorf("server %d recovered root does not match its last co-signed root", i)
+		}
+		if rec := c2.Recovery(srv.ID()); rec == nil {
+			t.Errorf("server %d has no recovery info", i)
+		} else if len(rec.Warnings) > 0 {
+			t.Errorf("server %d recovery warnings: %v", i, rec.Warnings)
+		}
+	}
+
+	// Recovered values are served to clients.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	cl, err := c2.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cl.Begin()
+	for item, val := range written {
+		got, err := s.Read(ctx, item)
+		if err != nil {
+			t.Fatalf("read %s after recovery: %v", item, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Errorf("item %s = %q after recovery, want %q", item, got, val)
+		}
+	}
+
+	// A post-recovery audit over the recovered logs and datastores passes.
+	report, err := c2.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatalf("post-recovery audit: %v", err)
+	}
+	if !report.Clean() {
+		t.Fatalf("post-recovery audit found: %+v", report.Findings)
+	}
+
+	// And the recovered cluster keeps committing — heights continue, new
+	// timestamps clear the recovered watermark.
+	commitSome(t, c2, 4, 50)
+	if got := c2.ServerAt(0).Log().Len(); got <= heights[0] {
+		t.Errorf("log did not grow after recovery: %d ≤ %d", got, heights[0])
+	}
+	report, err = c2.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("audit after post-recovery commits found: %+v", report.Findings)
+	}
+}
+
+// TestRecoverMultiVersionCluster: multi-versioned shards are rebuilt by
+// full replay (their history is the block log) and keep serving historical
+// audits after recovery.
+func TestRecoverMultiVersionCluster(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := durableConfig(dataDir)
+	cfg.MultiVersion = true
+
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitSome(t, c, 6, 0)
+	c.Close()
+
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer c2.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	report, err := c2.Audit(ctx, audit.Options{CheckDatastore: true, MultiVersion: true, Exhaustive: true})
+	if err != nil {
+		t.Fatalf("exhaustive multi-version audit after recovery: %v", err)
+	}
+	if !report.Clean() {
+		t.Fatalf("audit found: %+v", report.Findings)
+	}
+}
+
+// TestRecoveryRefusesTamperedWAL: a byte flipped inside a committed WAL
+// record — with the CRC recomputed so the damage cannot pass as a torn
+// write — must fail cluster startup with a tamper error, never a silently
+// shortened or altered log.
+func TestRecoveryRefusesTamperedWAL(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := durableConfig(dataDir)
+
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitSome(t, c, 4, 0)
+	c.Close()
+
+	// Tamper server s01's first WAL record and fix its CRC.
+	seg := filepath.Join(dataDir, "s01", "wal-0000000000000000.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const segHeaderLen, recHeaderLen = 17, 8
+	l := binary.BigEndian.Uint32(data[segHeaderLen:])
+	payload := data[segHeaderLen+recHeaderLen : segHeaderLen+recHeaderLen+int(l)]
+	payload[len(payload)/2] ^= 0x01
+	crc := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+	binary.BigEndian.PutUint32(data[segHeaderLen+4:], crc)
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = NewCluster(cfg)
+	if !errors.Is(err, durable.ErrTampered) {
+		t.Fatalf("NewCluster on tampered WAL: err = %v, want durable.ErrTampered", err)
+	}
+}
+
+// TestRecoveryRestoresOCCWatermark: a restarted cluster must keep
+// rejecting commit timestamps at or below the recovered watermark — a
+// replayed or stale-clock transaction cannot slip under the recovered log.
+func TestRecoveryRestoresOCCWatermark(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := durableConfig(dataDir)
+
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitSome(t, c, 4, 0)
+	last := c.ServerAt(0).LastCommitted()
+	c.Close()
+
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for i := 0; i < cfg.NumServers; i++ {
+		if got := c2.ServerAt(i).LastCommitted(); got != last {
+			t.Errorf("server %d recovered watermark %v, want %v", i, got, last)
+		}
+	}
+
+	// A direct commit with a stale (pre-recovery) timestamp must abort.
+	ident, err := c2.NewClientIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := &txn.Transaction{
+		ID: "stale-after-recovery",
+		TS: txn.Timestamp{Time: 1, ClientID: 9999},
+		Writes: []txn.WriteEntry{{
+			ID:     ItemName(1, 0),
+			NewVal: []byte("sneak"),
+		}},
+	}
+	env, err := SignTxn(ident, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, committed, err := c2.CommitBlockDirect(ctx, []*txn.Transaction{stale}, []identity.Envelope{env})
+	if err == nil && committed {
+		t.Fatal("stale-timestamp transaction committed after recovery")
+	}
+}

@@ -30,6 +30,17 @@ type Deployment struct {
 	BatchSize     int                `json:"batch_size"`
 	Servers       []ServerSpec       `json:"servers"`
 	Clients       []identity.KeyFile `json:"clients"`
+
+	// DataDir enables durability: server i persists its write-ahead log
+	// and snapshots under DataDir/<server-id>/ and recovers from them at
+	// startup. Empty keeps servers in memory (cmd/fides-server's
+	// -data-dir flag overrides this field).
+	DataDir string `json:"data_dir,omitempty"`
+	// Fsync is the WAL flush discipline: always, group (default), or off.
+	Fsync string `json:"fsync,omitempty"`
+	// SnapshotEvery writes a shard snapshot every N committed blocks
+	// (0 disables snapshots).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
 }
 
 // Generate creates a fresh deployment of n servers listening on

@@ -1,0 +1,117 @@
+// Package durable persists a Fides server's tamper-proof log and datastore
+// on local disk and recovers them after a crash — treating the disk itself
+// as part of the *untrusted infrastructure* (paper §3.1: servers, and
+// therefore their storage, are untrusted).
+//
+// Two artifacts live under a server's data directory:
+//
+//   - a segmented append-only write-ahead log of binary-encoded blocks
+//     (wal-*.seg), the durable form of the tamper-proof log. Every record
+//     carries a CRC32C so crash artifacts (torn or bit-rotted tails) are
+//     distinguishable from tampering, but the CRC is *not* a trust anchor:
+//     recovery re-verifies the hash chain and every block's collective
+//     signature, exactly as an auditor would (§3.3, Lemma 6).
+//   - periodic shard snapshots (snap-*.snap) recording the item states, the
+//     Merkle root, and the block height, so recovery can skip replaying the
+//     full history. A snapshot is a pure cache: it is only used after its
+//     recomputed Merkle root has been matched against a root recorded in a
+//     collectively *signed* block, and any invalid or tampered snapshot is
+//     discarded in favor of verified replay from the WAL.
+//
+// The trust rules (see DESIGN.md §4):
+//
+//   - torn tail (short or CRC-failing final records): truncated — a crash
+//     artifact, the committed prefix is recovered;
+//   - structurally valid but cryptographically invalid WAL records
+//     (undecodable payload, broken hash chain, bad co-sign, Merkle root
+//     mismatch on replay): the server REFUSES to start — the disk has been
+//     tampered with and silently accepting it would launder the tampering
+//     into an authenticated state;
+//   - invalid snapshots: ignored with a warning, recovery falls back to
+//     replaying the WAL (the snapshot adds no authority; the WAL holds the
+//     full signed history).
+package durable
+
+import (
+	"fmt"
+	"time"
+)
+
+// FsyncMode selects when WAL appends are flushed to stable storage.
+type FsyncMode uint8
+
+// Fsync modes. The zero value is FsyncGroup, the production default.
+const (
+	// FsyncGroup acknowledges appends after the OS write and lets a
+	// dedicated group-commit goroutine fsync, coalescing all appends that
+	// land while a sync is in flight into the next one. The durability
+	// window is bounded by one fsync latency.
+	FsyncGroup FsyncMode = iota
+	// FsyncAlways fsyncs before every append returns: a block is never
+	// acknowledged until it is on stable storage.
+	FsyncAlways
+	// FsyncOff never fsyncs explicitly (page cache only). For tests and
+	// benchmarks; a machine crash can lose arbitrary tails (which recovery
+	// then truncates).
+	FsyncOff
+)
+
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncGroup:
+		return "group"
+	case FsyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("fsync(%d)", uint8(m))
+	}
+}
+
+// ParseFsyncMode parses "always", "group" or "off" ("" → group).
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "group", "":
+		return FsyncGroup, nil
+	case "off":
+		return FsyncOff, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown fsync mode %q (want always|group|off)", s)
+	}
+}
+
+// Options configures a durable store.
+type Options struct {
+	// Dir is the server's data directory (created if missing).
+	Dir string
+	// Fsync selects the WAL flush discipline (default FsyncGroup).
+	Fsync FsyncMode
+	// SegmentBytes rolls the WAL to a new segment once the current one
+	// exceeds this size (default 4 MiB).
+	SegmentBytes int64
+	// SnapshotEvery writes a shard snapshot every N committed blocks
+	// (0 disables automatic snapshots).
+	SnapshotEvery int
+	// SnapshotKeep retains this many snapshots, pruning older ones
+	// (default 2).
+	SnapshotKeep int
+	// GroupTimeout bounds how long the group-commit goroutine may sit idle
+	// between a buffered append and its fsync (default 2ms). Only a
+	// backstop: the syncer is also woken by every append.
+	GroupTimeout time.Duration
+}
+
+func (o *Options) applyDefaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SnapshotKeep <= 0 {
+		o.SnapshotKeep = 2
+	}
+	if o.GroupTimeout <= 0 {
+		o.GroupTimeout = 2 * time.Millisecond
+	}
+}

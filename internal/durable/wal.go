@@ -1,0 +1,465 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+// WAL on-disk format (see DESIGN.md §4.1):
+//
+//	segment := header record*
+//	header  := magic(8)="FIDESWAL" | version(1)=1 | first_height(8 BE)
+//	record  := payload_len(4 BE) | crc32c(4 BE, over payload) | payload
+//	payload := ledger.Block wire encoding (internal/ledger AppendBinary)
+//
+// Segments are named wal-<first_height:016x>.seg so lexical order is height
+// order. The log is never trimmed: it is the durable form of the
+// tamper-proof log, and audits need the full history.
+const (
+	walMagic   = "FIDESWAL"
+	walVersion = 1
+
+	segHeaderLen   = 8 + 1 + 8
+	recHeaderLen   = 4 + 4
+	maxRecordBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors surfaced by the WAL.
+var (
+	// ErrWALCorrupt marks structural damage that cannot be a torn tail: a
+	// bad record in the *interior* of the log, a malformed segment header,
+	// or a gap in the segment sequence. Recovery refuses to proceed.
+	ErrWALCorrupt = errors.New("durable: WAL corrupt")
+	// ErrWALClosed is returned for appends after Close.
+	ErrWALClosed = errors.New("durable: WAL closed")
+	// ErrOutOfOrder is returned when an appended block does not carry the
+	// next expected height.
+	ErrOutOfOrder = errors.New("durable: block height does not extend the WAL")
+)
+
+func segmentName(firstHeight uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", firstHeight)
+}
+
+// ScanReport describes what opening the WAL found on disk.
+type ScanReport struct {
+	// Segments is the number of WAL segment files.
+	Segments int
+	// Records is the number of structurally valid records recovered.
+	Records int
+	// TornTail reports that a torn tail (short or CRC-failing final
+	// records — a crash artifact) was detected and truncated.
+	TornTail bool
+	// TornBytes is the number of bytes the truncation dropped.
+	TornBytes int64
+}
+
+// WAL is the segmented append-only write-ahead log of committed blocks. It
+// is safe for concurrent use, though Fides appends blocks sequentially.
+type WAL struct {
+	opts Options
+
+	mu         sync.Mutex
+	f          *os.File
+	size       int64
+	nextHeight uint64
+	encBuf     []byte
+	dirty      bool
+	syncErr    error
+	closed     bool
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// openWAL scans dir, truncates any torn tail, positions the append cursor,
+// and returns the structurally valid record payloads in height order.
+// Cryptographic verification of the payloads is the recovery layer's job.
+func openWAL(opts Options) (*WAL, [][]byte, ScanReport, error) {
+	var report ScanReport
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, report, fmt.Errorf("durable: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(opts.Dir, "wal-*.seg"))
+	if err != nil {
+		return nil, nil, report, fmt.Errorf("durable: %w", err)
+	}
+	sort.Strings(names)
+	report.Segments = len(names)
+
+	w := &WAL{
+		opts: opts,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+
+	var payloads [][]byte
+	for i, name := range names {
+		isLast := i == len(names)-1
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, report, fmt.Errorf("durable: read %s: %w", name, err)
+		}
+		segPayloads, validLen, err := parseSegment(name, data, uint64(len(payloads)), isLast)
+		if err != nil {
+			return nil, nil, report, err
+		}
+		payloads = append(payloads, segPayloads...)
+		if int64(validLen) != int64(len(data)) {
+			// Torn tail: truncate the crash artifact so appends resume
+			// directly after the last intact record.
+			report.TornTail = true
+			report.TornBytes += int64(len(data) - validLen)
+			if err := os.Truncate(name, int64(validLen)); err != nil {
+				return nil, nil, report, fmt.Errorf("durable: truncate torn tail of %s: %w", name, err)
+			}
+			if validLen == 0 {
+				// Even the header was torn; rewrite it so the segment stays
+				// well formed.
+				if err := writeSegmentHeader(name, uint64(len(payloads))); err != nil {
+					return nil, nil, report, err
+				}
+			}
+		}
+	}
+	report.Records = len(payloads)
+	w.nextHeight = uint64(len(payloads))
+
+	if len(names) == 0 {
+		if err := w.createSegmentLocked(0); err != nil {
+			return nil, nil, report, err
+		}
+	} else {
+		last := names[len(names)-1]
+		f, err := os.OpenFile(last, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, nil, report, fmt.Errorf("durable: open %s: %w", last, err)
+		}
+		size, err := f.Seek(0, 2)
+		if err != nil {
+			_ = f.Close()
+			return nil, nil, report, fmt.Errorf("durable: seek %s: %w", last, err)
+		}
+		w.f, w.size = f, size
+	}
+
+	if w.opts.Fsync == FsyncGroup {
+		go w.syncLoop()
+	} else {
+		close(w.done)
+	}
+	return w, payloads, report, nil
+}
+
+// parseSegment validates one segment's structure and returns its record
+// payloads plus the byte length of the valid prefix. A structural failure
+// (short header, short record, CRC mismatch) in the last segment is a torn
+// tail — the valid prefix is kept and the rest will be truncated; anywhere
+// else the same failure is interior corruption and the scan refuses.
+func parseSegment(name string, data []byte, expectFirst uint64, isLast bool) ([][]byte, int, error) {
+	corrupt := func(off int, what string) error {
+		return fmt.Errorf("%w: %s at %s offset %d in non-final segment",
+			ErrWALCorrupt, what, filepath.Base(name), off)
+	}
+
+	if len(data) < segHeaderLen {
+		if isLast {
+			return nil, 0, nil // torn segment creation
+		}
+		return nil, 0, corrupt(0, "short header")
+	}
+	if string(data[:8]) != walMagic {
+		return nil, 0, fmt.Errorf("%w: %s has bad magic", ErrWALCorrupt, filepath.Base(name))
+	}
+	if data[8] != walVersion {
+		return nil, 0, fmt.Errorf("%w: %s has unsupported format version %d", ErrWALCorrupt, filepath.Base(name), data[8])
+	}
+	first := binary.BigEndian.Uint64(data[9:])
+	if first != expectFirst {
+		return nil, 0, fmt.Errorf("%w: %s declares first height %d, want %d (missing or reordered segment)",
+			ErrWALCorrupt, filepath.Base(name), first, expectFirst)
+	}
+
+	var payloads [][]byte
+	off := segHeaderLen
+	for off < len(data) {
+		rem := len(data) - off
+		bad := ""
+		var l uint32
+		switch {
+		case rem < recHeaderLen:
+			bad = "short record header"
+		default:
+			l = binary.BigEndian.Uint32(data[off:])
+			switch {
+			case l == 0 || l > maxRecordBytes:
+				bad = fmt.Sprintf("implausible record length %d", l)
+			case uint64(l) > uint64(rem-recHeaderLen):
+				bad = "short record body"
+			case crc32.Checksum(data[off+recHeaderLen:off+recHeaderLen+int(l)], crcTable) != binary.BigEndian.Uint32(data[off+4:]):
+				bad = "record CRC mismatch"
+			}
+		}
+		if bad != "" {
+			// A torn tail is always a *suffix*. Whatever field the damage
+			// hit (length, body, CRC), an intact record anywhere behind the
+			// failure point proves the damage is interior — corruption of
+			// committed data, never a crash artifact — and truncating would
+			// silently roll back acknowledged blocks.
+			if isLast && !anyValidRecordAfter(data, off+1) {
+				return payloads, off, nil // torn tail: keep the valid prefix
+			}
+			if isLast {
+				return nil, 0, fmt.Errorf("%w: %s at %s offset %d with intact records after it",
+					ErrWALCorrupt, bad, filepath.Base(name), off)
+			}
+			return nil, 0, corrupt(off, bad)
+		}
+		payloads = append(payloads, data[off+recHeaderLen:off+recHeaderLen+int(l)])
+		off += recHeaderLen + int(l)
+	}
+	return payloads, off, nil
+}
+
+// anyValidRecordAfter reports whether a structurally valid record starts at
+// any offset ≥ from. It runs only on a segment's failure path, so the
+// byte-by-byte scan costs nothing in healthy operation; a 2⁻³² accidental
+// CRC match in torn garbage merely fails safe (startup refuses and the
+// operator inspects, instead of data being truncated).
+func anyValidRecordAfter(data []byte, from int) bool {
+	if from < 0 {
+		return false
+	}
+	for off := from; off <= len(data)-recHeaderLen; off++ {
+		l := binary.BigEndian.Uint32(data[off:])
+		if l == 0 || l > maxRecordBytes || uint64(l) > uint64(len(data)-off-recHeaderLen) {
+			continue
+		}
+		if crc32.Checksum(data[off+recHeaderLen:off+recHeaderLen+int(l)], crcTable) == binary.BigEndian.Uint32(data[off+4:]) {
+			return true
+		}
+	}
+	return false
+}
+
+func writeSegmentHeader(name string, firstHeight uint64) error {
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, walMagic...)
+	hdr = append(hdr, walVersion)
+	hdr = binary.BigEndian.AppendUint64(hdr, firstHeight)
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := f.Write(hdr); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: write header %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return nil
+}
+
+// createSegmentLocked starts a fresh segment for blocks from firstHeight.
+func (w *WAL) createSegmentLocked(firstHeight uint64) error {
+	name := filepath.Join(w.opts.Dir, segmentName(firstHeight))
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create segment: %w", err)
+	}
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, walMagic...)
+	hdr = append(hdr, walVersion)
+	hdr = binary.BigEndian.AppendUint64(hdr, firstHeight)
+	if _, err := f.Write(hdr); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("durable: write segment header: %w", err)
+	}
+	if w.opts.Fsync != FsyncOff {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("durable: sync segment header: %w", err)
+		}
+		syncDir(w.opts.Dir)
+	}
+	w.f, w.size = f, segHeaderLen
+	return nil
+}
+
+// syncDir makes a directory entry durable (best effort: some filesystems
+// reject fsync on directories, which is not worth failing a commit over).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Append writes one block to the WAL under the configured fsync discipline.
+// The block must extend the log (height == NextHeight).
+func (w *WAL) Append(b *ledger.Block) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	if w.syncErr != nil {
+		return fmt.Errorf("durable: WAL is failed: %w", w.syncErr)
+	}
+	if b.Height != w.nextHeight {
+		return fmt.Errorf("%w: got height %d, want %d", ErrOutOfOrder, b.Height, w.nextHeight)
+	}
+
+	// Roll to a fresh segment before the record that would overflow — but
+	// never roll a segment that holds no records yet (its name would
+	// collide with the next one, and an all-header chain helps nobody).
+	if w.size >= w.opts.SegmentBytes && w.size > segHeaderLen {
+		if err := w.rollLocked(); err != nil {
+			return err
+		}
+	}
+
+	// record := len | crc | payload, built in one reused buffer.
+	buf := append(w.encBuf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = b.AppendBinary(buf)
+	payload := buf[recHeaderLen:]
+	binary.BigEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	w.encBuf = buf
+
+	if _, err := w.f.Write(buf); err != nil {
+		w.syncErr = err
+		return fmt.Errorf("durable: append block %d: %w", b.Height, err)
+	}
+	w.size += int64(len(buf))
+	w.nextHeight++
+
+	switch w.opts.Fsync {
+	case FsyncAlways:
+		if err := w.f.Sync(); err != nil {
+			w.syncErr = err
+			return fmt.Errorf("durable: fsync block %d: %w", b.Height, err)
+		}
+	case FsyncGroup:
+		w.dirty = true
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// rollLocked finishes the current segment and starts the next one.
+func (w *WAL) rollLocked() error {
+	if w.opts.Fsync != FsyncOff {
+		if err := w.f.Sync(); err != nil {
+			w.syncErr = err
+			return fmt.Errorf("durable: sync on roll: %w", err)
+		}
+		w.dirty = false
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("durable: close segment: %w", err)
+	}
+	return w.createSegmentLocked(w.nextHeight)
+}
+
+// syncLoop is the group-commit goroutine: every append wakes it, and every
+// pass flushes all appends buffered so far, so concurrent appends share one
+// fsync. GroupTimeout is only a backstop against a lost wakeup.
+func (w *WAL) syncLoop() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.opts.GroupTimeout)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.wake:
+		case <-ticker.C:
+		case <-w.stop:
+			return
+		}
+		w.mu.Lock()
+		if w.dirty && w.syncErr == nil && !w.closed {
+			if err := w.f.Sync(); err != nil {
+				w.syncErr = err
+			}
+			w.dirty = false
+		}
+		w.mu.Unlock()
+	}
+}
+
+// NextHeight returns the height the next appended block must carry.
+func (w *WAL) NextHeight() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextHeight
+}
+
+// Sync forces an fsync of the current segment (used by tests and Close).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncNowLocked()
+}
+
+func (w *WAL) syncNowLocked() error {
+	if w.closed || w.f == nil {
+		return ErrWALClosed
+	}
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	if err := w.f.Sync(); err != nil {
+		w.syncErr = err
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// Close stops the group-commit goroutine, flushes, and closes the segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+
+	close(w.stop)
+	<-w.done
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if w.syncErr == nil {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

@@ -183,16 +183,46 @@ func (b *Block) MaxTS() txn.Timestamp {
 	return max
 }
 
+// Persister makes a block durable before the in-memory log accepts it —
+// the write-ahead hook internal/durable implements. Persist is called with
+// the log lock held, so blocks persist in exactly log order.
+type Persister interface {
+	Persist(b *Block) error
+}
+
 // Log is a server's local copy of the globally replicated tamper-proof log:
 // an append-only sequence of committed blocks. It is safe for concurrent
 // use.
 type Log struct {
-	mu     sync.RWMutex
-	blocks []*Block
+	mu      sync.RWMutex
+	blocks  []*Block
+	persist Persister
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
+
+// NewLogFromBlocks rebuilds a log from a recovered block sequence,
+// re-checking the chain structure as Append would. No persister is invoked
+// (the blocks came from the persistent store); attach one afterwards with
+// SetPersister.
+func NewLogFromBlocks(blocks []*Block) (*Log, error) {
+	l := NewLog()
+	for _, b := range blocks {
+		if err := l.Append(b); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// SetPersister installs the write-ahead hook invoked by every subsequent
+// Append. Pass nil to detach.
+func (l *Log) SetPersister(p Persister) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.persist = p
+}
 
 // Errors returned by log operations.
 var (
@@ -218,6 +248,13 @@ func (l *Log) Append(b *Block) error {
 		tip := l.blocks[len(l.blocks)-1]
 		if !bytes.Equal(b.PrevHash, tip.Hash()) {
 			return fmt.Errorf("%w at height %d", ErrBadPrevHash, b.Height)
+		}
+	}
+	// Write-ahead: the block must be durable before the in-memory log —
+	// and therefore the server's externally visible state — accepts it.
+	if l.persist != nil {
+		if err := l.persist.Persist(b); err != nil {
+			return fmt.Errorf("ledger: persist block %d: %w", b.Height, err)
 		}
 	}
 	l.blocks = append(l.blocks, b)

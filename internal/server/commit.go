@@ -294,6 +294,13 @@ func (s *Server) applyCommitLocked(st *cohortState, b *ledger.Block) error {
 	if err := s.log.Append(b.Clone()); err != nil {
 		return fmt.Errorf("server %s: append block %d: %w", s.ident.ID, b.Height, err)
 	}
+	if s.snap != nil {
+		// The snapshot is a recovery cache, but a failure to write it means
+		// the disk is unhealthy — surface it rather than degrade silently.
+		if err := s.snap.MaybeSnapshot(s.shard, b.Height, b.Hash()); err != nil {
+			return fmt.Errorf("server %s: snapshot at block %d: %w", s.ident.ID, b.Height, err)
+		}
+	}
 	s.lastCommitted = s.lastCommitted.Max(b.MaxTS())
 	for i := range b.Txns {
 		delete(s.buffers, b.Txns[i].TxnID)

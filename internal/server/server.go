@@ -40,6 +40,14 @@ type Terminator interface {
 	Terminate(ctx context.Context, env identity.Envelope) (*wire.EndTxnResp, error)
 }
 
+// Snapshotter is notified after every committed block so a durable store
+// can periodically checkpoint the shard (internal/durable implements it).
+// It is called with the server lock held, after the block is applied and
+// appended; height and tipHash identify the block just committed.
+type Snapshotter interface {
+	MaybeSnapshot(shard *store.Shard, height uint64, tipHash []byte) error
+}
+
 // Config assembles a server.
 type Config struct {
 	Identity  *identity.Identity
@@ -47,6 +55,13 @@ type Config struct {
 	Directory Directory
 	Shard     *store.Shard
 	Faults    Faults
+
+	// Log, when non-nil, seeds the server with a recovered tamper-proof
+	// log instead of an empty one (the open-with-recovery startup path).
+	// The server's last-committed watermark is derived from its blocks.
+	Log *ledger.Log
+	// Snapshot, when non-nil, is invoked after every committed block.
+	Snapshot Snapshotter
 }
 
 // Server is one Fides database server.
@@ -58,6 +73,8 @@ type Server struct {
 	log   *ledger.Log
 
 	faults Faults
+
+	snap Snapshotter
 
 	mu            sync.Mutex
 	buffers       map[string]map[txn.ItemID][]byte // txnID → buffered writes (execution layer)
@@ -97,16 +114,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil || cfg.Shard == nil || cfg.Directory == nil {
 		return nil, errors.New("server: config requires registry, shard and directory")
 	}
-	return &Server{
+	log := cfg.Log
+	if log == nil {
+		log = ledger.NewLog()
+	}
+	s := &Server{
 		ident:      cfg.Identity,
 		reg:        cfg.Registry,
 		dir:        cfg.Directory,
 		shard:      cfg.Shard,
-		log:        ledger.NewLog(),
+		log:        log,
+		snap:       cfg.Snapshot,
 		faults:     cfg.Faults,
 		buffers:    make(map[string]map[txn.ItemID][]byte),
 		prevValues: make(map[txn.ItemID][]byte),
-	}, nil
+	}
+	// A recovered log restores the OCC watermark: "the servers ignore any
+	// end transaction request with a timestamp lower than the latest
+	// committed timestamp" must hold across restarts too.
+	for _, b := range log.Blocks() {
+		s.lastCommitted = s.lastCommitted.Max(b.MaxTS())
+	}
+	return s, nil
 }
 
 // ID returns the server's node id.

@@ -135,6 +135,67 @@ func NewShard(ids []txn.ItemID, initial func(txn.ItemID) []byte, cfg Config) *Sh
 	return s
 }
 
+// NewShardFromItems rebuilds a shard from previously snapshotted item
+// states (id, value, rts, wts) — the recovery path of internal/durable.
+// Items are deduplicated and sorted exactly as NewShard sorts fresh ids, so
+// the Merkle leaf order (and therefore the root) is reproducible. For a
+// multi-versioned shard the history restarts at the snapshot: older
+// versions live only in the block log, which recovery replays instead of
+// using snapshots (see internal/durable).
+func NewShardFromItems(items []Item, cfg Config) *Shard {
+	sorted := make([]Item, 0, len(items))
+	uniq := make(map[txn.ItemID]struct{}, len(items))
+	for _, it := range items {
+		if _, dup := uniq[it.ID]; !dup {
+			uniq[it.ID] = struct{}{}
+			sorted = append(sorted, it)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	s := &Shard{
+		multiVersion: cfg.MultiVersion,
+		ids:          make([]txn.ItemID, len(sorted)),
+		idx:          make(map[txn.ItemID]int, len(sorted)),
+		items:        make([]Item, len(sorted)),
+	}
+	leaves := make([][]byte, len(sorted))
+	for i, it := range sorted {
+		s.ids[i] = it.ID
+		s.idx[it.ID] = i
+		it.Value = append([]byte(nil), it.Value...)
+		s.items[i] = it
+		leaves[i] = merkle.LeafHash(LeafContent(it.ID, it.Value, it.RTS, it.WTS))
+	}
+	s.tree = merkle.New(leaves)
+	if cfg.MultiVersion {
+		s.history = make([][]Version, len(sorted))
+		for i := range s.history {
+			it := s.items[i]
+			s.history[i] = []Version{{
+				CommitTS: it.WTS,
+				Value:    append([]byte(nil), it.Value...),
+				RTS:      it.RTS,
+				WTS:      it.WTS,
+			}}
+		}
+	}
+	return s
+}
+
+// Snapshot returns a deep copy of every item's current state in Merkle leaf
+// order — the payload internal/durable writes to snapshot files.
+func (s *Shard) Snapshot() []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Item, len(s.items))
+	for i, it := range s.items {
+		it.Value = append([]byte(nil), it.Value...)
+		out[i] = it
+	}
+	return out
+}
+
 // Len returns the number of items in the shard.
 func (s *Shard) Len() int { return len(s.ids) }
 
