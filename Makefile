@@ -8,7 +8,7 @@ GO ?= go
 BENCH ?= BenchmarkFig13
 PROFILE_DIR ?= .profiles
 
-.PHONY: all build vet test test-short test-race bench bench-fig12 bench-wal fuzz profile clean
+.PHONY: all build vet test test-short test-race bench bench-fig12 bench-wal bench-pipeline fuzz profile docs-check clean
 
 all: vet build test
 
@@ -40,6 +40,19 @@ bench-fig12:
 # WAL append cost per ~100-txn block across fsync disciplines.
 bench-wal:
 	$(GO) test -run xxx -bench 'BenchmarkWALAppend' -benchtime 500x ./internal/durable
+
+# Pipelined vs serial TFCommit under sustained closed-loop load
+# (regenerates the BENCH_PR3.json sweep at reduced scale).
+bench-pipeline:
+	$(GO) run ./cmd/fidesbench -exp pipeline -requests 300 -runs 1
+
+# Documentation health: every relative markdown link + #fragment resolves
+# (offline; tools/linkcheck), and `go doc` renders every package (catches
+# malformed doc comments the same way the CI docs job does).
+docs-check:
+	$(GO) run ./tools/linkcheck
+	@for p in $$($(GO) list ./...); do $(GO) doc $$p >/dev/null || exit 1; done
+	@echo "go doc: all packages render"
 
 # Wire-codec robustness: decode must never panic on arbitrary bytes.
 fuzz:

@@ -101,7 +101,7 @@ func BenchmarkFig15(b *testing.B) {
 	}
 }
 
-// --- Substrate micro-benchmarks (ablations; DESIGN.md §3) ---
+// --- Substrate micro-benchmarks (ablations; docs/protocol.md) ---
 
 // BenchmarkMerkleIncrementalUpdate measures the O(log n) leaf update that
 // dominates Figure 14's MHT series, across the shard sizes of Figure 15.

@@ -39,6 +39,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "deployment-wide data directory for WAL+snapshot durability (empty = in-memory servers)")
 		fsync        = flag.String("fsync", "", "WAL flush discipline: always|group|off")
 		snapEvery    = flag.Int("snapshot-every", 0, "snapshot each shard every N blocks (0 = no snapshots)")
+		pipeline     = flag.Int("pipeline", 1, "TFCommit blocks in flight at once (1 = serial rounds)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 	d.DataDir = *dataDir
 	d.Fsync = *fsync
 	d.SnapshotEvery = *snapEvery
+	d.Pipeline = *pipeline
 	if err := d.Save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "fides-keygen: %v\n", err)
 		os.Exit(1)

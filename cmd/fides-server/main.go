@@ -19,7 +19,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -47,18 +46,31 @@ func main() {
 		dataDir        = flag.String("data-dir", "", "persist WAL+snapshots under this directory (overrides the descriptor; empty = descriptor's data_dir, or in-memory)")
 		fsync          = flag.String("fsync", "", "WAL flush discipline: always|group|off (overrides the descriptor)")
 		snapEvery      = flag.Int("snapshot-every", 0, "snapshot the shard every N blocks (overrides the descriptor; 0 = descriptor's value)")
+		pipeline       = flag.Int("pipeline", 0, "TFCommit blocks in flight at once (overrides the descriptor; 0 = descriptor's value, 1 = serial)")
 	)
 	flag.Parse()
-	if err := run(*deploymentPath, *index, *dataDir, *fsync, *snapEvery); err != nil {
+	if err := run(*deploymentPath, *index, *dataDir, *fsync, *snapEvery, *pipeline); err != nil {
 		fmt.Fprintf(os.Stderr, "fides-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, index int, dataDir, fsync string, snapEvery int) error {
+func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int) error {
 	d, err := deploy.Load(path)
 	if err != nil {
 		return err
+	}
+	if pipeline == 0 {
+		pipeline = d.Pipeline
+	}
+	if pipeline < 1 {
+		pipeline = 1
+	}
+	if d.Coordinators > 1 {
+		// Rotation dispatches each block to a coordinator instance in the
+		// terminating process; separate fides-server processes cannot take
+		// turns without a block-handoff protocol (see docs/operations.md).
+		return fmt.Errorf("deployment requests %d rotating coordinators; multi-process deployments support 1", d.Coordinators)
 	}
 	if index < 0 || index >= len(d.Servers) {
 		return fmt.Errorf("index %d out of range (%d servers)", index, len(d.Servers))
@@ -94,6 +106,14 @@ func run(path string, index int, dataDir, fsync string, snapEvery int) error {
 		Identity:  ident,
 		Registry:  reg,
 		Directory: dir,
+		// Always armed in multi-process deployments, not only when this
+		// process believes pipelining is on: -pipeline is a per-process
+		// override, so the coordinator may pipeline while a cohort's
+		// descriptor says serial — a cohort that then rejected overtaking
+		// announcements outright would fail rounds intermittently. Parking
+		// them briefly is harmless when the coordinator really is serial
+		// (the wait only engages for heights above the log tip).
+		VoteLookahead: core.VoteLookahead,
 	}
 	if dataDir == "" {
 		scfg.Shard = store.NewShard(items, initial, store.Config{MultiVersion: d.MultiVersion})
@@ -125,7 +145,11 @@ func run(path string, index int, dataDir, fsync string, snapEvery int) error {
 		if err != nil {
 			return fmt.Errorf("recovered log: %w", err)
 		}
-		log.SetPersister(dstore)
+		if pipeline > 1 {
+			log.SetPersister(durable.NewOrderedPersister(dstore, uint64(len(rec.Blocks))))
+		} else {
+			log.SetPersister(dstore)
+		}
 		scfg.Shard = rec.Shard
 		scfg.Log = log
 		scfg.Snapshot = dstore
@@ -167,11 +191,24 @@ func run(path string, index int, dataDir, fsync string, snapEvery int) error {
 		if err != nil {
 			return err
 		}
-		batcher := core.NewBatcher(coreCommitter{coord}, reg, d.BatchSize, 5*time.Millisecond)
+		committer := core.NewCoordinatorCommitter(coord)
+		if pipeline > 1 {
+			pipe, err := tfcommit.NewPipeline(tfcommit.PipelineConfig{
+				Coordinators: []*tfcommit.Coordinator{coord},
+				Depth:        pipeline,
+				Height:       uint64(srv.Log().Len()),
+				PrevHash:     srv.Log().TipHash(),
+			})
+			if err != nil {
+				return err
+			}
+			committer = core.NewPipelineCommitter(pipe)
+		}
+		batcher := core.NewPipelinedBatcher(committer, reg, d.BatchSize, 5*time.Millisecond, pipeline)
 		batcher.Observe(srv.LastCommitted())
 		defer batcher.Close()
 		srv.SetTerminator(batcher)
-		fmt.Printf("server %s (coordinator) listening on %s\n", ident.ID, node.Addr())
+		fmt.Printf("server %s (coordinator, pipeline=%d) listening on %s\n", ident.ID, pipeline, node.Addr())
 	} else {
 		fmt.Printf("server %s listening on %s\n", ident.ID, node.Addr())
 	}
@@ -181,15 +218,4 @@ func run(path string, index int, dataDir, fsync string, snapEvery int) error {
 	<-sig
 	fmt.Printf("server %s shutting down (%d blocks logged)\n", ident.ID, srv.Log().Len())
 	return nil
-}
-
-// coreCommitter adapts the TFCommit coordinator to the batcher interface.
-type coreCommitter struct{ c *tfcommit.Coordinator }
-
-func (a coreCommitter) CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*ledger.Block, bool, []int, error) {
-	res, err := a.c.CommitBlock(ctx, txns, envs)
-	if err != nil {
-		return nil, false, nil, err
-	}
-	return res.Block, res.Committed, res.FailedTxns, nil
 }

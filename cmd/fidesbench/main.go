@@ -6,6 +6,7 @@
 //	fidesbench -exp fig14      # servers 3..9, 100 txn/block, MHT time
 //	fidesbench -exp fig15      # items per shard 1k..10k
 //	fidesbench -exp durability # fsync=off|group|always TFCommit cost
+//	fidesbench -exp pipeline   # pipelined vs serial TFCommit, 5 servers
 //	fidesbench -exp all        # everything
 //
 // The paper runs 1000 client requests per data point, averaged over 3
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig12, fig13, fig14, fig15, durability, or all")
+		exp      = flag.String("exp", "all", "experiment: fig12, fig13, fig14, fig15, durability, pipeline, or all")
 		requests = flag.Int("requests", 1000, "client transactions per data point (paper: 1000)")
 		runs     = flag.Int("runs", 3, "runs averaged per data point (paper: 3)")
 		latency  = flag.Duration("latency", 250*time.Microsecond, "simulated one-way network latency")
@@ -78,6 +79,12 @@ func main() {
 				rows = append(rows, bench.RowFromMetrics("durability", m))
 			}
 			return err
+		case "pipeline":
+			out, err := bench.Pipeline(os.Stdout, opts)
+			for _, m := range out {
+				rows = append(rows, bench.RowFromMetrics("pipeline", m))
+			}
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -85,7 +92,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"fig12", "fig13", "fig14", "fig15", "durability"}
+		names = []string{"fig12", "fig13", "fig14", "fig15", "durability", "pipeline"}
 	} else {
 		names = []string{*exp}
 	}

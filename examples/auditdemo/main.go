@@ -3,6 +3,10 @@
 // refusing to make progress and naming the culprit mid-flight, or (b) the
 // offline audit detecting the violation and irrefutably identifying the
 // misbehaving server.
+//
+// Run it with:
+//
+//	go run ./examples/auditdemo
 package main
 
 import (

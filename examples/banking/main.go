@@ -9,6 +9,10 @@
 // Act 2 (Scenario 3, Figure 11): another server silently refuses to apply
 // a committed debit; the Verification-Object audit (Lemma 2) catches the
 // corrupted datastore at the precise version.
+//
+// Run it with:
+//
+//	go run ./examples/banking
 package main
 
 import (

@@ -2,6 +2,10 @@
 // five-server cluster on untrusted infrastructure, run a couple of
 // distributed transactions through TFCommit, inspect the collectively
 // signed log, and finish with a clean audit.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
 package main
 
 import (

@@ -10,6 +10,10 @@
 // collectively signed, hash-chained record of every hand-off, and any
 // domain (or an external regulator) can audit the full history at any
 // time.
+//
+// Run it with:
+//
+//	go run ./examples/supplychain
 package main
 
 import (

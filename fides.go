@@ -27,8 +27,10 @@
 //	res, err := s.Commit(ctx) // res.Block is collectively signed
 //	report, err := cluster.Audit(ctx, fides.AuditOptions{CheckDatastore: true})
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every figure.
+// See README.md for the project overview, docs/architecture.md for the
+// layer map, docs/protocol.md for TFCommit and the wire formats, and
+// docs/operations.md for deployment and recovery; BENCH_PR*.json record
+// the measured performance trajectory.
 package fides
 
 import (

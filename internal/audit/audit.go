@@ -88,6 +88,7 @@ type Finding struct {
 	Detail string
 }
 
+// String renders the finding with its type, position and implicated servers.
 func (f Finding) String() string {
 	srv := make([]string, len(f.Servers))
 	for i, s := range f.Servers {

@@ -6,8 +6,8 @@
 // The absolute numbers differ from the paper's (Go vs Python, simulated
 // intra-DC latency vs EC2), but each figure's shape — who wins, by what
 // factor, and how the curves move with each parameter — is the
-// reproduction target; EXPERIMENTS.md records paper-vs-measured for every
-// figure.
+// reproduction target; the committed BENCH_PR*.json reports record the
+// measured trajectory PR over PR (cmd/fidesbench -json writes them).
 package bench
 
 import (
@@ -50,6 +50,11 @@ type RunConfig struct {
 	DataDir string
 	// Fsync selects the WAL flush discipline when DataDir is set.
 	Fsync durable.FsyncMode
+	// Pipeline is the number of TFCommit blocks in flight (0/1 = serial).
+	Pipeline int
+	// Coordinators is the number of rotating coordinator servers (0/1 =
+	// the single designated coordinator).
+	Coordinators int
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -109,7 +114,7 @@ type Metrics struct {
 	ThroughputTPS float64
 	// LatencyMS is the amortized per-transaction commit latency
 	// (Elapsed / Committed), the series the paper's latency curves track
-	// (see DESIGN.md §3).
+	// (see docs/protocol.md).
 	LatencyMS float64
 	// EndToEndMS is the mean observed end_transaction→decision time.
 	EndToEndMS float64
@@ -134,6 +139,8 @@ func Run(cfg RunConfig) (*Metrics, error) {
 		Protocol:       cfg.Protocol,
 		DataDir:        cfg.DataDir,
 		Fsync:          cfg.Fsync,
+		Pipeline:       cfg.Pipeline,
+		Coordinators:   cfg.Coordinators,
 	})
 	if err != nil {
 		return nil, err

@@ -23,6 +23,8 @@ type Row struct {
 	Runs          int     `json:"runs"`
 	LatencyUS     int64   `json:"net_latency_us"`
 	Fsync         string  `json:"fsync,omitempty"`
+	Pipeline      int     `json:"pipeline,omitempty"`
+	Coordinators  int     `json:"coordinators,omitempty"`
 	TPS           float64 `json:"tps"`
 	LatMS         float64 `json:"lat_ms"`
 	EndToEndMS    float64 `json:"end_to_end_ms"`
@@ -60,6 +62,8 @@ func RowFromMetrics(experiment string, m *Metrics) Row {
 	if m.Config.DataDir != "" {
 		r.Fsync = m.Config.Fsync.String()
 	}
+	r.Pipeline = m.Config.Pipeline
+	r.Coordinators = m.Config.Coordinators
 	return r
 }
 

@@ -22,26 +22,109 @@ type BlockCommitter interface {
 	CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (block *ledger.Block, committed bool, failed []int, err error)
 }
 
+// RetryCommitter is an optional BlockCommitter capability: the committer
+// claims chain positions in EnqueueBlockRetry call order and runs the §4.6
+// prune-and-retry policy itself, at the block's held position. The
+// pipeline adapter implements it — re-enqueueing a pruned retry would land
+// it behind later blocks whose timestamps have already advanced past its
+// own, dooming the retry — so the batcher delegates pruning to the
+// committer when it can.
+//
+// EnqueueBlockRetry must claim the chain position before returning: the
+// batcher calls it from its dispatch loop so chain order equals dispatch
+// order — and therefore timestamp-watermark order — even though the rounds
+// themselves run concurrently. (Claiming inside a dispatched goroutine
+// would let a later, higher-timestamped block race to an earlier height
+// and spuriously abort the earlier block as wholly stale.) The returned
+// wait blocks until the round completes. dropped is invoked for each
+// pruned transaction index with the abort block that vetoed it, strictly
+// before wait returns; the block wait returns applies to all remaining
+// transactions.
+type RetryCommitter interface {
+	EnqueueBlockRetry(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope, maxPrunes int, dropped func(idx int, abortBlock *ledger.Block)) (wait func() (block *ledger.Block, committed bool, err error), err error)
+}
+
 // Batcher is the coordinator's termination service: it queues client
 // end_transaction requests, packs them into blocks of non-conflicting
 // transactions (paper §4.6: "the coordinator collects and inserts a set of
 // non-conflicting client generated transactions and orders them within a
-// single block"), runs the commit protocol sequentially block after block,
-// and distributes the signed decisions back to the waiting clients.
+// single block"), runs the commit protocol block after block, and
+// distributes the signed decisions back to the waiting clients.
+//
+// With depth 1 blocks are produced strictly sequentially. With depth K > 1
+// the batcher feeds a commit pipeline (tfcommit.Pipeline): up to K blocks
+// are dispatched concurrently, and block assembly for height h+1 overlaps
+// the commit protocol of height h. Two admission rules keep the pipelined
+// schedule equivalent to a serial one:
+//
+//   - No transaction conflicting with an in-flight block is admitted (its
+//     OCC outcome would depend on whether the in-flight block has applied
+//     yet); it is deferred until that block completes.
+//   - The stale-timestamp watermark advances speculatively at dispatch
+//     time, so a later block only carries timestamps above everything in
+//     flight. If an in-flight block aborts the watermark stays advanced —
+//     over-rejection is always legal (§4.3.1 lets servers reject any
+//     stale-looking timestamp; the client simply retries with a fresh one).
 type Batcher struct {
 	committer BlockCommitter
 	reg       *identity.Registry
 	batchSize int
 	maxWait   time.Duration
+	depth     int
 
 	queue chan *pendingTxn
+	wake  chan struct{} // nudges gather when an in-flight block completes
 
 	mu        sync.Mutex
 	lastMax   txn.Timestamp
+	inflight  []*blockFootprint // item sets of dispatched, unfinished blocks
 	closed    bool
 	closeOnce sync.Once
 	stopped   chan struct{}
 	wg        sync.WaitGroup
+}
+
+// blockFootprint is the item set of one dispatched block, held until its
+// commit round completes so later admissions can avoid conflicting with it.
+type blockFootprint struct {
+	reads  map[txn.ItemID]struct{}
+	writes map[txn.ItemID]struct{}
+}
+
+// conflictsWith reports whether t's OCC outcome could depend on the
+// in-flight block: it reads an item the block writes, or writes an item the
+// block reads or writes (mirrors txn.Transaction.Conflicts across blocks).
+func (f *blockFootprint) conflictsWith(t *txn.Transaction) bool {
+	for _, r := range t.Reads {
+		if _, ok := f.writes[r.ID]; ok {
+			return true
+		}
+	}
+	for _, w := range t.Writes {
+		if _, ok := f.writes[w.ID]; ok {
+			return true
+		}
+		if _, ok := f.reads[w.ID]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func footprintOf(batch []*pendingTxn) *blockFootprint {
+	f := &blockFootprint{
+		reads:  make(map[txn.ItemID]struct{}),
+		writes: make(map[txn.ItemID]struct{}),
+	}
+	for _, p := range batch {
+		for _, r := range p.t.Reads {
+			f.reads[r.ID] = struct{}{}
+		}
+		for _, w := range p.t.Writes {
+			f.writes[w.ID] = struct{}{}
+		}
+	}
+	return f
 }
 
 type pendingTxn struct {
@@ -58,22 +141,35 @@ type termResult struct {
 // ErrBatcherClosed is returned for requests submitted after Close.
 var ErrBatcherClosed = errors.New("core: termination service closed")
 
-// NewBatcher creates a termination service producing blocks of up to
-// batchSize transactions, waiting at most maxWait after the first queued
-// transaction before sealing a partial block.
+// NewBatcher creates a sequential termination service producing blocks of
+// up to batchSize transactions, waiting at most maxWait after the first
+// queued transaction before sealing a partial block.
 func NewBatcher(committer BlockCommitter, reg *identity.Registry, batchSize int, maxWait time.Duration) *Batcher {
+	return NewPipelinedBatcher(committer, reg, batchSize, maxWait, 1)
+}
+
+// NewPipelinedBatcher creates a termination service that keeps up to depth
+// blocks in flight through the committer at once (depth 1 is the strictly
+// sequential service of NewBatcher). The committer must tolerate depth
+// concurrent CommitBlock calls; tfcommit.Pipeline does.
+func NewPipelinedBatcher(committer BlockCommitter, reg *identity.Registry, batchSize int, maxWait time.Duration, depth int) *Batcher {
 	if batchSize < 1 {
 		batchSize = 1
 	}
 	if maxWait <= 0 {
 		maxWait = 2 * time.Millisecond
 	}
+	if depth < 1 {
+		depth = 1
+	}
 	b := &Batcher{
 		committer: committer,
 		reg:       reg,
 		batchSize: batchSize,
 		maxWait:   maxWait,
+		depth:     depth,
 		queue:     make(chan *pendingTxn, 16*batchSize+64),
+		wake:      make(chan struct{}, 1),
 		stopped:   make(chan struct{}),
 	}
 	b.wg.Add(1)
@@ -140,40 +236,124 @@ func (b *Batcher) Close() {
 	b.wg.Wait()
 }
 
-// run is the sequential block-production loop.
+// run is the block-production loop: strictly sequential at depth 1, a
+// bounded-concurrency dispatcher otherwise.
 func (b *Batcher) run() {
 	defer b.wg.Done()
+	sem := make(chan struct{}, b.depth)
+	var inflightWG sync.WaitGroup
+	fail := func(ps []*pendingTxn) {
+		for _, p := range ps {
+			p.resp <- termResult{err: ErrBatcherClosed}
+		}
+	}
 	var deferred []*pendingTxn
 	for {
+		// Reserve the dispatch slot BEFORE sealing a batch: while every
+		// slot is busy, arrivals keep accumulating in the queue, so the
+		// block sealed once a slot frees is as full as a serial round's
+		// would have been (sealing first would chop the stream into
+		// partial blocks and waste per-block protocol cost).
+		if b.depth > 1 {
+			select {
+			case sem <- struct{}{}:
+			case <-b.stopped:
+				inflightWG.Wait()
+				fail(deferred)
+				return
+			}
+		}
 		batch, rest, ok := b.gather(deferred)
 		if !ok {
-			for _, p := range append(rest, batch...) {
-				p.resp <- termResult{err: ErrBatcherClosed}
-			}
+			// Let in-flight blocks finish normally (their clients get real
+			// decisions), then fail everything still queued.
+			inflightWG.Wait()
+			fail(append(rest, batch...))
 			return
 		}
 		deferred = rest
 		if len(batch) == 0 {
+			if b.depth > 1 {
+				<-sem
+			}
 			continue
 		}
-		b.commitBatch(batch)
+		if b.depth == 1 {
+			b.commitBatch(batch)
+			continue
+		}
+
+		// Pipelined dispatch: publish the block's item footprint and
+		// speculative watermark, claim the block's chain position — HERE,
+		// in the dispatch loop, so commit order equals dispatch order and
+		// therefore watermark order — then let the round run and its
+		// results distribute in the background while this loop goes back
+		// to assembling the next block.
+		fp := footprintOf(batch)
+		var maxTS txn.Timestamp
+		for _, p := range batch {
+			maxTS = maxTS.Max(p.t.TS)
+		}
+		b.mu.Lock()
+		b.inflight = append(b.inflight, fp)
+		b.lastMax = b.lastMax.Max(maxTS)
+		b.mu.Unlock()
+		finish := b.beginBatch(batch)
+		inflightWG.Add(1)
+		go func(batch []*pendingTxn, fp *blockFootprint, finish func()) {
+			defer inflightWG.Done()
+			defer func() { <-sem }()
+			finish()
+			b.mu.Lock()
+			for i, g := range b.inflight {
+				if g == fp {
+					b.inflight = append(b.inflight[:i], b.inflight[i+1:]...)
+					break
+				}
+			}
+			b.mu.Unlock()
+			// Nudge gather: transactions deferred for conflicting with
+			// this block can be admitted now.
+			select {
+			case b.wake <- struct{}{}:
+			default:
+			}
+		}(batch, fp, finish)
 	}
+}
+
+// beginBatch starts one block's commit, claiming its chain position
+// synchronously when the committer sequences positions (RetryCommitter),
+// and returns the function that completes the round and answers the
+// waiting clients.
+func (b *Batcher) beginBatch(batch []*pendingTxn) func() {
+	if rc, ok := b.committer.(RetryCommitter); ok {
+		return b.enqueueBatchVia(rc, batch, maxPrunes)
+	}
+	return func() { b.commitBatch(batch) }
 }
 
 // gather assembles the next block's worth of mutually non-conflicting
 // transactions: deferred transactions from earlier rounds first, then fresh
 // arrivals until the block is full or maxWait has elapsed since the first
 // arrival. Conflicting or stale-timestamp transactions are pushed to the
-// next round / rejected respectively.
+// next round / rejected respectively; in pipelined mode, transactions
+// conflicting with an in-flight block are deferred the same way.
 func (b *Batcher) gather(deferred []*pendingTxn) (batch, rest []*pendingTxn, ok bool) {
 	b.mu.Lock()
 	lastMax := b.lastMax
+	inflight := append([]*blockFootprint(nil), b.inflight...)
 	b.mu.Unlock()
 
 	admit := func(p *pendingTxn, batch []*pendingTxn) ([]*pendingTxn, bool) {
 		if !lastMax.Less(p.t.TS) {
 			p.resp <- termResult{resp: &wire.EndTxnResp{Rejected: true, LatestTS: lastMax}}
 			return batch, true
+		}
+		for _, f := range inflight {
+			if f.conflictsWith(p.t) {
+				return batch, false
+			}
 		}
 		for _, q := range batch {
 			if p.t.Conflicts(q.t) {
@@ -195,13 +375,16 @@ func (b *Batcher) gather(deferred []*pendingTxn) (batch, rest []*pendingTxn, ok 
 	}
 
 	if len(batch) == 0 {
-		// Block for the first transaction.
+		// Block for the first transaction — or, with deferrals pending, for
+		// an in-flight block to complete so the deferrals can be retried.
 		select {
 		case p := <-b.queue:
 			var admitted bool
 			if batch, admitted = admit(p, batch); !admitted {
 				rest = append(rest, p)
 			}
+		case <-b.wakeC(len(rest) > 0):
+			return batch, rest, true
 		case <-b.stopped:
 			return batch, rest, false
 		}
@@ -225,6 +408,16 @@ func (b *Batcher) gather(deferred []*pendingTxn) (batch, rest []*pendingTxn, ok 
 	return batch, rest, true
 }
 
+// wakeC returns the completion-nudge channel when deferred transactions are
+// waiting on it, or a never-ready channel otherwise (so an empty queue
+// still blocks instead of spinning on stale wakes).
+func (b *Batcher) wakeC(wantWake bool) <-chan struct{} {
+	if wantWake {
+		return b.wake
+	}
+	return nil
+}
+
 // commitBatch runs the commit protocol for one block and distributes the
 // outcome to every waiting client. When cohorts veto individual
 // transactions (stale reads discovered at validation), the vetoed ones are
@@ -233,8 +426,11 @@ func (b *Batcher) gather(deferred []*pendingTxn) (batch, rest []*pendingTxn, ok 
 // what sustains the ~100-transaction blocks of the paper's evaluation
 // (§4.6, §6.2).
 func (b *Batcher) commitBatch(batch []*pendingTxn) {
+	if rc, ok := b.committer.(RetryCommitter); ok {
+		b.enqueueBatchVia(rc, batch, maxPrunes)()
+		return
+	}
 	remaining := batch
-	const maxPrunes = 4
 	for round := 0; ; round++ {
 		txns := make([]*txn.Transaction, len(remaining))
 		envs := make([]identity.Envelope, len(remaining))
@@ -277,5 +473,56 @@ func (b *Batcher) commitBatch(batch []*pendingTxn) {
 			next = append(next, p)
 		}
 		remaining = next
+	}
+}
+
+// maxPrunes bounds the §4.6 prune-and-retry rounds per block.
+const maxPrunes = 4
+
+// enqueueBatchVia claims one block's chain position through a
+// position-sequencing committer — synchronously, so the caller controls
+// commit order — and returns the function that completes the round and
+// distributes the per-transaction outcomes: vetoed transactions get the
+// abort block that dropped them, the rest share the final decision.
+func (b *Batcher) enqueueBatchVia(rc RetryCommitter, batch []*pendingTxn, maxPrunes int) func() {
+	txns := make([]*txn.Transaction, len(batch))
+	envs := make([]identity.Envelope, len(batch))
+	for i, p := range batch {
+		txns[i] = p.t
+		envs[i] = p.env
+	}
+	dropped := make([]bool, len(batch))
+	// The callback runs in the committer's round goroutine strictly before
+	// wait returns, so the dropped slice needs no locking.
+	wait, err := rc.EnqueueBlockRetry(context.Background(), txns, envs, maxPrunes, func(i int, abortBlock *ledger.Block) {
+		dropped[i] = true
+		batch[i].resp <- termResult{resp: &wire.EndTxnResp{Committed: false, Block: abortBlock}}
+	})
+	fail := func(err error) {
+		for i, p := range batch {
+			if !dropped[i] {
+				p.resp <- termResult{err: fmt.Errorf("core: block commit failed: %w", err)}
+			}
+		}
+	}
+	if err != nil {
+		return func() { fail(err) }
+	}
+	return func() {
+		block, committed, err := wait()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if committed {
+			b.mu.Lock()
+			b.lastMax = b.lastMax.Max(block.MaxTS())
+			b.mu.Unlock()
+		}
+		for i, p := range batch {
+			if !dropped[i] {
+				p.resp <- termResult{resp: &wire.EndTxnResp{Committed: committed, Block: block}}
+			}
+		}
 	}
 }

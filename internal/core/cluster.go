@@ -72,6 +72,19 @@ type Config struct {
 	BatchWait time.Duration
 	// Protocol selects TFCommit (default) or the 2PC baseline.
 	Protocol Protocol
+	// Pipeline is the maximum number of TFCommit blocks in flight at once
+	// (default/1 = strictly serial rounds). With K > 1 the prepare, vote
+	// and co-sign phases of block h+1 overlap the decision broadcast,
+	// datastore apply and WAL fsync of block h; cohorts still validate,
+	// apply and chain blocks in strict height order. TFCommit only.
+	Pipeline int
+	// Coordinators is the number of servers that take turns driving
+	// TFCommit rounds, round-robin by block (default/1 = only server 0, the
+	// paper's designated coordinator; §3 observes any server can
+	// coordinate). Clients still send end_transaction to server 0, which
+	// runs the termination service and dispatches each block to its
+	// rotating coordinator. TFCommit only.
+	Coordinators int
 	// InitialValue supplies each item's starting value (default "0").
 	InitialValue func(txn.ItemID) []byte
 	// TCP runs the cluster over real loopback TCP sockets instead of the
@@ -113,9 +126,24 @@ func (c *Config) applyDefaults() {
 	if c.Protocol == 0 {
 		c.Protocol = ProtocolTFCommit
 	}
+	if c.Pipeline < 1 {
+		c.Pipeline = 1
+	}
+	if c.Coordinators < 1 {
+		c.Coordinators = 1
+	}
+	if c.Coordinators > c.NumServers {
+		c.Coordinators = c.NumServers
+	}
 	if c.InitialValue == nil {
 		c.InitialValue = func(txn.ItemID) []byte { return []byte("0") }
 	}
+}
+
+// pipelined reports whether the configuration uses the pipelined commit
+// path (either lookahead depth or coordinator rotation engages it).
+func (c *Config) pipelined() bool {
+	return c.Protocol == ProtocolTFCommit && (c.Pipeline > 1 || c.Coordinators > 1)
 }
 
 // ServerName returns the canonical id of the i-th server.
@@ -134,6 +162,7 @@ type Cluster struct {
 	coordID   identity.NodeID
 	batcher   *Batcher
 	tfc       *tfcommit.Coordinator
+	pipe      *tfcommit.Pipeline
 	recovered map[identity.NodeID]*durable.Recovered
 
 	// TCP mode state.
@@ -183,6 +212,9 @@ func (c *Cluster) wireTCP() {
 // NewCluster builds and starts a cluster per cfg.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg.applyDefaults()
+	if cfg.Protocol != ProtocolTFCommit && (cfg.Pipeline > 1 || cfg.Coordinators > 1) {
+		return nil, errors.New("core: Pipeline and Coordinators require TFCommit")
+	}
 
 	c := &Cluster{
 		cfg:       cfg,
@@ -253,6 +285,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Directory: c.dir,
 			Faults:    cfg.ServerFaults[i],
 		}
+		if cfg.pipelined() {
+			// Cohorts must tolerate a block announcement overtaking its
+			// predecessor's decision (the pipelined lookahead); the wait is
+			// bounded so a dead round cannot park a handler forever.
+			scfg.VoteLookahead = VoteLookahead
+		}
 		if cfg.DataDir == "" {
 			scfg.Shard = newShardFor(c.dir, id, cfg)
 		} else {
@@ -281,7 +319,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: server %s: recovered log: %w", id, err)
 			}
-			log.SetPersister(dstore)
+			if cfg.pipelined() {
+				// The durability layer enforces its own height ordering
+				// under pipelining instead of inheriting it from the
+				// commit layer's scheduling.
+				log.SetPersister(durable.NewOrderedPersister(dstore, uint64(len(rec.Blocks))))
+			} else {
+				log.SetPersister(dstore)
+			}
 			scfg.Shard = rec.Shard
 			scfg.Log = log
 			scfg.Snapshot = dstore
@@ -311,19 +356,44 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	var committer BlockCommitter
 	switch cfg.Protocol {
 	case ProtocolTFCommit:
-		tfc, err := tfcommit.New(tfcommit.Config{
-			Identity:  idents[0],
-			Registry:  c.reg,
-			Transport: endpoints[c.coordID],
-			Servers:   c.serverIDs,
-			Local:     coordSrv,
-			Faults:    cfg.CoordinatorFaults,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+		// One coordinator instance per coordinating server: block r is
+		// driven by server r mod Coordinators (paper §3: any server can
+		// act as the coordinator). Every instance is safe to use because
+		// the termination service on server 0 verifies all client
+		// envelopes before any block reaches the commit protocol.
+		coords := make([]*tfcommit.Coordinator, cfg.Coordinators)
+		for i := 0; i < cfg.Coordinators; i++ {
+			id := c.serverIDs[i]
+			tfc, err := tfcommit.New(tfcommit.Config{
+				Identity:  idents[i],
+				Registry:  c.reg,
+				Transport: endpoints[id],
+				Servers:   c.serverIDs,
+				Local:     c.servers[id],
+				Faults:    cfg.CoordinatorFaults,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			coords[i] = tfc
 		}
-		c.tfc = tfc
-		committer = tfcAdapter{tfc}
+		c.tfc = coords[0]
+		if cfg.pipelined() {
+			coordLog := coordSrv.Log()
+			pipe, err := tfcommit.NewPipeline(tfcommit.PipelineConfig{
+				Coordinators: coords,
+				Depth:        cfg.Pipeline,
+				Height:       uint64(coordLog.Len()),
+				PrevHash:     coordLog.TipHash(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			c.pipe = pipe
+			committer = pipeAdapter{pipe}
+		} else {
+			committer = tfcAdapter{coords[0]}
+		}
 	case ProtocolTwoPC:
 		tpc, err := twopc.New(twopc.Config{
 			Identity:  idents[0],
@@ -339,7 +409,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
 	}
 
-	c.batcher = NewBatcher(committer, c.reg, cfg.BatchSize, cfg.BatchWait)
+	c.batcher = NewPipelinedBatcher(committer, c.reg, cfg.BatchSize, cfg.BatchWait, cfg.Pipeline)
 	// A recovered coordinator keeps rejecting timestamps at or below the
 	// recovered watermark instead of letting doomed blocks reach cohorts.
 	c.batcher.Observe(coordSrv.LastCommitted())
@@ -358,6 +428,15 @@ func newShardFor(dir *Directory, id identity.NodeID, cfg Config) *store.Shard {
 	return store.NewShard(dir.ShardItems(id), cfg.InitialValue, store.Config{MultiVersion: cfg.MultiVersion})
 }
 
+// NewCoordinatorCommitter adapts a tfcommit.Coordinator into the batcher's
+// committer interface (cmd/fides-server uses it for serial deployments).
+func NewCoordinatorCommitter(c *tfcommit.Coordinator) BlockCommitter { return tfcAdapter{c} }
+
+// NewPipelineCommitter adapts a tfcommit.Pipeline into the batcher's
+// committer interface, including the position-sequencing retry capability
+// (cmd/fides-server uses it for pipelined deployments).
+func NewPipelineCommitter(p *tfcommit.Pipeline) BlockCommitter { return pipeAdapter{p} }
+
 // tfcAdapter adapts tfcommit.Coordinator to BlockCommitter.
 type tfcAdapter struct{ c *tfcommit.Coordinator }
 
@@ -367,6 +446,34 @@ func (a tfcAdapter) CommitBlock(ctx context.Context, txns []*txn.Transaction, en
 		return nil, false, nil, err
 	}
 	return res.Block, res.Committed, res.FailedTxns, nil
+}
+
+// pipeAdapter adapts tfcommit.Pipeline to BlockCommitter and
+// RetryCommitter.
+type pipeAdapter struct{ p *tfcommit.Pipeline }
+
+func (a pipeAdapter) CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*ledger.Block, bool, []int, error) {
+	res, err := a.p.CommitBlock(ctx, txns, envs)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return res.Block, res.Committed, res.FailedTxns, nil
+}
+
+func (a pipeAdapter) EnqueueBlockRetry(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope, maxPrunes int, dropped func(int, *ledger.Block)) (func() (*ledger.Block, bool, error), error) {
+	wait, err := a.p.Enqueue(ctx, txns, envs, maxPrunes, func(i int, r *tfcommit.Result) {
+		dropped(i, r.Block)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return func() (*ledger.Block, bool, error) {
+		res, err := wait()
+		if err != nil {
+			return nil, false, err
+		}
+		return res.Block, res.Committed, nil
+	}, nil
 }
 
 // tpcAdapter adapts twopc.Coordinator to BlockCommitter.
@@ -400,15 +507,31 @@ func (c *Cluster) ServerAt(i int) *server.Server { return c.servers[c.serverIDs[
 // Coordinator returns the designated coordinator's id.
 func (c *Cluster) Coordinator() identity.NodeID { return c.coordID }
 
+// VoteLookahead bounds how long a cohort parks a pipelined block
+// announcement that overtook its predecessor's decision. Generous against
+// slow fsyncs; a dead round resolves far sooner via the chain position
+// being reused. Exported so cmd/fides-server arms cohorts with the same
+// bound the in-process cluster uses.
+const VoteLookahead = 15 * time.Second
+
 // SetCoordinatorFaults swaps the coordinator's fault configuration
-// (TFCommit clusters only).
+// (TFCommit clusters only; with rotation, on every coordinator).
 func (c *Cluster) SetCoordinatorFaults(f tfcommit.Faults) error {
 	if c.tfc == nil {
 		return errors.New("core: cluster does not run TFCommit")
 	}
+	if c.pipe != nil {
+		c.pipe.SetFaults(f)
+		return nil
+	}
 	c.tfc.SetFaults(f)
 	return nil
 }
+
+// Pipeline exposes the cluster's commit pipeline (nil when the cluster
+// runs serial rounds); tests drive it directly for deterministic block
+// sequencing.
+func (c *Cluster) Pipeline() *tfcommit.Pipeline { return c.pipe }
 
 // CommitBlockDirect runs one commit round over pre-built transactions and
 // their client-signed envelopes, bypassing the batching service. It exists
@@ -429,7 +552,14 @@ func (c *Cluster) CommitBlockDirect(ctx context.Context, txns []*txn.Transaction
 			return nil, false, fmt.Errorf("core: direct commit envelope %d: %w", i, err)
 		}
 	}
-	block, committed, _, err := tfcAdapter{c.tfc}.CommitBlock(ctx, txns, envs)
+	var committer BlockCommitter = tfcAdapter{c.tfc}
+	if c.pipe != nil {
+		// A pipelined cluster sequences all blocks — including direct
+		// ones — through the pipeline, so heights cannot collide with
+		// concurrently dispatched batches.
+		committer = pipeAdapter{c.pipe}
+	}
+	block, committed, _, err := committer.CommitBlock(ctx, txns, envs)
 	return block, committed, err
 }
 

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/identity"
+	"repro/internal/tfcommit"
+	"repro/internal/txn"
+)
+
+// pipelineBatch builds one deterministic single-transaction batch: a blind
+// write of a distinct item with a strictly increasing timestamp, so the
+// same sequence of batches produces the same committed state no matter
+// which commit path drives it.
+func pipelineBatch(t *testing.T, c *Cluster, ident *identity.Identity, i int) ([]*txn.Transaction, []identity.Envelope) {
+	t.Helper()
+	tx := &txn.Transaction{
+		ID: fmt.Sprintf("pipe-%03d", i),
+		TS: txn.Timestamp{Time: uint64(10 * (i + 1)), ClientID: 1},
+		Writes: []txn.WriteEntry{{
+			ID:     ItemName(i%3, i%8),
+			NewVal: []byte(fmt.Sprintf("pv-%03d", i)),
+			Blind:  true,
+		}},
+	}
+	env, err := SignTxn(ident, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*txn.Transaction{tx}, []identity.Envelope{env}
+}
+
+// TestPipelinedMatchesSerial drives the identical block sequence through a
+// serial cluster and through a pipelined cluster with rotating
+// coordinators (all blocks enqueued up front, so the prepare/co-sign
+// phases genuinely overlap predecessors' decision broadcasts), then
+// requires the results to be byte-identical where the protocol is
+// deterministic: per-block transaction records, decisions, and every
+// involved server's Merkle root, plus the final shard roots — and a clean
+// full audit (hash chain, co-signs, replayed roots, datastore check) on
+// both sides. Only the collective signatures (fresh Schnorr nonces) and
+// therefore the chaining hashes may differ.
+func TestPipelinedMatchesSerial(t *testing.T) {
+	const blocks = 12
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	serial := testCluster(t, Config{NumServers: 3, ItemsPerShard: 32})
+	piped := testCluster(t, Config{NumServers: 3, ItemsPerShard: 32, Pipeline: 4, Coordinators: 2})
+	if piped.Pipeline() == nil {
+		t.Fatal("pipelined cluster has no pipeline")
+	}
+
+	serialIdent, err := serial.NewClientIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < blocks; i++ {
+		txns, envs := pipelineBatch(t, serial, serialIdent, i)
+		if _, ok, err := serial.CommitBlockDirect(ctx, txns, envs); err != nil || !ok {
+			t.Fatalf("serial block %d: %v ok=%v", i, err, ok)
+		}
+	}
+
+	pipedIdent, err := piped.NewClientIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue order is commit order; waiting happens concurrently, so up
+	// to Depth rounds really are in flight at once.
+	waits := make([]func() (*tfcommit.Result, error), 0, blocks)
+	for i := 0; i < blocks; i++ {
+		txns, envs := pipelineBatch(t, piped, pipedIdent, i)
+		wait, err := piped.Pipeline().Enqueue(ctx, txns, envs, 0, nil)
+		if err != nil {
+			t.Fatalf("enqueue block %d: %v", i, err)
+		}
+		waits = append(waits, wait)
+	}
+	for i, wait := range waits {
+		res, err := wait()
+		if err != nil {
+			t.Fatalf("pipelined block %d: %v", i, err)
+		}
+		if !res.Committed {
+			t.Fatalf("pipelined block %d aborted", i)
+		}
+	}
+
+	// Logs: same length, and per height the deterministic content —
+	// transaction records, decision, roots — must match byte for byte.
+	sl, pl := serial.ServerAt(0).Log(), piped.ServerAt(0).Log()
+	if sl.Len() != blocks || pl.Len() != blocks {
+		t.Fatalf("log lengths: serial %d, pipelined %d, want %d", sl.Len(), pl.Len(), blocks)
+	}
+	for h := uint64(0); h < blocks; h++ {
+		sb, _ := sl.Get(h)
+		pb, _ := pl.Get(h)
+		if sb.Decision != pb.Decision {
+			t.Fatalf("height %d: decisions differ (%v vs %v)", h, sb.Decision, pb.Decision)
+		}
+		if len(sb.Txns) != len(pb.Txns) {
+			t.Fatalf("height %d: txn counts differ", h)
+		}
+		for i := range sb.Txns {
+			if !bytes.Equal(sb.Txns[i].CanonicalBytes(), pb.Txns[i].CanonicalBytes()) {
+				t.Fatalf("height %d txn %d: records differ", h, i)
+			}
+		}
+		if len(sb.Roots) != len(pb.Roots) {
+			t.Fatalf("height %d: root sets differ", h)
+		}
+		for id, r := range sb.Roots {
+			if !bytes.Equal(r, pb.Roots[id]) {
+				t.Fatalf("height %d: root of %s differs between serial and pipelined run", h, id)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !bytes.Equal(serial.ServerAt(i).Shard().Root(), piped.ServerAt(i).Shard().Root()) {
+			t.Fatalf("server %d: final shard roots differ between serial and pipelined run", i)
+		}
+	}
+
+	// Both runs withstand the full audit: chain, co-signs, replayed Merkle
+	// roots, and the datastore check.
+	for name, c := range map[string]*Cluster{"serial": serial, "pipelined": piped} {
+		report, err := c.Audit(ctx, audit.Options{CheckDatastore: true})
+		if err != nil {
+			t.Fatalf("%s audit: %v", name, err)
+		}
+		if !report.Clean() {
+			t.Fatalf("%s audit found: %+v", name, report.Findings)
+		}
+	}
+}
+
+// TestPipelineConflictingBlocks enqueues two overlapping-in-flight blocks
+// with conflicting OCC read/write sets directly into the pipeline
+// (bypassing the batcher's conflict deferral): block A writes an item,
+// block B — already in flight behind it — read that item at its old write
+// timestamp. Because cohorts validate in strict height order after
+// applying A, B must abort exactly as it would serially, and the chain and
+// audit stay clean.
+func TestPipelineConflictingBlocks(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := testCluster(t, Config{NumServers: 3, ItemsPerShard: 32, Pipeline: 4})
+	ident, err := c.NewClientIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x, y := ItemName(0, 1), ItemName(1, 1)
+	ta := &txn.Transaction{
+		ID: "conf-a", TS: txn.Timestamp{Time: 100, ClientID: 1},
+		Writes: []txn.WriteEntry{{ID: x, NewVal: []byte("ax"), Blind: true}},
+	}
+	// B read x before A committed (WTS still zero) and writes y: a
+	// read-write conflict with A that only materializes once A applies.
+	tb := &txn.Transaction{
+		ID: "conf-b", TS: txn.Timestamp{Time: 200, ClientID: 2},
+		Reads:  []txn.ReadEntry{{ID: x, Value: []byte("0")}},
+		Writes: []txn.WriteEntry{{ID: y, NewVal: []byte("by"), Blind: true}},
+	}
+	envA, err := SignTxn(ident, ta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB, err := SignTxn(ident, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitA, err := c.Pipeline().Enqueue(ctx, []*txn.Transaction{ta}, []identity.Envelope{envA}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitB, err := c.Pipeline().Enqueue(ctx, []*txn.Transaction{tb}, []identity.Envelope{envB}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, errA := waitA()
+	resB, errB := waitB()
+	if errA != nil || !resA.Committed {
+		t.Fatalf("block A: %v committed=%v", errA, resA != nil && resA.Committed)
+	}
+	if errB != nil {
+		t.Fatalf("block B: %v", errB)
+	}
+	if resB.Committed {
+		t.Fatal("block B committed despite reading a stale write timestamp")
+	}
+
+	// Only A is logged (aborts are not appended), on every server, and the
+	// audit is clean.
+	for i := 0; i < 3; i++ {
+		if got := c.ServerAt(i).Log().Len(); got != 1 {
+			t.Errorf("server %d log length = %d, want 1", i, got)
+		}
+	}
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("audit found: %+v", report.Findings)
+	}
+}
+
+// TestPipelinedClusterWorkloadAudit hammers a pipelined, rotating cluster
+// with concurrent clients over deliberately overlapping items — so the
+// batcher's in-flight conflict deferral, the speculative watermark, and
+// the cohorts' in-order OCC validation all engage — then requires
+// identical logs on every server and a clean datastore-checking audit.
+func TestPipelinedClusterWorkloadAudit(t *testing.T) {
+	c := testCluster(t, Config{
+		NumServers: 3, ItemsPerShard: 16, BatchSize: 4,
+		Pipeline: 3, Coordinators: 3,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const workers = 8
+	const perWorker = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := c.NewClient()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				item := ItemName((w+i)%3, (w*i)%6) // overlapping on purpose
+				committed := false
+				for attempt := 0; attempt < 300 && !committed; attempt++ {
+					s := cl.Begin()
+					if _, err := s.Read(ctx, item); err != nil {
+						errs <- err
+						return
+					}
+					if err := s.Write(ctx, item, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+						errs <- err
+						return
+					}
+					res, err := s.Commit(ctx)
+					if err != nil {
+						errs <- err
+						return
+					}
+					committed = res.Committed
+				}
+				if !committed {
+					errs <- fmt.Errorf("worker %d txn %d never committed", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Identical tamper-proof logs everywhere.
+	ref := c.ServerAt(0).Log()
+	if ref.Len() == 0 {
+		t.Fatal("no blocks committed")
+	}
+	for i := 1; i < 3; i++ {
+		l := c.ServerAt(i).Log()
+		if l.Len() != ref.Len() {
+			t.Fatalf("server %d log length %d, want %d", i, l.Len(), ref.Len())
+		}
+		if !bytes.Equal(l.TipHash(), ref.TipHash()) {
+			t.Fatalf("server %d tip hash differs", i)
+		}
+	}
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("audit after pipelined workload found: %+v", report.Findings)
+	}
+}
+
+// TestPipelinedKillAndRecover kills a durable pipelined cluster (rotating
+// coordinators, several blocks in flight) in the middle of a hammering
+// workload and restarts it on the same data directories: verified crash
+// recovery must reproduce every server's log and shard root, the
+// post-recovery audit must be clean, and the restarted pipeline must keep
+// committing — the coordinator-crash-mid-pipeline scenario.
+func TestPipelinedKillAndRecover(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := durableConfig(dataDir)
+	cfg.Pipeline = 3
+	cfg.Coordinators = 2
+
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	commitSome(t, c, 8, 0)
+
+	// Kill while background clients are mid-flight through the pipeline.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			cl, err := c.NewClient()
+			if err != nil {
+				return
+			}
+			for i := 100 * (g + 1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := cl.Begin()
+				if err := s.Write(ctx, ItemName(i%3, 8+i%8), []byte("inflight")); err != nil {
+					return
+				}
+				if _, err := s.Commit(ctx); err != nil {
+					return // batcher closed mid-flight: expected at kill time
+				}
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	close(stop)
+	wg.Wait()
+
+	heights := make(map[int]int)
+	roots := make(map[int][]byte)
+	for i := 0; i < cfg.NumServers; i++ {
+		heights[i] = c.ServerAt(i).Log().Len()
+		roots[i] = c.ServerAt(i).Shard().Root()
+	}
+	if heights[0] == 0 {
+		t.Fatal("no blocks committed before the kill")
+	}
+
+	// Restart pipelined on the same data directories.
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer c2.Close()
+
+	for i := 0; i < cfg.NumServers; i++ {
+		srv := c2.ServerAt(i)
+		if got := srv.Log().Len(); got != heights[i] {
+			t.Errorf("server %d recovered %d blocks, want %d", i, got, heights[i])
+		}
+		if !bytes.Equal(srv.Shard().Root(), roots[i]) {
+			t.Errorf("server %d recovered shard root differs from pre-kill root", i)
+		}
+		if rec := c2.Recovery(srv.ID()); rec == nil {
+			t.Errorf("server %d has no recovery info", i)
+		} else if len(rec.Warnings) > 0 {
+			t.Errorf("server %d recovery warnings: %v", i, rec.Warnings)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	report, err := c2.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatalf("post-recovery audit: %v", err)
+	}
+	if !report.Clean() {
+		t.Fatalf("post-recovery audit found: %+v", report.Findings)
+	}
+
+	// The recovered pipeline keeps committing from the recovered height.
+	commitSome(t, c2, 6, 500)
+	if got := c2.ServerAt(0).Log().Len(); got <= heights[0] {
+		t.Errorf("log did not grow after recovery: %d ≤ %d", got, heights[0])
+	}
+	report, err = c2.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("audit after post-recovery commits found: %+v", report.Findings)
+	}
+}
+
+// TestPipelinedClusterOverTCP runs the pipelined commit path over real
+// loopback TCP sockets: the lookahead wait then happens inside TCP-served
+// handlers (background contexts, per-call connections), which must not
+// head-of-line block the decisions the waiters depend on.
+func TestPipelinedClusterOverTCP(t *testing.T) {
+	c, err := NewCluster(Config{
+		NumServers:    3,
+		ItemsPerShard: 32,
+		BatchSize:     2,
+		BatchWait:     time.Millisecond,
+		TCP:           true,
+		Pipeline:      3,
+		Coordinators:  2,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := c.NewClient()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 4; i++ {
+				committed := false
+				for attempt := 0; attempt < 200 && !committed; attempt++ {
+					s := cl.Begin()
+					item := ItemName(w%3, (w*7+i)%16)
+					if err := s.Write(ctx, item, []byte{byte('a' + w), byte(i)}); err != nil {
+						errs <- err
+						return
+					}
+					res, err := s.Commit(ctx)
+					if err != nil {
+						errs <- err
+						return
+					}
+					committed = res.Committed
+				}
+				if !committed {
+					errs <- fmt.Errorf("tcp worker %d txn %d never committed", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	ref := c.ServerAt(0).Log()
+	if ref.Len() == 0 {
+		t.Fatal("no blocks committed over TCP")
+	}
+	for _, id := range c.Servers() {
+		l := c.Server(id).Log()
+		if l.Len() != ref.Len() || !bytes.Equal(l.TipHash(), ref.TipHash()) {
+			t.Errorf("server %s log diverges", id)
+		}
+	}
+	report, err := c.Audit(ctx, audit.Options{CheckDatastore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("audit after pipelined TCP run found: %+v", report.Findings)
+	}
+}
+
+// TestPipelineConfigValidation: the pipeline knobs are TFCommit-only.
+func TestPipelineConfigValidation(t *testing.T) {
+	if _, err := NewCluster(Config{Protocol: ProtocolTwoPC, Pipeline: 2}); err == nil {
+		t.Fatal("2PC cluster accepted a pipeline depth")
+	}
+	if _, err := NewCluster(Config{Protocol: ProtocolTwoPC, Coordinators: 2}); err == nil {
+		t.Fatal("2PC cluster accepted coordinator rotation")
+	}
+}

@@ -41,6 +41,16 @@ type Deployment struct {
 	// SnapshotEvery writes a shard snapshot every N committed blocks
 	// (0 disables snapshots).
 	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// Pipeline is the number of TFCommit blocks the coordinator keeps in
+	// flight at once (0/1 = strictly serial rounds). Cohort servers read
+	// it too: it enables their bounded lookahead wait for block
+	// announcements that overtake a predecessor's decision.
+	Pipeline int `json:"pipeline,omitempty"`
+	// Coordinators is the number of servers taking turns driving TFCommit
+	// rounds. Rotation requires the coordinators to share a process (the
+	// in-process core.Cluster); a multi-process fides-server deployment
+	// supports only 1 and refuses larger values at startup.
+	Coordinators int `json:"coordinators,omitempty"`
 }
 
 // Generate creates a fresh deployment of n servers listening on

@@ -18,7 +18,7 @@
 //     collectively *signed* block, and any invalid or tampered snapshot is
 //     discarded in favor of verified replay from the WAL.
 //
-// The trust rules (see DESIGN.md §4):
+// The trust rules (see docs/operations.md):
 //
 //   - torn tail (short or CRC-failing final records): truncated — a crash
 //     artifact, the committed prefix is recovered;
@@ -56,6 +56,7 @@ const (
 	FsyncOff
 )
 
+// String names the fsync mode as accepted by ParseFsyncMode.
 func (m FsyncMode) String() string {
 	switch m {
 	case FsyncAlways:

@@ -1,0 +1,69 @@
+package durable
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ledger"
+)
+
+// OrderedPersister enforces strict height ordering on the persist queue in
+// front of an underlying ledger.Persister (typically a *Store, whose WAL
+// also refuses any append that does not extend it).
+//
+// The pipelined commit path keeps several blocks in flight, and although
+// the cohort state machine already applies decisions — and therefore
+// persists blocks — in strict height order, this gate makes the ordering a
+// checked local invariant of the durability layer rather than a property
+// inherited from the caller's scheduling.
+//
+// A block above the expected height is REFUSED, not staged: Persist is the
+// write-ahead hook called under ledger.Log's lock, so its return is the
+// durability acknowledgment — buffering the block and returning nil would
+// acknowledge a write the WAL does not hold (lost on crash), and blocking
+// until the hole fills would deadlock, because the hole-filling append
+// needs the same log lock the waiter holds. An out-of-order arrival here
+// is by construction a commit-layer scheduling bug, and the only sound
+// response is a loud error that fails that commit.
+type OrderedPersister struct {
+	next ledger.Persister
+
+	mu     sync.Mutex
+	height uint64 // next height to hand to the underlying persister
+	sticky error  // first underlying failure; all later appends refuse
+}
+
+// NewOrderedPersister wraps next so blocks persist in strictly increasing,
+// dense height order starting at nextHeight (the length of the recovered
+// WAL).
+func NewOrderedPersister(next ledger.Persister, nextHeight uint64) *OrderedPersister {
+	return &OrderedPersister{next: next, height: nextHeight}
+}
+
+// Persist hands the block to the underlying persister iff it is exactly
+// the next height; anything else is refused with ErrOutOfOrder. An
+// underlying failure is sticky, matching the WAL's own failed-fsync
+// discipline.
+func (o *OrderedPersister) Persist(b *ledger.Block) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.sticky != nil {
+		return o.sticky
+	}
+	if b.Height != o.height {
+		return fmt.Errorf("%w: block %d, next unpersisted height %d", ErrOutOfOrder, b.Height, o.height)
+	}
+	if err := o.next.Persist(b); err != nil {
+		o.sticky = err
+		return err
+	}
+	o.height++
+	return nil
+}
+
+// NextHeight reports the next height the gate will accept.
+func (o *OrderedPersister) NextHeight() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.height
+}

@@ -1,0 +1,93 @@
+package durable
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+// recordingPersister captures the height order in which blocks reach it.
+type recordingPersister struct {
+	heights []uint64
+	fail    error
+}
+
+func (r *recordingPersister) Persist(b *ledger.Block) error {
+	if r.fail != nil {
+		return r.fail
+	}
+	r.heights = append(r.heights, b.Height)
+	return nil
+}
+
+func blockAt(h uint64) *ledger.Block { return &ledger.Block{Height: h} }
+
+// TestOrderedPersisterPassesDenseSequence: in-order appends flow through
+// and advance the gate.
+func TestOrderedPersisterPassesDenseSequence(t *testing.T) {
+	rec := &recordingPersister{}
+	o := NewOrderedPersister(rec, 0)
+	for h := uint64(0); h < 3; h++ {
+		if err := o.Persist(blockAt(h)); err != nil {
+			t.Fatalf("persist height %d: %v", h, err)
+		}
+	}
+	if len(rec.heights) != 3 {
+		t.Fatalf("wrote %v, want 0,1,2", rec.heights)
+	}
+	for i, h := range []uint64{0, 1, 2} {
+		if rec.heights[i] != h {
+			t.Fatalf("wrote %v, want 0,1,2", rec.heights)
+		}
+	}
+	if got := o.NextHeight(); got != 3 {
+		t.Fatalf("NextHeight = %d, want 3", got)
+	}
+}
+
+// TestOrderedPersisterRefusesGaps: a block above the expected height must
+// be refused, never acknowledged — Persist's return IS the write-ahead
+// durability acknowledgment, so "staged but not written" has no sound
+// answer.
+func TestOrderedPersisterRefusesGaps(t *testing.T) {
+	rec := &recordingPersister{}
+	o := NewOrderedPersister(rec, 0)
+	if err := o.Persist(blockAt(2)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("gap accepted: %v, want ErrOutOfOrder", err)
+	}
+	if len(rec.heights) != 0 {
+		t.Fatalf("gap reached the underlying persister: %v", rec.heights)
+	}
+	// The gate did not advance: the correct next block still flows.
+	if err := o.Persist(blockAt(0)); err != nil {
+		t.Fatalf("persist after refused gap: %v", err)
+	}
+}
+
+// TestOrderedPersisterRejectsBelowWatermark: already-persisted heights are
+// refused as out-of-order.
+func TestOrderedPersisterRejectsBelowWatermark(t *testing.T) {
+	o := NewOrderedPersister(&recordingPersister{}, 5)
+	if err := o.Persist(blockAt(3)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("height below watermark: %v, want ErrOutOfOrder", err)
+	}
+	if err := o.Persist(blockAt(5)); err != nil {
+		t.Fatalf("exact next height: %v", err)
+	}
+}
+
+// TestOrderedPersisterStickyError: an underlying failure poisons all later
+// appends (matching the WAL's sticky sync-error discipline).
+func TestOrderedPersisterStickyError(t *testing.T) {
+	boom := errors.New("disk gone")
+	rec := &recordingPersister{fail: boom}
+	o := NewOrderedPersister(rec, 0)
+	if err := o.Persist(blockAt(0)); !errors.Is(err, boom) {
+		t.Fatalf("first persist: %v, want %v", err, boom)
+	}
+	rec.fail = nil // the disk "recovers" — the sticky error must not
+	if err := o.Persist(blockAt(0)); !errors.Is(err, boom) {
+		t.Fatalf("after sticky error: %v, want %v", err, boom)
+	}
+}

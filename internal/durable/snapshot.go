@@ -14,7 +14,7 @@ import (
 	"repro/internal/txn"
 )
 
-// Snapshot on-disk format (see DESIGN.md §4.2):
+// Snapshot on-disk format (see docs/protocol.md):
 //
 //	snapshot := magic(8)="FIDESNAP" | version(1)=1 | height(8 BE)
 //	            | tip_hash(lp) | root(lp) | item_count(uvarint) | item*

@@ -14,7 +14,7 @@ import (
 	"repro/internal/ledger"
 )
 
-// WAL on-disk format (see DESIGN.md §4.1):
+// WAL on-disk format (see docs/protocol.md):
 //
 //	segment := header record*
 //	header  := magic(8)="FIDESWAL" | version(1)=1 | first_height(8 BE)

@@ -36,6 +36,7 @@ const (
 	RoleClient
 )
 
+// String names the role.
 func (r Role) String() string {
 	switch r {
 	case RoleServer:

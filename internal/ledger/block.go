@@ -12,10 +12,12 @@ package ledger
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cosi"
 	"repro/internal/identity"
@@ -35,6 +37,7 @@ const (
 	DecisionAbort
 )
 
+// String names the decision.
 func (d Decision) String() string {
 	switch d {
 	case DecisionCommit:
@@ -193,10 +196,20 @@ type Persister interface {
 // Log is a server's local copy of the globally replicated tamper-proof log:
 // an append-only sequence of committed blocks. It is safe for concurrent
 // use.
+//
+// The log is also the cohort-side sequencing point of the pipelined commit
+// path: announcements for future heights may arrive before the decision
+// that extends the chain to them (the coordinator of block h+1 starts its
+// round as soon as block h's co-sign is finalized, while block h's
+// decision broadcast and apply are still in flight). WaitLen lets such an
+// out-of-order arrival park until the log has grown to the height it
+// extends, so validation, OCC checks and appends still happen in strict
+// height order.
 type Log struct {
 	mu      sync.RWMutex
 	blocks  []*Block
 	persist Persister
+	grown   chan struct{} // closed and replaced on every Append
 }
 
 // NewLog returns an empty log.
@@ -258,7 +271,51 @@ func (l *Log) Append(b *Block) error {
 		}
 	}
 	l.blocks = append(l.blocks, b)
+	if l.grown != nil {
+		close(l.grown)
+		l.grown = nil
+	}
 	return nil
+}
+
+// ErrWaitTimeout reports that WaitLen gave up before the log reached the
+// requested length — the sign of a wedged or abandoned pipeline round.
+var ErrWaitTimeout = errors.New("ledger: timed out waiting for log growth")
+
+// WaitLen blocks until the log holds at least n blocks, the context is
+// done, or timeout elapses. It is the in-order staging gate for
+// out-of-order pipeline arrivals: a cohort receiving the block
+// announcement for height h while its log is still at height h' < h waits
+// here for the in-flight decisions of heights h'..h-1 to apply, keeping
+// hash-chain extension and OCC validation strictly height-ordered no
+// matter how the overlapped protocol rounds interleave on the wire.
+func (l *Log) WaitLen(ctx context.Context, n uint64, timeout time.Duration) error {
+	var timer *time.Timer
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	for {
+		l.mu.Lock()
+		if uint64(len(l.blocks)) >= n {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.grown == nil {
+			l.grown = make(chan struct{})
+		}
+		grown := l.grown
+		l.mu.Unlock()
+		select {
+		case <-grown:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timeoutC:
+			return fmt.Errorf("%w: waited for height %d, log at %d", ErrWaitTimeout, n, l.Len())
+		}
+	}
 }
 
 // Len returns the number of blocks in the log.

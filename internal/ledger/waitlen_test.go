@@ -1,0 +1,83 @@
+package ledger
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestWaitLenReturnsImmediately: a satisfied wait never blocks.
+func TestWaitLenReturnsImmediately(t *testing.T) {
+	l := NewLog()
+	if err := l.WaitLen(context.Background(), 0, time.Millisecond); err != nil {
+		t.Fatalf("WaitLen(0) on empty log: %v", err)
+	}
+	if err := l.Append(sampleBlock(0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitLen(context.Background(), 1, time.Millisecond); err != nil {
+		t.Fatalf("WaitLen(1) on 1-block log: %v", err)
+	}
+}
+
+// TestWaitLenWakesOnAppend: the out-of-order staging gate — a waiter for a
+// future height unblocks exactly when the log grows to it.
+func TestWaitLenWakesOnAppend(t *testing.T) {
+	l := NewLog()
+	genesis := sampleBlock(0, nil)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- l.WaitLen(context.Background(), 2, 5*time.Second)
+	}()
+
+	time.Sleep(2 * time.Millisecond) // let the waiter park
+	if err := l.Append(genesis); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("waiter for height 2 woke after 1 append: %v", err)
+	case <-time.After(5 * time.Millisecond):
+	}
+	if err := l.Append(sampleBlock(1, genesis.Hash())); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitLen after catch-up: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke after the log caught up")
+	}
+}
+
+// TestWaitLenTimesOut: a wedged pipeline surfaces as ErrWaitTimeout rather
+// than a hung handler.
+func TestWaitLenTimesOut(t *testing.T) {
+	l := NewLog()
+	err := l.WaitLen(context.Background(), 3, 5*time.Millisecond)
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("err = %v, want ErrWaitTimeout", err)
+	}
+}
+
+// TestWaitLenHonorsContext: cancellation beats the timeout.
+func TestWaitLenHonorsContext(t *testing.T) {
+	l := NewLog()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.WaitLen(ctx, 3, time.Minute) }()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitLen ignored context cancellation")
+	}
+}

@@ -58,6 +58,21 @@ var (
 // Merkle root if involved and committing, and produce the Schnorr
 // commitment for CoSi.
 func (s *Server) GetVote(ctx context.Context, from identity.NodeID, req *wire.GetVoteReq) (*wire.VoteResp, error) {
+	// Pipelined lookahead (per-height sequencing): the announcement for
+	// block h+1 is sent as soon as block h's co-sign is finalized, so it
+	// can overtake block h's decision on the wire. Park until the log has
+	// grown to the announced height — everything below is then applied
+	// (Decide runs apply, watermark and cleanup under one critical section
+	// ending after the append) — so the OCC validation, Merkle root and
+	// chain checks below see exactly the serial-order state.
+	if s.lookahead > 0 && req.Block != nil {
+		if h := req.Block.Height; h > uint64(s.log.Len()) {
+			if err := s.log.WaitLen(ctx, h, s.lookahead); err != nil {
+				return nil, fmt.Errorf("server %s: %w: %v", s.ident.ID, ErrOutOfSequence, err)
+			}
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 

@@ -62,6 +62,12 @@ type Config struct {
 	Log *ledger.Log
 	// Snapshot, when non-nil, is invoked after every committed block.
 	Snapshot Snapshotter
+	// VoteLookahead enables the pipelined commit path on the cohort side:
+	// a get_vote announcement for a height above the log tip waits up to
+	// this long for the in-flight decisions below it to apply, instead of
+	// being rejected outright. Zero keeps the strict serial behavior
+	// (announcements must extend the log exactly when they arrive).
+	VoteLookahead time.Duration
 }
 
 // Server is one Fides database server.
@@ -74,7 +80,8 @@ type Server struct {
 
 	faults Faults
 
-	snap Snapshotter
+	snap      Snapshotter
+	lookahead time.Duration // max get_vote wait for pipelined arrivals
 
 	mu            sync.Mutex
 	buffers       map[string]map[txn.ItemID][]byte // txnID → buffered writes (execution layer)
@@ -125,6 +132,7 @@ func New(cfg Config) (*Server, error) {
 		shard:      cfg.Shard,
 		log:        log,
 		snap:       cfg.Snapshot,
+		lookahead:  cfg.VoteLookahead,
 		faults:     cfg.Faults,
 		buffers:    make(map[string]map[txn.ItemID][]byte),
 		prevValues: make(map[txn.ItemID][]byte),

@@ -1,0 +1,253 @@
+package tfcommit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/txn"
+)
+
+// Pipeline keeps up to Depth TFCommit rounds in flight at once and rotates
+// the coordinator role across a set of servers.
+//
+// The hash chain makes full phase-level parallelism impossible: block h+1's
+// PrevHash is the hash of block h, which covers block h's collective
+// signature, so the prepare phases of h+1 cannot start before h's co-sign
+// is finalized (end of phase 4). What CAN overlap — and what this type
+// overlaps — is everything after that point: while block h's decision
+// broadcast, datastore applies, WAL appends and fsyncs are still in flight
+// (phase 5), the round for block h+1 is already announcing, collecting
+// votes and co-signing. Cohorts keep their side strictly height-ordered: a
+// block announcement that overtakes its predecessor's decision parks in
+// ledger.Log.WaitLen until the log catches up, so OCC validation, Merkle
+// roots and chain extension are byte-for-byte the same as a serial run.
+//
+// Coordinator rotation implements §3's observation that any database
+// server can act as the TFCommit coordinator: round r is driven by
+// Coordinators[r mod len(Coordinators)]. Rotation needs no extra trust —
+// the coordinator is untrusted either way, and every cohort still verifies
+// every block it co-signs.
+//
+// Sequencing rules, chosen so a failed or aborted round can never wedge or
+// equivocate the chain:
+//
+//   - A committed block releases its successor (height+1, Hash) as soon as
+//     its co-sign is finalized, before phase 5 — that is the pipelining.
+//   - An aborted block is not appended (paper §4.1 step 6), so its height
+//     is reused; the successor is released only after the abort's phase 5
+//     completes, otherwise the next announcement at the same height could
+//     overtake the abort decision at a cohort and clobber its round state.
+//   - A round that fails mid-protocol releases the position unchanged; the
+//     next round at that height simply replaces the dead round's state at
+//     the cohorts.
+type Pipeline struct {
+	coords []*Coordinator
+	depth  int
+	sem    chan struct{}
+
+	mu    sync.Mutex
+	tail  chan position // the channel the next round must wait on
+	round uint64
+}
+
+// position is the chain slot handed from each round to its successor.
+type position struct {
+	height   uint64
+	prevHash []byte
+}
+
+// PipelineConfig assembles a Pipeline.
+type PipelineConfig struct {
+	// Coordinators are the rotating coordinator instances, typically one
+	// per coordinating server. At least one is required; round r is driven
+	// by Coordinators[r mod len(Coordinators)].
+	Coordinators []*Coordinator
+	// Depth is the maximum number of blocks in flight (1 = serial).
+	Depth int
+	// Height and PrevHash seed the chain position: the next block's height
+	// and the hash it extends (from the, possibly recovered, log tip).
+	Height uint64
+	// PrevHash is the log tip hash at Height (nil for an empty log).
+	PrevHash []byte
+}
+
+// NewPipeline creates a commit pipeline.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if len(cfg.Coordinators) == 0 {
+		return nil, errors.New("tfcommit: pipeline requires at least one coordinator")
+	}
+	for i, c := range cfg.Coordinators {
+		if c == nil {
+			return nil, fmt.Errorf("tfcommit: pipeline coordinator %d is nil", i)
+		}
+	}
+	depth := cfg.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	head := make(chan position, 1)
+	head <- position{height: cfg.Height, prevHash: cfg.PrevHash}
+	return &Pipeline{
+		coords: append([]*Coordinator(nil), cfg.Coordinators...),
+		depth:  depth,
+		sem:    make(chan struct{}, depth),
+		tail:   head,
+	}, nil
+}
+
+// Depth returns the pipeline's maximum number of in-flight blocks.
+func (p *Pipeline) Depth() int { return p.depth }
+
+// Coordinators returns how many servers take turns driving commits.
+func (p *Pipeline) Coordinators() int { return len(p.coords) }
+
+// SetFaults replaces the fault configuration on every rotating coordinator.
+func (p *Pipeline) SetFaults(f Faults) {
+	for _, c := range p.coords {
+		c.SetFaults(f)
+	}
+}
+
+// CommitBlock terminates one batch through the pipeline, blocking until the
+// round completes. Concurrent callers are sequenced FIFO by enqueue order;
+// at most Depth rounds run at once.
+func (p *Pipeline) CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*Result, error) {
+	wait, err := p.Enqueue(ctx, txns, envs, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wait()
+}
+
+// Enqueue claims the next pipeline slot (blocking while Depth rounds are
+// already in flight), starts the round in the background, and returns a
+// function that waits for its outcome. Enqueue order is commit order:
+// callers that need deterministic block sequencing enqueue sequentially and
+// wait concurrently — core.Batcher enqueues from its dispatch loop for
+// exactly this reason.
+//
+// maxPrunes and dropped configure the §4.6 prune-and-retry policy, run at
+// the block's HELD chain position: when cohorts itemize individual failing
+// transactions on an abort, the block is retried with them pruned at the
+// same height, before the position is released to any successor. Retrying
+// in place matters under pipelining: a retry re-enqueued behind later
+// blocks would find the stale-timestamp watermark advanced past its
+// transactions' timestamps and be doomed to abort again. dropped is
+// invoked (from the round goroutine, strictly before the wait function
+// returns) for each pruned transaction index with the abort result that
+// vetoed it; 0/nil disables retrying.
+func (p *Pipeline) Enqueue(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope, maxPrunes int, dropped func(int, *Result)) (func() (*Result, error), error) {
+	if len(txns) == 0 {
+		return nil, errors.New("tfcommit: empty batch")
+	}
+	if len(envs) != len(txns) {
+		return nil, fmt.Errorf("tfcommit: %d envelopes for %d transactions", len(envs), len(txns))
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	p.mu.Lock()
+	prev := p.tail
+	next := make(chan position, 1)
+	p.tail = next
+	coord := p.coords[p.round%uint64(len(p.coords))]
+	p.round++
+	p.mu.Unlock()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() { <-p.sem }()
+
+		var pos position
+		select {
+		case pos = <-prev:
+		case <-ctx.Done():
+			// The position must keep flowing or every successor wedges.
+			// Unblock the caller now, then keep this goroutine (and its
+			// depth slot) until the predecessor releases the position and
+			// it has been handed through untouched — the predecessor
+			// always releases, so this terminates.
+			done <- outcome{err: ctx.Err()}
+			next <- <-prev
+			return
+		}
+
+		released := false
+		release := func(np position) {
+			if !released {
+				released = true
+				next <- np
+			}
+		}
+
+		curTxns, curEnvs := txns, envs
+		orig := make([]int, len(txns)) // current batch index → caller's index
+		for i := range orig {
+			orig[i] = i
+		}
+		var res *Result
+		var err error
+		for round := 0; ; round++ {
+			res, err = coord.commitAt(ctx, pos.height, pos.prevHash, curTxns, curEnvs, func(b *ledger.Block, committed bool) {
+				if committed {
+					// The co-sign is finalized: the successor's PrevHash
+					// is fixed, so the next round starts while this
+					// block's decision broadcast and applies are still in
+					// flight.
+					release(position{height: pos.height + 1, prevHash: b.Hash()})
+				}
+			})
+			if err != nil || res.Committed {
+				break
+			}
+			// In-position prune and retry (§4.6): each abort round fully
+			// completed phase 5 before the retry announces at the same
+			// height, so cohorts see a clean serial sequence of rounds.
+			failed := res.FailedTxns
+			if maxPrunes <= 0 || len(failed) == 0 || len(failed) >= len(curTxns) || round >= maxPrunes {
+				break
+			}
+			failedSet := make(map[int]struct{}, len(failed))
+			for _, idx := range failed {
+				failedSet[idx] = struct{}{}
+			}
+			nextTxns := curTxns[:0:0]
+			nextEnvs := curEnvs[:0:0]
+			nextOrig := orig[:0:0]
+			for i := range curTxns {
+				if _, bad := failedSet[i]; bad {
+					if dropped != nil {
+						dropped(orig[i], res)
+					}
+					continue
+				}
+				nextTxns = append(nextTxns, curTxns[i])
+				nextEnvs = append(nextEnvs, curEnvs[i])
+				nextOrig = append(nextOrig, orig[i])
+			}
+			curTxns, curEnvs, orig = nextTxns, nextEnvs, nextOrig
+		}
+		// Aborted blocks are not appended, so the height is reused — but
+		// only after phase 5, so the abort decision cannot be overtaken by
+		// the successor's same-height announcement. Failed rounds likewise
+		// pass the position on unchanged.
+		release(pos)
+		done <- outcome{res: res, err: err}
+	}()
+
+	return func() (*Result, error) {
+		o := <-done
+		return o.res, o.err
+	}, nil
+}

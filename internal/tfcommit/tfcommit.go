@@ -145,6 +145,7 @@ type RefusalError struct {
 	Refused map[identity.NodeID]error
 }
 
+// Error lists the refusing cohorts and their reasons.
 func (e *RefusalError) Error() string {
 	ids := make([]string, 0, len(e.Refused))
 	for id, err := range e.Refused {
@@ -161,6 +162,7 @@ type FaultySignersError struct {
 	Faulty []identity.NodeID
 }
 
+// Error lists the servers identified as faulty signers.
 func (e *FaultySignersError) Error() string {
 	ids := make([]string, len(e.Faulty))
 	for i, id := range e.Faulty {
@@ -173,8 +175,22 @@ func (e *FaultySignersError) Error() string {
 // transactions (paper §4.6 allows multiple transactions per block; the
 // evaluation uses ~100). envs carries the client-signed end_transaction
 // requests, one per transaction, which the coordinator encapsulates in the
-// GetVote announcement.
+// GetVote announcement. The block extends the coordinator's local log; for
+// rounds whose position is assigned externally (the pipelined path), see
+// Pipeline.
 func (c *Coordinator) CommitBlock(ctx context.Context, txns []*txn.Transaction, envs []identity.Envelope) (*Result, error) {
+	log := c.local.Log()
+	return c.commitAt(ctx, uint64(log.Len()), log.TipHash(), txns, envs, nil)
+}
+
+// commitAt runs one TFCommit round for a block at an explicitly assigned
+// chain position. onFinalized, when non-nil, is invoked exactly once, right
+// after the collective signature is finalized and before the Decision
+// broadcast (phase 5): at that instant the block's hash — and therefore the
+// successor's PrevHash — is fixed, so a pipeline can release the next
+// height while this round's decision distribution and datastore applies are
+// still in flight.
+func (c *Coordinator) commitAt(ctx context.Context, height uint64, prevHash []byte, txns []*txn.Transaction, envs []identity.Envelope, onFinalized func(*ledger.Block, bool)) (*Result, error) {
 	if len(txns) == 0 {
 		return nil, errors.New("tfcommit: empty batch")
 	}
@@ -184,11 +200,10 @@ func (c *Coordinator) CommitBlock(ctx context.Context, txns []*txn.Transaction, 
 
 	// Phase 1 ⟨GetVote, SchAnnouncement⟩: assemble the partially filled
 	// block b_i = [ts, Rset-Wset, h_{i-1}] and announce it.
-	log := c.local.Log()
 	block := &ledger.Block{
-		Height:   uint64(log.Len()),
+		Height:   height,
 		Txns:     make([]ledger.TxnRecord, len(txns)),
-		PrevHash: log.TipHash(),
+		PrevHash: prevHash,
 		Signers:  append([]identity.NodeID(nil), c.servers...),
 	}
 	for i, t := range txns {
@@ -284,6 +299,9 @@ func (c *Coordinator) CommitBlock(ctx context.Context, txns []*txn.Transaction, 
 		return nil, &FaultySignersError{Faulty: faulty}
 	}
 	block.SetCoSig(sig)
+	if onFinalized != nil {
+		onFinalized(block, decision == ledger.DecisionCommit)
+	}
 
 	// Phase 5 ⟨Decision, null⟩: publish the finalized block; cohorts verify
 	// the co-sign, then append to the log and update their datastores.

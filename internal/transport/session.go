@@ -45,6 +45,7 @@ const (
 	FrameAuthEnvelope
 )
 
+// String names the frame-authentication mode.
 func (a FrameAuth) String() string {
 	switch a {
 	case FrameAuthSession:

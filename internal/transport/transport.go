@@ -90,6 +90,7 @@ type RemoteError struct {
 	Msg  string
 }
 
+// Error formats the remote failure with the node that reported it.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote error from %s: %s", e.Node, e.Msg)
 }

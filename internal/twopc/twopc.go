@@ -73,6 +73,7 @@ type RefusalError struct {
 	Refused map[identity.NodeID]error
 }
 
+// Error lists the refusing cohorts and their reasons.
 func (e *RefusalError) Error() string {
 	ids := make([]string, 0, len(e.Refused))
 	for id, err := range e.Refused {

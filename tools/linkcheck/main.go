@@ -1,0 +1,115 @@
+// Command linkcheck verifies the repository's markdown cross-references
+// offline: every relative link target must exist, and every in-page or
+// cross-page #fragment must match a heading's GitHub-style anchor.
+// External http(s) links are not fetched (CI must not depend on the
+// network); mailto: links are ignored.
+//
+//	go run ./tools/linkcheck README.md docs/*.md
+//
+// With no arguments it checks the repository's documentation set (the
+// same set `make docs-check` passes). Exits non-zero listing every
+// broken link.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// defaultDocs is the documentation set checked when no files are given.
+var defaultDocs = []string{
+	"README.md",
+	"DESIGN.md",
+	"CHANGES.md",
+	"ROADMAP.md",
+	"docs/architecture.md",
+	"docs/protocol.md",
+	"docs/operations.md",
+	"examples/README.md",
+}
+
+// linkRe matches inline markdown links [text](target). Images use the
+// same syntax with a leading bang and are matched too.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings, whose text anchors #fragment links.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// anchorStrip removes the characters GitHub drops when slugging headings.
+var anchorStrip = regexp.MustCompile(`[^\w\- ]`)
+
+// slug converts a heading to its GitHub-style anchor.
+func slug(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	// Inline code/emphasis markers disappear before slugging.
+	s = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(s)
+	s = anchorStrip.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}
+
+// anchorsOf returns the set of heading anchors a markdown file defines.
+func anchorsOf(path string) (map[string]bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	for _, m := range headingRe.FindAllStringSubmatch(string(raw), -1) {
+		anchors[slug(m[1])] = true
+	}
+	return anchors, nil
+}
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = defaultDocs
+	}
+	broken := 0
+	complain := func(file, link, why string) {
+		fmt.Fprintf(os.Stderr, "linkcheck: %s: %s: %s\n", file, link, why)
+		broken++
+	}
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			complain(file, "-", err.Error())
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(raw), -1) {
+			link := m[1]
+			switch {
+			case strings.HasPrefix(link, "http://"), strings.HasPrefix(link, "https://"),
+				strings.HasPrefix(link, "mailto:"):
+				continue
+			}
+			target, frag, _ := strings.Cut(link, "#")
+			targetPath := file // pure-fragment links point into this file
+			if target != "" {
+				targetPath = filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(targetPath); err != nil {
+					complain(file, link, "target does not exist")
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(targetPath, ".md") {
+				anchors, err := anchorsOf(targetPath)
+				if err != nil {
+					complain(file, link, err.Error())
+					continue
+				}
+				if !anchors[frag] {
+					complain(file, link, fmt.Sprintf("no heading anchors to #%s in %s", frag, targetPath))
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(files))
+}
