@@ -8,7 +8,7 @@ GO ?= go
 BENCH ?= BenchmarkFig13
 PROFILE_DIR ?= .profiles
 
-.PHONY: all build vet test test-short test-race bench bench-fig12 bench-wal bench-pipeline fuzz profile docs-check clean
+.PHONY: all build vet test test-short test-race bench bench-fig12 bench-wal bench-pipeline bench-reads fuzz profile docs-check clean
 
 all: vet build test
 
@@ -45,6 +45,11 @@ bench-wal:
 # (regenerates the BENCH_PR3.json sweep at reduced scale).
 bench-pipeline:
 	$(GO) run ./cmd/fidesbench -exp pipeline -requests 300 -runs 1
+
+# Proof-carrying vs plain reads, read fraction × verified × batch
+# (regenerates the BENCH_PR4.json sweep at reduced scale).
+bench-reads:
+	$(GO) run ./cmd/fidesbench -exp reads -requests 300 -runs 1
 
 # Documentation health: every relative markdown link + #fragment resolves
 # (offline; tools/linkcheck), and `go doc` renders every package (catches

@@ -3,6 +3,13 @@
 // cmd/fides-server and optionally finishes with a full audit.
 //
 //	fides-client -deployment deployment.json -txns 20 -audit
+//
+// With -verify, the client first cold-syncs the co-signed block header
+// chain and then performs every read through the proof-carrying verified
+// path (Session.ReadVerified): a stale or forged value is rejected at
+// read time instead of at the next audit.
+//
+//	fides-client -deployment deployment.json -txns 20 -verify -audit
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/deploy"
 	"repro/internal/identity"
+	"repro/internal/lightclient"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -26,16 +34,17 @@ func main() {
 		txns           = flag.Int("txns", 10, "transactions to commit")
 		opsPerTxn      = flag.Int("ops", 5, "operations per transaction")
 		runAudit       = flag.Bool("audit", false, "run a full audit afterwards")
+		verify         = flag.Bool("verify", false, "sync the header chain and perform proof-carrying verified reads")
 		seed           = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
-	if err := run(*deploymentPath, *txns, *opsPerTxn, *runAudit, *seed); err != nil {
+	if err := run(*deploymentPath, *txns, *opsPerTxn, *runAudit, *verify, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "fides-client: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, txns, opsPerTxn int, runAudit bool, seed int64) error {
+func run(path string, txns, opsPerTxn int, runAudit, verify bool, seed int64) error {
 	d, err := deploy.Load(path)
 	if err != nil {
 		return err
@@ -70,6 +79,28 @@ func run(path string, txns, opsPerTxn int, runAudit bool, seed int64) error {
 	}
 	defer func() { _ = node.Close() }()
 
+	// With -verify, a light client cold-syncs the header chain before any
+	// transaction runs and authenticates every read against it.
+	var lc *lightclient.Client
+	if verify {
+		if lc, err = lightclient.New(lightclient.Config{
+			Registry:  reg,
+			Transport: node,
+			Layout:    dir,
+			Servers:   d.ServerIDs(),
+		}); err != nil {
+			return err
+		}
+		syncStart := time.Now()
+		tip, err := lc.Sync(context.Background())
+		if err != nil {
+			return fmt.Errorf("header sync: %w", err)
+		}
+		st := lc.Stats()
+		fmt.Printf("header sync: %d headers verified to height %d in %v (%d pages)\n",
+			st.HeadersVerified, tip, time.Since(syncStart).Round(time.Millisecond), st.SyncPages)
+	}
+
 	cl, err := client.New(client.Config{
 		Identity:    ident,
 		Registry:    reg,
@@ -77,6 +108,7 @@ func run(path string, txns, opsPerTxn int, runAudit bool, seed int64) error {
 		Directory:   dir,
 		Coordinator: d.CoordinatorID(),
 		ClientID:    1,
+		Verifier:    lc,
 	})
 	if err != nil {
 		return err
@@ -89,6 +121,39 @@ func run(path string, txns, opsPerTxn int, runAudit bool, seed int64) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+
+	// A shard is only verifiable once a co-signed block carries its root;
+	// on a fresh deployment nothing does. Bootstrap each shard with one
+	// committed write so every later read has a root to authenticate
+	// against.
+	if verify {
+		for _, srv := range d.ServerIDs() {
+			items := dir.ShardItems(srv)
+			if len(items) == 0 {
+				continue
+			}
+			for attempt := 0; ; attempt++ {
+				s := cl.Begin()
+				if _, err := s.Read(ctx, items[0]); err != nil {
+					return fmt.Errorf("bootstrap %s: %w", srv, err)
+				}
+				if err := s.Write(ctx, items[0], []byte("bootstrap")); err != nil {
+					return fmt.Errorf("bootstrap %s: %w", srv, err)
+				}
+				res, err := s.Commit(ctx)
+				if err != nil {
+					return fmt.Errorf("bootstrap %s: %w", srv, err)
+				}
+				if res.Committed {
+					break
+				}
+				if attempt > 10 {
+					return fmt.Errorf("bootstrap %s: could not commit", srv)
+				}
+			}
+		}
+		fmt.Printf("bootstrapped %d shard roots\n", len(d.ServerIDs()))
+	}
 	committed := 0
 	start := time.Now()
 	for committed < txns {
@@ -97,7 +162,11 @@ func run(path string, txns, opsPerTxn int, runAudit bool, seed int64) error {
 		for _, op := range plan.Ops {
 			switch op.Kind {
 			case workload.OpRead:
-				if _, err := s.Read(ctx, op.Item); err != nil {
+				if verify {
+					if _, err := s.ReadVerified(ctx, op.Item); err != nil {
+						return err
+					}
+				} else if _, err := s.Read(ctx, op.Item); err != nil {
 					return err
 				}
 			case workload.OpWrite:
@@ -118,6 +187,11 @@ func run(path string, txns, opsPerTxn int, runAudit bool, seed int64) error {
 	elapsed := time.Since(start)
 	fmt.Printf("%d transactions committed in %v (%.0f tps)\n",
 		committed, elapsed.Round(time.Millisecond), float64(committed)/elapsed.Seconds())
+	if lc != nil {
+		st := lc.Stats()
+		fmt.Printf("verified reads: %d items proof-checked against %d headers (%d stale retries)\n",
+			st.ReadsVerified, st.HeadersVerified, st.StaleRetries)
+	}
 
 	if !runAudit {
 		return nil

@@ -7,6 +7,7 @@
 //	fidesbench -exp fig15      # items per shard 1k..10k
 //	fidesbench -exp durability # fsync=off|group|always TFCommit cost
 //	fidesbench -exp pipeline   # pipelined vs serial TFCommit, 5 servers
+//	fidesbench -exp reads      # proof-carrying vs plain reads, batched
 //	fidesbench -exp all        # everything
 //
 // The paper runs 1000 client requests per data point, averaged over 3
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig12, fig13, fig14, fig15, durability, pipeline, or all")
+		exp      = flag.String("exp", "all", "experiment: fig12, fig13, fig14, fig15, durability, pipeline, reads, or all")
 		requests = flag.Int("requests", 1000, "client transactions per data point (paper: 1000)")
 		runs     = flag.Int("runs", 3, "runs averaged per data point (paper: 3)")
 		latency  = flag.Duration("latency", 250*time.Microsecond, "simulated one-way network latency")
@@ -85,6 +86,12 @@ func main() {
 				rows = append(rows, bench.RowFromMetrics("pipeline", m))
 			}
 			return err
+		case "reads":
+			out, err := bench.Reads(os.Stdout, opts)
+			for _, r := range out {
+				rows = append(rows, bench.RowFromReads(r, opts))
+			}
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -92,7 +99,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"fig12", "fig13", "fig14", "fig15", "durability", "pipeline"}
+		names = []string{"fig12", "fig13", "fig14", "fig15", "durability", "pipeline", "reads"}
 	} else {
 		names = []string{*exp}
 	}

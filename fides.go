@@ -41,6 +41,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/lightclient"
 	"repro/internal/server"
 	"repro/internal/tfcommit"
 	"repro/internal/txn"
@@ -78,6 +79,32 @@ type (
 	Session = client.Session
 	// CommitResult is a termination outcome with its signed block.
 	CommitResult = client.CommitResult
+	// LightClient syncs the co-signed block header chain and verifies
+	// proof-carrying reads against it (Session.ReadVerified,
+	// LightClient.ReadVerified) — read integrity at read time instead of
+	// at the next audit. Build one with Cluster.NewLightClient.
+	LightClient = lightclient.Client
+	// VerifiedValue is one verified read result: the item state plus the
+	// block height whose committed shard root authenticated it.
+	VerifiedValue = lightclient.Value
+)
+
+// Verified-read rejection errors (see internal/lightclient).
+var (
+	// ErrBadHeader: a synced header failed chain/signer/co-sign checks.
+	ErrBadHeader = lightclient.ErrBadHeader
+	// ErrStaleRead: a read was served against a superseded shard root.
+	ErrStaleRead = lightclient.ErrStaleRead
+	// ErrBadProof: a read's proof does not match the shard layout.
+	ErrBadProof = lightclient.ErrBadProof
+	// ErrIncorrectRead: value+proof fail to reproduce the committed root —
+	// the online form of FindingIncorrectRead.
+	ErrIncorrectRead = lightclient.ErrIncorrectRead
+	// ErrUnverifiable: no co-signed block covers the shard yet (fresh
+	// deployment or checkpoint above the shard's last root) — the one
+	// rejection class that is not an attack; commit a write to the shard
+	// or sync from a lower checkpoint.
+	ErrUnverifiable = lightclient.ErrUnverifiable
 )
 
 // Audit types (paper §3.3, §4.5, Theorem 1).

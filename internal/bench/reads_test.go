@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestVerifiedReadsWithin2xOfPlain pins the subsystem's performance
+// acceptance bound: at read batch ≥ 8, proof-carrying verified reads
+// sustain at least half the plain-read item throughput. In practice the
+// verified path wins outright (one multiproof RPC versus eight concurrent
+// plain RPCs), so the 2× bound leaves a wide margin against CI noise.
+func TestVerifiedReadsWithin2xOfPlain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("read-path throughput comparison skipped in -short")
+	}
+	const (
+		readOps = 120
+		readers = 8
+		batch   = 8
+	)
+	run := func(verified bool) float64 {
+		cluster, err := core.NewCluster(core.Config{
+			NumServers:     5,
+			ItemsPerShard:  2048,
+			BatchSize:      16,
+			BatchWait:      2 * time.Millisecond,
+			NetworkLatency: 100 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		res, err := DriveReads(cluster, ReadsPoint{ReadFraction: 1.0, Verified: verified, ReadBatch: batch}, readOps, readers, 42)
+		if err != nil {
+			t.Fatalf("verified=%v: %v", verified, err)
+		}
+		return res.ItemsPerSec
+	}
+
+	plain := run(false)
+	verified := run(true)
+	t.Logf("batch=%d: plain %.0f items/s, verified %.0f items/s (%.2fx)", batch, plain, verified, verified/plain)
+	if verified < plain/2 {
+		t.Fatalf("verified reads %.0f items/s below half of plain %.0f items/s", verified, plain)
+	}
+}

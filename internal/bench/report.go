@@ -32,6 +32,43 @@ type Row struct {
 	Blocks        float64 `json:"blocks_per_run"`
 	Aborted       float64 `json:"aborted_per_run"`
 	Rejected      float64 `json:"rejected_per_run"`
+
+	// Read-path experiment fields (-exp reads). ReadPath distinguishes
+	// "verified" (proof-carrying) from "plain" rows; for these rows TPS is
+	// read items/sec, LatMS the mean read-op latency and Batch the items
+	// per read op.
+	ReadFraction float64 `json:"read_fraction,omitempty"`
+	ReadPath     string  `json:"read_path,omitempty"`
+	WriteTxns    float64 `json:"write_txns_per_run,omitempty"`
+	StaleRetries float64 `json:"stale_retries_per_run,omitempty"`
+}
+
+// RowFromReads flattens a read-path result into a report row.
+func RowFromReads(r *ReadsResult, opts Options) Row {
+	runs := opts.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	f := float64(runs)
+	path := "plain"
+	if r.Point.Verified {
+		path = "verified"
+	}
+	return Row{
+		Experiment:   "reads",
+		Protocol:     "tfcommit",
+		Servers:      5,
+		Batch:        r.Point.ReadBatch,
+		Requests:     r.ReadOps / runs,
+		Runs:         runs,
+		LatencyUS:    opts.NetworkLatency.Microseconds(),
+		TPS:          r.ItemsPerSec,
+		LatMS:        r.OpLatencyMS,
+		ReadFraction: r.Point.ReadFraction,
+		ReadPath:     path,
+		WriteTxns:    float64(r.WriteTxns) / f,
+		StaleRetries: float64(r.StaleRetries) / f,
+	}
 }
 
 // RowFromMetrics flattens an (optionally multi-run) Metrics into a

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cosi"
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/lightclient"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -44,18 +45,25 @@ type Config struct {
 	// owns a private Lamport clock. Several clients may share one source
 	// (paper §4.1: clients need only use the same timestamp mechanism).
 	TSSource txn.TSSource
+	// Verifier enables Session.ReadVerified: reads carry Merkle proofs
+	// that are checked against the light client's synced header chain
+	// before the value is accepted. Many clients may (and should) share
+	// one Verifier — the header cache is shared state. Nil leaves only
+	// the plain audit-time-checked Read available.
+	Verifier *lightclient.Client
 }
 
 // Client executes transactions against a Fides deployment. A Client may
 // run many sequential sessions; concurrent sessions should use separate
 // Clients (each owns a timestamp clock).
 type Client struct {
-	ident   *identity.Identity
-	reg     *identity.Registry
-	tr      transport.Transport
-	dir     Directory
-	coord   identity.NodeID
-	trusted bool
+	ident    *identity.Identity
+	reg      *identity.Registry
+	tr       transport.Transport
+	dir      Directory
+	coord    identity.NodeID
+	trusted  bool
+	verifier *lightclient.Client
 
 	mu     sync.Mutex
 	clock  txn.TSSource
@@ -75,15 +83,20 @@ func New(cfg Config) (*Client, error) {
 		clock = txn.NewClock(cfg.ClientID)
 	}
 	return &Client{
-		ident:   cfg.Identity,
-		reg:     cfg.Registry,
-		tr:      cfg.Transport,
-		dir:     cfg.Directory,
-		coord:   cfg.Coordinator,
-		trusted: cfg.TrustedMode,
-		clock:   clock,
+		ident:    cfg.Identity,
+		reg:      cfg.Registry,
+		tr:       cfg.Transport,
+		dir:      cfg.Directory,
+		coord:    cfg.Coordinator,
+		trusted:  cfg.TrustedMode,
+		verifier: cfg.Verifier,
+		clock:    clock,
 	}, nil
 }
+
+// Verifier returns the light client backing ReadVerified (nil when the
+// client was built without one).
+func (c *Client) Verifier() *lightclient.Client { return c.verifier }
 
 // ID returns the client's node id.
 func (c *Client) ID() identity.NodeID { return c.ident.ID }
@@ -190,6 +203,54 @@ func (s *Session) Read(ctx context.Context, id txn.ItemID) ([]byte, error) {
 	s.readIdx[id] = len(s.reads)
 	s.reads = append(s.reads, txn.ReadEntry{ID: id, Value: rr.Value, RTS: rr.RTS, WTS: rr.WTS})
 	return append([]byte(nil), rr.Value...), nil
+}
+
+// ErrNoVerifier is returned by ReadVerified on a client built without a
+// light client (Config.Verifier).
+var ErrNoVerifier = errors.New("client: no verifier configured for verified reads")
+
+// ReadVerified is Read with an online integrity guarantee: the value
+// arrives with a Merkle proof and the block height whose committed,
+// co-signed shard root authenticates it, and the client's light client
+// checks the proof against its synced header chain before the value is
+// accepted. A stale or forged value fails here, at read time, instead of
+// at the next audit (paper §5 Scenario 1 / Lemma 1).
+//
+// The verified value and its timestamps enter the session's read set
+// exactly as a plain read would, so the transaction commits identically —
+// OCC validation neither knows nor cares how the read was fetched.
+// Session-local caching applies: re-reads and reads of items the session
+// wrote are served locally without re-verification.
+func (s *Session) ReadVerified(ctx context.Context, id txn.ItemID) ([]byte, error) {
+	if s.done {
+		return nil, ErrSessionDone
+	}
+	if s.client.verifier == nil {
+		return nil, ErrNoVerifier
+	}
+	if wi, ok := s.written[id]; ok {
+		return append([]byte(nil), s.writes[wi].NewVal...), nil
+	}
+	if ri, ok := s.readIdx[id]; ok {
+		return append([]byte(nil), s.reads[ri].Value...), nil
+	}
+	owner, ok := s.client.dir.Owner(id)
+	if !ok {
+		return nil, fmt.Errorf("client: no owner for item %s", id)
+	}
+	if err := s.ensureBegin(ctx, owner); err != nil {
+		return nil, err
+	}
+	vals, err := s.client.verifier.ReadVerified(ctx, id)
+	if err != nil {
+		return nil, fmt.Errorf("client: verified read %s from %s: %w", id, owner, err)
+	}
+	v := vals[0]
+	s.client.observe(v.RTS)
+	s.client.observe(v.WTS)
+	s.readIdx[id] = len(s.reads)
+	s.reads = append(s.reads, txn.ReadEntry{ID: id, Value: v.Value, RTS: v.RTS, WTS: v.WTS})
+	return append([]byte(nil), v.Value...), nil
 }
 
 // Write buffers a new value for an item at its owning server and records

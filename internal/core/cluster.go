@@ -21,6 +21,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/lightclient"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/tfcommit"
@@ -570,6 +571,13 @@ func SignTxn(ident *identity.Identity, t *txn.Transaction) (identity.Envelope, e
 	return identity.Seal(ident, t.AppendBinary(nil)), nil
 }
 
+// Endpoint attaches an already registered identity to the cluster's
+// network and returns its transport, for callers that drive the wire
+// protocol directly (the bench read drivers do).
+func (c *Cluster) Endpoint(ident *identity.Identity) (transport.Transport, error) {
+	return c.newEndpoint(ident, nil)
+}
+
 // NewClientIdentity registers and returns a fresh client identity, for
 // callers that drive the wire protocol directly.
 func (c *Cluster) NewClientIdentity() (*identity.Identity, error) {
@@ -616,6 +624,67 @@ func (c *Cluster) NewClientWithTS(ts txn.TSSource) (*client.Client, error) {
 		// 2PC is the trusted baseline: its blocks carry no co-sign.
 		TrustedMode: c.cfg.Protocol == ProtocolTwoPC,
 	})
+}
+
+// NewLightClient creates and registers a light client attached to the
+// cluster's network: a header-chain verifier serving proof-carrying reads
+// (internal/lightclient). Many sessions and clients may share it — the
+// header cache is shared state and sharing it is the point.
+func (c *Cluster) NewLightClient() (*lightclient.Client, error) {
+	seq := c.clientSeq.Add(1)
+	id := identity.NodeID(fmt.Sprintf("lc%04d", seq))
+	ident, err := identity.New(id, identity.RoleClient, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: light client identity: %w", err)
+	}
+	c.reg.Register(ident.Public())
+	ep, err := c.newEndpoint(ident, nil)
+	if err != nil {
+		return nil, err
+	}
+	return lightclient.New(lightclient.Config{
+		Registry:  c.reg,
+		Transport: ep,
+		Layout:    c.dir,
+		Servers:   c.serverIDs,
+	})
+}
+
+// NewVerifyingClient creates a client whose sessions support ReadVerified,
+// backed by the given light client (a fresh one when lc is nil). The light
+// client is returned alongside so callers can drive Sync and read stats.
+func (c *Cluster) NewVerifyingClient(lc *lightclient.Client) (*client.Client, *lightclient.Client, error) {
+	if lc == nil {
+		var err error
+		if lc, err = c.NewLightClient(); err != nil {
+			return nil, nil, err
+		}
+	}
+	seq := c.clientSeq.Add(1)
+	id := identity.NodeID(fmt.Sprintf("c%04d", seq))
+	ident, err := identity.New(id, identity.RoleClient, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: client identity: %w", err)
+	}
+	c.reg.Register(ident.Public())
+	ep, err := c.newEndpoint(ident, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl, err := client.New(client.Config{
+		Identity:    ident,
+		Registry:    c.reg,
+		Transport:   ep,
+		Directory:   c.dir,
+		Coordinator: c.coordID,
+		ClientID:    seq,
+		Verifier:    lc,
+		TrustedMode: c.cfg.Protocol == ProtocolTwoPC,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return cl, lc, nil
 }
 
 // NewAuditor creates and registers an external auditor for the cluster.

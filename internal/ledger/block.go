@@ -13,7 +13,6 @@ package ledger
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
@@ -122,9 +121,11 @@ func (b *Block) SetCoSig(sig cosi.Signature) {
 }
 
 // SigningBytes returns the canonical encoding of the block contents that
-// the collective signature covers: everything except the signature itself.
-// The challenge ch = h(X_sch ‖ b_i) of TFCommit phase 3 is computed over
-// exactly these bytes.
+// the collective signature covers: the block *header* — every field except
+// the signature itself, with the transaction list committed by TxnsHash
+// (see encode.go). The challenge ch = h(X_sch ‖ b_i) of TFCommit phase 3
+// is computed over exactly these bytes, and Header.SigningBytes reproduces
+// them without the transaction bodies.
 func (b *Block) SigningBytes() []byte {
 	return b.appendSigning(nil, b.Roots, b.Decision)
 }
@@ -132,13 +133,10 @@ func (b *Block) SigningBytes() []byte {
 // Hash returns the block's chaining hash: SHA-256 over the signing bytes
 // followed by the collective signature, so tampering with either the
 // contents or the signature of block i breaks block i+1's PrevHash.
+// Header.Hash produces the identical value, so hash-pointer verification
+// works over headers alone.
 func (b *Block) Hash() []byte {
-	h := sha256.New()
-	h.Write([]byte("fides/block/v1"))
-	h.Write(b.SigningBytes())
-	h.Write(b.CoSigC)
-	h.Write(b.CoSigS)
-	return h.Sum(nil)
+	return chainHash(b.SigningBytes(), b.CoSigC, b.CoSigS)
 }
 
 // Clone returns a deep copy of the block. Servers hand out clones so a

@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 
@@ -18,10 +19,16 @@ import (
 // challenge ch = h(X_sch ‖ b_i) of TFCommit to be well defined across
 // servers.
 //
-// The signing encoding (appendSigning) covers everything except the
-// collective signature; the wire encoding (AppendBinary) is the signing
-// encoding plus a version byte and the co-sign, so a decoded block's
-// SigningBytes are byte-identical to the sender's.
+// The signing encoding (appendSigning) is the block's *header*: every
+// field except the collective signature, with the transaction list
+// replaced by its hash (TxnsHash). Committing to the transactions by hash
+// keeps the co-signed, hash-chained portion of a block constant-size, so
+// a light client can verify the whole chain — CoSi and hash pointers —
+// from headers alone, without downloading transaction bodies (see
+// header.go and internal/lightclient). The wire encoding (AppendBinary)
+// carries the full transaction list plus the co-sign; a decoded block's
+// SigningBytes are byte-identical to the sender's because TxnsHash is
+// recomputed from the same canonical transaction encoding.
 
 // blockBinaryVersion versions the block wire encoding (not the signing
 // encoding, which is frozen by the hash chain).
@@ -64,17 +71,34 @@ func decodeTxnRecord(r *binenc.Reader, t *TxnRecord) {
 	}
 }
 
-// appendSigning appends the canonical signing encoding of the block with
-// the given roots and decision substituted — the stripped form cohorts
-// compare across phases is simply the same encoding with those fields
-// cleared, which avoids the deep Clone the old StrippedBytes paid per
-// phase per block.
-func (b *Block) appendSigning(buf []byte, roots map[identity.NodeID][]byte, decision Decision) []byte {
-	buf = binenc.AppendUint64(buf, b.Height)
-	buf = binenc.AppendUvarint(buf, uint64(len(b.Txns)))
+// TxnsHash returns the canonical commitment to the block's transaction
+// list: SHA-256 over a domain-separation tag, the transaction count, and
+// each record's canonical encoding. The signing encoding embeds this hash
+// instead of the inline list, so tampering with any transaction breaks the
+// collective signature exactly as before, while headers stay constant-size.
+func (b *Block) TxnsHash() []byte {
+	h := sha256.New()
+	h.Write([]byte("fides/txns/v1"))
+	var scratch [10]byte
+	n := scratch[:0]
+	n = binenc.AppendUvarint(n, uint64(len(b.Txns)))
+	h.Write(n)
+	var buf []byte
 	for i := range b.Txns {
-		buf = appendTxnRecord(buf, &b.Txns[i])
+		buf = appendTxnRecord(buf[:0], &b.Txns[i])
+		h.Write(buf)
 	}
+	return h.Sum(nil)
+}
+
+// appendHeaderSigning is the shared canonical signing encoding of a block
+// header: height, transaction-list hash, roots (sorted key order),
+// decision, prev-hash and signer set. Both Block.SigningBytes (which
+// derives txnsHash from its transaction list) and Header.SigningBytes
+// (which stores the hash directly) produce these exact bytes.
+func appendHeaderSigning(buf []byte, height uint64, txnsHash []byte, roots map[identity.NodeID][]byte, decision Decision, prevHash []byte, signers []identity.NodeID) []byte {
+	buf = binenc.AppendUint64(buf, height)
+	buf = binenc.AppendBytes(buf, txnsHash)
 	// Roots in deterministic (sorted) key order.
 	ids := make([]identity.NodeID, 0, len(roots))
 	for id := range roots {
@@ -87,19 +111,49 @@ func (b *Block) appendSigning(buf []byte, roots map[identity.NodeID][]byte, deci
 		buf = binenc.AppendBytes(buf, roots[id])
 	}
 	buf = binenc.AppendByte(buf, byte(decision))
-	buf = binenc.AppendBytes(buf, b.PrevHash)
-	buf = binenc.AppendUvarint(buf, uint64(len(b.Signers)))
-	for _, id := range b.Signers {
+	buf = binenc.AppendBytes(buf, prevHash)
+	buf = binenc.AppendUvarint(buf, uint64(len(signers)))
+	for _, id := range signers {
 		buf = binenc.AppendString(buf, string(id))
 	}
 	return buf
 }
 
+// appendSigning appends the canonical signing encoding of the block with
+// the given roots and decision substituted — the stripped form cohorts
+// compare across phases is simply the same encoding with those fields
+// cleared, which avoids the deep Clone the old StrippedBytes paid per
+// phase per block.
+func (b *Block) appendSigning(buf []byte, roots map[identity.NodeID][]byte, decision Decision) []byte {
+	return appendHeaderSigning(buf, b.Height, b.TxnsHash(), roots, decision, b.PrevHash, b.Signers)
+}
+
 // AppendBinary appends the block's full wire encoding: a version byte, the
-// signing encoding, and the collective signature.
+// block fields with the full transaction list inline, and the collective
+// signature.
 func (b *Block) AppendBinary(buf []byte) []byte {
 	buf = binenc.AppendByte(buf, blockBinaryVersion)
-	buf = b.appendSigning(buf, b.Roots, b.Decision)
+	buf = binenc.AppendUint64(buf, b.Height)
+	buf = binenc.AppendUvarint(buf, uint64(len(b.Txns)))
+	for i := range b.Txns {
+		buf = appendTxnRecord(buf, &b.Txns[i])
+	}
+	ids := make([]identity.NodeID, 0, len(b.Roots))
+	for id := range b.Roots {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binenc.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binenc.AppendString(buf, string(id))
+		buf = binenc.AppendBytes(buf, b.Roots[id])
+	}
+	buf = binenc.AppendByte(buf, byte(b.Decision))
+	buf = binenc.AppendBytes(buf, b.PrevHash)
+	buf = binenc.AppendUvarint(buf, uint64(len(b.Signers)))
+	for _, id := range b.Signers {
+		buf = binenc.AppendString(buf, string(id))
+	}
 	buf = binenc.AppendBytes(buf, b.CoSigC)
 	return binenc.AppendBytes(buf, b.CoSigS)
 }

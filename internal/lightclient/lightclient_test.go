@@ -1,0 +1,428 @@
+package lightclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"repro/internal/cosi"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/schnorr"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// The cluster-level behavior (cold sync, verified reads, fault injection,
+// TCP) is covered by internal/core's light-client tests; this file unit
+// tests the verifier against hand-crafted chains — including forgeries a
+// well-behaved cluster cannot produce, like headers signed by a subset of
+// the servers.
+
+// fakeNet dispatches Calls to per-destination handler funcs.
+type fakeNet struct {
+	handlers map[identity.NodeID]func(msg transport.Message) (transport.Message, error)
+}
+
+func (f *fakeNet) Call(_ context.Context, to identity.NodeID, msg transport.Message) (transport.Message, error) {
+	h, ok := f.handlers[to]
+	if !ok {
+		return transport.Message{}, transport.ErrUnknownPeer
+	}
+	return h(msg)
+}
+func (f *fakeNet) Self() identity.NodeID { return "test-client" }
+func (f *fakeNet) Close() error          { return nil }
+
+// testChain is a fabricated single-shard deployment with real Schnorr
+// keys: blocks are co-signed by all (or, for forgeries, some) servers and
+// the shard state evolves alongside so proofs are genuine.
+type testChain struct {
+	t       *testing.T
+	reg     *identity.Registry
+	privs   map[identity.NodeID]*schnorr.PrivateKey
+	servers []identity.NodeID
+	items   []txn.ItemID
+	shard   *store.Shard
+	blocks  []*ledger.Block
+	net     *fakeNet
+}
+
+func (tc *testChain) Owner(txn.ItemID) (identity.NodeID, bool) { return tc.servers[0], true }
+func (tc *testChain) ShardItems(identity.NodeID) []txn.ItemID  { return tc.items }
+
+func newTestChain(t *testing.T, nServers, nItems int) *testChain {
+	t.Helper()
+	tc := &testChain{
+		t:     t,
+		reg:   identity.NewRegistry(),
+		privs: make(map[identity.NodeID]*schnorr.PrivateKey),
+		net:   &fakeNet{handlers: make(map[identity.NodeID]func(transport.Message) (transport.Message, error))},
+	}
+	for i := 0; i < nServers; i++ {
+		id := identity.NodeID(fmt.Sprintf("s%02d", i))
+		ident, err := identity.New(id, identity.RoleServer, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.reg.Register(ident.Public())
+		tc.privs[id] = ident.Schnorr
+		tc.servers = append(tc.servers, id)
+	}
+	for i := 0; i < nItems; i++ {
+		tc.items = append(tc.items, txn.ItemID(fmt.Sprintf("i%04d", i)))
+	}
+	tc.shard = store.NewShard(tc.items, func(txn.ItemID) []byte { return []byte("0") }, store.Config{})
+	return tc
+}
+
+// commit applies a write to the shard and appends a co-signed block whose
+// root is the shard's post-apply root. signers defaults to all servers.
+func (tc *testChain) commit(item txn.ItemID, val string, ts txn.Timestamp, signers []identity.NodeID) *ledger.Block {
+	tc.t.Helper()
+	if signers == nil {
+		signers = tc.servers
+	}
+	if err := tc.shard.Apply([]store.Access{{Writes: []txn.WriteEntry{{ID: item, NewVal: []byte(val)}}, TS: ts}}); err != nil {
+		tc.t.Fatal(err)
+	}
+	var prev []byte
+	if len(tc.blocks) > 0 {
+		prev = tc.blocks[len(tc.blocks)-1].Hash()
+	}
+	b := &ledger.Block{
+		Height:   uint64(len(tc.blocks)),
+		Txns:     []ledger.TxnRecord{{TxnID: fmt.Sprintf("t%d", len(tc.blocks)), TS: ts, Writes: []txn.WriteEntry{{ID: item, NewVal: []byte(val)}}}},
+		Roots:    map[identity.NodeID][]byte{tc.servers[0]: tc.shard.Root()},
+		Decision: ledger.DecisionCommit,
+		PrevHash: prev,
+		Signers:  append([]identity.NodeID(nil), signers...),
+	}
+	tc.coSign(b, signers)
+	tc.blocks = append(tc.blocks, b)
+	return b
+}
+
+func (tc *testChain) coSign(b *ledger.Block, signers []identity.NodeID) {
+	tc.t.Helper()
+	n := len(signers)
+	commitments := make([]cosi.Commitment, n)
+	secrets := make([]cosi.Secret, n)
+	for i := 0; i < n; i++ {
+		c, s, err := cosi.Commit(nil)
+		if err != nil {
+			tc.t.Fatal(err)
+		}
+		commitments[i], secrets[i] = c, s
+	}
+	aggV, err := cosi.AggregateCommitments(commitments)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	keys, err := tc.reg.SchnorrKeys(signers)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	aggPub, err := cosi.AggregatePublicKeys(keys)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	ch := cosi.Challenge(aggV, aggPub, b.SigningBytes())
+	responses := make([]*big.Int, n)
+	for i, id := range signers {
+		r, err := cosi.Respond(tc.privs[id], &secrets[i], ch)
+		if err != nil {
+			tc.t.Fatal(err)
+		}
+		responses[i] = r
+	}
+	aggR, err := cosi.AggregateResponses(responses)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	b.SetCoSig(cosi.Finalize(ch, aggR))
+}
+
+// serveHeaders installs an honest FetchHeaders handler on a server,
+// optionally transforming the served page.
+func (tc *testChain) serveHeaders(srv identity.NodeID, mutate func([]*ledger.Header) []*ledger.Header) {
+	tc.net.handlers[srv] = func(msg transport.Message) (transport.Message, error) {
+		var req wire.FetchHeadersReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		resp := &wire.FetchHeadersResp{Tip: uint64(len(tc.blocks))}
+		max := int(req.Max)
+		if max <= 0 {
+			max = 512
+		}
+		for h := req.From; h < uint64(len(tc.blocks)) && len(resp.Headers) < max; h++ {
+			resp.Headers = append(resp.Headers, tc.blocks[h].Header())
+		}
+		if mutate != nil {
+			resp.Headers = mutate(resp.Headers)
+		}
+		return transport.NewMessage(wire.MsgFetchHeaders, resp)
+	}
+}
+
+// serveReads installs an honest VerifiedRead handler answering from the
+// live shard at the newest root height.
+func (tc *testChain) serveReads(srv identity.NodeID, mutate func(*wire.VerifiedReadResp)) {
+	tc.net.handlers[srv] = func(msg transport.Message) (transport.Message, error) {
+		var req wire.VerifiedReadReq
+		if err := msg.Decode(&req); err != nil {
+			// Not a read: serve headers instead.
+			return tc.headersOrError(msg)
+		}
+		items, mp, err := tc.shard.MultiProof(req.IDs)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		resp := &wire.VerifiedReadResp{Height: uint64(len(tc.blocks) - 1), Proof: mp}
+		for _, it := range items {
+			resp.Items = append(resp.Items, wire.VerifiedItem{ID: it.ID, Value: it.Value, RTS: it.RTS, WTS: it.WTS})
+		}
+		if mutate != nil {
+			mutate(resp)
+		}
+		return transport.NewMessage(wire.MsgVerifiedRead, resp)
+	}
+}
+
+func (tc *testChain) headersOrError(msg transport.Message) (transport.Message, error) {
+	var req wire.FetchHeadersReq
+	if err := msg.Decode(&req); err != nil {
+		return transport.Message{}, err
+	}
+	resp := &wire.FetchHeadersResp{Tip: uint64(len(tc.blocks))}
+	for h := req.From; h < uint64(len(tc.blocks)); h++ {
+		resp.Headers = append(resp.Headers, tc.blocks[h].Header())
+	}
+	return transport.NewMessage(wire.MsgFetchHeaders, resp)
+}
+
+// newClient builds a light client over the fake network.
+func (tc *testChain) newClient(pageSize uint32) *Client {
+	tc.t.Helper()
+	c, err := New(Config{
+		Registry:  tc.reg,
+		Transport: tc.net,
+		Layout:    tc,
+		Servers:   tc.servers,
+		PageSize:  pageSize,
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	return c
+}
+
+func ts(n uint64) txn.Timestamp { return txn.Timestamp{Time: n, ClientID: 1} }
+
+func TestSyncPagesAndVerifies(t *testing.T) {
+	tc := newTestChain(t, 3, 16)
+	for i := 0; i < 10; i++ {
+		tc.commit(tc.items[i%4], fmt.Sprintf("v%d", i), ts(uint64(i+1)), nil)
+	}
+	tc.serveHeaders(tc.servers[0], nil)
+
+	lc := tc.newClient(3) // force paging: 10 headers in pages of 3
+	tip, err := lc.Sync(context.Background())
+	if err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if tip != 10 {
+		t.Fatalf("tip %d, want 10", tip)
+	}
+	st := lc.Stats()
+	if st.HeadersVerified != 10 {
+		t.Fatalf("verified %d headers, want 10", st.HeadersVerified)
+	}
+	if st.SyncPages < 4 {
+		t.Fatalf("sync used %d pages, want >= 4", st.SyncPages)
+	}
+	// Sync again: nothing new, no re-verification.
+	if _, err := lc.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if lc.Stats().HeadersVerified != 10 {
+		t.Fatal("re-sync re-verified headers")
+	}
+}
+
+// TestSyncRejectsSubsetSigners is the forgery a real cluster never emits:
+// a header correctly co-signed, but by fewer than all servers. Accepting
+// it would let any single server manufacture "committed" state.
+func TestSyncRejectsSubsetSigners(t *testing.T) {
+	tc := newTestChain(t, 3, 8)
+	tc.commit(tc.items[0], "honest", ts(1), nil)
+	tc.commit(tc.items[1], "forged", ts(2), tc.servers[:1]) // signed by s00 alone
+	tc.serveHeaders(tc.servers[0], nil)
+
+	lc := tc.newClient(0)
+	_, err := lc.Sync(context.Background())
+	if !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("subset-signed header: got %v, want ErrBadHeader", err)
+	}
+	if lc.SyncedHeight() != 1 {
+		t.Fatalf("cache at %d, want 1 (the honest prefix)", lc.SyncedHeight())
+	}
+}
+
+func TestSyncRejectsBrokenChain(t *testing.T) {
+	tc := newTestChain(t, 3, 8)
+	tc.commit(tc.items[0], "a", ts(1), nil)
+	tc.commit(tc.items[1], "b", ts(2), nil)
+	tc.commit(tc.items[2], "c", ts(3), nil)
+
+	// Serve with block 1 replaced by a re-signed fork (valid co-sign,
+	// wrong prev-hash linkage to block 2).
+	tc.serveHeaders(tc.servers[0], func(page []*ledger.Header) []*ledger.Header {
+		if len(page) >= 2 {
+			fork := &ledger.Block{
+				Height:   1,
+				Txns:     []ledger.TxnRecord{{TxnID: "fork", TS: ts(2)}},
+				Decision: ledger.DecisionCommit,
+				PrevHash: tc.blocks[0].Hash(),
+				Signers:  tc.servers,
+			}
+			tc.coSign(fork, tc.servers)
+			page[1] = fork.Header()
+		}
+		return page
+	})
+
+	lc := tc.newClient(0)
+	_, err := lc.Sync(context.Background())
+	if !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("forked chain: got %v, want ErrBadHeader", err)
+	}
+	// The fork itself verified (height 1 accepted — it is validly signed
+	// and chains from block 0); block 2 then fails against it.
+	if lc.SyncedHeight() != 2 {
+		t.Fatalf("cache at %d, want 2", lc.SyncedHeight())
+	}
+}
+
+func TestVerifyReadChecks(t *testing.T) {
+	tc := newTestChain(t, 3, 16)
+	tc.commit(tc.items[3], "target", ts(1), nil)
+	tc.commit(tc.items[5], "other", ts(2), nil)
+
+	srv := tc.servers[0]
+	ctx := context.Background()
+
+	// Honest serve verifies.
+	tc.serveReads(srv, nil)
+	lc := tc.newClient(0)
+	vals, err := lc.ReadVerified(ctx, tc.items[3], tc.items[5])
+	if err != nil {
+		t.Fatalf("honest read: %v", err)
+	}
+	if string(vals[0].Value) != "target" || string(vals[1].Value) != "other" {
+		t.Fatalf("values %q/%q", vals[0].Value, vals[1].Value)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*wire.VerifiedReadResp)
+		want   error
+	}{
+		{"forged value", func(r *wire.VerifiedReadResp) {
+			r.Items[0].Value = []byte("lie")
+		}, ErrIncorrectRead},
+		{"forged timestamps", func(r *wire.VerifiedReadResp) {
+			r.Items[0].WTS = ts(99)
+		}, ErrIncorrectRead},
+		{"forged sibling", func(r *wire.VerifiedReadResp) {
+			r.Proof.Siblings[0][0] ^= 1
+		}, ErrIncorrectRead},
+		{"shifted index", func(r *wire.VerifiedReadResp) {
+			r.Proof.Indices[0]++
+		}, ErrBadProof},
+		{"wrong depth", func(r *wire.VerifiedReadResp) {
+			r.Proof.Depth++
+		}, ErrBadProof},
+		{"substituted item", func(r *wire.VerifiedReadResp) {
+			r.Items[0].ID = tc.items[9]
+		}, ErrBadProof},
+		{"stale height", func(r *wire.VerifiedReadResp) {
+			r.Height = 0 // a root exists at 0, but 1 is newer
+		}, ErrStaleRead},
+		{"fabricated future height", func(r *wire.VerifiedReadResp) {
+			r.Height = 7
+		}, ErrUnverifiable},
+	}
+	for _, c := range cases {
+		tc.serveReads(srv, c.mutate)
+		lc := tc.newClient(0)
+		if _, err := lc.ReadVerified(ctx, tc.items[3], tc.items[5]); !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestReadSyncsFromOwnerWhenSourceLags: the owning server can answer a
+// read at a height the configured header source has not served yet (it
+// applies its own Decide before the source does). The client must fall
+// back to syncing from the owner — which provably holds the header it
+// claimed — instead of failing the read as unverifiable.
+func TestReadSyncsFromOwnerWhenSourceLags(t *testing.T) {
+	tc := newTestChain(t, 3, 16)
+	tc.commit(tc.items[0], "old", ts(1), nil)
+	tc.commit(tc.items[0], "new", ts(2), nil)
+
+	// The lagging source (s01) serves only the first block; the owner
+	// (s00) serves full headers and current reads.
+	lagging := tc.servers[1]
+	tc.net.handlers[lagging] = func(msg transport.Message) (transport.Message, error) {
+		var req wire.FetchHeadersReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		resp := &wire.FetchHeadersResp{Tip: 1}
+		if req.From == 0 {
+			resp.Headers = []*ledger.Header{tc.blocks[0].Header()}
+		}
+		return transport.NewMessage(wire.MsgFetchHeaders, resp)
+	}
+	tc.serveReads(tc.servers[0], nil)
+
+	c, err := New(Config{
+		Registry:  tc.reg,
+		Transport: tc.net,
+		Layout:    tc,
+		Servers:   tc.servers,
+		Source:    lagging,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.ReadVerified(context.Background(), tc.items[0])
+	if err != nil {
+		t.Fatalf("read with lagging source: %v", err)
+	}
+	if string(vals[0].Value) != "new" {
+		t.Fatalf("got %q, want %q", vals[0].Value, "new")
+	}
+	if c.SyncedHeight() != 2 {
+		t.Fatalf("owner fallback synced to %d, want 2", c.SyncedHeight())
+	}
+}
+
+// TestVerifyReadUnverifiableBeforeAnyCommit: with no committed roots there
+// is nothing to authenticate against.
+func TestVerifyReadUnverifiableBeforeAnyCommit(t *testing.T) {
+	tc := newTestChain(t, 3, 8)
+	tc.serveReads(tc.servers[0], func(r *wire.VerifiedReadResp) {})
+	lc := tc.newClient(0)
+	_, err := lc.ReadVerified(context.Background(), tc.items[0])
+	if err == nil {
+		t.Fatal("verified read succeeded with no committed roots")
+	}
+}

@@ -1,0 +1,256 @@
+package lightclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/identity"
+	"repro/internal/merkle"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// Value is one verified read result: the item state plus the block height
+// whose committed shard root authenticated it.
+type Value struct {
+	ID     txn.ItemID
+	Value  []byte
+	RTS    txn.Timestamp
+	WTS    txn.Timestamp
+	Height uint64
+}
+
+// staleRetries bounds the re-issues of a read whose response was verified
+// against a root that newer headers (learned during the same verification)
+// superseded. With concurrent writers this is a benign race — the server
+// answered honestly at its then-tip — so the read is retried rather than
+// failed; a server that *keeps* serving superseded roots still fails with
+// ErrStaleRead.
+const staleRetries = 3
+
+// ReadVerified performs proof-carrying reads of the items' current values.
+// Items may span shards; one batched request is issued per owning server
+// and each response is verified against the header cache before any value
+// is returned. Results are in request order.
+//
+// Freshness is relative to the client's sync horizon: a response is
+// accepted only if it authenticates against the newest root the client
+// knows for that shard, and the client extends its horizon whenever a
+// response references a newer height than its cache. A server replaying
+// old-but-once-committed state is detected the moment the client has seen
+// any newer header — at the latest, after its next Sync.
+func (c *Client) ReadVerified(ctx context.Context, ids ...txn.ItemID) ([]Value, error) {
+	return c.read(ctx, ids, false, 0)
+}
+
+// ReadPinned performs proof-carrying snapshot reads at a pinned block
+// height: values are authenticated against the newest shard root committed
+// at or below the pin (multi-versioned shards when the pin predates the
+// newest root). The staleness check is disabled — a pinned read asks for
+// history on purpose.
+func (c *Client) ReadPinned(ctx context.Context, height uint64, ids ...txn.ItemID) ([]Value, error) {
+	return c.read(ctx, ids, true, height)
+}
+
+func (c *Client) read(ctx context.Context, ids []txn.ItemID, pinned bool, pin uint64) ([]Value, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	// Group by owning server (deduplicated — the batched proof rejects
+	// duplicate leaves), preserving request order for the result.
+	byOwner := make(map[identity.NodeID][]txn.ItemID)
+	owners := make([]identity.NodeID, 0, 1)
+	queued := make(map[txn.ItemID]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := queued[id]; dup {
+			continue
+		}
+		queued[id] = struct{}{}
+		owner, ok := c.layout.Owner(id)
+		if !ok {
+			return nil, fmt.Errorf("lightclient: no owner for item %s", id)
+		}
+		if _, seen := byOwner[owner]; !seen {
+			owners = append(owners, owner)
+		}
+		byOwner[owner] = append(byOwner[owner], id)
+	}
+
+	got := make(map[txn.ItemID]Value, len(ids))
+	for _, owner := range owners {
+		vals, err := c.readShard(ctx, owner, byOwner[owner], pinned, pin)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			got[v.ID] = v
+		}
+	}
+	out := make([]Value, len(ids))
+	for i, id := range ids {
+		out[i] = got[id]
+	}
+	return out, nil
+}
+
+// readShard reads one batch from one shard, retrying benign staleness
+// races (see staleRetries).
+func (c *Client) readShard(ctx context.Context, owner identity.NodeID, ids []txn.ItemID, pinned bool, pin uint64) ([]Value, error) {
+	var lastErr error
+	for attempt := 0; attempt <= staleRetries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.stats.StaleRetries++
+			c.mu.Unlock()
+		}
+		vals, err := c.readShardOnce(ctx, owner, ids, pinned, pin)
+		if err == nil || !errors.Is(err, ErrStaleRead) || pinned {
+			return vals, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (c *Client) readShardOnce(ctx context.Context, owner identity.NodeID, ids []txn.ItemID, pinned bool, pin uint64) ([]Value, error) {
+	req := &wire.VerifiedReadReq{IDs: ids, Pinned: pinned, AtHeight: pin}
+	msg, err := transport.NewMessage(wire.MsgVerifiedRead, req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.tr.Call(ctx, owner, msg)
+	if err != nil {
+		return nil, fmt.Errorf("lightclient: verified read at %s: %w", owner, err)
+	}
+	var vr wire.VerifiedReadResp
+	if err := resp.Decode(&vr); err != nil {
+		return nil, err
+	}
+	return c.VerifyRead(ctx, owner, ids, &vr, pinned, pin)
+}
+
+// VerifyRead authenticates a verified-read response against the header
+// cache and the shard layout, returning the accepted values. It is
+// exported so custom read paths (sessions, replicated readers) can verify
+// responses they fetched themselves. The checks, in order, and the errors
+// they fail with:
+//
+//  1. The claimed height is covered by the (possibly just extended)
+//     header cache and carries a root for the owning server — else
+//     ErrUnverifiable / ErrBadProof.
+//  2. Freshness (unpinned reads): the claimed height is the newest root
+//     height the client knows for this shard — else ErrStaleRead. For
+//     pinned reads: the claimed height is the newest root height at or
+//     below the pin — else ErrBadProof.
+//  3. Proof shape: items in canonical leaf order matching the request
+//     set, leaf indices matching the layout, tree depth matching the
+//     shard size — else ErrBadProof.
+//  4. Content: leaves recomputed from the returned values fold through
+//     the proof to the committed root — else ErrIncorrectRead.
+func (c *Client) VerifyRead(ctx context.Context, owner identity.NodeID, ids []txn.ItemID, vr *wire.VerifiedReadResp, pinned bool, pin uint64) ([]Value, error) {
+	// 1. Cover the claimed height. A response may reference blocks newer
+	// than the cache; extend the horizon before judging it. If the
+	// configured header source is itself behind the claimed height (a
+	// benign race — the owner can apply a block before the source does),
+	// sync from the owner: it claimed the height, so it must be able to
+	// prove it, and everything it serves is verified like any other
+	// header.
+	if c.SyncedHeight() <= vr.Height {
+		if _, err := c.Sync(ctx); err != nil {
+			return nil, err
+		}
+		if c.SyncedHeight() <= vr.Height {
+			if _, err := c.SyncFrom(ctx, owner); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.mu.RLock()
+	h := c.headerLocked(vr.Height)
+	latest, haveRoot := c.latestRootLocked(owner, ^uint64(0))
+	c.mu.RUnlock()
+	if !haveRoot {
+		return nil, fmt.Errorf("%w: owner %s", ErrUnverifiable, owner)
+	}
+	if h == nil {
+		return nil, fmt.Errorf("%w: height %d outside cached chain", ErrUnverifiable, vr.Height)
+	}
+	root, ok := h.Roots[owner]
+	if !ok {
+		return nil, fmt.Errorf("%w: height %d carries no root for %s", ErrBadProof, vr.Height, owner)
+	}
+
+	// 2. Freshness.
+	if pinned {
+		c.mu.RLock()
+		want, okPin := c.latestRootLocked(owner, pin)
+		c.mu.RUnlock()
+		if !okPin {
+			return nil, fmt.Errorf("%w: no root for %s at or below height %d", ErrUnverifiable, owner, pin)
+		}
+		if vr.Height != want {
+			return nil, fmt.Errorf("%w: pinned read answered at height %d, want %d", ErrBadProof, vr.Height, want)
+		}
+	} else if vr.Height != latest {
+		return nil, fmt.Errorf("%w: answered at height %d, newest known root at %d", ErrStaleRead, vr.Height, latest)
+	}
+
+	// 3. Proof shape against the layout.
+	sl, err := c.shardFor(owner)
+	if err != nil {
+		return nil, err
+	}
+	if len(vr.Items) != len(vr.Proof.Indices) {
+		return nil, fmt.Errorf("%w: %d items for %d proof indices", ErrBadProof, len(vr.Items), len(vr.Proof.Indices))
+	}
+	want := make(map[txn.ItemID]struct{}, len(ids))
+	for _, id := range ids {
+		want[id] = struct{}{}
+	}
+	if len(vr.Items) != len(want) {
+		return nil, fmt.Errorf("%w: %d items answered for %d requested", ErrBadProof, len(vr.Items), len(want))
+	}
+	if vr.Proof.Depth != sl.depth {
+		return nil, fmt.Errorf("%w: proof depth %d, shard depth %d", ErrBadProof, vr.Proof.Depth, sl.depth)
+	}
+	leaves := make([][]byte, len(vr.Items))
+	for i := range vr.Items {
+		it := &vr.Items[i]
+		if _, requested := want[it.ID]; !requested {
+			return nil, fmt.Errorf("%w: unrequested item %s in response", ErrBadProof, it.ID)
+		}
+		delete(want, it.ID)
+		idx, known := sl.idx[it.ID]
+		if !known {
+			return nil, fmt.Errorf("%w: item %s not in shard layout of %s", ErrBadProof, it.ID, owner)
+		}
+		if idx != vr.Proof.Indices[i] {
+			return nil, fmt.Errorf("%w: item %s at proof index %d, layout index %d", ErrBadProof, it.ID, vr.Proof.Indices[i], idx)
+		}
+		leaves[i] = merkle.LeafHash(store.LeafContent(it.ID, it.Value, it.RTS, it.WTS))
+	}
+
+	// 4. Fold to the committed root.
+	if !merkle.VerifyMultiProof(root, leaves, vr.Proof) {
+		return nil, fmt.Errorf("%w: height %d, owner %s", ErrIncorrectRead, vr.Height, owner)
+	}
+
+	out := make([]Value, len(vr.Items))
+	for i := range vr.Items {
+		it := &vr.Items[i]
+		out[i] = Value{
+			ID:     it.ID,
+			Value:  append([]byte(nil), it.Value...),
+			RTS:    it.RTS,
+			WTS:    it.WTS,
+			Height: vr.Height,
+		}
+	}
+	c.mu.Lock()
+	c.stats.ReadsVerified += len(out)
+	c.mu.Unlock()
+	return out, nil
+}

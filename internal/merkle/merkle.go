@@ -101,6 +101,11 @@ func NewFromContents(contents [][]byte) *Tree {
 // Len returns the number of (real) leaves in the tree.
 func (t *Tree) Len() int { return t.n }
 
+// Depth returns the number of tree levels: log₂ of the leaf capacity (the
+// padded power of two). Every proof path in the tree has exactly Depth
+// sibling hashes.
+func (t *Tree) Depth() int { return log2(t.cap) }
+
 // Root returns a copy of the current root hash.
 func (t *Tree) Root() []byte {
 	return append([]byte(nil), t.nodes[1]...)

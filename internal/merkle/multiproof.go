@@ -1,0 +1,191 @@
+package merkle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/binenc"
+)
+
+// MultiProof is a batched Verification Object: one proof authenticating
+// several leaves of the same tree at once. Where k independent Proofs
+// carry k·log₂(n) sibling hashes, a MultiProof carries only the siblings
+// *outside* the union of the k leaf-to-root paths — shared ancestors are
+// recomputed once and siblings that are themselves on a proven path are
+// omitted entirely. For a batch of neighboring hot items this amortizes
+// most of the hashing and bandwidth of the read path (the "batched proof
+// variant" served by wire.VerifiedReadResp).
+//
+// Siblings are ordered deterministically: level by level from the leaves
+// up, and left-to-right within a level — the exact order Verify consumes
+// them in, so the encoding needs no per-hash position labels.
+type MultiProof struct {
+	// Indices are the proven leaf positions, strictly ascending.
+	Indices []int `json:"indices"`
+	// Depth is the number of tree levels (log₂ of the leaf capacity); it
+	// fixes the path length for every leaf, letting the verifier detect a
+	// proof built for a differently-sized tree.
+	Depth int `json:"depth"`
+	// Siblings are the hashes outside the union of the proven paths, in
+	// consumption order.
+	Siblings [][]byte `json:"siblings"`
+}
+
+// Errors returned by multiproof construction.
+var (
+	ErrNoIndices  = errors.New("merkle: multiproof needs at least one leaf index")
+	ErrDupIndex   = errors.New("merkle: duplicate leaf index in multiproof request")
+	errProofShape = errors.New("merkle: multiproof shape mismatch")
+)
+
+// MultiProof generates the batched Verification Object for the given leaf
+// indices (in any order; duplicates rejected).
+func (t *Tree) MultiProof(indices []int) (MultiProof, error) {
+	if len(indices) == 0 {
+		return MultiProof{}, ErrNoIndices
+	}
+	sorted := append([]int(nil), indices...)
+	sort.Ints(sorted)
+	for i, idx := range sorted {
+		if idx < 0 || idx >= t.n {
+			return MultiProof{}, fmt.Errorf("%w: %d (n=%d)", ErrIndexRange, idx, t.n)
+		}
+		if i > 0 && idx == sorted[i-1] {
+			return MultiProof{}, fmt.Errorf("%w: %d", ErrDupIndex, idx)
+		}
+	}
+
+	mp := MultiProof{Indices: sorted, Depth: log2(t.cap)}
+	// positions holds the heap positions of the known nodes at the current
+	// level, ascending. A node's sibling is emitted unless the sibling is
+	// itself known (then the pair combines without any transmitted hash).
+	positions := make([]int, len(sorted))
+	for i, idx := range sorted {
+		positions[i] = t.cap + idx
+	}
+	for level := 0; level < mp.Depth; level++ {
+		next := positions[:0]
+		for i := 0; i < len(positions); i++ {
+			pos := positions[i]
+			if i+1 < len(positions) && positions[i+1] == pos^1 {
+				// Sibling pair both known: combine, consume both.
+				i++
+			} else {
+				mp.Siblings = append(mp.Siblings, append([]byte(nil), t.nodes[pos^1]...))
+			}
+			next = append(next, pos/2)
+		}
+		positions = next
+	}
+	return mp, nil
+}
+
+// VerifyMultiProof checks that the leaf hashes (one per mp.Indices entry,
+// same order) combined with the proof's siblings reproduce root. It is the
+// batched form of VerifyProof: the verifier replays the same level-by-level
+// schedule the prover used, so a proof with missing, extra or re-ordered
+// hashes fails rather than verifying something else.
+func VerifyMultiProof(root []byte, leafHashes [][]byte, mp MultiProof) bool {
+	// Depth 40 ≈ 10¹² leaves bounds untrusted input well past any real
+	// shard while keeping 1<<Depth far from overflow.
+	if len(mp.Indices) == 0 || len(leafHashes) != len(mp.Indices) || mp.Depth < 0 || mp.Depth > 40 {
+		return false
+	}
+	capacity := 1 << mp.Depth
+	type node struct {
+		pos  int
+		hash []byte
+	}
+	level := make([]node, len(mp.Indices))
+	for i, idx := range mp.Indices {
+		if idx < 0 || idx >= capacity {
+			return false
+		}
+		if i > 0 && idx <= mp.Indices[i-1] {
+			return false // not strictly ascending
+		}
+		level[i] = node{pos: capacity + idx, hash: leafHashes[i]}
+	}
+	sib := 0
+	for l := 0; l < mp.Depth; l++ {
+		next := level[:0]
+		for i := 0; i < len(level); i++ {
+			cur := level[i]
+			var left, right []byte
+			if i+1 < len(level) && level[i+1].pos == cur.pos^1 {
+				left, right = cur.hash, level[i+1].hash
+				i++
+			} else {
+				if sib >= len(mp.Siblings) {
+					return false
+				}
+				if cur.pos%2 == 0 {
+					left, right = cur.hash, mp.Siblings[sib]
+				} else {
+					left, right = mp.Siblings[sib], cur.hash
+				}
+				sib++
+			}
+			next = append(next, node{pos: cur.pos / 2, hash: interiorHash(left, right)})
+		}
+		level = next
+	}
+	if sib != len(mp.Siblings) || len(level) != 1 || level[0].pos != 1 {
+		return false
+	}
+	return bytes.Equal(level[0].hash, root)
+}
+
+// AppendBinary appends the multiproof's binary encoding:
+// nIndices | indices... | depth | nSiblings | sibling bytes...
+func (mp *MultiProof) AppendBinary(buf []byte) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(len(mp.Indices)))
+	for _, idx := range mp.Indices {
+		buf = binenc.AppendUvarint(buf, uint64(idx))
+	}
+	buf = binenc.AppendUvarint(buf, uint64(mp.Depth))
+	buf = binenc.AppendUvarint(buf, uint64(len(mp.Siblings)))
+	for _, s := range mp.Siblings {
+		buf = binenc.AppendBytes(buf, s)
+	}
+	return buf
+}
+
+// DecodeMultiProof reads an embedded multiproof from r.
+func DecodeMultiProof(r *binenc.Reader, mp *MultiProof) error {
+	mp.Indices = nil
+	if n := r.Count(1); n > 0 {
+		mp.Indices = make([]int, n)
+		for i := range mp.Indices {
+			mp.Indices[i] = int(r.Uvarint())
+		}
+	}
+	mp.Depth = int(r.Uvarint())
+	mp.Siblings = nil
+	if n := r.Count(1); n > 0 {
+		mp.Siblings = make([][]byte, n)
+		for i := range mp.Siblings {
+			mp.Siblings[i] = r.Bytes()
+		}
+	}
+	return r.Err()
+}
+
+// MarshalBinary returns the multiproof's binary encoding.
+func (mp *MultiProof) MarshalBinary() ([]byte, error) {
+	return mp.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary decodes a multiproof from its binary encoding.
+func (mp *MultiProof) UnmarshalBinary(data []byte) error {
+	r := binenc.NewReader(data)
+	if err := DecodeMultiProof(&r, mp); err != nil {
+		return fmt.Errorf("merkle: decode multiproof: %w", err)
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("merkle: decode multiproof: %w", err)
+	}
+	return nil
+}

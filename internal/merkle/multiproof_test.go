@@ -1,0 +1,223 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func buildTree(n int) (*Tree, [][]byte) {
+	contents := make([][]byte, n)
+	for i := range contents {
+		contents[i] = []byte(fmt.Sprintf("leaf-%04d", i))
+	}
+	hashes := make([][]byte, n)
+	for i, c := range contents {
+		hashes[i] = LeafHash(c)
+	}
+	return New(hashes), hashes
+}
+
+func TestMultiProofRoundTripSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 64, 100} {
+		tree, hashes := buildTree(n)
+		root := tree.Root()
+		for _, k := range []int{1, 2, 3, n} {
+			if k > n {
+				continue
+			}
+			indices := rand.New(rand.NewSource(int64(n*100 + k))).Perm(n)[:k]
+			mp, err := tree.MultiProof(indices)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			leaves := make([][]byte, len(mp.Indices))
+			for i, idx := range mp.Indices {
+				leaves[i] = hashes[idx]
+			}
+			if !VerifyMultiProof(root, leaves, mp) {
+				t.Fatalf("n=%d k=%d: valid multiproof rejected", n, k)
+			}
+		}
+	}
+}
+
+// TestMultiProofAgreesWithSingleProofs checks a full-coverage batch needs
+// no siblings at all, and that every single-leaf multiproof carries exactly
+// the siblings of the classic proof.
+func TestMultiProofAgreesWithSingleProofs(t *testing.T) {
+	tree, hashes := buildTree(8)
+	root := tree.Root()
+
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	mp, err := tree.MultiProof(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Siblings) != 0 {
+		t.Fatalf("full batch carries %d siblings, want 0", len(mp.Siblings))
+	}
+	if !VerifyMultiProof(root, hashes, mp) {
+		t.Fatal("full-coverage multiproof rejected")
+	}
+
+	for i := 0; i < 8; i++ {
+		mp, err := tree.MultiProof([]int{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := tree.Proof(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mp.Siblings, p.Siblings) {
+			t.Fatalf("leaf %d: multiproof siblings differ from classic proof", i)
+		}
+	}
+}
+
+// TestMultiProofAmortizes pins the point of batching: a batch of k leaves
+// carries strictly fewer siblings than k separate proofs.
+func TestMultiProofAmortizes(t *testing.T) {
+	tree, _ := buildTree(1024)
+	indices := []int{0, 1, 2, 3, 500, 501, 900, 901}
+	mp, err := tree.MultiProof(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := 0
+	for range indices {
+		single += 10 // log2(1024) siblings each
+	}
+	if len(mp.Siblings) >= single {
+		t.Fatalf("multiproof carries %d siblings, want < %d", len(mp.Siblings), single)
+	}
+}
+
+func TestMultiProofRejectsTampering(t *testing.T) {
+	tree, hashes := buildTree(16)
+	root := tree.Root()
+	indices := []int{2, 3, 11}
+	leaves := func(mp MultiProof) [][]byte {
+		out := make([][]byte, len(mp.Indices))
+		for i, idx := range mp.Indices {
+			out[i] = hashes[idx]
+		}
+		return out
+	}
+	fresh := func() MultiProof {
+		mp, err := tree.MultiProof(indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mp
+	}
+
+	if mp := fresh(); !VerifyMultiProof(root, leaves(mp), mp) {
+		t.Fatal("sanity: valid proof rejected")
+	}
+	// Tampered sibling.
+	mp := fresh()
+	mp.Siblings[0][0] ^= 1
+	if VerifyMultiProof(root, leaves(mp), mp) {
+		t.Fatal("accepted tampered sibling")
+	}
+	// Dropped sibling.
+	mp = fresh()
+	mp.Siblings = mp.Siblings[:len(mp.Siblings)-1]
+	if VerifyMultiProof(root, leaves(mp), mp) {
+		t.Fatal("accepted truncated sibling list")
+	}
+	// Extra sibling.
+	mp = fresh()
+	mp.Siblings = append(mp.Siblings, mp.Siblings[0])
+	if VerifyMultiProof(root, leaves(mp), mp) {
+		t.Fatal("accepted padded sibling list")
+	}
+	// Shifted index.
+	mp = fresh()
+	mp.Indices[0] = 1
+	if VerifyMultiProof(root, leaves(mp), mp) {
+		t.Fatal("accepted shifted index")
+	}
+	// Wrong depth (proof for a different tree size).
+	mp = fresh()
+	mp.Depth++
+	if VerifyMultiProof(root, leaves(mp), mp) {
+		t.Fatal("accepted wrong depth")
+	}
+	// Non-ascending indices.
+	mp = fresh()
+	mp.Indices[0], mp.Indices[1] = mp.Indices[1], mp.Indices[0]
+	if VerifyMultiProof(root, leaves(mp), mp) {
+		t.Fatal("accepted unsorted indices")
+	}
+	// Tampered leaf hash.
+	mp = fresh()
+	lh := leaves(mp)
+	lh[1] = LeafHash([]byte("forged"))
+	if VerifyMultiProof(root, lh, mp) {
+		t.Fatal("accepted forged leaf")
+	}
+	// Absurd depth from untrusted input must not allocate or overflow.
+	mp = fresh()
+	mp.Depth = 63
+	if VerifyMultiProof(root, leaves(mp), mp) {
+		t.Fatal("accepted absurd depth")
+	}
+}
+
+func TestMultiProofRequestValidation(t *testing.T) {
+	tree, _ := buildTree(8)
+	if _, err := tree.MultiProof(nil); !errors.Is(err, ErrNoIndices) {
+		t.Fatalf("empty request: %v", err)
+	}
+	if _, err := tree.MultiProof([]int{1, 1}); !errors.Is(err, ErrDupIndex) {
+		t.Fatalf("duplicate request: %v", err)
+	}
+	if _, err := tree.MultiProof([]int{8}); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("out of range request: %v", err)
+	}
+}
+
+func TestMultiProofBinaryRoundTrip(t *testing.T) {
+	tree, _ := buildTree(100)
+	mp, err := tree.MultiProof([]int{0, 17, 63, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mp.AppendBinary(nil)
+	var out MultiProof
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mp, out) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", mp, out)
+	}
+	for i := 0; i < len(data); i += 3 {
+		var tr MultiProof
+		if err := tr.UnmarshalBinary(data[:i]); err == nil && i < len(data) {
+			t.Fatalf("accepted truncation at %d/%d", i, len(data))
+		}
+	}
+}
+
+// TestMultiProofAfterUpdates ensures proofs track the live tree.
+func TestMultiProofAfterUpdates(t *testing.T) {
+	tree, hashes := buildTree(32)
+	newLeaf := LeafHash([]byte("updated"))
+	if _, err := tree.Update(5, newLeaf); err != nil {
+		t.Fatal(err)
+	}
+	hashes[5] = newLeaf
+	mp, err := tree.MultiProof([]int{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := [][]byte{hashes[4], hashes[5], hashes[6]}
+	if !VerifyMultiProof(tree.Root(), leaves, mp) {
+		t.Fatal("multiproof stale after update")
+	}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestBeginContractUniform pins the uniform begin contract of the
+// execution layer: an explicit begin_transaction, a first read, and a
+// first write all open the transaction identically, and an empty
+// transaction id is rejected on every path (previously writes auto-created
+// a buffer, reads touched none, and only the explicit begin validated the
+// id).
+func TestBeginContractUniform(t *testing.T) {
+	e := newEnv(t, 1)
+	srv := e.servers[0]
+	item := testItem(0, 1)
+
+	// Empty txn id rejected uniformly.
+	if _, err := srv.handleBegin(&wire.BeginTxnReq{}); err == nil || !strings.Contains(err.Error(), "empty txn id") {
+		t.Fatalf("begin with empty id: %v", err)
+	}
+	if _, err := srv.handleRead(&wire.ReadReq{ID: item}); err == nil || !strings.Contains(err.Error(), "empty txn id") {
+		t.Fatalf("read with empty id: %v", err)
+	}
+	if _, err := srv.handleWrite(&wire.WriteReq{ID: item, Value: []byte("v")}); err == nil || !strings.Contains(err.Error(), "empty txn id") {
+		t.Fatalf("write with empty id: %v", err)
+	}
+
+	buffers := func() int {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.buffers)
+	}
+
+	// A first read opens the transaction (implicit begin), exactly like a
+	// first write or an explicit begin.
+	if _, err := srv.handleRead(&wire.ReadReq{TxnID: "t-read", ID: item}); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if _, err := srv.handleWrite(&wire.WriteReq{TxnID: "t-write", ID: item, Value: []byte("v")}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := srv.handleBegin(&wire.BeginTxnReq{TxnID: "t-begin"}); err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if got := buffers(); got != 3 {
+		t.Fatalf("buffers after read/write/begin: %d, want 3", got)
+	}
+
+	// Re-access is idempotent: no duplicate buffers.
+	if _, err := srv.handleRead(&wire.ReadReq{TxnID: "t-read", ID: item}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.handleBegin(&wire.BeginTxnReq{TxnID: "t-write"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buffers(); got != 3 {
+		t.Fatalf("buffers after re-access: %d, want 3", got)
+	}
+
+	// A write after an explicit begin lands in the same buffer.
+	if _, err := srv.handleWrite(&wire.WriteReq{TxnID: "t-begin", ID: item, Value: []byte("w")}); err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	buffered := srv.buffers["t-begin"][item]
+	srv.mu.Unlock()
+	if string(buffered) != "w" {
+		t.Fatalf("buffered write %q, want %q", buffered, "w")
+	}
+
+	// Reads of unknown items still fail, and do not leave the buffer
+	// behind confused — the transaction stays open (it begun on access).
+	if _, err := srv.handleRead(&wire.ReadReq{TxnID: "t-read", ID: "nope"}); err == nil {
+		t.Fatal("read of unknown item succeeded")
+	}
+}

@@ -309,6 +309,11 @@ func (s *Server) applyCommitLocked(st *cohortState, b *ledger.Block) error {
 	if err := s.log.Append(b.Clone()); err != nil {
 		return fmt.Errorf("server %s: append block %d: %w", s.ident.ID, b.Height, err)
 	}
+	// Keep the verified-read caches (header chain + committed-root index)
+	// in lockstep with the log, inside the same critical section, so a
+	// proof generated at a height is always generated from the shard state
+	// that height's root authenticates.
+	s.cacheBlockLocked(b)
 	if s.snap != nil {
 		// The snapshot is a recovery cache, but a failure to write it means
 		// the disk is unhealthy — surface it rather than degrade silently.

@@ -83,6 +83,19 @@ type Faults struct {
 	// DropTailBlocks omits the last k blocks when serving the log — detected
 	// by cross-server comparison with the longest valid log (Lemma 7).
 	DropTailBlocks int
+
+	// --- Verified-read path (internal/lightclient) ---
+
+	// TamperHeaders serves forged headers on lc_fetch_headers (a co-signed
+	// field flipped per header) — a light client must reject them by
+	// collective-signature verification (lightclient.ErrBadHeader).
+	TamperHeaders bool
+
+	// TamperVerifiedProof forges the Merkle multiproof in verified-read
+	// responses (misdeclared leaf position) — rejected client-side by
+	// proof-shape validation against the static shard layout
+	// (lightclient.ErrBadProof).
+	TamperVerifiedProof bool
 }
 
 // TamperSpec describes a post-hoc block mutation applied when the log is
@@ -99,5 +112,6 @@ func (f Faults) IsByzantine() bool {
 		f.AcceptStaleTS || f.BadCommitment || f.BadResponse ||
 		f.FakeRootInVote || f.SkipChallengeChecks || f.SkipCoSigCheck ||
 		f.SkipApply || f.CorruptApplyValue != nil || f.TamperBlock != nil ||
-		f.ReorderLog || f.DropTailBlocks != 0
+		f.ReorderLog || f.DropTailBlocks != 0 ||
+		f.TamperHeaders || f.TamperVerifiedProof
 }

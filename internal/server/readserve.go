@@ -1,0 +1,187 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ledger"
+	"repro/internal/merkle"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// This file implements the server side of the verified-read subsystem
+// (internal/lightclient): header-chain sync and proof-carrying reads. Both
+// serve from caches maintained in lockstep with the log under the server
+// lock (see cacheBlockLocked), so a response's height, root and proof are
+// always mutually consistent even while blocks are being applied.
+
+// Paging and batching bounds. Both exist to keep one request from pinning
+// the server lock (or one frame) arbitrarily long; clients page.
+const (
+	// MaxHeadersPerFetch caps one header page; FetchHeadersReq.Max above
+	// it is clamped, zero selects DefaultHeadersPerFetch.
+	MaxHeadersPerFetch = 2048
+	// DefaultHeadersPerFetch is the page size when the request leaves Max
+	// unset.
+	DefaultHeadersPerFetch = 512
+	// MaxVerifiedReadBatch caps the items of one verified-read request.
+	MaxVerifiedReadBatch = 256
+)
+
+// Errors surfaced by the verified-read path.
+var (
+	ErrNoCommittedRoot = errors.New("server: no committed shard root at or below the requested height")
+	ErrBatchTooLarge   = errors.New("server: verified-read batch exceeds limit")
+)
+
+// handleFetchHeaders serves a page of the header chain. Headers are served
+// from the cache (extracted once per committed block), so a sync costs no
+// per-request hashing. The TamperHeaders fault serves corrupted headers —
+// the forgery a light client must reject by collective-signature
+// verification.
+func (s *Server) handleFetchHeaders(req *wire.FetchHeadersReq) (*wire.FetchHeadersResp, error) {
+	max := int(req.Max)
+	if max <= 0 {
+		max = DefaultHeadersPerFetch
+	}
+	if max > MaxHeadersPerFetch {
+		max = MaxHeadersPerFetch
+	}
+
+	s.mu.Lock()
+	tip := uint64(len(s.headers))
+	from := req.From
+	if from > tip {
+		from = tip
+	}
+	end := from + uint64(max)
+	if end > tip {
+		end = tip
+	}
+	page := s.headers[from:end]
+	faults := s.faults
+	s.mu.Unlock()
+
+	resp := &wire.FetchHeadersResp{Tip: tip}
+	if len(page) == 0 {
+		return resp, nil
+	}
+	if !faults.TamperHeaders {
+		// Cached headers are immutable once appended; serving them shared
+		// is safe because the transport encodes the response before the
+		// handler returns.
+		resp.Headers = page
+		return resp, nil
+	}
+	// Fault: serve forged headers — flip a bit in a co-signed field of
+	// every header of the page (a root when present, else the txns hash).
+	resp.Headers = make([]*ledger.Header, 0, len(page))
+	for _, h := range page {
+		forged := h.Clone()
+		tampered := false
+		for id := range forged.Roots {
+			forged.Roots[id][0] ^= 0x01
+			tampered = true
+			break
+		}
+		if !tampered && len(forged.TxnsHash) > 0 {
+			forged.TxnsHash[0] ^= 0x01
+		}
+		resp.Headers = append(resp.Headers, forged)
+	}
+	return resp, nil
+}
+
+// handleVerifiedRead serves a proof-carrying read: the requested items of
+// this server's shard plus one batched Merkle proof authenticating them
+// against the newest committed (co-signed) shard root — or, for pinned
+// requests, against the newest committed root at or below the pin
+// (snapshot reads; historical states require a multi-versioned shard).
+//
+// The whole resolution runs under the server lock, which is what makes the
+// triple ⟨height, shard state, proof⟩ atomic with respect to concurrent
+// block applies.
+func (s *Server) handleVerifiedRead(req *wire.VerifiedReadReq) (*wire.VerifiedReadResp, error) {
+	if len(req.IDs) == 0 {
+		return nil, errors.New("server: verified read: no items requested")
+	}
+	if len(req.IDs) > MaxVerifiedReadBatch {
+		return nil, fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(req.IDs), MaxVerifiedReadBatch)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if len(s.rootHeights) == 0 {
+		return nil, fmt.Errorf("server %s: %w", s.ident.ID, ErrNoCommittedRoot)
+	}
+	latest := s.rootHeights[len(s.rootHeights)-1]
+	target := latest
+	if req.Pinned {
+		// Newest committed root at or below the pin: the shard state a
+		// reader at that height observed.
+		i := sort.Search(len(s.rootHeights), func(i int) bool { return s.rootHeights[i] > req.AtHeight })
+		if i == 0 {
+			return nil, fmt.Errorf("server %s: height %d: %w", s.ident.ID, req.AtHeight, ErrNoCommittedRoot)
+		}
+		target = s.rootHeights[i-1]
+	}
+
+	var (
+		items []store.Item
+		mp    merkle.MultiProof
+		err   error
+	)
+	if target == latest {
+		// Fast path: the live tree is exactly the state the newest
+		// committed root authenticates.
+		items, mp, err = s.shard.MultiProof(req.IDs)
+	} else {
+		// Snapshot read: rebuild the tree at the version the pinned root
+		// covers (the block's max commit timestamp — commit timestamps are
+		// strictly increasing across blocks, so this selects exactly the
+		// versions as of that block).
+		b, gerr := s.log.Get(target)
+		if gerr != nil {
+			return nil, fmt.Errorf("server %s: verified read at %d: %w", s.ident.ID, target, gerr)
+		}
+		items, mp, err = s.shard.MultiProofAt(req.IDs, b.MaxTS())
+	}
+	if err != nil {
+		if errors.Is(err, store.ErrSingleVersion) {
+			return nil, fmt.Errorf("server %s: snapshot reads at a past height require a multi-versioned shard: %w", s.ident.ID, err)
+		}
+		return nil, fmt.Errorf("server %s: verified read: %w", s.ident.ID, err)
+	}
+
+	resp := &wire.VerifiedReadResp{Height: target, Proof: mp, Items: make([]wire.VerifiedItem, len(items))}
+	for i, it := range items {
+		resp.Items[i] = wire.VerifiedItem{ID: it.ID, Value: it.Value, RTS: it.RTS, WTS: it.WTS}
+	}
+
+	// Fault injection: the verified-read path exists to turn these lies
+	// into immediate client-side rejections instead of audit-time
+	// findings.
+	if s.faults.StaleReads {
+		// Scenario 1: previous value under current timestamps. The served
+		// proof still authenticates the *actual* state, so the leaf
+		// recomputed by the client no longer folds to the committed root.
+		for i := range resp.Items {
+			if prev, ok := s.prevValues[resp.Items[i].ID]; ok {
+				resp.Items[i].Value = append([]byte(nil), prev...)
+			}
+		}
+	}
+	if s.faults.TamperVerifiedProof {
+		// A forged proof: misdeclare the first leaf position. The client
+		// cross-checks every proof index against the leaf index it derives
+		// from the static shard layout, so the forged shape is rejected
+		// (ErrBadProof) before any hashing.
+		forged := append([]int(nil), resp.Proof.Indices...)
+		forged[0]++
+		resp.Proof.Indices = forged
+	}
+	return resp, nil
+}

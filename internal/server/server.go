@@ -90,6 +90,16 @@ type Server struct {
 	prevValues    map[txn.ItemID][]byte
 	terminator    Terminator
 	stats         Stats
+
+	// Verified-read serving state (readserve.go): the header cache is the
+	// log's headers, index == height; the committed-root cache records at
+	// which heights this server's shard root was co-signed into a block,
+	// so the serving path resolves "latest root ≤ pin" without scanning
+	// the log. Both are maintained under mu by applyCommitLocked and
+	// seeded from a recovered log.
+	headers     []*ledger.Header
+	rootHeights []uint64          // ascending
+	rootAt      map[uint64][]byte // height → this server's committed root
 }
 
 // Stats aggregates the server-side costs the paper's evaluation reports;
@@ -136,14 +146,30 @@ func New(cfg Config) (*Server, error) {
 		faults:     cfg.Faults,
 		buffers:    make(map[string]map[txn.ItemID][]byte),
 		prevValues: make(map[txn.ItemID][]byte),
+		rootAt:     make(map[uint64][]byte),
 	}
 	// A recovered log restores the OCC watermark: "the servers ignore any
 	// end transaction request with a timestamp lower than the latest
-	// committed timestamp" must hold across restarts too.
+	// committed timestamp" must hold across restarts too — and re-seeds
+	// the header and committed-root caches the verified-read path serves
+	// from.
 	for _, b := range log.Blocks() {
 		s.lastCommitted = s.lastCommitted.Max(b.MaxTS())
+		s.cacheBlockLocked(b)
 	}
 	return s, nil
+}
+
+// cacheBlockLocked records a committed block's header and, when this
+// server's shard was involved, its co-signed root in the verified-read
+// caches. Log heights are dense, so the header cache index equals the
+// block height.
+func (s *Server) cacheBlockLocked(b *ledger.Block) {
+	s.headers = append(s.headers, b.Header())
+	if root, ok := b.Roots[s.ident.ID]; ok {
+		s.rootHeights = append(s.rootHeights, b.Height)
+		s.rootAt[b.Height] = append([]byte(nil), root...)
+	}
 }
 
 // ID returns the server's node id.
@@ -235,6 +261,14 @@ func (s *Server) Handle(ctx context.Context, from identity.NodeID, msg transport
 		return dispatch(msg, func(req *wire.FetchProofReq) (*wire.FetchProofResp, error) {
 			return s.handleFetchProof(req)
 		})
+	case wire.MsgFetchHeaders:
+		return dispatch(msg, func(req *wire.FetchHeadersReq) (*wire.FetchHeadersResp, error) {
+			return s.handleFetchHeaders(req)
+		})
+	case wire.MsgVerifiedRead:
+		return dispatch(msg, func(req *wire.VerifiedReadReq) (*wire.VerifiedReadResp, error) {
+			return s.handleVerifiedRead(req)
+		})
 	default:
 		return transport.Message{}, fmt.Errorf("server %s: unknown message type %q", s.ident.ID, msg.Type)
 	}
@@ -256,33 +290,58 @@ func dispatch[Req any, Resp any](msg transport.Message, fn func(*Req) (*Resp, er
 // --- Execution layer (paper §4.2.1) ---
 
 func (s *Server) handleBegin(req *wire.BeginTxnReq) (*wire.BeginTxnResp, error) {
-	if req.TxnID == "" {
-		return nil, errors.New("server: begin: empty txn id")
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.buffers[req.TxnID]; !exists {
-		s.buffers[req.TxnID] = make(map[txn.ItemID][]byte)
+	if _, err := s.ensureTxnLocked(req.TxnID); err != nil {
+		return nil, fmt.Errorf("server: begin: %w", err)
 	}
 	return &wire.BeginTxnResp{OK: true}, nil
 }
 
+// ensureTxnLocked opens the transaction's execution-layer buffer when the
+// begin was implicit. The begin contract is uniform across the execution
+// layer: an explicit begin_transaction, a first read, or a first write all
+// open the transaction identically, and an empty transaction id is
+// rejected on every path (it used to be rejected only on the explicit
+// begin, with writes auto-creating a buffer and reads touching none).
+func (s *Server) ensureTxnLocked(txnID string) (map[txn.ItemID][]byte, error) {
+	if txnID == "" {
+		return nil, errors.New("empty txn id")
+	}
+	buf, ok := s.buffers[txnID]
+	if !ok {
+		buf = make(map[txn.ItemID][]byte)
+		s.buffers[txnID] = buf
+	}
+	return buf, nil
+}
+
 func (s *Server) handleRead(req *wire.ReadReq) (*wire.ReadResp, error) {
+	// The server lock guards only the transaction table and the fault
+	// state; the shard read runs under the shard's own RLock so
+	// concurrent plain reads never serialize behind block applies.
+	s.mu.Lock()
+	_, err := s.ensureTxnLocked(req.TxnID)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("server: read: %w", err)
+	}
 	item, err := s.shard.Get(req.ID)
 	if err != nil {
 		return nil, err
 	}
 	resp := &wire.ReadResp{Value: item.Value, RTS: item.RTS, WTS: item.WTS}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.faults.StaleReads {
 		// Scenario 1 (paper §5): return an incorrect (previous) value while
 		// keeping the up-to-date timestamps, so the lie is only catchable by
-		// the auditor's read-value chain check (Lemma 1).
+		// the auditor's read-value chain check (Lemma 1) — or, online, by a
+		// proof-carrying read (readserve.go).
 		if prev, ok := s.prevValues[req.ID]; ok {
 			resp.Value = append([]byte(nil), prev...)
 		}
 	}
+	s.mu.Unlock()
 	return resp, nil
 }
 
@@ -293,10 +352,9 @@ func (s *Server) handleWrite(req *wire.WriteReq) (*wire.WriteResp, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	buf, ok := s.buffers[req.TxnID]
-	if !ok {
-		buf = make(map[txn.ItemID][]byte)
-		s.buffers[req.TxnID] = buf
+	buf, err := s.ensureTxnLocked(req.TxnID)
+	if err != nil {
+		return nil, fmt.Errorf("server: write: %w", err)
 	}
 	buf[req.ID] = append([]byte(nil), req.Value...)
 	return &wire.WriteResp{OldVal: item.Value, RTS: item.RTS, WTS: item.WTS}, nil

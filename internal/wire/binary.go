@@ -50,6 +50,10 @@ const (
 	idFetchLogResp
 	idFetchProofReq
 	idFetchProofResp
+	idFetchHeadersReq
+	idFetchHeadersResp
+	idVerifiedReadReq
+	idVerifiedReadResp
 	idMax // one past the last valid id
 )
 
@@ -573,6 +577,135 @@ func (m *FetchProofResp) UnmarshalBinary(data []byte) error {
 	return finish(&r, MsgFetchProof+" resp")
 }
 
+// --- light client ---
+
+// AppendBinary implements the binary wire codec.
+func (m *FetchHeadersReq) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idFetchHeadersReq)
+	buf = binenc.AppendUint64(buf, m.From)
+	return binenc.AppendUint32(buf, m.Max)
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *FetchHeadersReq) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idFetchHeadersReq)
+	if err != nil {
+		return err
+	}
+	m.From = r.Uint64()
+	m.Max = r.Uint32()
+	return finish(&r, MsgFetchHeaders)
+}
+
+// AppendBinary implements the binary wire codec.
+func (m *FetchHeadersResp) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idFetchHeadersResp)
+	buf = binenc.AppendUint64(buf, m.Tip)
+	buf = binenc.AppendUvarint(buf, uint64(len(m.Headers)))
+	for _, h := range m.Headers {
+		buf = h.AppendBinary(buf)
+	}
+	return buf
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *FetchHeadersResp) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idFetchHeadersResp)
+	if err != nil {
+		return err
+	}
+	m.Tip = r.Uint64()
+	m.Headers = nil
+	// Minimum header encoding: version byte + fixed height + six empty
+	// length prefixes.
+	if n := r.Count(9); n > 0 {
+		m.Headers = make([]*ledger.Header, n)
+		for i := range m.Headers {
+			h := new(ledger.Header)
+			if err := ledger.DecodeHeader(&r, h); err != nil {
+				return err
+			}
+			m.Headers[i] = h
+		}
+	}
+	return finish(&r, MsgFetchHeaders+" resp")
+}
+
+// AppendBinary implements the binary wire codec.
+func (m *VerifiedReadReq) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idVerifiedReadReq)
+	buf = binenc.AppendUvarint(buf, uint64(len(m.IDs)))
+	for _, id := range m.IDs {
+		buf = binenc.AppendString(buf, string(id))
+	}
+	buf = binenc.AppendBool(buf, m.Pinned)
+	return binenc.AppendUint64(buf, m.AtHeight)
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *VerifiedReadReq) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idVerifiedReadReq)
+	if err != nil {
+		return err
+	}
+	m.IDs = nil
+	if n := r.Count(1); n > 0 {
+		m.IDs = make([]txn.ItemID, n)
+		for i := range m.IDs {
+			m.IDs[i] = txn.ItemID(r.String())
+		}
+	}
+	m.Pinned = r.Bool()
+	m.AtHeight = r.Uint64()
+	return finish(&r, MsgVerifiedRead)
+}
+
+func appendVerifiedItem(buf []byte, it *VerifiedItem) []byte {
+	buf = binenc.AppendString(buf, string(it.ID))
+	buf = binenc.AppendBytes(buf, it.Value)
+	buf = it.RTS.AppendBinary(buf)
+	return it.WTS.AppendBinary(buf)
+}
+
+func decodeVerifiedItem(r *binenc.Reader, it *VerifiedItem) {
+	it.ID = txn.ItemID(r.String())
+	it.Value = r.Bytes()
+	it.RTS = txn.DecodeTimestamp(r)
+	it.WTS = txn.DecodeTimestamp(r)
+}
+
+// AppendBinary implements the binary wire codec.
+func (m *VerifiedReadResp) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idVerifiedReadResp)
+	buf = binenc.AppendUint64(buf, m.Height)
+	buf = binenc.AppendUvarint(buf, uint64(len(m.Items)))
+	for i := range m.Items {
+		buf = appendVerifiedItem(buf, &m.Items[i])
+	}
+	return m.Proof.AppendBinary(buf)
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *VerifiedReadResp) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idVerifiedReadResp)
+	if err != nil {
+		return err
+	}
+	m.Height = r.Uint64()
+	m.Items = nil
+	// Minimum item encoding: two length prefixes + two timestamps.
+	if n := r.Count(2 + 2*txn.TimestampEncSize); n > 0 {
+		m.Items = make([]VerifiedItem, n)
+		for i := range m.Items {
+			decodeVerifiedItem(&r, &m.Items[i])
+		}
+	}
+	if err := merkle.DecodeMultiProof(&r, &m.Proof); err != nil {
+		return err
+	}
+	return finish(&r, MsgVerifiedRead+" resp")
+}
+
 // Decode decodes an arbitrary binary wire message from its self-describing
 // header, returning the concrete message struct. It is the debugging and
 // fuzzing entry point: any byte string either decodes into exactly one
@@ -644,6 +777,14 @@ func newMessage(id byte) binaryMessage {
 		return new(FetchProofReq)
 	case idFetchProofResp:
 		return new(FetchProofResp)
+	case idFetchHeadersReq:
+		return new(FetchHeadersReq)
+	case idFetchHeadersResp:
+		return new(FetchHeadersResp)
+	case idVerifiedReadReq:
+		return new(VerifiedReadReq)
+	case idVerifiedReadResp:
+		return new(VerifiedReadResp)
 	default:
 		return nil
 	}

@@ -108,6 +108,17 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&FetchLogResp{Blocks: []*ledger.Block{block, block}},
 		&FetchProofReq{ID: "s00-i0001", AtVersion: true, TS: txn.Timestamp{Time: 4, ClientID: 2}},
 		&FetchProofResp{LeafContent: []byte("leaf"), Proof: merkle.Proof{Index: 3, Siblings: [][]byte{bytes.Repeat([]byte{5}, 32), bytes.Repeat([]byte{6}, 32)}}},
+		&FetchHeadersReq{From: 7, Max: 512},
+		&FetchHeadersResp{Tip: 42, Headers: []*ledger.Header{block.Header(), block.Header()}},
+		&VerifiedReadReq{IDs: []txn.ItemID{"s00-i0001", "s00-i0007"}, Pinned: true, AtHeight: 12},
+		&VerifiedReadResp{
+			Height: 12,
+			Items: []VerifiedItem{
+				{ID: "s00-i0001", Value: []byte("v"), RTS: txn.Timestamp{Time: 1, ClientID: 2}, WTS: txn.Timestamp{Time: 3, ClientID: 4}},
+				{ID: "s00-i0007", Value: big},
+			},
+			Proof: merkle.MultiProof{Indices: []int{1, 7}, Depth: 4, Siblings: [][]byte{bytes.Repeat([]byte{7}, 32), bytes.Repeat([]byte{8}, 32)}},
+		},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
@@ -122,6 +133,8 @@ func TestRoundTripZeroValues(t *testing.T) {
 		&DecisionReq{}, &DecisionResp{}, &PrepareReq{}, &PrepareResp{},
 		&TwoPCDecisionReq{}, &TwoPCDecisionResp{}, &FetchLogReq{},
 		&FetchLogResp{}, &FetchProofReq{}, &FetchProofResp{},
+		&FetchHeadersReq{}, &FetchHeadersResp{}, &VerifiedReadReq{},
+		&VerifiedReadResp{},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
@@ -221,6 +234,11 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add((&VoteResp{Vote: ledger.DecisionAbort, TxnAborts: []int{1}}).AppendBinary(nil))
 	f.Add((&FetchLogResp{Blocks: []*ledger.Block{block}}).AppendBinary(nil))
 	f.Add((&FetchProofResp{LeafContent: []byte("l"), Proof: merkle.Proof{Index: 1, Siblings: [][]byte{{1}}}}).AppendBinary(nil))
+	f.Add((&FetchHeadersReq{From: 3, Max: 128}).AppendBinary(nil))
+	f.Add((&FetchHeadersResp{Tip: 9, Headers: []*ledger.Header{block.Header()}}).AppendBinary(nil))
+	f.Add((&VerifiedReadReq{IDs: []txn.ItemID{"a", "b"}, Pinned: true, AtHeight: 4}).AppendBinary(nil))
+	f.Add((&VerifiedReadResp{Height: 4, Items: []VerifiedItem{{ID: "a", Value: []byte("v")}},
+		Proof: merkle.MultiProof{Indices: []int{0}, Depth: 1, Siblings: [][]byte{{2}}}}).AppendBinary(nil))
 	f.Add([]byte{})
 	f.Add([]byte{BinaryVersion})
 	f.Add([]byte{BinaryVersion, 200})

@@ -37,6 +37,11 @@ const (
 	// Audit.
 	MsgFetchLog   = "audit_fetch_log"
 	MsgFetchProof = "audit_fetch_proof"
+
+	// Light client: header sync and proof-carrying reads
+	// (internal/lightclient; see docs/protocol.md "Verified reads").
+	MsgFetchHeaders = "lc_fetch_headers"
+	MsgVerifiedRead = "lc_verified_read"
 )
 
 // BeginTxnReq opens a transaction at a server storing items the transaction
@@ -207,4 +212,59 @@ type FetchProofReq struct {
 type FetchProofResp struct {
 	LeafContent []byte       `json:"leaf_content"`
 	Proof       merkle.Proof `json:"proof"`
+}
+
+// FetchHeadersReq asks a server for a range of block headers starting at
+// height From (at most Max of them). A light client cold-syncs by paging
+// from height 0 and resumes from any trusted height by paging from its
+// cached tip; the server streams whatever prefix of [From, From+Max) its
+// log holds.
+type FetchHeadersReq struct {
+	From uint64 `json:"from"`
+	Max  uint32 `json:"max"`
+}
+
+// FetchHeadersResp carries the requested header range plus the server's
+// current log length, so the client knows whether another page remains
+// without an extra round trip.
+type FetchHeadersResp struct {
+	Headers []*ledger.Header `json:"headers"`
+	Tip     uint64           `json:"tip"`
+}
+
+// VerifiedReadReq asks for the current value of one or more items of a
+// single shard together with the Merkle proof authenticating them against
+// a committed, co-signed shard root — the proof-carrying read path that
+// makes read integrity an online property instead of an audit-time one.
+//
+// With Pinned set, the read is served against the shard state
+// authenticated by the newest committed root at height ≤ AtHeight — a
+// snapshot read at a pinned height (multi-versioned shards only when the
+// pin is older than the newest root).
+type VerifiedReadReq struct {
+	IDs      []txn.ItemID `json:"ids"`
+	Pinned   bool         `json:"pinned,omitempty"`
+	AtHeight uint64       `json:"at_height,omitempty"`
+}
+
+// VerifiedItem is one item of a verified-read response: the value and
+// timestamps whose LeafContent the proof authenticates.
+type VerifiedItem struct {
+	ID    txn.ItemID    `json:"id"`
+	Value []byte        `json:"value"`
+	RTS   txn.Timestamp `json:"rts"`
+	WTS   txn.Timestamp `json:"wts"`
+}
+
+// VerifiedReadResp carries the items (in Merkle leaf order, matching
+// Proof.Indices), the one batched proof covering all of them, and the
+// block height whose committed shard root the proof folds up to. The light
+// client authenticates the response against its header cache: the header
+// at Height supplies the expected root, and the client's per-server root
+// index exposes a Height older than the newest committed root as a stale
+// read.
+type VerifiedReadResp struct {
+	Height uint64            `json:"height"`
+	Items  []VerifiedItem    `json:"items"`
+	Proof  merkle.MultiProof `json:"proof"`
 }
