@@ -8,7 +8,7 @@ GO ?= go
 BENCH ?= BenchmarkFig13
 PROFILE_DIR ?= .profiles
 
-.PHONY: all build vet test test-short test-race bench bench-fig12 bench-wal bench-pipeline bench-reads fuzz profile docs-check clean
+.PHONY: all build vet lint test test-short test-race sim sim-sweep sim-determinism bench bench-fig12 bench-wal bench-pipeline bench-reads bench-gate fuzz profile docs-check clean
 
 all: vet build test
 
@@ -17,6 +17,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Mirrors the CI lint job. Staticcheck is pinned there; locally it is
+# used when installed and skipped (with a note) when not.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; CI runs honnef.co/go/tools/cmd/staticcheck@2025.1.1"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -28,6 +37,28 @@ test-short:
 # harness runs full workloads and is too slow under the race detector).
 test-race:
 	$(GO) test -race $$($(GO) list ./internal/... | grep -v /bench)
+
+# Deterministic cluster simulation (docs/testing.md). `sim` is the CI
+# smoke: every scenario × 10 seeds with the trace-determinism proof;
+# `sim-sweep` is the nightly-scale sweep. Reproduce a failing seed with
+#   go run ./cmd/fidessim -scenario <name> -seed <seed>
+sim:
+	$(GO) run ./cmd/fidessim -scenario all -seeds 10 -determinism
+
+sim-sweep:
+	$(GO) run ./cmd/fidessim -scenario all -seeds 300 -determinism \
+		-json sim-report.json -failing sim-failing-seeds.txt
+
+sim-determinism:
+	$(GO) run ./cmd/fidessim -scenario all -seeds 5 -determinism -v
+
+# The CI bench gate, runnable locally: re-measure the baseline
+# configuration and compare against the committed report.
+bench-gate:
+	$(GO) run ./cmd/fidesbench -exp fig12 -requests 120 -latency 100us \
+		-runs 1 -json /tmp/fides-bench-gate.json
+	$(GO) run ./tools/benchgate -baseline BENCH_PR2.json \
+		-current /tmp/fides-bench-gate.json
 
 # Figure benchmarks (see bench_test.go; cmd/fidesbench runs the
 # paper-scale sweeps as tables).

@@ -1,0 +1,159 @@
+// Command fidessim runs the deterministic cluster simulator (internal/sim)
+// over seed sweeps: every scenario in the catalog (or one named scenario)
+// is executed under each seed, its invariant contract checked, and every
+// violation printed with the one-line repro that re-runs it
+// byte-identically.
+//
+//	fidessim -list                             # catalog with descriptions
+//	fidessim -scenario all -seeds 20           # sweep seeds 1..20 (CI smoke)
+//	fidessim -scenario stale-reads -seed 42    # one exact case (a repro line)
+//	fidessim -scenario all -seeds 200 -json report.json   # nightly sweep
+//	fidessim -determinism                      # trace-hash equality proof
+//
+// Exit status is non-zero if any run violated its invariants.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		scenario    = flag.String("scenario", "all", "scenario name from -list, or all")
+		seed        = flag.Uint64("seed", 0, "run exactly this one seed (0 = sweep -seeds)")
+		seeds       = flag.Int("seeds", 5, "sweep seeds 1..N per scenario")
+		jsonOut     = flag.String("json", "", "write all results to this JSON report file")
+		failOut     = flag.String("failing", "", "write failing repro lines to this file (one per line)")
+		list        = flag.Bool("list", false, "list scenarios and exit")
+		determinism = flag.Bool("determinism", false, "also run each deterministic scenario twice per seed and require byte-identical traces")
+		verbose     = flag.Bool("v", false, "print every run, not just failures")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range sim.Catalog() {
+			det := " "
+			if sc.Deterministic {
+				det = "*"
+			}
+			fmt.Printf("%s %-22s %s\n", det, sc.Name, sc.Description)
+		}
+		fmt.Println("\n(* = deterministic: byte-identical trace per seed)")
+		return
+	}
+
+	var scenarios []sim.Scenario
+	if *scenario == "all" {
+		scenarios = sim.Catalog()
+	} else {
+		sc, err := sim.ByName(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		scenarios = []sim.Scenario{sc}
+	}
+	seedList := make([]uint64, 0, *seeds)
+	if *seed != 0 {
+		seedList = append(seedList, *seed)
+	} else {
+		for s := 1; s <= *seeds; s++ {
+			seedList = append(seedList, uint64(s))
+		}
+	}
+
+	start := time.Now()
+	var results []*sim.Result
+	var failures []*sim.Result
+	runs := 0
+	for _, sc := range scenarios {
+		for _, s := range seedList {
+			r := sim.Run(sc, s)
+			runs++
+			results = append(results, r)
+			if !r.OK() {
+				failures = append(failures, r)
+				fmt.Printf("FAIL %-22s seed=%-6d %v\n", r.Scenario, r.Seed, r.Violations)
+				fmt.Printf("     repro: %s\n", r.Repro)
+			} else if *verbose {
+				fmt.Printf("ok   %-22s seed=%-6d committed=%d events=%d trace=%s\n",
+					r.Scenario, r.Seed, r.Committed, r.Net.Events, r.TraceHash[:12])
+			}
+			if *determinism && sc.Deterministic && r.OK() {
+				runs++
+				again := sim.Run(sc, s)
+				results = append(results, again)
+				if again.TraceHash != r.TraceHash {
+					again.Violations = append(again.Violations,
+						fmt.Sprintf("determinism broken: trace %s then %s", r.TraceHash, again.TraceHash))
+				}
+				if !again.OK() {
+					failures = append(failures, again)
+					fmt.Printf("FAIL %-22s seed=%-6d (determinism re-run) %v\n", again.Scenario, again.Seed, again.Violations)
+					fmt.Printf("     repro: %s\n", again.Repro)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("%d runs, %d failures, %s\n", runs, len(failures), time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *failOut != "" && len(failures) > 0 {
+		f, err := os.Create(*failOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, r := range failures {
+			fmt.Fprintln(f, r.Repro)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// report is the JSON envelope of a sweep.
+type report struct {
+	Schema      string        `json:"schema"`
+	GeneratedAt time.Time     `json:"generated_at"`
+	Runs        int           `json:"runs"`
+	Failures    int           `json:"failures"`
+	Results     []*sim.Result `json:"results"`
+}
+
+func writeReport(path string, results []*sim.Result) error {
+	failures := 0
+	for _, r := range results {
+		if !r.OK() {
+			failures++
+		}
+	}
+	raw, err := json.MarshalIndent(report{
+		Schema:      "fidessim/v1",
+		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		Runs:        len(results),
+		Failures:    failures,
+		Results:     results,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -141,6 +141,10 @@ func Run(cfg RunConfig) (*Metrics, error) {
 		Fsync:          cfg.Fsync,
 		Pipeline:       cfg.Pipeline,
 		Coordinators:   cfg.Coordinators,
+		// Benchmarks measure latency-sensitive throughput: they need the
+		// microsecond-accurate delivery delays, and they can afford the
+		// yield-spin that buys them (tests default to plain sleeps).
+		PreciseNetDelay: true,
 	})
 	if err != nil {
 		return nil, err

@@ -123,11 +123,12 @@ func Reads(w io.Writer, opts Options) ([]*ReadsResult, error) {
 // runReadsPoint runs one (fraction, path, batch) measurement.
 func runReadsPoint(pt ReadsPoint, opts Options, servers, readers int, seed int64) (*ReadsResult, error) {
 	cluster, err := core.NewCluster(core.Config{
-		NumServers:     servers,
-		ItemsPerShard:  2048,
-		BatchSize:      16,
-		BatchWait:      2 * time.Millisecond,
-		NetworkLatency: opts.NetworkLatency,
+		NumServers:      servers,
+		ItemsPerShard:   2048,
+		BatchSize:       16,
+		BatchWait:       2 * time.Millisecond,
+		NetworkLatency:  opts.NetworkLatency,
+		PreciseNetDelay: true,
 	})
 	if err != nil {
 		return nil, err

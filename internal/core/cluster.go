@@ -109,6 +109,22 @@ type Config struct {
 	ServerFaults map[int]server.Faults
 	// CoordinatorFaults configures coordinator misbehavior (TFCommit only).
 	CoordinatorFaults tfcommit.Faults
+	// NetScheduler replaces the in-process network's delivery scheduler
+	// (internal/sim installs its seeded virtual-time scheduler here).
+	// Ignored in TCP mode and when nil (the default real-time sleeper).
+	NetScheduler transport.Scheduler
+	// PreciseNetDelay opts the default real-time scheduler into
+	// microsecond-accurate delivery delays (yield-spin on the final
+	// stretch). The benchmark harness sets it; tests keep the cheap plain
+	// sleeps. No effect with a custom NetScheduler or in TCP mode.
+	PreciseNetDelay bool
+	// CrashHook, when non-nil, receives every named crash point a server
+	// passes — "pre-fsync" (WAL, from internal/durable), "post-cosign" and
+	// "mid-apply" (commit path, from internal/server) — with the server id
+	// and block height. Returning a non-nil error makes that server fail
+	// at exactly that point; the simulation harness uses this to crash
+	// servers between the effects a real crash can separate.
+	CrashHook func(id identity.NodeID, point string, height uint64) error
 }
 
 func (c *Config) applyDefaults() {
@@ -165,6 +181,7 @@ type Cluster struct {
 	tfc       *tfcommit.Coordinator
 	pipe      *tfcommit.Pipeline
 	recovered map[identity.NodeID]*durable.Recovered
+	stores    map[identity.NodeID]*durable.Store
 
 	// TCP mode state.
 	tcpAddrs map[identity.NodeID]string
@@ -223,8 +240,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		reg:       identity.NewRegistry(),
 		servers:   make(map[identity.NodeID]*server.Server, cfg.NumServers),
 		recovered: make(map[identity.NodeID]*durable.Recovered),
+		stores:    make(map[identity.NodeID]*durable.Store),
 		tcpAddrs:  make(map[identity.NodeID]string),
 		tcpNodes:  make(map[identity.NodeID]*transport.TCPNode),
+	}
+	if cfg.NetScheduler != nil {
+		c.net.SetScheduler(cfg.NetScheduler)
+	} else if cfg.PreciseNetDelay {
+		c.net.SetPreciseDelay(true)
 	}
 	// On any construction failure, release whatever was already opened
 	// (durable stores, TCP sockets).
@@ -286,6 +309,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Directory: c.dir,
 			Faults:    cfg.ServerFaults[i],
 		}
+		if cfg.CrashHook != nil {
+			hook, sid := cfg.CrashHook, id
+			scfg.CrashHook = func(point string, height uint64) error {
+				return hook(sid, point, height)
+			}
+		}
 		if cfg.pipelined() {
 			// Cohorts must tolerate a block announcement overtaking its
 			// predecessor's decision (the pipelined lookahead); the wait is
@@ -295,17 +324,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if cfg.DataDir == "" {
 			scfg.Shard = newShardFor(c.dir, id, cfg)
 		} else {
-			dstore, err := durable.Open(durable.Options{
+			dopts := durable.Options{
 				Dir:           filepath.Join(cfg.DataDir, string(id)),
 				Fsync:         cfg.Fsync,
 				SnapshotEvery: cfg.SnapshotEvery,
-			})
+			}
+			if cfg.CrashHook != nil {
+				hook, sid := cfg.CrashHook, id
+				dopts.PreFsyncHook = func(nextHeight uint64) error {
+					return hook(sid, "pre-fsync", nextHeight)
+				}
+			}
+			dstore, err := durable.Open(dopts)
 			if err != nil {
 				return nil, fmt.Errorf("core: server %s: %w", id, err)
 			}
 			c.mu.Lock()
 			c.closers = append(c.closers, dstore)
 			c.mu.Unlock()
+			c.stores[id] = dstore
 			rec, err := dstore.Recover(durable.RecoveryConfig{
 				Registry:     c.reg,
 				Self:         id,
@@ -423,6 +460,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // cluster is not durable or the id is unknown).
 func (c *Cluster) Recovery(id identity.NodeID) *durable.Recovered {
 	return c.recovered[id]
+}
+
+// DurableStore returns a server's durable store (nil when the cluster is
+// not durable or the id is unknown). The simulation harness uses it to
+// freeze a server's disk at a crash point (durable.Store.Fail).
+func (c *Cluster) DurableStore(id identity.NodeID) *durable.Store {
+	return c.stores[id]
+}
+
+// Network returns the in-process network the cluster runs on (nil in TCP
+// mode). The simulation harness uses it to detach crashed servers.
+func (c *Cluster) Network() *transport.LocalNetwork {
+	if c.cfg.TCP {
+		return nil
+	}
+	return c.net
 }
 
 func newShardFor(dir *Directory, id identity.NodeID, cfg Config) *store.Shard {

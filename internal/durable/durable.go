@@ -103,6 +103,17 @@ type Options struct {
 	// between a buffered append and its fsync (default 2ms). Only a
 	// backstop: the syncer is also woken by every append.
 	GroupTimeout time.Duration
+	// PreFsyncHook, when non-nil, runs immediately before every fsync of
+	// the WAL file, with the height the next appended block would carry
+	// (i.e. the number of records written so far). Returning a non-nil
+	// error aborts the sync and fails the WAL with that error, sticky —
+	// the simulation harness (internal/sim) uses this as its "pre-fsync"
+	// crash point: everything written before the hook stays on disk for
+	// recovery to judge, nothing after it lands. The hook may be invoked
+	// from the group-commit goroutine and must be safe for concurrent
+	// use. It runs with the WAL lock held: it must not call back into the
+	// store (Fail/Sync/Append) — returning an error IS the freeze.
+	PreFsyncHook func(nextHeight uint64) error
 }
 
 func (o *Options) applyDefaults() {

@@ -326,6 +326,22 @@ func (s *Store) MaybeSnapshot(shard *store.Shard, height uint64, tipHash []byte)
 // Sync forces the WAL to stable storage.
 func (s *Store) Sync() error { return s.wal.Sync() }
 
+// Fail freezes the store as a simulated crash would: every subsequent WAL
+// append, fsync, or snapshot attempt returns err (sticky), while the bytes
+// already on disk stay exactly as the crash left them for recovery to
+// judge. The simulation harness (internal/sim) calls this from its
+// server-layer crash hooks; it must NOT be called from inside the
+// PreFsyncHook, which already holds the WAL lock (that hook freezes by
+// returning an error instead).
+func (s *Store) Fail(err error) {
+	s.wal.Fail(err)
+	s.mu.Lock()
+	if s.snapErr == nil {
+		s.snapErr = err
+	}
+	s.mu.Unlock()
+}
+
 // NextHeight returns the height the next persisted block must carry.
 func (s *Store) NextHeight() uint64 { return s.wal.NextHeight() }
 

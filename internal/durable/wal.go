@@ -352,6 +352,9 @@ func (w *WAL) Append(b *ledger.Block) error {
 
 	switch w.opts.Fsync {
 	case FsyncAlways:
+		if err := w.preFsyncLocked(); err != nil {
+			return fmt.Errorf("durable: fsync block %d: %w", b.Height, err)
+		}
 		if err := w.f.Sync(); err != nil {
 			w.syncErr = err
 			return fmt.Errorf("durable: fsync block %d: %w", b.Height, err)
@@ -369,6 +372,9 @@ func (w *WAL) Append(b *ledger.Block) error {
 // rollLocked finishes the current segment and starts the next one.
 func (w *WAL) rollLocked() error {
 	if w.opts.Fsync != FsyncOff {
+		if err := w.preFsyncLocked(); err != nil {
+			return fmt.Errorf("durable: sync on roll: %w", err)
+		}
 		if err := w.f.Sync(); err != nil {
 			w.syncErr = err
 			return fmt.Errorf("durable: sync on roll: %w", err)
@@ -397,10 +403,12 @@ func (w *WAL) syncLoop() {
 		}
 		w.mu.Lock()
 		if w.dirty && w.syncErr == nil && !w.closed {
-			if err := w.f.Sync(); err != nil {
-				w.syncErr = err
+			if err := w.preFsyncLocked(); err == nil {
+				if err := w.f.Sync(); err != nil {
+					w.syncErr = err
+				}
+				w.dirty = false
 			}
-			w.dirty = false
 		}
 		w.mu.Unlock()
 	}
@@ -427,12 +435,42 @@ func (w *WAL) syncNowLocked() error {
 	if w.syncErr != nil {
 		return w.syncErr
 	}
+	if err := w.preFsyncLocked(); err != nil {
+		return err
+	}
 	if err := w.f.Sync(); err != nil {
 		w.syncErr = err
 		return err
 	}
 	w.dirty = false
 	return nil
+}
+
+// preFsyncLocked runs the pre-fsync hook; a hook error fails the WAL
+// (sticky) without touching the file — the crash-point semantics.
+func (w *WAL) preFsyncLocked() error {
+	hook := w.opts.PreFsyncHook
+	if hook == nil {
+		return nil
+	}
+	if err := hook(w.nextHeight); err != nil {
+		if w.syncErr == nil {
+			w.syncErr = err
+		}
+		return err
+	}
+	return nil
+}
+
+// Fail marks the WAL as failed with err: every subsequent append or fsync
+// returns it, while the bytes already written stay on disk. The first
+// failure wins (matching the sticky sync-error discipline).
+func (w *WAL) Fail(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.syncErr == nil {
+		w.syncErr = err
+	}
 }
 
 // Close stops the group-commit goroutine, flushes, and closes the segment.

@@ -250,6 +250,14 @@ func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.Dec
 			return nil, fmt.Errorf("%w: %v", ErrBadCoSig, err)
 		}
 	}
+	// Crash point "post-cosign": the decision's collective signature
+	// checked out, but neither the datastore nor the log has seen the
+	// block. A crash here loses the block on this server only.
+	if s.crash != nil {
+		if err := s.crash("post-cosign", b.Height); err != nil {
+			return nil, fmt.Errorf("server %s: %w", s.ident.ID, err)
+		}
+	}
 
 	if b.Decision == ledger.DecisionCommit {
 		if err := s.applyCommitLocked(st, b); err != nil {
@@ -304,6 +312,14 @@ func (s *Server) applyCommitLocked(st *cohortState, b *ledger.Block) error {
 		}
 		if err := s.shard.Apply(accesses); err != nil {
 			return fmt.Errorf("server %s: apply block %d: %w", s.ident.ID, b.Height, err)
+		}
+	}
+	// Crash point "mid-apply": the in-memory datastore holds the block's
+	// writes but the tamper-proof log (and with it the WAL) does not. A
+	// crash here is the divergence verified recovery must heal by replay.
+	if s.crash != nil {
+		if err := s.crash("mid-apply", b.Height); err != nil {
+			return fmt.Errorf("server %s: %w", s.ident.ID, err)
 		}
 	}
 	if err := s.log.Append(b.Clone()); err != nil {

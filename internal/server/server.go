@@ -68,6 +68,15 @@ type Config struct {
 	// being rejected outright. Zero keeps the strict serial behavior
 	// (announcements must extend the log exactly when they arrive).
 	VoteLookahead time.Duration
+	// CrashHook, when non-nil, is invoked at named points of the commit
+	// path — "post-cosign" (decision signature verified, nothing applied
+	// yet) and "mid-apply" (datastore updated, block not yet appended to
+	// the log) — with the height of the block in flight. Returning a
+	// non-nil error makes the step fail at exactly that point, which is
+	// how the simulation harness (internal/sim) crashes a server between
+	// the effects a real crash can separate. Production servers leave it
+	// nil.
+	CrashHook func(point string, height uint64) error
 }
 
 // Server is one Fides database server.
@@ -82,6 +91,7 @@ type Server struct {
 
 	snap      Snapshotter
 	lookahead time.Duration // max get_vote wait for pipelined arrivals
+	crash     func(point string, height uint64) error
 
 	mu            sync.Mutex
 	buffers       map[string]map[txn.ItemID][]byte // txnID → buffered writes (execution layer)
@@ -143,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		log:        log,
 		snap:       cfg.Snapshot,
 		lookahead:  cfg.VoteLookahead,
+		crash:      cfg.CrashHook,
 		faults:     cfg.Faults,
 		buffers:    make(map[string]map[txn.ItemID][]byte),
 		prevValues: make(map[txn.ItemID][]byte),

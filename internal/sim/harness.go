@@ -1,0 +1,514 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/txn"
+)
+
+// errSimCrash is the sentinel a triggered crash hook fails its server
+// with: the step dies at the crash point, and every later disk operation
+// on that server reports it.
+var errSimCrash = errors.New("sim: simulated crash")
+
+// Result is the verdict of one scenario run under one seed.
+type Result struct {
+	Scenario  string   `json:"scenario"`
+	Seed      uint64   `json:"seed"`
+	TraceHash string   `json:"trace_hash"`
+	Net       NetStats `json:"net"`
+	Committed int      `json:"committed"`
+	FailedOps int      `json:"failed_ops"`
+	VirtualUS int64    `json:"virtual_us"`
+	// Violations is empty on success; every entry is one broken
+	// invariant. Repro re-runs this exact case.
+	Violations []string `json:"violations,omitempty"`
+	Notes      []string `json:"notes,omitempty"`
+	Repro      string   `json:"repro"`
+}
+
+// OK reports whether the run satisfied every invariant.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// runEnv carries one run's live state across the harness phases.
+type runEnv struct {
+	sc    Scenario
+	seed  uint64
+	sched *Scheduler
+	clock *txn.SharedClock
+	res   *Result
+
+	mu      sync.Mutex
+	cluster *core.Cluster
+	written map[int][]txn.ItemID // server index → committed written items
+
+	dataDir     string
+	crashID     identity.NodeID
+	crashArm    atomic.Bool
+	crashHit    atomic.Bool
+	valSeq      atomic.Uint64 // unique value counter (stale ≠ current, always)
+	txnSeq      atomic.Uint64 // round-robin shard cursor
+	partCommits int
+}
+
+// Run executes one scenario under one seed and returns its Result. The
+// run is self-contained: it builds its own cluster (on a temporary data
+// directory when durable), drives the workload and fault schedule, and
+// verifies every declared invariant.
+func Run(sc Scenario, seed uint64) *Result {
+	sc = sc.withDefaults()
+	res := &Result{
+		Scenario: sc.Name,
+		Seed:     seed,
+		Repro:    fmt.Sprintf("go run ./cmd/fidessim -scenario %s -seed %d", sc.Name, seed),
+	}
+	env := &runEnv{
+		sc:      sc,
+		seed:    seed,
+		sched:   NewScheduler(seed, sc.Net),
+		clock:   txn.NewSharedClock(1),
+		res:     res,
+		written: make(map[int][]txn.ItemID),
+	}
+	if sc.Crash != nil && sc.Crash.Server >= 0 {
+		env.crashID = core.ServerName(sc.Crash.Server)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	if sc.Durable {
+		dir, err := os.MkdirTemp("", "fidessim-"+sc.Name+"-")
+		if err != nil {
+			env.violate("temp data dir: %v", err)
+			return res
+		}
+		env.dataDir = dir
+		defer os.RemoveAll(dir)
+	}
+
+	env.run(ctx)
+
+	res.TraceHash = env.sched.Trace().Hash()
+	res.Net = env.sched.Stats()
+	res.VirtualUS = env.sched.VirtualNow()
+	if c := env.clusterRef(); c != nil {
+		c.Close()
+	}
+	return res
+}
+
+func (env *runEnv) violate(format string, args ...any) {
+	env.mu.Lock()
+	env.res.Violations = append(env.res.Violations, fmt.Sprintf(format, args...))
+	env.mu.Unlock()
+}
+
+func (env *runEnv) note(format string, args ...any) {
+	env.mu.Lock()
+	env.res.Notes = append(env.res.Notes, fmt.Sprintf(format, args...))
+	env.mu.Unlock()
+}
+
+func (env *runEnv) clusterRef() *core.Cluster {
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	return env.cluster
+}
+
+func (env *runEnv) setCluster(c *core.Cluster) {
+	env.mu.Lock()
+	env.cluster = c
+	env.mu.Unlock()
+}
+
+// clusterConfig builds the core.Config for this scenario; withHook arms
+// the crash hook (only the pre-crash cluster gets it).
+func (env *runEnv) clusterConfig(withHook bool) core.Config {
+	sc := env.sc
+	cfg := core.Config{
+		NumServers:    sc.Servers,
+		ItemsPerShard: sc.ItemsPerShard,
+		BatchSize:     sc.BatchSize,
+		BatchWait:     500 * time.Microsecond,
+		MultiVersion:  sc.MultiVersion,
+		Pipeline:      sc.Pipeline,
+		Coordinators:  sc.Coordinators,
+		NetScheduler:  env.sched,
+		ServerFaults:  nil, // faults engage after warmup via SetFaults
+	}
+	if sc.Durable {
+		cfg.DataDir = env.dataDir
+		cfg.Fsync = sc.Fsync
+		cfg.SnapshotEvery = sc.SnapshotEvery
+	}
+	if withHook && sc.Crash != nil && sc.Crash.Point != "" {
+		cfg.CrashHook = env.onCrashPoint
+	}
+	return cfg
+}
+
+// onCrashPoint is the core.Config.CrashHook: when the armed crash point
+// fires on the target server, freeze its disk, drop it off the network,
+// and fail the in-flight step — the in-process rendition of the process
+// dying at exactly that instruction.
+func (env *runEnv) onCrashPoint(id identity.NodeID, point string, height uint64) error {
+	cs := env.sc.Crash
+	if cs == nil || !env.crashArm.Load() || id != env.crashID || point != cs.Point {
+		return nil
+	}
+	if env.crashHit.CompareAndSwap(false, true) {
+		env.note("crash point %s fired on %s at height %d", point, id, height)
+		if c := env.clusterRef(); c != nil {
+			// The pre-fsync hook runs with the WAL lock held: the error we
+			// return below already fails the WAL sticky, and calling back
+			// into the store from under its lock would self-deadlock. The
+			// server-layer points hold no durable locks, so freeze the
+			// whole store explicitly.
+			if point != "pre-fsync" {
+				if st := c.DurableStore(id); st != nil {
+					st.Fail(errSimCrash)
+				}
+			}
+			if net := c.Network(); net != nil {
+				net.Remove(id)
+			}
+		}
+	}
+	return errSimCrash
+}
+
+// run executes the scenario phases; violations accumulate in env.res.
+func (env *runEnv) run(ctx context.Context) {
+	sc := env.sc
+	if sc.Clients > 1 && (sc.Partition != nil || sc.Crash != nil) {
+		env.violate("scenario misconfigured: concurrent clients cannot combine with partition/crash steps")
+		return
+	}
+
+	cluster, err := core.NewCluster(env.clusterConfig(true))
+	if err != nil {
+		env.violate("cluster: %v", err)
+		return
+	}
+	env.setCluster(cluster)
+
+	// Warmup: an honest prefix every scenario shares, so adversarial
+	// phases always have committed history to corrupt and recovery always
+	// has blocks to replay.
+	if !env.drivePhase(ctx, "warmup", sc.WarmupTxns, true) {
+		return
+	}
+
+	// Engage the Byzantine faults.
+	for idx, f := range sc.Faults {
+		if idx < 0 || idx >= sc.Servers {
+			env.violate("scenario misconfigured: fault for server %d of %d", idx, sc.Servers)
+			return
+		}
+		cluster.ServerAt(idx).SetFaults(f)
+	}
+
+	// Main phase: workload under the fault schedule.
+	if sc.Clients > 1 {
+		env.driveConcurrent(ctx)
+	} else {
+		env.driveMain(ctx)
+	}
+
+	// Crash step: stop, mutate the disk as the crash would have, restart
+	// through the real recovery path.
+	if sc.Crash != nil {
+		if !env.runCrashRestart(ctx) {
+			return
+		}
+	}
+
+	// Invariant phase: no more injected faults; the checkers must observe
+	// the cluster, not the schedule.
+	env.sched.Quiesce()
+	env.checkInvariants(ctx)
+}
+
+// drivePhase commits n transactions that must all succeed (warmup and
+// final phases). Returns false when the phase failed hard.
+func (env *runEnv) drivePhase(ctx context.Context, phase string, n int, fatal bool) bool {
+	cluster := env.clusterRef()
+	cl, err := cluster.NewClientWithTS(env.clock)
+	if err != nil {
+		env.violate("%s client: %v", phase, err)
+		return false
+	}
+	r := newRNG(env.seed, "wk-"+phase)
+	for i := 0; i < n; i++ {
+		if !env.commitWithRetries(ctx, cl, r, 200) {
+			env.violate("%s txn %d failed to commit", phase, i)
+			if fatal {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// driveMain runs the sequential main phase, applying partition windows
+// and crash arming at transaction boundaries.
+func (env *runEnv) driveMain(ctx context.Context) {
+	sc := env.sc
+	cluster := env.clusterRef()
+	cl, err := cluster.NewClientWithTS(env.clock)
+	if err != nil {
+		env.violate("main client: %v", err)
+		return
+	}
+	r := newRNG(env.seed, "wk-main")
+	var preHeights []int
+	inPartition := false
+
+	for i := 0; i < sc.Txns; i++ {
+		if p := sc.Partition; p != nil {
+			if i == p.FromTxn && !inPartition {
+				preHeights = env.logHeights()
+				ids := make([]identity.NodeID, len(p.Minority))
+				for j, s := range p.Minority {
+					ids[j] = core.ServerName(s)
+				}
+				env.sched.Partition(ids)
+				inPartition = true
+			}
+			if i == p.ToTxn && inPartition {
+				env.healPartition(preHeights)
+				inPartition = false
+			}
+		}
+		if c := sc.Crash; c != nil && c.Point != "" && i >= c.AfterTxn {
+			env.crashArm.Store(true)
+		}
+
+		if inPartition {
+			// One attempt, failure expected: TFCommit cannot assemble a
+			// full co-sign across the cut.
+			if ok, _ := env.driveTxn(ctx, cl, r); ok {
+				env.partCommits++
+			} else {
+				env.res.FailedOps++
+			}
+			continue
+		}
+		if !env.commitWithRetries(ctx, cl, r, 100) {
+			if env.crashHit.Load() {
+				break // expected: the cluster cannot commit past the crash
+			}
+			env.violate("main txn %d failed to commit", i)
+			return
+		}
+		if env.crashHit.Load() {
+			break
+		}
+	}
+	if inPartition {
+		env.healPartition(preHeights)
+	}
+}
+
+// driveConcurrent runs the main phase with several clients at once —
+// engaging the pipelined commit path — splitting Txns across them.
+func (env *runEnv) driveConcurrent(ctx context.Context) {
+	sc := env.sc
+	cluster := env.clusterRef()
+	per := sc.Txns / sc.Clients
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < sc.Clients; c++ {
+		cl, err := cluster.NewClientWithTS(env.clock)
+		if err != nil {
+			env.violate("concurrent client %d: %v", c, err)
+			return
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := newRNG(env.seed, fmt.Sprintf("wk-client-%d", c))
+			for i := 0; i < per; i++ {
+				if !env.commitWithRetries(ctx, cl, r, 100) {
+					env.violate("client %d txn %d failed to commit", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// healPartition lifts the partition and asserts the safety expectation:
+// no block can have committed across the cut.
+func (env *runEnv) healPartition(preHeights []int) {
+	env.sched.Heal()
+	if !env.sc.Expect.NoCommitsDuringPartition {
+		return
+	}
+	if env.partCommits > 0 {
+		env.violate("%d transactions reported committed during the partition", env.partCommits)
+	}
+	for i, h := range env.logHeights() {
+		if preHeights != nil && h != preHeights[i] {
+			env.violate("server %d log grew from %d to %d during the partition", i, preHeights[i], h)
+		}
+	}
+}
+
+func (env *runEnv) logHeights() []int {
+	cluster := env.clusterRef()
+	hs := make([]int, env.sc.Servers)
+	for i := range hs {
+		hs[i] = cluster.ServerAt(i).Log().Len()
+	}
+	return hs
+}
+
+// commitWithRetries drives one read-modify-write transaction until it
+// commits, retrying through rejections, OCC aborts and injected message
+// losses. Returns false if it cannot commit within the attempt budget.
+func (env *runEnv) commitWithRetries(ctx context.Context, cl *client.Client, r *rng, attempts int) bool {
+	for a := 0; a < attempts; a++ {
+		if ctx.Err() != nil || env.crashHit.Load() {
+			return false
+		}
+		ok, err := env.driveTxn(ctx, cl, r)
+		if ok {
+			return true
+		}
+		if err != nil {
+			env.mu.Lock()
+			env.res.FailedOps++
+			env.mu.Unlock()
+		}
+	}
+	return false
+}
+
+// driveTxn runs one read-modify-write transaction against a deterministic
+// (seed-derived) item: read it, write a fresh value, commit.
+func (env *runEnv) driveTxn(ctx context.Context, cl *client.Client, r *rng) (bool, error) {
+	sc := env.sc
+	// Shards round-robin (not a random draw): every server is guaranteed
+	// writes, so the per-server invariant checks (verified reads against
+	// the faulty shard, stale-read repeats) never depend on seed luck.
+	// The item within the shard comes from a small seeded pool — small
+	// enough that re-reading previously written items is certain, which
+	// is what gives the StaleReads fault something to lie about.
+	sIdx := int((env.txnSeq.Add(1) - 1) % uint64(sc.Servers))
+	pool := sc.ItemsPerShard
+	if pool > 4 {
+		pool = 4
+	}
+	item := core.ItemName(sIdx, r.intn(pool))
+	// Values carry a process-unique counter: a write must never repeat the
+	// item's current value, or a stale read would be indistinguishable
+	// from a correct one and the fault scenarios would flake by seed.
+	val := []byte(fmt.Sprintf("v%d-%x", env.valSeq.Add(1), r.next()&0xffff))
+
+	s := cl.Begin()
+	if _, err := s.Read(ctx, item); err != nil {
+		return false, err
+	}
+	if err := s.Write(ctx, item, val); err != nil {
+		return false, err
+	}
+	res, err := s.Commit(ctx)
+	if err != nil {
+		return false, err
+	}
+	if !res.Committed {
+		return false, nil
+	}
+	env.mu.Lock()
+	env.written[sIdx] = append(env.written[sIdx], item)
+	env.res.Committed++
+	env.mu.Unlock()
+	return true, nil
+}
+
+// runCrashRestart closes the cluster at the crash cut, applies the disk
+// surgery, and restarts through verified recovery. Returns false when the
+// scenario ends here (expected refusal or hard failure).
+func (env *runEnv) runCrashRestart(ctx context.Context) bool {
+	sc := env.sc
+	cs := sc.Crash
+	if cs.Point != "" && !env.crashHit.Load() {
+		env.violate("crash point %q on server %d never fired", cs.Point, cs.Server)
+		return false
+	}
+	cluster := env.clusterRef()
+	cluster.Close()
+	env.setCluster(nil)
+
+	// Disk surgery: the damage the crash left behind.
+	targets := []int{cs.Server}
+	if cs.Server < 0 {
+		targets = targets[:0]
+		for i := 0; i < sc.Servers; i++ {
+			targets = append(targets, i)
+		}
+	}
+	if cs.Surgery != SurgeryNone {
+		for _, idx := range targets {
+			dir := filepath.Join(env.dataDir, string(core.ServerName(idx)))
+			if err := applySurgery(dir, cs.Surgery); err != nil {
+				env.violate("surgery %s on server %d: %v", cs.Surgery, idx, err)
+				return false
+			}
+		}
+	}
+
+	// Restart on the same data directories — the real recovery path.
+	restarted, err := core.NewCluster(env.clusterConfig(false))
+	if cs.RestartErr != nil {
+		if err == nil {
+			restarted.Close()
+			env.violate("restart succeeded; want refusal with %v", cs.RestartErr)
+			return false
+		}
+		if !errors.Is(err, cs.RestartErr) {
+			env.violate("restart failed with %v; want %v", err, cs.RestartErr)
+			return false
+		}
+		env.note("restart refused as expected: %v", err)
+		return false // scenario complete: the refusal was the invariant
+	}
+	if err != nil {
+		env.violate("restart: %v", err)
+		return false
+	}
+	env.setCluster(restarted)
+
+	// Recovery sanity: every server recovered without warnings beyond the
+	// snapshot fallbacks, and its shard root matches its recovered log.
+	for i := 0; i < sc.Servers; i++ {
+		id := core.ServerName(i)
+		rec := restarted.Recovery(id)
+		if rec == nil {
+			env.violate("server %s restarted without recovery info", id)
+			continue
+		}
+		if cs.Surgery == SurgeryTearTail && env.isSurgeryTarget(i) && !rec.Scan.TornTail {
+			env.violate("server %s: torn tail surgery left no torn-tail truncation", id)
+		}
+	}
+	return true
+}
+
+func (env *runEnv) isSurgeryTarget(idx int) bool {
+	return env.sc.Crash != nil && (env.sc.Crash.Server < 0 || env.sc.Crash.Server == idx)
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/server"
+	"repro/internal/txn"
+)
+
+// checkInvariants runs the post-scenario invariant suite: the full audit
+// with the scenario's expected-findings contract, log convergence, light
+// client sync from genesis, online verified-read detection, the
+// duplicate-rejection accounting, and liveness restoration.
+func (env *runEnv) checkInvariants(ctx context.Context) {
+	cluster := env.clusterRef()
+	if cluster == nil {
+		return
+	}
+	report := env.checkAudit(ctx)
+	env.checkConvergence()
+	env.checkLightClient(ctx, report)
+	env.checkVerifiedRead(ctx)
+	env.checkDups()
+	env.checkLiveness(ctx)
+}
+
+// checkAudit runs the full audit and matches its findings against the
+// scenario's contract: the expected finding (with attribution) must be
+// present, allowed findings are tolerated, anything else is a violation —
+// and an honest scenario tolerates nothing.
+func (env *runEnv) checkAudit(ctx context.Context) *audit.Report {
+	sc := env.sc
+	opts := audit.Options{CheckDatastore: true}
+	if sc.MultiVersion {
+		opts.MultiVersion = true
+		opts.Exhaustive = true
+	}
+	report, err := env.clusterRef().Audit(ctx, opts)
+	if err != nil {
+		env.violate("audit failed to run: %v", err)
+		return nil
+	}
+
+	allowed := make(map[audit.FindingType]bool, len(sc.Expect.AllowFindings))
+	for _, t := range sc.Expect.AllowFindings {
+		allowed[t] = true
+	}
+	foundExpected := false
+	for _, f := range report.Findings {
+		if sc.Expect.Finding != "" && f.Type == sc.Expect.Finding {
+			if sc.Expect.FaultyServer >= 0 && !implicates(f, core.ServerName(sc.Expect.FaultyServer)) {
+				env.violate("finding %s implicates %v, want server %d: %s", f.Type, f.Servers, sc.Expect.FaultyServer, f)
+				continue
+			}
+			foundExpected = true
+			continue
+		}
+		if allowed[f.Type] {
+			continue
+		}
+		env.violate("unexpected audit finding: %s", f)
+	}
+	if sc.Expect.Finding != "" && !foundExpected {
+		env.violate("audit did not produce the expected %s finding", sc.Expect.Finding)
+	}
+	if sc.Expect.AuditClean && len(report.Findings) > 0 {
+		env.violate("audit not clean: %d findings", len(report.Findings))
+	}
+	return report
+}
+
+func implicates(f audit.Finding, id identity.NodeID) bool {
+	for _, s := range f.Servers {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// checkConvergence asserts every server converged on one log — unless a
+// crash legitimately left a server short (then the audit's allowed
+// incomplete-log finding already covers the divergence).
+func (env *runEnv) checkConvergence() {
+	if env.sc.Crash != nil && env.sc.Crash.Point != "" {
+		return
+	}
+	cluster := env.clusterRef()
+	ref := cluster.ServerAt(0).Log()
+	for i := 1; i < env.sc.Servers; i++ {
+		l := cluster.ServerAt(i).Log()
+		if l.Len() != ref.Len() {
+			env.violate("server %d log length %d != server 0's %d", i, l.Len(), ref.Len())
+			continue
+		}
+		if !bytes.Equal(l.TipHash(), ref.TipHash()) {
+			env.violate("server %d tip hash diverges from server 0", i)
+		}
+	}
+}
+
+// honestServer picks a server no fault or crash touched, for the checks
+// that need a correct counterpart.
+func (env *runEnv) honestServer() (identity.NodeID, bool) {
+	for i := 0; i < env.sc.Servers; i++ {
+		if _, faulty := env.sc.Faults[i]; faulty {
+			continue
+		}
+		id := core.ServerName(i)
+		if id == env.crashID {
+			continue
+		}
+		return id, true
+	}
+	return "", false
+}
+
+// checkLightClient syncs a fresh light client from genesis against an
+// honest server — the header chain must verify to the authoritative tip —
+// and, when the scenario expects it, proves the faulty server's forged
+// headers are rejected with the specific sync error while an honest
+// source still completes the sync from the verified prefix.
+func (env *runEnv) checkLightClient(ctx context.Context, report *audit.Report) {
+	cluster := env.clusterRef()
+	honest, ok := env.honestServer()
+	if !ok {
+		env.violate("scenario has no honest server for light-client sync")
+		return
+	}
+	lc, err := cluster.NewLightClient()
+	if err != nil {
+		env.violate("light client: %v", err)
+		return
+	}
+
+	if sErr := env.sc.Expect.SyncErr; sErr != nil {
+		faulty := core.ServerName(env.sc.Expect.FaultyServer)
+		if _, err := lc.SyncFrom(ctx, faulty); !errors.Is(err, sErr) {
+			env.violate("light-client sync from faulty %s: got %v, want %v", faulty, err, sErr)
+		}
+	}
+
+	synced, err := lc.SyncFrom(ctx, honest)
+	if err != nil {
+		env.violate("light-client sync from honest %s: %v", honest, err)
+		return
+	}
+	if report != nil {
+		if want := uint64(len(report.Authoritative)); synced != want {
+			env.violate("light client synced to %d, authoritative tip is %d", synced, want)
+		}
+	}
+}
+
+// checkVerifiedRead proves the online (per-request) detection path: a
+// proof-carrying read of an item the faulty server stores must fail with
+// the scenario's specific error, while the same read against an honest
+// server verifies.
+func (env *runEnv) checkVerifiedRead(ctx context.Context) {
+	wantErr := env.sc.Expect.VerifiedReadErr
+	if wantErr == nil {
+		return
+	}
+	cluster := env.clusterRef()
+	faultyIdx := env.sc.Expect.FaultyServer
+	env.mu.Lock()
+	items := env.written[faultyIdx]
+	env.mu.Unlock()
+	if len(items) == 0 {
+		env.violate("no committed writes on faulty server %d to read back", faultyIdx)
+		return
+	}
+	victim := items[len(items)-1]
+
+	cl, lc, err := cluster.NewVerifyingClient(nil)
+	if err != nil {
+		env.violate("verifying client: %v", err)
+		return
+	}
+	honest, ok := env.honestServer()
+	if !ok {
+		env.violate("scenario has no honest server for verified reads")
+		return
+	}
+	if _, err := lc.SyncFrom(ctx, honest); err != nil {
+		env.violate("verified-read sync: %v", err)
+		return
+	}
+	if _, err := cl.Begin().ReadVerified(ctx, victim); !errors.Is(err, wantErr) {
+		env.violate("verified read of %s: got %v, want %v", victim, err, wantErr)
+	}
+	// The same path against an honest server's shard must verify clean.
+	env.mu.Lock()
+	var honestItems []txn.ItemID
+	for i := 0; i < env.sc.Servers; i++ {
+		if _, faulty := env.sc.Faults[i]; !faulty && len(env.written[i]) > 0 {
+			honestItems = env.written[i]
+			break
+		}
+	}
+	env.mu.Unlock()
+	if len(honestItems) > 0 {
+		if _, err := cl.Begin().ReadVerified(ctx, honestItems[0]); err != nil {
+			env.violate("verified read against honest shard failed: %v", err)
+		}
+	}
+}
+
+// checkDups verifies the duplicate-injection accounting: no duplicated
+// frame may ever be accepted, and (in schedules without crash/partition
+// interference) every injected duplicate must have been presented and
+// rejected by the receiver's anti-replay window.
+func (env *runEnv) checkDups() {
+	st := env.sched.Stats()
+	if st.DupsAccepted > 0 {
+		env.violate("%d duplicated frames were accepted by receivers", st.DupsAccepted)
+	}
+	if env.sc.Crash == nil && env.sc.Partition == nil && st.DupsInjected != st.DupsRejected {
+		env.violate("injected %d duplicates but receivers rejected %d", st.DupsInjected, st.DupsRejected)
+	}
+}
+
+// checkLiveness drives the scenario's final transactions — the cluster
+// must keep committing after faults are lifted, partitions healed, or a
+// clean restart recovered. Skipped (with a note) when a crash left server
+// logs at different heights: catch-up/state transfer is not built yet, so
+// such a cluster is safe but wedged.
+func (env *runEnv) checkLiveness(ctx context.Context) {
+	if env.sc.FinalTxns <= 0 {
+		return
+	}
+	hs := env.logHeights()
+	for i := 1; i < len(hs); i++ {
+		if hs[i] != hs[0] {
+			env.note("final commits skipped: heights diverged %v (no catch-up protocol yet)", hs)
+			return
+		}
+	}
+	// Byzantine faults stay on unless the scenario's contract is about
+	// recovery of liveness; lift them so the final phase measures the
+	// healed cluster.
+	cluster := env.clusterRef()
+	for idx := range env.sc.Faults {
+		cluster.ServerAt(idx).SetFaults(server.Faults{})
+	}
+	env.drivePhase(ctx, "final", env.sc.FinalTxns, false)
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/durable"
+	"repro/internal/server"
+)
+
+// Surgery is a disk mutation applied to a crashed server's WAL between
+// shutdown and restart, simulating what a real crash (or a real attacker
+// with disk access) leaves behind. Recovery must react to each kind
+// differently — that difference is exactly what crash scenarios verify.
+type Surgery string
+
+// Disk surgeries.
+const (
+	// SurgeryNone restarts on the files exactly as the crash left them.
+	SurgeryNone Surgery = ""
+	// SurgeryDropLastRecord removes the final WAL record: a block that was
+	// written but never fsynced and died in the page cache. Recovery comes
+	// back one block short — honest crash behavior.
+	SurgeryDropLastRecord Surgery = "drop-last-record"
+	// SurgeryTearTail truncates mid-record, leaving a torn partial tail.
+	// Recovery must truncate the torn bytes and keep the intact prefix.
+	SurgeryTearTail Surgery = "tear-tail"
+	// SurgeryTamperCRC flips a payload byte and recomputes the record CRC:
+	// structurally valid, cryptographically false. Restart must refuse
+	// with durable.ErrTampered.
+	SurgeryTamperCRC Surgery = "tamper-crc"
+	// SurgeryTamperRaw flips a payload byte of an interior record without
+	// fixing the CRC: structural damage that cannot be a torn tail
+	// (intact records follow). Restart must refuse with
+	// durable.ErrWALCorrupt.
+	SurgeryTamperRaw Surgery = "tamper-raw"
+)
+
+// CrashStep crashes one server (or the whole cluster) mid-scenario and
+// restarts on the same data directories through verified recovery.
+type CrashStep struct {
+	// Server is the crashing server's index; -1 crashes the whole cluster
+	// at once (a graceful stop of the workload followed by Close —
+	// modeling datacenter power loss, with Surgery supplying the disk
+	// damage the power loss caused on every server).
+	Server int
+	// Point names the crash point — "pre-fsync", "mid-apply" or
+	// "post-cosign" — at which the server's disk freezes and the server
+	// drops off the network. Empty means no in-protocol crash: the
+	// workload finishes, then the cluster is closed and Surgery applied.
+	Point string
+	// AfterTxn arms the crash point only after this many main-phase
+	// transactions have been driven (so there is history to recover).
+	AfterTxn int
+	// Surgery is the disk mutation applied before restart (to the crashed
+	// server, or to every server when Server is -1).
+	Surgery Surgery
+	// RestartErr, when non-nil, is the error restarting the cluster must
+	// fail with (durable.ErrTampered / durable.ErrWALCorrupt); the
+	// scenario ends there. Nil means restart must succeed and the
+	// post-restart invariants run.
+	RestartErr error
+}
+
+// PartitionStep cuts a set of servers off the network for a window of the
+// main phase. TFCommit needs every server's co-signature, so commits must
+// fail during the window and resume after the heal — which is exactly
+// what the harness asserts.
+type PartitionStep struct {
+	// Minority lists the server indexes on the cut-off side.
+	Minority []int
+	// FromTxn / ToTxn bound the window in main-phase transaction indexes:
+	// the partition is active while FromTxn <= i < ToTxn.
+	FromTxn, ToTxn int
+}
+
+// Expect declares the verdict a scenario must produce. The zero value
+// expects nothing; honest scenarios set AuditClean, adversarial ones name
+// the one specific finding or error their fault must surface as.
+type Expect struct {
+	// AuditClean requires the final audit to report zero findings.
+	AuditClean bool
+	// Finding, when non-empty, is the audit finding type the final audit
+	// must contain, implicating FaultyServer.
+	Finding audit.FindingType
+	// FaultyServer is the server index the Finding must implicate
+	// (-1 = don't check attribution).
+	FaultyServer int
+	// AllowFindings lists finding types tolerated besides Finding — e.g.
+	// the incomplete-log finding a crashed server's honestly shorter log
+	// produces. Any finding not expected or allowed is a violation.
+	AllowFindings []audit.FindingType
+	// VerifiedReadErr, when non-nil, is the error a proof-carrying read
+	// of an item on the faulty server must fail with (online detection).
+	VerifiedReadErr error
+	// SyncErr, when non-nil, is the error a fresh light client must hit
+	// syncing from the faulty server; syncing from an honest server must
+	// still succeed.
+	SyncErr error
+	// NoCommitsDuringPartition asserts the log did not grow while the
+	// partition window was active (safety under partial connectivity).
+	NoCommitsDuringPartition bool
+}
+
+// Scenario is one declarative simulation case: a cluster shape, a
+// workload, a fault schedule, and the invariants the run must satisfy.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Cluster shape (defaults: 3 servers, 64 items/shard, batch 1).
+	Servers       int
+	ItemsPerShard int
+	BatchSize     int
+	MultiVersion  bool
+	Pipeline      int
+	Coordinators  int
+
+	// Durability. Durable scenarios run on a temp data dir through the
+	// real internal/durable path; SnapshotEvery > 0 exercises snapshots.
+	Durable       bool
+	Fsync         durable.FsyncMode
+	SnapshotEvery int
+
+	// Net shapes the simulated network.
+	Net NetConfig
+
+	// Workload: WarmupTxns commits before any fault engages, Txns is the
+	// main phase (faults active), FinalTxns commits after faults are
+	// lifted/healed (liveness restoration). Clients > 1 drives the main
+	// phase concurrently (engages the pipeline; forfeits trace
+	// determinism).
+	WarmupTxns int
+	Txns       int
+	FinalTxns  int
+	Clients    int
+
+	// Faults are the Byzantine server faults switched on after warmup,
+	// keyed by server index.
+	Faults map[int]server.Faults
+
+	Partition *PartitionStep
+	Crash     *CrashStep
+
+	// Deterministic marks the scenario's event trace as byte-reproducible
+	// per seed (sequential driver, no real-time races): the determinism
+	// test runs these twice and requires equal trace hashes.
+	Deterministic bool
+
+	Expect Expect
+}
+
+func (sc *Scenario) withDefaults() Scenario {
+	out := *sc
+	if out.Servers <= 0 {
+		out.Servers = 3
+	}
+	if out.ItemsPerShard <= 0 {
+		out.ItemsPerShard = 64
+	}
+	if out.BatchSize <= 0 {
+		out.BatchSize = 1
+	}
+	if out.WarmupTxns <= 0 {
+		out.WarmupTxns = 6
+	}
+	if out.Txns <= 0 {
+		out.Txns = 16
+	}
+	if out.Clients <= 0 {
+		out.Clients = 1
+	}
+	if out.Net.BaseLatency <= 0 {
+		out.Net.BaseLatency = 100 * time.Microsecond
+	}
+	if out.Net.Jitter <= 0 {
+		// Always jitter the virtual delays: jitter is free (virtual time
+		// is accounted, never slept) and it is what lets the seed leave a
+		// fingerprint on every trace — without it, schedules that inject
+		// no faults would be identical across seeds and the determinism
+		// test could not tell seeds apart.
+		out.Net.Jitter = 50 * time.Microsecond
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/durable"
+	"repro/internal/lightclient"
+	"repro/internal/server"
+)
+
+// Catalog returns the built-in scenario set, in a stable order. Every
+// scenario is self-describing: its Expect block is the contract CI
+// enforces for every seed.
+func Catalog() []Scenario {
+	return []Scenario{
+		{
+			Name:          "honest-baseline",
+			Description:   "honest cluster, jittered links: audit clean, logs converge, light client syncs",
+			Net:           NetConfig{BaseLatency: 100 * time.Microsecond, Jitter: 200 * time.Microsecond},
+			Txns:          16,
+			FinalTxns:     4,
+			Deterministic: true,
+			Expect:        Expect{AuditClean: true, FaultyServer: -1},
+		},
+		{
+			Name:          "honest-multiversion",
+			Description:   "multi-versioned shards under jitter: exhaustive audit clean",
+			MultiVersion:  true,
+			Net:           NetConfig{BaseLatency: 100 * time.Microsecond, Jitter: 150 * time.Microsecond},
+			Txns:          12,
+			Deterministic: true,
+			Expect:        Expect{AuditClean: true, FaultyServer: -1},
+		},
+		{
+			Name:          "drop-retry",
+			Description:   "lossy links (5% drop): commits retry through losses, audit stays clean",
+			Net:           NetConfig{BaseLatency: 100 * time.Microsecond, Jitter: 100 * time.Microsecond, DropRate: 0.05},
+			Txns:          12,
+			FinalTxns:     4,
+			Deterministic: true,
+			Expect:        Expect{AuditClean: true, FaultyServer: -1},
+		},
+		{
+			Name:          "dup-flood",
+			Description:   "20% frame duplication: every duplicate dies at the anti-replay window, state unharmed",
+			Net:           NetConfig{BaseLatency: 100 * time.Microsecond, DupRate: 0.2},
+			Txns:          16,
+			FinalTxns:     4,
+			Deterministic: true,
+			Expect:        Expect{AuditClean: true, FaultyServer: -1},
+		},
+		{
+			Name:         "pipelined-chaos",
+			Description:  "pipelined rounds + rotating coordinators under jitter and duplication: height order holds, logs converge",
+			Servers:      3,
+			BatchSize:    4,
+			Pipeline:     4,
+			Coordinators: 2,
+			Clients:      4,
+			Txns:         24,
+			Net:          NetConfig{BaseLatency: 100 * time.Microsecond, Jitter: 300 * time.Microsecond, DupRate: 0.1},
+			Expect:       Expect{AuditClean: true, FaultyServer: -1},
+		},
+		{
+			Name:          "partition-minority",
+			Description:   "one server cut off mid-run: no commit can cross the cut, liveness returns on heal",
+			Net:           NetConfig{BaseLatency: 100 * time.Microsecond},
+			Txns:          12,
+			FinalTxns:     4,
+			Partition:     &PartitionStep{Minority: []int{2}, FromTxn: 4, ToTxn: 8},
+			Deterministic: true,
+			Expect: Expect{
+				AuditClean:               true,
+				FaultyServer:             -1,
+				NoCommitsDuringPartition: true,
+			},
+		},
+		{
+			Name:          "stale-reads",
+			Description:   "Scenario 1 (§5): stale read values — audit pins incorrect-read, verified reads reject online",
+			Faults:        map[int]server.Faults{1: {StaleReads: true}},
+			Txns:          20,
+			Deterministic: true,
+			Expect: Expect{
+				Finding:         audit.FindingIncorrectRead,
+				FaultyServer:    1,
+				VerifiedReadErr: lightclient.ErrIncorrectRead,
+			},
+		},
+		{
+			Name:          "corrupt-apply",
+			Description:   "Scenario 3 (§5): corrupted datastore applies — audit pins datastore-corruption to the server",
+			Faults:        map[int]server.Faults{2: {CorruptApplyValue: []byte("evil")}},
+			Txns:          20,
+			Deterministic: true,
+			Expect: Expect{
+				Finding:      audit.FindingDatastoreCorruption,
+				FaultyServer: 2,
+				// Reads served from the corrupted shard also surface as
+				// incorrect reads — a consequence, not the signature.
+				AllowFindings: []audit.FindingType{audit.FindingIncorrectRead},
+			},
+		},
+		{
+			Name:          "tamper-headers",
+			Description:   "forged light-client headers: sync from the forger fails with ErrBadHeader, honest source completes",
+			Faults:        map[int]server.Faults{0: {TamperHeaders: true}},
+			Txns:          12,
+			Deterministic: true,
+			Expect: Expect{
+				AuditClean:   true, // header forgery is an online-path fault; logs are served honestly
+				FaultyServer: 0,
+				SyncErr:      lightclient.ErrBadHeader,
+			},
+		},
+		{
+			Name:          "tamper-proof",
+			Description:   "forged Merkle multiproofs on verified reads: rejected client-side with ErrBadProof",
+			Faults:        map[int]server.Faults{1: {TamperVerifiedProof: true}},
+			Txns:          12,
+			Deterministic: true,
+			Expect: Expect{
+				AuditClean:      true, // the forgery never reaches committed state
+				FaultyServer:    1,
+				VerifiedReadErr: lightclient.ErrBadProof,
+			},
+		},
+		{
+			Name:          "restart-recovery",
+			Description:   "durable cluster stopped and restarted: verified recovery, clean audit, commits continue",
+			Durable:       true,
+			SnapshotEvery: 2,
+			Txns:          12,
+			FinalTxns:     4,
+			Crash:         &CrashStep{Server: -1},
+			Deterministic: true,
+			Expect:        Expect{AuditClean: true, FaultyServer: -1},
+		},
+		{
+			Name:          "power-loss-torn-tail",
+			Description:   "whole-cluster power loss with a torn WAL tail on every server: truncation recovers the intact prefix",
+			Durable:       true,
+			Fsync:         durable.FsyncOff,
+			Txns:          10,
+			FinalTxns:     4,
+			Crash:         &CrashStep{Server: -1, Surgery: SurgeryTearTail},
+			Deterministic: true,
+			Expect:        Expect{AuditClean: true, FaultyServer: -1},
+		},
+		{
+			Name:        "crash-pre-fsync",
+			Description: "server dies before the fsync of its last block (record lost in the page cache): recovery comes back short, honestly",
+			Durable:     true,
+			Fsync:       durable.FsyncAlways,
+			Txns:        10,
+			Crash:       &CrashStep{Server: 1, Point: "pre-fsync", AfterTxn: 4, Surgery: SurgeryDropLastRecord},
+			Expect: Expect{
+				FaultyServer: -1,
+				// A crashed-short server honestly lags the authoritative
+				// log; without a catch-up protocol, the audit reports its
+				// missing tail (and, if its shard was involved, its
+				// behind-the-root datastore) rather than pretending
+				// nothing happened.
+				AllowFindings: []audit.FindingType{audit.FindingIncompleteLog, audit.FindingDatastoreCorruption},
+			},
+		},
+		{
+			Name:        "crash-mid-apply",
+			Description: "server dies between datastore apply and log append: replay recovery heals the divergence",
+			Durable:     true,
+			Txns:        10,
+			Crash:       &CrashStep{Server: 2, Point: "mid-apply", AfterTxn: 4},
+			Expect: Expect{
+				FaultyServer:  -1,
+				AllowFindings: []audit.FindingType{audit.FindingIncompleteLog, audit.FindingDatastoreCorruption},
+			},
+		},
+		{
+			Name:        "crash-post-cosign",
+			Description: "server dies after verifying the decision co-sign, before applying anything",
+			Durable:     true,
+			Txns:        10,
+			Crash:       &CrashStep{Server: 1, Point: "post-cosign", AfterTxn: 4},
+			Expect: Expect{
+				FaultyServer:  -1,
+				AllowFindings: []audit.FindingType{audit.FindingIncompleteLog, audit.FindingDatastoreCorruption},
+			},
+		},
+		{
+			Name:          "tamper-wal-crc",
+			Description:   "disk attacker rewrites a WAL record and fixes its CRC: restart must refuse with ErrTampered",
+			Durable:       true,
+			Txns:          8,
+			Crash:         &CrashStep{Server: 1, Surgery: SurgeryTamperCRC, RestartErr: durable.ErrTampered},
+			Deterministic: true,
+			Expect:        Expect{FaultyServer: -1},
+		},
+		{
+			Name:          "corrupt-wal-interior",
+			Description:   "interior WAL record damaged with intact records behind it: restart must refuse with ErrWALCorrupt",
+			Durable:       true,
+			Txns:          8,
+			Crash:         &CrashStep{Server: 0, Surgery: SurgeryTamperRaw, RestartErr: durable.ErrWALCorrupt},
+			Deterministic: true,
+			Expect:        Expect{FaultyServer: -1},
+		},
+	}
+}
+
+// ByName resolves a scenario from the catalog.
+func ByName(name string) (Scenario, error) {
+	for _, sc := range Catalog() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("sim: unknown scenario %q", name)
+}
+
+// Names lists the catalog's scenario names in order.
+func Names() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, sc := range cat {
+		out[i] = sc.Name
+	}
+	return out
+}

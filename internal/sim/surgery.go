@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WAL format geometry (documented in docs/protocol.md and frozen since
+// PR 2): segment header = magic(8) + version(1) + first_height(8);
+// record = len(4 BE) + crc32c(4 BE) + payload.
+const (
+	walSegHeaderLen = 17
+	walRecHeaderLen = 8
+)
+
+var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// lastSegment returns the path of a server data dir's newest WAL segment.
+func lastSegment(dir string) (string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return "", err
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("sim: no WAL segments in %s", dir)
+	}
+	sort.Strings(names)
+	return names[len(names)-1], nil
+}
+
+// recordOffsets walks a segment's records and returns each record's start
+// offset. It assumes a structurally intact segment (the surgery runs on
+// files the process just wrote).
+func recordOffsets(data []byte) ([]int, error) {
+	if len(data) < walSegHeaderLen {
+		return nil, fmt.Errorf("sim: segment shorter than its header")
+	}
+	var offs []int
+	off := walSegHeaderLen
+	for off < len(data) {
+		if len(data)-off < walRecHeaderLen {
+			return nil, fmt.Errorf("sim: truncated record header at %d", off)
+		}
+		l := int(binary.BigEndian.Uint32(data[off:]))
+		if l <= 0 || off+walRecHeaderLen+l > len(data) {
+			return nil, fmt.Errorf("sim: implausible record at %d", off)
+		}
+		offs = append(offs, off)
+		off += walRecHeaderLen + l
+	}
+	return offs, nil
+}
+
+// applySurgery mutates one server's WAL per the surgery kind. dir is the
+// server's data directory.
+func applySurgery(dir string, s Surgery) error {
+	if s == SurgeryNone {
+		return nil
+	}
+	seg, err := lastSegment(dir)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		return err
+	}
+	offs, err := recordOffsets(data)
+	if err != nil {
+		return fmt.Errorf("sim: surgery on %s: %w", seg, err)
+	}
+	if len(offs) == 0 {
+		return fmt.Errorf("sim: surgery on %s: no records to mutate", seg)
+	}
+
+	switch s {
+	case SurgeryDropLastRecord:
+		// The block died in the page cache: its record never reached the
+		// platter. Recovery restarts one block short — honestly.
+		return os.Truncate(seg, int64(offs[len(offs)-1]))
+
+	case SurgeryTearTail:
+		// The write was torn mid-record: a partial tail survives. Recovery
+		// must truncate the torn bytes and keep the intact prefix.
+		last := offs[len(offs)-1]
+		l := int(binary.BigEndian.Uint32(data[last:]))
+		cut := last + walRecHeaderLen + l/2
+		return os.Truncate(seg, int64(cut))
+
+	case SurgeryTamperCRC:
+		// Flip a payload byte and recompute the CRC: the record stays
+		// structurally pristine, so this cannot be a crash artifact — the
+		// chain/co-sign verification must refuse it (durable.ErrTampered).
+		tgt := offs[0]
+		l := int(binary.BigEndian.Uint32(data[tgt:]))
+		payload := data[tgt+walRecHeaderLen : tgt+walRecHeaderLen+l]
+		payload[l/2] ^= 0x01
+		binary.BigEndian.PutUint32(data[tgt+4:], crc32.Checksum(payload, walCRCTable))
+		return os.WriteFile(seg, data, 0o644)
+
+	case SurgeryTamperRaw:
+		// Flip a payload byte of an interior record, CRC left stale: a
+		// structural failure with intact records behind it — interior
+		// corruption, never a torn tail (durable.ErrWALCorrupt).
+		if len(offs) < 2 {
+			return fmt.Errorf("sim: tamper-raw needs >=2 records in %s", seg)
+		}
+		tgt := offs[0]
+		l := int(binary.BigEndian.Uint32(data[tgt:]))
+		data[tgt+walRecHeaderLen+l/2] ^= 0x01
+		return os.WriteFile(seg, data, 0o644)
+
+	default:
+		return fmt.Errorf("sim: unknown surgery %q", s)
+	}
+}

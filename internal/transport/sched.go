@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"time"
+
+	"repro/internal/identity"
+)
+
+// Verdict tells LocalNetwork how the (possibly simulated) network treated
+// one one-way message delivery.
+type Verdict struct {
+	// Duplicate makes the transport present the authenticated frame to the
+	// receiver a second time after the real delivery, modeling a network
+	// that duplicated the frame in flight. The receiver's anti-replay check
+	// must reject the copy; the outcome is reported through DupObserver.
+	Duplicate bool
+}
+
+// Scheduler decides the fate and timing of every one-way message delivery
+// on a LocalNetwork link. The default scheduler sleeps the configured
+// latency in real time; internal/sim substitutes a seeded virtual-time
+// scheduler that accounts latency without sleeping and injects
+// drops/duplicates/partitions from a deterministic RNG.
+//
+// Deliver is called once per direction of a Call (request: response=false,
+// response: response=true). Returning a non-nil error loses the message:
+// the Call fails with that error, exactly as if the link were down.
+type Scheduler interface {
+	Deliver(ctx context.Context, from, to identity.NodeID, msgType string, response bool) (Verdict, error)
+}
+
+// DupObserver is implemented by schedulers that inject duplicates and want
+// to learn whether the receiver's replay protection rejected the copy.
+type DupObserver interface {
+	DupOutcome(from, to identity.NodeID, msgType string, response, rejected bool)
+}
+
+// realScheduler is the default: it delays each delivery by the configured
+// one-way latency in real time and never drops or duplicates.
+//
+// Two sleep disciplines are offered. The default is a plain timer sleep:
+// cheap, but Go runtime timers on an idle machine fire with ~1ms
+// granularity, so sub-millisecond latencies are silently stretched. The
+// precise mode recovers microsecond accuracy by sleeping the bulk on a
+// timer and yield-spinning the final stretch — that spin burns a CPU per
+// parked delivery, which is exactly what latency-sensitive benchmarks want
+// and exactly what dozens of concurrently parked test timers do not, so
+// precision is opt-in (core.Config.PreciseNetDelay; the bench harness sets
+// it) instead of the former always-on behavior.
+type realScheduler struct {
+	latency time.Duration
+	precise bool
+}
+
+// ErrDelivery wraps scheduler-reported losses so callers can detect a
+// simulated network failure distinctly from protocol errors.
+var ErrDelivery = errors.New("transport: message lost in delivery")
+
+func (s *realScheduler) Deliver(ctx context.Context, _, _ identity.NodeID, _ string, _ bool) (Verdict, error) {
+	return Verdict{}, s.delay(ctx)
+}
+
+func (s *realScheduler) delay(ctx context.Context) error {
+	if s.latency <= 0 {
+		return ctx.Err()
+	}
+	if !s.precise {
+		t := time.NewTimer(s.latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	// Precise mode: coarse-sleep all but the final millisecond, then
+	// cooperatively yield-spin to the deadline.
+	deadline := time.Now().Add(s.latency)
+	if coarse := s.latency - time.Millisecond; coarse > time.Millisecond {
+		t := time.NewTimer(coarse)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		t.Stop()
+	}
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// replayWindow is the size (in frames) of the sliding anti-replay window
+// each endpoint keeps per frame author. Concurrent calls deliver an
+// author's strictly-increasing sequence numbers slightly out of order, so
+// a strict monotonicity check (what the per-connection TCP transport uses)
+// would reject legitimate traffic; a windowed bitmap accepts any fresh
+// sequence number within the window and rejects every duplicate.
+const replayWindow = 1024
+
+// replayGuard is a sliding-window duplicate detector over an author's
+// frame sequence numbers (DTLS/IPsec style): a bitmap of the replayWindow
+// most recent numbers relative to the highest seen.
+type replayGuard struct {
+	max  uint64 // highest accepted sequence number
+	bits [replayWindow / 64]uint64
+}
+
+// bit i (0-based) represents sequence number (max - i); bit 0 is max
+// itself.
+func (g *replayGuard) accept(seq uint64) bool {
+	if seq == 0 {
+		return false // sequence numbers start at 1
+	}
+	if seq > g.max {
+		g.shift(seq - g.max)
+		g.max = seq
+		g.bits[0] |= 1
+		return true
+	}
+	off := g.max - seq
+	if off >= replayWindow {
+		return false // too old to tell: fail safe, treat as replay
+	}
+	w, b := off/64, off%64
+	if g.bits[w]&(1<<b) != 0 {
+		return false
+	}
+	g.bits[w] |= 1 << b
+	return true
+}
+
+// shift slides the window forward by n positions (toward higher sequence
+// numbers), dropping history that falls off the far end.
+func (g *replayGuard) shift(n uint64) {
+	if n >= replayWindow {
+		g.bits = [replayWindow / 64]uint64{}
+		return
+	}
+	words, bits := n/64, n%64
+	if words > 0 {
+		copy(g.bits[words:], g.bits[:uint64(len(g.bits))-words])
+		for i := uint64(0); i < words; i++ {
+			g.bits[i] = 0
+		}
+	}
+	if bits > 0 {
+		for i := len(g.bits) - 1; i >= 0; i-- {
+			g.bits[i] <<= bits
+			if i > 0 {
+				g.bits[i] |= g.bits[i-1] >> (64 - bits)
+			}
+		}
+	}
+}
+
+// ErrReplayedFrame is returned when a session-mode frame arrives with a
+// sequence number the receiver has already accepted from that author — a
+// duplicated or replayed frame.
+var ErrReplayedFrame = errors.New("transport: replayed or duplicated frame")

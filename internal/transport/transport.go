@@ -19,7 +19,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -115,20 +114,62 @@ func openFrame(reg *identity.Registry, self identity.NodeID, env identity.Envelo
 // configured frame-auth mode — session-MAC by default, per-message Ed25519
 // in FrameAuthEnvelope mode, including the real signed handshake on first
 // contact — so the cryptographic cost profile matches a real deployment.
+//
+// Delivery timing and fate are delegated to a Scheduler: by default a
+// real-time sleeper for the configured latency, replaceable (SetScheduler)
+// with the seeded virtual-time scheduler of internal/sim, which accounts
+// latency without sleeping and injects faults deterministically.
 type LocalNetwork struct {
-	mu      sync.RWMutex
-	latency time.Duration
-	nodes   map[identity.NodeID]*localEndpoint
+	mu    sync.RWMutex
+	sched Scheduler
+	nodes map[identity.NodeID]*localEndpoint
 }
 
 // NewLocalNetwork creates a network whose messages each take oneWayLatency
 // to deliver (a request/response Call therefore costs two one-way
-// latencies, one simulated RTT).
+// latencies, one simulated RTT). Delivery uses plain timer sleeps; callers
+// that need microsecond-accurate latencies (the benchmark harness) opt
+// into SetPreciseDelay.
 func NewLocalNetwork(oneWayLatency time.Duration) *LocalNetwork {
 	return &LocalNetwork{
-		latency: oneWayLatency,
-		nodes:   make(map[identity.NodeID]*localEndpoint),
+		sched: &realScheduler{latency: oneWayLatency},
+		nodes: make(map[identity.NodeID]*localEndpoint),
 	}
+}
+
+// SetScheduler replaces the network's delivery scheduler. Install before
+// traffic starts; the simulation harness does this right after building a
+// cluster.
+func (n *LocalNetwork) SetScheduler(s Scheduler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s != nil {
+		n.sched = s
+	}
+}
+
+// SetPreciseDelay toggles microsecond-accurate delivery delays on the
+// default real-time scheduler (a coarse timer sleep followed by a
+// yield-spin for the final stretch). The spin occupies a processor per
+// in-flight delivery, so it is reserved for latency measurements; it has
+// no effect after SetScheduler installed a custom scheduler.
+func (n *LocalNetwork) SetPreciseDelay(precise bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rs, ok := n.sched.(*realScheduler); ok {
+		rs.precise = precise
+	}
+}
+
+func (n *LocalNetwork) scheduler() Scheduler {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.sched
+}
+
+// deliver routes one one-way delivery through the scheduler.
+func (n *LocalNetwork) deliver(ctx context.Context, from, to identity.NodeID, msgType string, response bool) (Verdict, error) {
+	return n.scheduler().Deliver(ctx, from, to, msgType, response)
 }
 
 // Endpoint attaches a node to the network and returns its transport.
@@ -138,6 +179,7 @@ func (n *LocalNetwork) Endpoint(ident *identity.Identity, reg *identity.Registry
 		net: n, ident: ident, reg: reg, handler: handler,
 		outSess: make(map[identity.NodeID]*session),
 		inSess:  make(map[identity.NodeID]*session),
+		replay:  make(map[identity.NodeID]*replayGuard),
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -159,39 +201,6 @@ func (n *LocalNetwork) lookup(id identity.NodeID) (*localEndpoint, bool) {
 	return ep, ok
 }
 
-// delay simulates one network one-way latency. Go runtime timers on an
-// otherwise idle machine fire with ~1ms granularity, an order of magnitude
-// above the intra-datacenter latencies this network simulates (the paper's
-// testbed is a single EC2 datacenter, §6) — naive timer sleeps would
-// silently stretch a 100µs hop to over a millisecond and distort every
-// latency-sensitive measurement. The bulk of a long delay sleeps on a
-// timer; the final sub-millisecond is a cooperative yield-spin, which
-// keeps wall-clock accuracy in the microsecond range while letting other
-// runnable goroutines (the actual protocol work) use the processor.
-func (n *LocalNetwork) delay(ctx context.Context) error {
-	if n.latency <= 0 {
-		return ctx.Err()
-	}
-	deadline := time.Now().Add(n.latency)
-	if coarse := n.latency - time.Millisecond; coarse > time.Millisecond {
-		t := time.NewTimer(coarse)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return ctx.Err()
-		}
-		t.Stop()
-	}
-	for time.Now().Before(deadline) {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		runtime.Gosched()
-	}
-	return nil
-}
-
 type localEndpoint struct {
 	net     *LocalNetwork
 	ident   *identity.Identity
@@ -209,6 +218,26 @@ type localEndpoint struct {
 	sessMu  sync.RWMutex
 	outSess map[identity.NodeID]*session // sessions this endpoint initiated
 	inSess  map[identity.NodeID]*session // sessions peers initiated with us
+
+	// replayMu guards per-author anti-replay windows over session-mode
+	// frame sequence numbers. Frames an author sends (requests it makes and
+	// responses it returns) draw from one strictly-increasing counter, so a
+	// single window per author catches duplicates in both directions.
+	replayMu sync.Mutex
+	replay   map[identity.NodeID]*replayGuard
+}
+
+// acceptSeq records a session-frame sequence number from the given author
+// and reports whether it is fresh (never accepted before).
+func (e *localEndpoint) acceptSeq(author identity.NodeID, seq uint64) bool {
+	e.replayMu.Lock()
+	defer e.replayMu.Unlock()
+	g := e.replay[author]
+	if g == nil {
+		g = &replayGuard{}
+		e.replay[author] = g
+	}
+	return g.accept(seq)
 }
 
 // sessionFor returns the authenticated session from e to peer, running the
@@ -316,13 +345,13 @@ func (e *localEndpoint) Call(ctx context.Context, to identity.NodeID, msg Messag
 	} else {
 		env = identity.Seal(e.ident, reqBuf.b)
 	}
-	if err := e.net.delay(ctx); err != nil {
+	verdict, err := e.net.deliver(ctx, e.ident.ID, to, msg.Type, false)
+	if err != nil {
 		return Message{}, err
 	}
 
 	var from identity.NodeID
 	var req Message
-	var err error
 	var peerSess *session
 	if sess != nil {
 		// The receiver authenticates against its own record of the
@@ -334,11 +363,27 @@ func (e *localEndpoint) Call(ctx context.Context, to identity.NodeID, msg Messag
 			return Message{}, fmt.Errorf("%w: from %q", ErrBadMAC, e.ident.ID)
 		}
 		var reqTo identity.NodeID
-		if reqTo, _, req, err = parseFrame(reqBuf.b); err != nil {
+		var reqSeq uint64
+		if reqTo, reqSeq, req, err = parseFrame(reqBuf.b); err != nil {
 			return Message{}, err
 		}
 		if reqTo != peer.ident.ID {
 			return Message{}, fmt.Errorf("transport: frame addressed to %q delivered to %q", reqTo, peer.ident.ID)
+		}
+		if !peer.acceptSeq(e.ident.ID, reqSeq) {
+			return Message{}, fmt.Errorf("%w: request seq %d from %q", ErrReplayedFrame, reqSeq, e.ident.ID)
+		}
+		if verdict.Duplicate {
+			// The network duplicated the frame: the copy passes the MAC
+			// (same bytes) but must die at the anti-replay window. A copy
+			// that survived would be a transport hole, so fail loudly.
+			rejected := !peerSess.verify(reqBuf.b, reqTag) || !peer.acceptSeq(e.ident.ID, reqSeq)
+			if ob, ok := e.net.scheduler().(DupObserver); ok {
+				ob.DupOutcome(e.ident.ID, to, msg.Type, false, rejected)
+			}
+			if !rejected {
+				return Message{}, fmt.Errorf("transport: duplicated request frame accepted twice (seq %d from %q)", reqSeq, e.ident.ID)
+			}
 		}
 		from = e.ident.ID
 	} else {
@@ -373,7 +418,8 @@ func (e *localEndpoint) Call(ctx context.Context, to identity.NodeID, msg Messag
 	} else {
 		respEnv = identity.Seal(peer.ident, respPayload)
 	}
-	if err := e.net.delay(ctx); err != nil {
+	respVerdict, err := e.net.deliver(ctx, to, e.ident.ID, resp.Type, true)
+	if err != nil {
 		return Message{}, err
 	}
 
@@ -383,11 +429,24 @@ func (e *localEndpoint) Call(ctx context.Context, to identity.NodeID, msg Messag
 			return Message{}, fmt.Errorf("%w: from %q", ErrBadMAC, to)
 		}
 		var respTo identity.NodeID
-		if respTo, _, out, err = parseFrame(respPayload); err != nil {
+		var parsedSeq uint64
+		if respTo, parsedSeq, out, err = parseFrame(respPayload); err != nil {
 			return Message{}, err
 		}
 		if respTo != e.ident.ID {
 			return Message{}, fmt.Errorf("transport: frame addressed to %q delivered to %q", respTo, e.ident.ID)
+		}
+		if !e.acceptSeq(to, parsedSeq) {
+			return Message{}, fmt.Errorf("%w: response seq %d from %q", ErrReplayedFrame, parsedSeq, to)
+		}
+		if respVerdict.Duplicate {
+			rejected := !sess.verify(respPayload, respTag) || !e.acceptSeq(to, parsedSeq)
+			if ob, ok := e.net.scheduler().(DupObserver); ok {
+				ob.DupOutcome(to, e.ident.ID, resp.Type, true, rejected)
+			}
+			if !rejected {
+				return Message{}, fmt.Errorf("transport: duplicated response frame accepted twice (seq %d from %q)", parsedSeq, to)
+			}
 		}
 	} else {
 		if _, _, out, err = openFrame(e.reg, e.ident.ID, respEnv); err != nil {

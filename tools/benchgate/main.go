@@ -1,0 +1,154 @@
+// Command benchgate compares a fresh `fidesbench -json` report against a
+// committed baseline (BENCH_PR*.json) and gates CI on throughput
+// collapses: rows whose TPS fell below the fail threshold fail the build,
+// rows below the warn threshold are reported as warnings only (CI uploads
+// them as an artifact). Thresholds are deliberately generous — CI runners
+// are noisy and differently sized than the machines the baselines were
+// measured on — so only a real collapse (default: losing more than half
+// the baseline throughput) blocks a merge.
+//
+//	benchgate -baseline BENCH_PR2.json -current ci-bench.json
+//	benchgate -baseline BENCH_PR2.json -current ci-bench.json -fail-below 0.5 -warn-below 0.85
+//
+// Rows are matched on their full configuration key (experiment, protocol,
+// servers, batch, items, requests, latency, fsync, pipeline,
+// coordinators, read path); rows present in only one report are skipped
+// and reported, never failed on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// row mirrors the fields of internal/bench.Row that identify and score a
+// data point (decoded structurally so the tool has no dependency on the
+// bench package's evolution).
+type row struct {
+	Experiment    string  `json:"experiment"`
+	Protocol      string  `json:"protocol"`
+	Servers       int     `json:"servers"`
+	Batch         int     `json:"batch"`
+	ItemsPerShard int     `json:"items_per_shard"`
+	Requests      int     `json:"requests"`
+	LatencyUS     int64   `json:"net_latency_us"`
+	Fsync         string  `json:"fsync"`
+	Pipeline      int     `json:"pipeline"`
+	Coordinators  int     `json:"coordinators"`
+	ReadFraction  float64 `json:"read_fraction"`
+	ReadPath      string  `json:"read_path"`
+	TPS           float64 `json:"tps"`
+}
+
+func (r row) key() string {
+	return fmt.Sprintf("%s|%s|s%d|b%d|i%d|r%d|l%d|f%s|p%d|c%d|rf%.2f|%s",
+		r.Experiment, r.Protocol, r.Servers, r.Batch, r.ItemsPerShard,
+		r.Requests, r.LatencyUS, r.Fsync, r.Pipeline, r.Coordinators,
+		r.ReadFraction, r.ReadPath)
+}
+
+type reportFile struct {
+	Schema string `json:"schema"`
+	Rows   []row  `json:"rows"`
+}
+
+func load(path string) (map[string]row, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep reportFile
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(rep.Schema, "fidesbench/") {
+		return nil, fmt.Errorf("%s: not a fidesbench report (schema %q)", path, rep.Schema)
+	}
+	out := make(map[string]row, len(rep.Rows))
+	for _, r := range rep.Rows {
+		out[r.key()] = r
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline report (BENCH_PR*.json)")
+		currentPath  = flag.String("current", "", "freshly measured report to gate")
+		failBelow    = flag.Float64("fail-below", 0.5, "fail if current TPS < this fraction of baseline")
+		warnBelow    = flag.Float64("warn-below", 0.85, "warn if current TPS < this fraction of baseline")
+		warnFile     = flag.String("warn-file", "", "also write warnings to this file (for CI artifacts)")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	var fails, warns []string
+	compared, skipped := 0, 0
+	for key, base := range baseline {
+		cur, ok := current[key]
+		if !ok {
+			skipped++
+			continue
+		}
+		compared++
+		if base.TPS <= 0 {
+			continue
+		}
+		ratio := cur.TPS / base.TPS
+		line := fmt.Sprintf("%s: %.1f → %.1f tps (%.0f%% of baseline)", key, base.TPS, cur.TPS, ratio*100)
+		switch {
+		case ratio < *failBelow:
+			fails = append(fails, line)
+		case ratio < *warnBelow:
+			warns = append(warns, line)
+		}
+	}
+
+	fmt.Printf("benchgate: %d rows compared, %d baseline rows without a current match\n", compared, skipped)
+	if compared == 0 {
+		// A gate that compared nothing protects nothing — make that loud.
+		fmt.Fprintln(os.Stderr, "benchgate: no comparable rows; run fidesbench with the baseline's configuration")
+		os.Exit(2)
+	}
+	for _, w := range warns {
+		fmt.Println("WARN", w)
+	}
+	for _, f := range fails {
+		fmt.Println("FAIL", f)
+	}
+	if *warnFile != "" && (len(warns) > 0 || len(fails) > 0) {
+		var b strings.Builder
+		for _, w := range warns {
+			fmt.Fprintln(&b, "WARN", w)
+		}
+		for _, f := range fails {
+			fmt.Fprintln(&b, "FAIL", f)
+		}
+		if err := os.WriteFile(*warnFile, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	if len(fails) > 0 {
+		fmt.Printf("benchgate: %d rows collapsed below %.0f%% of baseline\n", len(fails), *failBelow*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: pass")
+}
