@@ -57,7 +57,7 @@ sim-determinism:
 bench-gate:
 	$(GO) run ./cmd/fidesbench -exp fig12 -requests 120 -latency 100us \
 		-runs 1 -json /tmp/fides-bench-gate.json
-	$(GO) run ./tools/benchgate -baseline BENCH_PR2.json \
+	$(GO) run ./tools/benchgate -baseline BENCH_PR6.json \
 		-current /tmp/fides-bench-gate.json
 
 # Figure benchmarks (see bench_test.go; cmd/fidesbench runs the

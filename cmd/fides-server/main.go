@@ -47,15 +47,16 @@ func main() {
 		fsync          = flag.String("fsync", "", "WAL flush discipline: always|group|off (overrides the descriptor)")
 		snapEvery      = flag.Int("snapshot-every", 0, "snapshot the shard every N blocks (overrides the descriptor; 0 = descriptor's value)")
 		pipeline       = flag.Int("pipeline", 0, "TFCommit blocks in flight at once (overrides the descriptor; 0 = descriptor's value, 1 = serial)")
+		resolveEvery   = flag.Duration("resolve-interval", 2*time.Second, "background decision-resolver period: a server behind the cluster tip pulls the missing verified suffix from peers (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*deploymentPath, *index, *dataDir, *fsync, *snapEvery, *pipeline); err != nil {
+	if err := run(*deploymentPath, *index, *dataDir, *fsync, *snapEvery, *pipeline, *resolveEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "fides-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int) error {
+func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int, resolveEvery time.Duration) error {
 	d, err := deploy.Load(path)
 	if err != nil {
 		return err
@@ -178,6 +179,21 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int)
 	defer func() { _ = node.Close() }()
 	for _, s := range d.Servers {
 		node.SetAddress(s.Keys.ID, s.Addr)
+	}
+
+	// Decision retry, ask-a-peer, and state transfer: every server (not
+	// just cohorts that happen to time out a vote) can answer peers'
+	// ask_decision/fetch_blocks and pull any verified suffix it is
+	// missing, so a restarted process rejoins without operator action.
+	if err := srv.EnableCatchup(server.CatchupConfig{
+		Transport: node,
+		Servers:   d.ServerIDs(),
+	}); err != nil {
+		return err
+	}
+	if resolveEvery > 0 {
+		stopResolver := srv.StartResolver(resolveEvery)
+		defer stopResolver()
 	}
 
 	if index == 0 {

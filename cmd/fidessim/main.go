@@ -82,8 +82,8 @@ func main() {
 				fmt.Printf("FAIL %-22s seed=%-6d %v\n", r.Scenario, r.Seed, r.Violations)
 				fmt.Printf("     repro: %s\n", r.Repro)
 			} else if *verbose {
-				fmt.Printf("ok   %-22s seed=%-6d committed=%d events=%d trace=%s\n",
-					r.Scenario, r.Seed, r.Committed, r.Net.Events, r.TraceHash[:12])
+				fmt.Printf("ok   %-22s seed=%-6d committed=%d events=%d trace=%s%s\n",
+					r.Scenario, r.Seed, r.Committed, r.Net.Events, r.TraceHash[:12], livenessCounters(r))
 			}
 			if *determinism && sc.Deterministic && r.OK() {
 				runs++
@@ -127,6 +127,17 @@ func main() {
 	if len(failures) > 0 {
 		os.Exit(1)
 	}
+}
+
+// livenessCounters renders the decision-delivery/catch-up counters when
+// any are nonzero, so wedge-then-recover runs are visible at a glance.
+func livenessCounters(r *sim.Result) string {
+	if r.CatchupBlocks == 0 && r.WedgeRecoveries == 0 && r.DupDecisions == 0 &&
+		r.DecisionRetries == 0 && r.DecisionUnacked == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" catchup=%d wedges=%d dup-decisions=%d retries=%d unacked=%d",
+		r.CatchupBlocks, r.WedgeRecoveries, r.DupDecisions, r.DecisionRetries, r.DecisionUnacked)
 }
 
 // report is the JSON envelope of a sweep.

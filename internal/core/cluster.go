@@ -120,11 +120,20 @@ type Config struct {
 	PreciseNetDelay bool
 	// CrashHook, when non-nil, receives every named crash point a server
 	// passes — "pre-fsync" (WAL, from internal/durable), "post-cosign" and
-	// "mid-apply" (commit path, from internal/server) — with the server id
-	// and block height. Returning a non-nil error makes that server fail
-	// at exactly that point; the simulation harness uses this to crash
-	// servers between the effects a real crash can separate.
+	// "mid-apply" (commit path, from internal/server), and "mid-broadcast"
+	// (coordinator decision dissemination, from internal/tfcommit) — with
+	// the server id and block height. Returning a non-nil error makes that
+	// server fail at exactly that point; the simulation harness uses this
+	// to crash servers between the effects a real crash can separate.
 	CrashHook func(id identity.NodeID, point string, height uint64) error
+	// ResolveInterval, when positive, starts a background decision resolver
+	// on every server of a TFCommit cluster: each server periodically asks
+	// its peers for decisions it is missing and pulls any verified log
+	// suffix it is behind on (server.StartResolver). Zero (the default)
+	// leaves resolution to the vote path's on-demand catch-up — the
+	// deterministic simulator needs it off and drives
+	// server.ResolvePending explicitly so traces stay reproducible.
+	ResolveInterval time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -179,6 +188,7 @@ type Cluster struct {
 	coordID   identity.NodeID
 	batcher   *Batcher
 	tfc       *tfcommit.Coordinator
+	coords    []*tfcommit.Coordinator
 	pipe      *tfcommit.Pipeline
 	recovered map[identity.NodeID]*durable.Recovered
 	stores    map[identity.NodeID]*durable.Store
@@ -385,6 +395,29 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.wireTCP()
 	}
 
+	// Catch-up mesh (TFCommit only — a 2PC block carries no co-sign, so a
+	// fetched block could not authenticate itself). Installed after every
+	// endpoint exists because each server reaches its peers through its own
+	// endpoint. With it, a cohort that times out waiting for a decision
+	// asks its peers instead of failing, and a server that restarted behind
+	// the cluster tip pulls and re-verifies the missing log suffix.
+	if cfg.Protocol == ProtocolTFCommit {
+		for _, id := range c.serverIDs {
+			if err := c.servers[id].EnableCatchup(server.CatchupConfig{
+				Transport: endpoints[id],
+				Servers:   c.serverIDs,
+			}); err != nil {
+				return nil, fmt.Errorf("core: server %s: %w", id, err)
+			}
+			if cfg.ResolveInterval > 0 {
+				stop := c.servers[id].StartResolver(cfg.ResolveInterval)
+				c.mu.Lock()
+				c.closers = append(c.closers, stopCloser(stop))
+				c.mu.Unlock()
+			}
+		}
+	}
+
 	// The designated coordinator (paper §4.1: "one designated server acts
 	// as the transaction coordinator responsible for terminating all
 	// transactions") is the first server.
@@ -402,20 +435,28 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		coords := make([]*tfcommit.Coordinator, cfg.Coordinators)
 		for i := 0; i < cfg.Coordinators; i++ {
 			id := c.serverIDs[i]
-			tfc, err := tfcommit.New(tfcommit.Config{
+			tcfg := tfcommit.Config{
 				Identity:  idents[i],
 				Registry:  c.reg,
 				Transport: endpoints[id],
 				Servers:   c.serverIDs,
 				Local:     c.servers[id],
 				Faults:    cfg.CoordinatorFaults,
-			})
+			}
+			if cfg.CrashHook != nil {
+				hook, cid := cfg.CrashHook, id
+				tcfg.CrashHook = func(point string, height uint64) error {
+					return hook(cid, point, height)
+				}
+			}
+			tfc, err := tfcommit.New(tcfg)
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
 			coords[i] = tfc
 		}
 		c.tfc = coords[0]
+		c.coords = coords
 		if cfg.pipelined() {
 			coordLog := coordSrv.Log()
 			pipe, err := tfcommit.NewPipeline(tfcommit.PipelineConfig{
@@ -454,6 +495,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	coordSrv.SetTerminator(c.batcher)
 	built = true
 	return c, nil
+}
+
+// stopCloser adapts a stop function (server.StartResolver's return) to the
+// io.Closer the cluster's teardown list holds.
+type stopCloser func()
+
+func (f stopCloser) Close() error { f(); return nil }
+
+// CoordinatorStats sums decision-delivery counters across every rotating
+// coordinator instance (zero value for non-TFCommit clusters). The
+// simulation harness surfaces them in scenario results.
+func (c *Cluster) CoordinatorStats() tfcommit.Stats {
+	var total tfcommit.Stats
+	for _, tfc := range c.coords {
+		st := tfc.Stats()
+		total.DecisionRetries += st.DecisionRetries
+		total.DecisionUnacked += st.DecisionUnacked
+	}
+	return total
 }
 
 // Recovery returns what crash recovery found for a server (nil when the

@@ -184,7 +184,7 @@ func (s *Store) Recover(rc RecoveryConfig) (*Recovered, error) {
 		if b.Decision != ledger.DecisionCommit {
 			continue // aborted blocks are never logged, but stay safe
 		}
-		accesses := shardAccesses(b, shard)
+		accesses := ShardAccesses(b, shard)
 		if len(accesses) > 0 {
 			if err := shard.Apply(accesses); err != nil {
 				return nil, fmt.Errorf("durable: replay block %d: %w", b.Height, err)
@@ -229,10 +229,13 @@ func (s *Store) vetSnapshot(snap *snapshot, cand *store.Shard, blocks []*ledger.
 	return "no co-signed root at or below its height to authenticate against"
 }
 
-// shardAccesses reconstructs the datastore accesses a committed block
-// implies for this shard — the same per-transaction split applyCommitLocked
-// uses on the live path, derived from the block's read/write sets.
-func shardAccesses(b *ledger.Block, shard *store.Shard) []store.Access {
+// ShardAccesses reconstructs the datastore accesses a committed block
+// implies for one shard — the same per-transaction split the live commit
+// path uses, derived from the block's read/write sets. Recovery uses it to
+// replay the verified WAL; the server catch-up path uses it to apply a
+// verified log suffix fetched from untrusted peers, so both paths converge
+// on identical shard state for identical blocks.
+func ShardAccesses(b *ledger.Block, shard *store.Shard) []store.Access {
 	var accesses []store.Access
 	for i := range b.Txns {
 		rec := &b.Txns[i]

@@ -64,10 +64,13 @@ func (s *Server) GetVote(ctx context.Context, from identity.NodeID, req *wire.Ge
 	// grown to the announced height — everything below is then applied
 	// (Decide runs apply, watermark and cleanup under one critical section
 	// ending after the append) — so the OCC validation, Merkle root and
-	// chain checks below see exactly the serial-order state.
-	if s.lookahead > 0 && req.Block != nil {
-		if h := req.Block.Height; h > uint64(s.log.Len()) {
-			if err := s.log.WaitLen(ctx, h, s.lookahead); err != nil {
+	// chain checks below see exactly the serial-order state. When the wait
+	// stalls past its grace and catch-up is enabled, awaitHeight pulls the
+	// overdue decisions from peers instead of erroring (catchup.go): a
+	// lost decision or a dead coordinator must not wedge this cohort.
+	if req.Block != nil {
+		if h := req.Block.Height; h > uint64(s.log.Len()) && (s.lookahead > 0 || s.catchupCfg() != nil) {
+			if err := s.awaitHeight(ctx, h); err != nil {
 				return nil, fmt.Errorf("server %s: %w: %v", s.ident.ID, ErrOutOfSequence, err)
 			}
 		}
@@ -235,11 +238,36 @@ func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.Dec
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	st := s.inflight
-	if st == nil || req.Block == nil || req.Block.Height != st.height {
+	b := req.Block
+	if b == nil {
 		return nil, ErrNoInflight
 	}
-	b := req.Block
+	// Idempotent re-delivery: the coordinator retries decisions whose ack
+	// was lost, and a cohort may have pulled the block from a peer before
+	// the retry lands. A block already in the log at its height (same
+	// hash) — or an abort already resolved at its height — is simply
+	// re-acknowledged.
+	if b.Height < uint64(s.log.Len()) {
+		if logged, err := s.log.Get(b.Height); err == nil && bytes.Equal(logged.Hash(), b.Hash()) {
+			if s.inflight != nil && s.inflight.height <= b.Height {
+				s.inflight = nil
+			}
+			s.stats.DupDecisions++
+			return &wire.DecisionResp{OK: true}, nil
+		}
+	}
+	if b.Decision == ledger.DecisionAbort {
+		if hash, ok := s.recentAborts[b.Height]; ok && bytes.Equal(hash, b.Hash()) &&
+			(s.inflight == nil || s.inflight.height != b.Height) {
+			s.stats.DupDecisions++
+			return &wire.DecisionResp{OK: true}, nil
+		}
+	}
+
+	st := s.inflight
+	if st == nil || b.Height != st.height {
+		return nil, ErrNoInflight
+	}
 
 	if !s.faults.SkipCoSigCheck {
 		signingBytes := b.SigningBytes()
@@ -269,6 +297,15 @@ func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.Dec
 		for i := range b.Txns {
 			delete(s.buffers, b.Txns[i].TxnID)
 		}
+		// Remember the abort so a retried delivery (lost ack) still
+		// re-acknowledges after the inflight state is gone. Entries below
+		// the log tip are stale — the height got committed eventually.
+		for h := range s.recentAborts {
+			if h < uint64(s.log.Len()) {
+				delete(s.recentAborts, h)
+			}
+		}
+		s.recentAborts[b.Height] = b.Hash()
 	}
 	s.inflight = nil
 	return &wire.DecisionResp{OK: true}, nil

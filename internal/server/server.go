@@ -101,6 +101,14 @@ type Server struct {
 	terminator    Terminator
 	stats         Stats
 
+	// Catch-up state (catchup.go): the peer mesh for pulling missed
+	// decisions, and the hashes of recently decided abort blocks so a
+	// retried abort decision whose ack was lost re-acknowledges
+	// idempotently (commit blocks need no such memory — the log itself is
+	// it).
+	cu           *catchupState
+	recentAborts map[uint64][]byte
+
 	// Verified-read serving state (readserve.go): the header cache is the
 	// log's headers, index == height; the committed-root cache records at
 	// which heights this server's shard root was co-signed into a block,
@@ -121,6 +129,18 @@ type Stats struct {
 	MHTTime time.Duration
 	// MHTBlocks counts the blocks those computations served.
 	MHTBlocks int
+
+	// CatchupBlocks counts blocks applied from peers through the catch-up
+	// path (catchup.go) rather than a directly delivered phase-5 decision.
+	CatchupBlocks int
+	// WedgeRecoveries counts vote announcements that stalled past their
+	// grace slice and were un-wedged by pulling the missing decisions from
+	// peers — each one is a would-be liveness failure that healed.
+	WedgeRecoveries int
+	// DupDecisions counts re-delivered decisions acknowledged
+	// idempotently: a coordinator retry after a lost ack, or a decision
+	// arriving after catch-up already supplied the block.
+	DupDecisions int
 }
 
 // Stats returns a snapshot of the server's accumulated statistics.
@@ -155,9 +175,10 @@ func New(cfg Config) (*Server, error) {
 		lookahead:  cfg.VoteLookahead,
 		crash:      cfg.CrashHook,
 		faults:     cfg.Faults,
-		buffers:    make(map[string]map[txn.ItemID][]byte),
-		prevValues: make(map[txn.ItemID][]byte),
-		rootAt:     make(map[uint64][]byte),
+		buffers:      make(map[string]map[txn.ItemID][]byte),
+		prevValues:   make(map[txn.ItemID][]byte),
+		rootAt:       make(map[uint64][]byte),
+		recentAborts: make(map[uint64][]byte),
 	}
 	// A recovered log restores the OCC watermark: "the servers ignore any
 	// end transaction request with a timestamp lower than the latest
@@ -279,6 +300,14 @@ func (s *Server) Handle(ctx context.Context, from identity.NodeID, msg transport
 	case wire.MsgVerifiedRead:
 		return dispatch(msg, func(req *wire.VerifiedReadReq) (*wire.VerifiedReadResp, error) {
 			return s.handleVerifiedRead(req)
+		})
+	case wire.MsgAskDecision:
+		return dispatch(msg, func(req *wire.AskDecisionReq) (*wire.AskDecisionResp, error) {
+			return s.handleAskDecision(req)
+		})
+	case wire.MsgFetchBlocks:
+		return dispatch(msg, func(req *wire.FetchBlocksReq) (*wire.FetchBlocksResp, error) {
+			return s.handleFetchBlocks(req)
 		})
 	default:
 		return transport.Message{}, fmt.Errorf("server %s: unknown message type %q", s.ident.ID, msg.Type)

@@ -30,6 +30,16 @@ type Result struct {
 	Committed int      `json:"committed"`
 	FailedOps int      `json:"failed_ops"`
 	VirtualUS int64    `json:"virtual_us"`
+	// Liveness-subsystem counters: blocks applied through peer catch-up,
+	// vote waits that wedged and then recovered via catch-up, duplicate
+	// decisions re-acked idempotently, and the coordinator's decision
+	// delivery retries / tolerated unacked cohorts. Nonzero values show
+	// the run exercised the recovery machinery, not just the happy path.
+	CatchupBlocks   int    `json:"catchup_blocks,omitempty"`
+	WedgeRecoveries int    `json:"wedge_recoveries,omitempty"`
+	DupDecisions    int    `json:"dup_decisions,omitempty"`
+	DecisionRetries uint64 `json:"decision_retries,omitempty"`
+	DecisionUnacked uint64 `json:"decision_unacked,omitempty"`
 	// Violations is empty on success; every entry is one broken
 	// invariant. Repro re-runs this exact case.
 	Violations []string `json:"violations,omitempty"`
@@ -53,9 +63,12 @@ type runEnv struct {
 	written map[int][]txn.ItemID // server index → committed written items
 
 	dataDir     string
+	lastTxnErr  error
 	crashID     identity.NodeID
 	crashArm    atomic.Bool
-	crashHit    atomic.Bool
+	crashHit    atomic.Bool   // the crash point fired at some time in the run
+	crashDown   atomic.Bool   // the crashed server is currently dead (cleared on restart)
+	crashHeight atomic.Uint64 // block height the crash point fired at
 	valSeq      atomic.Uint64 // unique value counter (stale ≠ current, always)
 	txnSeq      atomic.Uint64 // round-robin shard cursor
 	partCommits int
@@ -167,6 +180,8 @@ func (env *runEnv) onCrashPoint(id identity.NodeID, point string, height uint64)
 		return nil
 	}
 	if env.crashHit.CompareAndSwap(false, true) {
+		env.crashDown.Store(true)
+		env.crashHeight.Store(height)
 		env.note("crash point %s fired on %s at height %d", point, id, height)
 		if c := env.clusterRef(); c != nil {
 			// The pre-fsync hook runs with the WAL lock held: the error we
@@ -231,6 +246,13 @@ func (env *runEnv) run(ctx context.Context) {
 		if !env.runCrashRestart(ctx) {
 			return
 		}
+		// Rejoin traffic: commits driven before the schedule quiesces, so
+		// a crashed-short server must catch up under live load — its
+		// votes stall on the missing suffix and the vote path pulls it
+		// from peers mid-workload.
+		if sc.RejoinTxns > 0 {
+			env.drivePhase(ctx, "rejoin", sc.RejoinTxns, false)
+		}
 	}
 
 	// Invariant phase: no more injected faults; the checkers must observe
@@ -251,13 +273,21 @@ func (env *runEnv) drivePhase(ctx context.Context, phase string, n int, fatal bo
 	r := newRNG(env.seed, "wk-"+phase)
 	for i := 0; i < n; i++ {
 		if !env.commitWithRetries(ctx, cl, r, 200) {
-			env.violate("%s txn %d failed to commit", phase, i)
+			env.violate("%s txn %d failed to commit (last error: %v)", phase, i, env.lastErr())
 			if fatal {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// lastErr returns the most recent transaction-drive error, for violation
+// messages (a bare "failed to commit" hides the actual refusal).
+func (env *runEnv) lastErr() error {
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	return env.lastTxnErr
 }
 
 // driveMain runs the sequential main phase, applying partition windows
@@ -382,7 +412,9 @@ func (env *runEnv) logHeights() []int {
 // losses. Returns false if it cannot commit within the attempt budget.
 func (env *runEnv) commitWithRetries(ctx context.Context, cl *client.Client, r *rng, attempts int) bool {
 	for a := 0; a < attempts; a++ {
-		if ctx.Err() != nil || env.crashHit.Load() {
+		if ctx.Err() != nil || env.crashDown.Load() {
+			// No point retrying while the crashed server is down: TFCommit
+			// needs every server's co-signature. Restart clears the flag.
 			return false
 		}
 		ok, err := env.driveTxn(ctx, cl, r)
@@ -392,6 +424,7 @@ func (env *runEnv) commitWithRetries(ctx context.Context, cl *client.Client, r *
 		if err != nil {
 			env.mu.Lock()
 			env.res.FailedOps++
+			env.lastTxnErr = err
 			env.mu.Unlock()
 		}
 	}
@@ -492,6 +525,8 @@ func (env *runEnv) runCrashRestart(ctx context.Context) bool {
 		return false
 	}
 	env.setCluster(restarted)
+	// The crashed server is back: rejoin/final phases may commit again.
+	env.crashDown.Store(false)
 
 	// Recovery sanity: every server recovered without warnings beyond the
 	// snapshot fallbacks, and its shard root matches its recovered log.

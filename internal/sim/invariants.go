@@ -21,12 +21,81 @@ func (env *runEnv) checkInvariants(ctx context.Context) {
 	if cluster == nil {
 		return
 	}
+	env.resolveConvergence(ctx)
 	report := env.checkAudit(ctx)
 	env.checkConvergence()
 	env.checkLightClient(ctx, report)
 	env.checkVerifiedRead(ctx)
 	env.checkDups()
 	env.checkLiveness(ctx)
+	env.collectCounters()
+}
+
+// resolveConvergence drives the decision resolver on every lagging server
+// until the logs meet the tallest one (bounded). It stands in for the
+// free-running background resolver a real deployment runs
+// (server.StartResolver) — the simulator drives resolution explicitly so
+// the event trace stays deterministic. After it, log convergence is a hard
+// invariant even for crash scenarios: a crashed-short server must have
+// pulled and re-verified its missing suffix from its peers.
+func (env *runEnv) resolveConvergence(ctx context.Context) {
+	cluster := env.clusterRef()
+	for pass := 0; pass < 8; pass++ {
+		hs := env.logHeights()
+		tallest := 0
+		for _, h := range hs {
+			if h > tallest {
+				tallest = h
+			}
+		}
+		lagging := false
+		for i, h := range hs {
+			if h >= tallest {
+				continue
+			}
+			lagging = true
+			if _, err := cluster.ServerAt(i).ResolvePending(ctx); err != nil {
+				env.note("resolve pass %d server %d: %v", pass, i, err)
+			}
+		}
+		if !lagging {
+			break
+		}
+	}
+
+	// A mid-broadcast coordinator crash leaves exactly one remote cohort
+	// holding the co-signed block; that single copy must be enough for
+	// every server — crashed coordinator included — to end up with the
+	// in-flight block (the co-sign IS the decision).
+	if cs := env.sc.Crash; cs != nil && cs.Point == "mid-broadcast" && env.crashHit.Load() {
+		h := env.crashHeight.Load()
+		for i := 0; i < env.sc.Servers; i++ {
+			if got := uint64(cluster.ServerAt(i).Log().Len()); got <= h {
+				env.violate("server %d log height %d is missing the in-flight block %d from the mid-broadcast crash", i, got, h)
+			}
+		}
+	}
+}
+
+// collectCounters snapshots the liveness-subsystem counters into the
+// result and enforces the scenario's engagement expectations.
+func (env *runEnv) collectCounters() {
+	cluster := env.clusterRef()
+	for i := 0; i < env.sc.Servers; i++ {
+		st := cluster.ServerAt(i).Stats()
+		env.res.CatchupBlocks += st.CatchupBlocks
+		env.res.WedgeRecoveries += st.WedgeRecoveries
+		env.res.DupDecisions += st.DupDecisions
+	}
+	cst := cluster.CoordinatorStats()
+	env.res.DecisionRetries += cst.DecisionRetries
+	env.res.DecisionUnacked += cst.DecisionUnacked
+	if env.sc.Expect.RequireCatchup && env.res.CatchupBlocks == 0 && env.res.WedgeRecoveries == 0 {
+		env.violate("scenario expects the catch-up path to engage; its counters stayed zero")
+	}
+	if env.sc.Expect.RequireDecisionRetries && env.res.DecisionRetries == 0 {
+		env.violate("scenario expects decision retries; the counter stayed zero")
+	}
 }
 
 // checkAudit runs the full audit and matches its findings against the
@@ -83,13 +152,11 @@ func implicates(f audit.Finding, id identity.NodeID) bool {
 	return false
 }
 
-// checkConvergence asserts every server converged on one log — unless a
-// crash legitimately left a server short (then the audit's allowed
-// incomplete-log finding already covers the divergence).
+// checkConvergence asserts every server converged on one log. This is
+// unconditional: a crash is no excuse, because resolveConvergence has
+// already given a crashed-short server the chance to pull its missing
+// suffix from its peers — failing here means catch-up itself is broken.
 func (env *runEnv) checkConvergence() {
-	if env.sc.Crash != nil && env.sc.Crash.Point != "" {
-		return
-	}
 	cluster := env.clusterRef()
 	ref := cluster.ServerAt(0).Log()
 	for i := 1; i < env.sc.Servers; i++ {
@@ -227,19 +294,12 @@ func (env *runEnv) checkDups() {
 
 // checkLiveness drives the scenario's final transactions — the cluster
 // must keep committing after faults are lifted, partitions healed, or a
-// clean restart recovered. Skipped (with a note) when a crash left server
-// logs at different heights: catch-up/state transfer is not built yet, so
-// such a cluster is safe but wedged.
+// crash recovered. There is no diverged-heights escape hatch anymore: a
+// crashed-short server catches up (resolveConvergence, or on demand from
+// the vote path), so liveness must always return.
 func (env *runEnv) checkLiveness(ctx context.Context) {
 	if env.sc.FinalTxns <= 0 {
 		return
-	}
-	hs := env.logHeights()
-	for i := 1; i < len(hs); i++ {
-		if hs[i] != hs[0] {
-			env.note("final commits skipped: heights diverged %v (no catch-up protocol yet)", hs)
-			return
-		}
 	}
 	// Byzantine faults stay on unless the scenario's contract is about
 	// recovery of liveness; lift them so the final phase measures the

@@ -44,10 +44,13 @@ type CrashStep struct {
 	// modeling datacenter power loss, with Surgery supplying the disk
 	// damage the power loss caused on every server).
 	Server int
-	// Point names the crash point — "pre-fsync", "mid-apply" or
-	// "post-cosign" — at which the server's disk freezes and the server
-	// drops off the network. Empty means no in-protocol crash: the
-	// workload finishes, then the cluster is closed and Surgery applied.
+	// Point names the crash point — "pre-fsync", "mid-apply",
+	// "post-cosign" or "mid-broadcast" (the coordinator dies between
+	// collecting the co-sign and finishing the decision broadcast, with
+	// exactly one remote cohort holding the finalized block) — at which
+	// the server's disk freezes and the server drops off the network.
+	// Empty means no in-protocol crash: the workload finishes, then the
+	// cluster is closed and Surgery applied.
 	Point string
 	// AfterTxn arms the crash point only after this many main-phase
 	// transactions have been driven (so there is history to recover).
@@ -100,6 +103,14 @@ type Expect struct {
 	// NoCommitsDuringPartition asserts the log did not grow while the
 	// partition window was active (safety under partial connectivity).
 	NoCommitsDuringPartition bool
+	// RequireCatchup asserts the catch-up subsystem actually engaged:
+	// the run must record at least one caught-up block or wedge
+	// recovery. Guards the recovery scenarios against silently passing
+	// because nothing ever fell behind.
+	RequireCatchup bool
+	// RequireDecisionRetries asserts the coordinator's decision-retry
+	// path engaged at least once (lossy-decision scenarios).
+	RequireDecisionRetries bool
 }
 
 // Scenario is one declarative simulation case: a cluster shape, a
@@ -134,6 +145,12 @@ type Scenario struct {
 	Txns       int
 	FinalTxns  int
 	Clients    int
+	// RejoinTxns commits transactions immediately after a crash restart,
+	// before the fault schedule quiesces: a crashed-short server must
+	// catch up on the missing log suffix while live traffic is already
+	// flowing (the vote path's on-demand catch-up, not the explicit
+	// resolver the invariant phase drives).
+	RejoinTxns int
 
 	// Faults are the Byzantine server faults switched on after warmup,
 	// keyed by server index.

@@ -151,41 +151,76 @@ func Catalog() []Scenario {
 		},
 		{
 			Name:        "crash-pre-fsync",
-			Description: "server dies before the fsync of its last block (record lost in the page cache): recovery comes back short, honestly",
+			Description: "server dies before the fsync of its last block (record lost in the page cache): recovery comes back short, catch-up closes the gap",
 			Durable:     true,
 			Fsync:       durable.FsyncAlways,
 			Txns:        10,
+			FinalTxns:   4,
 			Crash:       &CrashStep{Server: 1, Point: "pre-fsync", AfterTxn: 4, Surgery: SurgeryDropLastRecord},
-			Expect: Expect{
-				FaultyServer: -1,
-				// A crashed-short server honestly lags the authoritative
-				// log; without a catch-up protocol, the audit reports its
-				// missing tail (and, if its shard was involved, its
-				// behind-the-root datastore) rather than pretending
-				// nothing happened.
-				AllowFindings: []audit.FindingType{audit.FindingIncompleteLog, audit.FindingDatastoreCorruption},
-			},
+			// The crashed server honestly lags the authoritative log after
+			// recovery; the catch-up protocol then pulls and re-verifies
+			// the missing suffix from its peers, so the audit must come
+			// back clean and liveness must return.
+			Expect: Expect{AuditClean: true, FaultyServer: -1},
 		},
 		{
 			Name:        "crash-mid-apply",
-			Description: "server dies between datastore apply and log append: replay recovery heals the divergence",
+			Description: "server dies between datastore apply and log append: replay recovery plus catch-up heal the divergence",
 			Durable:     true,
 			Txns:        10,
+			FinalTxns:   4,
 			Crash:       &CrashStep{Server: 2, Point: "mid-apply", AfterTxn: 4},
-			Expect: Expect{
-				FaultyServer:  -1,
-				AllowFindings: []audit.FindingType{audit.FindingIncompleteLog, audit.FindingDatastoreCorruption},
-			},
+			Expect:      Expect{AuditClean: true, FaultyServer: -1},
 		},
 		{
 			Name:        "crash-post-cosign",
-			Description: "server dies after verifying the decision co-sign, before applying anything",
+			Description: "server dies after verifying the decision co-sign, before applying anything: catch-up delivers the block it missed",
 			Durable:     true,
 			Txns:        10,
+			FinalTxns:   4,
 			Crash:       &CrashStep{Server: 1, Point: "post-cosign", AfterTxn: 4},
+			Expect:      Expect{AuditClean: true, FaultyServer: -1},
+		},
+		{
+			Name:        "decision-drop-storm",
+			Description: "half of all phase-5 decision broadcasts dropped: coordinator retries and ask-a-peer keep every cohort current",
+			Net:         NetConfig{BaseLatency: 100 * time.Microsecond, Jitter: 100 * time.Microsecond, DropRate: 0.05, DecisionDropRate: 0.5},
+			Txns:        12,
+			FinalTxns:   4,
+			// Not trace-deterministic: whether a stalled cohort's ask-a-peer
+			// grace fires races the coordinator's real-time retry backoff.
 			Expect: Expect{
-				FaultyServer:  -1,
-				AllowFindings: []audit.FindingType{audit.FindingIncompleteLog, audit.FindingDatastoreCorruption},
+				AuditClean:             true,
+				FaultyServer:           -1,
+				RequireDecisionRetries: true,
+			},
+		},
+		{
+			Name:         "coordinator-crash-midround",
+			Description:  "rotating coordinator dies between co-sign and decision broadcast: the one delivered copy resolves the round for everyone",
+			Durable:      true,
+			Coordinators: 2,
+			Txns:         10,
+			FinalTxns:    4,
+			Crash:        &CrashStep{Server: 1, Point: "mid-broadcast", AfterTxn: 4},
+			Expect: Expect{
+				AuditClean:     true,
+				FaultyServer:   -1,
+				RequireCatchup: true,
+			},
+		},
+		{
+			Name:        "rejoin-live-traffic",
+			Description: "crashed-short server rejoins while commits keep flowing: its stalled votes trigger on-demand catch-up under live load",
+			Durable:     true,
+			Txns:        10,
+			RejoinTxns:  6,
+			FinalTxns:   4,
+			Crash:       &CrashStep{Server: 2, Point: "post-cosign", AfterTxn: 4},
+			Expect: Expect{
+				AuditClean:     true,
+				FaultyServer:   -1,
+				RequireCatchup: true,
 			},
 		},
 		{

@@ -25,21 +25,25 @@ type NetConfig struct {
 	// delivered normally and a copy is presented to the receiver again,
 	// which its anti-replay window must reject.
 	DupRate float64
+	// DecisionDropRate, when positive, replaces DropRate for phase-5
+	// decision broadcasts (tfc_decision / 2pc_decision) so scenarios can
+	// target the one message class whose loss historically wedged a
+	// cohort. Early revisions exempted decisions from loss entirely
+	// because no retry or catch-up protocol existed — a single dropped
+	// decision made every lossy schedule a guaranteed wedge. Now the
+	// coordinator retries unacked decisions and stalled cohorts ask their
+	// peers for the self-authenticating co-signed block, so decisions take
+	// loss like any other message, and this knob lets a scenario storm
+	// them specifically.
+	DecisionDropRate float64
 }
 
 // ErrDropped is the failure a lost message surfaces as.
 var ErrDropped = fmt.Errorf("%w: dropped by fault schedule", transport.ErrDelivery)
 
-// dropExempt reports whether a message type is shielded from random loss.
-// Phase-5 decision broadcasts are: once a block is collectively signed,
-// some cohorts apply it — a cohort that never receives the decision stays
-// permanently behind, and the repo has no decision-retry or log catch-up
-// protocol yet (the paper, like most commit protocols, assumes decisions
-// are eventually delivered). Dropping one would turn every lossy schedule
-// into a guaranteed wedge, which tests nothing. The sim found exactly
-// this wedge on its first lossy sweep; the exemption encodes the
-// protocol's delivery assumption until a catch-up path exists.
-func dropExempt(msgType string) bool {
+// isDecision reports whether a message type is a phase-5 decision
+// broadcast, the class DecisionDropRate targets.
+func isDecision(msgType string) bool {
 	return msgType == wire.MsgDecision || msgType == wire.Msg2PCDecision
 }
 
@@ -136,7 +140,14 @@ func (s *Scheduler) Deliver(ctx context.Context, from, to identity.NodeID, msgTy
 		s.trace.add(ev)
 		return transport.Verdict{}, fmt.Errorf("%w (%s)", ErrPartitioned, key)
 	}
-	if !s.quiesced && dropDraw < s.cfg.DropRate && !dropExempt(msgType) {
+	// One unconditional draw per message, compared against a per-class
+	// rate: the stream position never depends on message type, so
+	// retried decisions redraw deterministically along the link's stream.
+	dropRate := s.cfg.DropRate
+	if s.cfg.DecisionDropRate > 0 && isDecision(msgType) {
+		dropRate = s.cfg.DecisionDropRate
+	}
+	if !s.quiesced && dropDraw < dropRate {
 		ev.Outcome = OutcomeDrop
 		s.dropped++
 		s.trace.add(ev)

@@ -17,9 +17,16 @@
 // only during termination (paper §4.1); its own cohort participates through
 // the Local participant rather than the network.
 //
-// Like 2PC, TFCommit blocks if the coordinator or a cohort fails; the
-// non-blocking 3PC-style extension is future work in the paper and is
-// likewise out of scope here.
+// Like 2PC, TFCommit blocks while all servers must contribute to phases
+// 1–4: the collective signature requires every signer. After phase 4,
+// though, the co-signed block *is* the decision — its collective signature
+// fixes the outcome and authenticates it to anyone — so phase 5 is pure
+// dissemination and this implementation makes it non-blocking in the 3PC
+// spirit: the coordinator retries unacknowledged Decision broadcasts with
+// backoff, tolerates cohorts it ultimately cannot reach (they pull the
+// block from any peer via the catch-up path in internal/server), and a
+// coordinator that dies mid-broadcast leaves behind a self-authenticating
+// block that any single surviving copy suffices to finish distributing.
 package tfcommit
 
 import (
@@ -30,6 +37,9 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cosi"
 	"repro/internal/identity"
@@ -88,6 +98,13 @@ type Config struct {
 	Local Participant
 	// Faults injects coordinator misbehavior.
 	Faults Faults
+	// CrashHook, when non-nil, is consulted at coordinator crash points.
+	// The only point today is "mid-broadcast": fired after the finalized
+	// block has been delivered to the first remote cohort, i.e. between
+	// co-sign and the rest of the Decision broadcast. A non-nil return
+	// abandons the round with that error, simulating the coordinator dying
+	// at the worst possible instant. Test and simulation instrumentation.
+	CrashHook func(point string, height uint64) error
 }
 
 // Coordinator terminates transactions by running TFCommit rounds.
@@ -98,6 +115,10 @@ type Coordinator struct {
 	servers []identity.NodeID
 	local   Participant
 	faults  Faults
+	crash   func(point string, height uint64) error
+
+	decisionRetries atomic.Uint64
+	decisionUnacked atomic.Uint64
 }
 
 // New creates a Coordinator.
@@ -117,11 +138,30 @@ func New(cfg Config) (*Coordinator, error) {
 		servers: servers,
 		local:   cfg.Local,
 		faults:  cfg.Faults,
+		crash:   cfg.CrashHook,
 	}, nil
 }
 
 // SetFaults replaces the coordinator's fault configuration.
 func (c *Coordinator) SetFaults(f Faults) { c.faults = f }
+
+// Stats counts decision-phase delivery work over the coordinator's
+// lifetime (see docs/operations.md "Catch-up and decision-retry triage").
+type Stats struct {
+	// DecisionRetries counts DecisionReq re-sends after delivery failures.
+	DecisionRetries uint64
+	// DecisionUnacked counts cohorts given up on after the retry budget;
+	// each one heals itself later through the server catch-up path.
+	DecisionUnacked uint64
+}
+
+// Stats returns a snapshot of the coordinator's delivery counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		DecisionRetries: c.decisionRetries.Load(),
+		DecisionUnacked: c.decisionUnacked.Load(),
+	}
+}
 
 // Result is the outcome of one TFCommit round.
 type Result struct {
@@ -305,6 +345,10 @@ func (c *Coordinator) commitAt(ctx context.Context, height uint64, prevHash []by
 
 	// Phase 5 ⟨Decision, null⟩: publish the finalized block; cohorts verify
 	// the co-sign, then append to the log and update their datastores.
+	// Unacknowledged cohorts are tolerated — the co-sign already fixed the
+	// outcome, and a lagging cohort pulls the block from any peer via the
+	// catch-up path (internal/server) — but an explicit refusal or a local
+	// apply failure still fails the round.
 	if refused := c.broadcastDecision(ctx, block); len(refused) > 0 {
 		return nil, &RefusalError{Phase: "decision", Refused: refused}
 	}
@@ -422,24 +466,119 @@ func (c *Coordinator) broadcastChallenge(ctx context.Context, req *wire.Challeng
 	return out, refused
 }
 
-// broadcastDecision runs phase 5. With the EquivocateDecision fault, half
-// the cohorts receive an abort variant carrying the (mismatched) co-sign —
-// the Figure 8 attack.
+// Decision delivery retry policy. Losing a DecisionReq must not wedge a
+// cohort, so delivery failures are retried with exponential backoff; a
+// cohort still unreachable after the budget is recorded as unacked and
+// left to the catch-up path rather than failing the round.
+const (
+	decisionAttempts   = 12
+	decisionBackoffMin = 2 * time.Millisecond
+	decisionBackoffMax = 100 * time.Millisecond
+)
+
+// deliverDecision sends one DecisionReq to one cohort, retrying delivery
+// failures. It returns nil once acknowledged, a nil error with ok=false
+// when the cohort stayed unreachable (tolerated), and a non-nil error on a
+// refusal — an application-level rejection that retrying cannot fix.
+func (c *Coordinator) deliverDecision(ctx context.Context, id identity.NodeID, msg transport.Message) (ok bool, err error) {
+	backoff := decisionBackoffMin
+	var last error
+	for attempt := 0; attempt < decisionAttempts; attempt++ {
+		if attempt > 0 {
+			c.decisionRetries.Add(1)
+			select {
+			case <-ctx.Done():
+				return false, ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > decisionBackoffMax {
+				backoff = decisionBackoffMax
+			}
+		}
+		_, err := c.tr.Call(ctx, id, msg)
+		switch {
+		case err == nil:
+			return true, nil
+		case errors.Is(err, transport.ErrDelivery):
+			last = err // lost in transit: retry
+		case errors.Is(err, transport.ErrUnknownPeer), errors.Is(err, transport.ErrClosed):
+			// The cohort is gone (crashed or detached). It cannot ack until
+			// it returns, at which point catch-up hands it the block.
+			c.decisionUnacked.Add(1)
+			return false, nil
+		default:
+			return false, err
+		}
+	}
+	_ = last
+	c.decisionUnacked.Add(1)
+	return false, nil
+}
+
+// broadcastDecision runs phase 5. Delivery failures are retried and, past
+// the retry budget, tolerated (the cohort will pull the block from a peer);
+// only refusals are reported. With the EquivocateDecision fault, half the
+// cohorts receive an abort variant carrying the (mismatched) co-sign — the
+// Figure 8 attack.
 func (c *Coordinator) broadcastDecision(ctx context.Context, block *ledger.Block) map[identity.NodeID]error {
 	refused := make(map[identity.NodeID]error)
 
 	remote := c.remoteServers()
-	if !c.faults.EquivocateDecision {
+	switch {
+	case c.faults.EquivocateDecision:
+		// Fault path below.
+	case c.crash != nil:
+		// Sequential delivery gives the "mid-broadcast" crash point a
+		// well-defined meaning: the hook fires after exactly one remote
+		// cohort holds the finalized block, i.e. between co-sign and the
+		// rest of the broadcast.
 		msg, err := transport.NewMessage(wire.MsgDecision, &wire.DecisionReq{Block: block})
 		if err != nil {
 			refused[c.ident.ID] = err
 			return refused
 		}
-		_, errs := transport.CallAll(ctx, c.tr, remote, msg)
-		for id, e := range errs {
-			refused[id] = e
+		delivered := false
+		for _, id := range remote {
+			ok, err := c.deliverDecision(ctx, id, msg)
+			if err != nil {
+				refused[id] = err
+				continue
+			}
+			if ok && !delivered {
+				delivered = true
+				if herr := c.crash("mid-broadcast", block.Height); herr != nil {
+					// The coordinator "dies" here: no further deliveries, no
+					// local apply. The one distributed copy is enough — any
+					// cohort can finish the broadcast from it.
+					refused[c.ident.ID] = herr
+					return refused
+				}
+			}
 		}
-	} else {
+	default:
+		msg, err := transport.NewMessage(wire.MsgDecision, &wire.DecisionReq{Block: block})
+		if err != nil {
+			refused[c.ident.ID] = err
+			return refused
+		}
+		var (
+			mu sync.Mutex
+			wg sync.WaitGroup
+		)
+		for _, id := range remote {
+			wg.Add(1)
+			go func(id identity.NodeID) {
+				defer wg.Done()
+				if _, err := c.deliverDecision(ctx, id, msg); err != nil {
+					mu.Lock()
+					refused[id] = err
+					mu.Unlock()
+				}
+			}(id)
+		}
+		wg.Wait()
+	}
+	if c.faults.EquivocateDecision {
 		alt := mutatedVariant(block)
 		for i, id := range remote {
 			b := block

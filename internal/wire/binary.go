@@ -54,6 +54,10 @@ const (
 	idFetchHeadersResp
 	idVerifiedReadReq
 	idVerifiedReadResp
+	idAskDecisionReq
+	idAskDecisionResp
+	idFetchBlocksReq
+	idFetchBlocksResp
 	idMax // one past the last valid id
 )
 
@@ -706,6 +710,97 @@ func (m *VerifiedReadResp) UnmarshalBinary(data []byte) error {
 	return finish(&r, MsgVerifiedRead+" resp")
 }
 
+// --- decision recovery & catch-up ---
+
+// AppendBinary implements the binary wire codec.
+func (m *AskDecisionReq) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idAskDecisionReq)
+	return binenc.AppendUint64(buf, m.Height)
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *AskDecisionReq) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idAskDecisionReq)
+	if err != nil {
+		return err
+	}
+	m.Height = r.Uint64()
+	return finish(&r, MsgAskDecision)
+}
+
+// AppendBinary implements the binary wire codec.
+func (m *AskDecisionResp) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idAskDecisionResp)
+	buf = binenc.AppendUint64(buf, m.Tip)
+	return appendBlockPtr(buf, m.Block)
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *AskDecisionResp) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idAskDecisionResp)
+	if err != nil {
+		return err
+	}
+	m.Tip = r.Uint64()
+	if m.Block, err = decodeBlockPtr(&r); err != nil {
+		return err
+	}
+	return finish(&r, MsgAskDecision+" resp")
+}
+
+// AppendBinary implements the binary wire codec.
+func (m *FetchBlocksReq) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idFetchBlocksReq)
+	buf = binenc.AppendUint64(buf, m.From)
+	return binenc.AppendUint32(buf, m.Max)
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *FetchBlocksReq) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idFetchBlocksReq)
+	if err != nil {
+		return err
+	}
+	m.From = r.Uint64()
+	m.Max = r.Uint32()
+	return finish(&r, MsgFetchBlocks)
+}
+
+// AppendBinary implements the binary wire codec.
+func (m *FetchBlocksResp) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idFetchBlocksResp)
+	buf = binenc.AppendUint64(buf, m.Tip)
+	buf = binenc.AppendUvarint(buf, uint64(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		buf = appendBlockPtr(buf, b)
+	}
+	return buf
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *FetchBlocksResp) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idFetchBlocksResp)
+	if err != nil {
+		return err
+	}
+	m.Tip = r.Uint64()
+	m.Blocks = nil
+	if n := r.Count(1); n > 0 {
+		m.Blocks = make([]*ledger.Block, n)
+		for i := range m.Blocks {
+			if m.Blocks[i], err = decodeBlockPtr(&r); err != nil {
+				return err
+			}
+			// A log suffix never legitimately contains a hole; rejecting nil
+			// keeps a byzantine peer from wedging the verifier downstream.
+			if m.Blocks[i] == nil {
+				return fmt.Errorf("wire: decode %s resp: nil block at index %d", MsgFetchBlocks, i)
+			}
+		}
+	}
+	return finish(&r, MsgFetchBlocks+" resp")
+}
+
 // Decode decodes an arbitrary binary wire message from its self-describing
 // header, returning the concrete message struct. It is the debugging and
 // fuzzing entry point: any byte string either decodes into exactly one
@@ -785,6 +880,14 @@ func newMessage(id byte) binaryMessage {
 		return new(VerifiedReadReq)
 	case idVerifiedReadResp:
 		return new(VerifiedReadResp)
+	case idAskDecisionReq:
+		return new(AskDecisionReq)
+	case idAskDecisionResp:
+		return new(AskDecisionResp)
+	case idFetchBlocksReq:
+		return new(FetchBlocksReq)
+	case idFetchBlocksResp:
+		return new(FetchBlocksResp)
 	default:
 		return nil
 	}

@@ -119,6 +119,11 @@ func TestRoundTripAllMessages(t *testing.T) {
 			},
 			Proof: merkle.MultiProof{Indices: []int{1, 7}, Depth: 4, Siblings: [][]byte{bytes.Repeat([]byte{7}, 32), bytes.Repeat([]byte{8}, 32)}},
 		},
+		&AskDecisionReq{Height: 17},
+		&AskDecisionResp{Block: block, Tip: 43},
+		&AskDecisionResp{Tip: 3}, // height beyond the responder's log
+		&FetchBlocksReq{From: 9, Max: 64},
+		&FetchBlocksResp{Blocks: []*ledger.Block{block, block}, Tip: 44},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
@@ -134,7 +139,8 @@ func TestRoundTripZeroValues(t *testing.T) {
 		&TwoPCDecisionReq{}, &TwoPCDecisionResp{}, &FetchLogReq{},
 		&FetchLogResp{}, &FetchProofReq{}, &FetchProofResp{},
 		&FetchHeadersReq{}, &FetchHeadersResp{}, &VerifiedReadReq{},
-		&VerifiedReadResp{},
+		&VerifiedReadResp{}, &AskDecisionReq{}, &AskDecisionResp{},
+		&FetchBlocksReq{}, &FetchBlocksResp{},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
@@ -185,6 +191,16 @@ func TestFetchLogRespRejectsNilBlocks(t *testing.T) {
 	var out FetchLogResp
 	if err := out.UnmarshalBinary(data); err == nil {
 		t.Fatal("accepted a log transfer containing a nil block")
+	}
+}
+
+func TestFetchBlocksRespRejectsNilBlocks(t *testing.T) {
+	// Same property for catch-up suffixes: a byzantine peer must not be
+	// able to wedge a recovering server with a hole in the range.
+	data := (&FetchBlocksResp{Blocks: []*ledger.Block{nil}, Tip: 1}).AppendBinary(nil)
+	var out FetchBlocksResp
+	if err := out.UnmarshalBinary(data); err == nil {
+		t.Fatal("accepted a block transfer containing a nil block")
 	}
 }
 
@@ -239,6 +255,10 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add((&VerifiedReadReq{IDs: []txn.ItemID{"a", "b"}, Pinned: true, AtHeight: 4}).AppendBinary(nil))
 	f.Add((&VerifiedReadResp{Height: 4, Items: []VerifiedItem{{ID: "a", Value: []byte("v")}},
 		Proof: merkle.MultiProof{Indices: []int{0}, Depth: 1, Siblings: [][]byte{{2}}}}).AppendBinary(nil))
+	f.Add((&AskDecisionReq{Height: 6}).AppendBinary(nil))
+	f.Add((&AskDecisionResp{Block: block, Tip: 7}).AppendBinary(nil))
+	f.Add((&FetchBlocksReq{From: 2, Max: 16}).AppendBinary(nil))
+	f.Add((&FetchBlocksResp{Blocks: []*ledger.Block{block}, Tip: 2}).AppendBinary(nil))
 	f.Add([]byte{})
 	f.Add([]byte{BinaryVersion})
 	f.Add([]byte{BinaryVersion, 200})

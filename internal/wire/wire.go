@@ -42,6 +42,13 @@ const (
 	// (internal/lightclient; see docs/protocol.md "Verified reads").
 	MsgFetchHeaders = "lc_fetch_headers"
 	MsgVerifiedRead = "lc_verified_read"
+
+	// Decision recovery and cohort catch-up (server ↔ server; see
+	// docs/protocol.md "Decision delivery, catch-up, and coordinator
+	// failover"). A co-signed block is self-authenticating, so any peer —
+	// trusted or not — can answer these.
+	MsgAskDecision = "tfc_ask_decision"
+	MsgFetchBlocks = "log_fetch_blocks"
 )
 
 // BeginTxnReq opens a transaction at a server storing items the transaction
@@ -267,4 +274,40 @@ type VerifiedReadResp struct {
 	Height uint64            `json:"height"`
 	Items  []VerifiedItem    `json:"items"`
 	Proof  merkle.MultiProof `json:"proof"`
+}
+
+// AskDecisionReq asks a peer server for the co-signed block at one height.
+// A cohort sends it when a round stalls in phase 5: its vote-lookahead wait
+// timed out, or an inflight round never received a decision (for example
+// because the coordinator died between co-sign and broadcast). Because the
+// block carries the collective signature of every server, the cohort can
+// verify the answer without trusting the responder — the co-signed block
+// *is* the decision.
+type AskDecisionReq struct {
+	Height uint64 `json:"height"`
+}
+
+// AskDecisionResp carries the responder's co-signed block at the requested
+// height (nil if its log has not reached it) plus the responder's current
+// log length, so the asker learns how far behind it is in one round trip.
+type AskDecisionResp struct {
+	Block *ledger.Block `json:"block,omitempty"`
+	Tip   uint64        `json:"tip"`
+}
+
+// FetchBlocksReq asks a peer server for a range of full committed blocks
+// starting at height From (at most Max of them). A server that recovers
+// behind the cluster tip pages its missing log suffix from any peer,
+// re-verifying chain position, txns-hash, and collective signature exactly
+// as recovery verifies the disk before applying each block.
+type FetchBlocksReq struct {
+	From uint64 `json:"from"`
+	Max  uint32 `json:"max"`
+}
+
+// FetchBlocksResp carries the requested block range plus the responder's
+// current log length, so the asker knows whether another page remains.
+type FetchBlocksResp struct {
+	Blocks []*ledger.Block `json:"blocks"`
+	Tip    uint64          `json:"tip"`
 }
