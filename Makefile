@@ -8,7 +8,7 @@ GO ?= go
 BENCH ?= BenchmarkFig13
 PROFILE_DIR ?= .profiles
 
-.PHONY: all build vet lint test test-short test-race sim sim-sweep sim-determinism bench bench-fig12 bench-wal bench-pipeline bench-reads bench-gate fuzz profile docs-check clean
+.PHONY: all build vet lint metriclint test test-short test-race sim sim-sweep sim-determinism bench bench-fig12 bench-wal bench-pipeline bench-reads bench-gate fuzz metrics-smoke profile docs-check clean
 
 all: vet build test
 
@@ -20,12 +20,17 @@ vet:
 
 # Mirrors the CI lint job. Staticcheck is pinned there; locally it is
 # used when installed and skipped (with a note) when not.
-lint: vet
+lint: vet metriclint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; CI runs honnef.co/go/tools/cmd/staticcheck@2025.1.1"; \
 	fi
+
+# Metric catalog drift gate: every registered fides_* instrument must be
+# documented in docs/observability.md with the right kind, and vice versa.
+metriclint:
+	$(GO) run ./tools/metriclint
 
 test:
 	$(GO) test ./...
@@ -90,9 +95,18 @@ docs-check:
 	@for p in $$($(GO) list ./...); do $(GO) doc $$p >/dev/null || exit 1; done
 	@echo "go doc: all packages render"
 
-# Wire-codec robustness: decode must never panic on arbitrary bytes.
+# Wire-codec and frame robustness: decoding must never panic on
+# arbitrary bytes, and any accepted frame must round-trip (the frame
+# carries the authenticated trace context — see docs/observability.md).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzParseFrame -fuzztime 30s ./internal/transport
+
+# Multi-process observability smoke: 3 fides-server processes with
+# -metrics-addr, a client workload, then scrape and assert the
+# commit-path instruments moved (tools/metrics-smoke.sh).
+metrics-smoke:
+	sh tools/metrics-smoke.sh
 
 profile:
 	mkdir -p $(PROFILE_DIR)

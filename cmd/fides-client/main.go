@@ -10,12 +10,17 @@
 // read time instead of at the next audit.
 //
 //	fides-client -deployment deployment.json -txns 20 -verify -audit
+//
+// Progress and diagnostics are structured log lines on stderr
+// (-log-level, -log-json; per-transaction commits log at debug). The
+// audit report — the command's product — prints to stdout.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -24,6 +29,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/identity"
 	"repro/internal/lightclient"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -36,15 +42,18 @@ func main() {
 		runAudit       = flag.Bool("audit", false, "run a full audit afterwards")
 		verify         = flag.Bool("verify", false, "sync the header chain and perform proof-carrying verified reads")
 		seed           = flag.Int64("seed", 1, "workload seed")
+		logLevel       = flag.String("log-level", "info", "log verbosity: debug|info|warn|error (per-txn commits log at debug)")
+		logJSON        = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
-	if err := run(*deploymentPath, *txns, *opsPerTxn, *runAudit, *verify, *seed); err != nil {
-		fmt.Fprintf(os.Stderr, "fides-client: %v\n", err)
+	logger := obs.NewLogger(os.Stderr, *logLevel, *logJSON).With("component", "fides-client")
+	if err := run(logger, *deploymentPath, *txns, *opsPerTxn, *runAudit, *verify, *seed); err != nil {
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, txns, opsPerTxn int, runAudit, verify bool, seed int64) error {
+func run(logger *slog.Logger, path string, txns, opsPerTxn int, runAudit, verify bool, seed int64) error {
 	d, err := deploy.Load(path)
 	if err != nil {
 		return err
@@ -97,8 +106,9 @@ func run(path string, txns, opsPerTxn int, runAudit, verify bool, seed int64) er
 			return fmt.Errorf("header sync: %w", err)
 		}
 		st := lc.Stats()
-		fmt.Printf("header sync: %d headers verified to height %d in %v (%d pages)\n",
-			st.HeadersVerified, tip, time.Since(syncStart).Round(time.Millisecond), st.SyncPages)
+		logger.Info("header sync complete", "headers_verified", st.HeadersVerified,
+			"tip", tip, "elapsed", time.Since(syncStart).Round(time.Millisecond),
+			"pages", st.SyncPages)
 	}
 
 	cl, err := client.New(client.Config{
@@ -152,7 +162,7 @@ func run(path string, txns, opsPerTxn int, runAudit, verify bool, seed int64) er
 				}
 			}
 		}
-		fmt.Printf("bootstrapped %d shard roots\n", len(d.ServerIDs()))
+		logger.Info("bootstrapped shard roots", "shards", len(d.ServerIDs()))
 	}
 	committed := 0
 	start := time.Now()
@@ -181,16 +191,17 @@ func run(path string, txns, opsPerTxn int, runAudit, verify bool, seed int64) er
 		}
 		if res.Committed {
 			committed++
-			fmt.Printf("txn %s committed at %s in block %d\n", s.ID(), res.TS, res.Block.Height)
+			logger.Debug("txn committed", "txn", s.ID(), "ts", res.TS.String(), "height", res.Block.Height)
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%d transactions committed in %v (%.0f tps)\n",
-		committed, elapsed.Round(time.Millisecond), float64(committed)/elapsed.Seconds())
+	logger.Info("workload complete", "committed", committed,
+		"elapsed", elapsed.Round(time.Millisecond),
+		"tps", fmt.Sprintf("%.0f", float64(committed)/elapsed.Seconds()))
 	if lc != nil {
 		st := lc.Stats()
-		fmt.Printf("verified reads: %d items proof-checked against %d headers (%d stale retries)\n",
-			st.ReadsVerified, st.HeadersVerified, st.StaleRetries)
+		logger.Info("verified-read stats", "reads_verified", st.ReadsVerified,
+			"headers_verified", st.HeadersVerified, "stale_retries", st.StaleRetries)
 	}
 
 	if !runAudit {

@@ -14,6 +14,14 @@
 //
 //	fides-server -deployment deployment.json -index 0 -data-dir ./data -fsync group
 //
+// With -metrics-addr the server exposes an observability endpoint:
+// GET /metrics (Prometheus text format — the TFCommit per-phase latency
+// histograms, WAL fsync timings, OCC abort causes and decision-liveness
+// counters of docs/observability.md), GET /healthz, and the standard
+// /debug/pprof/* profiling handlers.
+//
+//	fides-server -deployment deployment.json -index 0 -metrics-addr 127.0.0.1:9100
+//
 // See cmd/fides-keygen for generating a deployment and cmd/fides-client
 // for driving it.
 package main
@@ -21,6 +29,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -32,6 +42,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/tfcommit"
@@ -48,15 +59,18 @@ func main() {
 		snapEvery      = flag.Int("snapshot-every", 0, "snapshot the shard every N blocks (overrides the descriptor; 0 = descriptor's value)")
 		pipeline       = flag.Int("pipeline", 0, "TFCommit blocks in flight at once (overrides the descriptor; 0 = descriptor's value, 1 = serial)")
 		resolveEvery   = flag.Duration("resolve-interval", 2*time.Second, "background decision-resolver period: a server behind the cluster tip pulls the missing verified suffix from peers (0 disables)")
+		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof/* on this address (empty disables)")
+		logLevel       = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logJSON        = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
-	if err := run(*deploymentPath, *index, *dataDir, *fsync, *snapEvery, *pipeline, *resolveEvery); err != nil {
+	if err := run(*deploymentPath, *index, *dataDir, *fsync, *snapEvery, *pipeline, *resolveEvery, *metricsAddr, *logLevel, *logJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "fides-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int, resolveEvery time.Duration) error {
+func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int, resolveEvery time.Duration, metricsAddr, logLevel string, logJSON bool) error {
 	d, err := deploy.Load(path)
 	if err != nil {
 		return err
@@ -87,6 +101,16 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 	}
 	dir := d.Directory()
 
+	// One process-wide observability bundle: every component reports into
+	// the same registry (served on -metrics-addr) and logs through the same
+	// leveled structured logger, tagged with this server's id.
+	o := &obs.Obs{
+		Metrics: obs.NewRegistry(),
+		Logger:  obs.NewLogger(os.Stderr, logLevel, logJSON).With("component", "fides-server"),
+	}
+	o = o.With(obs.L("server", string(ident.ID)))
+	logger := o.Log()
+
 	if dataDir == "" {
 		dataDir = d.DataDir
 	}
@@ -107,6 +131,7 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 		Identity:  ident,
 		Registry:  reg,
 		Directory: dir,
+		Obs:       o,
 		// Always armed in multi-process deployments, not only when this
 		// process believes pipelining is on: -pipeline is a per-process
 		// override, so the coordinator may pipeline while a cohort's
@@ -127,6 +152,7 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 			Dir:           filepath.Join(dataDir, string(ident.ID)),
 			Fsync:         mode,
 			SnapshotEvery: snapEvery,
+			Obs:           o,
 		})
 		if err != nil {
 			return err
@@ -154,16 +180,11 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 		scfg.Shard = rec.Shard
 		scfg.Log = log
 		scfg.Snapshot = dstore
-		fmt.Printf("server %s recovered %d blocks (fsync=%s", ident.ID, len(rec.Blocks), mode)
-		if rec.SnapshotUsed {
-			fmt.Printf(", snapshot at height %d", rec.SnapshotHeight)
-		}
-		if rec.Scan.TornTail {
-			fmt.Printf(", truncated %d torn bytes", rec.Scan.TornBytes)
-		}
-		fmt.Println(")")
+		logger.Info("recovered", "blocks", len(rec.Blocks), "fsync", mode.String(),
+			"snapshot_used", rec.SnapshotUsed, "snapshot_height", rec.SnapshotHeight,
+			"torn_tail", rec.Scan.TornTail, "torn_bytes", rec.Scan.TornBytes)
 		for _, w := range rec.Warnings {
-			fmt.Printf("server %s recovery warning: %s\n", ident.ID, w)
+			logger.Warn("recovery warning", "warning", w)
 		}
 	}
 
@@ -196,6 +217,23 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 		defer stopResolver()
 	}
 
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := obs.NewServeMux(o.Metrics, func() bool { return true })
+		msrv := &http.Server{Handler: mux}
+		go func() {
+			if serr := msrv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+				logger.Error("metrics server failed", "err", serr)
+			}
+		}()
+		defer func() { _ = msrv.Close() }()
+		logger.Info("observability endpoint up", "addr", ln.Addr().String(),
+			"paths", "/metrics /healthz /debug/pprof/")
+	}
+
 	if index == 0 {
 		coord, err := tfcommit.New(tfcommit.Config{
 			Identity:  ident,
@@ -203,6 +241,7 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 			Transport: node,
 			Servers:   d.ServerIDs(),
 			Local:     srv,
+			Obs:       o,
 		})
 		if err != nil {
 			return err
@@ -220,18 +259,18 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 			}
 			committer = core.NewPipelineCommitter(pipe)
 		}
-		batcher := core.NewPipelinedBatcher(committer, reg, d.BatchSize, 5*time.Millisecond, pipeline)
+		batcher := core.NewPipelinedBatcherObs(committer, reg, d.BatchSize, 5*time.Millisecond, pipeline, o)
 		batcher.Observe(srv.LastCommitted())
 		defer batcher.Close()
 		srv.SetTerminator(batcher)
-		fmt.Printf("server %s (coordinator, pipeline=%d) listening on %s\n", ident.ID, pipeline, node.Addr())
+		logger.Info("listening", "addr", node.Addr(), "role", "coordinator", "pipeline", pipeline)
 	} else {
-		fmt.Printf("server %s listening on %s\n", ident.ID, node.Addr())
+		logger.Info("listening", "addr", node.Addr(), "role", "cohort")
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("server %s shutting down (%d blocks logged)\n", ident.ID, srv.Log().Len())
+	logger.Info("shutting down", "blocks_logged", srv.Log().Len())
 	return nil
 }

@@ -13,6 +13,8 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -118,6 +120,17 @@ type Metrics struct {
 	LatencyMS float64
 	// EndToEndMS is the mean observed end_transaction→decision time.
 	EndToEndMS float64
+	// P50MS, P95MS and P99MS are percentiles of the same per-request
+	// end_transaction→decision distribution EndToEndMS averages, and MaxMS
+	// is its worst case. The mean hides tail stalls (a wedged phase-5
+	// retry, a group-commit fsync convoy); the tail series make them
+	// visible per experiment. When aggregating several runs the
+	// percentiles are averaged like the other rate fields, while MaxMS is
+	// the maximum over the runs.
+	P50MS float64
+	P95MS float64
+	P99MS float64
+	MaxMS float64
 	// MHTUpdateMS is the mean per-block Merkle-tree update time across
 	// servers (Figure 14's third series).
 	MHTUpdateMS float64
@@ -218,8 +231,7 @@ func drive(cluster *core.Cluster, cfg RunConfig) (*Metrics, error) {
 	close(results)
 
 	m := &Metrics{Config: cfg, Runs: 1}
-	var latSum time.Duration
-	var latN int
+	var lats []time.Duration
 	for r := range results {
 		if r.err != nil {
 			return nil, fmt.Errorf("bench: workload driver: %w", r.err)
@@ -227,18 +239,24 @@ func drive(cluster *core.Cluster, cfg RunConfig) (*Metrics, error) {
 		m.Committed += r.committed
 		m.Aborted += r.aborted
 		m.Rejected += r.rejected
-		for _, l := range r.latencies {
-			latSum += l
-			latN++
-		}
+		lats = append(lats, r.latencies...)
 	}
 	m.Elapsed = time.Since(start)
 	if m.Committed > 0 {
 		m.ThroughputTPS = float64(m.Committed) / m.Elapsed.Seconds()
 		m.LatencyMS = m.Elapsed.Seconds() * 1000 / float64(m.Committed)
 	}
-	if latN > 0 {
-		m.EndToEndMS = (latSum / time.Duration(latN)).Seconds() * 1000
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var latSum time.Duration
+		for _, l := range lats {
+			latSum += l
+		}
+		m.EndToEndMS = (latSum / time.Duration(len(lats))).Seconds() * 1000
+		m.P50MS = percentileMS(lats, 50)
+		m.P95MS = percentileMS(lats, 95)
+		m.P99MS = percentileMS(lats, 99)
+		m.MaxMS = lats[len(lats)-1].Seconds() * 1000
 	}
 
 	// Aggregate Merkle-update cost and block count across servers.
@@ -254,6 +272,22 @@ func drive(cluster *core.Cluster, cfg RunConfig) (*Metrics, error) {
 	}
 	m.Blocks = cluster.ServerAt(0).Log().Len()
 	return m, nil
+}
+
+// percentileMS returns the p-th percentile (nearest-rank) of an ascending
+// latency slice, in milliseconds.
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Seconds() * 1000
 }
 
 // runPlan executes one transaction plan with retries. A rejection (stale

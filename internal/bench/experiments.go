@@ -71,13 +71,22 @@ func averagedWith(cfg RunConfig, runs int, perRun func(*RunConfig) (cleanup func
 		acc.ThroughputTPS += m.ThroughputTPS
 		acc.LatencyMS += m.LatencyMS
 		acc.EndToEndMS += m.EndToEndMS
+		acc.P50MS += m.P50MS
+		acc.P95MS += m.P95MS
+		acc.P99MS += m.P99MS
 		acc.MHTUpdateMS += m.MHTUpdateMS
 		acc.Blocks += m.Blocks
+		if m.MaxMS > acc.MaxMS {
+			acc.MaxMS = m.MaxMS
+		}
 	}
 	f := float64(runs)
 	acc.ThroughputTPS /= f
 	acc.LatencyMS /= f
 	acc.EndToEndMS /= f
+	acc.P50MS /= f
+	acc.P95MS /= f
+	acc.P99MS /= f
 	acc.MHTUpdateMS /= f
 	return &acc, nil
 }
@@ -96,8 +105,9 @@ func Fig12(w io.Writer, opts Options) ([]Fig12Row, error) {
 	opts.applyDefaults()
 	fmt.Fprintf(w, "Figure 12 — 2PC vs TFCommit (1 txn/block, 10000 items/shard, %d txns, avg of %d runs)\n",
 		opts.Requests, opts.Runs)
-	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s %10s %10s\n",
-		"servers", "2pc_tps", "2pc_lat_ms", "tfc_tps", "tfc_lat_ms", "lat_ratio", "tps_ratio")
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s %9s %9s %9s %10s %10s\n",
+		"servers", "2pc_tps", "2pc_lat_ms", "tfc_tps", "tfc_lat_ms",
+		"tfc_p50", "tfc_p95", "tfc_p99", "lat_ratio", "tps_ratio")
 
 	var rows []Fig12Row
 	for servers := 3; servers <= 7; servers++ {
@@ -123,9 +133,10 @@ func Fig12(w io.Writer, opts Options) ([]Fig12Row, error) {
 			ThroughRatio: m2pc.ThroughputTPS / mTFC.ThroughputTPS,
 		}
 		rows = append(rows, row)
-		fmt.Fprintf(w, "%-8d %12.0f %12.3f %12.0f %12.3f %10.2f %10.2f\n",
+		fmt.Fprintf(w, "%-8d %12.0f %12.3f %12.0f %12.3f %9.3f %9.3f %9.3f %10.2f %10.2f\n",
 			servers, m2pc.ThroughputTPS, m2pc.LatencyMS,
-			mTFC.ThroughputTPS, mTFC.LatencyMS, row.LatRatio, row.ThroughRatio)
+			mTFC.ThroughputTPS, mTFC.LatencyMS,
+			mTFC.P50MS, mTFC.P95MS, mTFC.P99MS, row.LatRatio, row.ThroughRatio)
 	}
 	return rows, nil
 }
@@ -137,7 +148,8 @@ func Fig13(w io.Writer, opts Options) ([]*Metrics, error) {
 	opts.applyDefaults()
 	fmt.Fprintf(w, "Figure 13 — transactions per block (5 servers, 10000 items/shard, %d txns, avg of %d runs)\n",
 		opts.Requests, opts.Runs)
-	fmt.Fprintf(w, "%-10s %12s %12s %10s\n", "txns/blk", "tput_tps", "lat_ms", "blocks")
+	fmt.Fprintf(w, "%-10s %12s %12s %9s %9s %9s %10s\n",
+		"txns/blk", "tput_tps", "lat_ms", "p50_ms", "p95_ms", "p99_ms", "blocks")
 
 	var out []*Metrics
 	for _, batch := range []int{2, 20, 40, 60, 80, 100, 120} {
@@ -149,7 +161,8 @@ func Fig13(w io.Writer, opts Options) ([]*Metrics, error) {
 			return nil, fmt.Errorf("fig13 batch=%d: %w", batch, err)
 		}
 		out = append(out, m)
-		fmt.Fprintf(w, "%-10d %12.0f %12.3f %10d\n", batch, m.ThroughputTPS, m.LatencyMS, m.Blocks/opts.Runs)
+		fmt.Fprintf(w, "%-10d %12.0f %12.3f %9.3f %9.3f %9.3f %10d\n",
+			batch, m.ThroughputTPS, m.LatencyMS, m.P50MS, m.P95MS, m.P99MS, m.Blocks/opts.Runs)
 	}
 	return out, nil
 }
@@ -163,7 +176,8 @@ func Fig14(w io.Writer, opts Options) ([]*Metrics, error) {
 	opts.applyDefaults()
 	fmt.Fprintf(w, "Figure 14 — number of servers (100 txn/block, 10000 items/shard, %d txns, avg of %d runs)\n",
 		opts.Requests, opts.Runs)
-	fmt.Fprintf(w, "%-8s %12s %12s %14s\n", "servers", "tput_tps", "lat_ms", "mht_upd_ms")
+	fmt.Fprintf(w, "%-8s %12s %12s %9s %9s %9s %14s\n",
+		"servers", "tput_tps", "lat_ms", "p50_ms", "p95_ms", "p99_ms", "mht_upd_ms")
 
 	var out []*Metrics
 	for servers := 3; servers <= 9; servers++ {
@@ -175,7 +189,8 @@ func Fig14(w io.Writer, opts Options) ([]*Metrics, error) {
 			return nil, fmt.Errorf("fig14 servers=%d: %w", servers, err)
 		}
 		out = append(out, m)
-		fmt.Fprintf(w, "%-8d %12.0f %12.3f %14.3f\n", servers, m.ThroughputTPS, m.LatencyMS, m.MHTUpdateMS)
+		fmt.Fprintf(w, "%-8d %12.0f %12.3f %9.3f %9.3f %9.3f %14.3f\n",
+			servers, m.ThroughputTPS, m.LatencyMS, m.P50MS, m.P95MS, m.P99MS, m.MHTUpdateMS)
 	}
 	return out, nil
 }
@@ -189,7 +204,8 @@ func Durability(w io.Writer, opts Options) ([]*Metrics, error) {
 	opts.applyDefaults()
 	fmt.Fprintf(w, "Durability — WAL cost on TFCommit (5 servers, 100 txn/block, %d txns, avg of %d runs)\n",
 		opts.Requests, opts.Runs)
-	fmt.Fprintf(w, "%-10s %12s %12s %10s\n", "wal", "tput_tps", "lat_ms", "blocks")
+	fmt.Fprintf(w, "%-10s %12s %12s %9s %9s %9s %10s\n",
+		"wal", "tput_tps", "lat_ms", "p50_ms", "p95_ms", "p99_ms", "blocks")
 
 	modes := []struct {
 		name    string
@@ -224,7 +240,8 @@ func Durability(w io.Writer, opts Options) ([]*Metrics, error) {
 			return nil, fmt.Errorf("durability wal=%s: %w", m.name, err)
 		}
 		out = append(out, acc)
-		fmt.Fprintf(w, "%-10s %12.0f %12.3f %10d\n", m.name, acc.ThroughputTPS, acc.LatencyMS, acc.Blocks/opts.Runs)
+		fmt.Fprintf(w, "%-10s %12.0f %12.3f %9.3f %9.3f %9.3f %10d\n",
+			m.name, acc.ThroughputTPS, acc.LatencyMS, acc.P50MS, acc.P95MS, acc.P99MS, acc.Blocks/opts.Runs)
 	}
 	return out, nil
 }
@@ -279,8 +296,9 @@ func Pipeline(w io.Writer, opts Options) ([]*Metrics, error) {
 	const clients = 128
 	fmt.Fprintf(w, "Pipeline — pipelined TFCommit vs serial (5 servers, %d clients, %d txns, avg of %d runs)\n",
 		clients, opts.Requests, opts.Runs)
-	fmt.Fprintf(w, "%-14s %6s %9s %9s %7s %12s %12s %10s %9s\n",
-		"config", "batch", "lat_1way", "pipeline", "coords", "tput_tps", "lat_ms", "blocks", "speedup")
+	fmt.Fprintf(w, "%-14s %6s %9s %9s %7s %12s %12s %9s %9s %9s %10s %9s\n",
+		"config", "batch", "lat_1way", "pipeline", "coords", "tput_tps", "lat_ms",
+		"p50_ms", "p95_ms", "p99_ms", "blocks", "speedup")
 
 	var out []*Metrics
 	for _, pp := range pipelinePoints {
@@ -303,9 +321,9 @@ func Pipeline(w io.Writer, opts Options) ([]*Metrics, error) {
 			if serialTPS > 0 {
 				speedup = acc.ThroughputTPS / serialTPS
 			}
-			fmt.Fprintf(w, "%-14s %6d %9s %9d %7d %12.0f %12.3f %10d %8.2fx\n",
+			fmt.Fprintf(w, "%-14s %6d %9s %9d %7d %12.0f %12.3f %9.3f %9.3f %9.3f %10d %8.2fx\n",
 				pt.Name, pp.Batch, pp.Latency, pt.Pipeline, pt.Coordinators, acc.ThroughputTPS,
-				acc.LatencyMS, acc.Blocks/opts.Runs, speedup)
+				acc.LatencyMS, acc.P50MS, acc.P95MS, acc.P99MS, acc.Blocks/opts.Runs, speedup)
 		}
 	}
 	return out, nil
@@ -319,7 +337,8 @@ func Fig15(w io.Writer, opts Options) ([]*Metrics, error) {
 	opts.applyDefaults()
 	fmt.Fprintf(w, "Figure 15 — items per shard (5 servers, 100 txn/block, %d txns, avg of %d runs)\n",
 		opts.Requests, opts.Runs)
-	fmt.Fprintf(w, "%-10s %12s %12s %14s\n", "items", "tput_tps", "lat_ms", "mht_upd_ms")
+	fmt.Fprintf(w, "%-10s %12s %12s %9s %9s %9s %14s\n",
+		"items", "tput_tps", "lat_ms", "p50_ms", "p95_ms", "p99_ms", "mht_upd_ms")
 
 	var out []*Metrics
 	for items := 1000; items <= 10000; items += 1000 {
@@ -331,7 +350,8 @@ func Fig15(w io.Writer, opts Options) ([]*Metrics, error) {
 			return nil, fmt.Errorf("fig15 items=%d: %w", items, err)
 		}
 		out = append(out, m)
-		fmt.Fprintf(w, "%-10d %12.0f %12.3f %14.3f\n", items, m.ThroughputTPS, m.LatencyMS, m.MHTUpdateMS)
+		fmt.Fprintf(w, "%-10d %12.0f %12.3f %9.3f %9.3f %9.3f %14.3f\n",
+			items, m.ThroughputTPS, m.LatencyMS, m.P50MS, m.P95MS, m.P99MS, m.MHTUpdateMS)
 	}
 	return out, nil
 }

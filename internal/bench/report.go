@@ -28,6 +28,10 @@ type Row struct {
 	TPS           float64 `json:"tps"`
 	LatMS         float64 `json:"lat_ms"`
 	EndToEndMS    float64 `json:"end_to_end_ms"`
+	P50MS         float64 `json:"p50_ms,omitempty"`
+	P95MS         float64 `json:"p95_ms,omitempty"`
+	P99MS         float64 `json:"p99_ms,omitempty"`
+	MaxMS         float64 `json:"max_ms,omitempty"`
 	MHTUpdateMS   float64 `json:"mht_update_ms"`
 	Blocks        float64 `json:"blocks_per_run"`
 	Aborted       float64 `json:"aborted_per_run"`
@@ -91,6 +95,10 @@ func RowFromMetrics(experiment string, m *Metrics) Row {
 		TPS:           m.ThroughputTPS,
 		LatMS:         m.LatencyMS,
 		EndToEndMS:    m.EndToEndMS,
+		P50MS:         m.P50MS,
+		P95MS:         m.P95MS,
+		P99MS:         m.P99MS,
+		MaxMS:         m.MaxMS,
 		MHTUpdateMS:   m.MHTUpdateMS,
 		Blocks:        float64(m.Blocks) / f,
 		Aborted:       float64(m.Aborted) / f,

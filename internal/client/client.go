@@ -12,11 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cosi"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/lightclient"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -51,6 +53,11 @@ type Config struct {
 	// one Verifier — the header cache is shared state. Nil leaves only
 	// the plain audit-time-checked Read available.
 	Verifier *lightclient.Client
+	// Obs supplies metrics and tracing. A configured tracer makes every
+	// Commit mint a root span whose context rides the authenticated frames
+	// to the coordinator and cohorts, so the whole commit path of one
+	// transaction reconstructs as a single trace. Nil runs dark.
+	Obs *obs.Obs
 }
 
 // Client executes transactions against a Fides deployment. A Client may
@@ -64,6 +71,9 @@ type Client struct {
 	coord    identity.NodeID
 	trusted  bool
 	verifier *lightclient.Client
+	o        *obs.Obs
+
+	commitHist *obs.Histogram
 
 	mu     sync.Mutex
 	clock  txn.TSSource
@@ -83,14 +93,16 @@ func New(cfg Config) (*Client, error) {
 		clock = txn.NewClock(cfg.ClientID)
 	}
 	return &Client{
-		ident:    cfg.Identity,
-		reg:      cfg.Registry,
-		tr:       cfg.Transport,
-		dir:      cfg.Directory,
-		coord:    cfg.Coordinator,
-		trusted:  cfg.TrustedMode,
-		verifier: cfg.Verifier,
-		clock:    clock,
+		ident:      cfg.Identity,
+		reg:        cfg.Registry,
+		tr:         cfg.Transport,
+		dir:        cfg.Directory,
+		coord:      cfg.Coordinator,
+		trusted:    cfg.TrustedMode,
+		verifier:   cfg.Verifier,
+		o:          cfg.Obs,
+		commitHist: cfg.Obs.Histogram("fides_client_commit_seconds", "End-to-end Commit latency at the client: end_transaction sent to decision verified.", nil),
+		clock:      clock,
 	}, nil
 }
 
@@ -334,7 +346,28 @@ func (s *Session) Commit(ctx context.Context) (*CommitResult, error) {
 		return nil, ErrSessionDone
 	}
 	s.done = true
+	start := time.Now()
+	ctx, span := s.client.o.StartRoot(ctx, "client.commit", "txn", s.id)
+	res, err := s.commit(ctx)
+	s.client.commitHist.ObserveSince(start)
+	if err != nil {
+		span.EndErr(err)
+		return res, err
+	}
+	switch {
+	case res.Rejected:
+		span.SetAttr("outcome", "rejected")
+	case res.Committed:
+		span.SetAttr("outcome", "commit")
+	default:
+		span.SetAttr("outcome", "abort")
+	}
+	span.End()
+	return res, nil
+}
 
+// commit is the body of Commit, running inside the root span.
+func (s *Session) commit(ctx context.Context) (*CommitResult, error) {
 	t := &txn.Transaction{ID: s.id, TS: s.client.nextTS(), Reads: s.reads, Writes: s.writes}
 	// The client signs the canonical binary encoding of the transaction;
 	// servers store this envelope in the block, so the auditor can later

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -71,6 +72,10 @@ type Batcher struct {
 	batchSize int
 	maxWait   time.Duration
 	depth     int
+	o         *obs.Obs
+
+	terminateHist *obs.Histogram
+	batchTxns     *obs.Histogram
 
 	queue chan *pendingTxn
 	wake  chan struct{} // nudges gather when an in-flight block completes
@@ -131,6 +136,10 @@ type pendingTxn struct {
 	t    *txn.Transaction
 	env  identity.Envelope
 	resp chan termResult
+	// sc is the client's commit-trace context (propagated in the
+	// authenticated frame); the block's protocol round adopts the first
+	// traced transaction's context so the round nests under its trace.
+	sc obs.SpanContext
 }
 
 type termResult struct {
@@ -153,6 +162,13 @@ func NewBatcher(committer BlockCommitter, reg *identity.Registry, batchSize int,
 // sequential service of NewBatcher). The committer must tolerate depth
 // concurrent CommitBlock calls; tfcommit.Pipeline does.
 func NewPipelinedBatcher(committer BlockCommitter, reg *identity.Registry, batchSize int, maxWait time.Duration, depth int) *Batcher {
+	return NewPipelinedBatcherObs(committer, reg, batchSize, maxWait, depth, nil)
+}
+
+// NewPipelinedBatcherObs is NewPipelinedBatcher with an observability
+// bundle: terminate latency and block-size instruments, plus trace
+// propagation from client commit spans into the protocol rounds.
+func NewPipelinedBatcherObs(committer BlockCommitter, reg *identity.Registry, batchSize int, maxWait time.Duration, depth int, o *obs.Obs) *Batcher {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -163,14 +179,17 @@ func NewPipelinedBatcher(committer BlockCommitter, reg *identity.Registry, batch
 		depth = 1
 	}
 	b := &Batcher{
-		committer: committer,
-		reg:       reg,
-		batchSize: batchSize,
-		maxWait:   maxWait,
-		depth:     depth,
-		queue:     make(chan *pendingTxn, 16*batchSize+64),
-		wake:      make(chan struct{}, 1),
-		stopped:   make(chan struct{}),
+		committer:     committer,
+		reg:           reg,
+		batchSize:     batchSize,
+		maxWait:       maxWait,
+		depth:         depth,
+		o:             o,
+		terminateHist: o.Histogram("fides_batcher_terminate_seconds", "Terminate latency at the coordinator's batching service: request admitted to decision distributed.", nil),
+		batchTxns:     o.Histogram("fides_batcher_block_txns", "Transactions packed per dispatched block.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		queue:         make(chan *pendingTxn, 16*batchSize+64),
+		wake:          make(chan struct{}, 1),
+		stopped:       make(chan struct{}),
 	}
 	b.wg.Add(1)
 	go b.run()
@@ -182,10 +201,17 @@ var _ server.Terminator = (*Batcher)(nil)
 // Terminate implements server.Terminator: verify the client's signed
 // request, enqueue it, and wait for its block's decision.
 func (b *Batcher) Terminate(ctx context.Context, env identity.Envelope) (*wire.EndTxnResp, error) {
+	start := time.Now()
+	ctx, span := b.o.Start(ctx, "batcher.terminate")
+	defer func() {
+		span.End()
+		b.terminateHist.ObserveSince(start)
+	}()
 	t, err := server.DecodeTxnEnvelope(b.reg, env)
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr("txn", t.ID)
 	// "The servers ignore any end transaction request with a timestamp
 	// lower than the latest committed timestamp" (§4.3.1). Rejecting here —
 	// with a clock hint — spares the whole batch from a doomed block.
@@ -201,6 +227,9 @@ func (b *Batcher) Terminate(ctx context.Context, env identity.Envelope) (*wire.E
 	}
 
 	p := &pendingTxn{t: t, env: env, resp: make(chan termResult, 1)}
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		p.sc = sc
+	}
 	select {
 	case b.queue <- p:
 	case <-b.stopped:
@@ -431,6 +460,7 @@ func (b *Batcher) commitBatch(batch []*pendingTxn) {
 		return
 	}
 	remaining := batch
+	bctx := b.batchCtx(batch)
 	for round := 0; ; round++ {
 		txns := make([]*txn.Transaction, len(remaining))
 		envs := make([]identity.Envelope, len(remaining))
@@ -438,7 +468,7 @@ func (b *Batcher) commitBatch(batch []*pendingTxn) {
 			txns[i] = p.t
 			envs[i] = p.env
 		}
-		block, committed, failed, err := b.committer.CommitBlock(context.Background(), txns, envs)
+		block, committed, failed, err := b.committer.CommitBlock(bctx, txns, envs)
 		if err != nil {
 			for _, p := range remaining {
 				p.resp <- termResult{err: fmt.Errorf("core: block commit failed: %w", err)}
@@ -479,6 +509,20 @@ func (b *Batcher) commitBatch(batch []*pendingTxn) {
 // maxPrunes bounds the §4.6 prune-and-retry rounds per block.
 const maxPrunes = 4
 
+// batchCtx is the context a block's protocol round runs under: detached
+// from any single request's cancellation (the round must finish for every
+// batchmate), but carrying the first traced transaction's span context so
+// the round nests under that client's commit trace.
+func (b *Batcher) batchCtx(batch []*pendingTxn) context.Context {
+	b.batchTxns.Observe(float64(len(batch)))
+	for _, p := range batch {
+		if p.sc.Valid() {
+			return obs.ContextWithSpanContext(context.Background(), p.sc)
+		}
+	}
+	return context.Background()
+}
+
 // enqueueBatchVia claims one block's chain position through a
 // position-sequencing committer — synchronously, so the caller controls
 // commit order — and returns the function that completes the round and
@@ -494,7 +538,7 @@ func (b *Batcher) enqueueBatchVia(rc RetryCommitter, batch []*pendingTxn, maxPru
 	dropped := make([]bool, len(batch))
 	// The callback runs in the committer's round goroutine strictly before
 	// wait returns, so the dropped slice needs no locking.
-	wait, err := rc.EnqueueBlockRetry(context.Background(), txns, envs, maxPrunes, func(i int, abortBlock *ledger.Block) {
+	wait, err := rc.EnqueueBlockRetry(b.batchCtx(batch), txns, envs, maxPrunes, func(i int, abortBlock *ledger.Block) {
 		dropped[i] = true
 		batch[i].resp <- termResult{resp: &wire.EndTxnResp{Committed: false, Block: abortBlock}}
 	})

@@ -22,6 +22,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/lightclient"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/tfcommit"
@@ -126,6 +127,13 @@ type Config struct {
 	// server fail at exactly that point; the simulation harness uses this
 	// to crash servers between the effects a real crash can separate.
 	CrashHook func(id identity.NodeID, point string, height uint64) error
+	// Obs supplies the cluster-wide observability bundle: a metrics
+	// registry (served by cmd/fides-server's -metrics-addr), an optional
+	// tracer (the simulation harness injects a virtual-clock one), and a
+	// structured logger. Nil defaults to a bundle with a fresh registry, no
+	// tracer and a discard logger, so Metrics() always works. Each server
+	// observes through a derived bundle labeled {server="sNN"}.
+	Obs *obs.Obs
 	// ResolveInterval, when positive, starts a background decision resolver
 	// on every server of a TFCommit cluster: each server periodically asks
 	// its peers for decisions it is missing and pulls any verified log
@@ -180,6 +188,7 @@ func ServerName(i int) identity.NodeID {
 // Cluster is a running Fides deployment.
 type Cluster struct {
 	cfg       Config
+	o         *obs.Obs
 	net       *transport.LocalNetwork
 	reg       *identity.Registry
 	dir       *Directory
@@ -244,8 +253,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, errors.New("core: Pipeline and Coordinators require TFCommit")
 	}
 
+	o := cfg.Obs
+	if o == nil {
+		o = &obs.Obs{Metrics: obs.NewRegistry()}
+	}
 	c := &Cluster{
 		cfg:       cfg,
+		o:         o,
 		net:       transport.NewLocalNetwork(cfg.NetworkLatency),
 		reg:       identity.NewRegistry(),
 		servers:   make(map[identity.NodeID]*server.Server, cfg.NumServers),
@@ -313,11 +327,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	endpoints := make(map[identity.NodeID]transport.Transport, cfg.NumServers)
 	for i := 0; i < cfg.NumServers; i++ {
 		id := c.serverIDs[i]
+		so := o.With(obs.L("server", string(id)))
 		scfg := server.Config{
 			Identity:  idents[i],
 			Registry:  c.reg,
 			Directory: c.dir,
 			Faults:    cfg.ServerFaults[i],
+			Obs:       so,
 		}
 		if cfg.CrashHook != nil {
 			hook, sid := cfg.CrashHook, id
@@ -338,6 +354,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				Dir:           filepath.Join(cfg.DataDir, string(id)),
 				Fsync:         cfg.Fsync,
 				SnapshotEvery: cfg.SnapshotEvery,
+				Obs:           so,
 			}
 			if cfg.CrashHook != nil {
 				hook, sid := cfg.CrashHook, id
@@ -442,6 +459,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				Servers:   c.serverIDs,
 				Local:     c.servers[id],
 				Faults:    cfg.CoordinatorFaults,
+				Obs:       o.With(obs.L("server", string(id))),
 			}
 			if cfg.CrashHook != nil {
 				hook, cid := cfg.CrashHook, id
@@ -488,7 +506,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
 	}
 
-	c.batcher = NewPipelinedBatcher(committer, c.reg, cfg.BatchSize, cfg.BatchWait, cfg.Pipeline)
+	c.batcher = NewPipelinedBatcherObs(committer, c.reg, cfg.BatchSize, cfg.BatchWait, cfg.Pipeline, o.With(obs.L("server", string(c.coordID))))
 	// A recovered coordinator keeps rejecting timestamps at or below the
 	// recovered watermark instead of letting doomed blocks reach cohorts.
 	c.batcher.Observe(coordSrv.LastCommitted())
@@ -603,6 +621,14 @@ func (a tpcAdapter) CommitBlock(ctx context.Context, txns []*txn.Transaction, en
 
 // Registry returns the cluster's shared public-key registry.
 func (c *Cluster) Registry() *identity.Registry { return c.reg }
+
+// Obs returns the cluster's observability bundle (never nil).
+func (c *Cluster) Obs() *obs.Obs { return c.o }
+
+// Metrics returns the cluster-wide metrics registry every component
+// reports into: per-server instruments carry a {server="sNN"} label, so
+// one exposition aggregates the whole deployment.
+func (c *Cluster) Metrics() *obs.Registry { return c.o.Metrics }
 
 // Directory returns the item→server directory.
 func (c *Cluster) Directory() *Directory { return c.dir }
@@ -734,6 +760,7 @@ func (c *Cluster) NewClientWithTS(ts txn.TSSource) (*client.Client, error) {
 		Coordinator: c.coordID,
 		ClientID:    seq,
 		TSSource:    ts,
+		Obs:         c.o,
 		// 2PC is the trusted baseline: its blocks carry no co-sign.
 		TrustedMode: c.cfg.Protocol == ProtocolTwoPC,
 	})
@@ -760,6 +787,7 @@ func (c *Cluster) NewLightClient() (*lightclient.Client, error) {
 		Transport: ep,
 		Layout:    c.dir,
 		Servers:   c.serverIDs,
+		Obs:       c.o,
 	})
 }
 
@@ -792,6 +820,7 @@ func (c *Cluster) NewVerifyingClient(lc *lightclient.Client) (*client.Client, *l
 		Coordinator: c.coordID,
 		ClientID:    seq,
 		Verifier:    lc,
+		Obs:         c.o,
 		TrustedMode: c.cfg.Protocol == ProtocolTwoPC,
 	})
 	if err != nil {

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCommitSpanTreeComplete drives one transaction through a real cluster
+// and reconstructs its trace: the root span minted at client submit must
+// reach the cohorts through the authenticated frames and come back as ONE
+// tree — an orphaned span means the context was dropped somewhere on the
+// commit path.
+func TestCommitSpanTreeComplete(t *testing.T) {
+	col := &obs.Collector{}
+	o := &obs.Obs{
+		Metrics: obs.NewRegistry(),
+		Tracer:  obs.NewTracer(obs.TracerConfig{Sink: col, Seed: 7}),
+	}
+	c := testCluster(t, Config{Obs: o})
+	ctx := context.Background()
+
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	s := cl.Begin()
+	if err := s.Write(ctx, ItemName(0, 1), []byte("traced")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	res, err := s.Commit(ctx)
+	if err != nil || !res.Committed {
+		t.Fatalf("commit: %v %+v", err, res)
+	}
+
+	spans := col.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans exported")
+	}
+	roots, orphans := obs.BuildSpanTree(spans)
+	if len(orphans) != 0 {
+		for _, o := range orphans {
+			t.Errorf("orphaned span %s (parent %s missing)", o.Name, o.Parent)
+		}
+		t.Fatalf("%d spans lost their parent", len(orphans))
+	}
+	if len(roots) != 1 {
+		var names []string
+		for _, r := range roots {
+			names = append(names, r.Rec.Name)
+		}
+		t.Fatalf("expected one root (client.commit), got %d: %v", len(roots), names)
+	}
+	root := roots[0]
+	if root.Rec.Name != "client.commit" {
+		t.Fatalf("root span = %q, want client.commit", root.Rec.Name)
+	}
+
+	// Every span of the tree belongs to the root's trace, and the tree
+	// reaches from the client through the coordinator phases down to the
+	// cohorts' apply.
+	seen := map[string]int{}
+	root.Walk(func(n *obs.SpanNode) {
+		seen[n.Rec.Name]++
+		if n.Rec.Trace != root.Rec.Trace {
+			t.Errorf("span %s has trace %s, want %s", n.Rec.Name, n.Rec.Trace, root.Rec.Trace)
+		}
+		if n.Rec.DurUS < 0 {
+			t.Errorf("span %s has negative duration %d", n.Rec.Name, n.Rec.DurUS)
+		}
+	})
+	for _, want := range []string{
+		"client.commit", "batcher.terminate", "tfcommit.round",
+		"tfcommit.vote", "tfcommit.challenge", "tfcommit.cosign", "tfcommit.decision",
+		"cohort.vote", "cohort.challenge", "cohort.decide", "cohort.apply",
+	} {
+		if seen[want] == 0 {
+			t.Errorf("span %q missing from the commit trace (have %v)", want, seen)
+		}
+	}
+	// Each of the 3 cohorts votes, answers the challenge and applies.
+	if seen["cohort.vote"] != 3 || seen["cohort.apply"] != 3 {
+		t.Errorf("cohort fan-out: vote=%d apply=%d, want 3 each", seen["cohort.vote"], seen["cohort.apply"])
+	}
+}
+
+// TestClusterMetricsAggregateAllServers checks that a cluster without an
+// injected Obs still mints a working registry and that one exposition
+// covers every server's commit-path instruments, labeled per server.
+func TestClusterMetricsAggregateAllServers(t *testing.T) {
+	c := testCluster(t, Config{})
+	ctx := context.Background()
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	s := cl.Begin()
+	if err := s.Write(ctx, ItemName(0, 2), []byte("metered")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if res, err := s.Commit(ctx); err != nil || !res.Committed {
+		t.Fatalf("commit: %v %+v", err, res)
+	}
+
+	var b strings.Builder
+	if err := c.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`fides_tfcommit_rounds_total{decision="commit",server="s00"} 1`,
+		`fides_client_commit_seconds_count 1`,
+		`fides_server_log_height{server="s01"} 1`,
+		`fides_batcher_block_txns_count{server="s00"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Per-phase histograms must have fired for all four phases.
+	for _, phase := range []string{"vote", "challenge", "cosign", "decision"} {
+		if !strings.Contains(out, `fides_tfcommit_phase_seconds_count{phase="`+phase+`",server="s00"} 1`) {
+			t.Errorf("phase histogram %q did not record (output:\n%s)", phase, out)
+		}
+	}
+}

@@ -35,6 +35,8 @@ package durable
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FsyncMode selects when WAL appends are flushed to stable storage.
@@ -114,6 +116,10 @@ type Options struct {
 	// use. It runs with the WAL lock held: it must not call back into the
 	// store (Fail/Sync/Append) — returning an error IS the freeze.
 	PreFsyncHook func(nextHeight uint64) error
+	// Obs supplies the observability bundle; nil disables exposition (the
+	// WAL still works, its instruments are just detached). The WAL
+	// registers fides_wal_append_seconds and fides_wal_fsync_seconds.
+	Obs *obs.Obs
 }
 
 func (o *Options) applyDefaults() {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/ledger"
+	"repro/internal/obs"
 )
 
 // WAL on-disk format (see docs/protocol.md):
@@ -70,6 +71,11 @@ type ScanReport struct {
 type WAL struct {
 	opts Options
 
+	// Commit-path durability instruments (detached when Options.Obs is
+	// nil, so Observe is always safe).
+	appendHist *obs.Histogram
+	fsyncHist  *obs.Histogram
+
 	mu         sync.Mutex
 	f          *os.File
 	size       int64
@@ -100,10 +106,12 @@ func openWAL(opts Options) (*WAL, [][]byte, ScanReport, error) {
 	report.Segments = len(names)
 
 	w := &WAL{
-		opts: opts,
-		wake: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		opts:       opts,
+		appendHist: opts.Obs.Histogram("fides_wal_append_seconds", "WAL block append latency, including the inline fsync under fsync=always.", nil),
+		fsyncHist:  opts.Obs.Histogram("fides_wal_fsync_seconds", "WAL file fsync latency (inline, group-commit and forced syncs).", nil),
+		wake:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 
 	var payloads [][]byte
@@ -311,9 +319,21 @@ func syncDir(dir string) {
 	_ = d.Close()
 }
 
+// fsyncFileLocked is the single timed fsync path: every WAL fsync (inline,
+// group-commit, forced) goes through it so fides_wal_fsync_seconds covers
+// them all.
+func (w *WAL) fsyncFileLocked() error {
+	start := time.Now()
+	err := w.f.Sync()
+	w.fsyncHist.ObserveSince(start)
+	return err
+}
+
 // Append writes one block to the WAL under the configured fsync discipline.
 // The block must extend the log (height == NextHeight).
 func (w *WAL) Append(b *ledger.Block) error {
+	start := time.Now()
+	defer func() { w.appendHist.ObserveSince(start) }()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -355,7 +375,7 @@ func (w *WAL) Append(b *ledger.Block) error {
 		if err := w.preFsyncLocked(); err != nil {
 			return fmt.Errorf("durable: fsync block %d: %w", b.Height, err)
 		}
-		if err := w.f.Sync(); err != nil {
+		if err := w.fsyncFileLocked(); err != nil {
 			w.syncErr = err
 			return fmt.Errorf("durable: fsync block %d: %w", b.Height, err)
 		}
@@ -375,7 +395,7 @@ func (w *WAL) rollLocked() error {
 		if err := w.preFsyncLocked(); err != nil {
 			return fmt.Errorf("durable: sync on roll: %w", err)
 		}
-		if err := w.f.Sync(); err != nil {
+		if err := w.fsyncFileLocked(); err != nil {
 			w.syncErr = err
 			return fmt.Errorf("durable: sync on roll: %w", err)
 		}
@@ -404,7 +424,7 @@ func (w *WAL) syncLoop() {
 		w.mu.Lock()
 		if w.dirty && w.syncErr == nil && !w.closed {
 			if err := w.preFsyncLocked(); err == nil {
-				if err := w.f.Sync(); err != nil {
+				if err := w.fsyncFileLocked(); err != nil {
 					w.syncErr = err
 				}
 				w.dirty = false
@@ -438,7 +458,7 @@ func (w *WAL) syncNowLocked() error {
 	if err := w.preFsyncLocked(); err != nil {
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.fsyncFileLocked(); err != nil {
 		w.syncErr = err
 		return err
 	}

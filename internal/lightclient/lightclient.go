@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -84,6 +85,10 @@ type Config struct {
 	// means a cold sync from height 0.
 	CheckpointHeight uint64
 	CheckpointHash   []byte
+
+	// Obs supplies metrics, tracing and logging; nil runs dark (detached
+	// instruments, discard logger).
+	Obs *obs.Obs
 }
 
 // Verification errors. Each names the check that failed, so a caller (or
@@ -136,7 +141,13 @@ type Client struct {
 	prevHash    []byte                       // hash of the last cached header (checkpoint hash before first sync)
 	rootHeights map[identity.NodeID][]uint64 // ascending heights carrying a root, per server
 	shards      map[identity.NodeID]*shardLayout
-	stats       Stats
+
+	// Registry-backed counters; Stats() is a thin view over these.
+	headersVerified *obs.Counter
+	syncPages       *obs.Counter
+	readsVerified   *obs.Counter
+	staleRetries    *obs.Counter
+	proofBytes      *obs.Histogram
 }
 
 // Stats counts the light client's work (read by fides-client -verify and
@@ -170,6 +181,7 @@ func New(cfg Config) (*Client, error) {
 	if pageSize == 0 {
 		pageSize = 512
 	}
+	o := cfg.Obs
 	c := &Client{
 		reg:         cfg.Registry,
 		tr:          cfg.Transport,
@@ -180,6 +192,12 @@ func New(cfg Config) (*Client, error) {
 		pageSize:    pageSize,
 		rootHeights: make(map[identity.NodeID][]uint64),
 		shards:      make(map[identity.NodeID]*shardLayout),
+
+		headersVerified: o.Counter("fides_lightclient_headers_verified_total", "Headers accepted into the light-client cache after co-sign and chain checks."),
+		syncPages:       o.Counter("fides_lightclient_sync_pages_total", "FetchHeaders round trips."),
+		readsVerified:   o.Counter("fides_lightclient_reads_verified_total", "Items whose values reproduced a committed shard root."),
+		staleRetries:    o.Counter("fides_lightclient_stale_retries_total", "Verified reads re-issued because the first response was superseded mid-sync."),
+		proofBytes:      o.Histogram("fides_lightclient_proof_bytes", "Verified-read Merkle proof size in bytes.", obs.SizeBuckets),
 	}
 	for _, id := range cfg.Servers {
 		c.signerSet[id] = struct{}{}
@@ -191,11 +209,16 @@ func New(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// Stats returns a snapshot of the client's counters.
+// Stats returns a snapshot of the client's counters. It is a thin view
+// over the registry-backed instruments that also feed /metrics
+// (fides_lightclient_*).
 func (c *Client) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.stats
+	return Stats{
+		HeadersVerified: int(c.headersVerified.Value()),
+		SyncPages:       int(c.syncPages.Value()),
+		ReadsVerified:   int(c.readsVerified.Value()),
+		StaleRetries:    int(c.staleRetries.Value()),
+	}
 }
 
 // SyncedHeight returns the exclusive upper bound of the cached chain (the
@@ -325,9 +348,9 @@ func (c *Client) appendVerified(page []*ledger.Header, from uint64) error {
 		for srv := range h.Roots {
 			c.rootHeights[srv] = append(c.rootHeights[srv], h.Height)
 		}
-		c.stats.HeadersVerified++
+		c.headersVerified.Inc()
 	}
-	c.stats.SyncPages++
+	c.syncPages.Inc()
 	return nil
 }
 

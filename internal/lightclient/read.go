@@ -102,9 +102,7 @@ func (c *Client) readShard(ctx context.Context, owner identity.NodeID, ids []txn
 	var lastErr error
 	for attempt := 0; attempt <= staleRetries; attempt++ {
 		if attempt > 0 {
-			c.mu.Lock()
-			c.stats.StaleRetries++
-			c.mu.Unlock()
+			c.staleRetries.Inc()
 		}
 		vals, err := c.readShardOnce(ctx, owner, ids, pinned, pin)
 		if err == nil || !errors.Is(err, ErrStaleRead) || pinned {
@@ -129,6 +127,7 @@ func (c *Client) readShardOnce(ctx context.Context, owner identity.NodeID, ids [
 	if err := resp.Decode(&vr); err != nil {
 		return nil, err
 	}
+	c.proofBytes.Observe(float64(len(vr.Proof.AppendBinary(nil))))
 	return c.VerifyRead(ctx, owner, ids, &vr, pinned, pin)
 }
 
@@ -249,8 +248,6 @@ func (c *Client) VerifyRead(ctx context.Context, owner identity.NodeID, ids []tx
 			Height: vr.Height,
 		}
 	}
-	c.mu.Lock()
-	c.stats.ReadsVerified += len(out)
-	c.mu.Unlock()
+	c.readsVerified.Add(uint64(len(out)))
 	return out, nil
 }

@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value dimension of an instrument.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets are the default latency histogram bounds in seconds: 10µs to
+// 2.5s, covering sub-millisecond in-memory commits through WAN rounds with
+// fsync-always WALs.
+var DefBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5,
+}
+
+// SizeBuckets are the default size histogram bounds in bytes (64B–1MiB).
+var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry. All
+// methods tolerate a nil receiver by minting detached instruments that
+// work but are not exported anywhere.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name, help, kind string
+	buckets          []float64
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+type series struct {
+	labels []Label
+	inst   any
+}
+
+// validName enforces the catalog naming rule: snake_case
+// [a-z][a-z0-9_]*, no trailing underscore.
+func validName(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return name[len(name)-1] != '_'
+}
+
+func (r *Registry) family(name, help, kind string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q (want snake_case)", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+func labelsKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(0x1f)
+		b.WriteString(l.Value)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// canonLabels sorts a copy of labels by key for stable series identity.
+func canonLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (f *family) instrument(labels []Label, mk func() any) any {
+	labels = canonLabels(labels)
+	key := labelsKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels, inst: mk()}
+		f.series[key] = s
+	}
+	return s.inst
+}
+
+// Counter returns the counter for name+labels, registering it on first
+// use. A nil registry returns a detached counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	f := r.family(name, help, kindCounter, nil)
+	return f.instrument(labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge for name+labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	f := r.family(name, help, kindGauge, nil)
+	return f.instrument(labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels with the given bucket
+// upper bounds (nil = DefBuckets). Bounds are fixed by the first
+// registration of the family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if r == nil {
+		return newHistogram(buckets)
+	}
+	f := r.family(name, help, kindHistogram, buckets)
+	return f.instrument(labels, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64, safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket latency/size histogram: per-bucket atomic
+// counts plus a CAS-maintained float64 sum, so Observe is lock-free.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot reads a consistent-enough view for exposition (buckets may lag
+// count by in-flight observations; Prometheus tolerates that).
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	cum = make([]uint64, len(h.bounds)+1)
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cum[i] = acc
+	}
+	return cum, h.Sum(), h.count.Load()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func appendLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (sorted by family name, then series labels), the
+// payload served at /metrics.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			sers = append(sers, f.series[k])
+		}
+		f.mu.Unlock()
+
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, s := range sers {
+			switch inst := s.inst.(type) {
+			case *Counter:
+				b.WriteString(f.name)
+				appendLabels(&b, s.labels)
+				fmt.Fprintf(&b, " %d\n", inst.Value())
+			case *Gauge:
+				b.WriteString(f.name)
+				appendLabels(&b, s.labels)
+				fmt.Fprintf(&b, " %d\n", inst.Value())
+			case *Histogram:
+				cum, sum, count := inst.snapshot()
+				for i, bound := range inst.bounds {
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					appendLabels(&b, s.labels, L("le", formatFloat(bound)))
+					fmt.Fprintf(&b, " %d\n", cum[i])
+				}
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				appendLabels(&b, s.labels, L("le", "+Inf"))
+				fmt.Fprintf(&b, " %d\n", cum[len(cum)-1])
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				appendLabels(&b, s.labels)
+				fmt.Fprintf(&b, " %s\n", formatFloat(sum))
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				appendLabels(&b, s.labels)
+				fmt.Fprintf(&b, " %d\n", count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Names returns the registered family names, sorted (for metriclint and
+// smoke assertions).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for name := range r.families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the exposition format byte for byte: the
+// payload is scraped by real Prometheus servers and parsed by
+// tools/metriclint and the CI metrics smoke, so format drift is a break.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fides_tfcommit_rounds_total", "Rounds by decision.", L("decision", "commit")).Add(7)
+	r.Counter("fides_tfcommit_rounds_total", "Rounds by decision.", L("decision", "abort")).Add(2)
+	r.Gauge("fides_server_log_height", "Tamper-proof log height.", L("server", "s00")).Set(9)
+	h := r.Histogram("fides_wal_fsync_seconds", "WAL fsync latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.5)
+	// Label values get escaped; keys are emitted sorted.
+	r.Counter("fides_test_escapes_total", "Escaping.", L("b", `quote " slash \`), L("a", "plain")).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition format drifted from %s (re-bless with -update):\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("fides_x_total", "x", L("k", "v"), L("j", "w"))
+	// Same family + same label set (any order) is the same instrument, so a
+	// restarted component re-attaches rather than shadowing the old series.
+	b := r.Counter("fides_x_total", "x", L("j", "w"), L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels minted two counters")
+	}
+	c := r.Counter("fides_x_total", "x", L("k", "other"))
+	if a == c {
+		t.Fatal("different labels shared an instrument")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("shared counter out of sync: %d", b.Value())
+	}
+}
+
+func TestRegistryRejectsBadNamesAndKindClash(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("uppercase", func() { r.Counter("Fides_total", "x") })
+	mustPanic("trailing underscore", func() { r.Counter("fides_total_", "x") })
+	mustPanic("empty", func() { r.Counter("", "x") })
+	r.Counter("fides_total", "x")
+	mustPanic("kind clash", func() { r.Gauge("fides_total", "x") })
+}
+
+func TestHistogramBucketsAndConcurrency(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5*8000 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	cum, _, _ := h.snapshot()
+	if cum[0] != 0 || cum[1] != 8000 || cum[2] != 8000 {
+		t.Fatalf("cumulative buckets = %v", cum)
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("fides_a_total", "x").Inc()
+	r.Gauge("fides_b", "x").Set(1)
+	r.Histogram("fides_c_seconds", "x", nil).Observe(1)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry has names")
+	}
+	var c *Counter
+	c.Inc()
+	var g *Gauge
+	g.Add(1)
+	var h *Histogram
+	h.Observe(1)
+}

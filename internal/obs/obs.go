@@ -1,0 +1,154 @@
+// Package obs is the repo's dependency-free observability layer: a
+// Prometheus-text-format metrics registry (counters, gauges, bucketed
+// histograms), commit-path tracing with spans that propagate through the
+// authenticated frame header, and structured logging via log/slog.
+//
+// Everything is nil-safe by design. Components receive a *Obs in their
+// Config and call its instrument constructors unconditionally; a nil *Obs
+// (or a nil Registry/Tracer/Logger inside one) degrades to detached
+// instruments, no-op spans and a discard logger, so tests and benchmarks
+// that do not opt in pay one predictable branch per call and produce no
+// output. The clock is injectable so the deterministic simulator can stamp
+// spans with virtual time.
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// Obs bundles the three observability facilities plus the base label set
+// that scopes them (e.g. server="s01" inside a multi-server cluster).
+// Construct one with the exported fields and derive per-component views
+// with With; all methods tolerate a nil receiver.
+type Obs struct {
+	// Metrics registers instruments; nil mints detached (unregistered but
+	// usable) instruments.
+	Metrics *Registry
+	// Tracer records commit-path spans; nil disables tracing.
+	Tracer *Tracer
+	// Logger is the structured logger; nil discards.
+	Logger *slog.Logger
+	// Labels are attached to every instrument created through this Obs and
+	// mirrored as attributes on Logger by With.
+	Labels []Label
+}
+
+// With derives an Obs whose instruments carry the extra labels and whose
+// logger carries them as attributes. Nil-safe: nil.With(...) is nil.
+func (o *Obs) With(labels ...Label) *Obs {
+	if o == nil {
+		return nil
+	}
+	d := &Obs{
+		Metrics: o.Metrics,
+		Tracer:  o.Tracer,
+		Logger:  o.Logger,
+		Labels:  append(append([]Label(nil), o.Labels...), labels...),
+	}
+	if d.Logger != nil {
+		args := make([]any, 0, 2*len(labels))
+		for _, l := range labels {
+			args = append(args, l.Key, l.Value)
+		}
+		d.Logger = d.Logger.With(args...)
+	}
+	return d
+}
+
+func (o *Obs) registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+func (o *Obs) merged(labels []Label) []Label {
+	if o == nil || len(o.Labels) == 0 {
+		return labels
+	}
+	return append(append([]Label(nil), o.Labels...), labels...)
+}
+
+// Counter registers (or finds) a counter named name with the Obs' base
+// labels plus labels.
+func (o *Obs) Counter(name, help string, labels ...Label) *Counter {
+	return o.registry().Counter(name, help, o.merged(labels)...)
+}
+
+// Gauge registers (or finds) a gauge.
+func (o *Obs) Gauge(name, help string, labels ...Label) *Gauge {
+	return o.registry().Gauge(name, help, o.merged(labels)...)
+}
+
+// Histogram registers (or finds) a histogram with the given bucket upper
+// bounds (nil = DefBuckets).
+func (o *Obs) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return o.registry().Histogram(name, help, buckets, o.merged(labels)...)
+}
+
+// Log returns the structured logger, or a discard logger when unset.
+func (o *Obs) Log() *slog.Logger {
+	if o == nil || o.Logger == nil {
+		return nopLogger
+	}
+	return o.Logger
+}
+
+// Start opens a child span when ctx carries a span context and a tracer is
+// configured; otherwise it returns ctx unchanged and a nil (no-op) span.
+// kv are alternating attribute key/value strings.
+func (o *Obs) Start(ctx context.Context, name string, kv ...string) (context.Context, *Span) {
+	if o == nil {
+		return ctx, nil
+	}
+	return o.Tracer.Start(ctx, name, kv...)
+}
+
+// StartRoot mints a fresh trace rooted at a new span (the client-submit
+// entry point). With no tracer it returns ctx unchanged and a nil span.
+func (o *Obs) StartRoot(ctx context.Context, name string, kv ...string) (context.Context, *Span) {
+	if o == nil {
+		return ctx, nil
+	}
+	return o.Tracer.StartRoot(ctx, name, kv...)
+}
+
+var nopLogger = slog.New(discardHandler{})
+
+// discardHandler is a slog.Handler that drops everything. (slog's own
+// DiscardHandler is newer than this module's minimum Go version.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// NewLogger builds a leveled text logger for CLI processes. JSON output is
+// selected by json; level is one of debug|info|warn|error (default info).
+func NewLogger(w interface{ Write([]byte) (int, error) }, level string, json bool) *slog.Logger {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// Since mirrors time.Since for instrument call sites; metrics timings use
+// the real clock even under simulation (they do not influence scheduling).
+func Since(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one transaction's end-to-end journey (client submit →
+// cohort fsync). The zero value means "untraced".
+type TraceID [16]byte
+
+// IsZero reports whether the ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as lowercase hex.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as lowercase hex.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated part of a span: what rides in the
+// authenticated frame header so a cohort's spans parent under the
+// coordinator phase that caused them.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether the context carries a live trace.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+type spanCtxKey struct{}
+
+// ContextWithSpanContext attaches sc to ctx; transports call this on the
+// receive side so handler spans inherit the sender's span as parent.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanContextFrom extracts the propagated span context, if any.
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// SpanRecord is the exported form of a finished span. Timestamps are
+// microseconds on the tracer's clock — wall time in processes, virtual
+// time under the simulator — so JSONL output is stable and comparable.
+type SpanRecord struct {
+	Trace   string            `json:"trace"`
+	Span    string            `json:"span"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanSink receives finished spans. Implementations must be safe for
+// concurrent use.
+type SpanSink interface {
+	ExportSpan(SpanRecord)
+}
+
+// TracerConfig assembles a Tracer.
+type TracerConfig struct {
+	// Sink receives finished spans; required.
+	Sink SpanSink
+	// Now supplies span timestamps; nil = time.Now. The simulator injects
+	// its virtual clock here so traces are deterministic.
+	Now func() time.Time
+	// Seed fixes ID generation for reproducible runs; 0 draws a random
+	// base from crypto/rand.
+	Seed int64
+}
+
+// Tracer mints trace/span IDs and exports finished spans to its sink.
+// A nil *Tracer is a valid no-op.
+type Tracer struct {
+	sink SpanSink
+	now  func() time.Time
+	base uint64
+	ctr  atomic.Uint64
+}
+
+// NewTracer builds a tracer.
+func NewTracer(cfg TracerConfig) *Tracer {
+	t := &Tracer{sink: cfg.Sink, now: cfg.Now}
+	if t.now == nil {
+		t.now = time.Now
+	}
+	if cfg.Seed != 0 {
+		t.base = splitmix64(uint64(cfg.Seed))
+	} else {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			t.base = binary.LittleEndian.Uint64(b[:])
+		} else {
+			t.base = uint64(time.Now().UnixNano())
+		}
+	}
+	return t
+}
+
+// splitmix64 spreads sequential counters into well-mixed IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) nextID() uint64 { return splitmix64(t.base + t.ctr.Add(1)) }
+
+// Span is one timed operation in a trace. A nil *Span is a valid no-op,
+// which is how untraced requests flow through instrumented code.
+type Span struct {
+	tracer *Tracer
+	sc     SpanContext
+	rec    SpanRecord
+	start  time.Time
+
+	mu    sync.Mutex
+	ended bool
+}
+
+// StartRoot mints a fresh trace with a root span. Used exactly once per
+// traced transaction, at client submit.
+func (t *Tracer) StartRoot(ctx context.Context, name string, kv ...string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var sc SpanContext
+	binary.BigEndian.PutUint64(sc.TraceID[0:8], t.nextID())
+	binary.BigEndian.PutUint64(sc.TraceID[8:16], t.nextID())
+	binary.BigEndian.PutUint64(sc.SpanID[:], t.nextID())
+	return t.start(ctx, sc, "", name, kv)
+}
+
+// Start opens a child of the span context carried by ctx. Without one the
+// request is untraced: Start returns ctx unchanged and a nil span.
+func (t *Tracer) Start(ctx context.Context, name string, kv ...string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent, ok := SpanContextFrom(ctx)
+	if !ok {
+		return ctx, nil
+	}
+	child := SpanContext{TraceID: parent.TraceID}
+	binary.BigEndian.PutUint64(child.SpanID[:], t.nextID())
+	return t.start(ctx, child, parent.SpanID.String(), name, kv)
+}
+
+func (t *Tracer) start(ctx context.Context, sc SpanContext, parent, name string, kv []string) (context.Context, *Span) {
+	s := &Span{
+		tracer: t,
+		sc:     sc,
+		start:  t.now(),
+		rec: SpanRecord{
+			Trace:  sc.TraceID.String(),
+			Span:   sc.SpanID.String(),
+			Parent: parent,
+			Name:   name,
+		},
+	}
+	s.setAttrs(kv)
+	return ContextWithSpanContext(ctx, sc), s
+}
+
+func (s *Span) setAttrs(kv []string) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		if s.rec.Attrs == nil {
+			s.rec.Attrs = make(map[string]string, len(kv)/2)
+		}
+		s.rec.Attrs[kv[i]] = kv[i+1]
+	}
+}
+
+// Context returns the span's propagated context (zero for a nil span).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr attaches a key/value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string, 2)
+	}
+	s.rec.Attrs[key] = value
+}
+
+// End finishes the span and exports it. Safe to call more than once (only
+// the first wins) and on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	end := s.tracer.now()
+	s.rec.StartUS = s.start.UnixMicro()
+	s.rec.DurUS = end.Sub(s.start).Microseconds()
+	rec := s.rec
+	s.mu.Unlock()
+	if s.tracer.sink != nil {
+		s.tracer.sink.ExportSpan(rec)
+	}
+}
+
+// EndErr finishes the span, recording err (when non-nil) as an attribute.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.SetAttr("error", err.Error())
+	}
+	s.End()
+}
+
+// JSONLExporter writes one JSON span record per line.
+type JSONLExporter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLExporter wraps w.
+func NewJSONLExporter(w io.Writer) *JSONLExporter {
+	return &JSONLExporter{enc: json.NewEncoder(w)}
+}
+
+// ExportSpan implements SpanSink.
+func (e *JSONLExporter) ExportSpan(r SpanRecord) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = e.enc.Encode(r)
+}
+
+// Collector buffers spans in memory for tests and sim assertions.
+type Collector struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// ExportSpan implements SpanSink.
+func (c *Collector) ExportSpan(r SpanRecord) {
+	c.mu.Lock()
+	c.spans = append(c.spans, r)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans in export order.
+func (c *Collector) Spans() []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanRecord(nil), c.spans...)
+}
+
+// Reset drops all collected spans.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.spans = nil
+	c.mu.Unlock()
+}
+
+// SpanNode is one node of a reconstructed span tree.
+type SpanNode struct {
+	Rec      SpanRecord
+	Children []*SpanNode
+}
+
+// BuildSpanTree links spans into parent/child trees by span ID. Spans
+// whose parent never arrived are returned as orphans — a complete trace
+// has none.
+func BuildSpanTree(spans []SpanRecord) (roots []*SpanNode, orphans []SpanRecord) {
+	nodes := make(map[string]*SpanNode, len(spans))
+	for _, r := range spans {
+		nodes[r.Span] = &SpanNode{Rec: r}
+	}
+	for _, r := range spans {
+		n := nodes[r.Span]
+		if r.Parent == "" {
+			roots = append(roots, n)
+			continue
+		}
+		p, ok := nodes[r.Parent]
+		if !ok {
+			orphans = append(orphans, r)
+			continue
+		}
+		p.Children = append(p.Children, n)
+	}
+	return roots, orphans
+}
+
+// Walk visits the node and every descendant, depth-first.
+func (n *SpanNode) Walk(visit func(*SpanNode)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}

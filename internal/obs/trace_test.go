@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fixedClock steps a deterministic tracer clock by 1ms per reading.
+func fixedClock() func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestTracerDeterministicWithSeed(t *testing.T) {
+	run := func() []SpanRecord {
+		col := &Collector{}
+		tr := NewTracer(TracerConfig{Sink: col, Seed: 42, Now: fixedClock()})
+		ctx, root := tr.StartRoot(context.Background(), "client.commit", "txn", "t1")
+		_, child := tr.Start(ctx, "tfcommit.round")
+		child.End()
+		root.End()
+		return col.Spans()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded tracer not reproducible:\n%v\n%v", a, b)
+	}
+	if len(a) != 2 || a[0].Name != "tfcommit.round" || a[1].Name != "client.commit" {
+		t.Fatalf("spans = %v", a)
+	}
+	if a[0].Trace != a[1].Trace || a[0].Parent != a[1].Span {
+		t.Fatalf("child not parented under root: %v", a)
+	}
+}
+
+func TestStartWithoutParentIsUntraced(t *testing.T) {
+	col := &Collector{}
+	tr := NewTracer(TracerConfig{Sink: col, Seed: 1})
+	ctx, span := tr.Start(context.Background(), "orphan")
+	if span != nil {
+		t.Fatal("Start without a propagated context minted a span")
+	}
+	if _, ok := SpanContextFrom(ctx); ok {
+		t.Fatal("untraced ctx carries a span context")
+	}
+	// The nil span is fully usable.
+	span.SetAttr("k", "v")
+	span.End()
+	span.EndErr(nil)
+	if got := span.Context(); got.Valid() {
+		t.Fatalf("nil span has a context: %v", got)
+	}
+	if n := len(col.Spans()); n != 0 {
+		t.Fatalf("exported %d spans", n)
+	}
+}
+
+func TestSpanEndExportsOnce(t *testing.T) {
+	col := &Collector{}
+	tr := NewTracer(TracerConfig{Sink: col, Seed: 1, Now: fixedClock()})
+	_, root := tr.StartRoot(context.Background(), "r")
+	root.End()
+	root.End()
+	root.EndErr(nil)
+	if n := len(col.Spans()); n != 1 {
+		t.Fatalf("span exported %d times", n)
+	}
+}
+
+func TestBuildSpanTree(t *testing.T) {
+	spans := []SpanRecord{
+		{Trace: "t", Span: "a", Name: "root"},
+		{Trace: "t", Span: "b", Parent: "a", Name: "child"},
+		{Trace: "t", Span: "c", Parent: "b", Name: "grandchild"},
+		{Trace: "t", Span: "d", Parent: "missing", Name: "orphan"},
+	}
+	roots, orphans := BuildSpanTree(spans)
+	if len(roots) != 1 || roots[0].Rec.Span != "a" {
+		t.Fatalf("roots = %v", roots)
+	}
+	if len(orphans) != 1 || orphans[0].Span != "d" {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	var names []string
+	roots[0].Walk(func(n *SpanNode) { names = append(names, n.Rec.Name) })
+	if !reflect.DeepEqual(names, []string{"root", "child", "grandchild"}) {
+		t.Fatalf("walk order = %v", names)
+	}
+}
+
+func TestJSONLExporterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewJSONLExporter(&buf)
+	in := SpanRecord{Trace: "t", Span: "s", Name: "n", StartUS: 5, DurUS: 7, Attrs: map[string]string{"k": "v"}}
+	e.ExportSpan(in)
+	var out SpanRecord
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	sc := SpanContext{}
+	if sc.Valid() {
+		t.Fatal("zero context valid")
+	}
+	if got := ContextWithSpanContext(context.Background(), sc); got != context.Background() {
+		t.Fatal("invalid context attached")
+	}
+	sc.TraceID[0], sc.SpanID[0] = 1, 2
+	ctx := ContextWithSpanContext(context.Background(), sc)
+	got, ok := SpanContextFrom(ctx)
+	if !ok || got != sc {
+		t.Fatalf("propagation lost the context: %v %v", got, ok)
+	}
+}

@@ -229,7 +229,7 @@ func (s *Server) awaitHeight(ctx context.Context, h uint64) error {
 		if n > 0 && !recovered {
 			recovered = true
 			s.mu.Lock()
-			s.stats.WedgeRecoveries++
+			s.wedgeRecoveries.Inc()
 			s.mu.Unlock()
 		}
 		// On no progress keep waiting: peers may be equally behind (the
@@ -488,7 +488,7 @@ func (s *Server) applyFetched(b *ledger.Block) (fresh bool, err error) {
 		// The fetched block resolves (or supersedes) the stalled round.
 		s.inflight = nil
 	}
-	s.stats.CatchupBlocks++
+	s.catchupBlocks.Inc()
 	return true, nil
 }
 

@@ -58,6 +58,8 @@ var (
 // Merkle root if involved and committing, and produce the Schnorr
 // commitment for CoSi.
 func (s *Server) GetVote(ctx context.Context, from identity.NodeID, req *wire.GetVoteReq) (*wire.VoteResp, error) {
+	ctx, span := s.o.Start(ctx, "cohort.vote", "server", string(s.ident.ID))
+	defer span.End()
 	// Pipelined lookahead (per-height sequencing): the announcement for
 	// block h+1 is sent as soon as block h's co-sign is finalized, so it
 	// can overtake block h's decision on the wire. Park until the log has
@@ -98,8 +100,7 @@ func (s *Server) GetVote(ctx context.Context, from identity.NodeID, req *wire.Ge
 		if err != nil {
 			return nil, fmt.Errorf("server %s: overlay root: %w", s.ident.ID, err)
 		}
-		s.stats.MHTTime += time.Since(start)
-		s.stats.MHTBlocks++
+		s.mhtHist.ObserveSince(start)
 		if s.faults.FakeRootInVote {
 			root = randomBytes(32)
 		}
@@ -137,6 +138,8 @@ func (s *Server) GetVote(ctx context.Context, from identity.NodeID, req *wire.Ge
 // unchanged, challenge correctly computed) and answer with the Schnorr
 // response.
 func (s *Server) Challenge(ctx context.Context, from identity.NodeID, req *wire.ChallengeReq) (*wire.ChallengeResp, error) {
+	_, span := s.o.Start(ctx, "cohort.challenge", "server", string(s.ident.ID))
+	defer span.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -235,6 +238,8 @@ func (s *Server) checkChallengeLocked(st *cohortState, req *wire.ChallengeReq, s
 // tamper-proof log and update the datastore from the buffered writes
 // (paper §4.1 steps 6–7).
 func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.DecisionReq) (*wire.DecisionResp, error) {
+	ctx, span := s.o.Start(ctx, "cohort.decide", "server", string(s.ident.ID))
+	defer span.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -252,14 +257,14 @@ func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.Dec
 			if s.inflight != nil && s.inflight.height <= b.Height {
 				s.inflight = nil
 			}
-			s.stats.DupDecisions++
+			s.dupDecisions.Inc()
 			return &wire.DecisionResp{OK: true}, nil
 		}
 	}
 	if b.Decision == ledger.DecisionAbort {
 		if hash, ok := s.recentAborts[b.Height]; ok && bytes.Equal(hash, b.Hash()) &&
 			(s.inflight == nil || s.inflight.height != b.Height) {
-			s.stats.DupDecisions++
+			s.dupDecisions.Inc()
 			return &wire.DecisionResp{OK: true}, nil
 		}
 	}
@@ -288,7 +293,7 @@ func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.Dec
 	}
 
 	if b.Decision == ledger.DecisionCommit {
-		if err := s.applyCommitLocked(st, b); err != nil {
+		if err := s.applyCommitLocked(ctx, st, b); err != nil {
 			return nil, err
 		}
 	} else {
@@ -314,7 +319,9 @@ func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.Dec
 // applyCommitLocked installs a committed block: datastore update (possibly
 // perverted by datastore faults), log append, last-committed watermark, and
 // execution-buffer cleanup.
-func (s *Server) applyCommitLocked(st *cohortState, b *ledger.Block) error {
+func (s *Server) applyCommitLocked(ctx context.Context, st *cohortState, b *ledger.Block) error {
+	_, span := s.o.Start(ctx, "cohort.apply", "server", string(s.ident.ID))
+	defer span.End()
 	if st.involved {
 		accesses := st.accesses
 		// Remember the values being overwritten so the StaleReads fault can
@@ -367,6 +374,7 @@ func (s *Server) applyCommitLocked(st *cohortState, b *ledger.Block) error {
 	// proof generated at a height is always generated from the shard state
 	// that height's root authenticates.
 	s.cacheBlockLocked(b)
+	s.heightGauge.Set(int64(s.log.Len()))
 	if s.snap != nil {
 		// The snapshot is a recovery cache, but a failure to write it means
 		// the disk is unhealthy — surface it rather than degrade silently.
@@ -456,6 +464,7 @@ func (s *Server) validateBlockLocked(b *ledger.Block, reqs []identity.Envelope, 
 	}
 	if !conflictFree && !s.faults.VoteCommitAlways {
 		vote = ledger.DecisionAbort
+		s.occAborts[occBlockConflict].Inc()
 	}
 
 	involved := false
@@ -469,6 +478,7 @@ func (s *Server) validateBlockLocked(b *ledger.Block, reqs []identity.Envelope, 
 			// "The servers ignore any end transaction request with a
 			// timestamp lower than the latest committed timestamp" (§4.3.1).
 			txnOK = false
+			s.occAborts[occStaleTS].Inc()
 		}
 		for _, r := range rec.Reads {
 			if !s.shard.Has(r.ID) {
@@ -482,6 +492,9 @@ func (s *Server) validateBlockLocked(b *ledger.Block, reqs []identity.Envelope, 
 			if cur.WTS != r.WTS {
 				// The item was updated after this transaction read it:
 				// timestamp-ordered OCC aborts (§4.3.1).
+				if txnOK {
+					s.occAborts[occReadConflict].Inc()
+				}
 				txnOK = false
 			}
 		}
@@ -495,6 +508,9 @@ func (s *Server) validateBlockLocked(b *ledger.Block, reqs []identity.Envelope, 
 				return 0, false, nil, nil, err
 			}
 			if cur.WTS != w.WTS {
+				if txnOK {
+					s.occAborts[occWriteConflict].Inc()
+				}
 				txnOK = false
 			}
 		}

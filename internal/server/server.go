@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/txn"
@@ -77,6 +78,9 @@ type Config struct {
 	// the effects a real crash can separate. Production servers leave it
 	// nil.
 	CrashHook func(point string, height uint64) error
+	// Obs supplies metrics, tracing and logging for this server; nil runs
+	// dark (detached instruments, no spans, discard logger).
+	Obs *obs.Obs
 }
 
 // Server is one Fides database server.
@@ -92,6 +96,17 @@ type Server struct {
 	snap      Snapshotter
 	lookahead time.Duration // max get_vote wait for pipelined arrivals
 	crash     func(point string, height uint64) error
+	o         *obs.Obs
+
+	// Registry-backed instruments (detached when no registry is wired).
+	// They are also the storage for Stats(): the snapshot is a thin view
+	// over these, never a second hand-rolled counter set.
+	mhtHist         *obs.Histogram
+	catchupBlocks   *obs.Counter
+	wedgeRecoveries *obs.Counter
+	dupDecisions    *obs.Counter
+	occAborts       [4]*obs.Counter // indexed by occCause
+	heightGauge     *obs.Gauge
 
 	mu            sync.Mutex
 	buffers       map[string]map[txn.ItemID][]byte // txnID → buffered writes (execution layer)
@@ -99,7 +114,6 @@ type Server struct {
 	inflight      *cohortState // at most one TFCommit/2PC block in flight (sequential blocks)
 	prevValues    map[txn.ItemID][]byte
 	terminator    Terminator
-	stats         Stats
 
 	// Catch-up state (catchup.go): the peer mesh for pulling missed
 	// decisions, and the hashes of recently decided abort blocks so a
@@ -143,11 +157,29 @@ type Stats struct {
 	DupDecisions int
 }
 
-// Stats returns a snapshot of the server's accumulated statistics.
+// occCause indexes Server.occAborts: the reason an OCC timestamp
+// validation voted a transaction (or the whole block) abort.
+type occCause int
+
+const (
+	occStaleTS       occCause = iota // txn timestamp ≤ last committed watermark
+	occReadConflict                  // a read item's WTS moved since the read
+	occWriteConflict                 // a written item's WTS moved since the write
+	occBlockConflict                 // intra-block conflicting access set (§4.6)
+)
+
+// Stats returns a snapshot of the server's accumulated statistics. It is
+// a thin view over the registry-backed instruments that also feed
+// /metrics (fides_server_mht_seconds, fides_server_catchup_blocks_total,
+// fides_server_wedge_recoveries_total, fides_server_dup_decisions_total).
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		MHTTime:         time.Duration(s.mhtHist.Sum() * float64(time.Second)),
+		MHTBlocks:       int(s.mhtHist.Count()),
+		CatchupBlocks:   int(s.catchupBlocks.Value()),
+		WedgeRecoveries: int(s.wedgeRecoveries.Value()),
+		DupDecisions:    int(s.dupDecisions.Value()),
+	}
 }
 
 // New builds a server from its configuration.
@@ -165,20 +197,36 @@ func New(cfg Config) (*Server, error) {
 	if log == nil {
 		log = ledger.NewLog()
 	}
+	o := cfg.Obs
 	s := &Server{
-		ident:      cfg.Identity,
-		reg:        cfg.Registry,
-		dir:        cfg.Directory,
-		shard:      cfg.Shard,
-		log:        log,
-		snap:       cfg.Snapshot,
-		lookahead:  cfg.VoteLookahead,
-		crash:      cfg.CrashHook,
-		faults:     cfg.Faults,
+		ident:     cfg.Identity,
+		reg:       cfg.Registry,
+		dir:       cfg.Directory,
+		shard:     cfg.Shard,
+		log:       log,
+		snap:      cfg.Snapshot,
+		lookahead: cfg.VoteLookahead,
+		crash:     cfg.CrashHook,
+		o:         o,
+		faults:    cfg.Faults,
+
+		mhtHist:         o.Histogram("fides_server_mht_seconds", "In-memory Merkle root computation latency during Vote phases (overlay updates + reverts).", nil),
+		catchupBlocks:   o.Counter("fides_server_catchup_blocks_total", "Blocks applied via the peer catch-up path instead of a directly delivered decision."),
+		wedgeRecoveries: o.Counter("fides_server_wedge_recoveries_total", "Vote announcements un-wedged by pulling overdue decisions from peers."),
+		dupDecisions:    o.Counter("fides_server_dup_decisions_total", "Re-delivered decisions acknowledged idempotently."),
+		heightGauge:     o.Gauge("fides_server_log_height", "Tamper-proof log length (blocks committed)."),
+
 		buffers:      make(map[string]map[txn.ItemID][]byte),
 		prevValues:   make(map[txn.ItemID][]byte),
 		rootAt:       make(map[uint64][]byte),
 		recentAborts: make(map[uint64][]byte),
+	}
+	const occHelp = "Transactions voted abort by OCC timestamp validation, by cause."
+	s.occAborts = [4]*obs.Counter{
+		occStaleTS:       o.Counter("fides_server_occ_aborts_total", occHelp, obs.L("cause", "stale_ts")),
+		occReadConflict:  o.Counter("fides_server_occ_aborts_total", occHelp, obs.L("cause", "read_conflict")),
+		occWriteConflict: o.Counter("fides_server_occ_aborts_total", occHelp, obs.L("cause", "write_conflict")),
+		occBlockConflict: o.Counter("fides_server_occ_aborts_total", occHelp, obs.L("cause", "block_conflict")),
 	}
 	// A recovered log restores the OCC watermark: "the servers ignore any
 	// end transaction request with a timestamp lower than the latest
@@ -189,6 +237,7 @@ func New(cfg Config) (*Server, error) {
 		s.lastCommitted = s.lastCommitted.Max(b.MaxTS())
 		s.cacheBlockLocked(b)
 	}
+	s.heightGauge.Set(int64(log.Len()))
 	return s, nil
 }
 

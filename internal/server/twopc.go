@@ -48,7 +48,7 @@ func (s *Server) Decide2PC(ctx context.Context, from identity.NodeID, req *wire.
 		return nil, fmt.Errorf("%w (height %d)", ErrBlockMutated, b.Height)
 	}
 	if b.Decision == ledger.DecisionCommit {
-		if err := s.applyCommitLocked(st, b); err != nil {
+		if err := s.applyCommitLocked(ctx, st, b); err != nil {
 			return nil, err
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/identity"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -57,6 +58,8 @@ type runEnv struct {
 	sched *Scheduler
 	clock *txn.SharedClock
 	res   *Result
+	obs   *obs.Obs
+	spans *obs.Collector
 
 	mu      sync.Mutex
 	cluster *core.Cluster
@@ -79,6 +82,17 @@ type runEnv struct {
 // directory when durable), drives the workload and fault schedule, and
 // verifies every declared invariant.
 func Run(sc Scenario, seed uint64) *Result {
+	res, _ := RunTraced(sc, seed)
+	return res
+}
+
+// RunTraced is Run with the run's commit-path trace exposed: every run
+// carries a tracer whose clock is the scheduler's virtual time and whose
+// span ids derive from the seed, so the spans — like everything else in a
+// simulation — are reproducible. The determinism proof (TraceHash) covers
+// only the network schedule, so tracing cannot perturb it; tests assert
+// span-tree completeness on the returned records.
+func RunTraced(sc Scenario, seed uint64) (*Result, []obs.SpanRecord) {
 	sc = sc.withDefaults()
 	res := &Result{
 		Scenario: sc.Name,
@@ -91,7 +105,16 @@ func Run(sc Scenario, seed uint64) *Result {
 		sched:   NewScheduler(seed, sc.Net),
 		clock:   txn.NewSharedClock(1),
 		res:     res,
+		spans:   &obs.Collector{},
 		written: make(map[int][]txn.ItemID),
+	}
+	env.obs = &obs.Obs{
+		Metrics: obs.NewRegistry(),
+		Tracer: obs.NewTracer(obs.TracerConfig{
+			Sink: env.spans,
+			Seed: int64(seed),
+			Now:  func() time.Time { return time.Unix(0, env.sched.VirtualNow()*1000) },
+		}),
 	}
 	if sc.Crash != nil && sc.Crash.Server >= 0 {
 		env.crashID = core.ServerName(sc.Crash.Server)
@@ -103,7 +126,7 @@ func Run(sc Scenario, seed uint64) *Result {
 		dir, err := os.MkdirTemp("", "fidessim-"+sc.Name+"-")
 		if err != nil {
 			env.violate("temp data dir: %v", err)
-			return res
+			return res, nil
 		}
 		env.dataDir = dir
 		defer os.RemoveAll(dir)
@@ -117,7 +140,7 @@ func Run(sc Scenario, seed uint64) *Result {
 	if c := env.clusterRef(); c != nil {
 		c.Close()
 	}
-	return res
+	return res, env.spans.Spans()
 }
 
 func (env *runEnv) violate(format string, args ...any) {
@@ -157,6 +180,7 @@ func (env *runEnv) clusterConfig(withHook bool) core.Config {
 		Pipeline:      sc.Pipeline,
 		Coordinators:  sc.Coordinators,
 		NetScheduler:  env.sched,
+		Obs:           env.obs,
 		ServerFaults:  nil, // faults engage after warmup via SetFaults
 	}
 	if sc.Durable {

@@ -1,10 +1,14 @@
 package sim
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/audit"
 	"repro/internal/lightclient"
+	"repro/internal/obs"
 )
 
 // TestCatalogAllScenarios runs every built-in scenario under a few seeds:
@@ -221,5 +225,86 @@ func TestScenarioNamesResolve(t *testing.T) {
 	}
 	if _, err := ByName("no-such-scenario"); err == nil {
 		t.Error("unknown scenario resolved")
+	}
+}
+
+// spanFingerprints canonicalizes a span export for cross-run comparison:
+// one line per span carrying its name, its parent's *name* and its
+// attributes, the whole set sorted. Span IDs and timestamps are left out
+// on purpose: IDs are assignment-order dependent, and while timestamps
+// come from the virtual clock (no wall-clock entropy), a cohort handler
+// runs concurrently with the scheduler advancing virtual time, so the
+// exact instant it samples depends on goroutine interleaving. What two
+// runs of the same schedule MUST agree on is the span structure — which
+// spans exist, on which server, parented to what.
+func spanFingerprints(spans []obs.SpanRecord) []string {
+	byID := make(map[string]obs.SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.Span] = s
+	}
+	out := make([]string, 0, len(spans))
+	for _, s := range spans {
+		parent := "-"
+		if p, ok := byID[s.Parent]; ok {
+			parent = p.Name
+		}
+		attrs := make([]string, 0, len(s.Attrs))
+		for k, v := range s.Attrs {
+			attrs = append(attrs, k+"="+v)
+		}
+		sort.Strings(attrs)
+		out = append(out, fmt.Sprintf("%s parent=%s %s",
+			s.Name, parent, strings.Join(attrs, ",")))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestTracedRunSpansDeterministic pins the observability contract under
+// the simulator: the span *structure* — which spans exist, their names,
+// parentage and server attributes — is a pure function of the delivery
+// schedule, so the same scenario + seed must export the same span set,
+// and tracing must not perturb the schedule itself (proven by the
+// event-trace hash, which never covers span payloads). Span IDs, export
+// order and exact virtual timestamps are deliberately NOT compared: see
+// spanFingerprints. It also asserts the span trees are complete (every
+// commit's trace reaches back to its client.commit root with no
+// orphans).
+func TestTracedRunSpansDeterministic(t *testing.T) {
+	sc, err := ByName("honest-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, spansA := RunTraced(sc, 11)
+	resB, spansB := RunTraced(sc, 11)
+	if !resA.OK() || !resB.OK() {
+		t.Fatalf("runs not clean: %v / %v", resA.Violations, resB.Violations)
+	}
+	if resA.TraceHash != resB.TraceHash {
+		t.Fatalf("tracing perturbed the event trace:\n%s\n%s", resA.TraceHash, resB.TraceHash)
+	}
+	if len(spansA) == 0 {
+		t.Fatal("traced run exported no spans")
+	}
+	fpA, fpB := spanFingerprints(spansA), spanFingerprints(spansB)
+	if len(fpA) != len(fpB) {
+		t.Fatalf("span counts differ: %d vs %d", len(fpA), len(fpB))
+	}
+	for i := range fpA {
+		if fpA[i] != fpB[i] {
+			t.Fatalf("span set differs between identical runs:\n%s\n%s", fpA[i], fpB[i])
+		}
+	}
+	roots, orphans := obs.BuildSpanTree(spansA)
+	if len(orphans) != 0 {
+		t.Fatalf("%d orphaned spans (first: %+v)", len(orphans), orphans[0])
+	}
+	for _, r := range roots {
+		if r.Rec.Name != "client.commit" {
+			t.Errorf("unexpected root span %q", r.Rec.Name)
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("no root spans")
 	}
 }

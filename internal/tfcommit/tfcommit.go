@@ -36,14 +36,15 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/cosi"
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/obs"
 	"repro/internal/schnorr"
 	"repro/internal/transport"
 	"repro/internal/txn"
@@ -105,6 +106,9 @@ type Config struct {
 	// abandons the round with that error, simulating the coordinator dying
 	// at the worst possible instant. Test and simulation instrumentation.
 	CrashHook func(point string, height uint64) error
+	// Obs supplies metrics, tracing and logging; nil runs dark (detached
+	// instruments, no spans, discard logger).
+	Obs *obs.Obs
 }
 
 // Coordinator terminates transactions by running TFCommit rounds.
@@ -116,9 +120,22 @@ type Coordinator struct {
 	local   Participant
 	faults  Faults
 	crash   func(point string, height uint64) error
+	o       *obs.Obs
 
-	decisionRetries atomic.Uint64
-	decisionUnacked atomic.Uint64
+	// Per-phase commit-path instruments (registry-backed; detached when no
+	// registry is configured). The phase histograms time the coordinator's
+	// view of each protocol leg of Figure 7; the counters are the PR 6
+	// decision-liveness statistics, now shared with /metrics.
+	phaseVote       *obs.Histogram
+	phaseChallenge  *obs.Histogram
+	phaseCosign     *obs.Histogram
+	phaseDecision   *obs.Histogram
+	roundHist       *obs.Histogram
+	roundsCommit    *obs.Counter
+	roundsAbort     *obs.Counter
+	roundsFailed    *obs.Counter
+	decisionRetries *obs.Counter
+	decisionUnacked *obs.Counter
 }
 
 // New creates a Coordinator.
@@ -131,14 +148,27 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	servers := append([]identity.NodeID(nil), cfg.Servers...)
 	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	o := cfg.Obs
+	const phaseHelp = "TFCommit per-phase latency at the coordinator, by protocol phase."
 	return &Coordinator{
-		ident:   cfg.Identity,
-		reg:     cfg.Registry,
-		tr:      cfg.Transport,
-		servers: servers,
-		local:   cfg.Local,
-		faults:  cfg.Faults,
-		crash:   cfg.CrashHook,
+		ident:           cfg.Identity,
+		reg:             cfg.Registry,
+		tr:              cfg.Transport,
+		servers:         servers,
+		local:           cfg.Local,
+		faults:          cfg.Faults,
+		crash:           cfg.CrashHook,
+		o:               o,
+		phaseVote:       o.Histogram("fides_tfcommit_phase_seconds", phaseHelp, nil, obs.L("phase", "vote")),
+		phaseChallenge:  o.Histogram("fides_tfcommit_phase_seconds", phaseHelp, nil, obs.L("phase", "challenge")),
+		phaseCosign:     o.Histogram("fides_tfcommit_phase_seconds", phaseHelp, nil, obs.L("phase", "cosign")),
+		phaseDecision:   o.Histogram("fides_tfcommit_phase_seconds", phaseHelp, nil, obs.L("phase", "decision")),
+		roundHist:       o.Histogram("fides_tfcommit_round_seconds", "Full TFCommit round latency (phase 1 announcement through phase 5 broadcast).", nil),
+		roundsCommit:    o.Counter("fides_tfcommit_rounds_total", "Completed TFCommit rounds by decision.", obs.L("decision", "commit")),
+		roundsAbort:     o.Counter("fides_tfcommit_rounds_total", "Completed TFCommit rounds by decision.", obs.L("decision", "abort")),
+		roundsFailed:    o.Counter("fides_tfcommit_round_failures_total", "TFCommit rounds that failed mid-protocol (refusals, faulty signers, delivery errors)."),
+		decisionRetries: o.Counter("fides_tfcommit_decision_retries_total", "DecisionReq re-sends after delivery failures."),
+		decisionUnacked: o.Counter("fides_tfcommit_decision_unacked_total", "Cohorts given up on after the decision retry budget (healed later by catch-up)."),
 	}, nil
 }
 
@@ -155,11 +185,13 @@ type Stats struct {
 	DecisionUnacked uint64
 }
 
-// Stats returns a snapshot of the coordinator's delivery counters.
+// Stats returns a snapshot of the coordinator's delivery counters. It is
+// a thin view over the registry-backed instruments that also feed
+// /metrics (fides_tfcommit_decision_retries_total / _unacked_total).
 func (c *Coordinator) Stats() Stats {
 	return Stats{
-		DecisionRetries: c.decisionRetries.Load(),
-		DecisionUnacked: c.decisionUnacked.Load(),
+		DecisionRetries: c.decisionRetries.Value(),
+		DecisionUnacked: c.decisionUnacked.Value(),
 	}
 }
 
@@ -231,6 +263,31 @@ func (c *Coordinator) CommitBlock(ctx context.Context, txns []*txn.Transaction, 
 // height while this round's decision distribution and datastore applies are
 // still in flight.
 func (c *Coordinator) commitAt(ctx context.Context, height uint64, prevHash []byte, txns []*txn.Transaction, envs []identity.Envelope, onFinalized func(*ledger.Block, bool)) (*Result, error) {
+	start := time.Now()
+	ctx, span := c.o.Start(ctx, "tfcommit.round", "height", strconv.FormatUint(height, 10))
+	res, err := c.runRound(ctx, height, prevHash, txns, envs, onFinalized)
+	c.roundHist.ObserveSince(start)
+	switch {
+	case err != nil:
+		c.roundsFailed.Inc()
+		c.o.Log().Debug("tfcommit round failed", "height", height, "err", err)
+		span.EndErr(err)
+	case res.Committed:
+		c.roundsCommit.Inc()
+		span.SetAttr("decision", "commit")
+		span.End()
+	default:
+		c.roundsAbort.Inc()
+		span.SetAttr("decision", "abort")
+		span.End()
+	}
+	return res, err
+}
+
+// runRound is the body of commitAt: the five protocol phases, bracketed by
+// the per-phase instruments and spans so one transaction's frame-propagated
+// trace reconstructs phases 1-5 at the coordinator.
+func (c *Coordinator) runRound(ctx context.Context, height uint64, prevHash []byte, txns []*txn.Transaction, envs []identity.Envelope, onFinalized func(*ledger.Block, bool)) (*Result, error) {
 	if len(txns) == 0 {
 		return nil, errors.New("tfcommit: empty batch")
 	}
@@ -252,13 +309,19 @@ func (c *Coordinator) commitAt(ctx context.Context, height uint64, prevHash []by
 	voteReq := &wire.GetVoteReq{Block: block, ClientReqs: envs}
 
 	// Phase 2 ⟨Vote, SchCommitment⟩: collect votes, roots and commitments.
-	votes, refused := c.broadcastVotes(ctx, voteReq)
+	voteStart := time.Now()
+	voteCtx, voteSpan := c.o.Start(ctx, "tfcommit.vote")
+	votes, refused := c.broadcastVotes(voteCtx, voteReq)
+	voteSpan.End()
+	c.phaseVote.ObserveSince(voteStart)
 	if len(refused) > 0 {
 		return nil, &RefusalError{Phase: "vote", Refused: refused}
 	}
 
 	// Phase 3 ⟨null, SchChallenge⟩: form the decision, aggregate roots and
 	// commitments, compute ch = h(X_sch ‖ b_i).
+	chStart := time.Now()
+	chCtx, chSpan := c.o.Start(ctx, "tfcommit.challenge")
 	decision := ledger.DecisionCommit
 	roots := make(map[identity.NodeID][]byte)
 	commitments := make([]cosi.Commitment, len(c.servers))
@@ -310,16 +373,21 @@ func (c *Coordinator) commitAt(ctx context.Context, height uint64, prevHash []by
 	}
 
 	// Phase 4 ⟨null, SchResponse⟩: collect and aggregate responses.
-	responses, refused := c.broadcastChallenge(ctx, chReq)
+	responses, refused := c.broadcastChallenge(chCtx, chReq)
+	chSpan.End()
+	c.phaseChallenge.ObserveSince(chStart)
 	if len(refused) > 0 {
 		return nil, &RefusalError{Phase: "challenge", Refused: refused}
 	}
+	cosignStart := time.Now()
+	_, cosignSpan := c.o.Start(ctx, "tfcommit.cosign")
 	ordered := make([]*big.Int, len(c.servers))
 	for i, id := range c.servers {
 		ordered[i] = new(big.Int).SetBytes(responses[id].Response)
 	}
 	aggR, err := cosi.AggregateResponses(ordered)
 	if err != nil {
+		cosignSpan.EndErr(err)
 		return nil, fmt.Errorf("tfcommit: %w", err)
 	}
 	sig := cosi.Finalize(challenge, aggR)
@@ -328,6 +396,7 @@ func (c *Coordinator) commitAt(ctx context.Context, height uint64, prevHash []by
 	// publishing: if it is invalid, identify the faulty signer(s) by
 	// partial-signature exclusion (Lemma 4).
 	if !cosi.Verify(aggPub, signingBytes, sig) {
+		cosignSpan.EndErr(errors.New("invalid collective signature"))
 		faultyIdx, idErr := cosi.IdentifyFaulty(pubs, commitments, challenge, ordered)
 		if idErr != nil {
 			return nil, fmt.Errorf("tfcommit: invalid co-sign and identification failed: %w", idErr)
@@ -338,6 +407,8 @@ func (c *Coordinator) commitAt(ctx context.Context, height uint64, prevHash []by
 		}
 		return nil, &FaultySignersError{Faulty: faulty}
 	}
+	cosignSpan.End()
+	c.phaseCosign.ObserveSince(cosignStart)
 	block.SetCoSig(sig)
 	if onFinalized != nil {
 		onFinalized(block, decision == ledger.DecisionCommit)
@@ -349,7 +420,12 @@ func (c *Coordinator) commitAt(ctx context.Context, height uint64, prevHash []by
 	// outcome, and a lagging cohort pulls the block from any peer via the
 	// catch-up path (internal/server) — but an explicit refusal or a local
 	// apply failure still fails the round.
-	if refused := c.broadcastDecision(ctx, block); len(refused) > 0 {
+	decStart := time.Now()
+	decCtx, decSpan := c.o.Start(ctx, "tfcommit.decision")
+	refused = c.broadcastDecision(decCtx, block)
+	decSpan.End()
+	c.phaseDecision.ObserveSince(decStart)
+	if len(refused) > 0 {
 		return nil, &RefusalError{Phase: "decision", Refused: refused}
 	}
 	res := &Result{Block: block, Committed: decision == ledger.DecisionCommit}

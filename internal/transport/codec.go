@@ -148,24 +148,40 @@ func DefaultCodec() Codec { return defaultCodec.Load().(codecHolder).c }
 //
 //	0x01  canonical transaction encoding (txn binary version; §3.2 client
 //	      end_transaction envelopes)
-//	0x02  transport frame (this file)
+//	0x03  transport frame (this file; 0x02 was the frame layout without
+//	      the trace-context field and is no longer accepted)
 //	0x18  handshake hello (the uvarint length prefix of helloContext)
 //	'{'   legacy JSON transaction payloads
-const frameVersion = 2
+const frameVersion = 3
+
+// traceContextLen is the encoded size of a propagated span context:
+// 16-byte trace ID followed by an 8-byte parent span ID.
+const traceContextLen = 16 + 8
 
 // appendFrame appends the authenticated frame encoding: the destination,
 // a per-sender sequence number (checked strictly increasing per TCP
 // connection; combined with per-connection session keys this prevents
 // replay in session mode — see tcpConn.lastRespSeq for the envelope-mode
-// caveat), the message type and the codec-encoded body. The sender authenticates exactly these bytes; no intermediate
-// re-serialization or base64 inflation occurs between the body encoding
-// and the signature or MAC.
+// caveat), the commit-path trace context (empty for untraced traffic),
+// the message type and the codec-encoded body. The sender authenticates
+// exactly these bytes; no intermediate re-serialization or base64
+// inflation occurs between the body encoding and the signature or MAC.
+// Authenticating the trace context matters: a forged parent span would
+// let an attacker stitch fake causality into an audit trail.
 //
-// Layout: ver(1) | to | seq uvarint | type | body(rest).
+// Layout: ver(1) | to | seq uvarint | trace bytes(0 or 24) | type | body(rest).
 func appendFrame(buf []byte, to identity.NodeID, seq uint64, msg Message) []byte {
 	buf = binenc.AppendByte(buf, frameVersion)
 	buf = binenc.AppendString(buf, string(to))
 	buf = binenc.AppendUvarint(buf, seq)
+	if msg.Trace.Valid() {
+		var tc [traceContextLen]byte
+		copy(tc[:16], msg.Trace.TraceID[:])
+		copy(tc[16:], msg.Trace.SpanID[:])
+		buf = binenc.AppendBytes(buf, tc[:])
+	} else {
+		buf = binenc.AppendBytes(buf, nil)
+	}
 	buf = binenc.AppendString(buf, msg.Type)
 	return append(buf, msg.Body...)
 }
@@ -180,9 +196,18 @@ func parseFrame(payload []byte) (to identity.NodeID, seq uint64, msg Message, er
 	}
 	to = identity.NodeID(r.String())
 	seq = r.Uvarint()
+	tc := r.Bytes()
 	msg.Type = r.String()
 	if err := r.Err(); err != nil {
 		return "", 0, Message{}, fmt.Errorf("transport: parse frame: %w", err)
+	}
+	switch len(tc) {
+	case 0:
+	case traceContextLen:
+		copy(msg.Trace.TraceID[:], tc[:16])
+		copy(msg.Trace.SpanID[:], tc[16:])
+	default:
+		return "", 0, Message{}, fmt.Errorf("transport: parse frame: trace context is %d bytes (want 0 or %d)", len(tc), traceContextLen)
 	}
 	msg.Body = payload[len(payload)-r.Len():]
 	return to, seq, msg, nil

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/binenc"
 	"repro/internal/identity"
+	"repro/internal/obs"
 )
 
 // zeroTime clears a connection deadline.
@@ -199,6 +200,12 @@ func (n *TCPNode) Call(ctx context.Context, to identity.NodeID, msg Message) (Me
 	n.seq++
 	seq := n.seq
 	n.mu.Unlock()
+
+	// Propagate the caller's span context in the authenticated frame
+	// header (same rule as the in-process transport).
+	if sc, scok := obs.SpanContextFrom(ctx); scok {
+		msg.Trace = sc
+	}
 
 	// The request frame (and its authenticated blob) is encoded into
 	// pooled buffers that are fully flushed to the socket before the call
@@ -521,7 +528,9 @@ func (n *TCPNode) handle(from identity.NodeID, msg Message) Message {
 	if n.handler == nil {
 		return Message{Type: msgTypeError, Body: mustJSON("node has no handler")}
 	}
-	out, handleErr := n.handler.Handle(context.Background(), from, msg)
+	// The handler context carries the frame's trace context so spans the
+	// handler opens parent under the remote caller's span.
+	out, handleErr := n.handler.Handle(obs.ContextWithSpanContext(context.Background(), msg.Trace), from, msg)
 	if handleErr != nil {
 		return Message{Type: msgTypeError, Body: mustJSON(handleErr.Error())}
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/identity"
+	"repro/internal/obs"
 )
 
 // Message is a typed RPC payload. Type selects the handler action; Body is
@@ -31,6 +32,12 @@ import (
 type Message struct {
 	Type string          `json:"type"`
 	Body json.RawMessage `json:"body"`
+	// Trace is the commit-path span context riding in the authenticated
+	// frame header (zero = untraced). Transports populate it from the
+	// caller's context on send and re-inject it into the handler context
+	// on receive; it is frame metadata, not body, and is excluded from
+	// the JSON form so codec output is unchanged.
+	Trace obs.SpanContext `json:"-"`
 }
 
 // NewMessage marshals body into a Message of the given type using the
@@ -319,6 +326,13 @@ func (e *localEndpoint) Call(ctx context.Context, to identity.NodeID, msg Messag
 		return Message{}, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
 	}
 
+	// Propagate the caller's span context in the authenticated frame
+	// header, so the receiver's spans parent under the span that caused
+	// this call.
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		msg.Trace = sc
+	}
+
 	// In session mode the pairwise channel is established (signed
 	// handshake) before the first frame; per-frame authentication is then
 	// an HMAC over the same frame bytes the envelope mode would sign.
@@ -398,7 +412,9 @@ func (e *localEndpoint) Call(ctx context.Context, to identity.NodeID, msg Messag
 	if peer.handler == nil {
 		return Message{}, fmt.Errorf("transport: node %q has no handler", to)
 	}
-	resp, handleErr := peer.handler.Handle(ctx, from, req)
+	// Handlers see the frame's trace context (not the caller's context
+	// values), mirroring what a remote process would observe.
+	resp, handleErr := peer.handler.Handle(obs.ContextWithSpanContext(ctx, req.Trace), from, req)
 	// Response direction: the peer authenticates its response (or error).
 	// The response payload escapes to the caller (out.Body), so it is not
 	// pooled.

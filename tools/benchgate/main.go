@@ -41,6 +41,14 @@ type row struct {
 	ReadFraction  float64 `json:"read_fraction"`
 	ReadPath      string  `json:"read_path"`
 	TPS           float64 `json:"tps"`
+
+	// Latency tail fields (fidesbench ≥ PR 7). Carried for reporting only:
+	// tails are too noisy on shared CI runners to gate on, and baselines
+	// written before the fields existed decode them as zero, which the
+	// report line treats as "not recorded".
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 func (r row) key() string {
@@ -113,6 +121,9 @@ func main() {
 		}
 		ratio := cur.TPS / base.TPS
 		line := fmt.Sprintf("%s: %.1f → %.1f tps (%.0f%% of baseline)", key, base.TPS, cur.TPS, ratio*100)
+		if cur.P99MS > 0 {
+			line += fmt.Sprintf(" [p50/p95/p99 %.2f/%.2f/%.2f ms]", cur.P50MS, cur.P95MS, cur.P99MS)
+		}
 		switch {
 		case ratio < *failBelow:
 			fails = append(fails, line)

@@ -1,0 +1,176 @@
+// Command metriclint cross-checks the metric catalog: every instrument
+// registered in the source tree must be documented in
+// docs/observability.md with the right kind, every documented metric must
+// still exist in code, and all names must follow the conventions
+//
+//   - snake_case: [a-z][a-z0-9_]*, no trailing underscore
+//   - counters end in _total
+//   - histograms end in a unit suffix (_seconds, _bytes, _txns)
+//   - gauges carry no counter/unit suffix
+//
+// It scans Go source textually for Counter("...")/Gauge("...")/
+// Histogram("...") registration calls (test files excluded, so test-only
+// fixtures don't need documenting), which keeps the tool free of build
+// constraints — a metric name is a string literal at its registration
+// site by construction, since internal/obs validates names at runtime.
+//
+//	metriclint            # lint ./internal ./cmd against docs/observability.md
+//	metriclint -docs docs/observability.md -src internal,cmd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var registerRe = regexp.MustCompile(`\.(Counter|Gauge|Histogram)\("(fides_[^"]*)"`)
+
+// docRowRe matches catalog table rows: | `fides_x` | kind | ...
+var docRowRe = regexp.MustCompile("^\\|\\s*`(fides_[a-z0-9_]*)`\\s*\\|\\s*(counter|gauge|histogram)\\s*\\|")
+
+func validName(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return name[len(name)-1] != '_'
+}
+
+var histSuffixes = []string{"_seconds", "_bytes", "_txns"}
+
+func kindConvention(name, kind string) string {
+	switch kind {
+	case "Counter", "counter":
+		if !strings.HasSuffix(name, "_total") {
+			return "counter must end in _total"
+		}
+	case "Histogram", "histogram":
+		for _, s := range histSuffixes {
+			if strings.HasSuffix(name, s) {
+				return ""
+			}
+		}
+		return fmt.Sprintf("histogram must end in a unit suffix (%s)", strings.Join(histSuffixes, ", "))
+	case "Gauge", "gauge":
+		if strings.HasSuffix(name, "_total") {
+			return "gauge must not end in _total"
+		}
+	}
+	return ""
+}
+
+func scanSource(dirs []string) (map[string]string, []string, error) {
+	kinds := make(map[string]string) // name → Counter|Gauge|Histogram
+	var problems []string
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range registerRe.FindAllStringSubmatch(string(raw), -1) {
+				kind, name := m[1], m[2]
+				if !validName(name) {
+					problems = append(problems, fmt.Sprintf("%s: invalid metric name %q (want snake_case, no trailing _)", path, name))
+					continue
+				}
+				if msg := kindConvention(name, kind); msg != "" {
+					problems = append(problems, fmt.Sprintf("%s: %s: %s", path, name, msg))
+				}
+				if prev, ok := kinds[name]; ok && prev != kind {
+					problems = append(problems, fmt.Sprintf("%s: %s registered as both %s and %s", path, name, prev, kind))
+				}
+				kinds[name] = kind
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return kinds, problems, nil
+}
+
+func scanDocs(path string) (map[string]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if m := docRowRe.FindStringSubmatch(line); m != nil {
+			out[m[1]] = m[2]
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		docsPath = flag.String("docs", "docs/observability.md", "metric catalog to check against")
+		src      = flag.String("src", "internal,cmd", "comma-separated source roots to scan")
+	)
+	flag.Parse()
+
+	srcKinds, problems, err := scanSource(strings.Split(*src, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(2)
+	}
+	if len(srcKinds) == 0 {
+		fmt.Fprintln(os.Stderr, "metriclint: no registrations found — wrong -src?")
+		os.Exit(2)
+	}
+	docKinds, err := scanDocs(*docsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(2)
+	}
+	if len(docKinds) == 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: no catalog rows in %s — format drift?\n", *docsPath)
+		os.Exit(2)
+	}
+
+	for name, kind := range srcKinds {
+		dk, ok := docKinds[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: registered in code but missing from %s", name, *docsPath))
+			continue
+		}
+		if !strings.EqualFold(dk, kind) {
+			problems = append(problems, fmt.Sprintf("%s: code registers a %s, %s documents a %s", name, strings.ToLower(kind), *docsPath, dk))
+		}
+	}
+	for name := range docKinds {
+		if _, ok := srcKinds[name]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: documented in %s but no longer registered anywhere", name, *docsPath))
+		}
+	}
+
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Println("FAIL", p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("metriclint: %d problems (%d metrics in code, %d documented)\n", len(problems), len(srcKinds), len(docKinds))
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: ok — %d metric families, catalog and code agree\n", len(srcKinds))
+}
