@@ -60,9 +60,9 @@ sim-determinism:
 # The CI bench gate, runnable locally: re-measure the baseline
 # configuration and compare against the committed report.
 bench-gate:
-	$(GO) run ./cmd/fidesbench -exp fig12 -requests 120 -latency 100us \
+	$(GO) run ./cmd/fidesbench -exp fig12,watch -requests 120 -latency 100us \
 		-runs 1 -json /tmp/fides-bench-gate.json
-	$(GO) run ./tools/benchgate -baseline BENCH_PR6.json \
+	$(GO) run ./tools/benchgate -baseline BENCH_PR9.json \
 		-current /tmp/fides-bench-gate.json
 
 # Figure benchmarks (see bench_test.go; cmd/fidesbench runs the

@@ -11,6 +11,14 @@
 //
 //	fides-client -deployment deployment.json -txns 20 -verify -audit
 //
+// With -verify-bundle, the client instead re-verifies a portable evidence
+// bundle produced by the watchtower (cmd/fides-watch) fully offline: no
+// server is contacted; only the deployment's registered public keys and
+// static shard layout are trusted. Exit status 0 means the bundle
+// substantiates its finding.
+//
+//	fides-client -deployment deployment.json -verify-bundle bundle.bin
+//
 // Progress and diagnostics are structured log lines on stderr
 // (-log-level, -log-json; per-transaction commits log at debug). The
 // audit report — the command's product — prints to stdout.
@@ -31,6 +39,8 @@ import (
 	"repro/internal/lightclient"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/watch"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -41,16 +51,59 @@ func main() {
 		opsPerTxn      = flag.Int("ops", 5, "operations per transaction")
 		runAudit       = flag.Bool("audit", false, "run a full audit afterwards")
 		verify         = flag.Bool("verify", false, "sync the header chain and perform proof-carrying verified reads")
+		verifyBundle   = flag.String("verify-bundle", "", "re-verify a watchtower evidence bundle offline and exit (no servers are contacted)")
 		seed           = flag.Int64("seed", 1, "workload seed")
 		logLevel       = flag.String("log-level", "info", "log verbosity: debug|info|warn|error (per-txn commits log at debug)")
 		logJSON        = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, *logLevel, *logJSON).With("component", "fides-client")
+	if *verifyBundle != "" {
+		if err := runVerifyBundle(*deploymentPath, *verifyBundle); err != nil {
+			logger.Error("bundle verification failed", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(logger, *deploymentPath, *txns, *opsPerTxn, *runAudit, *verify, *seed); err != nil {
 		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// runVerifyBundle re-verifies one evidence bundle fully offline: the
+// deployment descriptor supplies the registered public keys and shard
+// layout, and the bundle must carry everything else — the whole point of
+// the portable format is that a third party needs zero trust in the
+// watchtower that produced it.
+func runVerifyBundle(path, bundlePath string) error {
+	d, err := deploy.Load(path)
+	if err != nil {
+		return err
+	}
+	reg, err := d.Registry()
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(bundlePath)
+	if err != nil {
+		return err
+	}
+	msg, err := wire.Decode(raw)
+	if err != nil {
+		return fmt.Errorf("decode %s: %w", bundlePath, err)
+	}
+	b, ok := msg.(*wire.EvidenceBundle)
+	if !ok {
+		return fmt.Errorf("%s does not contain an evidence bundle (got %T)", bundlePath, msg)
+	}
+	fmt.Printf("bundle: kind=%s accused=%v height=%d item=%q\n  detail: %s\n",
+		b.Kind, b.Accused, b.Height, b.Item, b.Detail)
+	if err := watch.VerifyBundle(b, reg, d.ServerIDs(), d.Directory(), d.CoordinatorID()); err != nil {
+		return err
+	}
+	fmt.Println("verified: the evidence substantiates the finding")
+	return nil
 }
 
 func run(logger *slog.Logger, path string, txns, opsPerTxn int, runAudit, verify bool, seed int64) error {

@@ -1,0 +1,221 @@
+// Command fides-watch runs the continuous integrity watchtower against a
+// multi-process Fides deployment: it tails the co-signed chain, re-verifies
+// every new block through the streaming audit replay, probes every server's
+// served headers, and samples proof-carrying verified reads — detecting
+// Byzantine tampering online instead of at the next offline audit.
+//
+//	fides-watch -deployment deployment.json -metrics-addr 127.0.0.1:9200
+//
+// Progress is exported as the fides_watch_* metric families on /metrics,
+// and the integrity SLO document (verified height vs tip lag, findings,
+// firing alert rules) is served as JSON on /integrity. Every finding's
+// portable evidence bundle is written under -bundle-dir; a third party
+// re-verifies it offline with `fides-client -verify-bundle <file>`.
+//
+// With -checkpoint the streaming replay's verified checkpoint is persisted
+// after every poll and resumed from at startup, so a restarted watchtower
+// (or a later full `fides-client -audit`) need not replay from genesis.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/deploy"
+	"repro/internal/identity"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/watch"
+)
+
+func main() {
+	var (
+		deploymentPath = flag.String("deployment", "deployment.json", "deployment descriptor")
+		clientIndex    = flag.Int("client-index", 1, "deployment client identity to run as (default: the auditor identity)")
+		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics, /integrity, /healthz and /debug/pprof/* on this address (empty disables)")
+		interval       = flag.Duration("interval", time.Second, "poll interval")
+		sampleRate     = flag.Float64("sample-rate", 0.25, "per-server, per-poll probability of a sampled verified read (0 disables, 1 samples every server every poll)")
+		sampleSeed     = flag.Int64("sample-seed", 1, "sampling RNG seed")
+		maxLag         = flag.Uint64("max-lag", 16, "verified-height lag above which the verified_lag alert fires")
+		checkpointPath = flag.String("checkpoint", "", "persist the streaming replay checkpoint to this JSON file after every poll and resume from it at startup")
+		bundleDir      = flag.String("bundle-dir", "", "write each finding's evidence bundle under this directory (for fides-client -verify-bundle)")
+		polls          = flag.Int("polls", 0, "exit after this many polls (0 = run until signalled)")
+		logLevel       = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logJSON        = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	)
+	flag.Parse()
+	if err := run(*deploymentPath, *clientIndex, *metricsAddr, *interval, *sampleRate, *sampleSeed,
+		*maxLag, *checkpointPath, *bundleDir, *polls, *logLevel, *logJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "fides-watch: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, clientIndex int, metricsAddr string, interval time.Duration, sampleRate float64,
+	sampleSeed int64, maxLag uint64, checkpointPath, bundleDir string, polls int, logLevel string, logJSON bool) error {
+	d, err := deploy.Load(path)
+	if err != nil {
+		return err
+	}
+	if clientIndex < 0 || clientIndex >= len(d.Clients) {
+		return fmt.Errorf("client index %d out of range (%d client identities)", clientIndex, len(d.Clients))
+	}
+	reg, err := d.Registry()
+	if err != nil {
+		return err
+	}
+	dir := d.Directory()
+
+	ident, err := identity.Import(d.Clients[clientIndex])
+	if err != nil {
+		return err
+	}
+	node, err := transport.NewTCPNode(ident, reg, "127.0.0.1:0", nil)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = node.Close() }()
+	for _, s := range d.Servers {
+		node.SetAddress(s.Keys.ID, s.Addr)
+	}
+
+	o := &obs.Obs{
+		Metrics: obs.NewRegistry(),
+		Logger:  obs.NewLogger(os.Stderr, logLevel, logJSON).With("component", "fides-watch"),
+	}
+	o = o.With(obs.L("watcher", string(ident.ID)))
+	logger := o.Log()
+
+	var resume *audit.Checkpoint
+	if checkpointPath != "" {
+		if raw, rerr := os.ReadFile(checkpointPath); rerr == nil {
+			cp := new(audit.Checkpoint)
+			if uerr := json.Unmarshal(raw, cp); uerr != nil {
+				return fmt.Errorf("checkpoint %s: %w", checkpointPath, uerr)
+			}
+			resume = cp
+			logger.Info("resuming from checkpoint", "path", checkpointPath, "height", cp.Height)
+		}
+	}
+
+	wt, err := watch.New(watch.Config{
+		Registry:    reg,
+		Transport:   node,
+		Layout:      dir,
+		Servers:     d.ServerIDs(),
+		Coordinator: d.CoordinatorID(),
+		SampleRate:  sampleRate,
+		SampleSeed:  sampleSeed,
+		MaxLag:      maxLag,
+		Resume:      resume,
+		Obs:         o,
+	})
+	if err != nil {
+		return err
+	}
+
+	if metricsAddr != "" {
+		ln, lerr := net.Listen("tcp", metricsAddr)
+		if lerr != nil {
+			return fmt.Errorf("metrics listener: %w", lerr)
+		}
+		mux := obs.NewServeMux(o.Metrics, func() bool { return wt.Status().Healthy })
+		mux.Handle("/integrity", wt.Handler())
+		msrv := &http.Server{Handler: mux}
+		go func() {
+			if serr := msrv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+				logger.Error("metrics server failed", "err", serr)
+			}
+		}()
+		defer func() { _ = msrv.Close() }()
+		logger.Info("observability endpoint up", "addr", ln.Addr().String(),
+			"paths", "/metrics /integrity /healthz /debug/pprof/")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	ctx := context.Background()
+	bundled := 0
+	for n := 0; ; {
+		if err := wt.Poll(ctx); err != nil {
+			logger.Warn("poll failed", "err", err)
+		}
+		st := wt.Status()
+		logger.Debug("poll complete", "tip", st.Tip, "verified", st.Verified,
+			"lag", st.Lag, "findings", st.Findings, "healthy", st.Healthy)
+		if checkpointPath != "" {
+			if err := persistCheckpoint(checkpointPath, wt.Checkpoint()); err != nil {
+				logger.Warn("checkpoint persist failed", "err", err)
+			}
+		}
+		if bundleDir != "" {
+			bundled = dumpBundles(logger, bundleDir, wt, bundled)
+		}
+		n++
+		if polls > 0 && n >= polls {
+			if st.Findings > 0 {
+				return fmt.Errorf("%d integrity finding(s) after %d polls", st.Findings, n)
+			}
+			logger.Info("done", "polls", n, "verified", st.Verified, "lag", st.Lag)
+			return nil
+		}
+		select {
+		case <-sig:
+			logger.Info("shutting down", "verified", st.Verified, "findings", st.Findings)
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// persistCheckpoint atomically replaces the checkpoint file.
+func persistCheckpoint(path string, cp *audit.Checkpoint) error {
+	raw, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// dumpBundles writes the evidence bundles of findings [from:] to disk in
+// the portable wire encoding and returns the new high-water mark.
+func dumpBundles(logger interface {
+	Info(string, ...any)
+	Warn(string, ...any)
+}, dirPath string, wt *watch.Watchtower, from int) int {
+	findings := wt.Findings()
+	if err := os.MkdirAll(dirPath, 0o755); err != nil {
+		logger.Warn("bundle dir", "err", err)
+		return from
+	}
+	for i := from; i < len(findings); i++ {
+		f := findings[i]
+		if f.Bundle == nil {
+			continue
+		}
+		name := filepath.Join(dirPath, fmt.Sprintf("bundle-%03d-%s.bin", i, f.Type))
+		if err := os.WriteFile(name, f.Bundle.AppendBinary(nil), 0o644); err != nil {
+			logger.Warn("bundle write failed", "path", name, "err", err)
+			continue
+		}
+		logger.Info("evidence bundle written", "path", name, "kind", string(f.Type),
+			"height", f.Height, "accused", fmt.Sprintf("%v", f.Servers))
+	}
+	return len(findings)
+}

@@ -8,7 +8,10 @@
 //	fidesbench -exp durability # fsync=off|group|always TFCommit cost
 //	fidesbench -exp pipeline   # pipelined vs serial TFCommit, 5 servers
 //	fidesbench -exp reads      # proof-carrying vs plain reads, batched
+//	fidesbench -exp watch      # watchtower overhead: off vs tail vs tail+sampling
 //	fidesbench -exp all        # everything
+//
+// -exp also accepts a comma-separated list (e.g. -exp fig12,watch).
 //
 // The paper runs 1000 client requests per data point, averaged over 3
 // runs; -requests and -runs scale that down for quick passes. -latency
@@ -24,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -31,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig12, fig13, fig14, fig15, durability, pipeline, reads, or all")
+		exp      = flag.String("exp", "all", "experiment (comma-separable): fig12, fig13, fig14, fig15, durability, pipeline, reads, watch, or all")
 		requests = flag.Int("requests", 1000, "client transactions per data point (paper: 1000)")
 		runs     = flag.Int("runs", 3, "runs averaged per data point (paper: 3)")
 		latency  = flag.Duration("latency", 250*time.Microsecond, "simulated one-way network latency")
@@ -92,6 +96,12 @@ func main() {
 				rows = append(rows, bench.RowFromReads(r, opts))
 			}
 			return err
+		case "watch":
+			out, err := bench.Watch(os.Stdout, opts)
+			for _, r := range out {
+				rows = append(rows, bench.RowFromWatch(r))
+			}
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -99,9 +109,9 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"fig12", "fig13", "fig14", "fig15", "durability", "pipeline", "reads"}
+		names = []string{"fig12", "fig13", "fig14", "fig15", "durability", "pipeline", "reads", "watch"}
 	} else {
-		names = []string{*exp}
+		names = strings.Split(*exp, ",")
 	}
 	for i, name := range names {
 		if i > 0 {

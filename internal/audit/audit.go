@@ -184,6 +184,13 @@ type Options struct {
 	// MultiVersion declares whether the deployment's shards retain
 	// versions; it selects which VO form the auditor requests.
 	MultiVersion bool
+	// Resume, when non-nil, starts the log replay from a previously
+	// verified checkpoint (e.g. the watchtower's) instead of genesis. The
+	// checkpoint is validated against the authoritative log before use;
+	// Run fails if it was taken on a different history. Findings confined
+	// to blocks below the checkpoint height were already reported when the
+	// checkpoint was built and are not re-derived.
+	Resume *Checkpoint
 }
 
 // Config assembles an Auditor.
@@ -243,7 +250,9 @@ func (a *Auditor) Run(ctx context.Context, opts Options) (*Report, error) {
 
 	logs := a.collectLogs(ctx, report)
 	a.selectAuthoritative(logs, report)
-	a.replayLog(report)
+	if err := a.replayLog(report, opts.Resume); err != nil {
+		return report, err
+	}
 	if opts.CheckDatastore {
 		a.checkDatastores(ctx, report, opts)
 	}
@@ -298,6 +307,14 @@ func (a *Auditor) fetchProof(ctx context.Context, server identity.NodeID, req *w
 		return nil, err
 	}
 	return &pr, nil
+}
+
+// ownersOf resolves the owner of an item into a finding's server list.
+func (a *Auditor) ownersOf(id txn.ItemID) []identity.NodeID {
+	if owner, ok := a.dir.Owner(id); ok {
+		return []identity.NodeID{owner}
+	}
+	return nil
 }
 
 // implicated builds the server list for a finding, appending the designated

@@ -242,7 +242,7 @@ func TestReplayAcceptsSignedChain(t *testing.T) {
 	chain := e.signedChain(t, 4)
 	report := &Report{Authoritative: chain}
 	a := e.auditor()
-	a.replayLog(report)
+	a.replayLog(report, nil)
 	if len(report.Findings) != 0 {
 		t.Fatalf("findings = %v", report.Findings)
 	}

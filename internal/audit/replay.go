@@ -5,8 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/identity"
-	"repro/internal/ledger"
-	"repro/internal/store"
 	"repro/internal/txn"
 )
 
@@ -35,321 +33,42 @@ type dsTarget struct {
 	versionTS txn.Timestamp
 }
 
-// replayLog traverses the authoritative log, performing the Lemma 1 read
-// checks, the Lemma 3 conflict checks, and the serialization-graph cycle
-// check, and collecting the per-block datastore-audit targets for Lemma 2.
-func (a *Auditor) replayLog(report *Report) []dsTarget {
-	state := make(map[txn.ItemID]*itemState)
+// replayLog traverses the authoritative log through a streaming Replayer,
+// performing the Lemma 1 read checks and the Lemma 3 conflict checks,
+// collecting the per-block datastore-audit targets for Lemma 2, and then
+// running the global serialization-graph cycle check.
+//
+// When resume is non-nil the replay starts from the checkpoint instead of
+// genesis: the checkpoint's hash is validated against the authoritative log
+// at its height (a checkpoint taken on a different history must not vouch
+// for this one), then only blocks at or above the checkpoint height are
+// replayed. The graph check still spans the full log — it is pure local
+// CPU over blocks already fetched, and conflict edges may cross the
+// checkpoint boundary.
+func (a *Auditor) replayLog(report *Report, resume *Checkpoint) error {
+	rp := NewReplayer(a.dir, a.coord)
+	start := 0
+	if resume != nil {
+		n := int(resume.Height)
+		if n > len(report.Authoritative) {
+			return fmt.Errorf("audit: checkpoint height %d exceeds authoritative log length %d",
+				resume.Height, len(report.Authoritative))
+		}
+		if n > 0 && !bytes.Equal(report.Authoritative[n-1].Hash(), resume.Hash) {
+			return fmt.Errorf("audit: checkpoint hash mismatch at height %d: the checkpoint was taken on a different history",
+				resume.Height-1)
+		}
+		rp = ResumeReplayer(a.dir, a.coord, resume)
+		start = n
+	}
+
 	var targets []dsTarget
-	var prevMax txn.Timestamp
-
-	for _, b := range report.Authoritative {
-		if b.Decision != ledger.DecisionCommit {
-			report.Findings = append(report.Findings, Finding{
-				Type:    FindingTamperedLog,
-				Servers: a.implicated(nil, true),
-				Height:  int64(b.Height),
-				Detail:  fmt.Sprintf("logged block %d has decision %s; only committed blocks are logged", b.Height, b.Decision),
-			})
-		}
-		a.checkIntraBlockConflicts(report, b)
-
-		// Validate every transaction against the pre-block state, then
-		// apply all updates at once: within a block, cohorts validated
-		// against the state before the block (paper §4.6: the batch is
-		// non-conflicting).
-		pending := make(map[txn.ItemID]*itemState)
-		for i := range b.Txns {
-			rec := &b.Txns[i]
-			a.checkTimestampOrder(report, b, rec, prevMax)
-			a.checkReads(report, b, rec, state)
-			a.checkWrites(report, b, rec, state)
-			a.applyTxn(pending, state, rec)
-		}
-		for id, p := range pending {
-			state[id] = p
-		}
-		prevMax = prevMax.Max(b.MaxTS())
-
-		targets = append(targets, a.datastoreTargets(b, state)...)
+	for _, b := range report.Authoritative[start:] {
+		report.Findings = append(report.Findings, rp.Step(b)...)
+		targets = append(targets, rp.datastoreTargets(b)...)
 	}
 
 	a.checkSerializationGraph(report)
 	report.dsTargets = targets
-	return targets
-}
-
-// checkTimestampOrder enforces the commit-order/timestamp-order agreement:
-// servers ignore end_transaction requests with a timestamp lower than the
-// latest committed timestamp (paper §4.3.1), so every logged transaction
-// must carry a timestamp above everything before it.
-func (a *Auditor) checkTimestampOrder(report *Report, b *ledger.Block, rec *ledger.TxnRecord, prevMax txn.Timestamp) {
-	if !prevMax.Less(rec.TS) {
-		report.Findings = append(report.Findings, Finding{
-			Type:    FindingSerializability,
-			Servers: a.implicated(a.ownersOfRecord(rec), true),
-			Height:  int64(b.Height),
-			TxnID:   rec.TxnID,
-			Detail: fmt.Sprintf("txn %s committed at %s, not after the latest committed timestamp %s",
-				rec.TxnID, rec.TS, prevMax),
-		})
-	}
-}
-
-// checkReads performs the Lemma 1 verification: the read value of an item
-// must reflect the latest value written in the log, and the recorded
-// timestamps must match the authoritative ones.
-func (a *Auditor) checkReads(report *Report, b *ledger.Block, rec *ledger.TxnRecord, state map[txn.ItemID]*itemState) {
-	for _, r := range rec.Reads {
-		st, ok := state[r.ID]
-		if !ok {
-			// First appearance in the log: the recorded observation is the
-			// baseline (the auditor cannot know pre-history).
-			state[r.ID] = &itemState{
-				known: true, tsKnown: true,
-				value: r.Value, rts: r.RTS, wts: r.WTS,
-			}
-			continue
-		}
-		if st.known && !bytes.Equal(st.value, r.Value) {
-			report.Findings = append(report.Findings, Finding{
-				Type:    FindingIncorrectRead,
-				Servers: a.ownersOf(r.ID),
-				Height:  int64(b.Height),
-				TxnID:   rec.TxnID,
-				Item:    r.ID,
-				Detail: fmt.Sprintf("txn %s read %q for item %s; the latest committed value is %q",
-					rec.TxnID, r.Value, r.ID, st.value),
-			})
-		}
-		if st.tsKnown && st.wts != r.WTS {
-			report.Findings = append(report.Findings, Finding{
-				Type:    FindingStaleTimestamp,
-				Servers: a.ownersOf(r.ID),
-				Height:  int64(b.Height),
-				TxnID:   rec.TxnID,
-				Item:    r.ID,
-				Detail: fmt.Sprintf("txn %s observed wts %s for item %s; authoritative wts is %s",
-					rec.TxnID, r.WTS, r.ID, st.wts),
-			})
-		}
-		// RW conflict (Lemma 3): a transaction with a smaller timestamp
-		// read a data item already written at a larger timestamp.
-		if st.tsKnown && rec.TS.Less(st.wts) {
-			report.Findings = append(report.Findings, Finding{
-				Type:    FindingSerializability,
-				Servers: a.implicated(a.ownersOf(r.ID), true),
-				Height:  int64(b.Height),
-				TxnID:   rec.TxnID,
-				Item:    r.ID,
-				Detail: fmt.Sprintf("RW conflict: txn %s (ts %s) read item %s already written at %s",
-					rec.TxnID, rec.TS, r.ID, st.wts),
-			})
-		}
-	}
-}
-
-// checkWrites performs the Lemma 3 WW and WR conflict checks and validates
-// blind-write baselines.
-func (a *Auditor) checkWrites(report *Report, b *ledger.Block, rec *ledger.TxnRecord, state map[txn.ItemID]*itemState) {
-	for _, w := range rec.Writes {
-		st, ok := state[w.ID]
-		if !ok {
-			st = &itemState{}
-			if w.Blind {
-				// Table 1: old_val (with rts/wts) is recorded for blind
-				// writes; it baselines the item's pre-state.
-				st.known = true
-				st.tsKnown = true
-				st.value = w.OldVal
-				st.rts = w.RTS
-				st.wts = w.WTS
-			}
-			state[w.ID] = st
-			continue
-		}
-		if st.tsKnown && st.wts != w.WTS {
-			report.Findings = append(report.Findings, Finding{
-				Type:    FindingStaleTimestamp,
-				Servers: a.ownersOf(w.ID),
-				Height:  int64(b.Height),
-				TxnID:   rec.TxnID,
-				Item:    w.ID,
-				Detail: fmt.Sprintf("txn %s observed wts %s when writing item %s; authoritative wts is %s",
-					rec.TxnID, w.WTS, w.ID, st.wts),
-			})
-		}
-		if st.tsKnown && rec.TS.Less(st.wts) {
-			// WW conflict: writing below an existing write timestamp.
-			report.Findings = append(report.Findings, Finding{
-				Type:    FindingSerializability,
-				Servers: a.implicated(a.ownersOf(w.ID), true),
-				Height:  int64(b.Height),
-				TxnID:   rec.TxnID,
-				Item:    w.ID,
-				Detail: fmt.Sprintf("WW conflict: txn %s (ts %s) wrote item %s already written at %s",
-					rec.TxnID, rec.TS, w.ID, st.wts),
-			})
-		}
-		if st.tsKnown && rec.TS.Less(st.rts) {
-			// WR conflict: writing below an existing read timestamp.
-			report.Findings = append(report.Findings, Finding{
-				Type:    FindingSerializability,
-				Servers: a.implicated(a.ownersOf(w.ID), true),
-				Height:  int64(b.Height),
-				TxnID:   rec.TxnID,
-				Item:    w.ID,
-				Detail: fmt.Sprintf("WR conflict: txn %s (ts %s) wrote item %s already read at %s",
-					rec.TxnID, rec.TS, w.ID, st.rts),
-			})
-		}
-	}
-}
-
-// applyTxn folds a transaction's effects into the pending post-block state:
-// reads advance rts, writes install the value and advance wts (paper §4.1
-// step 7).
-func (a *Auditor) applyTxn(pending map[txn.ItemID]*itemState, state map[txn.ItemID]*itemState, rec *ledger.TxnRecord) {
-	load := func(id txn.ItemID) *itemState {
-		if p, ok := pending[id]; ok {
-			return p
-		}
-		p := &itemState{}
-		if st, ok := state[id]; ok {
-			*p = *st
-		}
-		pending[id] = p
-		return p
-	}
-	for _, r := range rec.Reads {
-		p := load(r.ID)
-		if p.rts.Less(rec.TS) {
-			p.rts = rec.TS
-		}
-		p.tsKnown = true
-	}
-	for _, w := range rec.Writes {
-		p := load(w.ID)
-		p.value = w.NewVal
-		p.known = true
-		p.tsKnown = true
-		if p.wts.Less(rec.TS) {
-			p.wts = rec.TS
-		}
-	}
-}
-
-// checkIntraBlockConflicts flags blocks whose transactions conflict with
-// each other: the coordinator must pack only non-conflicting transactions
-// into a block (paper §4.6), and cohorts validate against pre-block state,
-// so a conflicting batch would commit unserializable effects.
-func (a *Auditor) checkIntraBlockConflicts(report *Report, b *ledger.Block) {
-	readers := make(map[txn.ItemID]string)
-	writers := make(map[txn.ItemID]string)
-	for i := range b.Txns {
-		rec := &b.Txns[i]
-		for _, r := range rec.Reads {
-			if other, ok := writers[r.ID]; ok && other != rec.TxnID {
-				a.reportIntraBlock(report, b, rec.TxnID, other, r.ID)
-			}
-		}
-		for _, w := range rec.Writes {
-			if other, ok := writers[w.ID]; ok && other != rec.TxnID {
-				a.reportIntraBlock(report, b, rec.TxnID, other, w.ID)
-			}
-			if other, ok := readers[w.ID]; ok && other != rec.TxnID {
-				a.reportIntraBlock(report, b, rec.TxnID, other, w.ID)
-			}
-		}
-		for _, r := range rec.Reads {
-			readers[r.ID] = rec.TxnID
-		}
-		for _, w := range rec.Writes {
-			writers[w.ID] = rec.TxnID
-		}
-	}
-}
-
-func (a *Auditor) reportIntraBlock(report *Report, b *ledger.Block, txnID, other string, item txn.ItemID) {
-	report.Findings = append(report.Findings, Finding{
-		Type:    FindingSerializability,
-		Servers: a.implicated(a.ownersOf(item), true),
-		Height:  int64(b.Height),
-		TxnID:   txnID,
-		Item:    item,
-		Detail: fmt.Sprintf("block %d packs conflicting transactions %s and %s on item %s",
-			b.Height, txnID, other, item),
-	})
-}
-
-// datastoreTargets derives, for each server whose root the block records,
-// one item whose post-block leaf the auditor can reconstruct from the log,
-// to be checked against the served VO (Lemma 2).
-func (a *Auditor) datastoreTargets(b *ledger.Block, state map[txn.ItemID]*itemState) []dsTarget {
-	chosen := make(map[identity.NodeID]txn.ItemID, len(b.Roots))
-	consider := func(id txn.ItemID, written bool) {
-		owner, ok := a.dir.Owner(id)
-		if !ok {
-			return
-		}
-		if _, hasRoot := b.Roots[owner]; !hasRoot {
-			return
-		}
-		if _, already := chosen[owner]; already && !written {
-			return // prefer written items: their value is in the block
-		}
-		chosen[owner] = id
-	}
-	for i := range b.Txns {
-		for _, r := range b.Txns[i].Reads {
-			consider(r.ID, false)
-		}
-		for _, w := range b.Txns[i].Writes {
-			consider(w.ID, true)
-		}
-	}
-	targets := make([]dsTarget, 0, len(chosen))
-	for server, item := range chosen {
-		st := state[item]
-		if st == nil || !st.known {
-			continue
-		}
-		targets = append(targets, dsTarget{
-			height:    b.Height,
-			server:    server,
-			item:      item,
-			leaf:      store.LeafContent(item, st.value, st.rts, st.wts),
-			root:      b.Roots[server],
-			versionTS: b.MaxTS(),
-		})
-	}
-	return targets
-}
-
-// ownersOf resolves the owner of an item into a finding's server list.
-func (a *Auditor) ownersOf(id txn.ItemID) []identity.NodeID {
-	if owner, ok := a.dir.Owner(id); ok {
-		return []identity.NodeID{owner}
-	}
 	return nil
-}
-
-// ownersOfRecord resolves the owners of every item a transaction touched.
-func (a *Auditor) ownersOfRecord(rec *ledger.TxnRecord) []identity.NodeID {
-	set := make(map[identity.NodeID]struct{})
-	for _, r := range rec.Reads {
-		if owner, ok := a.dir.Owner(r.ID); ok {
-			set[owner] = struct{}{}
-		}
-	}
-	for _, w := range rec.Writes {
-		if owner, ok := a.dir.Owner(w.ID); ok {
-			set[owner] = struct{}{}
-		}
-	}
-	out := make([]identity.NodeID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	return out
 }

@@ -74,7 +74,7 @@ func TestReplayCleanHistory(t *testing.T) {
 	)}
 	// t3's observed pre-write wts must be ts(10).
 	report.Authoritative[2].Txns[0].Writes[0].WTS = ts(10)
-	a.replayLog(report)
+	a.replayLog(report, nil)
 	if len(report.Findings) != 0 {
 		t.Fatalf("clean history produced findings: %v", report.Findings)
 	}
@@ -86,7 +86,7 @@ func TestReplayDetectsIncorrectRead(t *testing.T) {
 		writeBlock("t1", 10, "x", "0", "fresh", txn.Timestamp{}),
 		readBlock("t2", 20, "x", "stale", txn.Timestamp{}, ts(10)),
 	)}
-	a.replayLog(report)
+	a.replayLog(report, nil)
 	found := report.ByType(FindingIncorrectRead)
 	if len(found) != 1 {
 		t.Fatalf("findings = %v", report.Findings)
@@ -107,7 +107,7 @@ func TestReplayDetectsStaleTimestamp(t *testing.T) {
 		// Correct value but a wts that lies about the writer.
 		readBlock("t2", 20, "x", "one", txn.Timestamp{}, ts(4)),
 	)}
-	a.replayLog(report)
+	a.replayLog(report, nil)
 	if len(report.ByType(FindingStaleTimestamp)) == 0 {
 		t.Fatalf("findings = %v", report.Findings)
 	}
@@ -120,7 +120,7 @@ func TestReplayDetectsTimestampOrderViolation(t *testing.T) {
 		// Committed later but with a smaller timestamp.
 		writeBlock("t2", 20, "y", "0", "two", txn.Timestamp{}),
 	)}
-	a.replayLog(report)
+	a.replayLog(report, nil)
 	if len(report.ByType(FindingSerializability)) == 0 {
 		t.Fatalf("findings = %v", report.Findings)
 	}
@@ -136,7 +136,7 @@ func TestReplayDetectsRWConflict(t *testing.T) {
 	// (read of a future write) plus a commit-order violation.
 	blocks[1].Txns[0].TS = ts(40)
 	report := &Report{Authoritative: blocks}
-	a.replayLog(report)
+	a.replayLog(report, nil)
 	if len(report.ByType(FindingSerializability)) == 0 {
 		t.Fatalf("findings = %v", report.Findings)
 	}
@@ -151,7 +151,7 @@ func TestReplayDetectsIntraBlockConflict(t *testing.T) {
 		},
 	}
 	report := &Report{Authoritative: chainBlocks(b)}
-	a.replayLog(report)
+	a.replayLog(report, nil)
 	if len(report.ByType(FindingSerializability)) == 0 {
 		t.Fatalf("findings = %v", report.Findings)
 	}
@@ -164,7 +164,7 @@ func TestReplayFlagsLoggedAbort(t *testing.T) {
 	report := &Report{Authoritative: chainBlocks(b)}
 	// chainBlocks only defaults unset decisions; force abort again.
 	report.Authoritative[0].Decision = ledger.DecisionAbort
-	a.replayLog(report)
+	a.replayLog(report, nil)
 	if len(report.ByType(FindingTamperedLog)) == 0 {
 		t.Fatalf("logged abort block not flagged: %v", report.Findings)
 	}
@@ -175,7 +175,8 @@ func TestReplayDerivesDatastoreTargets(t *testing.T) {
 	b := writeBlock("t1", 10, "x", "0", "one", txn.Timestamp{})
 	b.Roots = map[identity.NodeID][]byte{"s0": []byte("root-s0")}
 	report := &Report{Authoritative: chainBlocks(b)}
-	targets := a.replayLog(report)
+	a.replayLog(report, nil)
+	targets := report.dsTargets
 	if len(targets) != 1 {
 		t.Fatalf("targets = %d, want 1", len(targets))
 	}

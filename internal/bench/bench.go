@@ -142,6 +142,14 @@ type Metrics struct {
 // Requests transactions through concurrent clients, and aggregates the
 // metrics.
 func Run(cfg RunConfig) (*Metrics, error) {
+	return RunWith(cfg, nil)
+}
+
+// RunWith is Run with a hook that attaches an observer — e.g. a
+// watchtower polling in the background — to the freshly built cluster
+// before the workload starts. The returned cleanup runs after the
+// measured phase, while the cluster is still alive.
+func RunWith(cfg RunConfig, attach func(*core.Cluster) (cleanup func(), err error)) (*Metrics, error) {
 	cfg.applyDefaults()
 	cluster, err := core.NewCluster(core.Config{
 		NumServers:     cfg.Servers,
@@ -163,6 +171,13 @@ func Run(cfg RunConfig) (*Metrics, error) {
 		return nil, err
 	}
 	defer cluster.Close()
+	if attach != nil {
+		cleanup, err := attach(cluster)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+	}
 	return drive(cluster, cfg)
 }
 

@@ -37,14 +37,15 @@ func (o *Options) applyDefaults() {
 // averaged runs a config Runs times and averages the metrics, matching the
 // paper's "each data point is an average of 3 runs".
 func averaged(cfg RunConfig, runs int) (*Metrics, error) {
-	return averagedWith(cfg, runs, nil)
+	return averagedWith(cfg, runs, nil, nil)
 }
 
-// averagedWith is averaged with a per-run hook that may adjust the run's
-// config (e.g. point it at a fresh data directory) and return a cleanup.
-// Rate fields are averaged over the runs; counters are summed, with
-// Metrics.Runs recording the divisor.
-func averagedWith(cfg RunConfig, runs int, perRun func(*RunConfig) (cleanup func(), err error)) (*Metrics, error) {
+// averagedWith is averaged with two per-run hooks: perRun may adjust the
+// run's config (e.g. point it at a fresh data directory) and return a
+// cleanup; attach is handed to RunWith to fasten an observer onto each
+// run's live cluster. Rate fields are averaged over the runs; counters
+// are summed, with Metrics.Runs recording the divisor.
+func averagedWith(cfg RunConfig, runs int, perRun func(*RunConfig) (cleanup func(), err error), attach func(*core.Cluster) (cleanup func(), err error)) (*Metrics, error) {
 	acc := Metrics{Runs: runs}
 	for i := 0; i < runs; i++ {
 		cfg.Seed += int64(i+1) * 104729
@@ -56,7 +57,7 @@ func averagedWith(cfg RunConfig, runs int, perRun func(*RunConfig) (cleanup func
 				return nil, err
 			}
 		}
-		m, err := Run(run)
+		m, err := RunWith(run, attach)
 		if cleanup != nil {
 			cleanup()
 		}
@@ -235,7 +236,7 @@ func Durability(w io.Writer, opts Options) ([]*Metrics, error) {
 				return func() { _ = os.RemoveAll(tmp) }, nil
 			}
 		}
-		acc, err := averagedWith(cfg, opts.Runs, perRun)
+		acc, err := averagedWith(cfg, opts.Runs, perRun, nil)
 		if err != nil {
 			return nil, fmt.Errorf("durability wal=%s: %w", m.name, err)
 		}

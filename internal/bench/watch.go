@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/watch"
+)
+
+// WatchMode is one attachment mode of the watchtower overhead sweep.
+type WatchMode struct {
+	// Name labels the mode in tables and report rows.
+	Name string
+	// Attach runs a watchtower alongside the workload when set.
+	Attach bool
+	// SampleRate is the watchtower's per-server, per-poll verified-read
+	// sampling probability (0 = tail-only).
+	SampleRate float64
+}
+
+// watchModes is the -exp watch sweep: no watchtower (the baseline every
+// overhead is stated against), tail-only (streaming re-verification of
+// every block plus per-poll header probes), and tail plus sampled
+// proof-carrying reads. At the sweep's 10ms poll cadence a 0.05 rate is
+// five sampled reads per server per second — 20× what the fides-watch
+// daemon defaults to (0.25 per server at 1s polls), so the sampled row
+// is an upper bound on a real deployment's sampling cost.
+var watchModes = []WatchMode{
+	{"watch-off", false, 0},
+	{"watch-tail", true, 0},
+	{"watch-sample", true, 0.05},
+}
+
+// WatchResult is one mode's measured outcome: the cluster-side workload
+// metrics plus the watchtower's own verification counters (summed over
+// the runs).
+type WatchResult struct {
+	Mode           string
+	M              *Metrics
+	BlocksVerified uint64
+	SampledReads   uint64
+	Findings       uint64
+}
+
+// watchPollInterval paces the background watchtower during a bench run:
+// fast enough that the tail never falls behind a 1-txn/block workload,
+// slow enough that polling cost, not poll scheduling, is what the sweep
+// measures.
+const watchPollInterval = 10 * time.Millisecond
+
+// attachWatchtower fastens a watchtower onto a live cluster and polls it
+// on a background ticker until the returned cleanup runs; the cleanup
+// takes a final drain poll and folds the watchtower's counters into res.
+func attachWatchtower(cl *core.Cluster, rate float64, seed int64, res *WatchResult) (func(), error) {
+	ident, err := cl.NewClientIdentity()
+	if err != nil {
+		return nil, err
+	}
+	ep, err := cl.Endpoint(ident)
+	if err != nil {
+		return nil, err
+	}
+	wt, err := watch.New(watch.Config{
+		Registry:    cl.Registry(),
+		Transport:   ep,
+		Layout:      cl.Directory(),
+		Servers:     cl.Servers(),
+		Coordinator: cl.Coordinator(),
+		SampleRate:  rate,
+		SampleSeed:  seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(watchPollInterval)
+		defer t.Stop()
+		ctx := context.Background()
+		for {
+			// A transport error rotates the tail source inside Poll; the
+			// next tick retries.
+			_ = wt.Poll(ctx)
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+		_ = wt.Poll(context.Background()) // drain to the final tip
+		st := wt.Status()
+		res.BlocksVerified += st.BlocksVerified
+		res.SampledReads += st.SampledReads
+		res.Findings += st.Findings
+		_ = ep.Close()
+	}, nil
+}
+
+// Watch measures what continuous integrity monitoring costs the cluster
+// it watches: the Figure 12 reference point (5 servers, 1 txn/block)
+// driven with no watchtower, with a tail-only watchtower, and with tail
+// plus sampled verified reads. The acceptance bound for this subsystem
+// is tail+sampling within 5% of the watchtower-off throughput — the
+// watchtower reads FetchBlocks pages and header probes off the serving
+// path, so its cost is bandwidth, not commit-path work.
+func Watch(w io.Writer, opts Options) ([]*WatchResult, error) {
+	opts.applyDefaults()
+	fmt.Fprintf(w, "Watch — watchtower overhead at the Figure 12 reference point (5 servers, 1 txn/block, %d txns, avg of %d runs)\n",
+		opts.Requests, opts.Runs)
+	fmt.Fprintf(w, "%-14s %12s %12s %9s %9s %12s %10s %9s\n",
+		"mode", "tput_tps", "lat_ms", "p50_ms", "p99_ms", "blocks_verif", "samples", "rel_tps")
+
+	var out []*WatchResult
+	var baseTPS float64
+	for _, mode := range watchModes {
+		res := &WatchResult{Mode: mode.Name}
+		cfg := RunConfig{
+			Servers: 5, Batch: 1, Requests: opts.Requests,
+			NetworkLatency: opts.NetworkLatency, Seed: opts.Seed,
+		}
+		var attach func(*core.Cluster) (func(), error)
+		if mode.Attach {
+			rate := mode.SampleRate
+			attach = func(cl *core.Cluster) (func(), error) {
+				return attachWatchtower(cl, rate, opts.Seed, res)
+			}
+		}
+		m, err := averagedWith(cfg, opts.Runs, nil, attach)
+		if err != nil {
+			return nil, fmt.Errorf("watch %s: %w", mode.Name, err)
+		}
+		res.M = m
+		if res.Findings > 0 {
+			return nil, fmt.Errorf("watch %s: %d integrity findings on an honest cluster", mode.Name, res.Findings)
+		}
+		out = append(out, res)
+
+		rel := ""
+		if !mode.Attach {
+			baseTPS = m.ThroughputTPS
+		} else if baseTPS > 0 {
+			rel = fmt.Sprintf("%.1f%%", 100*m.ThroughputTPS/baseTPS)
+		}
+		fmt.Fprintf(w, "%-14s %12.0f %12.3f %9.3f %9.3f %12d %10d %9s\n",
+			mode.Name, m.ThroughputTPS, m.LatencyMS, m.P50MS, m.P99MS,
+			res.BlocksVerified/uint64(opts.Runs), res.SampledReads/uint64(opts.Runs), rel)
+	}
+	return out, nil
+}
+
+// RowFromWatch flattens a watch-sweep result into a report row, keyed by
+// its mode through ReadPath so the three modes stay distinct rows.
+func RowFromWatch(r *WatchResult) Row {
+	row := RowFromMetrics("watch", r.M)
+	row.ReadPath = r.Mode
+	return row
+}

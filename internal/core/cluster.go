@@ -29,6 +29,7 @@ import (
 	"repro/internal/transport"
 	"repro/internal/twopc"
 	"repro/internal/txn"
+	"repro/internal/watch"
 )
 
 // Protocol selects the atomic commitment protocol a cluster runs.
@@ -827,6 +828,34 @@ func (c *Cluster) NewVerifyingClient(lc *lightclient.Client) (*client.Client, *l
 		return nil, nil, err
 	}
 	return cl, lc, nil
+}
+
+// NewWatchtower creates and registers a continuous integrity watchtower
+// attached to the cluster's network (internal/watch), sampling every
+// server every poll (SampleRate 1) — tests and the sim want deterministic
+// coverage, not statistical. Production deployments tune the rate through
+// cmd/fides-watch instead.
+func (c *Cluster) NewWatchtower() (*watch.Watchtower, error) {
+	seq := c.clientSeq.Add(1)
+	id := identity.NodeID(fmt.Sprintf("wt%04d", seq))
+	ident, err := identity.New(id, identity.RoleClient, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: watchtower identity: %w", err)
+	}
+	c.reg.Register(ident.Public())
+	ep, err := c.newEndpoint(ident, nil)
+	if err != nil {
+		return nil, err
+	}
+	return watch.New(watch.Config{
+		Registry:    c.reg,
+		Transport:   ep,
+		Layout:      c.dir,
+		Servers:     c.serverIDs,
+		Coordinator: c.coordID,
+		SampleRate:  1,
+		Obs:         c.o,
+	})
 }
 
 // NewAuditor creates and registers an external auditor for the cluster.

@@ -397,25 +397,9 @@ func (c *Client) shardFor(srv identity.NodeID) (*shardLayout, error) {
 	if sl != nil {
 		return sl, nil
 	}
-	items := c.layout.ShardItems(srv)
-	if len(items) == 0 {
-		return nil, fmt.Errorf("lightclient: no layout for shard of %s", srv)
-	}
-	// Canonical leaf order: sorted unique ids, exactly as store.NewShard
-	// fixes it.
-	sorted := append([]txn.ItemID(nil), items...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	sl = &shardLayout{idx: make(map[txn.ItemID]int, len(sorted))}
-	n := 0
-	for i, id := range sorted {
-		if i > 0 && id == sorted[i-1] {
-			continue
-		}
-		sl.idx[id] = n
-		n++
-	}
-	for capacity := 1; capacity < n; capacity *= 2 {
-		sl.depth++
+	sl, err := buildShardLayout(c.layout, srv)
+	if err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
 	c.shards[srv] = sl

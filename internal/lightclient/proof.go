@@ -1,0 +1,96 @@
+package lightclient
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/identity"
+	"repro/internal/merkle"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+// buildShardLayout derives the verification context of a server's shard
+// from the static layout alone: the canonical leaf index of every item
+// (sorted unique ids, exactly as store.NewShard fixes it) and the Merkle
+// tree depth.
+func buildShardLayout(layout Layout, srv identity.NodeID) (*shardLayout, error) {
+	items := layout.ShardItems(srv)
+	if len(items) == 0 {
+		return nil, fmt.Errorf("lightclient: no layout for shard of %s", srv)
+	}
+	sorted := append([]txn.ItemID(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sl := &shardLayout{idx: make(map[txn.ItemID]int, len(sorted))}
+	n := 0
+	for i, id := range sorted {
+		if i > 0 && id == sorted[i-1] {
+			continue
+		}
+		sl.idx[id] = n
+		n++
+	}
+	for capacity := 1; capacity < n; capacity *= 2 {
+		sl.depth++
+	}
+	return sl, nil
+}
+
+// checkProof runs the layout-relative checks on a verified-read response
+// against an explicitly supplied committed shard root: proof shape (item
+// set, leaf indices, tree depth — ErrBadProof) and content (leaves
+// recomputed from the returned values fold through the proof to the root —
+// ErrIncorrectRead). It is pure: no header cache, no network, no
+// freshness judgement — the caller chose the root and thereby the height.
+func (sl *shardLayout) checkProof(owner identity.NodeID, ids []txn.ItemID, vr *wire.VerifiedReadResp, root []byte) error {
+	if len(vr.Items) != len(vr.Proof.Indices) {
+		return fmt.Errorf("%w: %d items for %d proof indices", ErrBadProof, len(vr.Items), len(vr.Proof.Indices))
+	}
+	want := make(map[txn.ItemID]struct{}, len(ids))
+	for _, id := range ids {
+		want[id] = struct{}{}
+	}
+	if len(vr.Items) != len(want) {
+		return fmt.Errorf("%w: %d items answered for %d requested", ErrBadProof, len(vr.Items), len(want))
+	}
+	if vr.Proof.Depth != sl.depth {
+		return fmt.Errorf("%w: proof depth %d, shard depth %d", ErrBadProof, vr.Proof.Depth, sl.depth)
+	}
+	leaves := make([][]byte, len(vr.Items))
+	for i := range vr.Items {
+		it := &vr.Items[i]
+		if _, requested := want[it.ID]; !requested {
+			return fmt.Errorf("%w: unrequested item %s in response", ErrBadProof, it.ID)
+		}
+		delete(want, it.ID)
+		idx, known := sl.idx[it.ID]
+		if !known {
+			return fmt.Errorf("%w: item %s not in shard layout of %s", ErrBadProof, it.ID, owner)
+		}
+		if idx != vr.Proof.Indices[i] {
+			return fmt.Errorf("%w: item %s at proof index %d, layout index %d", ErrBadProof, it.ID, vr.Proof.Indices[i], idx)
+		}
+		leaves[i] = merkle.LeafHash(store.LeafContent(it.ID, it.Value, it.RTS, it.WTS))
+	}
+	if !merkle.VerifyMultiProof(root, leaves, vr.Proof) {
+		return fmt.Errorf("%w: height %d, owner %s", ErrIncorrectRead, vr.Height, owner)
+	}
+	return nil
+}
+
+// CheckReadProof verifies a verified-read response against an explicitly
+// supplied committed shard root, with no client state: the shard layout is
+// derived from the static layout and the proof is checked for shape
+// (ErrBadProof) and content (ErrIncorrectRead). Callers that maintain
+// their own verified header chain — the integrity watchtower, offline
+// evidence-bundle verification — use this to judge a response without
+// owning a Client; Client.VerifyRead adds height coverage and freshness on
+// top of the same checks.
+func CheckReadProof(layout Layout, owner identity.NodeID, ids []txn.ItemID, vr *wire.VerifiedReadResp, root []byte) error {
+	sl, err := buildShardLayout(layout, owner)
+	if err != nil {
+		return err
+	}
+	return sl.checkProof(owner, ids, vr, root)
+}

@@ -6,8 +6,6 @@ import (
 	"fmt"
 
 	"repro/internal/identity"
-	"repro/internal/merkle"
-	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -197,44 +195,14 @@ func (c *Client) VerifyRead(ctx context.Context, owner identity.NodeID, ids []tx
 		return nil, fmt.Errorf("%w: answered at height %d, newest known root at %d", ErrStaleRead, vr.Height, latest)
 	}
 
-	// 3. Proof shape against the layout.
+	// 3+4. Proof shape against the layout, then fold to the committed
+	// root (the pure core shared with CheckReadProof).
 	sl, err := c.shardFor(owner)
 	if err != nil {
 		return nil, err
 	}
-	if len(vr.Items) != len(vr.Proof.Indices) {
-		return nil, fmt.Errorf("%w: %d items for %d proof indices", ErrBadProof, len(vr.Items), len(vr.Proof.Indices))
-	}
-	want := make(map[txn.ItemID]struct{}, len(ids))
-	for _, id := range ids {
-		want[id] = struct{}{}
-	}
-	if len(vr.Items) != len(want) {
-		return nil, fmt.Errorf("%w: %d items answered for %d requested", ErrBadProof, len(vr.Items), len(want))
-	}
-	if vr.Proof.Depth != sl.depth {
-		return nil, fmt.Errorf("%w: proof depth %d, shard depth %d", ErrBadProof, vr.Proof.Depth, sl.depth)
-	}
-	leaves := make([][]byte, len(vr.Items))
-	for i := range vr.Items {
-		it := &vr.Items[i]
-		if _, requested := want[it.ID]; !requested {
-			return nil, fmt.Errorf("%w: unrequested item %s in response", ErrBadProof, it.ID)
-		}
-		delete(want, it.ID)
-		idx, known := sl.idx[it.ID]
-		if !known {
-			return nil, fmt.Errorf("%w: item %s not in shard layout of %s", ErrBadProof, it.ID, owner)
-		}
-		if idx != vr.Proof.Indices[i] {
-			return nil, fmt.Errorf("%w: item %s at proof index %d, layout index %d", ErrBadProof, it.ID, vr.Proof.Indices[i], idx)
-		}
-		leaves[i] = merkle.LeafHash(store.LeafContent(it.ID, it.Value, it.RTS, it.WTS))
-	}
-
-	// 4. Fold to the committed root.
-	if !merkle.VerifyMultiProof(root, leaves, vr.Proof) {
-		return nil, fmt.Errorf("%w: height %d, owner %s", ErrIncorrectRead, vr.Height, owner)
+	if err := sl.checkProof(owner, ids, vr, root); err != nil {
+		return nil, err
 	}
 
 	out := make([]Value, len(vr.Items))

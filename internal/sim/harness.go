@@ -15,6 +15,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/obs"
 	"repro/internal/txn"
+	"repro/internal/watch"
 )
 
 // errSimCrash is the sentinel a triggered crash hook fails its server
@@ -63,6 +64,7 @@ type runEnv struct {
 
 	mu      sync.Mutex
 	cluster *core.Cluster
+	wt      *watch.Watchtower
 	written map[int][]txn.ItemID // server index → committed written items
 
 	dataDir     string
@@ -241,6 +243,18 @@ func (env *runEnv) run(ctx context.Context) {
 	}
 	env.setCluster(cluster)
 
+	// The watchtower rides along from genesis: its first poll tails the
+	// warmup prefix, and every main-phase commit is followed by a poll so
+	// detection latency is measured in polls against a moving chain.
+	if sc.Watchtower {
+		wt, werr := cluster.NewWatchtower()
+		if werr != nil {
+			env.violate("watchtower: %v", werr)
+			return
+		}
+		env.wt = wt
+	}
+
 	// Warmup: an honest prefix every scenario shares, so adversarial
 	// phases always have committed history to corrupt and recovery always
 	// has blocks to replay.
@@ -365,12 +379,26 @@ func (env *runEnv) driveMain(ctx context.Context) {
 			env.violate("main txn %d failed to commit", i)
 			return
 		}
+		env.pollWatchtower(ctx)
 		if env.crashHit.Load() {
 			break
 		}
 	}
 	if inPartition {
 		env.healPartition(preHeights)
+	}
+}
+
+// pollWatchtower runs one watchtower poll after a committed transaction.
+// The scenarios that attach a watchtower leave the block-fetch path and
+// the network intact, so a poll-level transport failure is itself a
+// violation.
+func (env *runEnv) pollWatchtower(ctx context.Context) {
+	if env.wt == nil {
+		return
+	}
+	if err := env.wt.Poll(ctx); err != nil {
+		env.violate("watchtower poll: %v", err)
 	}
 }
 

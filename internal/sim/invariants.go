@@ -10,6 +10,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/server"
 	"repro/internal/txn"
+	"repro/internal/watch"
 )
 
 // checkInvariants runs the post-scenario invariant suite: the full audit
@@ -26,6 +27,7 @@ func (env *runEnv) checkInvariants(ctx context.Context) {
 	env.checkConvergence()
 	env.checkLightClient(ctx, report)
 	env.checkVerifiedRead(ctx)
+	env.checkWatchtower(ctx)
 	env.checkDups()
 	env.checkLiveness(ctx)
 	env.collectCounters()
@@ -276,6 +278,80 @@ func (env *runEnv) checkVerifiedRead(ctx context.Context) {
 			env.violate("verified read against honest shard failed: %v", err)
 		}
 	}
+}
+
+// checkWatchtower enforces the online-detection contract on the run's
+// watchtower: the verified height must converge to the tip once the
+// workload settles; an honest run must leave it silent and healthy; a
+// faulty run must have produced the expected finding type online — with
+// correct server attribution, within the declared detection-latency
+// bound, and with an evidence bundle a third party re-verifies offline.
+func (env *runEnv) checkWatchtower(ctx context.Context) {
+	if env.wt == nil {
+		return
+	}
+	sc := env.sc
+	// Drain polls: the chain is quiet now, so the streaming replay must
+	// catch up on anything the last commit left unverified.
+	for i := 0; i < 2; i++ {
+		if err := env.wt.Poll(ctx); err != nil {
+			env.violate("watchtower drain poll: %v", err)
+			return
+		}
+	}
+	st := env.wt.Status()
+	if st.Lag != 0 {
+		env.violate("watchtower lag %d after drain (verified %d, tip %d)", st.Lag, st.Verified, st.Tip)
+	}
+	findings := env.wt.Findings()
+
+	if sc.Expect.WatchFinding == "" {
+		if len(findings) > 0 {
+			env.violate("watchtower produced %d findings on an honest run; first: %s", len(findings), findings[0].String())
+		} else if !st.Healthy {
+			env.violate("watchtower unhealthy on an honest run: %+v", st.Alerts)
+		}
+		return
+	}
+
+	faulty := core.ServerName(sc.Expect.FaultyServer)
+	cluster := env.clusterRef()
+	found := false
+	for _, f := range findings {
+		if !watchImplicates(f, faulty) {
+			env.violate("watchtower finding implicates %v, want %s: %s", f.Servers, faulty, f.String())
+			continue
+		}
+		if f.Type != sc.Expect.WatchFinding || found {
+			continue
+		}
+		found = true
+		if bound := uint64(sc.Expect.RequireDetectionWithin); f.DetectPolls > bound {
+			env.violate("watchtower detected %s %d polls after its evidence; bound is %d", f.Type, f.DetectPolls, bound)
+		}
+		if f.Bundle == nil {
+			env.violate("watchtower %s finding carries no evidence bundle", f.Type)
+			continue
+		}
+		if err := watch.VerifyBundle(f.Bundle, cluster.Registry(), cluster.Servers(), cluster.Directory(), cluster.Coordinator()); err != nil {
+			env.violate("evidence bundle failed offline re-verification: %v", err)
+		}
+	}
+	if !found {
+		env.violate("watchtower never produced the expected %s finding online", sc.Expect.WatchFinding)
+	}
+	if st.Healthy {
+		env.violate("watchtower reports healthy despite integrity findings")
+	}
+}
+
+func watchImplicates(f watch.Finding, id identity.NodeID) bool {
+	for _, s := range f.Servers {
+		if s == id {
+			return true
+		}
+	}
+	return false
 }
 
 // checkDups verifies the duplicate-injection accounting: no duplicated

@@ -6,6 +6,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/durable"
 	"repro/internal/server"
+	"repro/internal/watch"
 )
 
 // Surgery is a disk mutation applied to a crashed server's WAL between
@@ -111,6 +112,16 @@ type Expect struct {
 	// RequireDecisionRetries asserts the coordinator's decision-retry
 	// path engaged at least once (lossy-decision scenarios).
 	RequireDecisionRetries bool
+	// WatchFinding, when non-empty, is the online finding type the
+	// scenario's watchtower must produce while the workload is still
+	// running, implicating FaultyServer — and its evidence bundle must
+	// re-verify offline. Requires Scenario.Watchtower. Empty with
+	// Watchtower set means the watchtower must stay silent and healthy.
+	WatchFinding watch.FindingType
+	// RequireDetectionWithin bounds the watchtower's time-to-detection:
+	// the expected WatchFinding may be detected at most this many polls
+	// after the poll that verified the offending evidence.
+	RequireDetectionWithin int
 }
 
 // Scenario is one declarative simulation case: a cluster shape, a
@@ -158,6 +169,13 @@ type Scenario struct {
 
 	Partition *PartitionStep
 	Crash     *CrashStep
+
+	// Watchtower attaches a continuous integrity watchtower to the run:
+	// it polls after every committed main-phase transaction (tailing the
+	// chain through the streaming replay, probing served headers, and
+	// sampling verified reads on every server), and the invariant phase
+	// enforces the Expect.WatchFinding contract against its findings.
+	Watchtower bool
 
 	// Deterministic marks the scenario's event trace as byte-reproducible
 	// per seed (sequential driver, no real-time races): the determinism

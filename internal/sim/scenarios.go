@@ -8,6 +8,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/lightclient"
 	"repro/internal/server"
+	"repro/internal/watch"
 )
 
 // Catalog returns the built-in scenario set, in a stable order. Every
@@ -17,10 +18,11 @@ func Catalog() []Scenario {
 	return []Scenario{
 		{
 			Name:          "honest-baseline",
-			Description:   "honest cluster, jittered links: audit clean, logs converge, light client syncs",
+			Description:   "honest cluster, jittered links: audit clean, logs converge, light client syncs, watchtower silent",
 			Net:           NetConfig{BaseLatency: 100 * time.Microsecond, Jitter: 200 * time.Microsecond},
 			Txns:          16,
 			FinalTxns:     4,
+			Watchtower:    true,
 			Deterministic: true,
 			Expect:        Expect{AuditClean: true, FaultyServer: -1},
 		},
@@ -79,52 +81,64 @@ func Catalog() []Scenario {
 		},
 		{
 			Name:          "stale-reads",
-			Description:   "Scenario 1 (§5): stale read values — audit pins incorrect-read, verified reads reject online",
+			Description:   "Scenario 1 (§5): stale read values — audit pins incorrect-read, verified reads reject online, watchtower detects mid-run",
 			Faults:        map[int]server.Faults{1: {StaleReads: true}},
 			Txns:          20,
+			Watchtower:    true,
 			Deterministic: true,
 			Expect: Expect{
-				Finding:         audit.FindingIncorrectRead,
-				FaultyServer:    1,
-				VerifiedReadErr: lightclient.ErrIncorrectRead,
+				Finding:                audit.FindingIncorrectRead,
+				FaultyServer:           1,
+				VerifiedReadErr:        lightclient.ErrIncorrectRead,
+				WatchFinding:           watch.FindingIncorrectRead,
+				RequireDetectionWithin: 1,
 			},
 		},
 		{
 			Name:          "corrupt-apply",
-			Description:   "Scenario 3 (§5): corrupted datastore applies — audit pins datastore-corruption to the server",
+			Description:   "Scenario 3 (§5): corrupted datastore applies — audit pins datastore-corruption to the server, watchtower classifies it from a sampled read's VO",
 			Faults:        map[int]server.Faults{2: {CorruptApplyValue: []byte("evil")}},
 			Txns:          20,
+			Watchtower:    true,
 			Deterministic: true,
 			Expect: Expect{
 				Finding:      audit.FindingDatastoreCorruption,
 				FaultyServer: 2,
 				// Reads served from the corrupted shard also surface as
 				// incorrect reads — a consequence, not the signature.
-				AllowFindings: []audit.FindingType{audit.FindingIncorrectRead},
+				AllowFindings:          []audit.FindingType{audit.FindingIncorrectRead},
+				WatchFinding:           watch.FindingDatastoreCorruption,
+				RequireDetectionWithin: 1,
 			},
 		},
 		{
 			Name:          "tamper-headers",
-			Description:   "forged light-client headers: sync from the forger fails with ErrBadHeader, honest source completes",
+			Description:   "forged light-client headers: sync from the forger fails with ErrBadHeader, honest source completes, watchtower's header probe attributes the forger",
 			Faults:        map[int]server.Faults{0: {TamperHeaders: true}},
 			Txns:          12,
+			Watchtower:    true,
 			Deterministic: true,
 			Expect: Expect{
-				AuditClean:   true, // header forgery is an online-path fault; logs are served honestly
-				FaultyServer: 0,
-				SyncErr:      lightclient.ErrBadHeader,
+				AuditClean:             true, // header forgery is an online-path fault; logs are served honestly
+				FaultyServer:           0,
+				SyncErr:                lightclient.ErrBadHeader,
+				WatchFinding:           watch.FindingTamperedHeader,
+				RequireDetectionWithin: 1,
 			},
 		},
 		{
 			Name:          "tamper-proof",
-			Description:   "forged Merkle multiproofs on verified reads: rejected client-side with ErrBadProof",
+			Description:   "forged Merkle multiproofs on verified reads: rejected client-side with ErrBadProof, watchtower's sampled reads catch it online",
 			Faults:        map[int]server.Faults{1: {TamperVerifiedProof: true}},
 			Txns:          12,
+			Watchtower:    true,
 			Deterministic: true,
 			Expect: Expect{
-				AuditClean:      true, // the forgery never reaches committed state
-				FaultyServer:    1,
-				VerifiedReadErr: lightclient.ErrBadProof,
+				AuditClean:             true, // the forgery never reaches committed state
+				FaultyServer:           1,
+				VerifiedReadErr:        lightclient.ErrBadProof,
+				WatchFinding:           watch.FindingBadProof,
+				RequireDetectionWithin: 1,
 			},
 		},
 		{

@@ -1,0 +1,287 @@
+package watch
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/lightclient"
+	"repro/internal/merkle"
+	"repro/internal/wire"
+)
+
+// BundleVerifier re-verifies evidence bundles offline, trusting nothing
+// but the servers' registered public keys and the static shard layout. It
+// is what `fides-client -verify-bundle` runs: a third party that receives
+// a bundle needs no connection to the cluster and no trust in the
+// watchtower that produced it — the co-signed material authenticates
+// itself, and the offending material must demonstrably fail the protocol
+// check the bundle's Kind names.
+//
+// What re-verification proves is *that* the protocol was violated. Which
+// server *served* the offending material rests on the watchtower's
+// transcript (Accused), exactly as log-fetch attribution does in the
+// offline audit.
+type BundleVerifier struct {
+	// Registry supplies the public keys co-signs are verified against.
+	Registry *identity.Registry
+	// Servers is the full server set every co-signed artifact must carry.
+	Servers []identity.NodeID
+	// Layout is the item→server directory and shard layout.
+	Layout lightclient.Layout
+	// Coordinator is implicated alongside owners when replaying bundles.
+	Coordinator identity.NodeID
+}
+
+// ErrBadBundle reports a malformed or unsubstantiated bundle: the evidence
+// does not demonstrate the violation its Kind claims.
+var ErrBadBundle = errors.New("watch: evidence bundle does not substantiate its finding")
+
+// Verify re-runs the protocol check the bundle claims was violated.
+// It returns nil exactly when the bundle substantiates its finding: all
+// co-signed anchors authenticate AND the offending material fails the
+// named check.
+func (v *BundleVerifier) Verify(b *wire.EvidenceBundle) error {
+	if b == nil {
+		return fmt.Errorf("%w: nil bundle", ErrBadBundle)
+	}
+	if b.Kind == "" {
+		return fmt.Errorf("%w: no kind", ErrBadBundle)
+	}
+	if len(b.Accused) == 0 {
+		return fmt.Errorf("%w: no accused server", ErrBadBundle)
+	}
+	switch FindingType(b.Kind) {
+	case FindingTamperedChain:
+		return v.verifyTamperedChain(b)
+	case FindingTamperedHeader:
+		return v.verifyTamperedHeader(b)
+	case FindingBadProof:
+		return v.verifyReadBundle(b, lightclient.ErrBadProof)
+	case FindingIncorrectRead:
+		if len(b.Blocks) > 0 {
+			return v.verifyReplay(b)
+		}
+		return v.verifyReadBundle(b, lightclient.ErrIncorrectRead)
+	case FindingDatastoreCorruption:
+		if len(b.Blocks) > 0 {
+			return v.verifyReplay(b)
+		}
+		return v.verifyCorruptVO(b)
+	default:
+		// Replay-derived kinds (stale-timestamp, serializability-violation,
+		// tampered-log, ...) all verify by replaying the co-signed range.
+		return v.verifyReplay(b)
+	}
+}
+
+// verifyHeader runs the standalone acceptance checks on a co-signed
+// header: full signer set, no duplicates, valid collective signature.
+func (v *BundleVerifier) verifyHeader(h *ledger.Header) error {
+	if h == nil {
+		return errors.New("nil header")
+	}
+	if len(h.Signers) != len(v.Servers) {
+		return fmt.Errorf("header %d signed by %d of %d servers", h.Height, len(h.Signers), len(v.Servers))
+	}
+	known := make(map[identity.NodeID]struct{}, len(v.Servers))
+	for _, id := range v.Servers {
+		known[id] = struct{}{}
+	}
+	seen := make(map[identity.NodeID]struct{}, len(h.Signers))
+	for _, id := range h.Signers {
+		if _, ok := known[id]; !ok {
+			return fmt.Errorf("header %d signed by unknown server %s", h.Height, id)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("header %d lists signer %s twice", h.Height, id)
+		}
+		seen[id] = struct{}{}
+	}
+	return ledger.VerifyHeaderSig(h, v.Registry)
+}
+
+// verifyBlocks checks the bundle's co-signed block range: contiguous
+// heights, an intact internal hash chain, and a full-set collective
+// signature on every block.
+func (v *BundleVerifier) verifyBlocks(blocks []*ledger.Block) error {
+	var prevHash []byte
+	for i, b := range blocks {
+		if b == nil {
+			return fmt.Errorf("nil block at index %d", i)
+		}
+		if i > 0 {
+			if b.Height != blocks[i-1].Height+1 {
+				return fmt.Errorf("non-contiguous heights %d, %d", blocks[i-1].Height, b.Height)
+			}
+			if !bytes.Equal(b.PrevHash, prevHash) {
+				return fmt.Errorf("broken hash chain at height %d", b.Height)
+			}
+		} else if b.Height == 0 && len(b.PrevHash) != 0 {
+			return errors.New("genesis block has non-empty prev-hash")
+		}
+		if err := v.verifyHeader(b.Header()); err != nil {
+			return err
+		}
+		prevHash = b.Hash()
+	}
+	return nil
+}
+
+// verifyReplay re-verifies a replay finding: the co-signed range must
+// authenticate, and replaying it must reproduce a finding of the bundle's
+// kind for the bundle's item at the bundle's height.
+func (v *BundleVerifier) verifyReplay(b *wire.EvidenceBundle) error {
+	if len(b.Blocks) == 0 {
+		return fmt.Errorf("%w: %s bundle carries no blocks", ErrBadBundle, b.Kind)
+	}
+	if err := v.verifyBlocks(b.Blocks); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBundle, err)
+	}
+	rp := audit.NewReplayer(v.Layout, v.Coordinator)
+	var findings []audit.Finding
+	for _, blk := range b.Blocks {
+		findings = append(findings, rp.Step(blk)...)
+	}
+	for _, f := range findings {
+		if string(f.Type) != b.Kind {
+			continue
+		}
+		if f.Item != b.Item {
+			continue
+		}
+		if b.TxnID != "" && f.TxnID != b.TxnID {
+			continue
+		}
+		if f.Height >= 0 && uint64(f.Height) != b.Height {
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: replaying %d co-signed blocks does not reproduce a %s finding for item %q at height %d",
+		ErrBadBundle, len(b.Blocks), b.Kind, b.Item, b.Height)
+}
+
+// verifyTamperedChain re-verifies a bad tail block: the served block's
+// header must fail the acceptance checks, either on its own (bad co-sign
+// or signer set) or against the anchor (broken chain).
+func (v *BundleVerifier) verifyTamperedChain(b *wire.EvidenceBundle) error {
+	if b.BadHeader == nil {
+		return fmt.Errorf("%w: tampered-chain bundle carries no served header", ErrBadBundle)
+	}
+	if b.Anchor != nil {
+		if err := v.verifyHeader(b.Anchor); err != nil {
+			return fmt.Errorf("%w: anchor: %v", ErrBadBundle, err)
+		}
+	}
+	if err := v.verifyHeader(b.BadHeader); err != nil {
+		return nil // the served block is self-evidently invalid
+	}
+	if b.Anchor != nil && b.BadHeader.Height == b.Anchor.Height+1 && !bytes.Equal(b.BadHeader.PrevHash, b.Anchor.Hash()) {
+		return nil // valid co-sign but chained to a different history
+	}
+	return fmt.Errorf("%w: served block verifies against the anchor", ErrBadBundle)
+}
+
+// verifyTamperedHeader re-verifies a header-probe finding: the anchor must
+// authenticate, and the served header must differ from it at the same
+// height. A served header that itself carries a valid full-set co-sign is
+// equivocation evidence (two co-signed histories at one height) — still a
+// violation.
+func (v *BundleVerifier) verifyTamperedHeader(b *wire.EvidenceBundle) error {
+	if b.Anchor == nil || b.BadHeader == nil {
+		return fmt.Errorf("%w: tampered-header bundle needs anchor and served header", ErrBadBundle)
+	}
+	if err := v.verifyHeader(b.Anchor); err != nil {
+		return fmt.Errorf("%w: anchor: %v", ErrBadBundle, err)
+	}
+	if b.BadHeader.Height != b.Anchor.Height {
+		return fmt.Errorf("%w: served header is for height %d, anchor for %d", ErrBadBundle, b.BadHeader.Height, b.Anchor.Height)
+	}
+	if bytes.Equal(b.BadHeader.Hash(), b.Anchor.Hash()) {
+		return fmt.Errorf("%w: served header is identical to the co-signed anchor", ErrBadBundle)
+	}
+	return nil
+}
+
+// verifyReadBundle re-verifies a sampled-read finding: the anchor must
+// authenticate and carry a root for the accused shard, and the served
+// response must fail the proof check with the named error class.
+func (v *BundleVerifier) verifyReadBundle(b *wire.EvidenceBundle, wantErr error) error {
+	anchor, root, err := v.anchorRoot(b)
+	if err != nil {
+		return err
+	}
+	if b.Read == nil {
+		return fmt.Errorf("%w: %s bundle carries no read response", ErrBadBundle, b.Kind)
+	}
+	if b.Read.Height != anchor.Height {
+		return fmt.Errorf("%w: read answered at height %d, anchor at %d", ErrBadBundle, b.Read.Height, anchor.Height)
+	}
+	if b.Item != "" {
+		inReq := false
+		for _, id := range b.ReadIDs {
+			if id == b.Item {
+				inReq = true
+				break
+			}
+		}
+		if !inReq {
+			return fmt.Errorf("%w: named item %q is not part of the sampled read", ErrBadBundle, b.Item)
+		}
+	}
+	verr := lightclient.CheckReadProof(v.Layout, b.Accused[0], b.ReadIDs, b.Read, root)
+	if verr == nil {
+		return fmt.Errorf("%w: served read verifies against the co-signed root", ErrBadBundle)
+	}
+	if !errors.Is(verr, wantErr) {
+		return fmt.Errorf("%w: served read fails with %v, but the bundle claims %s", ErrBadBundle, verr, b.Kind)
+	}
+	return nil
+}
+
+// verifyCorruptVO re-verifies a datastore-corruption finding: the anchor
+// must authenticate, and the server's own Verification Object must fold to
+// a root that is not the co-signed one — the datastore cannot authenticate
+// the committed state (Lemma 2).
+func (v *BundleVerifier) verifyCorruptVO(b *wire.EvidenceBundle) error {
+	_, root, err := v.anchorRoot(b)
+	if err != nil {
+		return err
+	}
+	if b.Proof == nil {
+		return fmt.Errorf("%w: datastore-corruption bundle carries no VO", ErrBadBundle)
+	}
+	folded := merkle.RootFromProof(merkle.LeafHash(b.Proof.LeafContent), b.Proof.Proof)
+	if bytes.Equal(folded, root) {
+		return fmt.Errorf("%w: the VO folds to the co-signed root", ErrBadBundle)
+	}
+	return nil
+}
+
+// anchorRoot authenticates the bundle's anchor and extracts the co-signed
+// root of the accused server's shard.
+func (v *BundleVerifier) anchorRoot(b *wire.EvidenceBundle) (*ledger.Header, []byte, error) {
+	if b.Anchor == nil {
+		return nil, nil, fmt.Errorf("%w: %s bundle carries no anchor header", ErrBadBundle, b.Kind)
+	}
+	if err := v.verifyHeader(b.Anchor); err != nil {
+		return nil, nil, fmt.Errorf("%w: anchor: %v", ErrBadBundle, err)
+	}
+	root, ok := b.Anchor.Roots[b.Accused[0]]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: anchor at height %d carries no root for %s", ErrBadBundle, b.Anchor.Height, b.Accused[0])
+	}
+	return b.Anchor, root, nil
+}
+
+// VerifyBundle re-verifies one evidence bundle offline. It is the
+// function-shaped form of BundleVerifier for callers that already hold the
+// deployment's registry and layout.
+func VerifyBundle(b *wire.EvidenceBundle, reg *identity.Registry, servers []identity.NodeID, layout lightclient.Layout, coord identity.NodeID) error {
+	v := &BundleVerifier{Registry: reg, Servers: servers, Layout: layout, Coordinator: coord}
+	return v.Verify(b)
+}

@@ -1,0 +1,420 @@
+package watch_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/watch"
+	"repro/internal/wire"
+)
+
+// newCluster builds a small in-process cluster for watchtower tests.
+func newCluster(t *testing.T, faults map[int]server.Faults) *core.Cluster {
+	t.Helper()
+	cluster, err := core.NewCluster(core.Config{
+		NumServers:     3,
+		ItemsPerShard:  8,
+		BatchSize:      1,
+		NetworkLatency: 50 * time.Microsecond,
+		ServerFaults:   faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	return cluster
+}
+
+// rmw commits one read-modify-write transaction over the given items.
+func rmw(t *testing.T, ctx context.Context, cl *client.Client, val string, items ...int) {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		s := cl.Begin()
+		ok := true
+		for _, i := range items {
+			id := core.ItemName(i%3, i/3)
+			if _, err := s.Read(ctx, id); err != nil {
+				t.Fatalf("read %s: %v", id, err)
+			}
+			if err := s.Write(ctx, id, []byte(val)); err != nil {
+				t.Fatalf("write %s: %v", id, err)
+			}
+		}
+		res, err := s.Commit(ctx)
+		if err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		if ok && res.Committed {
+			return
+		}
+		if attempt > 10 {
+			t.Fatal("could not commit after retries")
+		}
+	}
+}
+
+// verifyBundle runs the offline re-verification a third party would.
+func verifyBundle(cluster *core.Cluster, b *wire.EvidenceBundle) error {
+	return watch.VerifyBundle(b, cluster.Registry(), cluster.Servers(), cluster.Directory(), cluster.Coordinator())
+}
+
+// roundTripBundle ships a bundle through its portable wire encoding.
+func roundTripBundle(t *testing.T, b *wire.EvidenceBundle) *wire.EvidenceBundle {
+	t.Helper()
+	msg, err := wire.Decode(b.AppendBinary(nil))
+	if err != nil {
+		t.Fatalf("decode shipped bundle: %v", err)
+	}
+	out, ok := msg.(*wire.EvidenceBundle)
+	if !ok {
+		t.Fatalf("shipped bundle decodes to %T", msg)
+	}
+	return out
+}
+
+// TestWatchCleanRun: on an honest cluster the watchtower converges to the
+// tip, reports no findings, stays healthy — and its checkpoint lets a full
+// offline audit resume without replaying from genesis.
+func TestWatchCleanRun(t *testing.T) {
+	cluster := newCluster(t, nil)
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := cluster.NewWatchtower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for i := 0; i < 6; i++ {
+		rmw(t, ctx, cl, fmt.Sprintf("v%d", i), 0, 1, 2)
+		if err := wt.Poll(ctx); err != nil {
+			t.Fatalf("poll %d: %v", i, err)
+		}
+	}
+
+	st := wt.Status()
+	if st.Lag != 0 || st.Verified == 0 || st.Verified != st.Tip {
+		t.Fatalf("did not converge: %+v", st)
+	}
+	if !st.Healthy || st.Findings != 0 {
+		t.Fatalf("honest cluster unhealthy: %+v, findings %v", st, wt.Findings())
+	}
+	if st.SampledReads == 0 {
+		t.Fatal("sampling never ran")
+	}
+
+	// Checkpoint reuse: a full audit resumed from the watchtower's verified
+	// checkpoint must agree with a from-genesis audit.
+	cp := wt.Checkpoint()
+	if cp.Height != st.Verified {
+		t.Fatalf("checkpoint height %d, verified %d", cp.Height, st.Verified)
+	}
+	resumed, err := cluster.Audit(ctx, audit.Options{Resume: cp})
+	if err != nil {
+		t.Fatalf("resumed audit: %v", err)
+	}
+	full, err := cluster.Audit(ctx, audit.Options{})
+	if err != nil {
+		t.Fatalf("full audit: %v", err)
+	}
+	if !resumed.Clean() || !full.Clean() {
+		t.Fatalf("audits disagree: resumed %v, full %v", resumed.Findings, full.Findings)
+	}
+}
+
+// findFirst returns the first finding of the given type.
+func findFirst(fs []watch.Finding, ft watch.FindingType) (watch.Finding, bool) {
+	for _, f := range fs {
+		if f.Type == ft {
+			return f, true
+		}
+	}
+	return watch.Finding{}, false
+}
+
+// accuses reports whether the finding implicates the given server index.
+func accuses(f watch.Finding, idx int) bool {
+	for _, s := range f.Servers {
+		if s == core.ServerName(idx) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWatchDetectsStaleReads: scenario 1 of paper §5 — a server serving
+// previous values — is caught online by the streaming replay, and the
+// evidence bundle survives shipping and re-verifies offline; a tampered
+// bundle is rejected.
+func TestWatchDetectsStaleReads(t *testing.T) {
+	cluster := newCluster(t, map[int]server.Faults{1: {StaleReads: true}})
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := cluster.NewWatchtower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// The fault surfaces through two independent paths: the sampled
+	// verified read (bundle anchored on a header + failing proof) and the
+	// streaming replay of the committed block that recorded the stale read
+	// (bundle carrying the co-signed block range). Drive until both exist.
+	var hit, replayHit watch.Finding
+	found, replayFound := false, false
+	for i := 0; i < 12 && !(found && replayFound); i++ {
+		// Repeated read-modify-writes of shard 1's items: once an item has
+		// been overwritten, the faulty server serves its previous value.
+		rmw(t, ctx, cl, fmt.Sprintf("v%d", i), 1, 4)
+		if err := wt.Poll(ctx); err != nil {
+			t.Fatalf("poll %d: %v", i, err)
+		}
+		for _, f := range wt.Findings() {
+			if f.Type != watch.FindingIncorrectRead || f.Bundle == nil {
+				continue
+			}
+			if !found {
+				hit, found = f, true
+			}
+			if len(f.Bundle.Blocks) > 0 && !replayFound {
+				replayHit, replayFound = f, true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("stale reads never detected; findings: %v", wt.Findings())
+	}
+	if !replayFound {
+		t.Fatalf("streaming replay never flagged the stale read; findings: %v", wt.Findings())
+	}
+	if !accuses(hit, 1) {
+		t.Fatalf("incorrect-read accuses %v, want s01", hit.Servers)
+	}
+	if hit.DetectPolls != 0 {
+		t.Fatalf("detection lagged %d polls behind the evidence", hit.DetectPolls)
+	}
+
+	// Both bundles survive shipping and re-verify offline.
+	for _, b := range []*wire.EvidenceBundle{hit.Bundle, replayHit.Bundle} {
+		shipped := roundTripBundle(t, b)
+		if err := verifyBundle(cluster, shipped); err != nil {
+			t.Fatalf("offline re-verification failed: %v", err)
+		}
+	}
+
+	// Tampering with the bundle must break it: naming an item the evidence
+	// does not cover...
+	tampered := roundTripBundle(t, hit.Bundle)
+	tampered.Item = core.ItemName(0, 0)
+	if err := verifyBundle(cluster, tampered); err == nil {
+		t.Fatal("bundle with swapped item accepted")
+	}
+	tampered = roundTripBundle(t, replayHit.Bundle)
+	tampered.Item = core.ItemName(0, 0)
+	if err := verifyBundle(cluster, tampered); err == nil {
+		t.Fatal("replay bundle with swapped item accepted")
+	}
+	// ...and a mutated co-signed block both fail.
+	tampered = roundTripBundle(t, replayHit.Bundle)
+	last := tampered.Blocks[len(tampered.Blocks)-1]
+	if len(last.Txns) > 0 && len(last.Txns[0].Writes) > 0 {
+		last.Txns[0].Writes[0].NewVal = []byte("forged")
+	} else {
+		last.PrevHash = append([]byte(nil), bytes.Repeat([]byte{0xff}, len(last.PrevHash))...)
+	}
+	if err := verifyBundle(cluster, tampered); err == nil {
+		t.Fatal("bundle with mutated co-signed block accepted")
+	}
+
+	status := wt.Status()
+	if status.Healthy {
+		t.Fatal("status healthy despite findings")
+	}
+}
+
+// TestWatchDetectsTamperedHeader: a server forging header pages for light
+// clients is caught by the per-poll header probe even though its block
+// stream is honest.
+func TestWatchDetectsTamperedHeader(t *testing.T) {
+	cluster := newCluster(t, map[int]server.Faults{0: {TamperHeaders: true}})
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := cluster.NewWatchtower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	rmw(t, ctx, cl, "v0", 0, 1, 2)
+	rmw(t, ctx, cl, "v1", 0, 1, 2)
+	if err := wt.Poll(ctx); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+
+	hit, found := findFirst(wt.Findings(), watch.FindingTamperedHeader)
+	if !found {
+		t.Fatalf("forged headers never detected; findings: %v", wt.Findings())
+	}
+	if !accuses(hit, 0) {
+		t.Fatalf("tampered-header accuses %v, want s00", hit.Servers)
+	}
+	shipped := roundTripBundle(t, hit.Bundle)
+	if err := verifyBundle(cluster, shipped); err != nil {
+		t.Fatalf("offline re-verification failed: %v", err)
+	}
+	// A bundle whose served header equals the anchor accuses nobody.
+	tampered := roundTripBundle(t, hit.Bundle)
+	tampered.BadHeader = tampered.Anchor
+	if err := verifyBundle(cluster, tampered); err == nil {
+		t.Fatal("bundle with honest header accepted")
+	}
+}
+
+// TestWatchDetectsTamperedProof: a forged verified-read proof is caught by
+// the sampled read and classified as bad-proof.
+func TestWatchDetectsTamperedProof(t *testing.T) {
+	cluster := newCluster(t, map[int]server.Faults{1: {TamperVerifiedProof: true}})
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := cluster.NewWatchtower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	rmw(t, ctx, cl, "v0", 1)
+	if err := wt.Poll(ctx); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+
+	hit, found := findFirst(wt.Findings(), watch.FindingBadProof)
+	if !found {
+		t.Fatalf("forged proof never detected; findings: %v", wt.Findings())
+	}
+	if !accuses(hit, 1) {
+		t.Fatalf("bad-proof accuses %v, want s01", hit.Servers)
+	}
+	shipped := roundTripBundle(t, hit.Bundle)
+	if err := verifyBundle(cluster, shipped); err != nil {
+		t.Fatalf("offline re-verification failed: %v", err)
+	}
+}
+
+// TestWatchDetectsDatastoreCorruption: a corrupted apply is caught by the
+// sampled read and classified as datastore corruption via the follow-up
+// VO, which demonstrably fails to fold to the co-signed root.
+func TestWatchDetectsDatastoreCorruption(t *testing.T) {
+	cluster := newCluster(t, map[int]server.Faults{2: {CorruptApplyValue: []byte("evil")}})
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := cluster.NewWatchtower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var hit watch.Finding
+	found := false
+	for i := 0; i < 4 && !found; i++ {
+		rmw(t, ctx, cl, fmt.Sprintf("v%d", i), 2)
+		if err := wt.Poll(ctx); err != nil {
+			t.Fatalf("poll %d: %v", i, err)
+		}
+		hit, found = findFirst(wt.Findings(), watch.FindingDatastoreCorruption)
+	}
+	if !found {
+		t.Fatalf("datastore corruption never detected; findings: %v", wt.Findings())
+	}
+	if !accuses(hit, 2) {
+		t.Fatalf("datastore-corruption accuses %v, want s02", hit.Servers)
+	}
+	shipped := roundTripBundle(t, hit.Bundle)
+	if err := verifyBundle(cluster, shipped); err != nil {
+		t.Fatalf("offline re-verification failed: %v", err)
+	}
+	// The corruption VO is the damning piece: without it the bundle cannot
+	// substantiate the accusation.
+	tampered := roundTripBundle(t, hit.Bundle)
+	tampered.Proof = nil
+	if err := verifyBundle(cluster, tampered); err == nil {
+		t.Fatal("datastore-corruption bundle without VO accepted")
+	}
+}
+
+// TestWatchResumeFromCheckpoint: a watchtower restarted from a persisted
+// checkpoint continues where the first left off instead of re-verifying
+// from genesis.
+func TestWatchResumeFromCheckpoint(t *testing.T) {
+	cluster := newCluster(t, nil)
+	cl, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := cluster.NewWatchtower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	rmw(t, ctx, cl, "v0", 0, 1, 2)
+	rmw(t, ctx, cl, "v1", 0, 1, 2)
+	if err := wt.Poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cp := wt.Checkpoint()
+	if cp.Height == 0 {
+		t.Fatal("empty checkpoint")
+	}
+
+	ident, err := cluster.NewClientIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := cluster.Endpoint(ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt2, err := watch.New(watch.Config{
+		Registry:    cluster.Registry(),
+		Transport:   ep,
+		Layout:      cluster.Directory(),
+		Servers:     cluster.Servers(),
+		Coordinator: cluster.Coordinator(),
+		SampleRate:  1,
+		Resume:      cp,
+		Obs:         cluster.Obs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rmw(t, ctx, cl, "v2", 0, 1, 2)
+	if err := wt2.Poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := wt2.Status()
+	if st.Lag != 0 || !st.Healthy {
+		t.Fatalf("resumed watchtower did not converge cleanly: %+v, findings %v", st, wt2.Findings())
+	}
+	// It verified only the suffix above the checkpoint.
+	if st.BlocksVerified >= st.Verified {
+		t.Fatalf("resumed watchtower re-verified from genesis: %d blocks for height %d", st.BlocksVerified, st.Verified)
+	}
+}

@@ -58,6 +58,8 @@ const (
 	idAskDecisionResp
 	idFetchBlocksReq
 	idFetchBlocksResp
+	idEvidenceBundle
+	idIntegrityStatus
 	idMax // one past the last valid id
 )
 
@@ -801,6 +803,205 @@ func (m *FetchBlocksResp) UnmarshalBinary(data []byte) error {
 	return finish(&r, MsgFetchBlocks+" resp")
 }
 
+// --- watchtower ---
+
+func appendHeaderPtr(buf []byte, h *ledger.Header) []byte {
+	if h == nil {
+		return binenc.AppendBool(buf, false)
+	}
+	buf = binenc.AppendBool(buf, true)
+	return h.AppendBinary(buf)
+}
+
+func decodeHeaderPtr(r *binenc.Reader) (*ledger.Header, error) {
+	if !r.Bool() {
+		return nil, r.Err()
+	}
+	h := new(ledger.Header)
+	if err := ledger.DecodeHeader(r, h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func appendItemIDs(buf []byte, ids []txn.ItemID) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binenc.AppendString(buf, string(id))
+	}
+	return buf
+}
+
+func decodeItemIDs(r *binenc.Reader) []txn.ItemID {
+	n := r.Count(1)
+	if n == 0 {
+		return nil
+	}
+	ids := make([]txn.ItemID, n)
+	for i := range ids {
+		ids[i] = txn.ItemID(r.String())
+	}
+	return ids
+}
+
+// appendNested frames an inner message as a length-prefixed byte field, so
+// optional embedded messages (a served VerifiedReadResp, a served VO) reuse
+// their own codec verbatim, header included.
+func appendNested(buf []byte, m binaryMessage) []byte {
+	if m == nil {
+		return binenc.AppendBool(buf, false)
+	}
+	buf = binenc.AppendBool(buf, true)
+	return binenc.AppendBytes(buf, m.AppendBinary(nil))
+}
+
+func decodeNested(r *binenc.Reader, m binaryMessage) (bool, error) {
+	if !r.Bool() {
+		return false, r.Err()
+	}
+	raw := r.Bytes()
+	if err := r.Err(); err != nil {
+		return false, err
+	}
+	if err := m.UnmarshalBinary(raw); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// AppendBinary implements the binary wire codec.
+func (m *EvidenceBundle) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idEvidenceBundle)
+	buf = binenc.AppendString(buf, m.Kind)
+	buf = binenc.AppendUvarint(buf, uint64(len(m.Accused)))
+	for _, id := range m.Accused {
+		buf = binenc.AppendString(buf, string(id))
+	}
+	buf = binenc.AppendUint64(buf, m.Height)
+	buf = binenc.AppendString(buf, string(m.Item))
+	buf = binenc.AppendString(buf, m.TxnID)
+	buf = binenc.AppendString(buf, m.Detail)
+	buf = binenc.AppendUvarint(buf, uint64(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		buf = appendBlockPtr(buf, b)
+	}
+	buf = appendHeaderPtr(buf, m.Anchor)
+	buf = appendHeaderPtr(buf, m.BadHeader)
+	buf = appendItemIDs(buf, m.ReadIDs)
+	if m.Read == nil {
+		buf = appendNested(buf, nil)
+	} else {
+		buf = appendNested(buf, m.Read)
+	}
+	if m.Proof == nil {
+		buf = appendNested(buf, nil)
+	} else {
+		buf = appendNested(buf, m.Proof)
+	}
+	return buf
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *EvidenceBundle) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idEvidenceBundle)
+	if err != nil {
+		return err
+	}
+	m.Kind = r.String()
+	m.Accused = nil
+	if n := r.Count(1); n > 0 {
+		m.Accused = make([]identity.NodeID, n)
+		for i := range m.Accused {
+			m.Accused[i] = identity.NodeID(r.String())
+		}
+	}
+	m.Height = r.Uint64()
+	m.Item = txn.ItemID(r.String())
+	m.TxnID = r.String()
+	m.Detail = r.String()
+	m.Blocks = nil
+	if n := r.Count(1); n > 0 {
+		m.Blocks = make([]*ledger.Block, n)
+		for i := range m.Blocks {
+			if m.Blocks[i], err = decodeBlockPtr(&r); err != nil {
+				return err
+			}
+			// Replay evidence never legitimately contains a hole.
+			if m.Blocks[i] == nil {
+				return fmt.Errorf("wire: decode %s: nil block at index %d", MsgEvidenceBundle, i)
+			}
+		}
+	}
+	if m.Anchor, err = decodeHeaderPtr(&r); err != nil {
+		return err
+	}
+	if m.BadHeader, err = decodeHeaderPtr(&r); err != nil {
+		return err
+	}
+	m.ReadIDs = decodeItemIDs(&r)
+	m.Read = nil
+	read := new(VerifiedReadResp)
+	if ok, err := decodeNested(&r, read); err != nil {
+		return err
+	} else if ok {
+		m.Read = read
+	}
+	m.Proof = nil
+	proof := new(FetchProofResp)
+	if ok, err := decodeNested(&r, proof); err != nil {
+		return err
+	} else if ok {
+		m.Proof = proof
+	}
+	return finish(&r, MsgEvidenceBundle)
+}
+
+// AppendBinary implements the binary wire codec.
+func (m *IntegrityStatus) AppendBinary(buf []byte) []byte {
+	buf = appendHeader(buf, idIntegrityStatus)
+	buf = binenc.AppendString(buf, string(m.Watcher))
+	buf = binenc.AppendUint64(buf, m.Tip)
+	buf = binenc.AppendUint64(buf, m.Verified)
+	buf = binenc.AppendUint64(buf, m.Lag)
+	buf = binenc.AppendUint64(buf, m.BlocksVerified)
+	buf = binenc.AppendUint64(buf, m.SampledReads)
+	buf = binenc.AppendUint64(buf, m.Findings)
+	buf = binenc.AppendUvarint(buf, uint64(len(m.Alerts)))
+	for i := range m.Alerts {
+		buf = binenc.AppendString(buf, m.Alerts[i].Rule)
+		buf = binenc.AppendString(buf, m.Alerts[i].Severity)
+		buf = binenc.AppendString(buf, m.Alerts[i].Message)
+	}
+	return binenc.AppendBool(buf, m.Healthy)
+}
+
+// UnmarshalBinary implements the binary wire codec.
+func (m *IntegrityStatus) UnmarshalBinary(data []byte) error {
+	r, err := openHeader(data, idIntegrityStatus)
+	if err != nil {
+		return err
+	}
+	m.Watcher = identity.NodeID(r.String())
+	m.Tip = r.Uint64()
+	m.Verified = r.Uint64()
+	m.Lag = r.Uint64()
+	m.BlocksVerified = r.Uint64()
+	m.SampledReads = r.Uint64()
+	m.Findings = r.Uint64()
+	m.Alerts = nil
+	// Minimum alert encoding: three empty length prefixes.
+	if n := r.Count(3); n > 0 {
+		m.Alerts = make([]IntegrityAlert, n)
+		for i := range m.Alerts {
+			m.Alerts[i].Rule = r.String()
+			m.Alerts[i].Severity = r.String()
+			m.Alerts[i].Message = r.String()
+		}
+	}
+	m.Healthy = r.Bool()
+	return finish(&r, MsgIntegrityStatus)
+}
+
 // Decode decodes an arbitrary binary wire message from its self-describing
 // header, returning the concrete message struct. It is the debugging and
 // fuzzing entry point: any byte string either decodes into exactly one
@@ -888,6 +1089,10 @@ func newMessage(id byte) binaryMessage {
 		return new(FetchBlocksReq)
 	case idFetchBlocksResp:
 		return new(FetchBlocksResp)
+	case idEvidenceBundle:
+		return new(EvidenceBundle)
+	case idIntegrityStatus:
+		return new(IntegrityStatus)
 	default:
 		return nil
 	}

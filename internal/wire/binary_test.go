@@ -124,6 +124,30 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&AskDecisionResp{Tip: 3}, // height beyond the responder's log
 		&FetchBlocksReq{From: 9, Max: 64},
 		&FetchBlocksResp{Blocks: []*ledger.Block{block, block}, Tip: 44},
+		&EvidenceBundle{
+			Kind:    "incorrect-read",
+			Accused: []identity.NodeID{"s01"},
+			Height:  42,
+			Item:    "s01-i0003",
+			TxnID:   "c01-t7",
+			Detail:  "sampled read served a value the proof does not authenticate",
+			Blocks:  []*ledger.Block{block, block},
+			Anchor:  block.Header(),
+			ReadIDs: []txn.ItemID{"s01-i0003"},
+			Read: &VerifiedReadResp{
+				Height: 42,
+				Items:  []VerifiedItem{{ID: "s01-i0003", Value: []byte("lie")}},
+				Proof:  merkle.MultiProof{Indices: []int{3}, Depth: 2, Siblings: [][]byte{bytes.Repeat([]byte{9}, 32)}},
+			},
+			Proof: &FetchProofResp{LeafContent: []byte("leaf"), Proof: merkle.Proof{Index: 3, Siblings: [][]byte{bytes.Repeat([]byte{5}, 32)}}},
+		},
+		&EvidenceBundle{Kind: "tampered-header", Accused: []identity.NodeID{"s00"}, Height: 7, Detail: "forged header page", Anchor: block.Header(), BadHeader: block.Header()},
+		&IntegrityStatus{
+			Watcher: "wt0001", Tip: 50, Verified: 48, Lag: 2,
+			BlocksVerified: 48, SampledReads: 12, Findings: 1,
+			Alerts:  []IntegrityAlert{{Rule: "findings", Severity: "critical", Message: "1 integrity finding"}},
+			Healthy: false,
+		},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
@@ -141,6 +165,7 @@ func TestRoundTripZeroValues(t *testing.T) {
 		&FetchHeadersReq{}, &FetchHeadersResp{}, &VerifiedReadReq{},
 		&VerifiedReadResp{}, &AskDecisionReq{}, &AskDecisionResp{},
 		&FetchBlocksReq{}, &FetchBlocksResp{},
+		&EvidenceBundle{}, &IntegrityStatus{},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
@@ -259,6 +284,13 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add((&AskDecisionResp{Block: block, Tip: 7}).AppendBinary(nil))
 	f.Add((&FetchBlocksReq{From: 2, Max: 16}).AppendBinary(nil))
 	f.Add((&FetchBlocksResp{Blocks: []*ledger.Block{block}, Tip: 2}).AppendBinary(nil))
+	f.Add((&EvidenceBundle{Kind: "bad-proof", Accused: []identity.NodeID{"s1"}, Height: 3,
+		Blocks: []*ledger.Block{block}, Anchor: block.Header(), BadHeader: block.Header(),
+		ReadIDs: []txn.ItemID{"a"},
+		Read:    &VerifiedReadResp{Height: 3, Items: []VerifiedItem{{ID: "a"}}, Proof: merkle.MultiProof{Indices: []int{0}, Depth: 1, Siblings: [][]byte{{2}}}},
+		Proof:   &FetchProofResp{LeafContent: []byte("l"), Proof: merkle.Proof{Index: 1, Siblings: [][]byte{{1}}}}}).AppendBinary(nil))
+	f.Add((&IntegrityStatus{Watcher: "wt", Tip: 5, Verified: 5, BlocksVerified: 5, SampledReads: 2,
+		Alerts: []IntegrityAlert{{Rule: "verified_lag", Severity: "warning", Message: "m"}}, Healthy: true}).AppendBinary(nil))
 	f.Add([]byte{})
 	f.Add([]byte{BinaryVersion})
 	f.Add([]byte{BinaryVersion, 200})

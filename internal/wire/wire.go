@@ -49,6 +49,14 @@ const (
 	// trusted or not — can answer these.
 	MsgAskDecision = "tfc_ask_decision"
 	MsgFetchBlocks = "log_fetch_blocks"
+
+	// Watchtower (internal/watch): portable misbehavior evidence and the
+	// /integrity status document. Neither is an RPC — bundles are written
+	// to disk / shipped to third parties, the status is served over HTTP —
+	// but both live in the wire vocabulary so they share the binary codec,
+	// the fuzz corpus, and offline decodability guarantees.
+	MsgEvidenceBundle  = "watch_evidence"
+	MsgIntegrityStatus = "watch_integrity"
 )
 
 // BeginTxnReq opens a transaction at a server storing items the transaction
@@ -310,4 +318,84 @@ type FetchBlocksReq struct {
 type FetchBlocksResp struct {
 	Blocks []*ledger.Block `json:"blocks"`
 	Tip    uint64          `json:"tip"`
+}
+
+// EvidenceBundle is a self-contained, portable accusation: everything a
+// third party needs to re-verify a watchtower finding offline, trusting
+// nothing but the servers' registered public keys. The co-signed material
+// (Blocks, Anchor) authenticates itself; the offending material (BadHeader,
+// Read, Proof, or the tail of Blocks) demonstrably fails the protocol check
+// the bundle's Kind names. internal/watch.VerifyBundle re-runs that check;
+// `fides-client -verify-bundle` wraps it for the command line.
+//
+// Attribution note: the co-signed evidence proves *that* the protocol was
+// violated; which server *served* the offending response rests on the
+// watchtower's transcript (Accused), exactly as log-fetch attribution does
+// in the offline audit.
+type EvidenceBundle struct {
+	// Kind is the watch finding type the bundle substantiates.
+	Kind string `json:"kind"`
+	// Accused names the server(s) the watchtower received the offending
+	// material from (or that own the offending item, for replay findings).
+	Accused []identity.NodeID `json:"accused"`
+	// Height is the block height the finding is anchored at.
+	Height uint64 `json:"height"`
+	// Item and TxnID locate the finding, when applicable.
+	Item  txn.ItemID `json:"item,omitempty"`
+	TxnID string     `json:"txn_id,omitempty"`
+	// Detail is the watchtower's human-readable explanation.
+	Detail string `json:"detail"`
+
+	// Blocks is a contiguous co-signed block range for replay findings:
+	// replaying it from its first block reproduces the finding (the first
+	// block baselines the item state, the last exhibits the violation).
+	Blocks []*ledger.Block `json:"blocks,omitempty"`
+	// Anchor is the co-signed header serving-path evidence is checked
+	// against (the header whose root the offending response claimed).
+	Anchor *ledger.Header `json:"anchor,omitempty"`
+	// BadHeader is a forged header exactly as served.
+	BadHeader *ledger.Header `json:"bad_header,omitempty"`
+	// ReadIDs is the item set the watchtower requested when the offending
+	// verified read was served.
+	ReadIDs []txn.ItemID `json:"read_ids,omitempty"`
+	// Read is the offending verified-read response exactly as served.
+	Read *VerifiedReadResp `json:"read,omitempty"`
+	// Proof is the follow-up single-item VO used to classify a failed read
+	// (datastore corruption vs. a lie about the value).
+	Proof *FetchProofResp `json:"proof,omitempty"`
+}
+
+// IntegrityAlert is one in-process alert rule evaluation result.
+type IntegrityAlert struct {
+	// Rule names the threshold rule that fired (e.g. "verified_lag",
+	// "findings").
+	Rule string `json:"rule"`
+	// Severity is "warning" or "critical".
+	Severity string `json:"severity"`
+	// Message explains the firing state.
+	Message string `json:"message"`
+}
+
+// IntegrityStatus is the watchtower's integrity SLO document, served as
+// JSON on /integrity and embeddable in the binary codec for archival.
+type IntegrityStatus struct {
+	// Watcher identifies the reporting watchtower.
+	Watcher identity.NodeID `json:"watcher"`
+	// Tip is the highest chain height any server reports.
+	Tip uint64 `json:"tip"`
+	// Verified is the height up to which the watchtower has re-verified
+	// and replayed the chain.
+	Verified uint64 `json:"verified"`
+	// Lag is Tip - Verified (the freshness SLO).
+	Lag uint64 `json:"lag"`
+	// BlocksVerified counts blocks re-verified since start.
+	BlocksVerified uint64 `json:"blocks_verified"`
+	// SampledReads counts sampled proof-carrying reads since start.
+	SampledReads uint64 `json:"sampled_reads"`
+	// Findings counts integrity findings since start.
+	Findings uint64 `json:"findings"`
+	// Alerts lists the alert rules currently firing.
+	Alerts []IntegrityAlert `json:"alerts,omitempty"`
+	// Healthy is true when nothing fires: lag within bounds, no findings.
+	Healthy bool `json:"healthy"`
 }

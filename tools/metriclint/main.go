@@ -14,8 +14,14 @@
 // constraints — a metric name is a string literal at its registration
 // site by construction, since internal/obs validates names at runtime.
 //
+// -require lists name prefixes (comma-separated) at least one registered
+// metric must carry — a tripwire against silently deleting a whole
+// instrument family (e.g. the watchtower's fides_watch_*) while its docs
+// and dashboards still reference it.
+//
 //	metriclint            # lint ./internal ./cmd against docs/observability.md
 //	metriclint -docs docs/observability.md -src internal,cmd
+//	metriclint -require fides_watch_,fides_commit_
 package main
 
 import (
@@ -126,6 +132,7 @@ func main() {
 	var (
 		docsPath = flag.String("docs", "docs/observability.md", "metric catalog to check against")
 		src      = flag.String("src", "internal,cmd", "comma-separated source roots to scan")
+		require  = flag.String("require", "fides_watch_", "comma-separated name prefixes at least one registered metric must carry (empty disables)")
 	)
 	flag.Parse()
 
@@ -161,6 +168,20 @@ func main() {
 	for name := range docKinds {
 		if _, ok := srcKinds[name]; !ok {
 			problems = append(problems, fmt.Sprintf("%s: documented in %s but no longer registered anywhere", name, *docsPath))
+		}
+	}
+	if *require != "" {
+		for _, prefix := range strings.Split(*require, ",") {
+			found := false
+			for name := range srcKinds {
+				if strings.HasPrefix(name, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				problems = append(problems, fmt.Sprintf("no registered metric carries the required prefix %q", prefix))
+			}
 		}
 	}
 

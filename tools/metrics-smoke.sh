@@ -6,11 +6,16 @@
 # cover the registry, this covers the wiring (fides-server flags, the HTTP
 # mux, per-process registries, WAL instruments under a real data dir).
 #
+# It then launches the fides-watch watchtower against the same deployment
+# and asserts its /integrity document converges: verified height catches
+# the tip, lag reaches 0, and an honest cluster produces zero findings.
+#
 # Usage: sh tools/metrics-smoke.sh   (from the repo root; needs free ports)
 set -eu
 
 BASE_PORT=${BASE_PORT:-7180}
 METRICS_PORT=${METRICS_PORT:-9180}
+WATCH_PORT=${WATCH_PORT:-9190}
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/fides-metrics-smoke.XXXXXX")
 PIDS=""
 
@@ -39,6 +44,7 @@ echo "metrics-smoke: building..."
 go build -o "$WORK/fides-keygen" ./cmd/fides-keygen
 go build -o "$WORK/fides-server" ./cmd/fides-server
 go build -o "$WORK/fides-client" ./cmd/fides-client
+go build -o "$WORK/fides-watch" ./cmd/fides-watch
 
 "$WORK/fides-keygen" -n 3 -base-port "$BASE_PORT" -batch 4 \
     -out "$WORK/deployment.json" -data-dir "$WORK/data" -fsync group
@@ -96,5 +102,44 @@ done
 # pprof must serve from the same mux.
 fetch "http://127.0.0.1:$METRICS_PORT/debug/pprof/cmdline" >/dev/null ||
     fail "coordinator /debug/pprof/cmdline unreachable"
+
+# Watchtower: tail the 12-txn chain, re-verify it, and serve the
+# integrity SLO document. Lag must converge to 0 with a nonzero verified
+# height, and an honest deployment must produce zero findings.
+echo "metrics-smoke: starting watchtower..."
+"$WORK/fides-watch" -deployment "$WORK/deployment.json" \
+    -metrics-addr "127.0.0.1:$WATCH_PORT" -interval 200ms -sample-rate 1 \
+    -log-level warn 2>"$WORK/watch.log" &
+PIDS="$PIDS $!"
+
+# json_field <doc> <name>: extract a bare numeric/boolean field value.
+json_field() {
+    printf '%s\n' "$1" | sed -n "s/^.*\"$2\": *\([0-9a-z]*\).*$/\1/p" | head -n 1
+}
+
+converged=0
+for _ in $(seq 1 50); do
+    if integrity=$(fetch "http://127.0.0.1:$WATCH_PORT/integrity" 2>/dev/null); then
+        lag=$(json_field "$integrity" lag)
+        verified=$(json_field "$integrity" verified)
+        if [ "${lag:-1}" = 0 ] && [ "${verified:-0}" -gt 0 ]; then
+            converged=1
+            break
+        fi
+    fi
+    sleep 0.2
+done
+[ "$converged" = 1 ] || { cat "$WORK/watch.log" >&2; fail "watchtower lag never converged to 0: ${integrity:-no response}"; }
+echo "metrics-smoke: watchtower verified=$verified lag=$lag"
+
+findings=$(json_field "$integrity" findings)
+[ "${findings:-1}" = 0 ] || fail "watchtower reported $findings findings on an honest deployment"
+healthy=$(json_field "$integrity" healthy)
+[ "$healthy" = true ] || fail "watchtower /integrity not healthy: $integrity"
+
+wscrape=$(fetch "http://127.0.0.1:$WATCH_PORT/metrics")
+assert_nonzero "$wscrape" 'fides_watch_blocks_verified_total' "watchtower"
+assert_nonzero "$wscrape" 'fides_watch_verified_height' "watchtower"
+assert_nonzero "$wscrape" 'fides_watch_sampled_reads_total{outcome="ok"' "watchtower"
 
 echo "metrics-smoke: PASS"
