@@ -8,7 +8,7 @@ GO ?= go
 BENCH ?= BenchmarkFig13
 PROFILE_DIR ?= .profiles
 
-.PHONY: all build vet lint metriclint test test-short test-race sim sim-sweep sim-determinism bench bench-fig12 bench-wal bench-pipeline bench-reads bench-gate fuzz metrics-smoke profile docs-check clean
+.PHONY: all build vet lint metriclint cryptolint test test-short test-race sim sim-sweep sim-determinism bench bench-fig12 bench-wal bench-pipeline bench-reads bench-gate fuzz metrics-smoke profile docs-check clean
 
 all: vet build test
 
@@ -20,7 +20,7 @@ vet:
 
 # Mirrors the CI lint job. Staticcheck is pinned there; locally it is
 # used when installed and skipped (with a note) when not.
-lint: vet metriclint
+lint: vet metriclint cryptolint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -31,6 +31,11 @@ lint: vet metriclint
 # documented in docs/observability.md with the right kind, and vice versa.
 metriclint:
 	$(GO) run ./tools/metriclint
+
+# The verification-plane boundary: no direct ed25519/cosi verify calls on
+# the commit hot path outside internal/crypto's backends.
+cryptolint:
+	$(GO) run ./tools/cryptolint
 
 test:
 	$(GO) test ./...
@@ -60,9 +65,9 @@ sim-determinism:
 # The CI bench gate, runnable locally: re-measure the baseline
 # configuration and compare against the committed report.
 bench-gate:
-	$(GO) run ./cmd/fidesbench -exp fig12,watch -requests 120 -latency 100us \
+	$(GO) run ./cmd/fidesbench -exp fig12,watch,crypto -requests 120 -latency 100us \
 		-runs 1 -json /tmp/fides-bench-gate.json
-	$(GO) run ./tools/benchgate -baseline BENCH_PR9.json \
+	$(GO) run ./tools/benchgate -baseline BENCH_PR10.json \
 		-current /tmp/fides-bench-gate.json
 
 # Figure benchmarks (see bench_test.go; cmd/fidesbench runs the

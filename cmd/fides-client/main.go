@@ -38,6 +38,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/lightclient"
 	"repro/internal/obs"
+	"repro/internal/peer"
 	"repro/internal/transport"
 	"repro/internal/watch"
 	"repro/internal/wire"
@@ -146,10 +147,12 @@ func run(logger *slog.Logger, path string, txns, opsPerTxn int, runAudit, verify
 	var lc *lightclient.Client
 	if verify {
 		if lc, err = lightclient.New(lightclient.Config{
-			Registry:  reg,
-			Transport: node,
-			Layout:    dir,
-			Servers:   d.ServerIDs(),
+			PeerConfig: peer.PeerConfig{
+				Registry:  reg,
+				Transport: node,
+				Servers:   d.ServerIDs(),
+			},
+			Layout: dir,
 		}); err != nil {
 			return err
 		}
@@ -226,7 +229,7 @@ func run(logger *slog.Logger, path string, txns, opsPerTxn int, runAudit, verify
 			switch op.Kind {
 			case workload.OpRead:
 				if verify {
-					if _, err := s.ReadVerified(ctx, op.Item); err != nil {
+					if _, err := s.Read(ctx, op.Item, client.Verified()); err != nil {
 						return err
 					}
 				} else if _, err := s.Read(ctx, op.Item); err != nil {
@@ -266,12 +269,14 @@ func run(logger *slog.Logger, path string, txns, opsPerTxn int, runAudit, verify
 	}
 	defer func() { _ = auditNode.Close() }()
 	auditor, err := audit.New(audit.Config{
-		Identity:    auditIdent,
-		Registry:    reg,
-		Transport:   auditNode,
-		Servers:     d.ServerIDs(),
-		Directory:   dir,
-		Coordinator: d.CoordinatorID(),
+		PeerConfig: peer.PeerConfig{
+			Registry:    reg,
+			Transport:   auditNode,
+			Servers:     d.ServerIDs(),
+			Coordinator: d.CoordinatorID(),
+		},
+		Identity:  auditIdent,
+		Directory: dir,
 	})
 	if err != nil {
 		return err

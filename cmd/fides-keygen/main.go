@@ -40,6 +40,8 @@ func main() {
 		fsync        = flag.String("fsync", "", "WAL flush discipline: always|group|off")
 		snapEvery    = flag.Int("snapshot-every", 0, "snapshot each shard every N blocks (0 = no snapshots)")
 		pipeline     = flag.Int("pipeline", 1, "TFCommit blocks in flight at once (1 = serial rounds)")
+		crypto       = flag.String("crypto", "", "verification backend: serial|batched (empty = serial)")
+		cryptoW      = flag.Int("crypto-workers", 0, "batched-backend worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,8 @@ func main() {
 	d.Fsync = *fsync
 	d.SnapshotEvery = *snapEvery
 	d.Pipeline = *pipeline
+	d.Crypto = *crypto
+	d.CryptoWorkers = *cryptoW
 	if err := d.Save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "fides-keygen: %v\n", err)
 		os.Exit(1)

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/crypto"
 	"repro/internal/deploy"
 	"repro/internal/durable"
 	"repro/internal/identity"
@@ -58,19 +59,21 @@ func main() {
 		fsync          = flag.String("fsync", "", "WAL flush discipline: always|group|off (overrides the descriptor)")
 		snapEvery      = flag.Int("snapshot-every", 0, "snapshot the shard every N blocks (overrides the descriptor; 0 = descriptor's value)")
 		pipeline       = flag.Int("pipeline", 0, "TFCommit blocks in flight at once (overrides the descriptor; 0 = descriptor's value, 1 = serial)")
+		cryptoBackend  = flag.String("crypto", "", "verification backend: serial|batched (overrides the descriptor; empty = descriptor's value)")
+		cryptoWorkers  = flag.Int("crypto-workers", 0, "batched-backend worker pool size (overrides the descriptor; 0 = descriptor's value, then GOMAXPROCS)")
 		resolveEvery   = flag.Duration("resolve-interval", 2*time.Second, "background decision-resolver period: a server behind the cluster tip pulls the missing verified suffix from peers (0 disables)")
 		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof/* on this address (empty disables)")
 		logLevel       = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		logJSON        = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
-	if err := run(*deploymentPath, *index, *dataDir, *fsync, *snapEvery, *pipeline, *resolveEvery, *metricsAddr, *logLevel, *logJSON); err != nil {
+	if err := run(*deploymentPath, *index, *dataDir, *fsync, *snapEvery, *pipeline, *cryptoBackend, *cryptoWorkers, *resolveEvery, *metricsAddr, *logLevel, *logJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "fides-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int, resolveEvery time.Duration, metricsAddr, logLevel string, logJSON bool) error {
+func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int, cryptoBackend string, cryptoWorkers int, resolveEvery time.Duration, metricsAddr, logLevel string, logJSON bool) error {
 	d, err := deploy.Load(path)
 	if err != nil {
 		return err
@@ -80,6 +83,12 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 	}
 	if pipeline < 1 {
 		pipeline = 1
+	}
+	if cryptoBackend == "" {
+		cryptoBackend = d.Crypto
+	}
+	if cryptoWorkers == 0 {
+		cryptoWorkers = d.CryptoWorkers
 	}
 	if d.Coordinators > 1 {
 		// Rotation dispatches each block to a coordinator instance in the
@@ -111,6 +120,21 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 	o = o.With(obs.L("server", string(ident.ID)))
 	logger := o.Log()
 
+	// One verification plane per process: the server's commit path, the
+	// termination service (index 0) and the block batcher all verify
+	// through the same instance, so a co-sign or envelope verdict reached
+	// in one phase is a cache hit in the next.
+	var verifier crypto.Verifier
+	switch cryptoBackend {
+	case core.CryptoSerial:
+		verifier = crypto.NewSerial(reg)
+	case core.CryptoBatched:
+		verifier = crypto.NewBatched(crypto.Options{Registry: reg, Workers: cryptoWorkers, Obs: o})
+		defer verifier.Close()
+	default:
+		return fmt.Errorf("unknown crypto backend %q (want %s or %s)", cryptoBackend, core.CryptoSerial, core.CryptoBatched)
+	}
+
 	if dataDir == "" {
 		dataDir = d.DataDir
 	}
@@ -140,6 +164,7 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 		// them briefly is harmless when the coordinator really is serial
 		// (the wait only engages for heights above the log tip).
 		VoteLookahead: core.VoteLookahead,
+		Verifier:      verifier,
 	}
 	if dataDir == "" {
 		scfg.Shard = store.NewShard(items, initial, store.Config{MultiVersion: d.MultiVersion})
@@ -242,6 +267,7 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 			Servers:   d.ServerIDs(),
 			Local:     srv,
 			Obs:       o,
+			Verifier:  verifier,
 		})
 		if err != nil {
 			return err
@@ -260,10 +286,11 @@ func run(path string, index int, dataDir, fsync string, snapEvery, pipeline int,
 			committer = core.NewPipelineCommitter(pipe)
 		}
 		batcher := core.NewPipelinedBatcherObs(committer, reg, d.BatchSize, 5*time.Millisecond, pipeline, o)
+		batcher.SetVerifier(verifier)
 		batcher.Observe(srv.LastCommitted())
 		defer batcher.Close()
 		srv.SetTerminator(batcher)
-		logger.Info("listening", "addr", node.Addr(), "role", "coordinator", "pipeline", pipeline)
+		logger.Info("listening", "addr", node.Addr(), "role", "coordinator", "pipeline", pipeline, "crypto", cryptoBackend)
 	} else {
 		logger.Info("listening", "addr", node.Addr(), "role", "cohort")
 	}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/identity"
 	"repro/internal/obs"
+	"repro/internal/peer"
 	"repro/internal/transport"
 	"repro/internal/watch"
 )
@@ -109,16 +110,18 @@ func run(path string, clientIndex int, metricsAddr string, interval time.Duratio
 	}
 
 	wt, err := watch.New(watch.Config{
-		Registry:    reg,
-		Transport:   node,
-		Layout:      dir,
-		Servers:     d.ServerIDs(),
-		Coordinator: d.CoordinatorID(),
-		SampleRate:  sampleRate,
-		SampleSeed:  sampleSeed,
-		MaxLag:      maxLag,
-		Resume:      resume,
-		Obs:         o,
+		PeerConfig: peer.PeerConfig{
+			Registry:    reg,
+			Transport:   node,
+			Servers:     d.ServerIDs(),
+			Coordinator: d.CoordinatorID(),
+			Obs:         o,
+		},
+		Layout:     dir,
+		SampleRate: sampleRate,
+		SampleSeed: sampleSeed,
+		MaxLag:     maxLag,
+		Resume:     resume,
 	})
 	if err != nil {
 		return err

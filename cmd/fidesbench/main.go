@@ -9,6 +9,7 @@
 //	fidesbench -exp pipeline   # pipelined vs serial TFCommit, 5 servers
 //	fidesbench -exp reads      # proof-carrying vs plain reads, batched
 //	fidesbench -exp watch      # watchtower overhead: off vs tail vs tail+sampling
+//	fidesbench -exp crypto     # serial vs batched verification, 1 vs 4 cores
 //	fidesbench -exp all        # everything
 //
 // -exp also accepts a comma-separated list (e.g. -exp fig12,watch).
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment (comma-separable): fig12, fig13, fig14, fig15, durability, pipeline, reads, watch, or all")
+		exp      = flag.String("exp", "all", "experiment (comma-separable): fig12, fig13, fig14, fig15, durability, pipeline, reads, watch, crypto, or all")
 		requests = flag.Int("requests", 1000, "client transactions per data point (paper: 1000)")
 		runs     = flag.Int("runs", 3, "runs averaged per data point (paper: 3)")
 		latency  = flag.Duration("latency", 250*time.Microsecond, "simulated one-way network latency")
@@ -96,6 +97,12 @@ func main() {
 				rows = append(rows, bench.RowFromReads(r, opts))
 			}
 			return err
+		case "crypto":
+			out, err := bench.Crypto(os.Stdout, opts)
+			for _, m := range out {
+				rows = append(rows, bench.RowFromMetrics("crypto", m))
+			}
+			return err
 		case "watch":
 			out, err := bench.Watch(os.Stdout, opts)
 			for _, r := range out {
@@ -109,7 +116,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"fig12", "fig13", "fig14", "fig15", "durability", "pipeline", "reads", "watch"}
+		names = []string{"fig12", "fig13", "fig14", "fig15", "durability", "pipeline", "reads", "watch", "crypto"}
 	} else {
 		names = strings.Split(*exp, ",")
 	}

@@ -38,10 +38,12 @@ import (
 	"repro/internal/bench"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/crypto"
 	"repro/internal/durable"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/lightclient"
+	"repro/internal/peer"
 	"repro/internal/server"
 	"repro/internal/tfcommit"
 	"repro/internal/txn"
@@ -62,6 +64,23 @@ type (
 	// FsyncMode selects the WAL flush discipline of a durable cluster
 	// (Config.DataDir): FsyncAlways, FsyncGroup (default), or FsyncOff.
 	FsyncMode = durable.FsyncMode
+	// Verifier is the pluggable verification plane every commit-path
+	// signature check routes through (Config.Crypto selects the backend).
+	Verifier = crypto.Verifier
+	// PeerConfig is the wiring shared by every read-side peer (light
+	// clients, watchtowers, auditors).
+	PeerConfig = peer.PeerConfig
+)
+
+// Verification backends (Config.Crypto).
+const (
+	// CryptoSerial verifies every signature inline, one at a time — the
+	// reference behavior and the default.
+	CryptoSerial = core.CryptoSerial
+	// CryptoBatched fans verification across a worker pool with batch
+	// co-sign share checks and verdict caches (see docs/architecture.md,
+	// "The verification plane").
+	CryptoBatched = core.CryptoBatched
 )
 
 // WAL fsync disciplines for durable clusters.
@@ -79,8 +98,12 @@ type (
 	Session = client.Session
 	// CommitResult is a termination outcome with its signed block.
 	CommitResult = client.CommitResult
+	// ReadOption tunes one Session.Read call: Verified() routes it
+	// through the proof-carrying verified path, AtHeight(h) pins it to a
+	// committed block height.
+	ReadOption = client.ReadOption
 	// LightClient syncs the co-signed block header chain and verifies
-	// proof-carrying reads against it (Session.ReadVerified,
+	// proof-carrying reads against it (Session.Read with Verified(),
 	// LightClient.ReadVerified) — read integrity at read time instead of
 	// at the next audit. Build one with Cluster.NewLightClient.
 	LightClient = lightclient.Client
@@ -191,6 +214,15 @@ func ItemName(shard, i int) ItemID {
 func ServerName(i int) NodeID {
 	return core.ServerName(i)
 }
+
+// Verified marks a Session.Read as proof-carrying: the value must verify
+// against a co-signed committed shard root or the read fails with one of
+// the verified-read rejection errors.
+func Verified() ReadOption { return client.Verified() }
+
+// AtHeight pins a Session.Read to the committed state at block height h
+// (implies Verified; the read does not join the session's OCC read set).
+func AtHeight(h uint64) ReadOption { return client.AtHeight(h) }
 
 // RunBench executes one benchmark data point (workload of paper §6).
 func RunBench(cfg BenchConfig) (*BenchMetrics, error) {

@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/crypto"
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/peer"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -193,52 +195,60 @@ type Options struct {
 	Resume *Checkpoint
 }
 
-// Config assembles an Auditor.
+// Config assembles an Auditor. The shared peer wiring — registry,
+// transport, server set and coordinator — is the embedded
+// peer.PeerConfig (the auditor pulls whole logs, so Source and PageSize
+// are unused).
 type Config struct {
+	peer.PeerConfig
+
 	// Identity is the auditor's identity (a client-role key registered with
 	// all servers so its requests authenticate).
 	Identity *identity.Identity
-	// Registry resolves all node public keys.
-	Registry *identity.Registry
-	// Transport reaches the servers.
-	Transport transport.Transport
-	// Servers is the full server set to audit.
-	Servers []identity.NodeID
 	// Directory resolves item ownership.
 	Directory Directory
-	// Coordinator optionally names the designated coordinator, so findings
-	// that implicate block production (equivocation, fake roots) can also
-	// name it.
-	Coordinator identity.NodeID
 }
 
 // Auditor audits a Fides deployment.
 type Auditor struct {
-	ident   *identity.Identity
-	reg     *identity.Registry
-	tr      transport.Transport
-	servers []identity.NodeID
-	dir     Directory
-	coord   identity.NodeID
+	ident    *identity.Identity
+	reg      *identity.Registry
+	tr       transport.Transport
+	servers  []identity.NodeID
+	dir      Directory
+	coord    identity.NodeID
+	verifier ledger.CoSigVerifier
+}
+
+// cosigVerifier returns the auditor's verification plane, defaulting to
+// the serial backend over the registry when none was injected (an Auditor
+// built by hand rather than through New).
+func (a *Auditor) cosigVerifier() ledger.CoSigVerifier {
+	if a.verifier == nil {
+		a.verifier = crypto.NewSerial(a.reg)
+	}
+	return a.verifier
 }
 
 // New creates an Auditor.
 func New(cfg Config) (*Auditor, error) {
-	if cfg.Identity == nil || cfg.Registry == nil || cfg.Transport == nil || cfg.Directory == nil {
+	if cfg.Identity == nil || cfg.Directory == nil {
 		return nil, errors.New("audit: config requires identity, registry, transport and directory")
 	}
-	if len(cfg.Servers) == 0 {
-		return nil, errors.New("audit: config requires at least one server")
+	if err := cfg.Validate("audit"); err != nil {
+		return nil, err
 	}
+	cfg.ApplyDefaults(0)
 	servers := append([]identity.NodeID(nil), cfg.Servers...)
 	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
 	return &Auditor{
-		ident:   cfg.Identity,
-		reg:     cfg.Registry,
-		tr:      cfg.Transport,
-		servers: servers,
-		dir:     cfg.Directory,
-		coord:   cfg.Coordinator,
+		ident:    cfg.Identity,
+		reg:      cfg.Registry,
+		tr:       cfg.Transport,
+		servers:  servers,
+		dir:      cfg.Directory,
+		coord:    cfg.Coordinator,
+		verifier: cfg.Verifier,
 	}, nil
 }
 

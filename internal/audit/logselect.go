@@ -28,7 +28,7 @@ func (a *Auditor) selectAuthoritative(logs map[identity.NodeID][]*ledger.Block, 
 		if !ok {
 			continue // already reported unauditable
 		}
-		at, err := ledger.VerifyChain(blocks, a.reg)
+		at, err := ledger.VerifyChainWith(a.cosigVerifier(), blocks)
 		if err != nil {
 			report.Findings = append(report.Findings, classifyChainError(a, id, at, err))
 			// The valid prefix before the break still participates in

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -57,6 +58,16 @@ type RunConfig struct {
 	// Coordinators is the number of rotating coordinator servers (0/1 =
 	// the single designated coordinator).
 	Coordinators int
+	// Crypto selects the verification backend (core.CryptoSerial /
+	// core.CryptoBatched; empty = serial).
+	Crypto string
+	// CryptoWorkers sizes the batched backend's worker pool (0 =
+	// GOMAXPROCS).
+	CryptoWorkers int
+	// MaxProcs pins runtime.GOMAXPROCS for the duration of the run (0
+	// leaves it alone) — the -exp crypto sweep measures the same config at
+	// 1 and several cores.
+	MaxProcs int
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -151,6 +162,10 @@ func Run(cfg RunConfig) (*Metrics, error) {
 // measured phase, while the cluster is still alive.
 func RunWith(cfg RunConfig, attach func(*core.Cluster) (cleanup func(), err error)) (*Metrics, error) {
 	cfg.applyDefaults()
+	if cfg.MaxProcs > 0 {
+		prev := runtime.GOMAXPROCS(cfg.MaxProcs)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	cluster, err := core.NewCluster(core.Config{
 		NumServers:     cfg.Servers,
 		ItemsPerShard:  cfg.ItemsPerShard,
@@ -162,6 +177,8 @@ func RunWith(cfg RunConfig, attach func(*core.Cluster) (cleanup func(), err erro
 		Fsync:          cfg.Fsync,
 		Pipeline:       cfg.Pipeline,
 		Coordinators:   cfg.Coordinators,
+		Crypto:         cfg.Crypto,
+		CryptoWorkers:  cfg.CryptoWorkers,
 		// Benchmarks measure latency-sensitive throughput: they need the
 		// microsecond-accurate delivery delays, and they can afford the
 		// yield-spin that buys them (tests default to plain sleeps).

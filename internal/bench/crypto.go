@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// cryptoLatency is the sweep's simulated one-way latency: fast enough
+// that verification CPU, not the network, bounds throughput.
+const cryptoLatency = 50 * time.Microsecond
+
+// cryptoPoint is one cell of the -exp crypto sweep.
+type cryptoPoint struct {
+	Backend  string
+	MaxProcs int
+	Batch    int
+}
+
+// cryptoSweep crosses verification backend × core count × block size in a
+// CPU-bound intra-DC configuration: with the simulated network this fast,
+// signature verification dominates the commit path, which is exactly the
+// regime the batched backend targets. Core counts above the machine's are
+// skipped at run time (GOMAXPROCS cannot add cores).
+func cryptoSweep() []cryptoPoint {
+	var pts []cryptoPoint
+	for _, backend := range []string{core.CryptoSerial, core.CryptoBatched} {
+		for _, procs := range []int{1, 4} {
+			for _, batch := range []int{16, 64, 128} {
+				pts = append(pts, cryptoPoint{Backend: backend, MaxProcs: procs, Batch: batch})
+			}
+		}
+	}
+	return pts
+}
+
+// Crypto measures the verification plane: serial vs batched backend, at 1
+// and 4 cores, across block sizes, in the CPU-bound intra-DC fig12-style
+// configuration (5 servers, 50µs one-way latency). The speedup column is
+// batched-vs-serial at the same (procs, batch) cell — the tentpole's
+// "≥2× on multi-core" claim is read off the procs=4 rows on a machine
+// that has 4 cores to give.
+func Crypto(w io.Writer, opts Options) ([]*Metrics, error) {
+	opts.applyDefaults()
+	avail := runtime.NumCPU()
+	fmt.Fprintf(w, "Crypto — verification backend sweep (5 servers, 50µs one-way, %d txns, avg of %d runs, %d cores available)\n",
+		opts.Requests, opts.Runs, avail)
+	fmt.Fprintf(w, "%-9s %6s %6s %12s %12s %9s %9s %10s %9s\n",
+		"backend", "procs", "batch", "tput_tps", "lat_ms", "p50_ms", "p99_ms", "blocks", "speedup")
+
+	// serialTPS[procs][batch] anchors the speedup column.
+	serialTPS := map[int]map[int]float64{}
+	var out []*Metrics
+	for _, pt := range cryptoSweep() {
+		if pt.MaxProcs > avail {
+			fmt.Fprintf(w, "%-9s %6d %6d %12s (skipped: only %d cores)\n",
+				pt.Backend, pt.MaxProcs, pt.Batch, "-", avail)
+			continue
+		}
+		cfg := RunConfig{
+			Servers: 5, Batch: pt.Batch, Requests: opts.Requests,
+			NetworkLatency: cryptoLatency, Seed: opts.Seed,
+			Crypto: pt.Backend, MaxProcs: pt.MaxProcs,
+		}
+		acc, err := averaged(cfg, opts.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("crypto %s procs=%d batch=%d: %w", pt.Backend, pt.MaxProcs, pt.Batch, err)
+		}
+		out = append(out, acc)
+		if pt.Backend == core.CryptoSerial {
+			if serialTPS[pt.MaxProcs] == nil {
+				serialTPS[pt.MaxProcs] = map[int]float64{}
+			}
+			serialTPS[pt.MaxProcs][pt.Batch] = acc.ThroughputTPS
+		}
+		speedup := 0.0
+		if base := serialTPS[pt.MaxProcs][pt.Batch]; base > 0 {
+			speedup = acc.ThroughputTPS / base
+		}
+		fmt.Fprintf(w, "%-9s %6d %6d %12.0f %12.3f %9.3f %9.3f %10d %8.2fx\n",
+			pt.Backend, pt.MaxProcs, pt.Batch, acc.ThroughputTPS, acc.LatencyMS,
+			acc.P50MS, acc.P99MS, acc.Blocks/opts.Runs, speedup)
+	}
+	return out, nil
+}

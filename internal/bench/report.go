@@ -25,6 +25,8 @@ type Row struct {
 	Fsync         string  `json:"fsync,omitempty"`
 	Pipeline      int     `json:"pipeline,omitempty"`
 	Coordinators  int     `json:"coordinators,omitempty"`
+	Crypto        string  `json:"crypto,omitempty"`
+	MaxProcs      int     `json:"max_procs,omitempty"`
 	TPS           float64 `json:"tps"`
 	LatMS         float64 `json:"lat_ms"`
 	EndToEndMS    float64 `json:"end_to_end_ms"`
@@ -109,6 +111,8 @@ func RowFromMetrics(experiment string, m *Metrics) Row {
 	}
 	r.Pipeline = m.Config.Pipeline
 	r.Coordinators = m.Config.Coordinators
+	r.Crypto = m.Config.Crypto
+	r.MaxProcs = m.Config.MaxProcs
 	return r
 }
 

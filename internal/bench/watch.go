@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/peer"
 	"repro/internal/watch"
 )
 
@@ -64,13 +65,16 @@ func attachWatchtower(cl *core.Cluster, rate float64, seed int64, res *WatchResu
 		return nil, err
 	}
 	wt, err := watch.New(watch.Config{
-		Registry:    cl.Registry(),
-		Transport:   ep,
-		Layout:      cl.Directory(),
-		Servers:     cl.Servers(),
-		Coordinator: cl.Coordinator(),
-		SampleRate:  rate,
-		SampleSeed:  seed,
+		PeerConfig: peer.PeerConfig{
+			Registry:    cl.Registry(),
+			Transport:   ep,
+			Servers:     cl.Servers(),
+			Coordinator: cl.Coordinator(),
+			Verifier:    cl.ClientVerifier(),
+		},
+		Layout:     cl.Directory(),
+		SampleRate: rate,
+		SampleSeed: seed,
 	})
 	if err != nil {
 		return nil, err

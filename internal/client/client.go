@@ -14,7 +14,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cosi"
+	"repro/internal/crypto"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/lightclient"
@@ -58,6 +58,13 @@ type Config struct {
 	// to the coordinator and cohorts, so the whole commit path of one
 	// transaction reconstructs as a single trace. Nil runs dark.
 	Obs *obs.Obs
+	// Crypto is the client's verification plane for decision-block
+	// collective signatures (VerifyBlock). Nil defaults to the serial
+	// backend over Registry. Clients of one deployment should share one
+	// batched instance — they all verify the same co-signed blocks, so one
+	// verdict cache serves them all (core.Cluster.ClientVerifier does
+	// this).
+	Crypto crypto.Verifier
 }
 
 // Client executes transactions against a Fides deployment. A Client may
@@ -71,6 +78,7 @@ type Client struct {
 	coord    identity.NodeID
 	trusted  bool
 	verifier *lightclient.Client
+	crypto   crypto.Verifier
 	o        *obs.Obs
 
 	commitHist *obs.Histogram
@@ -92,6 +100,10 @@ func New(cfg Config) (*Client, error) {
 	if clock == nil {
 		clock = txn.NewClock(cfg.ClientID)
 	}
+	cv := cfg.Crypto
+	if cv == nil {
+		cv = crypto.NewSerial(cfg.Registry)
+	}
 	return &Client{
 		ident:      cfg.Identity,
 		reg:        cfg.Registry,
@@ -100,6 +112,7 @@ func New(cfg Config) (*Client, error) {
 		coord:      cfg.Coordinator,
 		trusted:    cfg.TrustedMode,
 		verifier:   cfg.Verifier,
+		crypto:     cv,
 		o:          cfg.Obs,
 		commitHist: cfg.Obs.Histogram("fides_client_commit_seconds", "End-to-end Commit latency at the client: end_transaction sent to decision verified.", nil),
 		clock:      clock,
@@ -177,19 +190,61 @@ func (s *Session) ensureBegin(_ context.Context, owner identity.NodeID) error {
 	return nil
 }
 
+// ReadOption configures one Session.Read call.
+type ReadOption func(*readOpts)
+
+type readOpts struct {
+	verified bool
+	pinned   bool
+	height   uint64
+}
+
+// Verified makes the read proof-carrying: the value arrives with a Merkle
+// proof and the block height whose committed, co-signed shard root
+// authenticates it, checked against the client's light client
+// (Config.Verifier) before the value is accepted. A stale or forged value
+// fails at read time instead of at the next audit (paper §5 Scenario 1 /
+// Lemma 1).
+func Verified() ReadOption {
+	return func(o *readOpts) { o.verified = true }
+}
+
+// AtHeight pins the read to the shard state authenticated by the co-signed
+// root committed at or below block height h — a point-in-time verified
+// lookup (it implies Verified). Unlike plain and Verified reads, a pinned
+// read does not enter the session's read set: OCC validates reads against
+// current state, and a historical snapshot read is a query, not a commit
+// dependency.
+func AtHeight(h uint64) ReadOption {
+	return func(o *readOpts) { o.verified, o.pinned, o.height = true, true, h }
+}
+
 // Read fetches an item's value from its owning server and records the read
-// entry (value, rts, wts) for the commit request. Reads are cached:
-// re-reading an item (or reading an item the session wrote) is served
-// locally.
-func (s *Session) Read(ctx context.Context, id txn.ItemID) ([]byte, error) {
+// entry (value, rts, wts) for the commit request. Options select the
+// integrity mode: no options is the plain audit-time-checked read,
+// Verified() checks a Merkle proof against the synced header chain before
+// accepting, AtHeight(h) additionally pins the lookup to a historical
+// co-signed root. Reads are cached: re-reading an item (or reading an item
+// the session wrote) is served locally, regardless of mode.
+func (s *Session) Read(ctx context.Context, id txn.ItemID, opts ...ReadOption) ([]byte, error) {
+	var o readOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	if s.done {
 		return nil, ErrSessionDone
 	}
 	if wi, ok := s.written[id]; ok {
 		return append([]byte(nil), s.writes[wi].NewVal...), nil
 	}
+	if o.pinned {
+		return s.readPinned(ctx, id, o.height)
+	}
 	if ri, ok := s.readIdx[id]; ok {
 		return append([]byte(nil), s.reads[ri].Value...), nil
+	}
+	if o.verified && s.client.verifier == nil {
+		return nil, ErrNoVerifier
 	}
 	owner, ok := s.client.dir.Owner(id)
 	if !ok {
@@ -197,6 +252,18 @@ func (s *Session) Read(ctx context.Context, id txn.ItemID) ([]byte, error) {
 	}
 	if err := s.ensureBegin(ctx, owner); err != nil {
 		return nil, err
+	}
+	if o.verified {
+		vals, err := s.client.verifier.ReadVerified(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("client: verified read %s from %s: %w", id, owner, err)
+		}
+		v := vals[0]
+		s.client.observe(v.RTS)
+		s.client.observe(v.WTS)
+		s.readIdx[id] = len(s.reads)
+		s.reads = append(s.reads, txn.ReadEntry{ID: id, Value: v.Value, RTS: v.RTS, WTS: v.WTS})
+		return append([]byte(nil), v.Value...), nil
 	}
 	msg, err := transport.NewMessage(wire.MsgRead, &wire.ReadReq{TxnID: s.id, ID: id})
 	if err != nil {
@@ -217,52 +284,30 @@ func (s *Session) Read(ctx context.Context, id txn.ItemID) ([]byte, error) {
 	return append([]byte(nil), rr.Value...), nil
 }
 
+// readPinned serves an AtHeight read: a verified lookup against the
+// co-signed shard root at the pinned height. Values the session itself
+// wrote are still served from the write buffer (handled by Read); nothing
+// here touches the read set.
+func (s *Session) readPinned(ctx context.Context, id txn.ItemID, height uint64) ([]byte, error) {
+	if s.client.verifier == nil {
+		return nil, ErrNoVerifier
+	}
+	vals, err := s.client.verifier.ReadPinned(ctx, height, id)
+	if err != nil {
+		return nil, fmt.Errorf("client: pinned read %s at height %d: %w", id, height, err)
+	}
+	return append([]byte(nil), vals[0].Value...), nil
+}
+
 // ErrNoVerifier is returned by ReadVerified on a client built without a
 // light client (Config.Verifier).
 var ErrNoVerifier = errors.New("client: no verifier configured for verified reads")
 
-// ReadVerified is Read with an online integrity guarantee: the value
-// arrives with a Merkle proof and the block height whose committed,
-// co-signed shard root authenticates it, and the client's light client
-// checks the proof against its synced header chain before the value is
-// accepted. A stale or forged value fails here, at read time, instead of
-// at the next audit (paper §5 Scenario 1 / Lemma 1).
+// ReadVerified is Read with the Verified() option.
 //
-// The verified value and its timestamps enter the session's read set
-// exactly as a plain read would, so the transaction commits identically —
-// OCC validation neither knows nor cares how the read was fetched.
-// Session-local caching applies: re-reads and reads of items the session
-// wrote are served locally without re-verification.
+// Deprecated: use Read(ctx, id, Verified()).
 func (s *Session) ReadVerified(ctx context.Context, id txn.ItemID) ([]byte, error) {
-	if s.done {
-		return nil, ErrSessionDone
-	}
-	if s.client.verifier == nil {
-		return nil, ErrNoVerifier
-	}
-	if wi, ok := s.written[id]; ok {
-		return append([]byte(nil), s.writes[wi].NewVal...), nil
-	}
-	if ri, ok := s.readIdx[id]; ok {
-		return append([]byte(nil), s.reads[ri].Value...), nil
-	}
-	owner, ok := s.client.dir.Owner(id)
-	if !ok {
-		return nil, fmt.Errorf("client: no owner for item %s", id)
-	}
-	if err := s.ensureBegin(ctx, owner); err != nil {
-		return nil, err
-	}
-	vals, err := s.client.verifier.ReadVerified(ctx, id)
-	if err != nil {
-		return nil, fmt.Errorf("client: verified read %s from %s: %w", id, owner, err)
-	}
-	v := vals[0]
-	s.client.observe(v.RTS)
-	s.client.observe(v.WTS)
-	s.readIdx[id] = len(s.reads)
-	s.reads = append(s.reads, txn.ReadEntry{ID: id, Value: v.Value, RTS: v.RTS, WTS: v.WTS})
-	return append([]byte(nil), v.Value...), nil
+	return s.Read(ctx, id, Verified())
 }
 
 // Write buffers a new value for an item at its owning server and records
@@ -422,13 +467,12 @@ func (c *Client) VerifyBlock(b *ledger.Block) error {
 	if len(b.Signers) == 0 {
 		return fmt.Errorf("%w: no signers", ErrInvalidCoSig)
 	}
-	keys, err := c.reg.SchnorrKeys(b.Signers)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidCoSig, err)
-	}
 	sig := b.CoSig()
-	if sig.IsZero() || !cosi.VerifyParticipants(keys, b.SigningBytes(), sig) {
+	if sig.IsZero() {
 		return ErrInvalidCoSig
+	}
+	if err := c.crypto.VerifyCoSig(b.Signers, b.SigningBytes(), sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidCoSig, err)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/crypto"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/obs"
@@ -69,6 +70,7 @@ type RetryCommitter interface {
 type Batcher struct {
 	committer BlockCommitter
 	reg       *identity.Registry
+	verifier  crypto.Verifier
 	batchSize int
 	maxWait   time.Duration
 	depth     int
@@ -181,6 +183,7 @@ func NewPipelinedBatcherObs(committer BlockCommitter, reg *identity.Registry, ba
 	b := &Batcher{
 		committer:     committer,
 		reg:           reg,
+		verifier:      crypto.NewSerial(reg),
 		batchSize:     batchSize,
 		maxWait:       maxWait,
 		depth:         depth,
@@ -198,6 +201,16 @@ func NewPipelinedBatcherObs(committer BlockCommitter, reg *identity.Registry, ba
 
 var _ server.Terminator = (*Batcher)(nil)
 
+// SetVerifier replaces the batcher's verification plane (serial over the
+// registry by default). Concurrent Terminate calls route their envelope
+// checks through it — the batched backend coalesces them into worker-pool
+// batches via Submit. Call before the batcher starts serving requests.
+func (b *Batcher) SetVerifier(v crypto.Verifier) {
+	if v != nil {
+		b.verifier = v
+	}
+}
+
 // Terminate implements server.Terminator: verify the client's signed
 // request, enqueue it, and wait for its block's decision.
 func (b *Batcher) Terminate(ctx context.Context, env identity.Envelope) (*wire.EndTxnResp, error) {
@@ -207,7 +220,14 @@ func (b *Batcher) Terminate(ctx context.Context, env identity.Envelope) (*wire.E
 		span.End()
 		b.terminateHist.ObserveSince(start)
 	}()
-	t, err := server.DecodeTxnEnvelope(b.reg, env)
+	// Signature check through the verification plane: Submit lets the
+	// batched backend coalesce the envelope with other in-flight Terminate
+	// calls into one worker-pool batch; the payload then decodes against
+	// the already-verified bytes.
+	if _, err := b.verifier.Submit(env).Wait(ctx); err != nil {
+		return nil, fmt.Errorf("core: client request: %w", err)
+	}
+	t, err := server.DecodeTxnEnvelopeTrusted(env)
 	if err != nil {
 		return nil, err
 	}

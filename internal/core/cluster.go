@@ -18,11 +18,13 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/client"
+	"repro/internal/crypto"
 	"repro/internal/durable"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/lightclient"
 	"repro/internal/obs"
+	"repro/internal/peer"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/tfcommit"
@@ -135,6 +137,18 @@ type Config struct {
 	// tracer and a discard logger, so Metrics() always works. Each server
 	// observes through a derived bundle labeled {server="sNN"}.
 	Obs *obs.Obs
+	// Crypto selects the verification-plane backend ("serial" or
+	// "batched", see internal/crypto) that every server, coordinator and
+	// the termination service route their signature checks through.
+	// "serial" (the default) verifies inline on the calling goroutine —
+	// the pre-verification-plane behavior byte-for-byte. "batched" fans
+	// envelope batches and Merkle recomputation across a per-server worker
+	// pool, batch-verifies co-sign shares, and caches co-sign verdicts, to
+	// scale the CPU-bound commit path with cores.
+	Crypto string
+	// CryptoWorkers sizes each batched verifier's worker pool
+	// (0 = GOMAXPROCS). Ignored with the serial backend.
+	CryptoWorkers int
 	// ResolveInterval, when positive, starts a background decision resolver
 	// on every server of a TFCommit cluster: each server periodically asks
 	// its peers for decisions it is missing and pulls any verified log
@@ -173,7 +187,16 @@ func (c *Config) applyDefaults() {
 	if c.InitialValue == nil {
 		c.InitialValue = func(txn.ItemID) []byte { return []byte("0") }
 	}
+	if c.Crypto == "" {
+		c.Crypto = CryptoSerial
+	}
 }
+
+// Verification-plane backends for Config.Crypto.
+const (
+	CryptoSerial  = "serial"
+	CryptoBatched = "batched"
+)
 
 // pipelined reports whether the configuration uses the pipelined commit
 // path (either lookahead depth or coordinator rotation engages it).
@@ -195,6 +218,8 @@ type Cluster struct {
 	dir       *Directory
 	serverIDs []identity.NodeID
 	servers   map[identity.NodeID]*server.Server
+	verifiers map[identity.NodeID]crypto.Verifier
+	cliVer    crypto.Verifier
 	coordID   identity.NodeID
 	batcher   *Batcher
 	tfc       *tfcommit.Coordinator
@@ -253,6 +278,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Protocol != ProtocolTFCommit && (cfg.Pipeline > 1 || cfg.Coordinators > 1) {
 		return nil, errors.New("core: Pipeline and Coordinators require TFCommit")
 	}
+	if cfg.Crypto != CryptoSerial && cfg.Crypto != CryptoBatched {
+		return nil, fmt.Errorf("core: unknown crypto backend %q", cfg.Crypto)
+	}
 
 	o := cfg.Obs
 	if o == nil {
@@ -264,6 +292,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		net:       transport.NewLocalNetwork(cfg.NetworkLatency),
 		reg:       identity.NewRegistry(),
 		servers:   make(map[identity.NodeID]*server.Server, cfg.NumServers),
+		verifiers: make(map[identity.NodeID]crypto.Verifier, cfg.NumServers),
 		recovered: make(map[identity.NodeID]*durable.Recovered),
 		stores:    make(map[identity.NodeID]*durable.Store),
 		tcpAddrs:  make(map[identity.NodeID]string),
@@ -329,12 +358,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.NumServers; i++ {
 		id := c.serverIDs[i]
 		so := o.With(obs.L("server", string(id)))
+		c.verifiers[id] = c.newVerifier(so)
 		scfg := server.Config{
 			Identity:  idents[i],
 			Registry:  c.reg,
 			Directory: c.dir,
 			Faults:    cfg.ServerFaults[i],
 			Obs:       so,
+			Verifier:  c.verifiers[id],
 		}
 		if cfg.CrashHook != nil {
 			hook, sid := cfg.CrashHook, id
@@ -349,7 +380,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			scfg.VoteLookahead = VoteLookahead
 		}
 		if cfg.DataDir == "" {
-			scfg.Shard = newShardFor(c.dir, id, cfg)
+			scfg.Shard = newShardFor(c.dir, id, cfg, c.verifiers[id].Pool())
 		} else {
 			dopts := durable.Options{
 				Dir:           filepath.Join(cfg.DataDir, string(id)),
@@ -461,6 +492,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				Local:     c.servers[id],
 				Faults:    cfg.CoordinatorFaults,
 				Obs:       o.With(obs.L("server", string(id))),
+				// The coordinating server's own verification plane: the
+				// co-sign verdict established before publication is then a
+				// cache hit when the local cohort re-checks it at Decide.
+				Verifier: c.verifiers[id],
 			}
 			if cfg.CrashHook != nil {
 				hook, cid := cfg.CrashHook, id
@@ -508,6 +543,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	c.batcher = NewPipelinedBatcherObs(committer, c.reg, cfg.BatchSize, cfg.BatchWait, cfg.Pipeline, o.With(obs.L("server", string(c.coordID))))
+	// The termination service verifies envelopes through the designated
+	// coordinator's plane, so a batched backend coalesces concurrent
+	// Terminate calls — and its cohort's Terminate-time verdicts are warm.
+	c.batcher.SetVerifier(c.verifiers[c.coordID])
 	// A recovered coordinator keeps rejecting timestamps at or below the
 	// recovered watermark instead of letting doomed blocks reach cohorts.
 	c.batcher.Observe(coordSrv.LastCommitted())
@@ -521,6 +560,46 @@ func NewCluster(cfg Config) (*Cluster, error) {
 type stopCloser func()
 
 func (f stopCloser) Close() error { f(); return nil }
+
+// newVerifier builds one verification-plane instance per the cluster's
+// Crypto backend selection. Batched instances are registered for teardown;
+// a closed pool degrades to inline verification, so teardown order against
+// in-flight work is safe either way.
+func (c *Cluster) newVerifier(o *obs.Obs) crypto.Verifier {
+	if c.cfg.Crypto != CryptoBatched {
+		return crypto.NewSerial(c.reg)
+	}
+	v := crypto.NewBatched(crypto.Options{Registry: c.reg, Workers: c.cfg.CryptoWorkers, Obs: o})
+	c.mu.Lock()
+	c.closers = append(c.closers, verifierCloser{v})
+	c.mu.Unlock()
+	return v
+}
+
+// verifierCloser adapts crypto.Verifier.Close to io.Closer.
+type verifierCloser struct{ v crypto.Verifier }
+
+func (vc verifierCloser) Close() error { vc.v.Close(); return nil }
+
+// ClientVerifier returns the verification plane shared by every client,
+// light client, watchtower and auditor the cluster mints — shared on
+// purpose: they all verify the same co-signed headers, so one verdict
+// cache serves them all. Built lazily so clusters that never mint a
+// client pay nothing.
+func (c *Cluster) ClientVerifier() crypto.Verifier {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cliVer == nil {
+		if c.cfg.Crypto != CryptoBatched {
+			c.cliVer = crypto.NewSerial(c.reg)
+		} else {
+			v := crypto.NewBatched(crypto.Options{Registry: c.reg, Workers: c.cfg.CryptoWorkers, Obs: c.o.With(obs.L("server", "clients"))})
+			c.closers = append(c.closers, verifierCloser{v})
+			c.cliVer = v
+		}
+	}
+	return c.cliVer
+}
 
 // CoordinatorStats sums decision-delivery counters across every rotating
 // coordinator instance (zero value for non-TFCommit clusters). The
@@ -557,8 +636,15 @@ func (c *Cluster) Network() *transport.LocalNetwork {
 	return c.net
 }
 
-func newShardFor(dir *Directory, id identity.NodeID, cfg Config) *store.Shard {
-	return store.NewShard(dir.ShardItems(id), cfg.InitialValue, store.Config{MultiVersion: cfg.MultiVersion})
+func newShardFor(dir *Directory, id identity.NodeID, cfg Config, pool *crypto.Pool) *store.Shard {
+	scfg := store.Config{MultiVersion: cfg.MultiVersion}
+	// With the batched backend the verifier's worker pool doubles as the
+	// shard's Merkle leaf hasher (store.Hasher), so per-shard root
+	// recomputation in Vote/Apply fans out across the same cores.
+	if pool != nil {
+		scfg.Hasher = pool
+	}
+	return store.NewShard(dir.ShardItems(id), cfg.InitialValue, scfg)
 }
 
 // NewCoordinatorCommitter adapts a tfcommit.Coordinator into the batcher's
@@ -687,11 +773,10 @@ func (c *Cluster) CommitBlockDirect(ctx context.Context, txns []*txn.Transaction
 	// before it reaches the commit protocol; the coordinator's local
 	// cohort relies on that check having happened (it skips the redundant
 	// signature verification on the from==self path). Direct commits
-	// bypass Terminate, so perform the same verification here.
-	for i, env := range envs {
-		if _, err := server.DecodeTxnEnvelope(c.reg, env); err != nil {
-			return nil, false, fmt.Errorf("core: direct commit envelope %d: %w", i, err)
-		}
+	// bypass Terminate, so perform the same verification here, through
+	// the coordinator's verification plane.
+	if i, err := crypto.FirstError(c.verifiers[c.coordID].VerifyBatch(envs)); err != nil {
+		return nil, false, fmt.Errorf("core: direct commit envelope %d: %w", i, err)
 	}
 	var committer BlockCommitter = tfcAdapter{c.tfc}
 	if c.pipe != nil {
@@ -784,11 +869,14 @@ func (c *Cluster) NewLightClient() (*lightclient.Client, error) {
 		return nil, err
 	}
 	return lightclient.New(lightclient.Config{
-		Registry:  c.reg,
-		Transport: ep,
-		Layout:    c.dir,
-		Servers:   c.serverIDs,
-		Obs:       c.o,
+		PeerConfig: peer.PeerConfig{
+			Registry:  c.reg,
+			Transport: ep,
+			Servers:   c.serverIDs,
+			Obs:       c.o,
+			Verifier:  c.ClientVerifier(),
+		},
+		Layout: c.dir,
 	})
 }
 
@@ -848,13 +936,16 @@ func (c *Cluster) NewWatchtower() (*watch.Watchtower, error) {
 		return nil, err
 	}
 	return watch.New(watch.Config{
-		Registry:    c.reg,
-		Transport:   ep,
-		Layout:      c.dir,
-		Servers:     c.serverIDs,
-		Coordinator: c.coordID,
-		SampleRate:  1,
-		Obs:         c.o,
+		PeerConfig: peer.PeerConfig{
+			Registry:    c.reg,
+			Transport:   ep,
+			Servers:     c.serverIDs,
+			Coordinator: c.coordID,
+			Obs:         c.o,
+			Verifier:    c.ClientVerifier(),
+		},
+		Layout:     c.dir,
+		SampleRate: 1,
 	})
 }
 
@@ -872,12 +963,15 @@ func (c *Cluster) NewAuditor() (*audit.Auditor, error) {
 		return nil, err
 	}
 	return audit.New(audit.Config{
-		Identity:    ident,
-		Registry:    c.reg,
-		Transport:   ep,
-		Servers:     c.serverIDs,
-		Directory:   c.dir,
-		Coordinator: c.coordID,
+		PeerConfig: peer.PeerConfig{
+			Registry:    c.reg,
+			Transport:   ep,
+			Servers:     c.serverIDs,
+			Coordinator: c.coordID,
+			Verifier:    c.ClientVerifier(),
+		},
+		Identity:  ident,
+		Directory: c.dir,
 	})
 }
 

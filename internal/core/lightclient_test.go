@@ -9,6 +9,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/identity"
 	"repro/internal/lightclient"
+	"repro/internal/peer"
 	"repro/internal/server"
 	"repro/internal/txn"
 )
@@ -114,10 +115,12 @@ func TestLightClientResumableSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	lc2, err := lightclient.New(lightclient.Config{
-		Registry:         c.Registry(),
-		Transport:        ep,
+		PeerConfig: peer.PeerConfig{
+			Registry:  c.Registry(),
+			Transport: ep,
+			Servers:   c.Servers(),
+		},
 		Layout:           c.Directory(),
-		Servers:          c.Servers(),
 		CheckpointHeight: ckptHeight,
 		CheckpointHash:   ckptHash,
 	})

@@ -47,12 +47,23 @@ func pipelineBatch(t *testing.T, c *Cluster, ident *identity.Identity, i int) ([
 // both sides. Only the collective signatures (fresh Schnorr nonces) and
 // therefore the chaining hashes may differ.
 func TestPipelinedMatchesSerial(t *testing.T) {
+	runPipelinedMatchesSerial(t, CryptoSerial)
+}
+
+// TestPipelinedMatchesSerialBatchedCrypto is the same byte-equivalence
+// contract with both clusters on the batched verification backend: the
+// worker pool and verdict caches must not change a single committed byte.
+func TestPipelinedMatchesSerialBatchedCrypto(t *testing.T) {
+	runPipelinedMatchesSerial(t, CryptoBatched)
+}
+
+func runPipelinedMatchesSerial(t *testing.T, backend string) {
 	const blocks = 12
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	serial := testCluster(t, Config{NumServers: 3, ItemsPerShard: 32})
-	piped := testCluster(t, Config{NumServers: 3, ItemsPerShard: 32, Pipeline: 4, Coordinators: 2})
+	serial := testCluster(t, Config{NumServers: 3, ItemsPerShard: 32, Crypto: backend})
+	piped := testCluster(t, Config{NumServers: 3, ItemsPerShard: 32, Pipeline: 4, Coordinators: 2, Crypto: backend})
 	if piped.Pipeline() == nil {
 		t.Fatal("pipelined cluster has no pipeline")
 	}

@@ -1,0 +1,421 @@
+package crypto
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+	"sync"
+	"time"
+
+	"repro/internal/cosi"
+	"repro/internal/identity"
+	"repro/internal/obs"
+	"repro/internal/schnorr"
+)
+
+// Options configures the batched backend.
+type Options struct {
+	// Registry resolves sender and signer public keys.
+	Registry *identity.Registry
+	// Workers sizes the worker pool (≤0 defaults to GOMAXPROCS).
+	Workers int
+	// MaxBatch bounds how many queued Submit envelopes one collector
+	// drain verifies together (default 128).
+	MaxBatch int
+	// CacheSize bounds each verified-result cache generation (default
+	// 4096 entries; the cache keeps at most two generations).
+	CacheSize int
+	// Obs supplies the fides_crypto_* instruments; nil runs dark.
+	Obs *obs.Obs
+}
+
+// Batched is the parallel backend: a worker pool spreads per-element
+// Ed25519 envelope checks across cores, an async collector groups
+// concurrent Submit calls into batches, verified-result caches elide
+// re-verification of byte-identical inputs (prune-and-retry resubmits
+// the same envelopes; every in-process client re-checks the same block
+// co-sign), and partial co-sign shares are checked with one
+// random-linear-combination equation that fails closed to the serial
+// per-element check. Acceptance is exactly Serial's — see the package
+// comment for the trust argument.
+type Batched struct {
+	reg  *identity.Registry
+	pool *Pool
+
+	maxBatch int
+
+	mu       sync.Mutex
+	closed   bool
+	submitCh chan submitReq
+	drained  chan struct{}
+
+	envCache   *verdictCache
+	cosigCache *verdictCache
+
+	verifyEnvelopeHist *obs.Histogram
+	verifyCoSigHist    *obs.Histogram
+	verifyPartialHist  *obs.Histogram
+	batchHist          *obs.Histogram
+	queueDepth         *obs.Gauge
+	okEnvelope         *obs.Counter
+	badEnvelope        *obs.Counter
+	okCoSig            *obs.Counter
+	badCoSig           *obs.Counter
+	cacheHitsEnvelope  *obs.Counter
+	cacheHitsCoSig     *obs.Counter
+	fallbacks          *obs.Counter
+}
+
+type submitReq struct {
+	env identity.Envelope
+	t   *Ticket
+}
+
+// NewBatched creates a batched backend and starts its worker pool and
+// async collector.
+func NewBatched(opts Options) *Batched {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 128
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 4096
+	}
+	o := opts.Obs
+	const verifyHelp = "Verification-plane check latency, by kind (one envelope, one collective signature, one partial-share set)."
+	const totalHelp = "Verification-plane checks by kind and outcome."
+	const hitHelp = "Verified-result cache hits by kind (byte-identical input already verified)."
+	b := &Batched{
+		reg:        opts.Registry,
+		pool:       NewPool(opts.Workers, o),
+		maxBatch:   opts.MaxBatch,
+		submitCh:   make(chan submitReq, 32*opts.MaxBatch),
+		drained:    make(chan struct{}),
+		envCache:   newVerdictCache(opts.CacheSize),
+		cosigCache: newVerdictCache(opts.CacheSize),
+
+		verifyEnvelopeHist: o.Histogram("fides_crypto_verify_seconds", verifyHelp, nil, obs.L("kind", "envelope")),
+		verifyCoSigHist:    o.Histogram("fides_crypto_verify_seconds", verifyHelp, nil, obs.L("kind", "cosig")),
+		verifyPartialHist:  o.Histogram("fides_crypto_verify_seconds", verifyHelp, nil, obs.L("kind", "partial")),
+		batchHist:          o.Histogram("fides_crypto_batch_txns", "Envelopes verified per drained async batch.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		queueDepth:         o.Gauge("fides_crypto_queue_depth", "Envelopes waiting in the async verification queue."),
+		okEnvelope:         o.Counter("fides_crypto_verifies_total", totalHelp, obs.L("kind", "envelope"), obs.L("outcome", "ok")),
+		badEnvelope:        o.Counter("fides_crypto_verifies_total", totalHelp, obs.L("kind", "envelope"), obs.L("outcome", "bad")),
+		okCoSig:            o.Counter("fides_crypto_verifies_total", totalHelp, obs.L("kind", "cosig"), obs.L("outcome", "ok")),
+		badCoSig:           o.Counter("fides_crypto_verifies_total", totalHelp, obs.L("kind", "cosig"), obs.L("outcome", "bad")),
+		cacheHitsEnvelope:  o.Counter("fides_crypto_cache_hits_total", hitHelp, obs.L("kind", "envelope")),
+		cacheHitsCoSig:     o.Counter("fides_crypto_cache_hits_total", hitHelp, obs.L("kind", "cosig")),
+		fallbacks:          o.Counter("fides_crypto_batch_fallbacks_total", "Batch share checks that failed closed to the serial per-element re-check."),
+	}
+	go b.collect()
+	return b
+}
+
+var _ Verifier = (*Batched)(nil)
+
+// envKey is the cache identity of an envelope: every byte the serial
+// check consumes. Two envelopes with equal keys verify identically
+// against an append-only registry.
+func envKey(env identity.Envelope) [sha256.Size]byte {
+	h := sha256.New()
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(env.From)))
+	h.Write(n[:])
+	h.Write([]byte(env.From))
+	binary.BigEndian.PutUint64(n[:], uint64(len(env.Payload)))
+	h.Write(n[:])
+	h.Write(env.Payload)
+	h.Write(env.Sig)
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// verifyEnvelopeCached is the per-element check behind every envelope
+// path: cache hit replays a prior success, miss runs the serial primitive
+// and caches only successes (failures always re-verify, so an attacker
+// cannot park a verdict).
+func (b *Batched) verifyEnvelopeCached(env identity.Envelope) ([]byte, error) {
+	key := envKey(env)
+	if b.envCache.hit(key) {
+		b.cacheHitsEnvelope.Inc()
+		return env.Payload, nil
+	}
+	start := time.Now()
+	payload, err := b.reg.Open(env)
+	b.verifyEnvelopeHist.ObserveSince(start)
+	if err != nil {
+		b.badEnvelope.Inc()
+		return nil, err
+	}
+	b.okEnvelope.Inc()
+	b.envCache.add(key)
+	return payload, nil
+}
+
+// VerifyEnvelope checks one envelope (cached).
+func (b *Batched) VerifyEnvelope(env identity.Envelope) ([]byte, error) {
+	return b.verifyEnvelopeCached(env)
+}
+
+// VerifyBatch fans the per-element checks across the worker pool.
+// Verdicts are written by index, so the result is identical no matter
+// which worker checks which element.
+func (b *Batched) VerifyBatch(envs []identity.Envelope) []error {
+	errs := make([]error, len(envs))
+	b.pool.Map(len(envs), func(i int) {
+		_, errs[i] = b.verifyEnvelopeCached(envs[i])
+	})
+	return errs
+}
+
+// Submit enqueues an envelope for the collector. When the queue is full
+// or the backend is closing the check runs inline — the ticket always
+// resolves.
+func (b *Batched) Submit(env identity.Envelope) *Ticket {
+	t := newTicket()
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		t.complete(nil, ErrVerifierClosed)
+		return t
+	}
+	select {
+	case b.submitCh <- submitReq{env: env, t: t}:
+		b.queueDepth.Set(int64(len(b.submitCh)))
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+		t.complete(b.verifyEnvelopeCached(env))
+	}
+	return t
+}
+
+// collect drains the submission queue into batches and verifies each
+// batch across the pool. Independent Terminate handlers get batching
+// without coordinating: whatever is queued when a drain starts shares
+// one fan-out.
+func (b *Batched) collect() {
+	defer close(b.drained)
+	for {
+		first, ok := <-b.submitCh
+		if !ok {
+			return
+		}
+		batch := []submitReq{first}
+	drain:
+		for len(batch) < b.maxBatch {
+			select {
+			case r, ok := <-b.submitCh:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		b.queueDepth.Set(int64(len(b.submitCh)))
+		b.batchHist.Observe(float64(len(batch)))
+		b.pool.Map(len(batch), func(i int) {
+			batch[i].t.complete(b.verifyEnvelopeCached(batch[i].env))
+		})
+	}
+}
+
+// cosigKey is the cache identity of a collective-signature check: signer
+// set, record and signature bytes.
+func cosigKey(signers []identity.NodeID, record []byte, sig cosi.Signature) [sha256.Size]byte {
+	h := sha256.New()
+	var n [8]byte
+	for _, id := range signers {
+		binary.BigEndian.PutUint64(n[:], uint64(len(id)))
+		h.Write(n[:])
+		h.Write([]byte(id))
+	}
+	binary.BigEndian.PutUint64(n[:], uint64(len(record)))
+	h.Write(n[:])
+	h.Write(record)
+	cb, sb := sig.Bytes()
+	binary.BigEndian.PutUint64(n[:], uint64(len(cb)))
+	h.Write(n[:])
+	h.Write(cb)
+	h.Write(sb)
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// VerifyCoSig checks a collective signature, replaying a cached verdict
+// when these exact bytes already verified — the commit path checks every
+// block's co-sign once per cohort plus once per in-process client, and
+// all of them share this cache through the injected backend.
+func (b *Batched) VerifyCoSig(signers []identity.NodeID, record []byte, sig cosi.Signature) error {
+	if sig.IsZero() {
+		b.badCoSig.Inc()
+		return ErrBadCoSig
+	}
+	key := cosigKey(signers, record, sig)
+	if b.cosigCache.hit(key) {
+		b.cacheHitsCoSig.Inc()
+		return nil
+	}
+	start := time.Now()
+	err := verifyCoSig(b.reg, signers, record, sig)
+	b.verifyCoSigHist.ObserveSince(start)
+	if err != nil {
+		b.badCoSig.Inc()
+		return err
+	}
+	b.okCoSig.Inc()
+	b.cosigCache.add(key)
+	return nil
+}
+
+// VerifyPartials batch-checks the witnesses' responses with one random
+// linear combination: for random nonzero coefficients z_i,
+//
+//	(Σ z_i·r_i)·G  ==  Σ z_i·V_i + Σ (z_i·c)·X_i
+//
+// holds whenever every per-element equation r_i·G == V_i + c·X_i holds,
+// and fails with overwhelming probability when any element is wrong —
+// without the random z_i, two errors could cancel and a naive batch
+// would accept shares that don't verify individually. Any batch-equation
+// miss (and any malformed input) fails closed to the serial per-element
+// check, which alone decides attribution.
+func (b *Batched) VerifyPartials(pubs []schnorr.PublicKey, commitments []cosi.Commitment, challenge *big.Int, responses []*big.Int) ([]int, error) {
+	if len(pubs) != len(commitments) || len(pubs) != len(responses) {
+		// Same contract as cosi.IdentifyFaulty.
+		return cosi.IdentifyFaulty(pubs, commitments, challenge, responses)
+	}
+	start := time.Now()
+	defer func() { b.verifyPartialHist.ObserveSince(start) }()
+	n := len(pubs)
+	if n == 0 || challenge == nil {
+		return cosi.IdentifyFaulty(pubs, commitments, challenge, responses)
+	}
+	for i := 0; i < n; i++ {
+		if responses[i] == nil || !pubs[i].OnCurve() || !commitments[i].V.OnCurve() {
+			// A malformed element can't enter the group equation; let the
+			// serial check attribute it.
+			b.fallbacks.Inc()
+			return cosi.IdentifyFaulty(pubs, commitments, challenge, responses)
+		}
+	}
+	order := schnorr.N()
+	zs := make([]*big.Int, n)
+	for i := range zs {
+		z, err := randomCoefficient()
+		if err != nil {
+			b.fallbacks.Inc()
+			return cosi.IdentifyFaulty(pubs, commitments, challenge, responses)
+		}
+		zs[i] = z
+	}
+	// Scalar side: Σ z_i·r_i mod N costs one base mult total instead of
+	// one per element. Point side: the per-element terms z_i·V_i and
+	// (z_i·c)·X_i are independent, so they fan across the pool.
+	sum := new(big.Int)
+	for i := 0; i < n; i++ {
+		sum.Add(sum, new(big.Int).Mul(zs[i], responses[i]))
+	}
+	sum.Mod(sum, order)
+	lhs := schnorr.BaseMult(sum)
+
+	terms := make([]schnorr.Point, n)
+	b.pool.Map(n, func(i int) {
+		zc := new(big.Int).Mul(zs[i], challenge)
+		zc.Mod(zc, order)
+		terms[i] = commitments[i].V.ScalarMult(zs[i]).Add(pubs[i].Point.ScalarMult(zc))
+	})
+	rhs := schnorr.Infinity()
+	for i := 0; i < n; i++ {
+		rhs = rhs.Add(terms[i])
+	}
+	if lhs.Equal(rhs) {
+		return nil, nil
+	}
+	// Fail closed: something in the set is wrong; only the per-element
+	// serial check may attribute it.
+	b.fallbacks.Inc()
+	return cosi.IdentifyFaulty(pubs, commitments, challenge, responses)
+}
+
+// randomCoefficient draws a uniform nonzero 128-bit batching coefficient.
+// 128 bits keep the cancellation probability below 2^-128 while halving
+// the scalar width of the extra multiplications.
+func randomCoefficient() (*big.Int, error) {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return nil, err
+	}
+	z := new(big.Int).SetBytes(buf[:])
+	if z.Sign() == 0 {
+		z.SetInt64(1)
+	}
+	return z, nil
+}
+
+// Pool exposes the worker pool for the commit path's data-parallel
+// stages (OCC validation, Merkle leaf hashing, datastore apply).
+func (b *Batched) Pool() *Pool { return b.pool }
+
+// Close stops the collector (completing queued tickets) and then the
+// worker pool. Idempotent.
+func (b *Batched) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.drained
+		b.pool.Close()
+		return
+	}
+	b.closed = true
+	close(b.submitCh)
+	b.mu.Unlock()
+	<-b.drained
+	b.pool.Close()
+}
+
+// verdictCache remembers successful verifications by input digest. Two
+// bounded generations rotate FIFO-style: inserts go to the current
+// generation, lookups check both, and filling the current generation
+// discards the previous one — O(1) operations, at most 2×limit entries,
+// no per-entry bookkeeping. Only successes are stored, so a failing
+// input is re-verified every time it appears.
+type verdictCache struct {
+	mu    sync.Mutex
+	limit int
+	cur   map[[sha256.Size]byte]struct{}
+	prev  map[[sha256.Size]byte]struct{}
+}
+
+func newVerdictCache(limit int) *verdictCache {
+	return &verdictCache{limit: limit, cur: make(map[[sha256.Size]byte]struct{}, limit)}
+}
+
+func (c *verdictCache) hit(key [sha256.Size]byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cur[key]; ok {
+		return true
+	}
+	if c.prev != nil {
+		if _, ok := c.prev[key]; ok {
+			// Promote so hot entries survive rotation.
+			c.cur[key] = struct{}{}
+			return true
+		}
+	}
+	return false
+}
+
+func (c *verdictCache) add(key [sha256.Size]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.cur) >= c.limit {
+		c.prev = c.cur
+		c.cur = make(map[[sha256.Size]byte]struct{}, c.limit)
+	}
+	c.cur[key] = struct{}{}
+}

@@ -1,0 +1,160 @@
+// Package crypto is the commit plane's verification layer: one pluggable
+// Verifier API that every signature check on the commit hot path goes
+// through, with a serial backend (byte-for-byte today's behavior) and a
+// batched/parallel backend that amortizes and parallelizes the dominant
+// CPU cost of the CPU-bound intra-DC regime — Ed25519 client-envelope
+// verification at Terminate and GetVote, and CoSi share verification at
+// challenge/response (paper §4.3.1).
+//
+// The trust argument for why batching adds nothing to the trust model:
+// every backend accepts an input if and only if the serial primitive
+// accepts it. The parallel envelope path runs the exact per-element
+// ed25519 check, just on more cores; the verified-result caches key on
+// the complete byte content of the verified object (sender, payload,
+// signature — or signer set, record, co-sign), so a hit replays a verdict
+// the serial check already produced for those exact bytes against an
+// append-only registry; and the random-linear-combination share check
+// (VerifyPartials) fails *closed*: any batch-equation miss falls back to
+// the per-element serial check, which alone decides acceptance and
+// attribution. A batch shortcut can therefore reject spuriously (and pay
+// a re-check) but never accept anything serial verification would refuse.
+//
+// Backends are safe for concurrent use by any number of goroutines; a
+// cluster shares one instance per trust domain (each server injects its
+// own, clients may share one — sharing the verified co-sign cache across
+// in-process clients is the same deployment choice as sharing a light
+// client's header cache).
+package crypto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/cosi"
+	"repro/internal/identity"
+	"repro/internal/schnorr"
+)
+
+// Verifier is the injected verification plane. All methods are safe for
+// concurrent use.
+type Verifier interface {
+	// VerifyEnvelope checks one client-signed envelope against the
+	// registry and returns the authenticated payload (identity.Registry
+	// .Open semantics: identity.ErrUnknownSender / identity.ErrBadSignature
+	// on failure).
+	VerifyEnvelope(env identity.Envelope) ([]byte, error)
+
+	// VerifyBatch checks a batch of envelopes and returns a slice of
+	// per-element verdicts, always len(envs) long: errs[i] is nil iff
+	// envs[i] verifies. Attribution is per element — a bad envelope never
+	// taints its batch mates.
+	VerifyBatch(envs []identity.Envelope) []error
+
+	// Submit enqueues one envelope for asynchronous verification and
+	// returns immediately; the Ticket's Wait delivers the verdict. The
+	// batched backend groups concurrent submissions into batches for its
+	// worker pool — this is how independent Terminate handlers share
+	// batching without knowing about each other.
+	Submit(env identity.Envelope) *Ticket
+
+	// VerifyCoSig checks a collective signature over record against the
+	// aggregate Schnorr public key of the named signers. It returns
+	// ErrUnknownSigner if a signer is not in the registry and ErrBadCoSig
+	// if the signature does not verify.
+	VerifyCoSig(signers []identity.NodeID, record []byte, sig cosi.Signature) error
+
+	// VerifyPartials checks the witnesses' partial responses
+	// r_i·G == V_i + c·X_i (paper Lemma 4) and returns the indices of the
+	// faulty ones. The three slices must be parallel. The batched backend
+	// first tries one random-linear-combination equation over the whole
+	// set and falls back to the serial per-element check on any mismatch,
+	// so attribution is always per element.
+	VerifyPartials(pubs []schnorr.PublicKey, commitments []cosi.Commitment, challenge *big.Int, responses []*big.Int) ([]int, error)
+
+	// Pool returns the backend's worker pool for data-parallel commit
+	// work beyond signatures (OCC validation, Merkle leaf hashing,
+	// datastore apply), or nil when the backend is serial — callers fall
+	// back to inline loops on nil.
+	Pool() *Pool
+
+	// Close releases backend resources (worker pool, async collector).
+	// In-flight work completes; later Submits fail with ErrVerifierClosed.
+	Close()
+}
+
+// Sentinel errors shared by all backends.
+var (
+	// ErrUnknownSigner reports a co-sign signer set containing an identity
+	// the registry cannot resolve.
+	ErrUnknownSigner = errors.New("crypto: unresolvable signer")
+	// ErrBadCoSig reports a collective signature that does not verify
+	// against the aggregate key of its signer set.
+	ErrBadCoSig = errors.New("crypto: invalid collective signature")
+	// ErrVerifierClosed reports a Submit after Close.
+	ErrVerifierClosed = errors.New("crypto: verifier closed")
+)
+
+// Ticket is the handle for one asynchronously submitted envelope
+// verification.
+type Ticket struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+func newTicket() *Ticket { return &Ticket{done: make(chan struct{})} }
+
+// doneTicket returns an already-completed ticket (the serial backend and
+// error paths resolve synchronously).
+func doneTicket(payload []byte, err error) *Ticket {
+	t := newTicket()
+	t.complete(payload, err)
+	return t
+}
+
+// complete resolves the ticket exactly once.
+func (t *Ticket) complete(payload []byte, err error) {
+	t.payload, t.err = payload, err
+	close(t.done)
+}
+
+// Wait blocks until the verification completes or ctx is done, and
+// returns the authenticated payload (VerifyEnvelope semantics).
+func (t *Ticket) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-t.done:
+		return t.payload, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// FirstError returns the index and value of the first non-nil verdict in
+// a VerifyBatch result, or (-1, nil) when every element verified. Cohorts
+// use it to attribute a bad block to its first offending envelope
+// deterministically, independent of which worker found it.
+func FirstError(errs []error) (int, error) {
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
+// verifyCoSig is the one shared implementation of the VerifyCoSig
+// contract: resolve the signer set, aggregate, check. Both backends call
+// it (the batched backend behind its cache), so acceptance is identical
+// by construction.
+func verifyCoSig(reg *identity.Registry, signers []identity.NodeID, record []byte, sig cosi.Signature) error {
+	pubs, err := reg.SchnorrKeys(signers)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnknownSigner, err)
+	}
+	if sig.IsZero() || !cosi.VerifyParticipants(pubs, record, sig) {
+		return ErrBadCoSig
+	}
+	return nil
+}

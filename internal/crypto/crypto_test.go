@@ -1,0 +1,358 @@
+package crypto
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cosi"
+	"repro/internal/identity"
+	"repro/internal/schnorr"
+)
+
+// fixture builds a registry with nServers server identities and nClients
+// client identities.
+type fixture struct {
+	reg     *identity.Registry
+	servers []*identity.Identity
+	clients []*identity.Identity
+}
+
+func newFixture(t testing.TB, nServers, nClients int) *fixture {
+	t.Helper()
+	f := &fixture{reg: identity.NewRegistry()}
+	for i := 0; i < nServers; i++ {
+		ident, err := identity.New(identity.NodeID(string(rune('a'+i))+"srv"), identity.RoleServer, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.reg.Register(ident.Public())
+		f.servers = append(f.servers, ident)
+	}
+	for i := 0; i < nClients; i++ {
+		ident, err := identity.New(identity.NodeID(string(rune('a'+i))+"cli"), identity.RoleClient, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.reg.Register(ident.Public())
+		f.clients = append(f.clients, ident)
+	}
+	return f
+}
+
+func (f *fixture) serverIDs() []identity.NodeID {
+	ids := make([]identity.NodeID, len(f.servers))
+	for i, s := range f.servers {
+		ids[i] = s.ID
+	}
+	return ids
+}
+
+// envelopes returns n sealed envelopes round-robining over the clients,
+// with the indices in bad carrying corrupted signatures.
+func (f *fixture) envelopes(t testing.TB, n int, bad ...int) []identity.Envelope {
+	t.Helper()
+	badSet := make(map[int]bool, len(bad))
+	for _, i := range bad {
+		badSet[i] = true
+	}
+	envs := make([]identity.Envelope, n)
+	for i := range envs {
+		ident := f.clients[i%len(f.clients)]
+		envs[i] = identity.Seal(ident, []byte{byte(i), byte(i >> 8), 'p'})
+		if badSet[i] {
+			envs[i].Sig = append([]byte(nil), envs[i].Sig...)
+			envs[i].Sig[0] ^= 0x40
+		}
+	}
+	return envs
+}
+
+// cosign produces a full collective signature over record, optionally
+// corrupting the partial responses at the given indices. It returns
+// everything the coordinator holds at the response phase.
+func (f *fixture) cosign(t testing.TB, record []byte, badShares ...int) (pubs []schnorr.PublicKey, commitments []cosi.Commitment, challenge *big.Int, responses []*big.Int, sig cosi.Signature) {
+	t.Helper()
+	n := len(f.servers)
+	pubs = make([]schnorr.PublicKey, n)
+	commitments = make([]cosi.Commitment, n)
+	secrets := make([]cosi.Secret, n)
+	for i, s := range f.servers {
+		pubs[i] = s.Schnorr.Public
+		c, sec, err := cosi.Commit(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commitments[i], secrets[i] = c, sec
+	}
+	aggV, err := cosi.AggregateCommitments(commitments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggPub, err := cosi.AggregatePublicKeys(pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenge = cosi.Challenge(aggV, aggPub, record)
+	responses = make([]*big.Int, n)
+	for i, s := range f.servers {
+		r, err := cosi.Respond(s.Schnorr, &secrets[i], challenge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		responses[i] = r
+	}
+	for _, i := range badShares {
+		responses[i] = new(big.Int).Add(responses[i], big.NewInt(7))
+	}
+	aggR, err := cosi.AggregateResponses(responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig = cosi.Finalize(challenge, aggR)
+	return
+}
+
+func backends(t testing.TB, reg *identity.Registry) map[string]Verifier {
+	t.Helper()
+	b := NewBatched(Options{Registry: reg, Workers: 4})
+	t.Cleanup(b.Close)
+	return map[string]Verifier{"serial": NewSerial(reg), "batched": b}
+}
+
+// TestVerifyBatchMatchesSerial: the batched backend accepts exactly the
+// elements serial verification accepts, with per-element attribution.
+func TestVerifyBatchMatchesSerial(t *testing.T) {
+	f := newFixture(t, 3, 4)
+	serial := NewSerial(f.reg)
+	for name, v := range backends(t, f.reg) {
+		t.Run(name, func(t *testing.T) {
+			envs := f.envelopes(t, 50, 3, 17, 49)
+			errs := v.VerifyBatch(envs)
+			if len(errs) != len(envs) {
+				t.Fatalf("got %d verdicts for %d envelopes", len(errs), len(envs))
+			}
+			for i := range envs {
+				_, want := serial.VerifyEnvelope(envs[i])
+				if (errs[i] == nil) != (want == nil) {
+					t.Errorf("element %d: batched verdict %v, serial %v", i, errs[i], want)
+				}
+			}
+			for _, i := range []int{3, 17, 49} {
+				if !errors.Is(errs[i], identity.ErrBadSignature) {
+					t.Errorf("element %d: want ErrBadSignature, got %v", i, errs[i])
+				}
+			}
+			if i, _ := FirstError(errs); i != 3 {
+				t.Errorf("FirstError = %d, want 3", i)
+			}
+		})
+	}
+}
+
+// TestVerifyEnvelopeUnknownSender: both backends refuse an unregistered
+// sender identically.
+func TestVerifyEnvelopeUnknownSender(t *testing.T) {
+	f := newFixture(t, 1, 1)
+	stranger, err := identity.New("stranger", identity.RoleClient, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := identity.Seal(stranger, []byte("hi"))
+	for name, v := range backends(t, f.reg) {
+		if _, err := v.VerifyEnvelope(env); !errors.Is(err, identity.ErrUnknownSender) {
+			t.Errorf("%s: want ErrUnknownSender, got %v", name, err)
+		}
+	}
+}
+
+// TestSubmitWait: async submissions resolve to the same verdicts as the
+// serial check, regardless of submission order.
+func TestSubmitWait(t *testing.T) {
+	f := newFixture(t, 1, 4)
+	envs := f.envelopes(t, 200, 11, 99, 100)
+	for name, v := range backends(t, f.reg) {
+		t.Run(name, func(t *testing.T) {
+			tickets := make([]*Ticket, len(envs))
+			for i := range envs {
+				tickets[i] = v.Submit(envs[i])
+			}
+			ctx := context.Background()
+			for i, tk := range tickets {
+				_, err := tk.Wait(ctx)
+				if bad := i == 11 || i == 99 || i == 100; (err != nil) != bad {
+					t.Errorf("submit %d: err=%v, want bad=%v", i, err, bad)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifyCoSig: both backends accept a valid collective signature and
+// refuse a tampered record, a zero signature and an unknown signer.
+func TestVerifyCoSig(t *testing.T) {
+	f := newFixture(t, 4, 1)
+	record := []byte("block 7 signing bytes")
+	_, _, _, _, sig := f.cosign(t, record)
+	ids := f.serverIDs()
+	for name, v := range backends(t, f.reg) {
+		t.Run(name, func(t *testing.T) {
+			if err := v.VerifyCoSig(ids, record, sig); err != nil {
+				t.Fatalf("valid co-sign refused: %v", err)
+			}
+			// Second call exercises the batched backend's cache; the
+			// verdict must not change.
+			if err := v.VerifyCoSig(ids, record, sig); err != nil {
+				t.Fatalf("valid co-sign refused on re-check: %v", err)
+			}
+			if err := v.VerifyCoSig(ids, []byte("tampered"), sig); !errors.Is(err, ErrBadCoSig) {
+				t.Errorf("tampered record: want ErrBadCoSig, got %v", err)
+			}
+			if err := v.VerifyCoSig(ids, record, cosi.Signature{}); !errors.Is(err, ErrBadCoSig) {
+				t.Errorf("zero sig: want ErrBadCoSig, got %v", err)
+			}
+			if err := v.VerifyCoSig(append(ids, "ghost"), record, sig); !errors.Is(err, ErrUnknownSigner) {
+				t.Errorf("unknown signer: want ErrUnknownSigner, got %v", err)
+			}
+		})
+	}
+}
+
+// TestVerifyPartialsAttribution: with corrupted shares, both backends
+// attribute exactly the corrupted indices (Lemma 4).
+func TestVerifyPartialsAttribution(t *testing.T) {
+	f := newFixture(t, 5, 1)
+	for name, v := range backends(t, f.reg) {
+		t.Run(name, func(t *testing.T) {
+			pubs, commitments, challenge, responses, _ := f.cosign(t, []byte("r"), 1, 3)
+			faulty, err := v.VerifyPartials(pubs, commitments, challenge, responses)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(faulty) != 2 || faulty[0] != 1 || faulty[1] != 3 {
+				t.Fatalf("faulty = %v, want [1 3]", faulty)
+			}
+			// And a clean set attributes nobody.
+			pubs, commitments, challenge, responses, _ = f.cosign(t, []byte("r2"))
+			faulty, err = v.VerifyPartials(pubs, commitments, challenge, responses)
+			if err != nil || len(faulty) != 0 {
+				t.Fatalf("clean set: faulty=%v err=%v", faulty, err)
+			}
+		})
+	}
+}
+
+// TestVerifyPartialsCancellation is the falsifiability hole the batch
+// equation must not have: two share errors crafted to cancel in a plain
+// (unweighted) sum. A naive batch check Σr_i·G == ΣV_i + c·ΣX_i accepts
+// this set even though two members fail individually; the random linear
+// combination must reject it and the fail-closed re-check must attribute
+// both corrupted indices.
+func TestVerifyPartialsCancellation(t *testing.T) {
+	f := newFixture(t, 4, 1)
+	pubs, commitments, challenge, responses, _ := f.cosign(t, []byte("cancel"))
+	// Perturb shares 0 and 2 by +d and −d: the plain sum is unchanged.
+	d := big.NewInt(424242)
+	order := schnorr.N()
+	responses[0] = new(big.Int).Mod(new(big.Int).Add(responses[0], d), order)
+	responses[2] = new(big.Int).Mod(new(big.Int).Sub(responses[2], d), order)
+
+	// Sanity: the unweighted batch equation really is blind to this.
+	sum := new(big.Int)
+	for _, r := range responses {
+		sum.Add(sum, r)
+	}
+	lhs := schnorr.BaseMult(sum)
+	rhs := schnorr.Infinity()
+	for i := range pubs {
+		rhs = rhs.Add(commitments[i].V).Add(pubs[i].Point.ScalarMult(challenge))
+	}
+	if !lhs.Equal(rhs) {
+		t.Fatal("test construction broken: cancellation should fool the unweighted sum")
+	}
+
+	for name, v := range backends(t, f.reg) {
+		t.Run(name, func(t *testing.T) {
+			faulty, err := v.VerifyPartials(pubs, commitments, challenge, responses)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(faulty) != 2 || faulty[0] != 0 || faulty[1] != 2 {
+				t.Fatalf("faulty = %v, want [0 2]", faulty)
+			}
+		})
+	}
+}
+
+// TestVerifyPartialsProperty cross-checks the batched verdict against the
+// serial one over randomized corruption patterns: batch accepts iff
+// serial accepts every element, and on rejection the attributions match
+// exactly.
+func TestVerifyPartialsProperty(t *testing.T) {
+	f := newFixture(t, 4, 1)
+	serial := NewSerial(f.reg)
+	batched := NewBatched(Options{Registry: f.reg, Workers: 2})
+	defer batched.Close()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		var bad []int
+		for i := 0; i < 4; i++ {
+			if rng.Intn(3) == 0 {
+				bad = append(bad, i)
+			}
+		}
+		pubs, commitments, challenge, responses, _ := f.cosign(t, []byte{byte(trial)}, bad...)
+		want, err := serial.VerifyPartials(pubs, commitments, challenge, responses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := batched.VerifyPartials(pubs, commitments, challenge, responses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (bad=%v): batched=%v serial=%v", trial, bad, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (bad=%v): batched=%v serial=%v", trial, bad, got, want)
+			}
+		}
+	}
+}
+
+// TestCacheNeverCachesFailure: a bad envelope is re-verified (and
+// re-refused) every time; a later valid envelope with the same payload
+// is unaffected.
+func TestCacheNeverCachesFailure(t *testing.T) {
+	f := newFixture(t, 1, 1)
+	b := NewBatched(Options{Registry: f.reg, Workers: 2})
+	defer b.Close()
+	env := identity.Seal(f.clients[0], []byte("payload"))
+	badEnv := env
+	badEnv.Sig = append([]byte(nil), env.Sig...)
+	badEnv.Sig[0] ^= 1
+	for i := 0; i < 3; i++ {
+		if _, err := b.VerifyEnvelope(badEnv); !errors.Is(err, identity.ErrBadSignature) {
+			t.Fatalf("round %d: corrupted envelope accepted (err=%v)", i, err)
+		}
+	}
+	if _, err := b.VerifyEnvelope(env); err != nil {
+		t.Fatalf("valid envelope refused: %v", err)
+	}
+}
+
+// TestSubmitAfterClose: Submit on a closed backend resolves immediately
+// with ErrVerifierClosed, and Close is idempotent.
+func TestSubmitAfterClose(t *testing.T) {
+	f := newFixture(t, 1, 1)
+	b := NewBatched(Options{Registry: f.reg})
+	env := identity.Seal(f.clients[0], []byte("x"))
+	b.Close()
+	b.Close()
+	if _, err := b.Submit(env).Wait(context.Background()); !errors.Is(err, ErrVerifierClosed) {
+		t.Fatalf("want ErrVerifierClosed, got %v", err)
+	}
+}

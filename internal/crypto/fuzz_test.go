@@ -1,0 +1,66 @@
+package crypto
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/identity"
+)
+
+// fuzzEnv is a process-wide fixture: building identities is the expensive
+// part of each fuzz iteration, and the property under test only needs a
+// stable registry.
+var fuzzEnv struct {
+	once    sync.Once
+	fix     *fixture
+	serial  *Serial
+	batched *Batched
+}
+
+// FuzzVerifyBatchMatchesSerial is the batch-falsifiability property: for
+// an arbitrary corruption (byte position, mask, which element, which
+// field) of an otherwise valid envelope batch, the batched backend's
+// per-element verdicts equal serial verification's — the batch path can
+// never accept an element the serial check refuses, nor refuse one it
+// accepts.
+func FuzzVerifyBatchMatchesSerial(f *testing.F) {
+	fuzzEnv.once.Do(func() {
+		fix := newFixture(f, 2, 3)
+		fuzzEnv.fix = fix
+		fuzzEnv.serial = NewSerial(fix.reg)
+		fuzzEnv.batched = NewBatched(Options{Registry: fix.reg, Workers: 4, CacheSize: 8})
+	})
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(3), uint8(0xff), uint8(7), uint8(1))
+	f.Add(uint8(6), uint8(0x01), uint8(31), uint8(2))
+	f.Fuzz(func(t *testing.T, which, mask, pos, field uint8) {
+		fix := fuzzEnv.fix
+		envs := fix.envelopes(t, 8)
+		// Corrupt element `which` at byte `pos` of the chosen field (0 =
+		// leave valid, 1 = payload, 2 = signature, 3 = sender id).
+		i := int(which) % len(envs)
+		switch field % 4 {
+		case 1:
+			buf := append([]byte(nil), envs[i].Payload...)
+			buf[int(pos)%len(buf)] ^= mask
+			envs[i].Payload = buf
+		case 2:
+			buf := append([]byte(nil), envs[i].Sig...)
+			buf[int(pos)%len(buf)] ^= mask
+			envs[i].Sig = buf
+		case 3:
+			buf := []byte(envs[i].From)
+			buf = append([]byte(nil), buf...)
+			buf[int(pos)%len(buf)] ^= mask
+			envs[i].From = identity.NodeID(buf)
+		}
+		got := fuzzEnv.batched.VerifyBatch(envs)
+		for j := range envs {
+			_, want := fuzzEnv.serial.VerifyEnvelope(envs[j])
+			if (got[j] == nil) != (want == nil) {
+				t.Fatalf("element %d (corrupted %d field %d mask %02x pos %d): batched=%v serial=%v",
+					j, i, field%4, mask, pos, got[j], want)
+			}
+		}
+	})
+}

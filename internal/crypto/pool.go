@@ -1,0 +1,132 @@
+package crypto
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool is a fixed-size worker pool for the data-parallel stages of the
+// commit path: batch signature verification, OCC validation, Merkle leaf
+// hashing and datastore apply all fan independent per-element work across
+// it. Map calls are safe from any number of goroutines concurrently (the
+// pipelined commit path overlaps blocks), results are written by index so
+// dispatch order never shows in the output, and a closed pool degrades to
+// inline execution instead of failing — shutdown can race a late commit
+// without either losing work or deadlocking.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+	mu      sync.RWMutex
+	closed  atomic.Bool
+	busy    atomic.Int64
+	busyG   *obs.Gauge
+}
+
+// NewPool starts a pool of the given size (≤0 defaults to GOMAXPROCS).
+// The obs bundle may be nil.
+func NewPool(workers int, o *obs.Obs) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		// Buffer one full fan-out per worker so Map never blocks on its
+		// own submissions when every worker is busy with another block.
+		tasks: make(chan func(), 4*workers),
+		busyG: o.Gauge("fides_crypto_pool_busy_workers", "Verification-plane worker-pool tasks currently executing."),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *Pool) work() {
+	defer p.wg.Done()
+	for task := range p.tasks {
+		p.busyG.Set(p.busy.Add(1))
+		task()
+		p.busyG.Set(p.busy.Add(-1))
+	}
+}
+
+// Workers returns the pool size (0 for a nil pool, meaning "run inline").
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+// Map runs f(i) for every i in [0, n) and returns when all calls have
+// finished. Work is claimed index-by-index from a shared counter, so the
+// division of labor adapts to element cost; callers communicate results
+// positionally (errs[i], hashes[i], …), which makes the outcome
+// independent of dispatch order by construction. A nil or closed pool —
+// and the caller's own goroutine, which always participates instead of
+// idling — run elements inline, so Map never deadlocks during shutdown.
+func (p *Pool) Map(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.closed.Load() || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			f(i)
+		}
+	}
+	helpers := p.workers
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+	// The read lock pairs with Close's write lock so a helper is never
+	// sent on a closed channel; submission is non-blocking, so the lock is
+	// held only for the fan-out instant.
+	p.mu.RLock()
+	if !p.closed.Load() {
+		for i := 0; i < helpers; i++ {
+			wg.Add(1)
+			task := func() { defer wg.Done(); run() }
+			select {
+			case p.tasks <- task:
+			default:
+				// Pool saturated: don't queue behind other blocks'
+				// fan-outs, just do the work here.
+				wg.Done()
+			}
+		}
+	}
+	p.mu.RUnlock()
+	run() // the caller is always one of the workers
+	wg.Wait()
+}
+
+// Close stops the workers after in-flight tasks finish. Map calls racing
+// or following Close complete inline. Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

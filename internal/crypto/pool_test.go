@@ -1,0 +1,135 @@
+package crypto
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/identity"
+)
+
+// TestPoolMapCoversAllIndices: every index runs exactly once, results
+// land positionally.
+func TestPoolMapCoversAllIndices(t *testing.T) {
+	p := NewPool(4, nil)
+	defer p.Close()
+	const n = 1000
+	var counts [n]atomic.Int32
+	p.Map(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestPoolConcurrentMaps: many concurrent Map calls (the pipelined commit
+// shape: several blocks in flight, each fanning out OCC + signature work)
+// each see a complete, dispatch-order-independent result.
+func TestPoolConcurrentMaps(t *testing.T) {
+	p := NewPool(4, nil)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				n := 1 + (g+round)%64
+				out := make([]int, n)
+				p.Map(n, func(i int) { out[i] = i*2 + g })
+				for i := range out {
+					if out[i] != i*2+g {
+						t.Errorf("goroutine %d round %d: out[%d]=%d", g, round, i, out[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPoolCloseDuringMaps: closing the pool while Maps are in flight
+// neither loses work nor deadlocks — racing and subsequent Maps degrade
+// to inline execution.
+func TestPoolCloseDuringMaps(t *testing.T) {
+	p := NewPool(2, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var done atomic.Int32
+				p.Map(32, func(int) { done.Add(1) })
+				if got := done.Load(); got != 32 {
+					t.Errorf("map completed %d/32 elements", got)
+					return
+				}
+			}
+		}()
+	}
+	p.Close()
+	close(stop)
+	wg.Wait()
+	// A Map after Close still runs every element (inline).
+	var done atomic.Int32
+	p.Map(10, func(int) { done.Add(1) })
+	if done.Load() != 10 {
+		t.Fatalf("post-close map completed %d/10", done.Load())
+	}
+}
+
+// TestBatchedConcurrentCommitShape drives the batched backend the way
+// pipelined commits do — concurrent VerifyBatch + Submit + VerifyCoSig
+// from many goroutines — and checks sticky per-element error surfacing:
+// the bad element's verdict is stable no matter which worker, batch or
+// cache path served it.
+func TestBatchedConcurrentCommitShape(t *testing.T) {
+	f := newFixture(t, 3, 4)
+	b := NewBatched(Options{Registry: f.reg, Workers: 4, MaxBatch: 8})
+	defer b.Close()
+	envs := f.envelopes(t, 40, 5)
+	record := []byte("block")
+	_, _, _, _, sig := f.cosign(t, record)
+	ids := f.serverIDs()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				errs := b.VerifyBatch(envs)
+				for i := range errs {
+					if (errs[i] != nil) != (i == 5) {
+						t.Errorf("round %d element %d: %v", round, i, errs[i])
+						return
+					}
+				}
+				tk := b.Submit(envs[round%len(envs)])
+				if _, err := tk.Wait(context.Background()); (err != nil) != (round%len(envs) == 5) {
+					t.Errorf("submit round %d: %v", round, err)
+					return
+				}
+				if err := b.VerifyCoSig(ids, record, sig); err != nil {
+					t.Errorf("cosig round %d: %v", round, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !errors.Is(b.VerifyBatch(envs)[5], identity.ErrBadSignature) {
+		t.Fatal("bad element verdict not sticky after concurrent rounds")
+	}
+}

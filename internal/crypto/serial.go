@@ -1,0 +1,60 @@
+package crypto
+
+import (
+	"math/big"
+
+	"repro/internal/cosi"
+	"repro/internal/identity"
+	"repro/internal/schnorr"
+)
+
+// Serial is the reference backend: every check is the unbatched,
+// uncached, inline primitive the call sites hand-rolled before the
+// verification plane existed — byte-for-byte today's behavior. It is the
+// default, the fallback the batched backend fails closed to, and the
+// acceptance oracle the falsifiability tests compare against.
+type Serial struct {
+	reg *identity.Registry
+}
+
+// NewSerial creates a serial backend over the registry.
+func NewSerial(reg *identity.Registry) *Serial {
+	return &Serial{reg: reg}
+}
+
+var _ Verifier = (*Serial)(nil)
+
+// VerifyEnvelope checks one envelope via identity.Registry.Open.
+func (s *Serial) VerifyEnvelope(env identity.Envelope) ([]byte, error) {
+	return s.reg.Open(env)
+}
+
+// VerifyBatch checks each envelope in order on the calling goroutine.
+func (s *Serial) VerifyBatch(envs []identity.Envelope) []error {
+	errs := make([]error, len(envs))
+	for i, env := range envs {
+		_, errs[i] = s.reg.Open(env)
+	}
+	return errs
+}
+
+// Submit verifies inline and returns an already-resolved ticket.
+func (s *Serial) Submit(env identity.Envelope) *Ticket {
+	return doneTicket(s.reg.Open(env))
+}
+
+// VerifyCoSig resolves the signer set and verifies the aggregate.
+func (s *Serial) VerifyCoSig(signers []identity.NodeID, record []byte, sig cosi.Signature) error {
+	return verifyCoSig(s.reg, signers, record, sig)
+}
+
+// VerifyPartials is cosi.IdentifyFaulty: the per-element Lemma 4 check.
+func (s *Serial) VerifyPartials(pubs []schnorr.PublicKey, commitments []cosi.Commitment, challenge *big.Int, responses []*big.Int) ([]int, error) {
+	return cosi.IdentifyFaulty(pubs, commitments, challenge, responses)
+}
+
+// Pool returns nil: serial callers run data-parallel stages inline.
+func (s *Serial) Pool() *Pool { return nil }
+
+// Close is a no-op; the serial backend holds no resources.
+func (s *Serial) Close() {}

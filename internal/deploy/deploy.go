@@ -46,6 +46,14 @@ type Deployment struct {
 	// it too: it enables their bounded lookahead wait for block
 	// announcements that overtake a predecessor's decision.
 	Pipeline int `json:"pipeline,omitempty"`
+	// Crypto selects the verification backend every process builds its
+	// commit-path Verifier from: "serial" (default) or "batched" (worker
+	// pool + batch co-sign share verification + verdict caches; see
+	// internal/crypto). cmd/fides-server's -crypto flag overrides it.
+	Crypto string `json:"crypto,omitempty"`
+	// CryptoWorkers sizes the batched backend's worker pool (0 =
+	// GOMAXPROCS). Ignored when Crypto is "serial".
+	CryptoWorkers int `json:"crypto_workers,omitempty"`
 	// Coordinators is the number of servers taking turns driving TFCommit
 	// rounds. Rotation requires the coordinators to share a process (the
 	// in-process core.Cluster); a multi-process fides-server deployment
@@ -100,6 +108,12 @@ func Load(path string) (*Deployment, error) {
 	}
 	if d.BatchSize <= 0 {
 		d.BatchSize = 16
+	}
+	if d.Crypto == "" {
+		d.Crypto = core.CryptoSerial
+	}
+	if d.Crypto != core.CryptoSerial && d.Crypto != core.CryptoBatched {
+		return nil, fmt.Errorf("deploy: %s names unknown crypto backend %q", path, d.Crypto)
 	}
 	return &d, nil
 }

@@ -136,6 +136,23 @@ func VerifyHeaderSig(h *Header, keys *identity.Registry) error {
 	return nil
 }
 
+// VerifyHeaderSigWith is VerifyHeaderSig through an injected verification
+// backend — the light client's and watchtower's form, where the backend
+// may replay a cached verdict for these exact header bytes.
+func VerifyHeaderSigWith(v CoSigVerifier, h *Header) error {
+	if len(h.Signers) == 0 {
+		return fmt.Errorf("%w: header %d has no signers", ErrHeaderCoSig, h.Height)
+	}
+	sig := h.CoSig()
+	if sig.IsZero() {
+		return fmt.Errorf("%w: header %d has no co-sign", ErrHeaderCoSig, h.Height)
+	}
+	if err := v.VerifyCoSig(h.Signers, h.SigningBytes(), sig); err != nil {
+		return fmt.Errorf("%w: header %d: %v", ErrHeaderCoSig, h.Height, err)
+	}
+	return nil
+}
+
 // Matches reports whether the header was extracted from a block with the
 // same co-signed contents (signing bytes and signature equal).
 func (h *Header) Matches(b *Block) bool {

@@ -55,10 +55,72 @@ func VerifyChain(blocks []*Block, keys *identity.Registry) (int, error) {
 	return -1, nil
 }
 
+// VerifyChainWith is VerifyChain through an injected verification backend
+// — the auditor's form when one process re-verifies many logs over the
+// same chain: identical co-signed blocks across servers become verdict
+// cache hits instead of repeated aggregate checks.
+func VerifyChainWith(v CoSigVerifier, blocks []*Block) (int, error) {
+	var prevHash []byte
+	for i, b := range blocks {
+		if b == nil {
+			return i, fmt.Errorf("%w: block %d is missing", ErrChainHeight, i)
+		}
+		if b.Height != uint64(i) {
+			return i, fmt.Errorf("%w: block %d declares height %d", ErrChainHeight, i, b.Height)
+		}
+		if i == 0 {
+			if len(b.PrevHash) != 0 {
+				return i, fmt.Errorf("%w: genesis block has non-empty prev-hash", ErrChainPrevHash)
+			}
+		} else if !bytes.Equal(b.PrevHash, prevHash) {
+			return i, fmt.Errorf("%w: block %d prev-hash does not match block %d", ErrChainPrevHash, i, i-1)
+		}
+		if err := VerifyBlockSigWith(v, b); err != nil {
+			return i, err
+		}
+		prevHash = b.Hash()
+	}
+	return -1, nil
+}
+
+// CoSigVerifier abstracts collective-signature verification so block and
+// header checks can route through an injected verification backend
+// (internal/crypto's serial or batched Verifier) instead of hand-rolling
+// the aggregate check at every call site. Implementations return an
+// error describing why the signature is unacceptable (unresolvable
+// signer, invalid signature); nil means the co-sign verifies.
+type CoSigVerifier interface {
+	VerifyCoSig(signers []identity.NodeID, record []byte, sig cosi.Signature) error
+}
+
 // VerifyBlockSig checks the collective signature of a single block against
 // the aggregate Schnorr public key of its declared signers.
 func VerifyBlockSig(b *Block, keys *identity.Registry) error {
 	return VerifyBlockSigBytes(b, b.SigningBytes(), keys)
+}
+
+// VerifyBlockSigWith is VerifyBlockSig through an injected verification
+// backend — the commit hot path's form (cohort Decide, catch-up,
+// watchtower tail), where the backend may batch, parallelize or replay a
+// cached verdict for these exact bytes.
+func VerifyBlockSigWith(v CoSigVerifier, b *Block) error {
+	return VerifyBlockSigBytesWith(v, b, b.SigningBytes())
+}
+
+// VerifyBlockSigBytesWith is VerifyBlockSigWith for callers that already
+// hold the block's canonical signing bytes.
+func VerifyBlockSigBytesWith(v CoSigVerifier, b *Block, signingBytes []byte) error {
+	if len(b.Signers) == 0 {
+		return fmt.Errorf("%w: block %d has no signers", ErrChainSigners, b.Height)
+	}
+	sig := b.CoSig()
+	if sig.IsZero() {
+		return fmt.Errorf("%w: block %d has no co-sign", ErrChainCoSig, b.Height)
+	}
+	if err := v.VerifyCoSig(b.Signers, signingBytes, sig); err != nil {
+		return fmt.Errorf("%w: block %d: %v", ErrChainCoSig, b.Height, err)
+	}
+	return nil
 }
 
 // VerifyBlockSigBytes is VerifyBlockSig for callers that already hold the

@@ -42,6 +42,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/peer"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -56,26 +57,15 @@ type Layout interface {
 	ShardItems(srv identity.NodeID) []txn.ItemID
 }
 
-// Config assembles a light client.
+// Config assembles a light client. The shared peer wiring — registry,
+// transport, server set, header-sync source, page size (default 512) and
+// the collective-signature verification plane — is the embedded
+// peer.PeerConfig.
 type Config struct {
-	// Registry supplies the server public keys header co-signs are
-	// verified against.
-	Registry *identity.Registry
-	// Transport carries the wire messages.
-	Transport transport.Transport
+	peer.PeerConfig
+
 	// Layout is the item→server directory and shard layout.
 	Layout Layout
-	// Servers is the full server set. Every accepted header must be
-	// signed by exactly this set — "even an aborted transaction must be
-	// signed by all the servers" (§4.3.1), so a subset signature is a
-	// forgery no matter how valid its aggregate.
-	Servers []identity.NodeID
-	// Source is the server headers are synced from (default Servers[0]).
-	// Reads always go to the owning server; only the header stream has a
-	// configurable source.
-	Source identity.NodeID
-	// PageSize is the header-sync page size (default 512).
-	PageSize uint32
 
 	// CheckpointHeight/CheckpointHash resume the header chain from a
 	// trusted checkpoint: the hash of the block at CheckpointHeight,
@@ -85,10 +75,6 @@ type Config struct {
 	// means a cold sync from height 0.
 	CheckpointHeight uint64
 	CheckpointHash   []byte
-
-	// Obs supplies metrics, tracing and logging; nil runs dark (detached
-	// instruments, discard logger).
-	Obs *obs.Obs
 }
 
 // Verification errors. Each names the check that failed, so a caller (or
@@ -134,6 +120,7 @@ type Client struct {
 	signerSet map[identity.NodeID]struct{}
 	source    identity.NodeID
 	pageSize  uint32
+	verifier  ledger.CoSigVerifier
 
 	mu          sync.RWMutex
 	base        uint64 // height of headers[0]
@@ -167,20 +154,13 @@ type Stats struct {
 // New creates a light client. With a checkpoint configured, the chain
 // resumes from it; otherwise the first Sync cold-starts at height 0.
 func New(cfg Config) (*Client, error) {
-	if cfg.Registry == nil || cfg.Transport == nil || cfg.Layout == nil {
+	if cfg.Layout == nil {
 		return nil, errors.New("lightclient: config requires registry, transport and layout")
 	}
-	if len(cfg.Servers) == 0 {
-		return nil, errors.New("lightclient: config requires the server set")
+	if err := cfg.Validate("lightclient"); err != nil {
+		return nil, err
 	}
-	source := cfg.Source
-	if source == "" {
-		source = cfg.Servers[0]
-	}
-	pageSize := cfg.PageSize
-	if pageSize == 0 {
-		pageSize = 512
-	}
+	cfg.ApplyDefaults(512)
 	o := cfg.Obs
 	c := &Client{
 		reg:         cfg.Registry,
@@ -188,8 +168,9 @@ func New(cfg Config) (*Client, error) {
 		layout:      cfg.Layout,
 		servers:     append([]identity.NodeID(nil), cfg.Servers...),
 		signerSet:   make(map[identity.NodeID]struct{}, len(cfg.Servers)),
-		source:      source,
-		pageSize:    pageSize,
+		source:      cfg.Source,
+		pageSize:    cfg.PageSize,
+		verifier:    cfg.Verifier,
 		rootHeights: make(map[identity.NodeID][]uint64),
 		shards:      make(map[identity.NodeID]*shardLayout),
 
@@ -382,7 +363,7 @@ func (c *Client) verifyHeaderLocked(h *ledger.Header, want uint64) error {
 		}
 		seen[id] = struct{}{}
 	}
-	if err := ledger.VerifyHeaderSig(h, c.reg); err != nil {
+	if err := ledger.VerifyHeaderSigWith(c.verifier, h); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadHeader, err)
 	}
 	return nil

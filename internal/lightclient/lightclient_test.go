@@ -10,6 +10,7 @@ import (
 	"repro/internal/cosi"
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/peer"
 	"repro/internal/schnorr"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -210,11 +211,13 @@ func (tc *testChain) headersOrError(msg transport.Message) (transport.Message, e
 func (tc *testChain) newClient(pageSize uint32) *Client {
 	tc.t.Helper()
 	c, err := New(Config{
-		Registry:  tc.reg,
-		Transport: tc.net,
-		Layout:    tc,
-		Servers:   tc.servers,
-		PageSize:  pageSize,
+		PeerConfig: peer.PeerConfig{
+			Registry:  tc.reg,
+			Transport: tc.net,
+			Servers:   tc.servers,
+			PageSize:  pageSize,
+		},
+		Layout: tc,
 	})
 	if err != nil {
 		tc.t.Fatal(err)
@@ -394,11 +397,13 @@ func TestReadSyncsFromOwnerWhenSourceLags(t *testing.T) {
 	tc.serveReads(tc.servers[0], nil)
 
 	c, err := New(Config{
-		Registry:  tc.reg,
-		Transport: tc.net,
-		Layout:    tc,
-		Servers:   tc.servers,
-		Source:    lagging,
+		PeerConfig: peer.PeerConfig{
+			Registry:  tc.reg,
+			Transport: tc.net,
+			Servers:   tc.servers,
+			Source:    lagging,
+		},
+		Layout: tc,
 	})
 	if err != nil {
 		t.Fatal(err)

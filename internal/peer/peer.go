@@ -1,0 +1,77 @@
+// Package peer holds the configuration every read-side peer of a Fides
+// deployment shares. Light clients, watchtowers and auditors all attach
+// the same way — a public-key registry, a transport endpoint, the full
+// server set, a sync source, the designated coordinator and a paging size
+// — and before this package each of them restated those fields (and their
+// defaulting and validation) in its own Config. PeerConfig is the one
+// shared statement; the consumers embed it.
+package peer
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// PeerConfig is the wiring common to every read-side peer.
+type PeerConfig struct {
+	// Registry resolves all node public keys; collective signatures are
+	// verified against it.
+	Registry *identity.Registry
+	// Transport carries the wire messages.
+	Transport transport.Transport
+	// Servers is the full server set. Every accepted block or header must
+	// be signed by exactly this set — "even an aborted transaction must
+	// be signed by all the servers" (§4.3.1), so a subset signature is a
+	// forgery no matter how valid its aggregate.
+	Servers []identity.NodeID
+	// Source is the server headers or blocks are synced from (default
+	// Servers[0]). Reads always go to the owning server; only the sync
+	// stream has a configurable source.
+	Source identity.NodeID
+	// Coordinator optionally names the designated coordinator, so
+	// findings that implicate block production (equivocation, fake roots)
+	// can also name it.
+	Coordinator identity.NodeID
+	// PageSize is the sync page size; zero takes the consumer's default.
+	PageSize uint32
+	// Obs supplies metrics, tracing and logging; nil runs dark (detached
+	// instruments, discard logger).
+	Obs *obs.Obs
+	// Verifier is the peer's verification plane for collective
+	// signatures. Nil defaults to the serial backend over Registry;
+	// peers of one deployment should share a caching (batched) instance —
+	// they all verify the same co-signed headers, so one verdict cache
+	// serves them all.
+	Verifier ledger.CoSigVerifier
+}
+
+// ApplyDefaults fills the zero fields: Source (first server), PageSize
+// (the consumer's default) and the serial verification backend.
+func (c *PeerConfig) ApplyDefaults(defaultPageSize uint32) {
+	if c.Source == "" && len(c.Servers) > 0 {
+		c.Source = c.Servers[0]
+	}
+	if c.PageSize == 0 {
+		c.PageSize = defaultPageSize
+	}
+	if c.Verifier == nil {
+		c.Verifier = crypto.NewSerial(c.Registry)
+	}
+}
+
+// Validate reports missing required wiring; kind names the consumer in
+// the error ("lightclient", "watch", "audit").
+func (c *PeerConfig) Validate(kind string) error {
+	if c.Registry == nil || c.Transport == nil {
+		return fmt.Errorf("%s: config requires registry and transport", kind)
+	}
+	if len(c.Servers) == 0 {
+		return fmt.Errorf("%s: config requires the server set", kind)
+	}
+	return nil
+}

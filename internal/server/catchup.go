@@ -426,7 +426,7 @@ func (s *Server) applyFetched(b *ledger.Block) (fresh bool, err error) {
 	// the transactions through the txns-hash — verifying it outside the
 	// server lock keeps the expensive check off the commit critical
 	// section.
-	if err := ledger.VerifyBlockSigBytes(b, b.SigningBytes(), s.reg); err != nil {
+	if err := ledger.VerifyBlockSigBytesWith(s.verifier, b, b.SigningBytes()); err != nil {
 		return false, fmt.Errorf("%w: catch-up block %d: %v", ErrBadCoSig, b.Height, err)
 	}
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cosi"
+	"repro/internal/crypto"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/schnorr"
@@ -279,7 +280,7 @@ func (s *Server) Decide(ctx context.Context, from identity.NodeID, req *wire.Dec
 		if st.challengedBytes != nil && !bytes.Equal(signingBytes, st.challengedBytes) {
 			return nil, fmt.Errorf("%w (height %d)", ErrBlockMutated, b.Height)
 		}
-		if err := ledger.VerifyBlockSigBytes(b, signingBytes, s.reg); err != nil {
+		if err := ledger.VerifyBlockSigBytesWith(s.verifier, b, signingBytes); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadCoSig, err)
 		}
 	}
@@ -414,14 +415,19 @@ func (s *Server) validateBlockLocked(b *ledger.Block, reqs []identity.Envelope, 
 	if len(reqs) != len(b.Txns) {
 		return 0, false, nil, nil, fmt.Errorf("server: %d client requests for %d transactions", len(reqs), len(b.Txns))
 	}
-	for i, env := range reqs {
-		var t *txn.Transaction
-		var err error
-		if trustedLocal {
-			t, err = DecodeTxnEnvelopeTrusted(env)
-		} else {
-			t, err = DecodeTxnEnvelope(s.reg, env)
+	// Envelope signatures go through the verification plane in one batch —
+	// the batched backend fans the Ed25519 checks across its worker pool —
+	// then the payloads decode serially against the already-verified bytes.
+	// The coordinator's own cohort skips the batch: the very same envelopes
+	// were verified on end_transaction (from == own id, unforgeable through
+	// the authenticated transport).
+	if !trustedLocal {
+		if i, err := crypto.FirstError(s.verifier.VerifyBatch(reqs)); err != nil {
+			return 0, false, nil, nil, fmt.Errorf("server: client request (block txn %d): %w", i, err)
 		}
+	}
+	for i, env := range reqs {
+		t, err := DecodeTxnEnvelopeTrusted(env)
 		if err != nil {
 			return 0, false, nil, nil, err
 		}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/crypto"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/obs"
@@ -81,15 +82,22 @@ type Config struct {
 	// Obs supplies metrics, tracing and logging for this server; nil runs
 	// dark (detached instruments, no spans, discard logger).
 	Obs *obs.Obs
+	// Verifier is this server's verification plane: every client-envelope
+	// and collective-signature check on the commit path goes through it,
+	// so the backend (serial or batched/parallel, core.Config.Crypto)
+	// decides how the work is scheduled. Nil defaults to the serial
+	// backend over Registry — today's behavior byte-for-byte.
+	Verifier crypto.Verifier
 }
 
 // Server is one Fides database server.
 type Server struct {
-	ident *identity.Identity
-	reg   *identity.Registry
-	dir   Directory
-	shard *store.Shard
-	log   *ledger.Log
+	ident    *identity.Identity
+	reg      *identity.Registry
+	dir      Directory
+	shard    *store.Shard
+	log      *ledger.Log
+	verifier crypto.Verifier
 
 	faults Faults
 
@@ -197,10 +205,15 @@ func New(cfg Config) (*Server, error) {
 	if log == nil {
 		log = ledger.NewLog()
 	}
+	verifier := cfg.Verifier
+	if verifier == nil {
+		verifier = crypto.NewSerial(cfg.Registry)
+	}
 	o := cfg.Obs
 	s := &Server{
 		ident:     cfg.Identity,
 		reg:       cfg.Registry,
+		verifier:  verifier,
 		dir:       cfg.Directory,
 		shard:     cfg.Shard,
 		log:       log,

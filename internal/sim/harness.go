@@ -181,6 +181,7 @@ func (env *runEnv) clusterConfig(withHook bool) core.Config {
 		MultiVersion:  sc.MultiVersion,
 		Pipeline:      sc.Pipeline,
 		Coordinators:  sc.Coordinators,
+		Crypto:        sc.Crypto,
 		NetScheduler:  env.sched,
 		Obs:           env.obs,
 		ServerFaults:  nil, // faults engage after warmup via SetFaults

@@ -6,6 +6,7 @@ import (
 	"errors"
 
 	"repro/internal/audit"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/identity"
 	"repro/internal/server"
@@ -260,7 +261,7 @@ func (env *runEnv) checkVerifiedRead(ctx context.Context) {
 		env.violate("verified-read sync: %v", err)
 		return
 	}
-	if _, err := cl.Begin().ReadVerified(ctx, victim); !errors.Is(err, wantErr) {
+	if _, err := cl.Begin().Read(ctx, victim, client.Verified()); !errors.Is(err, wantErr) {
 		env.violate("verified read of %s: got %v, want %v", victim, err, wantErr)
 	}
 	// The same path against an honest server's shard must verify clean.
@@ -274,7 +275,7 @@ func (env *runEnv) checkVerifiedRead(ctx context.Context) {
 	}
 	env.mu.Unlock()
 	if len(honestItems) > 0 {
-		if _, err := cl.Begin().ReadVerified(ctx, honestItems[0]); err != nil {
+		if _, err := cl.Begin().Read(ctx, honestItems[0], client.Verified()); err != nil {
 			env.violate("verified read against honest shard failed: %v", err)
 		}
 	}

@@ -137,6 +137,12 @@ type Scenario struct {
 	MultiVersion  bool
 	Pipeline      int
 	Coordinators  int
+	// Crypto selects the cluster's verification backend
+	// (core.CryptoSerial/CryptoBatched; empty = serial). The batched
+	// variants of the tamper scenarios pin it to prove the faster plane
+	// detects every fault the serial plane detects, with the same
+	// attribution.
+	Crypto string
 
 	// Durability. Durable scenarios run on a temp data dir through the
 	// real internal/durable path; SnapshotEvery > 0 exercises snapshots.

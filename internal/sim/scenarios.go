@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/lightclient"
 	"repro/internal/server"
@@ -13,8 +14,36 @@ import (
 
 // Catalog returns the built-in scenario set, in a stable order. Every
 // scenario is self-describing: its Expect block is the contract CI
-// enforces for every seed.
+// enforces for every seed. The four tamper scenarios additionally appear
+// pinned to the batched verification backend (suffix "-batched-crypto"):
+// same faults, same expected findings and attribution — the batched plane
+// must be exactly as falsifiable as the serial one.
 func Catalog() []Scenario {
+	base := catalogBase()
+	tampered := map[string]bool{
+		"stale-reads":    true,
+		"corrupt-apply":  true,
+		"tamper-headers": true,
+		"tamper-proof":   true,
+	}
+	out := append([]Scenario(nil), base...)
+	for _, sc := range base {
+		if !tampered[sc.Name] {
+			continue
+		}
+		b := sc
+		b.Name = sc.Name + "-batched-crypto"
+		b.Description = sc.Description + " (batched verification backend)"
+		b.Crypto = core.CryptoBatched
+		// The batched backend's worker pool makes verification completion
+		// order scheduling-dependent, so the trace is not byte-reproducible.
+		b.Deterministic = false
+		out = append(out, b)
+	}
+	return out
+}
+
+func catalogBase() []Scenario {
 	return []Scenario{
 		{
 			Name:          "honest-baseline",

@@ -87,12 +87,40 @@ type Shard struct {
 	items        []Item
 	history      [][]Version // per item; nil unless multiVersion
 	tree         *merkle.Tree
+	hasher       Hasher
 }
 
 // Config configures a shard.
 type Config struct {
 	// MultiVersion retains every version of every item (paper §4.2.1).
 	MultiVersion bool
+	// Hasher optionally parallelizes independent Merkle leaf-hash
+	// computations across a worker pool (crypto.Pool satisfies it). Nil
+	// hashes serially. Only the leaf hashes fan out; the incremental tree
+	// updates stay sequential under the shard lock.
+	Hasher Hasher
+}
+
+// Hasher runs n independent computations, possibly concurrently, and
+// returns when all are done.
+type Hasher interface {
+	Map(n int, f func(i int))
+}
+
+// parallelLeafHashing is the touched-leaf count below which dispatching to
+// the worker pool costs more than hashing inline.
+const parallelLeafHashing = 8
+
+// hashLeaves runs f(0..n-1) through the configured hasher when the batch
+// is large enough to amortize dispatch, inline otherwise.
+func (s *Shard) hashLeaves(n int, f func(i int)) {
+	if s.hasher != nil && n >= parallelLeafHashing {
+		s.hasher.Map(n, f)
+		return
+	}
+	for i := 0; i < n; i++ {
+		f(i)
+	}
 }
 
 // NewShard creates a shard holding the given items (ids are deduplicated
@@ -114,8 +142,8 @@ func NewShard(ids []txn.ItemID, initial func(txn.ItemID) []byte, cfg Config) *Sh
 		ids:          sorted,
 		idx:          make(map[txn.ItemID]int, len(sorted)),
 		items:        make([]Item, len(sorted)),
+		hasher:       cfg.Hasher,
 	}
-	leaves := make([][]byte, len(sorted))
 	for i, id := range sorted {
 		s.idx[id] = i
 		var val []byte
@@ -123,8 +151,12 @@ func NewShard(ids []txn.ItemID, initial func(txn.ItemID) []byte, cfg Config) *Sh
 			val = append([]byte(nil), initial(id)...)
 		}
 		s.items[i] = Item{ID: id, Value: val}
-		leaves[i] = merkle.LeafHash(LeafContent(id, val, txn.Timestamp{}, txn.Timestamp{}))
 	}
+	leaves := make([][]byte, len(sorted))
+	s.hashLeaves(len(sorted), func(i int) {
+		it := s.items[i]
+		leaves[i] = merkle.LeafHash(LeafContent(it.ID, it.Value, txn.Timestamp{}, txn.Timestamp{}))
+	})
 	s.tree = merkle.New(leaves)
 	if cfg.MultiVersion {
 		s.history = make([][]Version, len(sorted))
@@ -158,15 +190,19 @@ func NewShardFromItems(items []Item, cfg Config) *Shard {
 		ids:          make([]txn.ItemID, len(sorted)),
 		idx:          make(map[txn.ItemID]int, len(sorted)),
 		items:        make([]Item, len(sorted)),
+		hasher:       cfg.Hasher,
 	}
-	leaves := make([][]byte, len(sorted))
 	for i, it := range sorted {
 		s.ids[i] = it.ID
 		s.idx[it.ID] = i
 		it.Value = append([]byte(nil), it.Value...)
 		s.items[i] = it
-		leaves[i] = merkle.LeafHash(LeafContent(it.ID, it.Value, it.RTS, it.WTS))
 	}
+	leaves := make([][]byte, len(sorted))
+	s.hashLeaves(len(sorted), func(i int) {
+		it := s.items[i]
+		leaves[i] = merkle.LeafHash(LeafContent(it.ID, it.Value, it.RTS, it.WTS))
+	})
 	s.tree = merkle.New(leaves)
 	if cfg.MultiVersion {
 		s.history = make([][]Version, len(sorted))
@@ -278,13 +314,23 @@ func (s *Shard) applyLocked(a Access) error {
 		}
 		touched[i] = struct{}{}
 	}
+	// Leaf hashes are independent of one another, so they fan out across
+	// the hasher; only the incremental tree updates are ordered.
+	idxs := make([]int, 0, len(touched))
 	for i := range touched {
-		it := s.items[i]
-		leaf := merkle.LeafHash(LeafContent(it.ID, it.Value, it.RTS, it.WTS))
-		if _, err := s.tree.Update(i, leaf); err != nil {
+		idxs = append(idxs, i)
+	}
+	leaves := make([][]byte, len(idxs))
+	s.hashLeaves(len(idxs), func(k int) {
+		it := s.items[idxs[k]]
+		leaves[k] = merkle.LeafHash(LeafContent(it.ID, it.Value, it.RTS, it.WTS))
+	})
+	for k, i := range idxs {
+		if _, err := s.tree.Update(i, leaves[k]); err != nil {
 			return fmt.Errorf("store: update leaf %d: %w", i, err)
 		}
 		if s.multiVersion {
+			it := s.items[i]
 			s.history[i] = append(s.history[i], Version{
 				CommitTS: a.TS,
 				Value:    append([]byte(nil), it.Value...),
@@ -356,11 +402,21 @@ func (s *Shard) OverlayRoot(accesses []Access) ([]byte, error) {
 		}
 	}
 
-	// Apply the scratch leaves, capture the root, then revert.
+	// Apply the scratch leaves, capture the root, then revert. The leaf
+	// hashes fan out across the hasher first; the tree updates stay
+	// sequential.
+	idxs := make([]int, 0, len(scratch))
+	for i := range scratch {
+		idxs = append(idxs, i)
+	}
+	leaves := make([][]byte, len(idxs))
+	s.hashLeaves(len(idxs), func(k int) {
+		p := scratch[idxs[k]]
+		leaves[k] = merkle.LeafHash(LeafContent(s.ids[idxs[k]], p.value, p.rts, p.wts))
+	})
 	reverts := make(map[int][]byte, len(scratch))
-	for i, p := range scratch {
-		leaf := merkle.LeafHash(LeafContent(s.ids[i], p.value, p.rts, p.wts))
-		old, err := s.tree.Update(i, leaf)
+	for k, i := range idxs {
+		old, err := s.tree.Update(i, leaves[k])
 		if err != nil {
 			return nil, fmt.Errorf("store: overlay leaf %d: %w", i, err)
 		}

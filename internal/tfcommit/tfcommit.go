@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/cosi"
+	"repro/internal/crypto"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/obs"
@@ -109,18 +110,26 @@ type Config struct {
 	// Obs supplies metrics, tracing and logging; nil runs dark (detached
 	// instruments, no spans, discard logger).
 	Obs *obs.Obs
+	// Verifier is the coordinator's verification plane: the pre-publication
+	// co-sign check and the Lemma 4 faulty-signer identification route
+	// through it. Nil defaults to the serial backend over Registry. A
+	// coordinator normally shares its server's verifier, so the co-sign
+	// verdict it establishes here is already cached when its own cohort
+	// re-checks the same bytes at Decide.
+	Verifier crypto.Verifier
 }
 
 // Coordinator terminates transactions by running TFCommit rounds.
 type Coordinator struct {
-	ident   *identity.Identity
-	reg     *identity.Registry
-	tr      transport.Transport
-	servers []identity.NodeID
-	local   Participant
-	faults  Faults
-	crash   func(point string, height uint64) error
-	o       *obs.Obs
+	ident    *identity.Identity
+	reg      *identity.Registry
+	tr       transport.Transport
+	servers  []identity.NodeID
+	local    Participant
+	faults   Faults
+	crash    func(point string, height uint64) error
+	o        *obs.Obs
+	verifier crypto.Verifier
 
 	// Per-phase commit-path instruments (registry-backed; detached when no
 	// registry is configured). The phase histograms time the coordinator's
@@ -148,6 +157,10 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	servers := append([]identity.NodeID(nil), cfg.Servers...)
 	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	verifier := cfg.Verifier
+	if verifier == nil {
+		verifier = crypto.NewSerial(cfg.Registry)
+	}
 	o := cfg.Obs
 	const phaseHelp = "TFCommit per-phase latency at the coordinator, by protocol phase."
 	return &Coordinator{
@@ -159,6 +172,7 @@ func New(cfg Config) (*Coordinator, error) {
 		faults:          cfg.Faults,
 		crash:           cfg.CrashHook,
 		o:               o,
+		verifier:        verifier,
 		phaseVote:       o.Histogram("fides_tfcommit_phase_seconds", phaseHelp, nil, obs.L("phase", "vote")),
 		phaseChallenge:  o.Histogram("fides_tfcommit_phase_seconds", phaseHelp, nil, obs.L("phase", "challenge")),
 		phaseCosign:     o.Histogram("fides_tfcommit_phase_seconds", phaseHelp, nil, obs.L("phase", "cosign")),
@@ -394,10 +408,13 @@ func (c *Coordinator) runRound(ctx context.Context, height uint64, prevHash []by
 
 	// The coordinator is incentivised to check the signature before
 	// publishing: if it is invalid, identify the faulty signer(s) by
-	// partial-signature exclusion (Lemma 4).
-	if !cosi.Verify(aggPub, signingBytes, sig) {
+	// partial-signature exclusion (Lemma 4). Both checks route through the
+	// verification plane — the batched backend verifies the partial
+	// signatures as one random-linear-combination batch and falls back to
+	// the serial per-share exclusion only on a mismatch.
+	if err := c.verifier.VerifyCoSig(c.servers, signingBytes, sig); err != nil {
 		cosignSpan.EndErr(errors.New("invalid collective signature"))
-		faultyIdx, idErr := cosi.IdentifyFaulty(pubs, commitments, challenge, ordered)
+		faultyIdx, idErr := c.verifier.VerifyPartials(pubs, commitments, challenge, ordered)
 		if idErr != nil {
 			return nil, fmt.Errorf("tfcommit: invalid co-sign and identification failed: %w", idErr)
 		}

@@ -406,6 +406,18 @@ func (n *TCPNode) acceptLoop() {
 	}
 }
 
+// serveConnQueue bounds the blobs a connection's reader may run ahead of
+// its processor: enough to keep frame authentication pipelined with socket
+// reads, small enough that a slow handler exerts TCP backpressure instead
+// of buffering a peer's whole backlog in memory.
+const serveConnQueue = 16
+
+// serveConn is the receive half of an accepted connection: it only reads
+// length-prefixed blobs off the socket and hands each to the processor
+// goroutine through a bounded channel. Frame parsing, MAC verification and
+// request handling all happen on the processor (processConn), so
+// authenticating frame i never delays reading frame i+1 off the wire —
+// the transport leg of the verification-plane refactor.
 func (n *TCPNode) serveConn(c net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -414,9 +426,53 @@ func (n *TCPNode) serveConn(c net.Conn) {
 		delete(n.accepted, c)
 		n.mu.Unlock()
 	}()
+	blobs := make(chan *encodeBuf, serveConnQueue)
+	done := make(chan struct{})
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer close(done)
+		n.processConn(c, blobs)
+	}()
 	br := bufio.NewReader(c)
-	bw := bufio.NewWriter(c)
 	var scratch []byte
+	for {
+		raw, err := readBlob(br, &scratch)
+		if err != nil {
+			break // peer closed or garbage framing
+		}
+		// The blob is copied out of scratch into a pooled buffer the
+		// processor owns (and returns to the pool) so the next read can
+		// start immediately.
+		buf := getBuf()
+		buf.b = append(buf.b[:0], raw...)
+		select {
+		case blobs <- buf:
+		case <-done: // processor dropped the connection
+			putBuf(buf)
+			close(blobs)
+			return
+		}
+	}
+	close(blobs)
+	<-done
+}
+
+// processConn owns a connection's protocol state — the authenticated
+// session, peer identity, replay sequence and write side — and processes
+// blobs in arrival order, preserving the per-connection ordering the
+// replay check depends on.
+func (n *TCPNode) processConn(c net.Conn, blobs <-chan *encodeBuf) {
+	// Closing the socket on exit unblocks the reader goroutine's readBlob
+	// when the processor drops the connection mid-stream.
+	defer func() { _ = c.Close() }()
+	// Drain and recycle whatever the reader buffered past the failure.
+	defer func() {
+		for buf := range blobs {
+			putBuf(buf)
+		}
+	}()
+	bw := bufio.NewWriter(c)
 	// sess and peer are this connection's authenticated session, set by a
 	// handshake blob; MAC frames are only accepted from that peer. lastSeq
 	// enforces strictly increasing request sequence numbers per connection
@@ -425,78 +481,86 @@ func (n *TCPNode) serveConn(c net.Conn) {
 	var sess *session
 	var peer identity.NodeID
 	var lastSeq uint64
-	for {
-		raw, err := readBlob(br, &scratch)
-		if err != nil {
-			return // peer closed or garbage framing
-		}
-		switch raw[0] {
-		case blobKindHandshake:
-			var offer identity.Envelope
-			if err := offer.UnmarshalBinary(raw[1:]); err != nil {
-				return
-			}
-			reply, s, err := n.acceptHello(offer)
-			if err != nil {
-				// Answer with a signed error so the initiator learns why
-				// (e.g. it is not in the registry), then drop the conn.
-				n.writeErrorReply(bw, offer.From, err)
-				return
-			}
-			sess, peer = s, offer.From
-			blob := getBuf()
-			blob.b = append(blob.b[:0], blobKindHandshake)
-			blob.b = reply.AppendBinary(blob.b)
-			err = writeBlob(bw, blob.b)
-			putBuf(blob)
-			if err != nil {
-				return
-			}
-		case blobKindMACFrame:
-			if sess == nil {
-				return // MAC frame before handshake
-			}
-			mfrom, mac, payload, err := parseMACFrame(raw)
-			if err != nil || mfrom != peer || !sess.verify(payload, mac) {
-				return // unauthenticated traffic: drop the connection
-			}
-			reqTo, rseq, msg, perr := parseFrame(payload)
-			var resp Message
-			switch {
-			case perr != nil:
-				resp = Message{Type: msgTypeError, Body: mustJSON(perr.Error())}
-			case reqTo != n.ident.ID:
-				resp = Message{Type: msgTypeError, Body: mustJSON(fmt.Sprintf("frame addressed to %q delivered to %q", reqTo, n.ident.ID))}
-			case rseq <= lastSeq:
-				return // replayed request on this connection: drop it
-			default:
-				lastSeq = rseq
-				resp = n.handle(peer, msg)
-			}
-			if err := n.writeResponse(bw, sess, peer, resp); err != nil {
-				return
-			}
-		default: // individually signed envelope (FrameAuthEnvelope peers)
-			env, err := parseEnvelopeBlob(raw)
-			if err != nil {
-				return
-			}
-			from, rseq, msg, err := openFrame(n.reg, n.ident.ID, env)
-			var resp Message
-			switch {
-			case err != nil:
-				resp = Message{Type: msgTypeError, Body: mustJSON(err.Error())}
-			case rseq <= lastSeq:
-				return // replayed request on this connection: drop it
-			default:
-				lastSeq = rseq
-				resp = n.handle(from, msg)
-			}
-			if err := n.writeResponse(bw, nil, from, resp); err != nil {
-				return
-			}
+	for buf := range blobs {
+		ok := n.processBlob(bw, buf.b, &sess, &peer, &lastSeq)
+		putBuf(buf)
+		if !ok {
+			return
 		}
 	}
+}
+
+// processBlob handles one inbound blob; a false return drops the
+// connection.
+func (n *TCPNode) processBlob(bw *bufio.Writer, raw []byte, sessp **session, peerp *identity.NodeID, lastSeq *uint64) bool {
+	sess, peer := *sessp, *peerp
+	switch raw[0] {
+	case blobKindHandshake:
+		var offer identity.Envelope
+		if err := offer.UnmarshalBinary(raw[1:]); err != nil {
+			return false
+		}
+		reply, s, err := n.acceptHello(offer)
+		if err != nil {
+			// Answer with a signed error so the initiator learns why
+			// (e.g. it is not in the registry), then drop the conn.
+			n.writeErrorReply(bw, offer.From, err)
+			return false
+		}
+		*sessp, *peerp = s, offer.From
+		blob := getBuf()
+		blob.b = append(blob.b[:0], blobKindHandshake)
+		blob.b = reply.AppendBinary(blob.b)
+		err = writeBlob(bw, blob.b)
+		putBuf(blob)
+		if err != nil {
+			return false
+		}
+	case blobKindMACFrame:
+		if sess == nil {
+			return false // MAC frame before handshake
+		}
+		mfrom, mac, payload, err := parseMACFrame(raw)
+		if err != nil || mfrom != peer || !sess.verify(payload, mac) {
+			return false // unauthenticated traffic: drop the connection
+		}
+		reqTo, rseq, msg, perr := parseFrame(payload)
+		var resp Message
+		switch {
+		case perr != nil:
+			resp = Message{Type: msgTypeError, Body: mustJSON(perr.Error())}
+		case reqTo != n.ident.ID:
+			resp = Message{Type: msgTypeError, Body: mustJSON(fmt.Sprintf("frame addressed to %q delivered to %q", reqTo, n.ident.ID))}
+		case rseq <= *lastSeq:
+			return false // replayed request on this connection: drop it
+		default:
+			*lastSeq = rseq
+			resp = n.handle(peer, msg)
+		}
+		if err := n.writeResponse(bw, sess, peer, resp); err != nil {
+			return false
+		}
+	default: // individually signed envelope (FrameAuthEnvelope peers)
+		env, err := parseEnvelopeBlob(raw)
+		if err != nil {
+			return false
+		}
+		from, rseq, msg, err := openFrame(n.reg, n.ident.ID, env)
+		var resp Message
+		switch {
+		case err != nil:
+			resp = Message{Type: msgTypeError, Body: mustJSON(err.Error())}
+		case rseq <= *lastSeq:
+			return false // replayed request on this connection: drop it
+		default:
+			*lastSeq = rseq
+			resp = n.handle(from, msg)
+		}
+		if err := n.writeResponse(bw, nil, from, resp); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // writeResponse frames, authenticates (session MAC when sess is non-nil,

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/audit"
+	"repro/internal/crypto"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/lightclient"
@@ -34,6 +35,21 @@ type BundleVerifier struct {
 	Layout lightclient.Layout
 	// Coordinator is implicated alongside owners when replaying bundles.
 	Coordinator identity.NodeID
+	// Verifier optionally routes the per-header collective-signature
+	// checks through an injected verification plane (useful when one
+	// process re-verifies many bundles over the same chain — the verdict
+	// cache collapses repeated headers). Nil verifies serially against
+	// Registry.
+	Verifier ledger.CoSigVerifier
+}
+
+// cosigVerifier returns the injected verification plane or the serial
+// fallback over the registry.
+func (v *BundleVerifier) cosigVerifier() ledger.CoSigVerifier {
+	if v.Verifier != nil {
+		return v.Verifier
+	}
+	return crypto.NewSerial(v.Registry)
 }
 
 // ErrBadBundle reports a malformed or unsubstantiated bundle: the evidence
@@ -101,7 +117,7 @@ func (v *BundleVerifier) verifyHeader(h *ledger.Header) error {
 		}
 		seen[id] = struct{}{}
 	}
-	return ledger.VerifyHeaderSig(h, v.Registry)
+	return ledger.VerifyHeaderSigWith(v.cosigVerifier(), h)
 }
 
 // verifyBlocks checks the bundle's co-signed block range: contiguous

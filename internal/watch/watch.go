@@ -56,6 +56,7 @@ import (
 	"repro/internal/lightclient"
 	"repro/internal/merkle"
 	"repro/internal/obs"
+	"repro/internal/peer"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -119,24 +120,15 @@ func (f Finding) String() string {
 
 // Config assembles a watchtower.
 type Config struct {
-	// Registry supplies the public keys co-signs are verified against.
-	Registry *identity.Registry
-	// Transport carries the wire messages.
-	Transport transport.Transport
+	// PeerConfig is the shared peer wiring: registry, transport, server
+	// set, tail source (rotates automatically when it serves a bad
+	// block), coordinator (implicated alongside owners in replay
+	// findings), tail page size (default 256) and the verification plane.
+	peer.PeerConfig
+
 	// Layout is the item→server directory and shard layout (also the
 	// audit directory for the streaming replay).
 	Layout lightclient.Layout
-	// Servers is the full server set; every accepted block and header must
-	// be signed by exactly this set.
-	Servers []identity.NodeID
-	// Coordinator is the coordinator identity, implicated alongside owners
-	// in replay findings (as in the offline audit).
-	Coordinator identity.NodeID
-	// Source is the server blocks are tailed from (default Servers[0]).
-	// The source rotates automatically when it serves a bad block.
-	Source identity.NodeID
-	// PageSize is the tail page size (default 256).
-	PageSize uint32
 	// SampleRate is the per-server, per-poll probability of a sampled
 	// verified read (0 disables sampling; 1 samples every server every
 	// poll).
@@ -149,8 +141,6 @@ type Config struct {
 	// Resume restarts the streaming replay from a previously persisted
 	// checkpoint instead of genesis.
 	Resume *audit.Checkpoint
-	// Obs supplies metrics and logging; nil runs dark.
-	Obs *obs.Obs
 	// Now supplies the clock (default time.Now).
 	Now func() time.Time
 }
@@ -165,6 +155,7 @@ type Watchtower struct {
 	signerSet  map[identity.NodeID]struct{}
 	coord      identity.NodeID
 	pageSize   uint32
+	verifier   ledger.CoSigVerifier
 	sampleRate float64
 	maxLag     uint64
 	now        func() time.Time
@@ -200,16 +191,13 @@ type Watchtower struct {
 
 // New creates a watchtower. It performs no I/O; the first Poll does.
 func New(cfg Config) (*Watchtower, error) {
-	if cfg.Registry == nil || cfg.Transport == nil || cfg.Layout == nil {
+	if cfg.Layout == nil {
 		return nil, errors.New("watch: config requires registry, transport and layout")
 	}
-	if len(cfg.Servers) == 0 {
-		return nil, errors.New("watch: config requires the server set")
+	if err := cfg.Validate("watch"); err != nil {
+		return nil, err
 	}
-	pageSize := cfg.PageSize
-	if pageSize == 0 {
-		pageSize = 256
-	}
+	cfg.ApplyDefaults(256)
 	maxLag := cfg.MaxLag
 	if maxLag == 0 {
 		maxLag = 16
@@ -226,7 +214,8 @@ func New(cfg Config) (*Watchtower, error) {
 		servers:     append([]identity.NodeID(nil), cfg.Servers...),
 		signerSet:   make(map[identity.NodeID]struct{}, len(cfg.Servers)),
 		coord:       cfg.Coordinator,
-		pageSize:    pageSize,
+		pageSize:    cfg.PageSize,
+		verifier:    cfg.Verifier,
 		sampleRate:  cfg.SampleRate,
 		maxLag:      maxLag,
 		now:         now,
@@ -421,7 +410,7 @@ func (w *Watchtower) verifyBlockLocked(b *ledger.Block, want uint64) error {
 		}
 		seen[id] = struct{}{}
 	}
-	return ledger.VerifyBlockSig(b, w.reg)
+	return ledger.VerifyBlockSigWith(w.verifier, b)
 }
 
 // acceptBlockLocked appends a verified block and replays it, converting

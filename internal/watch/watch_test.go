@@ -10,6 +10,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/peer"
 	"repro/internal/server"
 	"repro/internal/watch"
 	"repro/internal/wire"
@@ -392,14 +393,16 @@ func TestWatchResumeFromCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	wt2, err := watch.New(watch.Config{
-		Registry:    cluster.Registry(),
-		Transport:   ep,
-		Layout:      cluster.Directory(),
-		Servers:     cluster.Servers(),
-		Coordinator: cluster.Coordinator(),
-		SampleRate:  1,
-		Resume:      cp,
-		Obs:         cluster.Obs(),
+		PeerConfig: peer.PeerConfig{
+			Registry:    cluster.Registry(),
+			Transport:   ep,
+			Servers:     cluster.Servers(),
+			Coordinator: cluster.Coordinator(),
+			Obs:         cluster.Obs(),
+		},
+		Layout:     cluster.Directory(),
+		SampleRate: 1,
+		Resume:     cp,
 	})
 	if err != nil {
 		t.Fatal(err)

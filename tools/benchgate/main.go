@@ -38,6 +38,8 @@ type row struct {
 	Fsync         string  `json:"fsync"`
 	Pipeline      int     `json:"pipeline"`
 	Coordinators  int     `json:"coordinators"`
+	Crypto        string  `json:"crypto"`
+	MaxProcs      int     `json:"max_procs"`
 	ReadFraction  float64 `json:"read_fraction"`
 	ReadPath      string  `json:"read_path"`
 	TPS           float64 `json:"tps"`
@@ -52,10 +54,10 @@ type row struct {
 }
 
 func (r row) key() string {
-	return fmt.Sprintf("%s|%s|s%d|b%d|i%d|r%d|l%d|f%s|p%d|c%d|rf%.2f|%s",
+	return fmt.Sprintf("%s|%s|s%d|b%d|i%d|r%d|l%d|f%s|p%d|c%d|y%s|m%d|rf%.2f|%s",
 		r.Experiment, r.Protocol, r.Servers, r.Batch, r.ItemsPerShard,
 		r.Requests, r.LatencyUS, r.Fsync, r.Pipeline, r.Coordinators,
-		r.ReadFraction, r.ReadPath)
+		r.Crypto, r.MaxProcs, r.ReadFraction, r.ReadPath)
 }
 
 type reportFile struct {

@@ -1,0 +1,82 @@
+// Command cryptolint enforces the verification-plane boundary: on the
+// commit hot path, every signature check must go through the injected
+// crypto.Verifier, never call ed25519.Verify or the cosi verify functions
+// directly. The pluggable backend (and its batching, caching and
+// worker-pool parallelism) only holds if no call site bypasses it — one
+// stray cosi.Verify re-serializes that phase and silently exempts itself
+// from the fides_crypto_* metrics.
+//
+// It scans the hot-path packages' non-test Go sources textually for
+// `ed25519.Verify` and `cosi.Verify*` call sites. The crypto package
+// itself (where the backends live), the ledger and identity primitives
+// the backends are built from, and the cold paths (durable recovery,
+// offline bundle verification) are exempt by not being scanned.
+//
+//	cryptolint            # lint the default hot-path package list
+//	cryptolint -src internal/server,internal/tfcommit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// directVerifyRe matches a direct signature-verification call. cosi.Verify
+// covers Verify, VerifyParticipants and VerifyPartial*; ed25519.Verify
+// covers the stdlib form.
+var directVerifyRe = regexp.MustCompile(`\b(ed25519\.Verify|cosi\.Verify)`)
+
+// hotPathDirs is the commit hot path: the server's validate/apply,
+// the termination service, the batcher and cluster plumbing, the client's
+// decision check, and the read-side peers. internal/crypto is the one
+// place direct verification belongs.
+const hotPathDirs = "internal/server,internal/tfcommit,internal/client,internal/core,internal/lightclient,internal/watch,internal/audit"
+
+func main() {
+	src := flag.String("src", hotPathDirs, "comma-separated directories that must route verification through crypto.Verifier")
+	flag.Parse()
+
+	var problems []string
+	for _, dir := range strings.Split(*src, ",") {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for i, line := range strings.Split(string(raw), "\n") {
+				trimmed := strings.TrimSpace(line)
+				if strings.HasPrefix(trimmed, "//") {
+					continue
+				}
+				if m := directVerifyRe.FindString(line); m != "" {
+					problems = append(problems, fmt.Sprintf("%s:%d: direct %s call bypasses the crypto.Verifier plane", path, i+1, m))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cryptolint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "cryptolint: "+p)
+		}
+		fmt.Fprintf(os.Stderr, "cryptolint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("cryptolint: ok")
+}

@@ -132,7 +132,7 @@ func main() {
 	var (
 		docsPath = flag.String("docs", "docs/observability.md", "metric catalog to check against")
 		src      = flag.String("src", "internal,cmd", "comma-separated source roots to scan")
-		require  = flag.String("require", "fides_watch_", "comma-separated name prefixes at least one registered metric must carry (empty disables)")
+		require  = flag.String("require", "fides_watch_,fides_crypto_", "comma-separated name prefixes at least one registered metric must carry (empty disables)")
 	)
 	flag.Parse()
 
